@@ -1,0 +1,48 @@
+//! Figure 5: the global packet loss probability surface `p_global = p/(p+q)`.
+//!
+//! Purely analytic — this bench regenerates the surface on the paper grid,
+//! prints spot values and writes a gnuplot-ready `.dat`.
+
+use std::fmt::Write as _;
+
+use fec_bench::{banner, output, Scale};
+use fec_channel::{analysis, grid};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 5: global loss probability surface p/(p+q)", &scale);
+
+    let surface = analysis::global_loss_surface(&grid::PAPER_GRID, &grid::PAPER_GRID);
+
+    let mut dat = String::new();
+    let mut last_p = f64::NAN;
+    for (p, q, g) in &surface {
+        if *p != last_p && !last_p.is_nan() {
+            dat.push('\n');
+        }
+        last_p = *p;
+        let _ = writeln!(dat, "{p} {q} {g:.6}");
+    }
+    output::save("fig05", "global_loss.dat", &dat);
+
+    println!("spot values (p, q -> p_global):");
+    for (p, q) in [(0.0, 0.5), (0.5, 0.5), (1.0, 1.0), (0.0109, 0.7915)] {
+        let g = fec_channel::GilbertParams::new(p, q)
+            .unwrap()
+            .global_loss_probability();
+        println!("  p = {p:<6} q = {q:<6} -> p_global = {g:.4}");
+    }
+
+    // The shape checks the paper's figure displays: 0 at p=0, 1 at q=0 (p>0),
+    // 0.5 on the diagonal.
+    assert_eq!(surface.iter().filter(|(p, _, g)| *p == 0.0 && *g != 0.0).count(), 0);
+    for &(p, q, g) in &surface {
+        if p > 0.0 && q == 0.0 {
+            assert!((g - 1.0).abs() < 1e-12, "q=0 must saturate");
+        }
+        if p > 0.0 && (p - q).abs() < 1e-12 {
+            assert!((g - 0.5).abs() < 1e-12, "diagonal is 1/2");
+        }
+    }
+    println!("shape checks passed: p=0 row is 0, q=0 column saturates, diagonal = 0.5");
+}

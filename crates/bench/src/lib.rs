@@ -1,0 +1,67 @@
+//! Shared infrastructure for the reproduction benches.
+//!
+//! Every `benches/*.rs` target regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the full index). This library provides:
+//!
+//! * [`Scale`] — the `FEC_REPRO_*` environment knobs that trade fidelity
+//!   for runtime (defaults: `k = 2000`, 30 runs; `FEC_REPRO_SCALE=paper`
+//!   switches to the paper's `k = 20000`, 100 runs);
+//! * [`paper`] — the paper's appendix Tables 1–9 transcribed as ground
+//!   truth;
+//! * [`compare`] — paper-vs-measured delta reports;
+//! * [`output`] — writes results under `results/` so EXPERIMENTS.md can be
+//!   regenerated mechanically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod output;
+pub mod paper;
+mod scale;
+
+pub use scale::Scale;
+
+use fec_sched::TxModel;
+use fec_sim::{CodeKind, Experiment, ExpansionRatio, GridSweep, SweepConfig, SweepResult};
+
+/// Runs one grid sweep for a `(code, ratio, tx)` tuple at the given scale.
+///
+/// # Panics
+/// Panics if the experiment is invalid — bench targets are developer tools,
+/// so configuration bugs should abort loudly.
+pub fn sweep(
+    code: CodeKind,
+    ratio: ExpansionRatio,
+    tx: TxModel,
+    scale: &Scale,
+    track_total: bool,
+) -> SweepResult {
+    let experiment = Experiment::new(code, scale.k, ratio, tx);
+    let config = SweepConfig {
+        runs: scale.runs,
+        grid_p: scale.grid.clone(),
+        grid_q: scale.grid.clone(),
+        seed: scale.seed,
+        matrix_pool: scale.matrix_pool(),
+        track_total,
+        threads: None,
+    };
+    GridSweep::new(experiment, config)
+        .expect("valid experiment")
+        .execute()
+}
+
+/// Prints a standard header for a bench target.
+pub fn banner(title: &str, scale: &Scale) {
+    println!("================================================================");
+    println!("{title}");
+    println!(
+        "scale: k = {}, runs/cell = {}, grid = {}x{} (paper: k = 20000, runs = 100, 14x14)",
+        scale.k,
+        scale.runs,
+        scale.grid.len(),
+        scale.grid.len()
+    );
+    println!("================================================================");
+}

@@ -1,0 +1,109 @@
+//! Environment-driven scale configuration for the reproduction benches.
+
+use fec_channel::grid;
+
+/// Fidelity/runtime knobs, read from the environment:
+///
+/// | Variable | Meaning | Default |
+/// |----------|---------|---------|
+/// | `FEC_REPRO_SCALE=paper` | full paper scale (k=20000, runs=100, 14×14) | off |
+/// | `FEC_REPRO_K` | source packets per object | 5000 |
+/// | `FEC_REPRO_RUNS` | Monte-Carlo runs per grid cell | 30 |
+/// | `FEC_REPRO_GRID` | `paper` (14 values) or `coarse` (8) | paper |
+/// | `FEC_REPRO_SEED` | master seed | 0xC0FFEE |
+///
+/// Explicit `FEC_REPRO_K` / `FEC_REPRO_RUNS` override the `paper` preset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// Source packets per object.
+    pub k: usize,
+    /// Runs per grid cell.
+    pub runs: u32,
+    /// The `(p, q)` grid values (used for both axes).
+    pub grid: Vec<f64>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Scale {
+        Scale {
+            k: 5000,
+            runs: 30,
+            grid: grid::PAPER_GRID.to_vec(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Scale {
+    /// Reads the scale from the environment (see type-level table).
+    pub fn from_env() -> Scale {
+        let mut s = Scale::default();
+        if std::env::var("FEC_REPRO_SCALE").as_deref() == Ok("paper") {
+            s.k = 20_000;
+            s.runs = 100;
+        }
+        if let Some(k) = parse_env("FEC_REPRO_K") {
+            s.k = k as usize;
+        }
+        if let Some(r) = parse_env("FEC_REPRO_RUNS") {
+            s.runs = r as u32;
+        }
+        match std::env::var("FEC_REPRO_GRID").as_deref() {
+            Ok("coarse") => s.grid = grid::COARSE_GRID.to_vec(),
+            Ok("paper") | Err(_) => {}
+            Ok(other) => eprintln!("FEC_REPRO_GRID={other} unknown; using the paper grid"),
+        }
+        if let Some(seed) = parse_env("FEC_REPRO_SEED") {
+            s.seed = seed;
+        }
+        s
+    }
+
+    /// LDGM matrix pool size at this scale (bounded by run count).
+    pub fn matrix_pool(&self) -> usize {
+        (self.runs as usize).clamp(1, 4)
+    }
+}
+
+fn parse_env(name: &str) -> Option<u64> {
+    match std::env::var(name) {
+        Ok(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("{name}={v} is not a number; ignoring");
+                None
+            }
+        },
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let s = Scale::default();
+        assert_eq!(s.k, 5000);
+        assert_eq!(s.runs, 30);
+        assert_eq!(s.grid.len(), 14);
+        assert_eq!(s.matrix_pool(), 4);
+    }
+
+    #[test]
+    fn matrix_pool_bounded_by_runs() {
+        let s = Scale {
+            runs: 2,
+            ..Scale::default()
+        };
+        assert_eq!(s.matrix_pool(), 2);
+        let s1 = Scale {
+            runs: 1,
+            ..Scale::default()
+        };
+        assert_eq!(s1.matrix_pool(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Closed-form channel analysis (paper §3.2, Figs. 5 and 6).
+
+use crate::GilbertParams;
+
+/// The global loss probability surface of Fig. 5: `p_global = p / (p + q)`
+/// evaluated on a grid. Returns `(p, q, p_global)` triples in row-major
+/// order (p outer, q inner).
+pub fn global_loss_surface(ps: &[f64], qs: &[f64]) -> Vec<(f64, f64, f64)> {
+    let mut out = Vec::with_capacity(ps.len() * qs.len());
+    for &p in ps {
+        for &q in qs {
+            let g = GilbertParams::new(p, q)
+                .expect("grid values are probabilities")
+                .global_loss_probability();
+            out.push((p, q, g));
+        }
+    }
+    out
+}
+
+/// The fundamental decodability limit of §3.2 ("When is decoding
+/// impossible?").
+///
+/// A code with `k` source packets, of which `n_sent` are transmitted,
+/// receives on average `n_sent * (1 - p_global)` packets; decoding *cannot*
+/// succeed unless that is at least `inef_ratio * k`. On the boundary,
+///
+/// ```text
+/// q = -p * inef_ratio / (inef_ratio - n_sent / k)
+/// ```
+///
+/// This struct captures the parameters; [`FeasibilityLimit::q_boundary`]
+/// returns the boundary and [`FeasibilityLimit::is_feasible`] classifies a
+/// `(p, q)` point. `inef_ratio = 1` (the paper's Fig. 6 assumption) is the
+/// bound for *any* erasure code, MDS or not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibilityLimit {
+    /// Ratio of transmitted packets to source packets (`n_sent / k`); equals
+    /// the FEC expansion ratio when everything is sent.
+    pub sent_ratio: f64,
+    /// Assumed decoding inefficiency (1.0 = lower bound / MDS).
+    pub inef_ratio: f64,
+}
+
+impl FeasibilityLimit {
+    /// Limit for a code that transmits everything (`n_sent = n`), assuming
+    /// perfect (MDS-like) decoding efficiency — exactly Fig. 6.
+    pub fn ideal(expansion_ratio: f64) -> FeasibilityLimit {
+        FeasibilityLimit {
+            sent_ratio: expansion_ratio,
+            inef_ratio: 1.0,
+        }
+    }
+
+    /// Average fraction of transmitted packets that must survive for
+    /// decoding to be possible: `inef_ratio / sent_ratio`.
+    pub fn required_delivery_rate(&self) -> f64 {
+        self.inef_ratio / self.sent_ratio
+    }
+
+    /// The boundary `q(p)` above which decoding is (on average) possible.
+    /// Returns `None` when no `q` in `[0, 1]` can save the receiver, or when
+    /// the channel is loss-free for every `q` (p = 0).
+    pub fn q_boundary(&self, p: f64) -> Option<f64> {
+        debug_assert!((0.0..=1.0).contains(&p));
+        if p == 0.0 {
+            // Perfect channel: feasible for every q; there is no boundary.
+            return None;
+        }
+        // Feasibility: (1 - p/(p+q)) * sent_ratio >= inef_ratio
+        //  ⇔ q/(p+q) >= required_delivery_rate r
+        //  ⇔ q >= p * r / (1 - r)    (for r < 1)
+        let r = self.required_delivery_rate();
+        if r >= 1.0 {
+            // Must receive everything: impossible once p > 0.
+            return Some(f64::INFINITY);
+        }
+        Some(p * r / (1.0 - r))
+    }
+
+    /// Whether the average number of received packets suffices at `(p, q)`.
+    /// (A necessary, not sufficient, condition for reliable decoding.)
+    pub fn is_feasible(&self, p: f64, q: f64) -> bool {
+        let g = GilbertParams::new(p, q)
+            .expect("probabilities")
+            .global_loss_probability();
+        (1.0 - g) * self.sent_ratio >= self.inef_ratio - 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn surface_matches_formula() {
+        let s = global_loss_surface(&[0.0, 0.5], &[0.5, 1.0]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], (0.0, 0.5, 0.0));
+        assert!((s[2].2 - 0.5).abs() < 1e-12); // p=0.5,q=0.5
+        assert!((s[3].2 - 1.0 / 3.0).abs() < 1e-12); // p=0.5,q=1.0
+    }
+
+    #[test]
+    fn ideal_limits_match_paper_figure6() {
+        // Fig. 6: with expansion ratio 2.5 a receiver needs 40% delivery;
+        // with 1.5 it needs 2/3.
+        let f25 = FeasibilityLimit::ideal(2.5);
+        assert!((f25.required_delivery_rate() - 0.4).abs() < 1e-12);
+        let f15 = FeasibilityLimit::ideal(1.5);
+        assert!((f15.required_delivery_rate() - 2.0 / 3.0).abs() < 1e-12);
+
+        // The 2.5 region strictly contains the 1.5 region.
+        for p in [0.1, 0.3, 0.5, 0.9] {
+            let b25 = f25.q_boundary(p).unwrap();
+            let b15 = f15.q_boundary(p).unwrap();
+            assert!(b25 < b15, "p={p}: ratio 2.5 must tolerate more");
+        }
+    }
+
+    #[test]
+    fn boundary_points_classify_consistently() {
+        let f = FeasibilityLimit::ideal(2.5);
+        // q = p * 0.4/0.6 = 2p/3 on the boundary.
+        let p = 0.3;
+        let b = f.q_boundary(p).unwrap();
+        assert!((b - 0.2).abs() < 1e-12);
+        assert!(f.is_feasible(p, b + 1e-9));
+        assert!(!f.is_feasible(p, b - 1e-3));
+    }
+
+    #[test]
+    fn p_zero_has_no_boundary() {
+        assert_eq!(FeasibilityLimit::ideal(1.5).q_boundary(0.0), None);
+        assert!(FeasibilityLimit::ideal(1.5).is_feasible(0.0, 0.0));
+    }
+
+    #[test]
+    fn ratio_one_requires_perfect_channel() {
+        let f = FeasibilityLimit::ideal(1.0);
+        assert_eq!(f.q_boundary(0.01), Some(f64::INFINITY));
+        assert!(f.is_feasible(0.0, 1.0));
+        assert!(!f.is_feasible(0.01, 1.0));
+    }
+
+    #[test]
+    fn totally_uncorrelated_diagonal_of_fig6() {
+        // Fig. 6 marks the q = 1 - p anti-diagonal as "totally uncorrelated".
+        // Along it, p_global = p; ratio 2.5 is feasible up to p = 0.6.
+        let f = FeasibilityLimit::ideal(2.5);
+        assert!(f.is_feasible(0.59, 1.0 - 0.59));
+        assert!(!f.is_feasible(0.61, 1.0 - 0.61));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// q_boundary and is_feasible are mutually consistent everywhere.
+        #[test]
+        fn boundary_consistency(p in 0.001f64..1.0, q in 0.0f64..1.0, ratio in 1.01f64..4.0) {
+            let f = FeasibilityLimit::ideal(ratio);
+            let b = f.q_boundary(p).unwrap();
+            let feasible = f.is_feasible(p, q);
+            if b.is_infinite() {
+                prop_assert!(!feasible);
+            } else if q > b + 1e-9 {
+                prop_assert!(feasible, "q {q} above boundary {b}");
+            } else if q < b - 1e-9 {
+                prop_assert!(!feasible, "q {q} below boundary {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's `(p, q)` evaluation grids.
+
+/// The 14 probability values (as fractions) the paper sweeps for both `p`
+/// and `q`: {0, 1, 5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100}%.
+pub const PAPER_GRID: [f64; 14] = [
+    0.0, 0.01, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00,
+];
+
+/// A coarser 8-value grid for quick runs (keeps the paper's endpoints and
+/// its low-loss emphasis).
+pub const COARSE_GRID: [f64; 8] = [0.0, 0.01, 0.05, 0.20, 0.40, 0.60, 0.80, 1.00];
+
+/// Percent labels for [`PAPER_GRID`], as printed in the paper's appendix.
+pub const PAPER_GRID_PERCENT: [u32; 14] = [0, 1, 5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_are_sorted_probabilities() {
+        for g in [&PAPER_GRID[..], &COARSE_GRID[..]] {
+            assert!(g.windows(2).all(|w| w[0] < w[1]));
+            assert!(g.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert_eq!(g.first(), Some(&0.0));
+            assert_eq!(g.last(), Some(&1.0));
+        }
+    }
+
+    #[test]
+    fn percent_labels_match_values() {
+        for (v, pct) in PAPER_GRID.iter().zip(PAPER_GRID_PERCENT) {
+            assert!((v * 100.0 - pct as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coarse_is_subset_of_paper() {
+        for v in COARSE_GRID {
+            assert!(PAPER_GRID.contains(&v));
+        }
+    }
+}

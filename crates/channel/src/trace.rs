@@ -1,0 +1,225 @@
+//! Loss traces: recording, replaying and Gilbert fitting.
+//!
+//! The paper (§3.2) notes that `p` and `q` can be estimated from packet-loss
+//! traces, citing the GSM traces of Konrad et al. and the Internet traces of
+//! Yajnik et al. (whose Amherst→LA fit, `p = 0.0109, q = 0.7915`, drives the
+//! §6.2.1 use case). We do not have those raw traces — the substitution
+//! (DESIGN.md) is to *synthesise* traces from a Gilbert chain and verify the
+//! fitter recovers the parameters, plus a [`TraceChannel`] that replays any
+//! recorded boolean trace through the [`LossModel`] interface.
+
+use crate::{ChannelError, GilbertParams, LossModel};
+
+/// A recorded sequence of per-packet outcomes (`true` = lost).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LossTrace {
+    losses: Vec<bool>,
+}
+
+impl LossTrace {
+    /// Wraps a recorded outcome sequence.
+    pub fn new(losses: Vec<bool>) -> LossTrace {
+        LossTrace { losses }
+    }
+
+    /// Records `count` outcomes from any loss model.
+    pub fn record(model: &mut dyn LossModel, count: usize) -> LossTrace {
+        LossTrace {
+            losses: (0..count).map(|_| model.next_is_lost()).collect(),
+        }
+    }
+
+    /// The raw outcomes.
+    pub fn losses(&self) -> &[bool] {
+        &self.losses
+    }
+
+    /// Number of packets in the trace.
+    pub fn len(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.losses.is_empty()
+    }
+
+    /// Overall loss fraction.
+    pub fn loss_rate(&self) -> f64 {
+        if self.losses.is_empty() {
+            return 0.0;
+        }
+        self.losses.iter().filter(|&&l| l).count() as f64 / self.losses.len() as f64
+    }
+
+    /// Lengths of the maximal loss bursts.
+    pub fn burst_lengths(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = 0usize;
+        for &l in &self.losses {
+            if l {
+                cur += 1;
+            } else if cur > 0 {
+                out.push(cur);
+                cur = 0;
+            }
+        }
+        if cur > 0 {
+            out.push(cur);
+        }
+        out
+    }
+}
+
+/// Fits a Gilbert model to a trace by transition counting (maximum
+/// likelihood for a two-state chain):
+/// `p = #(delivered → lost) / #delivered`, `q = #(lost → delivered) / #lost`
+/// over consecutive pairs.
+///
+/// Returns an error if the trace has fewer than two packets or never visits
+/// one of the states (the corresponding rate is unidentifiable).
+pub fn fit_gilbert(trace: &LossTrace) -> Result<GilbertParams, ChannelError> {
+    let xs = trace.losses();
+    if xs.len() < 2 {
+        return Err(ChannelError::BadProbability {
+            name: "trace too short to fit",
+            value: xs.len() as f64,
+        });
+    }
+    let (mut n_good, mut n_good_to_bad) = (0u64, 0u64);
+    let (mut n_bad, mut n_bad_to_good) = (0u64, 0u64);
+    for w in xs.windows(2) {
+        match (w[0], w[1]) {
+            (false, false) => n_good += 1,
+            (false, true) => {
+                n_good += 1;
+                n_good_to_bad += 1;
+            }
+            (true, true) => n_bad += 1,
+            (true, false) => {
+                n_bad += 1;
+                n_bad_to_good += 1;
+            }
+        }
+    }
+    if n_good == 0 {
+        return Err(ChannelError::BadProbability {
+            name: "trace never leaves the loss state; p unidentifiable",
+            value: 0.0,
+        });
+    }
+    if n_bad == 0 {
+        return Err(ChannelError::BadProbability {
+            name: "trace has no losses; q unidentifiable",
+            value: 0.0,
+        });
+    }
+    GilbertParams::new(
+        n_good_to_bad as f64 / n_good as f64,
+        n_bad_to_good as f64 / n_bad as f64,
+    )
+}
+
+/// Replays a recorded trace as a [`LossModel`], cycling when exhausted.
+#[derive(Debug, Clone)]
+pub struct TraceChannel {
+    trace: LossTrace,
+    pos: usize,
+}
+
+impl TraceChannel {
+    /// Wraps a trace for replay.
+    ///
+    /// # Panics
+    /// Panics on an empty trace (nothing to replay).
+    pub fn new(trace: LossTrace) -> TraceChannel {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        TraceChannel { trace, pos: 0 }
+    }
+}
+
+impl LossModel for TraceChannel {
+    fn next_is_lost(&mut self) -> bool {
+        let lost = self.trace.losses()[self.pos];
+        self.pos = (self.pos + 1) % self.trace.len();
+        lost
+    }
+
+    fn global_loss_probability(&self) -> Option<f64> {
+        Some(self.trace.loss_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GilbertChannel;
+
+    #[test]
+    fn fitter_recovers_synthetic_parameters() {
+        let truth = GilbertParams::new(0.0109, 0.7915).unwrap(); // §6.2.1 values
+        let mut ch = GilbertChannel::new(truth, 77);
+        let trace = LossTrace::record(&mut ch, 2_000_000);
+        let fit = fit_gilbert(&trace).unwrap();
+        assert!((fit.p() - truth.p()).abs() < 0.002, "p fit {}", fit.p());
+        assert!((fit.q() - truth.q()).abs() < 0.03, "q fit {}", fit.q());
+    }
+
+    #[test]
+    fn fitter_rejects_degenerate_traces() {
+        assert!(fit_gilbert(&LossTrace::new(vec![])).is_err());
+        assert!(fit_gilbert(&LossTrace::new(vec![true])).is_err());
+        assert!(fit_gilbert(&LossTrace::new(vec![false, false, false])).is_err());
+        assert!(fit_gilbert(&LossTrace::new(vec![true, true, true])).is_err());
+    }
+
+    #[test]
+    fn fitter_exact_on_small_trace() {
+        // delivered, lost, lost, delivered, delivered
+        //   transitions: d→l (1 of 3 from d... count pairs):
+        //   (d,l) (l,l) (l,d) (d,d): n_good=2, g2b=1 -> p=0.5
+        //   n_bad=2, b2g=1 -> q=0.5
+        let t = LossTrace::new(vec![false, true, true, false, false]);
+        let fit = fit_gilbert(&t).unwrap();
+        assert_eq!((fit.p(), fit.q()), (0.5, 0.5));
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = LossTrace::new(vec![false, true, true, false, true, false, false]);
+        assert_eq!(t.len(), 7);
+        assert!((t.loss_rate() - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.burst_lengths(), vec![2, 1]);
+    }
+
+    #[test]
+    fn trailing_burst_is_counted() {
+        let t = LossTrace::new(vec![false, true, true]);
+        assert_eq!(t.burst_lengths(), vec![2]);
+    }
+
+    #[test]
+    fn trace_channel_replays_and_cycles() {
+        let t = LossTrace::new(vec![true, false, false]);
+        let mut ch = TraceChannel::new(t);
+        let got: Vec<bool> = (0..7).map(|_| ch.next_is_lost()).collect();
+        assert_eq!(got, vec![true, false, false, true, false, false, true]);
+        assert!((ch.global_loss_probability().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_replay_panics() {
+        TraceChannel::new(LossTrace::new(vec![]));
+    }
+
+    #[test]
+    fn record_then_replay_roundtrip() {
+        let params = GilbertParams::new(0.2, 0.5).unwrap();
+        let mut ch = GilbertChannel::new(params, 13);
+        let trace = LossTrace::record(&mut ch, 500);
+        let mut replay = TraceChannel::new(trace.clone());
+        let replayed: Vec<bool> = (0..500).map(|_| replay.next_is_lost()).collect();
+        assert_eq!(replayed, trace.losses());
+    }
+}

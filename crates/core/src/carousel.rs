@@ -1,0 +1,167 @@
+//! Cyclic ("carousel") transmission.
+//!
+//! The paper's systems (§1, §7) achieve reliability "through the massive
+//! use of FEC and complementary techniques (e.g. cyclic transmissions
+//! within a carousel)": the sender loops over its packets forever and
+//! asynchronous receivers join whenever they like, leaving once they have
+//! decoded. A [`Carousel`] wraps a [`Sender`] into exactly that: an
+//! endless packet iterator that re-schedules every cycle (fresh randomness
+//! per cycle, derived deterministically from the carousel seed), so two
+//! cycles never repeat the same order — important because a receiver that
+//! failed on cycle `c` would otherwise see the *same* packets lost to the
+//! same burst positions again.
+
+use fec_sched::TxModel;
+
+use crate::{Packet, Sender};
+
+/// An endless cyclic transmitter over an encoded object.
+pub struct Carousel<'s> {
+    sender: &'s Sender,
+    tx: TxModel,
+    seed: u64,
+    cycle: u64,
+    position: usize,
+    current: Vec<fec_sched::PacketRef>,
+}
+
+impl<'s> Carousel<'s> {
+    /// Starts a carousel over `sender` with the given schedule family.
+    pub fn new(sender: &'s Sender, tx: TxModel, seed: u64) -> Carousel<'s> {
+        let current = tx.schedule(sender.layout(), fec_sim::mix_seed(seed, &[0]));
+        Carousel {
+            sender,
+            tx,
+            seed,
+            cycle: 0,
+            position: 0,
+            current,
+        }
+    }
+
+    /// The cycle currently being transmitted (0-based).
+    ///
+    /// (Named `current_cycle` because `Iterator::cycle` would shadow a
+    /// by-value `cycle()` during method resolution.)
+    pub fn current_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Position within the current cycle.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Total packets emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.cycle * self.current.len() as u64 + self.position as u64
+    }
+}
+
+impl Iterator for Carousel<'_> {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        if self.position == self.current.len() {
+            self.cycle += 1;
+            self.position = 0;
+            self.current = self
+                .tx
+                .schedule(self.sender.layout(), fec_sim::mix_seed(self.seed, &[self.cycle]));
+        }
+        let r = self.current[self.position];
+        self.position += 1;
+        Some(self.sender.packet(r).expect("schedule refs are valid"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CodeSpec, Receiver};
+    use fec_sim::ExpansionRatio;
+    use std::collections::HashSet;
+
+    fn sender() -> Sender {
+        let spec = CodeSpec::ldgm_staircase(20, ExpansionRatio::R2_5).with_matrix_seed(4);
+        let obj: Vec<u8> = (0..20 * 8).map(|i| i as u8).collect();
+        Sender::new(spec, &obj, 8).unwrap()
+    }
+
+    #[test]
+    fn one_cycle_covers_every_packet_exactly_once() {
+        let s = sender();
+        let mut c = Carousel::new(&s, TxModel::Random, 9);
+        let n = s.packet_count() as usize;
+        let seen: HashSet<(u32, u32)> = (0..n)
+            .map(|_| c.next().unwrap())
+            .map(|p| (p.block, p.esi))
+            .collect();
+        assert_eq!(seen.len(), n);
+        assert_eq!(c.current_cycle(), 0);
+        assert_eq!(c.position(), n);
+    }
+
+    #[test]
+    fn cycles_use_different_orders() {
+        let s = sender();
+        let n = s.packet_count() as usize;
+        let mut c = Carousel::new(&s, TxModel::Random, 9);
+        let first: Vec<u32> = (0..n).map(|_| c.next().unwrap().esi).collect();
+        let second: Vec<u32> = (0..n).map(|_| c.next().unwrap().esi).collect();
+        assert_ne!(first, second, "cycles must be re-shuffled");
+        assert_eq!(c.current_cycle(), 1);
+        // But both are full permutations.
+        let a: HashSet<u32> = first.into_iter().collect();
+        let b: HashSet<u32> = second.into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn emitted_counts_across_cycles() {
+        let s = sender();
+        let n = s.packet_count();
+        let mut c = Carousel::new(&s, TxModel::Interleaved, 1);
+        for _ in 0..(n * 2 + 3) {
+            c.next();
+        }
+        assert_eq!(c.emitted(), n * 2 + 3);
+        assert_eq!(c.current_cycle(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = sender();
+        let take = |seed: u64| -> Vec<u32> {
+            Carousel::new(&s, TxModel::Random, seed)
+                .take(100)
+                .map(|p| p.esi)
+                .collect()
+        };
+        assert_eq!(take(5), take(5));
+        assert_ne!(take(5), take(6));
+    }
+
+    #[test]
+    fn late_joining_receiver_decodes_mid_cycle() {
+        // A receiver that joins mid-cycle still decodes: the carousel never
+        // ends and every packet keeps coming around.
+        let s = sender();
+        let spec = s.spec().clone();
+        let mut rx = Receiver::new(spec, s.object_len(), s.symbol_size()).unwrap();
+        let mut carousel = Carousel::new(&s, TxModel::Random, 3);
+        // Skip half a cycle (the receiver was not listening yet).
+        for _ in 0..(s.packet_count() / 2) {
+            carousel.next();
+        }
+        let mut consumed = 0;
+        for p in carousel.by_ref() {
+            consumed += 1;
+            assert!(consumed < 500, "must decode within a few cycles");
+            if rx.push(&p).unwrap().is_decoded() {
+                break;
+            }
+        }
+        assert!(rx.is_decoded());
+    }
+}

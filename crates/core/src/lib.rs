@@ -1,0 +1,47 @@
+//! The application-facing layer of the `fec-broadcast` workspace.
+//!
+//! Everything below this crate is a building block (fields, codecs,
+//! channels, schedules, simulators); this crate assembles them into what a
+//! FLUTE-like content-broadcasting system actually needs:
+//!
+//! * [`CodeSpec`] — a complete, serialisable description of a FEC
+//!   configuration (code, object size, expansion ratio, matrix seed) that
+//!   sender and receivers share out of band (e.g. in an FDT);
+//! * [`Sender`] / [`Receiver`] — byte-true encoding sessions: the sender
+//!   turns an object into addressable [`Packet`]s, the receiver consumes
+//!   packets in any order, across any losses, and reproduces the object
+//!   exactly;
+//! * [`recommend`](crate::recommend()) and [`MeasuredSelector`] — the
+//!   paper's §6 decision procedure: given what you know about the channel,
+//!   which (code, transmission model, expansion ratio) tuple should you
+//!   deploy, rule-based or measured;
+//! * [`TransmissionPlan`] — the §6.2 `n_sent` optimisation (equation 3):
+//!   stop transmitting once the expected deliveries cover
+//!   `inef_ratio * k + ε`;
+//! * [`Carousel`] — endless cyclic transmission with per-cycle
+//!   re-scheduling, the delivery loop the paper's systems run (§1, §7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod carousel;
+mod error;
+mod packet;
+mod plan;
+mod receiver;
+mod recommend;
+mod sender;
+mod spec;
+
+pub use carousel::Carousel;
+pub use error::CoreError;
+pub use packet::{Packet, PACKET_HEADER_LEN};
+pub use plan::{optimal_n_sent, TransmissionPlan};
+pub use receiver::{DecodeProgress, Receiver};
+pub use recommend::{recommend, ChannelKnowledge, MeasuredChoice, MeasuredSelector, Recommendation};
+pub use sender::Sender;
+pub use spec::CodeSpec;
+
+// Re-export the vocabulary types so applications need only this crate.
+pub use fec_sched::{RxModel, TxModel};
+pub use fec_sim::{CodeKind, ExpansionRatio};

@@ -1,0 +1,176 @@
+//! The §6.2 transmission planner: adapt `n_sent` to the channel.
+//!
+//! Once the (code, schedule, ratio) tuple is fixed and its inefficiency
+//! ratio on the target channel is known, the sender does not need to emit
+//! all `n` packets: it can stop after
+//!
+//! ```text
+//! n_sent = n_necessary_for_decoding / (1 - p_global)        (equation 3)
+//! ```
+//!
+//! packets (plus a safety margin ε), because on average that already
+//! delivers `inef_ratio * k` survivors — "significantly less than the n
+//! packets that would have been sent otherwise, while preserving
+//! transmission reliability" (§6.2.1).
+
+use fec_channel::GilbertParams;
+use serde::{Deserialize, Serialize};
+
+/// Computes the optimal `n_sent` of equation 3, rounded up, plus
+/// `tolerance` extra packets.
+///
+/// # Panics
+/// Panics if `inefficiency < 1` (impossible by definition) or
+/// `p_global >= 1` (nothing ever arrives).
+pub fn optimal_n_sent(k: usize, inefficiency: f64, p_global: f64, tolerance: u64) -> u64 {
+    assert!(inefficiency >= 1.0, "inefficiency ratio is always >= 1");
+    assert!(
+        (0.0..1.0).contains(&p_global),
+        "p_global must be in [0, 1), got {p_global}"
+    );
+    let needed = inefficiency * k as f64;
+    (needed / (1.0 - p_global)).ceil() as u64 + tolerance
+}
+
+/// A complete §6.2 transmission plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionPlan {
+    /// Source packet count.
+    pub k: usize,
+    /// Total encoding packets available (`n`).
+    pub n_total: u64,
+    /// Packets to actually transmit.
+    pub n_sent: u64,
+    /// Measured/assumed inefficiency ratio on the target channel.
+    pub inefficiency: f64,
+    /// Channel global loss probability.
+    pub p_global: f64,
+    /// Extra packets added as tolerance (the paper's ε).
+    pub tolerance: u64,
+}
+
+impl TransmissionPlan {
+    /// Builds a plan from a channel and a measured inefficiency. `n_sent`
+    /// is capped at `n_total` (a plan can never send more than exists).
+    pub fn new(
+        k: usize,
+        n_total: u64,
+        inefficiency: f64,
+        channel: GilbertParams,
+        tolerance: u64,
+    ) -> TransmissionPlan {
+        let p_global = channel.global_loss_probability();
+        let n_sent = optimal_n_sent(k, inefficiency, p_global, tolerance).min(n_total);
+        TransmissionPlan {
+            k,
+            n_total,
+            n_sent,
+            inefficiency,
+            p_global,
+            tolerance,
+        }
+    }
+
+    /// Packets saved versus transmitting everything.
+    pub fn savings_packets(&self) -> u64 {
+        self.n_total - self.n_sent
+    }
+
+    /// Fraction of the full transmission avoided.
+    pub fn savings_fraction(&self) -> f64 {
+        self.savings_packets() as f64 / self.n_total as f64
+    }
+
+    /// Expected number of packets a receiver gets under this plan.
+    pub fn expected_received(&self) -> f64 {
+        self.n_sent as f64 * (1.0 - self.p_global)
+    }
+
+    /// Whether the plan covers the requirement `expected_received >=
+    /// inefficiency * k` (always true by construction unless capped by
+    /// `n_total`).
+    pub fn is_sufficient(&self) -> bool {
+        self.expected_received() + 1e-9 >= self.inefficiency * self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_paper_example_6_2_1() {
+        // §6.2.1: 50 MB object (10^6-byte MB), 1024-byte payloads:
+        // k = ceil(50e6 / 1024) = 48829 packets. Best tuple: (Tx2, LDGM
+        // Staircase, ratio 1.5) with inef ≈ 1.011 on the Yajnik channel
+        // (p = 0.0109, q = 0.7915, p_global ≈ 0.0135). The paper computes
+        // n_sent ≈ 51.24 MB ≈ 50041 packets and n = 73243.
+        let k = 50_000_000usize.div_ceil(1024);
+        assert_eq!(k, 48_829);
+        let n = (k as f64 * 1.5).floor() as u64;
+        assert_eq!(n, 73_243, "paper's n");
+
+        let channel = GilbertParams::new(0.0109, 0.7915).unwrap();
+        let p_global = channel.global_loss_probability();
+        assert!((p_global - 0.0135).abs() < 2e-4);
+
+        let n_sent = optimal_n_sent(k, 1.011, p_global, 0);
+        // Paper: ≈ 50041 packets (their rounding differs slightly; accept
+        // a small window around it).
+        assert!(
+            (50_020..=50_070).contains(&n_sent),
+            "n_sent = {n_sent}, paper says ≈ 50041"
+        );
+
+        let plan = TransmissionPlan::new(k, n, 1.011, channel, 0);
+        assert!(plan.is_sufficient());
+        // "significantly less than the n = 73243 packets"
+        assert!(plan.savings_packets() > 20_000);
+        assert!(plan.savings_fraction() > 0.3);
+    }
+
+    #[test]
+    fn perfect_channel_sends_just_the_necessary() {
+        let plan = TransmissionPlan::new(1000, 2500, 1.05, GilbertParams::perfect(), 10);
+        assert_eq!(plan.n_sent, 1050 + 10);
+        assert!(plan.is_sufficient());
+    }
+
+    #[test]
+    fn plan_caps_at_n_total() {
+        // 60% loss at ratio 1.5 → would need more than n; the cap applies
+        // and the plan honestly reports insufficiency.
+        let ch = GilbertParams::bernoulli(0.6).unwrap();
+        let plan = TransmissionPlan::new(1000, 1500, 1.05, ch, 0);
+        assert_eq!(plan.n_sent, 1500);
+        assert!(!plan.is_sufficient());
+    }
+
+    #[test]
+    fn tolerance_is_added() {
+        assert_eq!(
+            optimal_n_sent(100, 1.0, 0.0, 25),
+            125
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "p_global must be in [0, 1)")]
+    fn total_loss_rejected() {
+        optimal_n_sent(10, 1.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inefficiency ratio is always >= 1")]
+    fn sub_unit_inefficiency_rejected() {
+        optimal_n_sent(10, 0.9, 0.0, 0);
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let plan = TransmissionPlan::new(10, 25, 1.1, GilbertParams::perfect(), 1);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: TransmissionPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,391 @@
+//! The receiving side of a broadcast session.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use fec_ldgm::{Decoder as LdgmDecoder, LdgmParams, SparseMatrix};
+use fec_rse::RseCodec;
+use fec_sched::Layout;
+
+use crate::{CodeSpec, CoreError, Packet};
+
+/// Decoding progress after a push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeProgress {
+    /// Packets pushed so far (duplicates included) — the quantity whose
+    /// final value is the paper's `n_necessary_for_decoding`.
+    pub received: u64,
+    /// Source packets recovered so far.
+    pub decoded_source: usize,
+    /// Source packets needed (`k`).
+    pub total_source: usize,
+}
+
+impl DecodeProgress {
+    /// True once the full object can be reassembled.
+    pub fn is_decoded(&self) -> bool {
+        self.decoded_source == self.total_source
+    }
+
+    /// The running inefficiency ratio `received / k` (meaningful once
+    /// decoded).
+    pub fn inefficiency(&self) -> f64 {
+        self.received as f64 / self.total_source as f64
+    }
+}
+
+/// Per-block reception state for blocked RSE.
+struct RseBlock {
+    k: usize,
+    /// Distinct received `(esi, payload)` pairs (until decoded).
+    packets: Vec<(u32, Bytes)>,
+    /// Which ESIs were seen (duplicate filter).
+    seen: Vec<bool>,
+    /// Distinct *source* packets among them (already-known symbols).
+    src_received: usize,
+    /// Recovered source symbols once `k` packets arrived.
+    solved: Option<Vec<Bytes>>,
+}
+
+enum DecoderState {
+    Ldgm(LdgmDecoder),
+    Rse {
+        codecs: HashMap<(usize, usize), RseCodec>,
+        blocks: Vec<RseBlock>,
+        decoded_source: usize,
+    },
+}
+
+/// A decoding session: push packets in any order until the object is whole.
+pub struct Receiver {
+    spec: CodeSpec,
+    layout: Layout,
+    symbol_size: usize,
+    object_len: usize,
+    received: u64,
+    state: DecoderState,
+}
+
+impl Receiver {
+    /// Creates a receiver for an object of `object_len` bytes under `spec`.
+    ///
+    /// For LDGM codes this rebuilds the sender's matrix from
+    /// `spec.matrix_seed` — the only shared state the scheme needs.
+    pub fn new(spec: CodeSpec, object_len: usize, symbol_size: usize) -> Result<Receiver, CoreError> {
+        spec.validate_object(object_len, symbol_size)?;
+        let layout = spec.layout()?;
+        let state = match spec.kind.ldgm_right_side() {
+            Some(right) => {
+                let (k, n) = layout.block(0);
+                let matrix = SparseMatrix::build(LdgmParams::new(k, n, right, spec.matrix_seed))
+                    .map_err(|e| CoreError::Codec {
+                        detail: e.to_string(),
+                    })?;
+                DecoderState::Ldgm(LdgmDecoder::new(Arc::new(matrix), symbol_size))
+            }
+            None => {
+                let blocks = (0..layout.num_blocks())
+                    .map(|b| {
+                        let (kb, nb) = layout.block(b);
+                        RseBlock {
+                            k: kb,
+                            packets: Vec::with_capacity(kb),
+                            seen: vec![false; nb],
+                            src_received: 0,
+                            solved: None,
+                        }
+                    })
+                    .collect();
+                DecoderState::Rse {
+                    codecs: HashMap::new(),
+                    blocks,
+                    decoded_source: 0,
+                }
+            }
+        };
+        Ok(Receiver {
+            spec,
+            layout,
+            symbol_size,
+            object_len,
+            received: 0,
+            state,
+        })
+    }
+
+    /// Feeds one packet; duplicates are counted but harmless.
+    pub fn push(&mut self, packet: &Packet) -> Result<DecodeProgress, CoreError> {
+        let r = packet.packet_ref();
+        if !self.layout.contains(r) {
+            return Err(CoreError::UnknownPacket {
+                block: r.block,
+                esi: r.esi,
+            });
+        }
+        if packet.payload.len() != self.symbol_size {
+            return Err(CoreError::WrongSymbolSize {
+                expected: self.symbol_size,
+                got: packet.payload.len(),
+            });
+        }
+        self.received += 1;
+        match &mut self.state {
+            DecoderState::Ldgm(dec) => {
+                dec.push(r.esi, &packet.payload).map_err(|e| CoreError::Codec {
+                    detail: e.to_string(),
+                })?;
+            }
+            DecoderState::Rse {
+                codecs,
+                blocks,
+                decoded_source,
+            } => {
+                let block = &mut blocks[r.block as usize];
+                if block.solved.is_none() && !block.seen[r.esi as usize] {
+                    block.seen[r.esi as usize] = true;
+                    block.packets.push((r.esi, packet.payload.clone()));
+                    if (r.esi as usize) < block.k {
+                        // A systematic source symbol is known the moment it
+                        // arrives, before the block as a whole decodes.
+                        block.src_received += 1;
+                        *decoded_source += 1;
+                    }
+                    if block.packets.len() == block.k {
+                        let (kb, nb) = self.layout.block(r.block as usize);
+                        let codec = match codecs.entry((kb, nb)) {
+                            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                            std::collections::hash_map::Entry::Vacant(e) => e.insert(
+                                RseCodec::new(kb, nb).map_err(|e| CoreError::Codec {
+                                    detail: e.to_string(),
+                                })?,
+                            ),
+                        };
+                        let refs: Vec<(u32, &[u8])> = block
+                            .packets
+                            .iter()
+                            .map(|(esi, b)| (*esi, b.as_ref()))
+                            .collect();
+                        let solved = codec.decode(&refs).map_err(|e| CoreError::Codec {
+                            detail: e.to_string(),
+                        })?;
+                        block.solved = Some(solved.into_iter().map(Bytes::from).collect());
+                        block.packets = Vec::new(); // free buffered payloads
+                        *decoded_source += kb - block.src_received;
+                    }
+                }
+            }
+        }
+        Ok(self.progress())
+    }
+
+    /// Parses wire bytes and pushes the packet.
+    pub fn push_bytes(&mut self, wire: &[u8]) -> Result<DecodeProgress, CoreError> {
+        let packet = Packet::from_bytes(wire)?;
+        self.push(&packet)
+    }
+
+    /// Current progress snapshot.
+    pub fn progress(&self) -> DecodeProgress {
+        let decoded_source = match &self.state {
+            DecoderState::Ldgm(dec) => dec.decoded_source(),
+            DecoderState::Rse { decoded_source, .. } => *decoded_source,
+        };
+        DecodeProgress {
+            received: self.received,
+            decoded_source,
+            total_source: self.spec.k,
+        }
+    }
+
+    /// True once the object is fully recoverable.
+    pub fn is_decoded(&self) -> bool {
+        self.progress().is_decoded()
+    }
+
+    /// Reassembles the object (consumes the receiver).
+    pub fn into_object(self) -> Result<Vec<u8>, CoreError> {
+        let progress = self.progress();
+        if !progress.is_decoded() {
+            return Err(CoreError::NotDecoded {
+                decoded: progress.decoded_source,
+                needed: progress.total_source,
+            });
+        }
+        let mut out = Vec::with_capacity(self.spec.k * self.symbol_size);
+        match self.state {
+            DecoderState::Ldgm(dec) => {
+                let symbols = dec.into_source().expect("decoded");
+                for s in symbols {
+                    out.extend_from_slice(&s);
+                }
+            }
+            DecoderState::Rse { blocks, .. } => {
+                for b in blocks {
+                    for s in b.solved.expect("all blocks decoded") {
+                        out.extend_from_slice(&s);
+                    }
+                }
+            }
+        }
+        out.truncate(self.object_len);
+        Ok(out)
+    }
+}
+
+impl core::fmt::Debug for Receiver {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let p = self.progress();
+        write!(
+            f,
+            "Receiver({:?}, {}/{} source, {} received)",
+            self.spec.kind, p.decoded_source, p.total_source, p.received
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sender, TxModel};
+    use fec_sim::{CodeKind, ExpansionRatio};
+
+    fn object(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 131 % 251) as u8).collect()
+    }
+
+    fn roundtrip(kind: CodeKind, k: usize, sym: usize, drop_every: usize) {
+        let spec = CodeSpec {
+            kind,
+            k,
+            ratio: ExpansionRatio::R2_5,
+            matrix_seed: 3,
+        };
+        let obj = object(k * sym - sym / 2); // exercise padding
+        let sender = Sender::new(spec.clone(), &obj, sym).unwrap();
+        let mut rx = Receiver::new(spec, obj.len(), sym).unwrap();
+        let mut decoded = false;
+        for (i, pkt) in sender.transmission(TxModel::Random, 99).iter().enumerate() {
+            if drop_every > 0 && i % drop_every == 0 {
+                continue; // deterministic "loss"
+            }
+            if rx.push(pkt).unwrap().is_decoded() {
+                decoded = true;
+                break;
+            }
+        }
+        assert!(decoded, "{kind:?} failed to decode");
+        assert_eq!(rx.into_object().unwrap(), obj);
+    }
+
+    #[test]
+    fn ldgm_staircase_roundtrip_with_losses() {
+        roundtrip(CodeKind::LdgmStaircase, 120, 16, 4);
+    }
+
+    #[test]
+    fn ldgm_triangle_roundtrip_with_losses() {
+        roundtrip(CodeKind::LdgmTriangle, 120, 16, 4);
+    }
+
+    #[test]
+    fn rse_roundtrip_with_losses() {
+        roundtrip(CodeKind::Rse, 250, 8, 4);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let spec = CodeSpec::ldgm_staircase(20, ExpansionRatio::R2_5);
+        let obj = object(20 * 8);
+        let sender = Sender::new(spec.clone(), &obj, 8).unwrap();
+        let mut rx = Receiver::new(spec, obj.len(), 8).unwrap();
+        for pkt in sender.transmission(TxModel::SourceSeqParitySeq, 0) {
+            let wire = pkt.to_bytes();
+            if rx.push_bytes(&wire).unwrap().is_decoded() {
+                break;
+            }
+        }
+        assert_eq!(rx.into_object().unwrap(), obj);
+    }
+
+    #[test]
+    fn premature_into_object_fails() {
+        let spec = CodeSpec::ldgm_staircase(10, ExpansionRatio::R2_5);
+        let rx = Receiver::new(spec, 100, 10).unwrap();
+        assert!(matches!(
+            rx.into_object(),
+            Err(CoreError::NotDecoded { decoded: 0, needed: 10 })
+        ));
+    }
+
+    #[test]
+    fn wrong_symbol_size_rejected() {
+        let spec = CodeSpec::ldgm_staircase(10, ExpansionRatio::R2_5);
+        let mut rx = Receiver::new(spec, 100, 10).unwrap();
+        let pkt = Packet::new(0, 0, Bytes::from_static(b"short"));
+        assert!(matches!(
+            rx.push(&pkt),
+            Err(CoreError::WrongSymbolSize { expected: 10, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn unknown_packet_rejected() {
+        let spec = CodeSpec::ldgm_staircase(10, ExpansionRatio::R2_5);
+        let mut rx = Receiver::new(spec, 100, 10).unwrap();
+        let pkt = Packet::new(3, 0, Bytes::from(vec![0u8; 10]));
+        assert!(matches!(rx.push(&pkt), Err(CoreError::UnknownPacket { .. })));
+    }
+
+    #[test]
+    fn duplicates_count_as_received_but_do_not_break() {
+        let spec = CodeSpec::rse(30, ExpansionRatio::R2_5);
+        let obj = object(30 * 4);
+        let sender = Sender::new(spec.clone(), &obj, 4).unwrap();
+        let mut rx = Receiver::new(spec, obj.len(), 4).unwrap();
+        let pkts = sender.transmission(TxModel::SourceSeqParitySeq, 0);
+        rx.push(&pkts[0]).unwrap();
+        rx.push(&pkts[0]).unwrap();
+        let p = rx.progress();
+        assert_eq!(p.received, 2);
+        assert_eq!(p.decoded_source, 1);
+        // Finish and verify.
+        for pkt in &pkts[1..] {
+            if rx.push(pkt).unwrap().is_decoded() {
+                break;
+            }
+        }
+        assert_eq!(rx.into_object().unwrap(), obj);
+    }
+
+    #[test]
+    fn rse_decodes_each_block_at_exactly_k_packets() {
+        let spec = CodeSpec::rse(100, ExpansionRatio::R1_5); // single block k=100,n=150
+        let obj = object(100 * 4);
+        let sender = Sender::new(spec.clone(), &obj, 4).unwrap();
+        let mut rx = Receiver::new(spec, obj.len(), 4).unwrap();
+        // Feed 100 parity+source mixed packets: exactly k distinct suffices.
+        let pkts = sender.transmission(TxModel::Random, 5);
+        for (i, pkt) in pkts.iter().take(100).enumerate() {
+            let p = rx.push(pkt).unwrap();
+            assert_eq!(p.is_decoded(), i == 99, "decoded at packet {i}");
+        }
+        assert_eq!(rx.into_object().unwrap(), obj);
+    }
+
+    #[test]
+    fn mismatched_matrix_seed_still_decodes_all_source() {
+        // With different seeds the parity is useless, but receiving all k
+        // source packets must still decode (systematic code).
+        let tx_spec = CodeSpec::ldgm_staircase(20, ExpansionRatio::R2_5).with_matrix_seed(1);
+        let rx_spec = tx_spec.clone().with_matrix_seed(2);
+        let obj = object(20 * 8);
+        let sender = Sender::new(tx_spec, &obj, 8).unwrap();
+        let mut rx = Receiver::new(rx_spec, obj.len(), 8).unwrap();
+        for r in sender.layout().source_sequential() {
+            rx.push(&sender.packet(r).unwrap()).unwrap();
+        }
+        assert!(rx.is_decoded());
+        assert_eq!(rx.into_object().unwrap(), obj);
+    }
+}

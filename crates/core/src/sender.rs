@@ -1,0 +1,257 @@
+//! The sending side of a broadcast session.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use fec_ldgm::{Encoder as LdgmEncoder, LdgmParams, SparseMatrix};
+use fec_rse::RseCodec;
+use fec_sched::{Layout, PacketRef, TxModel};
+
+use crate::{CodeSpec, CoreError, Packet};
+
+/// A fully-encoded object, ready to emit packets in any schedule.
+///
+/// Construction performs the complete FEC encoding (source symbol split +
+/// all parity symbols), so `packet()` is a cheap lookup afterwards — the
+/// natural shape for a carousel sender that cycles its schedule.
+pub struct Sender {
+    spec: CodeSpec,
+    layout: Layout,
+    symbol_size: usize,
+    object_len: usize,
+    /// Global source symbols (zero-padded to `symbol_size`).
+    source: Vec<Bytes>,
+    /// Parity symbols per block (`parity[b][j]` is ESI `k_b + j`).
+    parity: Vec<Vec<Bytes>>,
+    /// Global index of each block's first source symbol.
+    block_src_offset: Vec<usize>,
+}
+
+impl Sender {
+    /// Encodes `object` under `spec` with `symbol_size`-byte symbols.
+    pub fn new(spec: CodeSpec, object: &[u8], symbol_size: usize) -> Result<Sender, CoreError> {
+        spec.validate_object(object.len(), symbol_size)?;
+        let layout = spec.layout()?;
+
+        // Split into k padded symbols.
+        let mut source: Vec<Bytes> = Vec::with_capacity(spec.k);
+        for chunk in object.chunks(symbol_size) {
+            if chunk.len() == symbol_size {
+                source.push(Bytes::copy_from_slice(chunk));
+            } else {
+                let mut padded = vec![0u8; symbol_size];
+                padded[..chunk.len()].copy_from_slice(chunk);
+                source.push(Bytes::from(padded));
+            }
+        }
+        debug_assert_eq!(source.len(), spec.k);
+
+        // Per-block source offsets.
+        let mut block_src_offset = Vec::with_capacity(layout.num_blocks());
+        let mut off = 0usize;
+        for b in 0..layout.num_blocks() {
+            block_src_offset.push(off);
+            off += layout.block(b).0;
+        }
+
+        // Encode parity.
+        let parity = match spec.kind.ldgm_right_side() {
+            Some(right) => {
+                let (k, n) = layout.block(0);
+                let matrix = SparseMatrix::build(LdgmParams::new(k, n, right, spec.matrix_seed))
+                    .map_err(|e| CoreError::Codec {
+                        detail: e.to_string(),
+                    })?;
+                let refs: Vec<&[u8]> = source.iter().map(|s| s.as_ref()).collect();
+                let parity = LdgmEncoder::new(&matrix)
+                    .encode(&refs)
+                    .map_err(|e| CoreError::Codec {
+                        detail: e.to_string(),
+                    })?;
+                vec![parity.into_iter().map(Bytes::from).collect()]
+            }
+            None => {
+                // Blocked RSE: at most two distinct (k_b, n_b) shapes exist
+                // (RFC 5052), so cache codecs by shape.
+                let mut codecs: HashMap<(usize, usize), RseCodec> = HashMap::new();
+                let mut all = Vec::with_capacity(layout.num_blocks());
+                for (b, &start) in block_src_offset.iter().enumerate() {
+                    let (kb, nb) = layout.block(b);
+                    let codec = match codecs.entry((kb, nb)) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(RseCodec::new(kb, nb).map_err(|e| CoreError::Codec {
+                                detail: e.to_string(),
+                            })?)
+                        }
+                    };
+                    let refs: Vec<&[u8]> =
+                        source[start..start + kb].iter().map(|s| s.as_ref()).collect();
+                    let parity = codec.encode_refs(&refs).map_err(|e| CoreError::Codec {
+                        detail: e.to_string(),
+                    })?;
+                    all.push(parity.into_iter().map(Bytes::from).collect());
+                }
+                all
+            }
+        };
+
+        Ok(Sender {
+            spec,
+            layout,
+            symbol_size,
+            object_len: object.len(),
+            source,
+            parity,
+            block_src_offset,
+        })
+    }
+
+    /// The configuration this sender encodes under.
+    pub fn spec(&self) -> &CodeSpec {
+        &self.spec
+    }
+
+    /// The packet layout (block structure).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Symbol (payload) size in bytes.
+    pub fn symbol_size(&self) -> usize {
+        self.symbol_size
+    }
+
+    /// Original object length in bytes (before padding).
+    pub fn object_len(&self) -> usize {
+        self.object_len
+    }
+
+    /// Total number of encoding packets (`n`, across blocks).
+    pub fn packet_count(&self) -> u64 {
+        self.layout.total_packets()
+    }
+
+    /// Number of source packets (`k`).
+    pub fn source_count(&self) -> u64 {
+        self.layout.total_source()
+    }
+
+    /// Materialises the packet for a scheduling reference.
+    pub fn packet(&self, r: PacketRef) -> Result<Packet, CoreError> {
+        if !self.layout.contains(r) {
+            return Err(CoreError::UnknownPacket {
+                block: r.block,
+                esi: r.esi,
+            });
+        }
+        let (kb, _) = self.layout.block(r.block as usize);
+        let payload = if (r.esi as usize) < kb {
+            self.source[self.block_src_offset[r.block as usize] + r.esi as usize].clone()
+        } else {
+            self.parity[r.block as usize][r.esi as usize - kb].clone()
+        };
+        Ok(Packet::new(r.block, r.esi, payload))
+    }
+
+    /// Generates the full transmission as packets, in `tx`-model order.
+    pub fn transmission(&self, tx: TxModel, seed: u64) -> Vec<Packet> {
+        tx.schedule(&self.layout, seed)
+            .into_iter()
+            .map(|r| self.packet(r).expect("schedule refs are valid"))
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for Sender {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Sender({:?}, k={}, n={}, symbol={}B)",
+            self.spec.kind,
+            self.source_count(),
+            self.packet_count(),
+            self.symbol_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fec_sim::ExpansionRatio;
+
+    fn object(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn ldgm_sender_produces_all_packets() {
+        let spec = CodeSpec::ldgm_staircase(10, ExpansionRatio::R2_5);
+        let s = Sender::new(spec, &object(10 * 16), 16).unwrap();
+        assert_eq!(s.packet_count(), 25);
+        assert_eq!(s.source_count(), 10);
+        for r in s.layout().all_packets() {
+            let p = s.packet(r).unwrap();
+            assert_eq!(p.payload.len(), 16);
+        }
+    }
+
+    #[test]
+    fn rse_sender_blocks_and_encodes() {
+        // k = 300 at ratio 2.5 -> 3 blocks of ~100.
+        let spec = CodeSpec::rse(300, ExpansionRatio::R2_5);
+        let s = Sender::new(spec, &object(300 * 8), 8).unwrap();
+        assert!(s.layout().num_blocks() >= 3);
+        // Source packets carry the original bytes verbatim.
+        let p = s.packet(PacketRef { block: 0, esi: 0 }).unwrap();
+        assert_eq!(&p.payload[..], &object(300 * 8)[..8]);
+    }
+
+    #[test]
+    fn padding_on_final_symbol() {
+        let spec = CodeSpec::ldgm_staircase(3, ExpansionRatio::R2_5);
+        let s = Sender::new(spec, &object(40), 16).unwrap(); // 40 = 2*16 + 8
+        let last = s.packet(PacketRef { block: 0, esi: 2 }).unwrap();
+        assert_eq!(&last.payload[..8], &object(40)[32..]);
+        assert_eq!(&last.payload[8..], &[0u8; 8]);
+    }
+
+    #[test]
+    fn unknown_packet_ref_rejected() {
+        let spec = CodeSpec::ldgm_staircase(4, ExpansionRatio::R2_5);
+        let s = Sender::new(spec, &object(64), 16).unwrap();
+        assert!(matches!(
+            s.packet(PacketRef { block: 0, esi: 10 }),
+            Err(CoreError::UnknownPacket { .. })
+        ));
+        assert!(matches!(
+            s.packet(PacketRef { block: 1, esi: 0 }),
+            Err(CoreError::UnknownPacket { .. })
+        ));
+    }
+
+    #[test]
+    fn object_length_mismatch_rejected() {
+        let spec = CodeSpec::ldgm_staircase(4, ExpansionRatio::R2_5);
+        assert!(Sender::new(spec, &object(65), 16).is_err()); // needs k=5
+    }
+
+    #[test]
+    fn transmission_covers_schedule() {
+        let spec = CodeSpec::rse(50, ExpansionRatio::R1_5);
+        let s = Sender::new(spec, &object(50 * 4), 4).unwrap();
+        let pkts = s.transmission(TxModel::Interleaved, 1);
+        assert_eq!(pkts.len() as u64, s.packet_count());
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let spec = CodeSpec::ldgm_triangle(20, ExpansionRatio::R2_5).with_matrix_seed(7);
+        let a = Sender::new(spec.clone(), &object(20 * 8), 8).unwrap();
+        let b = Sender::new(spec, &object(20 * 8), 8).unwrap();
+        for r in a.layout().all_packets() {
+            assert_eq!(a.packet(r).unwrap(), b.packet(r).unwrap());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The shared FEC configuration descriptor.
+
+use serde::{Deserialize, Serialize};
+
+use fec_sched::Layout;
+use fec_sim::{CodeKind, ExpansionRatio};
+
+use crate::CoreError;
+
+/// A complete FEC configuration, shared between sender and receivers.
+///
+/// In a FLUTE/ALC deployment this is what the file delivery table carries:
+/// with the same `CodeSpec`, both ends derive identical layouts, matrices
+/// and codecs — no other coordination is needed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodeSpec {
+    /// Which code family to use.
+    pub kind: CodeKind,
+    /// Number of source symbols the object is split into.
+    pub k: usize,
+    /// FEC expansion ratio `n/k`.
+    pub ratio: ExpansionRatio,
+    /// Seed for deterministic LDGM matrix construction (ignored by RSE).
+    pub matrix_seed: u64,
+}
+
+impl CodeSpec {
+    /// LDGM Staircase over `k` source symbols.
+    pub fn ldgm_staircase(k: usize, ratio: ExpansionRatio) -> CodeSpec {
+        CodeSpec {
+            kind: CodeKind::LdgmStaircase,
+            k,
+            ratio,
+            matrix_seed: 1,
+        }
+    }
+
+    /// LDGM Triangle over `k` source symbols.
+    pub fn ldgm_triangle(k: usize, ratio: ExpansionRatio) -> CodeSpec {
+        CodeSpec {
+            kind: CodeKind::LdgmTriangle,
+            k,
+            ratio,
+            matrix_seed: 1,
+        }
+    }
+
+    /// Blocked Reed-Solomon over `k` source symbols.
+    pub fn rse(k: usize, ratio: ExpansionRatio) -> CodeSpec {
+        CodeSpec {
+            kind: CodeKind::Rse,
+            k,
+            ratio,
+            matrix_seed: 0,
+        }
+    }
+
+    /// Overrides the LDGM matrix seed (sender and receiver must agree).
+    pub fn with_matrix_seed(mut self, seed: u64) -> CodeSpec {
+        self.matrix_seed = seed;
+        self
+    }
+
+    /// Derives the spec for an object of `object_len` bytes cut into
+    /// `symbol_size`-byte symbols.
+    pub fn for_object(
+        kind: CodeKind,
+        ratio: ExpansionRatio,
+        object_len: usize,
+        symbol_size: usize,
+    ) -> Result<CodeSpec, CoreError> {
+        if object_len == 0 {
+            return Err(CoreError::BadSpec {
+                reason: "empty object".into(),
+            });
+        }
+        if symbol_size == 0 {
+            return Err(CoreError::BadSpec {
+                reason: "zero symbol size".into(),
+            });
+        }
+        Ok(CodeSpec {
+            kind,
+            k: object_len.div_ceil(symbol_size),
+            ratio,
+            matrix_seed: 1,
+        })
+    }
+
+    /// The packet layout this spec induces.
+    pub fn layout(&self) -> Result<Layout, CoreError> {
+        fec_sim::layout_for(self.kind, self.k, self.ratio.as_f64()).map_err(|e| {
+            CoreError::BadSpec {
+                reason: e.to_string(),
+            }
+        })
+    }
+
+    /// Checks an object length against `k`.
+    pub fn validate_object(&self, object_len: usize, symbol_size: usize) -> Result<(), CoreError> {
+        if symbol_size == 0 {
+            return Err(CoreError::BadSpec {
+                reason: "zero symbol size".into(),
+            });
+        }
+        if object_len == 0 {
+            return Err(CoreError::BadSpec {
+                reason: "empty object".into(),
+            });
+        }
+        let actual_k = object_len.div_ceil(symbol_size);
+        if actual_k != self.k {
+            return Err(CoreError::ObjectMismatch {
+                expected_k: self.k,
+                actual_k,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_object_derives_k() {
+        let s = CodeSpec::for_object(CodeKind::LdgmStaircase, ExpansionRatio::R2_5, 1000, 64)
+            .unwrap();
+        assert_eq!(s.k, 16); // ceil(1000/64)
+        s.validate_object(1000, 64).unwrap();
+    }
+
+    #[test]
+    fn validate_object_rejects_mismatch() {
+        let s = CodeSpec::ldgm_staircase(10, ExpansionRatio::R1_5);
+        assert!(matches!(
+            s.validate_object(1000, 64),
+            Err(CoreError::ObjectMismatch {
+                expected_k: 10,
+                actual_k: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(CodeSpec::for_object(CodeKind::Rse, ExpansionRatio::R1_5, 0, 64).is_err());
+        assert!(CodeSpec::for_object(CodeKind::Rse, ExpansionRatio::R1_5, 10, 0).is_err());
+        let s = CodeSpec::rse(10, ExpansionRatio::R1_5);
+        assert!(s.validate_object(0, 64).is_err());
+        assert!(s.validate_object(10, 0).is_err());
+    }
+
+    #[test]
+    fn layout_dispatches_by_kind() {
+        let ldgm = CodeSpec::ldgm_triangle(1000, ExpansionRatio::R2_5);
+        assert_eq!(ldgm.layout().unwrap().num_blocks(), 1);
+        let rse = CodeSpec::rse(1000, ExpansionRatio::R2_5);
+        assert!(rse.layout().unwrap().num_blocks() > 1);
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        let s = CodeSpec::ldgm_staircase(123, ExpansionRatio::R2_5).with_matrix_seed(99);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CodeSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

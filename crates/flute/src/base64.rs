@@ -1,0 +1,153 @@
+//! Minimal RFC 4648 base64 (standard alphabet, `=` padding).
+//!
+//! FLUTE carries FEC-OTI-Scheme-Specific-Info as base64 inside FDT XML
+//! attributes (RFC 3926 §3.4.2). The approved offline dependency set has no
+//! base64 crate, so this is a small, fully-tested implementation — strict
+//! on decode (rejects bad characters, bad padding and non-canonical
+//! lengths) because FDT content arrives from the network.
+
+use crate::FluteError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3F] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3F] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 0x3F] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 0x3F] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Value of one base64 character, or `None` for anything else.
+fn decode_char(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+        b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard base64. Strict: requires canonical padding, rejects
+/// whitespace and any character outside the alphabet.
+pub fn decode(text: &str) -> Result<Vec<u8>, FluteError> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 != 0 {
+        return Err(FluteError::Base64 {
+            reason: format!("length {} is not a multiple of 4", bytes.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks_exact(4).enumerate() {
+        let is_last = (i + 1) * 4 == bytes.len();
+        let pads = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pads > 2 || (pads > 0 && !is_last) {
+            return Err(FluteError::Base64 {
+                reason: "padding only allowed at the end (at most 2)".into(),
+            });
+        }
+        let mut triple = 0u32;
+        for (j, &c) in quad.iter().enumerate() {
+            let v = if c == b'=' && j >= 4 - pads {
+                0
+            } else {
+                decode_char(c).ok_or_else(|| FluteError::Base64 {
+                    reason: format!("invalid character {:?}", c as char),
+                })?
+            };
+            triple = (triple << 6) | v;
+        }
+        out.push((triple >> 16) as u8);
+        if pads < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pads < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        // The official test vectors from RFC 4648 §10.
+        let vectors = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, encoded) in vectors {
+            assert_eq!(encode(plain.as_bytes()), encoded);
+            assert_eq!(decode(encoded).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert!(decode("abc").is_err());
+        assert!(decode("a").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(decode("Zm9v Zm9v").is_err()); // space
+        assert!(decode("Zm9\n").is_err()); // newline
+        assert!(decode("Zm9-").is_err()); // url-safe alphabet not accepted
+    }
+
+    #[test]
+    fn rejects_bad_padding() {
+        assert!(decode("Zg==Zm9v").is_err()); // padding mid-stream
+        assert!(decode("Z===").is_err()); // 3 pads
+        assert!(decode("=Zg=").is_err()); // pad before data in the quad
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let enc = encode(&data);
+            prop_assert_eq!(decode(&enc).unwrap(), data);
+            // Canonical length.
+            prop_assert_eq!(enc.len() % 4, 0);
+        }
+
+        /// Decoding arbitrary text never panics.
+        #[test]
+        fn fuzz_decode_no_panic(text in "[ -~]{0,64}") {
+            let _ = decode(&text);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Crate-wide error type.
+
+use core::fmt;
+
+/// Errors from parsing or building FLUTE/ALC/LCT artifacts, or from session
+/// state machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FluteError {
+    /// A wire buffer is shorter than its declared or minimum length.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A field value is outside the range this implementation supports.
+    Unsupported {
+        /// Human-readable description (field and value).
+        reason: String,
+    },
+    /// A structurally invalid header, extension or document.
+    Malformed {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// XML that does not conform to the strict FDT subset.
+    Xml {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Base64 input that cannot be decoded.
+    Base64 {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A session operation that contradicts the current state (e.g. pushing
+    /// packets for an unknown TSI, or extracting an incomplete object).
+    Session {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An error bubbled up from the FEC session layer (`fec-core`).
+    Core(String),
+}
+
+impl fmt::Display for FluteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FluteError::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: need {needed} bytes, got {got}")
+            }
+            FluteError::Unsupported { reason } => write!(f, "unsupported: {reason}"),
+            FluteError::Malformed { reason } => write!(f, "malformed: {reason}"),
+            FluteError::Xml { reason } => write!(f, "invalid FDT XML: {reason}"),
+            FluteError::Base64 { reason } => write!(f, "invalid base64: {reason}"),
+            FluteError::Session { reason } => write!(f, "session error: {reason}"),
+            FluteError::Core(e) => write!(f, "FEC session: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FluteError {}
+
+impl From<fec_core::CoreError> for FluteError {
+    fn from(e: fec_core::CoreError) -> FluteError {
+        FluteError::Core(e.to_string())
+    }
+}

@@ -1,0 +1,432 @@
+//! FEC Object Transmission Information (the EXT_FTI content, RFC 3452 §5).
+//!
+//! The OTI is everything a receiver needs to instantiate the right decoder
+//! for an object: which code, the transfer length, the symbol size, the
+//! block structure and — for the LDGM codes — the PRNG seed that makes
+//! sender and receiver build bit-identical parity-check matrices (the
+//! RFC 5170 approach).
+//!
+//! Wire layout of the OTI blob (carried both in EXT_FTI and, base64-coded,
+//! in the FDT's `FEC-OTI-Scheme-Specific-Info` attribute):
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     FEC Encoding ID (also mirrored in the LCT codepoint)
+//! 1       6     transfer length in bytes (48-bit BE)
+//! 7       2     encoding symbol size in bytes (16-bit BE)
+//! 9       4     k — total source symbols (32-bit BE)
+//! 13      4     n — total encoding symbols (32-bit BE)
+//! 17      8     matrix seed (64-bit BE; LDGM codepoints only)
+//! ```
+//!
+//! (RFC 3452 splits this across common and scheme-specific parts; carrying
+//! one self-contained blob keeps parse sites honest — the deviation is
+//! documented in the crate README.)
+
+use fec_core::{CodeSpec, CodeKind, ExpansionRatio};
+
+use crate::FluteError;
+
+/// FEC Encoding IDs used by this crate (LCT codepoint values).
+///
+/// The numbers follow the IANA registrations the codes correspond to:
+/// 129 is "Small Block Systematic FEC" (blocked Reed-Solomon), 3 and 4 are
+/// RFC 5170's LDPC-Staircase and LDPC-Triangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FecEncodingId {
+    /// RFC 5170 LDPC-Staircase (our LDGM Staircase).
+    LdpcStaircase,
+    /// RFC 5170 LDPC-Triangle (our LDGM Triangle).
+    LdpcTriangle,
+    /// Small Block Systematic FEC (our blocked RSE).
+    SmallBlockSystematic,
+}
+
+impl FecEncodingId {
+    /// The wire value (LCT codepoint).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FecEncodingId::LdpcStaircase => 3,
+            FecEncodingId::LdpcTriangle => 4,
+            FecEncodingId::SmallBlockSystematic => 129,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_u8(value: u8) -> Result<FecEncodingId, FluteError> {
+        match value {
+            3 => Ok(FecEncodingId::LdpcStaircase),
+            4 => Ok(FecEncodingId::LdpcTriangle),
+            129 => Ok(FecEncodingId::SmallBlockSystematic),
+            other => Err(FluteError::Unsupported {
+                reason: format!("FEC Encoding ID {other}"),
+            }),
+        }
+    }
+
+    /// The `fec-sim` code this encoding maps to.
+    pub fn code_kind(self) -> CodeKind {
+        match self {
+            FecEncodingId::LdpcStaircase => CodeKind::LdgmStaircase,
+            FecEncodingId::LdpcTriangle => CodeKind::LdgmTriangle,
+            FecEncodingId::SmallBlockSystematic => CodeKind::Rse,
+        }
+    }
+
+    /// The encoding for a `fec-sim` code.
+    pub fn for_code(kind: CodeKind) -> Result<FecEncodingId, FluteError> {
+        match kind {
+            CodeKind::LdgmStaircase => Ok(FecEncodingId::LdpcStaircase),
+            CodeKind::LdgmTriangle => Ok(FecEncodingId::LdpcTriangle),
+            CodeKind::Rse => Ok(FecEncodingId::SmallBlockSystematic),
+            CodeKind::LdgmPlain => Err(FluteError::Unsupported {
+                reason: "plain LDGM has no registered FEC Encoding ID \
+                         (it exists for ablations only)"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Whether the OTI blob carries a matrix seed for this encoding.
+    pub fn has_matrix_seed(self) -> bool {
+        !matches!(self, FecEncodingId::SmallBlockSystematic)
+    }
+}
+
+/// Maximum transfer length representable in the 48-bit field.
+pub const MAX_TRANSFER_LENGTH: u64 = (1 << 48) - 1;
+
+const BASE_LEN: usize = 17;
+const SEEDED_LEN: usize = BASE_LEN + 8;
+
+/// The decoded OTI: code + object geometry + seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectTransmissionInfo {
+    /// Which FEC code encodes the object.
+    pub encoding: FecEncodingId,
+    /// Exact object length in bytes (before symbol padding).
+    pub transfer_length: u64,
+    /// Encoding symbol (packet payload) size in bytes.
+    pub symbol_size: u16,
+    /// Total source symbols across all blocks.
+    pub k: u32,
+    /// Total encoding symbols across all blocks.
+    pub n: u32,
+    /// LDGM matrix seed (0 and unused for RSE).
+    pub matrix_seed: u64,
+}
+
+impl ObjectTransmissionInfo {
+    /// Derives the OTI advertising a `fec-core` session.
+    pub fn from_spec(
+        spec: &CodeSpec,
+        symbol_size: usize,
+        transfer_length: u64,
+    ) -> Result<ObjectTransmissionInfo, FluteError> {
+        let encoding = FecEncodingId::for_code(spec.kind)?;
+        if transfer_length == 0 || transfer_length > MAX_TRANSFER_LENGTH {
+            return Err(FluteError::Malformed {
+                reason: format!("transfer length {transfer_length} out of range"),
+            });
+        }
+        let symbol_size = u16::try_from(symbol_size).map_err(|_| FluteError::Unsupported {
+            reason: format!("symbol size {symbol_size} exceeds 16 bits"),
+        })?;
+        let layout = spec.layout()?;
+        let k = u32::try_from(layout.total_source()).map_err(|_| FluteError::Unsupported {
+            reason: "k exceeds 32 bits".into(),
+        })?;
+        let n = u32::try_from(layout.total_packets()).map_err(|_| FluteError::Unsupported {
+            reason: "n exceeds 32 bits".into(),
+        })?;
+        Ok(ObjectTransmissionInfo {
+            encoding,
+            transfer_length,
+            symbol_size,
+            k,
+            n,
+            matrix_seed: if encoding.has_matrix_seed() {
+                spec.matrix_seed
+            } else {
+                0
+            },
+        })
+    }
+
+    /// Reconstructs the `CodeSpec` a receiver must use.
+    ///
+    /// The expansion ratio is recovered from `(k, n)`: the paper's 1.5/2.5
+    /// map to their exact enum values, anything else becomes a `Custom`
+    /// ratio nudged so the floor-based layout derivation reproduces `n`
+    /// exactly (verified here — a mismatch is an error, not a silent
+    /// corruption).
+    pub fn code_spec(&self) -> Result<CodeSpec, FluteError> {
+        let k = self.k as usize;
+        if k == 0 {
+            return Err(FluteError::Malformed {
+                reason: "OTI with k = 0".into(),
+            });
+        }
+        if self.n <= self.k {
+            return Err(FluteError::Malformed {
+                reason: format!("OTI with n = {} <= k = {}", self.n, self.k),
+            });
+        }
+        let exact = self.n as f64 / self.k as f64;
+        let ratio = if (exact - 1.5).abs() < 1e-12 {
+            ExpansionRatio::R1_5
+        } else if (exact - 2.5).abs() < 1e-12 {
+            ExpansionRatio::R2_5
+        } else {
+            // Nudge up half a symbol so floor(k * ratio) lands on n.
+            ExpansionRatio::Custom((self.n as f64 + 0.5) / self.k as f64)
+        };
+        let spec = CodeSpec {
+            kind: self.encoding.code_kind(),
+            k,
+            ratio,
+            matrix_seed: self.matrix_seed,
+        };
+        let layout = spec.layout()?;
+        if layout.total_packets() != self.n as u64 || layout.total_source() != self.k as u64 {
+            return Err(FluteError::Unsupported {
+                reason: format!(
+                    "cannot reproduce advertised geometry k={} n={} (derived {}/{})",
+                    self.k,
+                    self.n,
+                    layout.total_source(),
+                    layout.total_packets()
+                ),
+            });
+        }
+        Ok(spec)
+    }
+
+    /// Serialises the OTI blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SEEDED_LEN);
+        out.push(self.encoding.as_u8());
+        out.extend_from_slice(&self.transfer_length.to_be_bytes()[2..]); // 48 bits
+        out.extend_from_slice(&self.symbol_size.to_be_bytes());
+        out.extend_from_slice(&self.k.to_be_bytes());
+        out.extend_from_slice(&self.n.to_be_bytes());
+        if self.encoding.has_matrix_seed() {
+            out.extend_from_slice(&self.matrix_seed.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses an OTI blob (tolerates trailing zero padding from the 32-bit
+    /// aligned EXT_FTI carrier).
+    pub fn from_bytes(data: &[u8]) -> Result<ObjectTransmissionInfo, FluteError> {
+        if data.is_empty() {
+            return Err(FluteError::Truncated {
+                what: "FEC OTI",
+                needed: BASE_LEN,
+                got: 0,
+            });
+        }
+        let encoding = FecEncodingId::from_u8(data[0])?;
+        let needed = if encoding.has_matrix_seed() {
+            SEEDED_LEN
+        } else {
+            BASE_LEN
+        };
+        if data.len() < needed {
+            return Err(FluteError::Truncated {
+                what: "FEC OTI",
+                needed,
+                got: data.len(),
+            });
+        }
+        let mut tl = [0u8; 8];
+        tl[2..].copy_from_slice(&data[1..7]);
+        let transfer_length = u64::from_be_bytes(tl);
+        if transfer_length == 0 {
+            return Err(FluteError::Malformed {
+                reason: "OTI with zero transfer length".into(),
+            });
+        }
+        let symbol_size = u16::from_be_bytes(data[7..9].try_into().expect("2 bytes"));
+        if symbol_size == 0 {
+            return Err(FluteError::Malformed {
+                reason: "OTI with zero symbol size".into(),
+            });
+        }
+        let k = u32::from_be_bytes(data[9..13].try_into().expect("4 bytes"));
+        let n = u32::from_be_bytes(data[13..17].try_into().expect("4 bytes"));
+        let matrix_seed = if encoding.has_matrix_seed() {
+            u64::from_be_bytes(data[17..25].try_into().expect("8 bytes"))
+        } else {
+            0
+        };
+        Ok(ObjectTransmissionInfo {
+            encoding,
+            transfer_length,
+            symbol_size,
+            k,
+            n,
+            matrix_seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_spec(kind: CodeKind) -> CodeSpec {
+        CodeSpec {
+            kind,
+            k: 120,
+            ratio: ExpansionRatio::R2_5,
+            matrix_seed: 0xFACE,
+        }
+    }
+
+    #[test]
+    fn ldgm_oti_roundtrip() {
+        let spec = sample_spec(CodeKind::LdgmStaircase);
+        let oti = ObjectTransmissionInfo::from_spec(&spec, 64, 120 * 64 - 7).unwrap();
+        assert_eq!(oti.encoding, FecEncodingId::LdpcStaircase);
+        assert_eq!(oti.k, 120);
+        assert_eq!(oti.n, 300);
+        assert_eq!(oti.matrix_seed, 0xFACE);
+        let wire = oti.to_bytes();
+        assert_eq!(wire.len(), 25);
+        let back = ObjectTransmissionInfo::from_bytes(&wire).unwrap();
+        assert_eq!(back, oti);
+        let spec2 = back.code_spec().unwrap();
+        assert_eq!(spec2, spec);
+    }
+
+    #[test]
+    fn rse_oti_has_no_seed() {
+        let spec = sample_spec(CodeKind::Rse);
+        let oti = ObjectTransmissionInfo::from_spec(&spec, 32, 100).unwrap();
+        let wire = oti.to_bytes();
+        assert_eq!(wire.len(), 17);
+        let back = ObjectTransmissionInfo::from_bytes(&wire).unwrap();
+        assert_eq!(back.matrix_seed, 0);
+        let spec2 = back.code_spec().unwrap();
+        assert_eq!(spec2.kind, CodeKind::Rse);
+        assert_eq!(spec2.k, 120);
+        // Layout reproduces the advertised totals.
+        assert_eq!(spec2.layout().unwrap().total_packets(), oti.n as u64);
+    }
+
+    #[test]
+    fn oti_tolerates_ext_padding() {
+        let spec = sample_spec(CodeKind::LdgmTriangle);
+        let oti = ObjectTransmissionInfo::from_spec(&spec, 64, 999).unwrap();
+        let mut wire = oti.to_bytes();
+        wire.extend_from_slice(&[0, 0, 0]); // EXT_FTI alignment padding
+        assert_eq!(ObjectTransmissionInfo::from_bytes(&wire).unwrap(), oti);
+    }
+
+    #[test]
+    fn custom_ratio_reproduces_geometry() {
+        // k = 97, n = 241: ratio 2.4845… — not a paper ratio.
+        let oti = ObjectTransmissionInfo {
+            encoding: FecEncodingId::LdpcStaircase,
+            transfer_length: 97 * 16,
+            symbol_size: 16,
+            k: 97,
+            n: 241,
+            matrix_seed: 5,
+        };
+        let spec = oti.code_spec().unwrap();
+        let layout = spec.layout().unwrap();
+        assert_eq!(layout.total_source(), 97);
+        assert_eq!(layout.total_packets(), 241);
+    }
+
+    #[test]
+    fn degenerate_oti_rejected() {
+        let mut oti = ObjectTransmissionInfo {
+            encoding: FecEncodingId::LdpcStaircase,
+            transfer_length: 100,
+            symbol_size: 16,
+            k: 10,
+            n: 25,
+            matrix_seed: 0,
+        };
+        oti.k = 0;
+        assert!(oti.code_spec().is_err());
+        oti.k = 30;
+        assert!(oti.code_spec().is_err(), "n <= k");
+    }
+
+    #[test]
+    fn unknown_encoding_rejected() {
+        assert!(FecEncodingId::from_u8(0).is_err());
+        assert!(FecEncodingId::from_u8(128).is_err());
+        let mut wire = ObjectTransmissionInfo::from_spec(
+            &sample_spec(CodeKind::LdgmStaircase),
+            64,
+            100,
+        )
+        .unwrap()
+        .to_bytes();
+        wire[0] = 77;
+        assert!(ObjectTransmissionInfo::from_bytes(&wire).is_err());
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let base = ObjectTransmissionInfo::from_spec(&sample_spec(CodeKind::LdgmStaircase), 64, 100)
+            .unwrap();
+        let mut wire = base.to_bytes();
+        wire[1..7].fill(0); // transfer length 0
+        assert!(ObjectTransmissionInfo::from_bytes(&wire).is_err());
+        let mut wire = base.to_bytes();
+        wire[7..9].fill(0); // symbol size 0
+        assert!(ObjectTransmissionInfo::from_bytes(&wire).is_err());
+    }
+
+    #[test]
+    fn ldgm_plain_has_no_encoding_id() {
+        assert!(FecEncodingId::for_code(CodeKind::LdgmPlain).is_err());
+    }
+
+    #[test]
+    fn transfer_length_range_checked() {
+        let spec = sample_spec(CodeKind::LdgmStaircase);
+        assert!(ObjectTransmissionInfo::from_spec(&spec, 64, 0).is_err());
+        assert!(ObjectTransmissionInfo::from_spec(&spec, 64, 1 << 48).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn wire_roundtrip_arbitrary(
+            enc in prop_oneof![
+                Just(FecEncodingId::LdpcStaircase),
+                Just(FecEncodingId::LdpcTriangle),
+                Just(FecEncodingId::SmallBlockSystematic),
+            ],
+            transfer_length in 1u64..MAX_TRANSFER_LENGTH,
+            symbol_size in 1u16..,
+            k in any::<u32>(),
+            n in any::<u32>(),
+            seed in any::<u64>(),
+        ) {
+            let oti = ObjectTransmissionInfo {
+                encoding: enc,
+                transfer_length,
+                symbol_size,
+                k,
+                n,
+                matrix_seed: if enc.has_matrix_seed() { seed } else { 0 },
+            };
+            let back = ObjectTransmissionInfo::from_bytes(&oti.to_bytes()).unwrap();
+            prop_assert_eq!(back, oti);
+        }
+
+        /// Parsing arbitrary bytes never panics.
+        #[test]
+        fn fuzz_parse_no_panic(data in proptest::collection::vec(any::<u8>(), 0..40)) {
+            let _ = ObjectTransmissionInfo::from_bytes(&data);
+        }
+    }
+}

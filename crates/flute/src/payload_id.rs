@@ -1,0 +1,173 @@
+//! FEC Payload IDs (RFC 3452 shape, per-codepoint layouts).
+//!
+//! The FEC Payload ID sits between the LCT header and the encoding symbol
+//! and addresses the symbol within its object. Its layout depends on the
+//! FEC Encoding ID (the LCT codepoint):
+//!
+//! * **Small-block systematic codes** (RSE, FEC Encoding ID 129): the
+//!   object is cut into many blocks, so the ID carries a 16-bit source
+//!   block number (SBN) and a 16-bit encoding symbol ID (ESI) — 4 bytes.
+//! * **Large-block LDPC/LDGM codes** (FEC Encoding IDs 3 and 4, the
+//!   RFC 5170 numbers for LDPC-Staircase and LDPC-Triangle): there is a
+//!   single block, so the SBN shrinks to 12 bits and the ESI grows to
+//!   20 bits, packed into one 32-bit word. 2^20 symbols × 1 KiB packets
+//!   covers the "several hundreds of megabytes" objects the paper cites
+//!   (§2.3.1).
+//!
+//! Both shapes are 4 bytes on the wire; the codepoint decides the split.
+
+use crate::fti::FecEncodingId;
+use crate::FluteError;
+
+/// Wire size of every payload-ID shape in this crate.
+pub const PAYLOAD_ID_LEN: usize = 4;
+
+/// Maximum ESI in the packed large-block shape (20 bits).
+pub const MAX_LARGE_BLOCK_ESI: u32 = (1 << 20) - 1;
+
+/// Maximum SBN in the packed large-block shape (12 bits).
+pub const MAX_LARGE_BLOCK_SBN: u32 = (1 << 12) - 1;
+
+/// A decoded FEC Payload ID: which symbol of which block this packet
+/// carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FecPayloadId {
+    /// Source block number.
+    pub sbn: u32,
+    /// Encoding symbol ID within the block.
+    pub esi: u32,
+}
+
+impl FecPayloadId {
+    /// Creates an ID (range checks happen at encode time, against the
+    /// codepoint-specific layout).
+    pub fn new(sbn: u32, esi: u32) -> FecPayloadId {
+        FecPayloadId { sbn, esi }
+    }
+
+    /// Encodes for the given FEC Encoding ID.
+    pub fn to_bytes(self, encoding: FecEncodingId) -> Result<[u8; PAYLOAD_ID_LEN], FluteError> {
+        match encoding {
+            FecEncodingId::SmallBlockSystematic => {
+                let sbn = u16::try_from(self.sbn).map_err(|_| FluteError::Malformed {
+                    reason: format!("SBN {} exceeds 16 bits", self.sbn),
+                })?;
+                let esi = u16::try_from(self.esi).map_err(|_| FluteError::Malformed {
+                    reason: format!("ESI {} exceeds 16 bits", self.esi),
+                })?;
+                let mut out = [0u8; 4];
+                out[..2].copy_from_slice(&sbn.to_be_bytes());
+                out[2..].copy_from_slice(&esi.to_be_bytes());
+                Ok(out)
+            }
+            FecEncodingId::LdpcStaircase | FecEncodingId::LdpcTriangle => {
+                if self.sbn > MAX_LARGE_BLOCK_SBN {
+                    return Err(FluteError::Malformed {
+                        reason: format!("SBN {} exceeds 12 bits", self.sbn),
+                    });
+                }
+                if self.esi > MAX_LARGE_BLOCK_ESI {
+                    return Err(FluteError::Malformed {
+                        reason: format!("ESI {} exceeds 20 bits", self.esi),
+                    });
+                }
+                Ok(((self.sbn << 20) | self.esi).to_be_bytes())
+            }
+        }
+    }
+
+    /// Decodes for the given FEC Encoding ID.
+    pub fn from_bytes(
+        data: &[u8],
+        encoding: FecEncodingId,
+    ) -> Result<(FecPayloadId, usize), FluteError> {
+        if data.len() < PAYLOAD_ID_LEN {
+            return Err(FluteError::Truncated {
+                what: "FEC payload ID",
+                needed: PAYLOAD_ID_LEN,
+                got: data.len(),
+            });
+        }
+        let word = u32::from_be_bytes(data[..4].try_into().expect("4 bytes"));
+        let id = match encoding {
+            FecEncodingId::SmallBlockSystematic => FecPayloadId {
+                sbn: word >> 16,
+                esi: word & 0xFFFF,
+            },
+            FecEncodingId::LdpcStaircase | FecEncodingId::LdpcTriangle => FecPayloadId {
+                sbn: word >> 20,
+                esi: word & 0xF_FFFF,
+            },
+        };
+        Ok((id, PAYLOAD_ID_LEN))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_block_roundtrip() {
+        let id = FecPayloadId::new(0x1234, 0xFEDC);
+        let wire = id.to_bytes(FecEncodingId::SmallBlockSystematic).unwrap();
+        assert_eq!(wire, [0x12, 0x34, 0xFE, 0xDC]);
+        let (back, n) = FecPayloadId::from_bytes(&wire, FecEncodingId::SmallBlockSystematic).unwrap();
+        assert_eq!((back, n), (id, 4));
+    }
+
+    #[test]
+    fn large_block_packing() {
+        let id = FecPayloadId::new(0, 0xF_FFFF);
+        let wire = id.to_bytes(FecEncodingId::LdpcStaircase).unwrap();
+        assert_eq!(wire, [0x00, 0x0F, 0xFF, 0xFF]);
+        let id2 = FecPayloadId::new(1, 0);
+        assert_eq!(id2.to_bytes(FecEncodingId::LdpcTriangle).unwrap(), [0x00, 0x10, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn range_violations_rejected() {
+        assert!(FecPayloadId::new(1 << 16, 0)
+            .to_bytes(FecEncodingId::SmallBlockSystematic)
+            .is_err());
+        assert!(FecPayloadId::new(0, 1 << 16)
+            .to_bytes(FecEncodingId::SmallBlockSystematic)
+            .is_err());
+        assert!(FecPayloadId::new(1 << 12, 0)
+            .to_bytes(FecEncodingId::LdpcStaircase)
+            .is_err());
+        assert!(FecPayloadId::new(0, 1 << 20)
+            .to_bytes(FecEncodingId::LdpcTriangle)
+            .is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(FecPayloadId::from_bytes(&[1, 2, 3], FecEncodingId::LdpcStaircase).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn small_block_roundtrip_arbitrary(sbn in 0u32..=0xFFFF, esi in 0u32..=0xFFFF) {
+            let id = FecPayloadId::new(sbn, esi);
+            let wire = id.to_bytes(FecEncodingId::SmallBlockSystematic).unwrap();
+            let (back, _) =
+                FecPayloadId::from_bytes(&wire, FecEncodingId::SmallBlockSystematic).unwrap();
+            prop_assert_eq!(back, id);
+        }
+
+        #[test]
+        fn large_block_roundtrip_arbitrary(
+            sbn in 0u32..=MAX_LARGE_BLOCK_SBN,
+            esi in 0u32..=MAX_LARGE_BLOCK_ESI,
+        ) {
+            let id = FecPayloadId::new(sbn, esi);
+            for enc in [FecEncodingId::LdpcStaircase, FecEncodingId::LdpcTriangle] {
+                let wire = id.to_bytes(enc).unwrap();
+                let (back, _) = FecPayloadId::from_bytes(&wire, enc).unwrap();
+                prop_assert_eq!(back, id);
+            }
+        }
+    }
+}

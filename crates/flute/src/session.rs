@@ -1,0 +1,756 @@
+//! FLUTE file-delivery sessions: [`FluteSender`] and [`FluteReceiver`].
+//!
+//! A session (one TSI) carries any number of objects (TOIs), each
+//! FEC-encoded under its own code and schedule, plus the FDT on TOI 0.
+//! The sender is a pure datagram factory — the caller owns pacing and the
+//! actual socket (the paper's systems have no feedback, so there is
+//! nothing else to own). The receiver is a state machine fed raw
+//! datagrams in any order, with any losses and duplications; it starts
+//! decoding an object as soon as it learns the OTI — from EXT_FTI on the
+//! data packets themselves or from an FDT instance, whichever arrives
+//! first — and buffers early data packets until then.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+use fec_core::{CodeKind, CodeSpec, ExpansionRatio, Packet, Receiver as CoreReceiver, Sender as CoreSender};
+use fec_sched::TxModel;
+
+use crate::alc::AlcPacket;
+use crate::fdt::{FdtInstance, FileEntry};
+use crate::fti::{FecEncodingId, ObjectTransmissionInfo};
+use crate::payload_id::FecPayloadId;
+use crate::{FluteError, FDT_TOI};
+
+/// How many data packets a receiver will buffer for an object whose OTI is
+/// still unknown before declaring the session broken.
+const MAX_PRE_OTI_BUFFER: usize = 4096;
+
+/// Sender-side session configuration.
+#[derive(Debug, Clone)]
+pub struct SenderConfig {
+    /// Transport session identifier.
+    pub tsi: u32,
+    /// FDT instance identifier announced with the session's FDT.
+    pub fdt_instance_id: u32,
+    /// FDT `Expires` value (opaque seconds).
+    pub expires: u64,
+    /// Attach EXT_FTI to every data packet (28 bytes of overhead per
+    /// packet, but receivers can decode without ever seeing the FDT —
+    /// the robust choice on lossy channels, and the default).
+    pub fti_in_data_packets: bool,
+    /// Re-send the FDT every `fdt_interval` data packets (0 = only once at
+    /// the start). FDT packets are not FEC-protected, so on lossy channels
+    /// they must be repeated.
+    pub fdt_interval: usize,
+}
+
+impl SenderConfig {
+    /// A sensible default configuration for one session.
+    pub fn new(tsi: u32) -> SenderConfig {
+        SenderConfig {
+            tsi,
+            fdt_instance_id: 0,
+            expires: 0,
+            fti_in_data_packets: true,
+            fdt_interval: 500,
+        }
+    }
+}
+
+struct SessionObject {
+    toi: u32,
+    content_location: String,
+    encoding: FecEncodingId,
+    oti: ObjectTransmissionInfo,
+    sender: CoreSender,
+    tx: TxModel,
+}
+
+/// The sending half of a FLUTE session: owns the encoded objects and emits
+/// wire datagrams in the configured transmission schedule.
+pub struct FluteSender {
+    config: SenderConfig,
+    objects: Vec<SessionObject>,
+}
+
+impl FluteSender {
+    /// Creates an empty session.
+    pub fn new(config: SenderConfig) -> FluteSender {
+        FluteSender {
+            config,
+            objects: Vec::new(),
+        }
+    }
+
+    /// Adds one object to the session, FEC-encoding it immediately.
+    ///
+    /// `toi` must be unique and non-zero; `tx` is the paper-style
+    /// transmission model used for this object's packets.
+    #[allow(clippy::too_many_arguments)] // a deliberate flat config surface
+    pub fn add_object(
+        &mut self,
+        toi: u32,
+        content_location: impl Into<String>,
+        object: &[u8],
+        kind: CodeKind,
+        ratio: ExpansionRatio,
+        symbol_size: usize,
+        matrix_seed: u64,
+        tx: TxModel,
+    ) -> Result<(), FluteError> {
+        if toi == FDT_TOI {
+            return Err(FluteError::Session {
+                reason: "TOI 0 is reserved for the FDT".into(),
+            });
+        }
+        if self.objects.iter().any(|o| o.toi == toi) {
+            return Err(FluteError::Session {
+                reason: format!("duplicate TOI {toi}"),
+            });
+        }
+        let spec = CodeSpec::for_object(kind, ratio, object.len(), symbol_size)?
+            .with_matrix_seed(matrix_seed);
+        let oti = ObjectTransmissionInfo::from_spec(&spec, symbol_size, object.len() as u64)?;
+        let encoding = oti.encoding;
+        let sender = CoreSender::new(spec, object, symbol_size)?;
+        self.objects.push(SessionObject {
+            toi,
+            content_location: content_location.into(),
+            encoding,
+            oti,
+            sender,
+            tx,
+        });
+        Ok(())
+    }
+
+    /// The session's current FDT instance.
+    pub fn fdt(&self) -> FdtInstance {
+        let mut fdt = FdtInstance::new(self.config.fdt_instance_id, self.config.expires);
+        for o in &self.objects {
+            fdt = fdt.with_file(FileEntry::new(o.toi, o.content_location.clone(), o.oti));
+        }
+        fdt
+    }
+
+    /// One FDT announcement datagram.
+    pub fn fdt_datagram(&self) -> Result<Vec<u8>, FluteError> {
+        AlcPacket::fdt(
+            self.config.tsi,
+            self.config.fdt_instance_id,
+            Bytes::from(self.fdt().to_xml().into_bytes()),
+        )
+        .to_bytes()
+    }
+
+    /// Emits the complete session as wire datagrams: FDT first, then every
+    /// object's packets in its schedule (objects back to back), with FDT
+    /// repeats every `fdt_interval` data packets, the `B` flag on each
+    /// object's last packet and the `A` flag on the session's last packet.
+    pub fn datagrams(&self, schedule_seed: u64) -> Result<Vec<Vec<u8>>, FluteError> {
+        let mut out = Vec::new();
+        out.push(self.fdt_datagram()?);
+        let mut since_fdt = 0usize;
+        let last_object = self.objects.len().checked_sub(1);
+        for (oi, object) in self.objects.iter().enumerate() {
+            let order = object
+                .sender
+                .transmission(object.tx, schedule_seed ^ (object.toi as u64) << 32);
+            let last_packet = order.len().checked_sub(1);
+            for (pi, packet) in order.iter().enumerate() {
+                let mut alc = AlcPacket::data(
+                    self.config.tsi,
+                    object.toi,
+                    object.encoding,
+                    FecPayloadId::new(packet.block, packet.esi),
+                    packet.payload.clone(),
+                );
+                if self.config.fti_in_data_packets {
+                    alc = alc.with_fti(object.oti.to_bytes());
+                }
+                if Some(pi) == last_packet {
+                    alc = alc.closing_object();
+                    if Some(oi) == last_object {
+                        alc = alc.closing_session();
+                    }
+                }
+                out.push(alc.to_bytes()?);
+                since_fdt += 1;
+                if self.config.fdt_interval > 0
+                    && since_fdt >= self.config.fdt_interval
+                    && !(Some(pi) == last_packet && Some(oi) == last_object)
+                {
+                    out.push(self.fdt_datagram()?);
+                    since_fdt = 0;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total data packets the session will emit (excluding FDT repeats).
+    pub fn data_packet_count(&self) -> u64 {
+        self.objects.iter().map(|o| o.sender.packet_count()).sum()
+    }
+}
+
+/// Decoding status of one object at the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectStatus {
+    /// Packets seen, but no OTI yet (neither EXT_FTI nor FDT entry).
+    AwaitingOti,
+    /// Decoding in progress.
+    Decoding,
+    /// Fully decoded; the object bytes are available.
+    Complete,
+    /// The sender closed the object (`B` flag) before we could decode it.
+    ClosedIncomplete,
+}
+
+struct ObjectState {
+    oti: Option<ObjectTransmissionInfo>,
+    receiver: Option<CoreReceiver>,
+    /// Data packets held until the OTI is known.
+    pre_oti: Vec<(FecPayloadId, Bytes)>,
+    decoded: Option<Vec<u8>>,
+    packets_received: u64,
+    closed: bool,
+}
+
+impl ObjectState {
+    fn new() -> ObjectState {
+        ObjectState {
+            oti: None,
+            receiver: None,
+            pre_oti: Vec::new(),
+            decoded: None,
+            packets_received: 0,
+            closed: false,
+        }
+    }
+
+    fn status(&self) -> ObjectStatus {
+        if self.decoded.is_some() {
+            ObjectStatus::Complete
+        } else if self.closed {
+            ObjectStatus::ClosedIncomplete
+        } else if self.oti.is_none() {
+            ObjectStatus::AwaitingOti
+        } else {
+            ObjectStatus::Decoding
+        }
+    }
+
+    /// Learns the OTI (idempotent; conflicting OTIs are an error).
+    fn set_oti(&mut self, oti: ObjectTransmissionInfo) -> Result<(), FluteError> {
+        match self.oti {
+            Some(existing) if existing != oti => Err(FluteError::Session {
+                reason: "conflicting OTI for the same TOI".into(),
+            }),
+            Some(_) => Ok(()),
+            None => {
+                let spec = oti.code_spec()?;
+                let receiver = CoreReceiver::new(
+                    spec,
+                    oti.transfer_length as usize,
+                    oti.symbol_size as usize,
+                )?;
+                self.oti = Some(oti);
+                self.receiver = Some(receiver);
+                // Drain everything buffered before the OTI arrived.
+                for (id, payload) in std::mem::take(&mut self.pre_oti) {
+                    self.feed(id, payload)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn feed(&mut self, id: FecPayloadId, payload: Bytes) -> Result<(), FluteError> {
+        if self.decoded.is_some() {
+            return Ok(()); // late duplicates after completion are normal
+        }
+        let Some(receiver) = self.receiver.as_mut() else {
+            if self.pre_oti.len() >= MAX_PRE_OTI_BUFFER {
+                return Err(FluteError::Session {
+                    reason: format!(
+                        "{MAX_PRE_OTI_BUFFER} packets buffered with no OTI in sight"
+                    ),
+                });
+            }
+            self.pre_oti.push((id, payload));
+            return Ok(());
+        };
+        let progress = receiver.push(&Packet::new(id.sbn, id.esi, payload))?;
+        if progress.is_decoded() {
+            let receiver = self.receiver.take().expect("just used it");
+            self.decoded = Some(receiver.into_object()?);
+        }
+        Ok(())
+    }
+}
+
+/// What a pushed datagram did to the session state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverEvent {
+    /// A new FDT instance was accepted.
+    FdtReceived,
+    /// A stale or duplicate FDT was ignored.
+    FdtIgnored,
+    /// A data packet advanced (or duplicated into) the given TOI.
+    ObjectProgress {
+        /// The object the packet belonged to.
+        toi: u32,
+    },
+    /// The given TOI just finished decoding.
+    ObjectComplete {
+        /// The object that completed.
+        toi: u32,
+    },
+    /// A packet for another session (TSI mismatch) was ignored.
+    ForeignSession,
+}
+
+/// The receiving half of a FLUTE session.
+pub struct FluteReceiver {
+    tsi: u32,
+    fdt: Option<FdtInstance>,
+    objects: HashMap<u32, ObjectState>,
+    session_closed: bool,
+}
+
+impl FluteReceiver {
+    /// Creates a receiver joined to session `tsi`.
+    pub fn new(tsi: u32) -> FluteReceiver {
+        FluteReceiver {
+            tsi,
+            fdt: None,
+            objects: HashMap::new(),
+            session_closed: false,
+        }
+    }
+
+    /// Feeds one raw datagram (as read from the socket).
+    pub fn push_datagram(&mut self, datagram: &[u8]) -> Result<ReceiverEvent, FluteError> {
+        let packet = AlcPacket::from_bytes(datagram)?;
+        if packet.header.tsi != self.tsi {
+            return Ok(ReceiverEvent::ForeignSession);
+        }
+        if packet.header.close_session {
+            self.session_closed = true;
+        }
+        if packet.header.toi == FDT_TOI {
+            return self.accept_fdt(&packet);
+        }
+
+        let toi = packet.header.toi;
+        let state = self.objects.entry(toi).or_insert_with(ObjectState::new);
+        if packet.header.close_object {
+            state.closed = true;
+        }
+        let was_complete = state.decoded.is_some();
+        state.packets_received += 1;
+
+        // EXT_FTI on the packet lets decoding start before any FDT arrives.
+        if state.oti.is_none() {
+            if let Some(blob) = packet.fti_blob() {
+                state.set_oti(ObjectTransmissionInfo::from_bytes(blob)?)?;
+            }
+        }
+        let id = packet.payload_id.expect("data packets carry a payload ID");
+        state.feed(id, packet.payload)?;
+
+        if !was_complete && state.decoded.is_some() {
+            Ok(ReceiverEvent::ObjectComplete { toi })
+        } else {
+            Ok(ReceiverEvent::ObjectProgress { toi })
+        }
+    }
+
+    fn accept_fdt(&mut self, packet: &AlcPacket) -> Result<ReceiverEvent, FluteError> {
+        let instance_id = packet.fdt_instance_id().ok_or_else(|| FluteError::Session {
+            reason: "FDT packet without EXT_FDT".into(),
+        })?;
+        if let Some(existing) = &self.fdt {
+            if existing.instance_id >= instance_id {
+                return Ok(ReceiverEvent::FdtIgnored);
+            }
+        }
+        let text = std::str::from_utf8(&packet.payload).map_err(|_| FluteError::Xml {
+            reason: "FDT payload is not UTF-8".into(),
+        })?;
+        let fdt = FdtInstance::from_xml_with_id(text, instance_id)?;
+        // Every listed file whose OTI we did not know yet can start
+        // decoding; for files already decoding, this cross-checks that the
+        // FDT agrees with the EXT_FTI we acted on (set_oti is idempotent
+        // and rejects conflicts).
+        for file in &fdt.files {
+            let state = self.objects.entry(file.toi).or_insert_with(ObjectState::new);
+            state.set_oti(file.oti)?;
+        }
+        self.fdt = Some(fdt);
+        Ok(ReceiverEvent::FdtReceived)
+    }
+
+    /// The most recent FDT instance, if any arrived.
+    pub fn fdt(&self) -> Option<&FdtInstance> {
+        self.fdt.as_ref()
+    }
+
+    /// Whether the sender has signalled the end of the session (`A` flag).
+    pub fn session_closed(&self) -> bool {
+        self.session_closed
+    }
+
+    /// Status of one object.
+    pub fn object_status(&self, toi: u32) -> Option<ObjectStatus> {
+        self.objects.get(&toi).map(ObjectState::status)
+    }
+
+    /// Data packets received for one object (duplicates included).
+    pub fn packets_received(&self, toi: u32) -> u64 {
+        self.objects.get(&toi).map_or(0, |s| s.packets_received)
+    }
+
+    /// Borrows a decoded object's bytes.
+    pub fn object(&self, toi: u32) -> Option<&[u8]> {
+        self.objects.get(&toi).and_then(|s| s.decoded.as_deref())
+    }
+
+    /// Removes and returns a decoded object.
+    pub fn take_object(&mut self, toi: u32) -> Option<Vec<u8>> {
+        self.objects.get_mut(&toi).and_then(|s| s.decoded.take())
+    }
+
+    /// True once every file listed in the FDT is decoded. False while no
+    /// FDT has been received (we cannot know the session's contents).
+    pub fn all_complete(&self) -> bool {
+        match &self.fdt {
+            None => false,
+            Some(fdt) => fdt.files.iter().all(|f| {
+                self.objects
+                    .get(&f.toi)
+                    .is_some_and(|s| s.decoded.is_some())
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session_with_object(data: &[u8], tx: TxModel) -> FluteSender {
+        let mut sender = FluteSender::new(SenderConfig::new(7));
+        sender
+            .add_object(
+                1,
+                "file:///demo.bin",
+                data,
+                CodeKind::LdgmStaircase,
+                ExpansionRatio::R2_5,
+                16,
+                99,
+                tx,
+            )
+            .unwrap();
+        sender
+    }
+
+    fn object_bytes(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 % 251) as u8).collect()
+    }
+
+    #[test]
+    fn lossless_delivery_roundtrip() {
+        let data = object_bytes(1000);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut receiver = FluteReceiver::new(7);
+        let mut completed = false;
+        for dg in sender.datagrams(5).unwrap() {
+            if let ReceiverEvent::ObjectComplete { toi } = receiver.push_datagram(&dg).unwrap() {
+                assert_eq!(toi, 1);
+                completed = true;
+            }
+        }
+        assert!(completed);
+        assert!(receiver.all_complete());
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+        assert_eq!(receiver.take_object(1).unwrap(), data);
+        assert!(receiver.session_closed());
+        // FDT metadata arrived too.
+        assert_eq!(
+            receiver.fdt().unwrap().file(1).unwrap().content_location,
+            "file:///demo.bin"
+        );
+    }
+
+    #[test]
+    fn decodes_without_fdt_via_ext_fti() {
+        let data = object_bytes(500);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut receiver = FluteReceiver::new(7);
+        for dg in sender.datagrams(5).unwrap() {
+            // Drop every FDT packet: EXT_FTI alone must carry the day.
+            let packet = AlcPacket::from_bytes(&dg).unwrap();
+            if packet.header.toi == FDT_TOI {
+                continue;
+            }
+            receiver.push_datagram(&dg).unwrap();
+        }
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+        // But without an FDT the receiver cannot declare the session done.
+        assert!(!receiver.all_complete());
+    }
+
+    #[test]
+    fn decodes_from_fdt_when_data_has_no_fti() {
+        let data = object_bytes(500);
+        let mut config = SenderConfig::new(7);
+        config.fti_in_data_packets = false;
+        let mut sender = FluteSender::new(config);
+        sender
+            .add_object(
+                1,
+                "x",
+                &data,
+                CodeKind::Rse,
+                ExpansionRatio::R1_5,
+                16,
+                0,
+                TxModel::Interleaved,
+            )
+            .unwrap();
+        let mut receiver = FluteReceiver::new(7);
+        for dg in sender.datagrams(1).unwrap() {
+            receiver.push_datagram(&dg).unwrap();
+        }
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn buffers_data_until_late_fdt() {
+        let data = object_bytes(300);
+        let mut config = SenderConfig::new(7);
+        config.fti_in_data_packets = false;
+        config.fdt_interval = 0;
+        let mut sender = FluteSender::new(config);
+        sender
+            .add_object(
+                1,
+                "x",
+                &data,
+                CodeKind::LdgmTriangle,
+                ExpansionRatio::R2_5,
+                8,
+                1,
+                TxModel::Random,
+            )
+            .unwrap();
+        let datagrams = sender.datagrams(3).unwrap();
+        let mut receiver = FluteReceiver::new(7);
+        // Deliver the data first (skipping the leading FDT and the final
+        // B-flagged packet), then the FDT last.
+        for dg in &datagrams[1..datagrams.len() - 1] {
+            receiver.push_datagram(dg).unwrap();
+        }
+        assert_eq!(receiver.object_status(1), Some(ObjectStatus::AwaitingOti));
+        receiver.push_datagram(&datagrams[0]).unwrap();
+        assert_eq!(receiver.object_status(1), Some(ObjectStatus::Complete));
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn multi_object_session() {
+        let a = object_bytes(400);
+        let b = object_bytes(777);
+        let mut sender = FluteSender::new(SenderConfig::new(3));
+        sender
+            .add_object(
+                1,
+                "a",
+                &a,
+                CodeKind::LdgmStaircase,
+                ExpansionRatio::R2_5,
+                16,
+                5,
+                TxModel::Random,
+            )
+            .unwrap();
+        sender
+            .add_object(
+                2,
+                "b",
+                &b,
+                CodeKind::Rse,
+                ExpansionRatio::R1_5,
+                32,
+                0,
+                TxModel::Interleaved,
+            )
+            .unwrap();
+        let mut receiver = FluteReceiver::new(3);
+        for dg in sender.datagrams(8).unwrap() {
+            receiver.push_datagram(&dg).unwrap();
+        }
+        assert!(receiver.all_complete());
+        assert_eq!(receiver.object(1).unwrap(), &a[..]);
+        assert_eq!(receiver.object(2).unwrap(), &b[..]);
+    }
+
+    #[test]
+    fn survives_loss_reorder_and_duplication() {
+        use rand::rngs::SmallRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+
+        let data = object_bytes(1200);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut datagrams = sender.datagrams(11).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        // Lose 20%, duplicate 10%, shuffle everything.
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        for dg in datagrams.drain(..) {
+            if rng.gen_bool(0.2) {
+                continue;
+            }
+            if rng.gen_bool(0.1) {
+                delivered.push(dg.clone());
+            }
+            delivered.push(dg);
+        }
+        delivered.shuffle(&mut rng);
+        let mut receiver = FluteReceiver::new(7);
+        for dg in &delivered {
+            receiver.push_datagram(dg).unwrap();
+        }
+        assert_eq!(receiver.object(1).unwrap(), &data[..], "ratio 2.5 absorbs 20% loss");
+    }
+
+    #[test]
+    fn foreign_tsi_ignored() {
+        let sender = session_with_object(&object_bytes(100), TxModel::Random);
+        let mut receiver = FluteReceiver::new(999); // different session
+        for dg in sender.datagrams(1).unwrap() {
+            assert_eq!(
+                receiver.push_datagram(&dg).unwrap(),
+                ReceiverEvent::ForeignSession
+            );
+        }
+        assert!(receiver.object(1).is_none());
+    }
+
+    #[test]
+    fn stale_fdt_instances_ignored() {
+        let sender = session_with_object(&object_bytes(100), TxModel::Random);
+        let fdt_dg = sender.fdt_datagram().unwrap();
+        let mut receiver = FluteReceiver::new(7);
+        assert_eq!(receiver.push_datagram(&fdt_dg).unwrap(), ReceiverEvent::FdtReceived);
+        assert_eq!(receiver.push_datagram(&fdt_dg).unwrap(), ReceiverEvent::FdtIgnored);
+    }
+
+    #[test]
+    fn closed_incomplete_object_reports_status() {
+        let data = object_bytes(800);
+        let sender = session_with_object(&data, TxModel::Random);
+        let datagrams = sender.datagrams(2).unwrap();
+        let mut receiver = FluteReceiver::new(7);
+        // Deliver only the very last datagram (B flag), nothing else.
+        receiver.push_datagram(datagrams.last().unwrap()).unwrap();
+        assert_eq!(
+            receiver.object_status(1),
+            Some(ObjectStatus::ClosedIncomplete)
+        );
+        assert!(receiver.session_closed());
+    }
+
+    #[test]
+    fn sender_validation() {
+        let mut sender = FluteSender::new(SenderConfig::new(1));
+        assert!(sender
+            .add_object(
+                0,
+                "x",
+                b"data",
+                CodeKind::LdgmStaircase,
+                ExpansionRatio::R2_5,
+                4,
+                1,
+                TxModel::Random
+            )
+            .is_err());
+        sender
+            .add_object(
+                5,
+                "x",
+                &object_bytes(64),
+                CodeKind::LdgmStaircase,
+                ExpansionRatio::R2_5,
+                4,
+                1,
+                TxModel::Random,
+            )
+            .unwrap();
+        assert!(
+            sender
+                .add_object(
+                    5,
+                    "y",
+                    &object_bytes(64),
+                    CodeKind::LdgmStaircase,
+                    ExpansionRatio::R2_5,
+                    4,
+                    1,
+                    TxModel::Random
+                )
+                .is_err(),
+            "duplicate TOI"
+        );
+    }
+
+    #[test]
+    fn conflicting_oti_is_an_error() {
+        let data = object_bytes(256);
+        let sender = session_with_object(&data, TxModel::Random);
+        let datagrams = sender.datagrams(1).unwrap();
+        // Datagram 0 is the FDT; datagram 1 is data with EXT_FTI.
+        let mut receiver = FluteReceiver::new(7);
+        receiver.push_datagram(&datagrams[1]).unwrap();
+        // Forge an FDT advertising a different symbol size for TOI 1.
+        let mut fdt = sender.fdt();
+        fdt.instance_id += 1;
+        fdt.files[0].oti.symbol_size *= 2;
+        let forged = AlcPacket::fdt(7, fdt.instance_id, Bytes::from(fdt.to_xml().into_bytes()));
+        assert!(receiver.push_datagram(&forged.to_bytes().unwrap()).is_err());
+    }
+
+    #[test]
+    fn fdt_interval_repeats_fdt() {
+        let data = object_bytes(2000);
+        let mut config = SenderConfig::new(7);
+        config.fdt_interval = 10;
+        let mut sender = FluteSender::new(config);
+        sender
+            .add_object(
+                1,
+                "x",
+                &data,
+                CodeKind::LdgmStaircase,
+                ExpansionRatio::R2_5,
+                8,
+                1,
+                TxModel::Random,
+            )
+            .unwrap();
+        let fdt_count = sender
+            .datagrams(1)
+            .unwrap()
+            .iter()
+            .filter(|dg| AlcPacket::from_bytes(dg).unwrap().header.toi == FDT_TOI)
+            .count();
+        // 250 source symbols -> 625 packets -> 1 leading + ~62 repeats.
+        assert!(fdt_count > 50, "only {fdt_count} FDT datagrams");
+    }
+}

@@ -1,0 +1,534 @@
+//! GF(2^16): the extension field the paper decides *against* (§2.2).
+//!
+//! The paper keeps Reed-Solomon on GF(2^8) — capping blocks at `n ≤ 255`
+//! packets and paying the coupon-collector penalty — because GF(2^16)
+//! arithmetic has "a huge encoding/decoding time". This module exists to
+//! put numbers on that sentence: `fec-rse`'s [`Rse16Codec`] builds a
+//! single-block MDS code over this field (no blocking, no coupon
+//! collector), and the `ablation_gf216` bench measures both sides of the
+//! trade.
+//!
+//! [`Rse16Codec`]: ../../fec_rse/struct.Rse16Codec.html
+//!
+//! Unlike [`crate::Gf256`], whose 64 KiB multiplication table is baked in
+//! at compile time, GF(2^16) would need 8 GiB for the same trick — exactly
+//! the cost asymmetry the paper is talking about. Multiplication here goes
+//! through runtime-initialised log/exp tables (384 KiB, built once behind a
+//! `OnceLock`), so every product pays two lookups, an add, and a branch.
+//!
+//! The primitive polynomial is `x^16 + x^12 + x^3 + x + 1` (`0x1100B`),
+//! the standard choice (CCSDS, DVB).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Sub, SubAssign};
+use std::sync::OnceLock;
+
+/// Number of elements in the field (2^16).
+pub const FIELD16_SIZE: usize = 1 << 16;
+
+/// Multiplicative order: every non-zero element satisfies `x^65535 = 1`.
+/// This bounds the block length of a GF(2^16) Reed-Solomon code.
+pub const MUL16_ORDER: usize = FIELD16_SIZE - 1;
+
+const POLY: u32 = 0x1100B;
+
+struct Tables {
+    /// `exp[i] = alpha^i` for `i` in `0..2 * 65535` (doubled so a log sum
+    /// never needs a modulo).
+    exp: Vec<u16>,
+    /// `log[x]` for `x != 0`; `log[0]` is a poisoned 0 never read.
+    log: Vec<u16>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * MUL16_ORDER];
+        let mut log = vec![0u16; FIELD16_SIZE];
+        let mut x: u32 = 1;
+        for i in 0..MUL16_ORDER {
+            exp[i] = x as u16;
+            exp[i + MUL16_ORDER] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x1_0000 != 0 {
+                x ^= POLY;
+            }
+        }
+        debug_assert_eq!(x, 1, "alpha must have order 65535 (primitive poly)");
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2^16) over `0x1100B`.
+///
+/// ```
+/// use fec_gf256::Gf2p16;
+/// let a = Gf2p16(0x1234);
+/// let b = Gf2p16(0x0057);
+/// assert_eq!((a * b) / b, a);
+/// assert_eq!(a + a, Gf2p16::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct Gf2p16(pub u16);
+
+impl Gf2p16 {
+    /// The additive identity.
+    pub const ZERO: Gf2p16 = Gf2p16(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf2p16 = Gf2p16(1);
+    /// The field generator `alpha = 2`.
+    pub const ALPHA: Gf2p16 = Gf2p16(2);
+
+    /// Returns `alpha^i` (exponent taken modulo 65535).
+    #[inline]
+    pub fn alpha_pow(i: usize) -> Gf2p16 {
+        Gf2p16(tables().exp[i % MUL16_ORDER])
+    }
+
+    /// Discrete log base `alpha`, or `None` for zero.
+    #[inline]
+    pub fn log(self) -> Option<u16> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(tables().log[self.0 as usize])
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero (an inversion of zero is always a caller bug).
+    #[inline]
+    pub fn inv(self) -> Gf2p16 {
+        let l = self.log().expect("inverse of zero");
+        Gf2p16(tables().exp[MUL16_ORDER - l as usize])
+    }
+
+    /// Exponentiation by squaring-free table walk.
+    pub fn pow(self, e: u32) -> Gf2p16 {
+        if self.0 == 0 {
+            return if e == 0 { Gf2p16::ONE } else { Gf2p16::ZERO };
+        }
+        let l = tables().log[self.0 as usize] as u64;
+        Gf2p16(tables().exp[((l * e as u64) % MUL16_ORDER as u64) as usize])
+    }
+
+    /// True for the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // XOR IS field addition in GF(2^16)
+impl Add for Gf2p16 {
+    type Output = Gf2p16;
+    #[inline]
+    fn add(self, rhs: Gf2p16) -> Gf2p16 {
+        Gf2p16(self.0 ^ rhs.0)
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // XOR IS field addition in GF(2^16)
+impl Sub for Gf2p16 {
+    type Output = Gf2p16;
+    #[inline]
+    fn sub(self, rhs: Gf2p16) -> Gf2p16 {
+        Gf2p16(self.0 ^ rhs.0)
+    }
+}
+
+impl Mul for Gf2p16 {
+    type Output = Gf2p16;
+    #[inline]
+    fn mul(self, rhs: Gf2p16) -> Gf2p16 {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf2p16::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize;
+        Gf2p16(t.exp[idx])
+    }
+}
+
+impl Div for Gf2p16 {
+    type Output = Gf2p16;
+    #[inline]
+    fn div(self, rhs: Gf2p16) -> Gf2p16 {
+        let rl = rhs.log().expect("division by zero") as usize;
+        if self.0 == 0 {
+            return Gf2p16::ZERO;
+        }
+        let t = tables();
+        let idx = t.log[self.0 as usize] as usize + MUL16_ORDER - rl;
+        Gf2p16(t.exp[idx])
+    }
+}
+
+impl AddAssign for Gf2p16 {
+    fn add_assign(&mut self, rhs: Gf2p16) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Gf2p16 {
+    fn sub_assign(&mut self, rhs: Gf2p16) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Gf2p16 {
+    fn mul_assign(&mut self, rhs: Gf2p16) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Gf2p16 {
+    fn div_assign(&mut self, rhs: Gf2p16) {
+        *self = *self / rhs;
+    }
+}
+
+impl fmt::Debug for Gf2p16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2p16(0x{:04X})", self.0)
+    }
+}
+
+impl fmt::Display for Gf2p16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04X}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Symbol kernels: symbols are &[u16] (the codec converts wire bytes).
+// ---------------------------------------------------------------------------
+
+/// `dst[i] ^= c * src[i]` over GF(2^16) symbols.
+pub fn addmul_slice16(dst: &mut [Gf2p16], src: &[Gf2p16], c: Gf2p16) {
+    assert_eq!(dst.len(), src.len(), "symbol length mismatch");
+    if c.is_zero() {
+        return;
+    }
+    if c == Gf2p16::ONE {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += *s;
+        }
+        return;
+    }
+    // Hoist the log of c; each element still pays a log + exp lookup —
+    // this is the slowness the paper cites, measured in `speed_codecs`.
+    let t = tables();
+    let cl = t.log[c.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if s.0 != 0 {
+            d.0 ^= t.exp[cl + t.log[s.0 as usize] as usize];
+        }
+    }
+}
+
+/// `out = Σ coeffs[j] * symbols[j]` over GF(2^16).
+pub fn dot_product16(out: &mut [Gf2p16], coeffs: &[Gf2p16], symbols: &[&[Gf2p16]]) {
+    assert_eq!(coeffs.len(), symbols.len(), "one coefficient per symbol");
+    out.fill(Gf2p16::ZERO);
+    for (&c, &sym) in coeffs.iter().zip(symbols) {
+        addmul_slice16(out, sym, c);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense matrix over GF(2^16) (the small subset Rse16Codec needs).
+// ---------------------------------------------------------------------------
+
+/// A dense row-major matrix over GF(2^16) with the operations a systematic
+/// Vandermonde RSE codec needs: construction, row selection, multiplication
+/// and Gauss-Jordan inversion.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix16 {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf2p16>,
+}
+
+impl Matrix16 {
+    /// All-zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Matrix16 {
+        Matrix16 {
+            rows,
+            cols,
+            data: vec![Gf2p16::ZERO; rows * cols],
+        }
+    }
+
+    /// The `rows × cols` Vandermonde matrix `V[i][j] = (alpha^i)^j`.
+    ///
+    /// # Panics
+    /// Panics if `rows > 65535` (evaluation points stop being distinct).
+    pub fn vandermonde(rows: usize, cols: usize) -> Matrix16 {
+        assert!(rows <= MUL16_ORDER, "at most 65535 distinct points");
+        let mut m = Matrix16::zero(rows, cols);
+        for i in 0..rows {
+            let x = Gf2p16::alpha_pow(i);
+            let mut acc = Gf2p16::ONE;
+            for j in 0..cols {
+                m.data[i * cols + j] = acc;
+                acc *= x;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `i`.
+    pub fn row(&self, i: usize) -> &[Gf2p16] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    pub fn get(&self, i: usize, j: usize) -> Gf2p16 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets an element.
+    pub fn set(&mut self, i: usize, j: usize, v: Gf2p16) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// A new matrix from the given rows of this one.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix16 {
+        let mut m = Matrix16::zero(rows.len(), self.cols);
+        for (ri, &r) in rows.iter().enumerate() {
+            m.data[ri * self.cols..(ri + 1) * self.cols].copy_from_slice(self.row(r));
+        }
+        m
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch (caller bug, not data).
+    pub fn mul(&self, rhs: &Matrix16) -> Matrix16 {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch");
+        let mut out = Matrix16::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.get(i, l);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let v = out.get(i, j) + a * rhs.get(l, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Gauss-Jordan inverse, or `None` if singular. Cubic — the cost the
+    /// paper warns about, since a GF(2^16) decode inverts a `k × k` block.
+    pub fn inverted(&self) -> Option<Matrix16> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix16::zero(n, n);
+        for i in 0..n {
+            inv.set(i, i, Gf2p16::ONE);
+        }
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| !a.get(r, col).is_zero())?;
+            if pivot != col {
+                for j in 0..n {
+                    let (x, y) = (a.get(pivot, j), a.get(col, j));
+                    a.set(pivot, j, y);
+                    a.set(col, j, x);
+                    let (x, y) = (inv.get(pivot, j), inv.get(col, j));
+                    inv.set(pivot, j, y);
+                    inv.set(col, j, x);
+                }
+            }
+            let p_inv = a.get(col, col).inv();
+            for j in 0..n {
+                a.set(col, j, a.get(col, j) * p_inv);
+                inv.set(col, j, inv.get(col, j) * p_inv);
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = a.get(r, j) + factor * a.get(col, j);
+                    a.set(r, j, v);
+                    let v = inv.get(r, j) + factor * inv.get(col, j);
+                    inv.set(r, j, v);
+                }
+            }
+        }
+        Some(inv)
+    }
+}
+
+impl fmt::Debug for Matrix16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix16({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_generation_is_consistent() {
+        let t = tables();
+        // alpha is primitive: the exp table visits every non-zero element.
+        assert_eq!(t.exp[0], 1);
+        assert_eq!(t.exp[MUL16_ORDER - 1], Gf2p16::ALPHA.inv().0);
+        // log/exp are inverse bijections.
+        for x in 1u32..=20 {
+            let e = Gf2p16(x as u16);
+            assert_eq!(Gf2p16::alpha_pow(e.log().unwrap() as usize), e);
+        }
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Gf2p16(0x1234);
+        let b = Gf2p16(0xABCD);
+        let c = Gf2p16(0x00FF);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a * Gf2p16::ONE, a);
+        assert_eq!(a + Gf2p16::ZERO, a);
+        assert_eq!(a * a.inv(), Gf2p16::ONE);
+        assert_eq!(a - a, Gf2p16::ZERO);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = Gf2p16(0x0BAD);
+        let mut acc = Gf2p16::ONE;
+        for e in 0..20u32 {
+            assert_eq!(a.pow(e), acc, "exponent {e}");
+            acc *= a;
+        }
+        assert_eq!(a.pow(MUL16_ORDER as u32), Gf2p16::ONE, "Fermat");
+        assert_eq!(Gf2p16::ZERO.pow(0), Gf2p16::ONE);
+        assert_eq!(Gf2p16::ZERO.pow(5), Gf2p16::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_inverse_panics() {
+        let _ = Gf2p16::ZERO.inv();
+    }
+
+    #[test]
+    fn addmul_kernel_matches_scalar_ops() {
+        let src: Vec<Gf2p16> = (0..32u16).map(|i| Gf2p16(i * 2049 + 1)).collect();
+        let mut dst: Vec<Gf2p16> = (0..32u16).map(|i| Gf2p16(i * 777)).collect();
+        let expect: Vec<Gf2p16> = dst
+            .iter()
+            .zip(&src)
+            .map(|(&d, &s)| d + s * Gf2p16(0x1357))
+            .collect();
+        addmul_slice16(&mut dst, &src, Gf2p16(0x1357));
+        assert_eq!(dst, expect);
+        // c = 0 and c = 1 fast paths.
+        let snapshot = dst.clone();
+        addmul_slice16(&mut dst, &src, Gf2p16::ZERO);
+        assert_eq!(dst, snapshot);
+        let expect: Vec<Gf2p16> = dst.iter().zip(&src).map(|(&d, &s)| d + s).collect();
+        addmul_slice16(&mut dst, &src, Gf2p16::ONE);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn vandermonde_shape_and_values() {
+        let v = Matrix16::vandermonde(5, 3);
+        for i in 0..5 {
+            assert_eq!(v.get(i, 0), Gf2p16::ONE);
+            assert_eq!(v.get(i, 1), Gf2p16::alpha_pow(i));
+            assert_eq!(v.get(i, 2), Gf2p16::alpha_pow(i) * Gf2p16::alpha_pow(i));
+        }
+    }
+
+    #[test]
+    fn inversion_roundtrip() {
+        let v = Matrix16::vandermonde(6, 6);
+        let inv = v.inverted().expect("Vandermonde is invertible");
+        let prod = v.mul(&inv);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(
+                    prod.get(i, j),
+                    if i == j { Gf2p16::ONE } else { Gf2p16::ZERO }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut m = Matrix16::zero(3, 3);
+        // Two identical rows.
+        for j in 0..3 {
+            m.set(0, j, Gf2p16(j as u16 + 1));
+            m.set(1, j, Gf2p16(j as u16 + 1));
+            m.set(2, j, Gf2p16(j as u16 + 7));
+        }
+        assert!(m.inverted().is_none());
+        assert!(Matrix16::zero(2, 3).inverted().is_none(), "non-square");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Field axioms on arbitrary elements.
+        #[test]
+        fn axioms_arbitrary(a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+            let (a, b, c) = (Gf2p16(a), Gf2p16(b), Gf2p16(c));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.inv(), Gf2p16::ONE);
+                prop_assert_eq!((a * b) / a, b);
+            }
+        }
+
+        /// Any square Vandermonde sub-matrix on distinct points inverts.
+        #[test]
+        fn vandermonde_subsets_invert(
+            mut rows in proptest::collection::hash_set(0usize..64, 2..8),
+        ) {
+            let picked: Vec<usize> = {
+                let mut v: Vec<usize> = rows.drain().collect();
+                v.sort_unstable();
+                v
+            };
+            let v = Matrix16::vandermonde(64, picked.len());
+            let sub = v.select_rows(&picked);
+            prop_assert!(sub.inverted().is_some());
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Hot slice kernels: the operations that touch actual packet payloads.
+//!
+//! Erasure coding spends essentially all of its byte-moving time in two
+//! primitives: `dst ^= src` (the only one LDGM ever needs) and
+//! `dst ^= c * src` (the Reed-Solomon generator/decoder inner loop). Both are
+//! implemented here on raw byte slices, with the XOR path widened to `u64`
+//! lanes (safe code only; `chunks_exact` keeps the compiler happy and lets it
+//! auto-vectorise further).
+
+use crate::tables::MUL;
+
+/// `dst[i] ^= src[i]` for all `i`.
+///
+/// This is GF(2^8) (and GF(2)) addition over whole packets — the only payload
+/// operation LDGM encoding and decoding performs.
+///
+/// # Panics
+/// Panics if the slices have different lengths (mixed packet sizes are a
+/// framing bug upstream).
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "xor_slice: length mismatch ({} vs {})",
+        dst.len(),
+        src.len()
+    );
+    const LANE: usize = 8;
+    let n = dst.len() / LANE * LANE;
+    let (dst_main, dst_tail) = dst.split_at_mut(n);
+    let (src_main, src_tail) = src.split_at(n);
+    for (d, s) in dst_main
+        .chunks_exact_mut(LANE)
+        .zip(src_main.chunks_exact(LANE))
+    {
+        let mut x = u64::from_ne_bytes(d.try_into().expect("exact chunk"));
+        x ^= u64::from_ne_bytes(s.try_into().expect("exact chunk"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+        *d ^= s;
+    }
+}
+
+/// `dst[i] = c * dst[i]` for all `i` (in-place scaling).
+pub fn mul_slice(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let row = &MUL[c as usize];
+            for d in dst {
+                *d = row[*d as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= c * src[i]` for all `i` — the Reed-Solomon workhorse.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn addmul_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "addmul_slice: length mismatch ({} vs {})",
+        dst.len(),
+        src.len()
+    );
+    match c {
+        0 => {}
+        1 => xor_slice(dst, src),
+        _ => {
+            let row = &MUL[c as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= row[*s as usize];
+            }
+        }
+    }
+}
+
+/// Dot product of a coefficient row with a set of symbol slices:
+/// `out = sum_i coeffs[i] * symbols[i]`.
+///
+/// `out` is cleared first. Empty input leaves `out` all-zero.
+///
+/// # Panics
+/// Panics if `coeffs` and `symbols` have different lengths, or if any symbol
+/// length differs from `out`.
+pub fn dot_product(out: &mut [u8], coeffs: &[u8], symbols: &[&[u8]]) {
+    assert_eq!(
+        coeffs.len(),
+        symbols.len(),
+        "dot_product: {} coefficients for {} symbols",
+        coeffs.len(),
+        symbols.len()
+    );
+    out.fill(0);
+    for (&c, s) in coeffs.iter().zip(symbols) {
+        addmul_slice(out, s, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gf256;
+    use proptest::prelude::*;
+
+    #[test]
+    fn xor_slice_basic() {
+        let mut a = vec![0xFFu8; 20];
+        let b: Vec<u8> = (0..20).collect();
+        xor_slice(&mut a, &b);
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(x, 0xFF ^ i as u8);
+        }
+    }
+
+    #[test]
+    fn xor_slice_empty() {
+        let mut a: Vec<u8> = vec![];
+        xor_slice(&mut a, &[]);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_slice_length_mismatch_panics() {
+        let mut a = [0u8; 3];
+        xor_slice(&mut a, &[0u8; 4]);
+    }
+
+    #[test]
+    fn mul_slice_special_cases() {
+        let mut a = vec![1u8, 2, 3, 0xFF];
+        mul_slice(&mut a, 1);
+        assert_eq!(a, vec![1, 2, 3, 0xFF]);
+        mul_slice(&mut a, 0);
+        assert_eq!(a, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn addmul_with_zero_is_noop() {
+        let mut a = vec![5u8; 9];
+        addmul_slice(&mut a, &[7u8; 9], 0);
+        assert_eq!(a, vec![5u8; 9]);
+    }
+
+    proptest! {
+        /// The widened XOR path must agree with the scalar definition for all
+        /// lengths, including ragged tails.
+        #[test]
+        fn xor_slice_matches_scalar(mut dst in proptest::collection::vec(any::<u8>(), 0..70),
+                                    seed in any::<u64>()) {
+            let src: Vec<u8> = (0..dst.len())
+                .map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8)
+                .collect();
+            let expect: Vec<u8> = dst.iter().zip(&src).map(|(a, b)| a ^ b).collect();
+            xor_slice(&mut dst, &src);
+            prop_assert_eq!(dst, expect);
+        }
+
+        #[test]
+        fn addmul_matches_field_arithmetic(mut dst in proptest::collection::vec(any::<u8>(), 0..70),
+                                           c in any::<u8>(),
+                                           seed in any::<u64>()) {
+            let src: Vec<u8> = (0..dst.len())
+                .map(|i| (seed.wrapping_mul(i as u64 + 3) >> 7) as u8)
+                .collect();
+            let expect: Vec<u8> = dst
+                .iter()
+                .zip(&src)
+                .map(|(&d, &s)| (Gf256(d) + Gf256(c) * Gf256(s)).0)
+                .collect();
+            addmul_slice(&mut dst, &src, c);
+            prop_assert_eq!(dst, expect);
+        }
+
+        #[test]
+        fn mul_slice_matches_field_arithmetic(mut dst in proptest::collection::vec(any::<u8>(), 0..70),
+                                              c in any::<u8>()) {
+            let expect: Vec<u8> = dst.iter().map(|&d| (Gf256(c) * Gf256(d)).0).collect();
+            mul_slice(&mut dst, c);
+            prop_assert_eq!(dst, expect);
+        }
+
+        /// addmul twice with the same coefficient cancels (characteristic 2).
+        #[test]
+        fn addmul_is_involutive(orig in proptest::collection::vec(any::<u8>(), 1..70),
+                                c in any::<u8>(),
+                                seed in any::<u64>()) {
+            let src: Vec<u8> = (0..orig.len())
+                .map(|i| (seed.wrapping_mul(i as u64 + 11) >> 5) as u8)
+                .collect();
+            let mut dst = orig.clone();
+            addmul_slice(&mut dst, &src, c);
+            addmul_slice(&mut dst, &src, c);
+            prop_assert_eq!(dst, orig);
+        }
+    }
+
+    #[test]
+    fn dot_product_is_linear_combination() {
+        let s1 = [1u8, 0, 0];
+        let s2 = [0u8, 1, 0];
+        let s3 = [0u8, 0, 1];
+        let mut out = [0u8; 3];
+        dot_product(&mut out, &[3, 5, 7], &[&s1, &s2, &s3]);
+        assert_eq!(out, [3, 5, 7]);
+    }
+
+    #[test]
+    fn dot_product_empty_clears_out() {
+        let mut out = [9u8; 4];
+        dot_product(&mut out, &[], &[]);
+        assert_eq!(out, [0u8; 4]);
+    }
+}

@@ -1,0 +1,48 @@
+//! GF(2^8) arithmetic and dense linear algebra for packet-level erasure codes.
+//!
+//! This crate is the lowest substrate of the `fec-broadcast` workspace. It
+//! provides everything the Reed-Solomon erasure codec (crate `fec-rse`) needs:
+//!
+//! * [`Gf256`] — a field element with full operator support, built on
+//!   compile-time exp/log tables over the primitive polynomial
+//!   `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`, the polynomial used by Rizzo's
+//!   classic `fec` codec and by CCSDS Reed-Solomon),
+//! * [`kernels`] — the hot slice kernels (`xor_slice`, `addmul_slice`, …)
+//!   that move actual packet payloads, backed by a compile-time 64 KiB
+//!   multiplication table,
+//! * [`Matrix`] — a dense matrix over GF(2^8) with Gauss-Jordan inversion and
+//!   Vandermonde constructors, used to build systematic generator matrices
+//!   and to solve the decoding systems,
+//! * [`poly`] — polynomial evaluation/interpolation, kept as an independent
+//!   mathematical oracle for property tests,
+//! * [`gf2p16`] — the GF(2^16) extension field plus its own kernels and
+//!   matrix, used by the `ablation_gf216` bench to quantify the paper's
+//!   §2.2 decision to stay on GF(2^8) (its tables are runtime-initialised;
+//!   a compile-time multiplication table would need 8 GiB).
+//!
+//! Design notes (see DESIGN.md at the workspace root): no `unsafe`, no
+//! macro/type tricks; the GF(2^8) tables are `const fn`-generated so the
+//! common path has zero runtime initialisation and no dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+pub mod gf2p16;
+pub mod kernels;
+mod matrix;
+pub mod poly;
+mod tables;
+
+pub use field::Gf256;
+pub use gf2p16::{Gf2p16, Matrix16};
+pub use matrix::{Matrix, MatrixError};
+
+/// Number of elements in the field (2^8).
+pub const FIELD_SIZE: usize = 256;
+
+/// Multiplicative order of the field: every non-zero element satisfies
+/// `x^255 = 1`. This also bounds the number of *distinct* evaluation points
+/// of the form `alpha^i`, and therefore the maximum Reed-Solomon block
+/// length `n` supported by `fec-rse`.
+pub const MUL_ORDER: usize = 255;

@@ -1,0 +1,141 @@
+//! Polynomial evaluation and Lagrange interpolation over GF(2^8).
+//!
+//! Reed-Solomon encoding is "evaluate the degree-(k-1) polynomial through the
+//! source symbols at n points"; decoding is interpolation. The production
+//! codec in `fec-rse` uses the matrix formulation for speed, but this module
+//! provides the same mathematics in its textbook form so property tests can
+//! cross-check the two independent implementations against each other.
+
+use crate::Gf256;
+
+/// Evaluates the polynomial `coeffs[0] + coeffs[1] x + …` at `x` (Horner).
+pub fn eval(coeffs: &[Gf256], x: Gf256) -> Gf256 {
+    coeffs
+        .iter()
+        .rev()
+        .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+}
+
+/// Lagrange-interpolates the unique polynomial of degree `< points.len()`
+/// through `(x_i, y_i)` pairs and evaluates it at `x`.
+///
+/// # Panics
+/// Panics if two interpolation points share the same `x` (caller bug: the
+/// evaluation points of an erasure code are distinct by construction).
+pub fn interpolate_at(points: &[(Gf256, Gf256)], x: Gf256) -> Gf256 {
+    let mut acc = Gf256::ZERO;
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        let mut num = Gf256::ONE;
+        let mut den = Gf256::ONE;
+        for (j, &(xj, _)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(xi != xj, "duplicate interpolation point {xi:?}");
+            num *= x - xj;
+            den *= xi - xj;
+        }
+        acc += yi * num / den;
+    }
+    acc
+}
+
+/// Recovers the coefficient vector of the unique polynomial of degree
+/// `< points.len()` through the given points, by solving the Vandermonde
+/// system with interpolation at basis points.
+///
+/// This is O(n^3)-ish and only meant for tests and small inputs.
+pub fn interpolate_coeffs(points: &[(Gf256, Gf256)]) -> Vec<Gf256> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Build Newton-style incremental product polynomial.
+    // poly holds coefficients of the interpolating polynomial; basis holds
+    // the running product (x - x_0)(x - x_1)…
+    let mut poly = vec![Gf256::ZERO; n];
+    let mut basis = vec![Gf256::ZERO; n + 1];
+    basis[0] = Gf256::ONE; // constant polynomial 1
+
+    for (i, &(xi, yi)) in points.iter().enumerate() {
+        // Evaluate current poly at xi; compute the correction factor.
+        let cur = eval(&poly[..i.max(1)], xi);
+        let b = eval(&basis[..=i], xi);
+        let factor = (yi - cur) / b;
+        // poly += factor * basis
+        for j in 0..=i {
+            poly[j] += factor * basis[j];
+        }
+        // basis *= (x - xi)
+        for j in (0..=i).rev() {
+            let v = basis[j];
+            basis[j + 1] += v;
+            basis[j] = v * xi; // (x - xi) == (x + xi) in char 2
+        }
+    }
+    poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_constant_and_linear() {
+        assert_eq!(eval(&[Gf256(7)], Gf256(99)), Gf256(7));
+        // p(x) = 3 + 2x at x = alpha
+        let p = [Gf256(3), Gf256(2)];
+        let x = Gf256::ALPHA;
+        assert_eq!(eval(&p, x), Gf256(3) + Gf256(2) * x);
+    }
+
+    #[test]
+    fn eval_empty_polynomial_is_zero() {
+        assert_eq!(eval(&[], Gf256(42)), Gf256::ZERO);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Interpolating through evaluations of a random polynomial recovers
+        /// its values everywhere (tested at fresh points).
+        #[test]
+        fn interpolation_reproduces_polynomial(
+            coeffs in proptest::collection::vec(any::<u8>().prop_map(Gf256), 1..12),
+            probe in any::<u8>().prop_map(Gf256),
+        ) {
+            let k = coeffs.len();
+            let points: Vec<(Gf256, Gf256)> = (0..k)
+                .map(|i| {
+                    let x = Gf256::alpha_pow(i);
+                    (x, eval(&coeffs, x))
+                })
+                .collect();
+            prop_assert_eq!(interpolate_at(&points, probe), eval(&coeffs, probe));
+        }
+
+        /// Coefficient recovery is exact.
+        #[test]
+        fn coefficient_recovery(
+            coeffs in proptest::collection::vec(any::<u8>().prop_map(Gf256), 1..10),
+        ) {
+            let k = coeffs.len();
+            let points: Vec<(Gf256, Gf256)> = (0..k)
+                .map(|i| {
+                    let x = Gf256::alpha_pow(i);
+                    (x, eval(&coeffs, x))
+                })
+                .collect();
+            let rec = interpolate_coeffs(&points);
+            prop_assert_eq!(rec, coeffs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate interpolation point")]
+    fn duplicate_points_panic() {
+        let pts = [(Gf256(1), Gf256(2)), (Gf256(1), Gf256(3))];
+        let _ = interpolate_at(&pts, Gf256(0));
+    }
+}

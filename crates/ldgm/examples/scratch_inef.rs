@@ -1,0 +1,34 @@
+use fec_ldgm::{LdgmParams, RightSide, SparseMatrix, StructuralDecoder};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn mean_inef(k: usize, n: usize, right: RightSide, runs: u64) -> (f64, u32) {
+    let mut fails = 0;
+    let mut tot = 0.0;
+    let mut cnt = 0u32;
+    for seed in 0..runs {
+        let m = SparseMatrix::build(LdgmParams::new(k, n, right, seed)).unwrap();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x1234);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(&mut rng);
+        let mut d = StructuralDecoder::new(&m);
+        let mut done = None;
+        for (i, &id) in order.iter().enumerate() {
+            if d.push(id) { done = Some(i + 1); break; }
+        }
+        match done {
+            Some(c) => { tot += c as f64 / k as f64; cnt += 1; }
+            None => fails += 1,
+        }
+    }
+    (tot / cnt.max(1) as f64, fails)
+}
+
+fn main() {
+    for (k, n) in [(1000, 2500), (2000, 5000), (2000, 3000)] {
+        for right in [RightSide::Staircase, RightSide::Triangle] {
+            let (inef, fails) = mean_inef(k, n, right, 20);
+            println!("k={k} n={n} {right:9}: inef={inef:.4} fails={fails}");
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! Iterative (peeling) LDGM decoder over actual packet payloads.
+//!
+//! The algorithm is the paper's §2.3.2: each check equation starts with all
+//! its variables unknown. Every arriving packet makes one variable known;
+//! its value is folded (XORed) into every equation containing it. When an
+//! equation drops to a single unknown variable, that variable's value is the
+//! equation's accumulator, and the discovery cascades recursively. Decoding
+//! can stop at any time and completes when all `k` source packets are known.
+
+use std::sync::Arc;
+
+use fec_gf256::kernels::xor_slice;
+
+use crate::{LdgmError, SparseMatrix};
+
+/// Result of feeding one packet into the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The packet's variable was already known (duplicate reception or a
+    /// value the peeling had already solved). It consumed channel budget but
+    /// taught the decoder nothing.
+    Useless,
+    /// The packet advanced decoding; `decoded_source` source packets are now
+    /// known in total.
+    Progress {
+        /// Total source packets currently known.
+        decoded_source: usize,
+    },
+    /// All `k` source packets are known.
+    Complete,
+}
+
+impl PushOutcome {
+    /// True once the object is fully decodable.
+    pub fn is_complete(self) -> bool {
+        matches!(self, PushOutcome::Complete)
+    }
+}
+
+/// Memory footprint of a running decoder, in symbol-sized buffers.
+///
+/// The paper lists "maximum memory requirements" as a future-work metric
+/// (§7); these counters make it measurable per (code, schedule, channel) —
+/// see the `memory_profile` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Symbol buffers currently held (variable values + live accumulators).
+    pub current_symbols: usize,
+    /// High-water mark of `current_symbols` over the decoder's lifetime.
+    pub peak_symbols: usize,
+    /// Bytes per symbol buffer.
+    pub symbol_len: usize,
+}
+
+impl MemoryStats {
+    /// Peak payload memory in bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_symbols * self.symbol_len
+    }
+}
+
+/// Payload-carrying iterative decoder.
+///
+/// Owns its matrix via `Arc`, so long-lived receiver sessions can share one
+/// matrix between the decoder and other components without self-referential
+/// lifetimes.
+pub struct Decoder {
+    matrix: Arc<SparseMatrix>,
+    symbol_len: usize,
+    /// Unknown-variable count per check equation.
+    eq_unknowns: Vec<u32>,
+    /// XOR of the known variables per equation (lazily allocated).
+    eq_acc: Vec<Option<Vec<u8>>>,
+    /// Whether each variable is known (received or solved).
+    known: Vec<bool>,
+    /// Retained values: sources permanently (they are the output), parity
+    /// only transiently while waiting on the cascade stack — once a parity
+    /// value has been folded into its equations it is freed (streaming
+    /// decoding; this is what makes large-block LDGM memory-friendly).
+    var_value: Vec<Option<Vec<u8>>>,
+    decoded_source: usize,
+    received: u64,
+    memory: MemoryStats,
+}
+
+impl Decoder {
+    /// Creates a decoder for packets of `symbol_len` bytes.
+    pub fn new(matrix: Arc<SparseMatrix>, symbol_len: usize) -> Decoder {
+        let m = matrix.num_checks();
+        let n = matrix.n();
+        let eq_unknowns = (0..m).map(|i| matrix.row(i).len() as u32).collect();
+        Decoder {
+            matrix,
+            symbol_len,
+            eq_unknowns,
+            eq_acc: vec![None; m],
+            known: vec![false; n],
+            var_value: vec![None; n],
+            decoded_source: 0,
+            received: 0,
+            memory: MemoryStats {
+                current_symbols: 0,
+                peak_symbols: 0,
+                symbol_len,
+            },
+        }
+    }
+
+    #[inline]
+    fn track_alloc(&mut self) {
+        self.memory.current_symbols += 1;
+        if self.memory.current_symbols > self.memory.peak_symbols {
+            self.memory.peak_symbols = self.memory.current_symbols;
+        }
+    }
+
+    /// Feeds one received packet (`id < n`; ids `0..k` are source packets).
+    pub fn push(&mut self, id: u32, payload: &[u8]) -> Result<PushOutcome, LdgmError> {
+        if id as usize >= self.matrix.n() {
+            return Err(LdgmError::BadPacketId {
+                id,
+                n: self.matrix.n(),
+            });
+        }
+        if payload.len() != self.symbol_len {
+            return Err(LdgmError::SymbolLengthMismatch {
+                expected: self.symbol_len,
+                got: payload.len(),
+            });
+        }
+        self.received += 1;
+        if self.is_complete() || self.known[id as usize] {
+            return Ok(if self.is_complete() {
+                PushOutcome::Complete
+            } else {
+                PushOutcome::Useless
+            });
+        }
+        self.learn(id as usize, payload.to_vec());
+        Ok(if self.is_complete() {
+            PushOutcome::Complete
+        } else {
+            PushOutcome::Progress {
+                decoded_source: self.decoded_source,
+            }
+        })
+    }
+
+    /// Marks variable `var` as known and cascades the peeling.
+    fn learn(&mut self, var: usize, value: Vec<u8>) {
+        debug_assert!(!self.known[var]);
+        if var < self.matrix.k() {
+            self.decoded_source += 1;
+        }
+        self.known[var] = true;
+        self.var_value[var] = Some(value);
+        self.track_alloc();
+        let mut stack = vec![var];
+
+        while let Some(v) = stack.pop() {
+            // Sources are retained (they are the output), so their value is
+            // cloned for processing; a parity value is consumed here — after
+            // this pass through its equations it is never read again.
+            let value = if v < self.matrix.k() {
+                self.var_value[v].clone().expect("variable on stack is known")
+            } else {
+                let taken = self.var_value[v].take().expect("variable on stack is known");
+                self.memory.current_symbols -= 1;
+                taken
+            };
+            for &e in self.matrix.col(v) {
+                let e = e as usize;
+                if self.eq_unknowns[e] == 0 {
+                    continue; // equation already fully resolved
+                }
+                if self.eq_acc[e].is_none() {
+                    self.eq_acc[e] = Some(vec![0u8; self.symbol_len]);
+                    // Inline track_alloc: &mut self is unavailable while
+                    // iterating the matrix column (field-precise borrows).
+                    self.memory.current_symbols += 1;
+                    self.memory.peak_symbols =
+                        self.memory.peak_symbols.max(self.memory.current_symbols);
+                }
+                let acc = self.eq_acc[e].as_mut().expect("just ensured");
+                xor_slice(acc, &value);
+                self.eq_unknowns[e] -= 1;
+                if self.eq_unknowns[e] == 1 {
+                    // One unprocessed variable left. If it is still globally
+                    // unknown, its value is the accumulator (the XOR of all
+                    // the others, since the row XORs to zero). It may instead
+                    // already be known but pending on the stack — then the
+                    // equation taught us nothing new and is simply spent.
+                    let unknown = self
+                        .matrix
+                        .row(e)
+                        .iter()
+                        .map(|&c| c as usize)
+                        .find(|&c| !self.known[c]);
+                    match unknown {
+                        Some(u) => {
+                            // The accumulator buffer is moved, not freed:
+                            // it becomes the variable's value (net zero).
+                            let solved =
+                                self.eq_acc[e].take().expect("accumulator allocated above");
+                            self.eq_unknowns[e] = 0;
+                            if u < self.matrix.k() {
+                                self.decoded_source += 1;
+                            }
+                            self.known[u] = true;
+                            self.var_value[u] = Some(solved);
+                            stack.push(u);
+                        }
+                        None => {
+                            self.eq_unknowns[e] = 0;
+                            if self.eq_acc[e].take().is_some() {
+                                self.memory.current_symbols -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True once all `k` source packets are known.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.decoded_source == self.matrix.k()
+    }
+
+    /// Source packets currently known (received or solved).
+    #[inline]
+    pub fn decoded_source(&self) -> usize {
+        self.decoded_source
+    }
+
+    /// Total packets pushed, duplicates included.
+    #[inline]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Current and peak payload-buffer usage (§7's memory metric).
+    #[inline]
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.memory
+    }
+
+    /// Returns the recovered source packets once complete.
+    pub fn into_source(mut self) -> Option<Vec<Vec<u8>>> {
+        if !self.is_complete() {
+            return None;
+        }
+        let k = self.matrix.k();
+        let mut out = Vec::with_capacity(k);
+        for v in 0..k {
+            out.push(self.var_value[v].take().expect("complete decoder"));
+        }
+        Some(out)
+    }
+
+    /// Peeks at a recovered source packet (None until it is known).
+    pub fn source_packet(&self, idx: usize) -> Option<&[u8]> {
+        assert!(idx < self.matrix.k(), "source index out of range");
+        self.var_value[idx].as_deref()
+    }
+
+    /// Whether a variable (source or parity) is known. Parity values are
+    /// freed after use, so "known" does not imply the bytes are still held.
+    pub fn is_known(&self, id: u32) -> bool {
+        self.known[id as usize]
+    }
+
+    // ----- crate-private hooks for the hybrid ML decoder (`crate::gauss`) --
+
+    /// The shared parity-check matrix.
+    pub(crate) fn matrix(&self) -> &SparseMatrix {
+        &self.matrix
+    }
+
+    /// Symbol length this decoder was constructed with.
+    pub(crate) fn symbol_len(&self) -> usize {
+        self.symbol_len
+    }
+
+    /// XOR of the known variables already folded into equation `e`
+    /// (`None` ⇒ nothing folded yet, i.e. an all-zero accumulator).
+    pub(crate) fn eq_accumulator(&self, e: usize) -> Option<&[u8]> {
+        self.eq_acc[e].as_deref()
+    }
+
+    /// Injects an externally-solved variable value (from Gaussian
+    /// elimination) and lets the peeling cascade run on it. A no-op if the
+    /// variable became known in the meantime (an earlier injection's cascade
+    /// may already have solved it). Does **not** count as a received packet.
+    pub(crate) fn inject_solved(&mut self, var: usize, value: Vec<u8>) {
+        if !self.known[var] {
+            self.learn(var, value);
+        }
+    }
+}
+
+impl core::fmt::Debug for Decoder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Decoder(k={}, decoded={}, received={})",
+            self.matrix.k(),
+            self.decoded_source,
+            self.received
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Encoder, LdgmParams, RightSide};
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(
+        k: usize,
+        n: usize,
+        right: RightSide,
+        seed: u64,
+        sym: usize,
+    ) -> (Arc<SparseMatrix>, Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let m = Arc::new(SparseMatrix::build(LdgmParams::new(k, n, right, seed)).unwrap());
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let src: Vec<Vec<u8>> = (0..k)
+            .map(|_| (0..sym).map(|_| rng.gen()).collect())
+            .collect();
+        let refs: Vec<&[u8]> = src.iter().map(|s| s.as_slice()).collect();
+        let parity = Encoder::new(&m).encode(&refs).unwrap();
+        (m, src, parity)
+    }
+
+    #[test]
+    fn decodes_from_all_source_packets() {
+        let (m, src, _) = setup(20, 50, RightSide::Staircase, 1, 8);
+        let mut d = Decoder::new(m.clone(), 8);
+        for (i, s) in src.iter().enumerate() {
+            let out = d.push(i as u32, s).unwrap();
+            if i + 1 == src.len() {
+                assert!(out.is_complete());
+            }
+        }
+        assert_eq!(d.into_source().unwrap(), src);
+    }
+
+    #[test]
+    fn decodes_through_random_mixed_reception() {
+        for right in [RightSide::Identity, RightSide::Staircase, RightSide::Triangle] {
+            let (m, src, parity) = setup(40, 100, right, 3, 16);
+            let mut packets: Vec<(u32, &[u8])> = Vec::new();
+            for (i, s) in src.iter().enumerate() {
+                packets.push((i as u32, s));
+            }
+            for (i, p) in parity.iter().enumerate() {
+                packets.push(((40 + i) as u32, p));
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+            packets.shuffle(&mut rng);
+
+            let mut d = Decoder::new(m.clone(), 16);
+            let mut complete_at = None;
+            for (i, (id, pl)) in packets.iter().enumerate() {
+                if d.push(*id, pl).unwrap().is_complete() {
+                    complete_at = Some(i + 1);
+                    break;
+                }
+            }
+            let complete_at = complete_at.expect("all packets received must decode");
+            assert!(complete_at >= 40, "cannot decode below k packets");
+            assert_eq!(d.into_source().unwrap(), src, "{right}");
+        }
+    }
+
+    #[test]
+    fn duplicate_packets_are_useless() {
+        let (m, src, _) = setup(10, 30, RightSide::Staircase, 5, 4);
+        let mut d = Decoder::new(m.clone(), 4);
+        assert!(matches!(
+            d.push(0, &src[0]).unwrap(),
+            PushOutcome::Progress { .. }
+        ));
+        assert_eq!(d.push(0, &src[0]).unwrap(), PushOutcome::Useless);
+        assert_eq!(d.received(), 2);
+    }
+
+    #[test]
+    fn bad_id_rejected() {
+        let (m, _, _) = setup(10, 30, RightSide::Staircase, 5, 4);
+        let mut d = Decoder::new(m.clone(), 4);
+        assert_eq!(
+            d.push(30, &[0u8; 4]),
+            Err(LdgmError::BadPacketId { id: 30, n: 30 })
+        );
+    }
+
+    #[test]
+    fn wrong_symbol_length_rejected() {
+        let (m, _, _) = setup(10, 30, RightSide::Staircase, 5, 4);
+        let mut d = Decoder::new(m.clone(), 4);
+        assert!(matches!(
+            d.push(0, &[0u8; 5]),
+            Err(LdgmError::SymbolLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parity_only_reception_needs_at_least_one_source() {
+        // Paper §4.5: LDGM-* cannot decode from parity alone, and with p = 0
+        // they "need exactly one source packet to decode the content".
+        // Parameters chosen so every H1 row has weight exactly 2
+        // (3k/m = 300/150): with all parity known, every equation still has
+        // two unknown sources, so peeling cannot start.
+        let k = 100;
+        let (m, src, parity) = setup(k, 250, RightSide::Staircase, 9, 4);
+        let mut d = Decoder::new(m.clone(), 4);
+        for (i, p) in parity.iter().enumerate() {
+            let out = d.push((k + i) as u32, p).unwrap();
+            assert!(!out.is_complete(), "decoded from parity alone?!");
+        }
+        assert_eq!(d.decoded_source(), 0, "no equation should have activated");
+        // Now feed source packets one at a time; the cascade must finish
+        // after only a handful (exactly 1 at paper scale; allow a few at
+        // k = 100 where the check graph may have more than one component).
+        let mut fed = 0;
+        for (i, s) in src.iter().enumerate() {
+            fed += 1;
+            if d.push(i as u32, s).unwrap().is_complete() {
+                break;
+            }
+        }
+        assert!(d.is_complete(), "all parity + all source must decode");
+        assert!(fed <= 10, "needed {fed} source packets, expected a handful");
+        assert_eq!(d.into_source().unwrap(), src);
+    }
+
+    #[test]
+    fn into_source_is_none_when_incomplete() {
+        let (m, src, _) = setup(10, 30, RightSide::Triangle, 13, 4);
+        let mut d = Decoder::new(m.clone(), 4);
+        d.push(0, &src[0]).unwrap();
+        assert!(d.into_source().is_none());
+    }
+
+    #[test]
+    fn source_packet_peek() {
+        let (m, src, _) = setup(10, 30, RightSide::Staircase, 15, 4);
+        let mut d = Decoder::new(m.clone(), 4);
+        assert!(d.source_packet(0).is_none());
+        d.push(0, &src[0]).unwrap();
+        assert_eq!(d.source_packet(0), Some(src[0].as_slice()));
+    }
+
+    #[test]
+    fn memory_stats_track_buffers() {
+        let (m, src, parity) = setup(50, 125, RightSide::Staircase, 33, 16);
+        let mut d = Decoder::new(m.clone(), 16);
+        assert_eq!(d.memory_stats().peak_symbols, 0);
+        // Push everything in shuffled order; memory grows, peaks, and the
+        // invariants hold throughout.
+        let mut order: Vec<u32> = (0..125).collect();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        order.shuffle(&mut rng);
+        for &id in &order {
+            let payload: &[u8] = if (id as usize) < 50 {
+                &src[id as usize]
+            } else {
+                &parity[id as usize - 50]
+            };
+            d.push(id, payload).unwrap();
+            let stats = d.memory_stats();
+            assert!(stats.current_symbols <= stats.peak_symbols);
+            // Bound: variables (n) + accumulators (m).
+            assert!(stats.peak_symbols <= 125 + 75);
+            if d.is_complete() {
+                break;
+            }
+        }
+        let stats = d.memory_stats();
+        assert!(stats.peak_symbols >= 50, "at least the k sources are held");
+        assert_eq!(stats.symbol_len, 16);
+        assert_eq!(stats.peak_bytes(), stats.peak_symbols * 16);
+    }
+
+    #[test]
+    fn streaming_decoder_memory_is_bounded_by_k_plus_m() {
+        // §7's future-work metric made concrete. Because parity values are
+        // freed once folded into their equations, the decoder never holds
+        // more than the k output symbols plus one accumulator per check
+        // equation — for ANY reception order. Parity-first reception is in
+        // fact the memory-friendliest: almost nothing but accumulators.
+        let k = 100;
+        let n = 250;
+        let m_checks = n - k;
+        let (m, src, parity) = setup(k, n, RightSide::Staircase, 44, 8);
+        let run = |order: Vec<u32>| {
+            let mut d = Decoder::new(m.clone(), 8);
+            for &id in &order {
+                let payload: &[u8] = if (id as usize) < k {
+                    &src[id as usize]
+                } else {
+                    &parity[id as usize - k]
+                };
+                if d.push(id, payload).unwrap().is_complete() {
+                    break;
+                }
+            }
+            assert!(d.is_complete());
+            d.memory_stats().peak_symbols
+        };
+        let source_first: Vec<u32> = (0..n as u32).collect();
+        let parity_first: Vec<u32> = (k as u32..n as u32).chain(0..k as u32).collect();
+        let a = run(source_first);
+        let b = run(parity_first);
+        // Hard bound for any order (+1 transient on the cascade stack).
+        assert!(a <= k + m_checks + 1, "source-first peak {a}");
+        assert!(b <= k + m_checks + 1, "parity-first peak {b}");
+        // Source-first retains all k output symbols plus pending
+        // accumulators; parity-first streams and peaks near m alone.
+        assert!(a >= k, "source-first must at least hold the output");
+        assert!(
+            b <= m_checks + 8,
+            "parity-first should peak near the accumulator count, got {b}"
+        );
+        assert!(b < a, "streaming makes parity-first the cheaper order");
+    }
+
+    /// Losing a moderate number of random packets must still decode with the
+    /// surviving prefix of a shuffled stream — exercised across all variants
+    /// and many seeds (statistical smoke test for recovery capability).
+    #[test]
+    fn recovers_with_margin_over_k() {
+        let k = 100;
+        let n = 250;
+        for right in [RightSide::Staircase, RightSide::Triangle] {
+            let mut success = 0;
+            for seed in 0..20u64 {
+                let (m, src, parity) = setup(k, n, right, seed, 4);
+                let mut packets: Vec<(u32, Vec<u8>)> = Vec::new();
+                for (i, s) in src.iter().enumerate() {
+                    packets.push((i as u32, s.clone()));
+                }
+                for (i, p) in parity.iter().enumerate() {
+                    packets.push(((k + i) as u32, p.clone()));
+                }
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xF00);
+                packets.shuffle(&mut rng);
+                // Feed only 1.4*k packets (a 40% margin over k).
+                let budget = (k as f64 * 1.4) as usize;
+                let mut d = Decoder::new(m.clone(), 4);
+                for (id, pl) in packets.iter().take(budget) {
+                    if d.push(*id, pl).unwrap().is_complete() {
+                        break;
+                    }
+                }
+                if d.is_complete() {
+                    assert_eq!(d.into_source().unwrap(), src);
+                    success += 1;
+                }
+            }
+            assert!(
+                success >= 18,
+                "{right}: only {success}/20 decoded with 40% margin"
+            );
+        }
+    }
+}

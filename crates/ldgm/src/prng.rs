@@ -1,0 +1,147 @@
+//! A self-contained Park-Miller "minimal standard" PRNG.
+//!
+//! LDGM matrix construction must be *bit-identical* on sender and receiver
+//! given only a seed carried in session metadata — so it cannot depend on a
+//! third-party RNG whose stream may change between library versions.
+//! RFC 5170 solves this the same way (its `rand31pmc`); we use the classic
+//! Lehmer generator with Park-Miller constants: `x' = 16807 * x mod (2^31-1)`.
+//!
+//! This PRNG is **only** for matrix construction. Simulation-level
+//! randomness (channel draws, schedule shuffles) uses `rand::SmallRng`,
+//! which is free to evolve.
+
+/// Modulus `2^31 - 1` (a Mersenne prime).
+pub const M: u64 = 0x7FFF_FFFF;
+/// Multiplier 16807 (a primitive root mod M).
+pub const A: u64 = 16807;
+
+/// Park-Miller minimal standard linear congruential generator.
+///
+/// The state is always in `1..M`; the zero/M seeds are remapped so every
+/// `u64` is a valid seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmRand {
+    state: u64,
+}
+
+impl PmRand {
+    /// Creates a generator from any 64-bit seed.
+    pub fn new(seed: u64) -> PmRand {
+        // Fold the 64-bit seed into 1..M. The +1 keeps 0 (and multiples of M)
+        // out of the fixed point at zero.
+        let folded = seed % (M - 1) + 1;
+        PmRand { state: folded }
+    }
+
+    /// Next raw value in `1..M`.
+    #[inline]
+    pub fn next_raw(&mut self) -> u32 {
+        self.state = (self.state * A) % M;
+        self.state as u32
+    }
+
+    /// Uniform value in `0..bound` (rejection-sampled, so unbiased).
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "PmRand::below(0)");
+        // Largest multiple of `bound` not exceeding the raw range (M-1 values
+        // in 1..M; shift to 0..M-1 by subtracting 1).
+        let range = (M - 1) as u32;
+        let limit = range - range % bound;
+        loop {
+            let v = self.next_raw() - 1; // 0..M-1
+            if v < limit {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Fisher-Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u32 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_park_miller_sequence() {
+        // The canonical check: starting from seed 1, the 10000th value of the
+        // minimal standard generator is 1043618065 (Park & Miller, 1988).
+        let mut r = PmRand { state: 1 };
+        let mut v = 0;
+        for _ in 0..10_000 {
+            v = r.next_raw();
+        }
+        assert_eq!(v, 1_043_618_065);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = PmRand::new(0xDEADBEEF);
+        let mut b = PmRand::new(0xDEADBEEF);
+        for _ in 0..100 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut r = PmRand::new(0);
+        // Must not get stuck at zero.
+        let a = r.next_raw();
+        let b = r.next_raw();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = PmRand::new(42);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        PmRand::new(1).below(0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = PmRand::new(7);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(xs, (0..50).collect::<Vec<u32>>(), "shuffle changed order");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = PmRand::new(12345);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10000; allow +-5% (way beyond 5 sigma for a fair RNG).
+            assert!((9_500..=10_500).contains(&c), "bucket count {c}");
+        }
+    }
+}

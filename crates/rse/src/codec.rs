@@ -1,0 +1,387 @@
+//! The single-block systematic Reed-Solomon erasure codec.
+
+use fec_gf256::{kernels, Matrix};
+
+use crate::{RseError, MAX_N};
+
+/// A systematic `(k, n)` Reed-Solomon erasure codec over GF(2^8).
+///
+/// The generator matrix is `G = V * V_top^{-1}` where `V` is the `n x k`
+/// Vandermonde matrix on distinct points `alpha^i`: its top `k x k` part is
+/// the identity (so the first `k` encoding symbols *are* the source symbols),
+/// and any `k` rows remain linearly independent, which gives the MDS
+/// property: any `k` of the `n` encoding symbols reconstruct the source.
+///
+/// ```
+/// use fec_rse::RseCodec;
+/// let codec = RseCodec::new(4, 7).unwrap();
+/// let src: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i, i + 10]).collect();
+/// let parity = codec.encode_refs(&src.iter().map(|s| s.as_slice()).collect::<Vec<_>>()).unwrap();
+/// // Lose symbols 0, 2, 3; decode from 1, and parities 4, 5, 6.
+/// let received = vec![
+///     (1u32, src[1].as_slice()),
+///     (4, parity[0].as_slice()),
+///     (5, parity[1].as_slice()),
+///     (6, parity[2].as_slice()),
+/// ];
+/// assert_eq!(codec.decode(&received).unwrap(), src);
+/// ```
+#[derive(Clone)]
+pub struct RseCodec {
+    k: usize,
+    n: usize,
+    /// `n x k` systematic generator matrix (top `k` rows = identity).
+    gen: Matrix,
+}
+
+impl RseCodec {
+    /// Builds the codec for `k` source symbols and `n` total symbols.
+    pub fn new(k: usize, n: usize) -> Result<RseCodec, RseError> {
+        if k == 0 || k > n || n > MAX_N {
+            return Err(RseError::BadParameters { k, n });
+        }
+        let v = Matrix::vandermonde(n, k);
+        let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top
+            .inverted()
+            .expect("Vandermonde top block is always invertible");
+        let gen = v.mul(&top_inv).expect("shape checked");
+        Ok(RseCodec { k, n, gen })
+    }
+
+    /// Number of source symbols per block.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of encoding symbols per block.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parity symbols (`n - k`).
+    #[inline]
+    pub fn parity_count(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Encodes the parity symbols for a block (slice-of-slices form).
+    ///
+    /// Returns the `n - k` parity symbols; source symbols are transmitted
+    /// verbatim (the code is systematic).
+    pub fn encode_refs(&self, source: &[&[u8]]) -> Result<Vec<Vec<u8>>, RseError> {
+        if source.len() != self.k {
+            return Err(RseError::WrongSourceCount {
+                got: source.len(),
+                expected: self.k,
+            });
+        }
+        let sym_len = source.first().map_or(0, |s| s.len());
+        for s in source {
+            if s.len() != sym_len {
+                return Err(RseError::SymbolLengthMismatch {
+                    expected: sym_len,
+                    got: s.len(),
+                });
+            }
+        }
+        let mut parity = Vec::with_capacity(self.parity_count());
+        for esi in self.k..self.n {
+            let mut sym = vec![0u8; sym_len];
+            kernels::dot_product(&mut sym, self.gen.row(esi), source);
+            parity.push(sym);
+        }
+        Ok(parity)
+    }
+
+    /// Computes a single parity symbol (ESI in `k..n`).
+    pub fn parity_symbol(&self, esi: u32, source: &[&[u8]]) -> Result<Vec<u8>, RseError> {
+        if (esi as usize) < self.k || (esi as usize) >= self.n {
+            return Err(RseError::BadEsi { esi, n: self.n });
+        }
+        if source.len() != self.k {
+            return Err(RseError::WrongSourceCount {
+                got: source.len(),
+                expected: self.k,
+            });
+        }
+        let sym_len = source.first().map_or(0, |s| s.len());
+        let mut sym = vec![0u8; sym_len];
+        kernels::dot_product(&mut sym, self.gen.row(esi as usize), source);
+        Ok(sym)
+    }
+
+    /// Decodes the `k` source symbols from any `k` distinct received symbols.
+    ///
+    /// `received` holds `(esi, payload)` pairs; extras beyond the first `k`
+    /// distinct ESIs are ignored (an MDS code gains nothing from them).
+    pub fn decode(&self, received: &[(u32, &[u8])]) -> Result<Vec<Vec<u8>>, RseError> {
+        // Collect the first k distinct, validated symbols.
+        let mut esis: Vec<u32> = Vec::with_capacity(self.k);
+        let mut payloads: Vec<&[u8]> = Vec::with_capacity(self.k);
+        let mut sym_len: Option<usize> = None;
+        for &(esi, payload) in received {
+            if (esi as usize) >= self.n {
+                return Err(RseError::BadEsi { esi, n: self.n });
+            }
+            if esis.contains(&esi) {
+                return Err(RseError::DuplicateEsi { esi });
+            }
+            match sym_len {
+                None => sym_len = Some(payload.len()),
+                Some(l) if l != payload.len() => {
+                    return Err(RseError::SymbolLengthMismatch {
+                        expected: l,
+                        got: payload.len(),
+                    })
+                }
+                _ => {}
+            }
+            esis.push(esi);
+            payloads.push(payload);
+            if esis.len() == self.k {
+                break;
+            }
+        }
+        if esis.len() < self.k {
+            return Err(RseError::NotEnoughSymbols {
+                have: esis.len(),
+                need: self.k,
+            });
+        }
+        let sym_len = sym_len.unwrap_or(0);
+
+        // Fast path: all k source symbols present.
+        if esis.iter().all(|&e| (e as usize) < self.k) {
+            let mut out = vec![vec![0u8; sym_len]; self.k];
+            for (&esi, &payload) in esis.iter().zip(&payloads) {
+                out[esi as usize].copy_from_slice(payload);
+            }
+            return Ok(out);
+        }
+
+        // General path: y = A x where A is the k x k sub-generator for the
+        // received ESIs; x = A^-1 y.
+        let rows: Vec<usize> = esis.iter().map(|&e| e as usize).collect();
+        let a = self.gen.select_rows(&rows);
+        let a_inv = a
+            .inverted()
+            .expect("any k rows of a systematic Vandermonde generator are independent");
+        let mut out = vec![vec![0u8; sym_len]; self.k];
+        for (j, out_sym) in out.iter_mut().enumerate() {
+            kernels::dot_product(out_sym, a_inv.row(j), &payloads);
+        }
+        Ok(out)
+    }
+
+    /// Borrow the generator row for an ESI (used by tests and docs).
+    pub fn generator_row(&self, esi: u32) -> &[u8] {
+        self.gen.row(esi as usize)
+    }
+}
+
+impl core::fmt::Debug for RseCodec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "RseCodec(k={}, n={})", self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    fn make_source(k: usize, sym_len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| (0..sym_len).map(|_| rng.gen()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(RseCodec::new(0, 4).is_err());
+        assert!(RseCodec::new(5, 4).is_err());
+        assert!(RseCodec::new(10, 256).is_err());
+        assert!(RseCodec::new(1, 1).is_ok());
+        assert!(RseCodec::new(170, 255).is_ok());
+    }
+
+    #[test]
+    fn generator_is_systematic() {
+        let c = RseCodec::new(5, 9).unwrap();
+        for i in 0..5u32 {
+            let row = c.generator_row(i);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, u8::from(j == i as usize), "G[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn source_only_fast_path() {
+        let c = RseCodec::new(3, 6).unwrap();
+        let src = make_source(3, 8, 1);
+        let rx: Vec<(u32, &[u8])> = vec![
+            (2, src[2].as_slice()),
+            (0, src[0].as_slice()),
+            (1, src[1].as_slice()),
+        ];
+        assert_eq!(c.decode(&rx).unwrap(), src);
+    }
+
+    #[test]
+    fn duplicate_esi_rejected() {
+        let c = RseCodec::new(2, 4).unwrap();
+        let src = make_source(2, 4, 2);
+        let rx: Vec<(u32, &[u8])> =
+            vec![(0, src[0].as_slice()), (0, src[0].as_slice())];
+        assert_eq!(c.decode(&rx), Err(RseError::DuplicateEsi { esi: 0 }));
+    }
+
+    #[test]
+    fn not_enough_symbols_rejected() {
+        let c = RseCodec::new(3, 5).unwrap();
+        let src = make_source(3, 4, 3);
+        let rx: Vec<(u32, &[u8])> = vec![(0, src[0].as_slice())];
+        assert_eq!(
+            c.decode(&rx),
+            Err(RseError::NotEnoughSymbols { have: 1, need: 3 })
+        );
+    }
+
+    #[test]
+    fn esi_out_of_range_rejected() {
+        let c = RseCodec::new(2, 4).unwrap();
+        let payload = [0u8; 4];
+        let rx: Vec<(u32, &[u8])> = vec![(4, &payload), (0, &payload)];
+        assert_eq!(c.decode(&rx), Err(RseError::BadEsi { esi: 4, n: 4 }));
+    }
+
+    #[test]
+    fn mixed_symbol_lengths_rejected() {
+        let c = RseCodec::new(2, 4).unwrap();
+        let a = [0u8; 4];
+        let b = [0u8; 5];
+        let rx: Vec<(u32, &[u8])> = vec![(0, &a[..]), (1, &b[..])];
+        assert!(matches!(
+            c.decode(&rx),
+            Err(RseError::SymbolLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_symbols_supported() {
+        let c = RseCodec::new(2, 4).unwrap();
+        let src: Vec<Vec<u8>> = vec![vec![], vec![]];
+        let refs: Vec<&[u8]> = src.iter().map(|s| s.as_slice()).collect();
+        let parity = c.encode_refs(&refs).unwrap();
+        let rx: Vec<(u32, &[u8])> = vec![(2, parity[0].as_slice()), (3, parity[1].as_slice())];
+        assert_eq!(c.decode(&rx).unwrap(), src);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The MDS property: ANY k-subset of the n encoding symbols decodes
+        /// back to the exact source symbols.
+        #[test]
+        fn mds_any_k_subset_decodes(
+            k in 1usize..24,
+            extra in 1usize..24,
+            sym_len in 1usize..24,
+            seed in any::<u64>(),
+        ) {
+            let n = (k + extra).min(MAX_N);
+            let c = RseCodec::new(k, n).unwrap();
+            let src = make_source(k, sym_len, seed);
+            let refs: Vec<&[u8]> = src.iter().map(|s| s.as_slice()).collect();
+            let parity = c.encode_refs(&refs).unwrap();
+
+            // All n encoding symbols, then pick a random k-subset.
+            let mut all: Vec<(u32, &[u8])> = Vec::with_capacity(n);
+            for (i, s) in src.iter().enumerate() {
+                all.push((i as u32, s.as_slice()));
+            }
+            for (i, p) in parity.iter().enumerate() {
+                all.push(((k + i) as u32, p.as_slice()));
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0xC0FFEE);
+            all.shuffle(&mut rng);
+            all.truncate(k);
+
+            let decoded = c.decode(&all).unwrap();
+            prop_assert_eq!(decoded, src);
+        }
+
+        /// Exactly k-1 symbols must fail: the codec cannot do magic.
+        #[test]
+        fn k_minus_one_symbols_insufficient(
+            k in 2usize..20,
+            seed in any::<u64>(),
+        ) {
+            let n = (2 * k).min(MAX_N);
+            let c = RseCodec::new(k, n).unwrap();
+            let src = make_source(k, 4, seed);
+            let rx: Vec<(u32, &[u8])> = src
+                .iter()
+                .take(k - 1)
+                .enumerate()
+                .map(|(i, s)| (i as u32, s.as_slice()))
+                .collect();
+            prop_assert_eq!(
+                c.decode(&rx),
+                Err(RseError::NotEnoughSymbols { have: k - 1, need: k })
+            );
+        }
+
+        /// parity_symbol agrees with bulk encode.
+        #[test]
+        fn single_parity_matches_bulk(
+            k in 1usize..16,
+            extra in 1usize..16,
+            seed in any::<u64>(),
+        ) {
+            let n = (k + extra).min(MAX_N);
+            let c = RseCodec::new(k, n).unwrap();
+            let src = make_source(k, 8, seed);
+            let refs: Vec<&[u8]> = src.iter().map(|s| s.as_slice()).collect();
+            let bulk = c.encode_refs(&refs).unwrap();
+            for esi in k..n {
+                let one = c.parity_symbol(esi as u32, &refs).unwrap();
+                prop_assert_eq!(&one, &bulk[esi - k]);
+            }
+        }
+
+        /// Encoding is linear: encode(a) XOR encode(b) == encode(a XOR b).
+        /// (Linearity is what makes the "same parity repairs different losses
+        /// at different receivers" multicast argument of §1 work.)
+        #[test]
+        fn encoding_is_linear(k in 1usize..12, seed in any::<u64>()) {
+            let n = (2 * k).min(MAX_N);
+            let c = RseCodec::new(k, n).unwrap();
+            let a = make_source(k, 6, seed);
+            let b = make_source(k, 6, seed.wrapping_add(1));
+            let ab: Vec<Vec<u8>> = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| x.iter().zip(y).map(|(u, v)| u ^ v).collect())
+                .collect();
+            let enc = |s: &[Vec<u8>]| {
+                let refs: Vec<&[u8]> = s.iter().map(|x| x.as_slice()).collect();
+                c.encode_refs(&refs).unwrap()
+            };
+            let pa = enc(&a);
+            let pb = enc(&b);
+            let pab = enc(&ab);
+            for i in 0..(n - k) {
+                let xored: Vec<u8> = pa[i].iter().zip(&pb[i]).map(|(u, v)| u ^ v).collect();
+                prop_assert_eq!(&xored, &pab[i]);
+            }
+        }
+    }
+}

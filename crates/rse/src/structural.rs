@@ -1,0 +1,148 @@
+//! Index-only ("structural") decoder for blocked RSE objects.
+//!
+//! The Monte-Carlo sweeps of `fec-sim` only need to know *when* decoding
+//! completes, not the payload bytes. For an MDS code the rule is exact:
+//! a block decodes the moment `k_b` distinct packets of it have arrived, and
+//! the object decodes when every block has. This mirrors
+//! [`crate::RseCodec::decode`] precisely (a property test in the workspace
+//! integration suite cross-checks the two).
+
+use crate::Partition;
+
+/// Tracks per-block reception until a blocked object becomes decodable.
+#[derive(Debug, Clone)]
+pub struct StructuralObjectDecoder {
+    /// Per block: number of distinct packets still needed.
+    missing: Vec<usize>,
+    /// Per block: bitmap of seen ESIs (to ignore duplicates).
+    seen: Vec<Vec<bool>>,
+    /// Blocks not yet decodable.
+    blocks_pending: usize,
+    received: u64,
+    useful: u64,
+}
+
+impl StructuralObjectDecoder {
+    /// Creates a decoder for the given partition.
+    pub fn new(partition: &Partition) -> StructuralObjectDecoder {
+        let missing: Vec<usize> = partition.blocks().iter().map(|b| b.k).collect();
+        let seen = partition
+            .blocks()
+            .iter()
+            .map(|b| vec![false; b.n])
+            .collect();
+        let blocks_pending = missing.len();
+        StructuralObjectDecoder {
+            missing,
+            seen,
+            blocks_pending,
+            received: 0,
+            useful: 0,
+        }
+    }
+
+    /// Feeds one received packet, identified by `(block, esi)`.
+    ///
+    /// Returns `true` once the whole object is decodable. Duplicate packets
+    /// are counted as received (they consume channel budget) but are useless.
+    ///
+    /// # Panics
+    /// Panics on out-of-range block or ESI — the scheduler can never produce
+    /// those, so this is an internal-consistency assertion, not I/O handling.
+    pub fn push(&mut self, block: usize, esi: usize) -> bool {
+        self.received += 1;
+        let seen = &mut self.seen[block];
+        assert!(esi < seen.len(), "ESI {esi} out of range for block {block}");
+        if seen[esi] {
+            return self.is_decoded();
+        }
+        seen[esi] = true;
+        if self.missing[block] > 0 {
+            self.useful += 1;
+            self.missing[block] -= 1;
+            if self.missing[block] == 0 {
+                self.blocks_pending -= 1;
+            }
+        }
+        self.is_decoded()
+    }
+
+    /// True once every block has at least `k_b` distinct packets.
+    #[inline]
+    pub fn is_decoded(&self) -> bool {
+        self.blocks_pending == 0
+    }
+
+    /// Total packets pushed (including duplicates and useless ones).
+    #[inline]
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Packets that actually reduced some block's deficit.
+    #[inline]
+    pub fn useful(&self) -> u64 {
+        self.useful
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_decodes_at_k() {
+        let p = Partition::new(4, 10, 2.0);
+        let mut d = StructuralObjectDecoder::new(&p);
+        assert!(!d.push(0, 0));
+        assert!(!d.push(0, 7)); // parity counts the same
+        assert!(!d.push(0, 2));
+        assert!(d.push(0, 5));
+        assert_eq!(d.received(), 4);
+        assert_eq!(d.useful(), 4);
+    }
+
+    #[test]
+    fn duplicates_consume_budget_but_do_not_help() {
+        let p = Partition::new(2, 10, 2.0);
+        let mut d = StructuralObjectDecoder::new(&p);
+        assert!(!d.push(0, 0));
+        assert!(!d.push(0, 0));
+        assert!(!d.push(0, 0));
+        assert!(d.push(0, 1));
+        assert_eq!(d.received(), 4);
+        assert_eq!(d.useful(), 2);
+    }
+
+    #[test]
+    fn all_blocks_must_complete() {
+        // Two blocks of k=2 each.
+        let p = Partition::new(4, 2, 2.0);
+        assert_eq!(p.num_blocks(), 2);
+        let mut d = StructuralObjectDecoder::new(&p);
+        assert!(!d.push(0, 0));
+        assert!(!d.push(0, 1)); // block 0 done
+        assert!(!d.push(0, 2)); // extra for block 0: useless
+        assert!(!d.push(1, 3));
+        assert!(d.push(1, 0)); // block 1 done -> object done
+        assert_eq!(d.useful(), 4);
+        assert_eq!(d.received(), 5);
+    }
+
+    #[test]
+    fn extra_packets_after_decode_still_counted_as_received() {
+        let p = Partition::new(1, 10, 3.0);
+        let mut d = StructuralObjectDecoder::new(&p);
+        assert!(d.push(0, 0));
+        assert!(d.push(0, 1));
+        assert_eq!(d.received(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn esi_out_of_range_is_a_bug() {
+        let p = Partition::new(2, 10, 1.5);
+        let mut d = StructuralObjectDecoder::new(&p);
+        d.push(0, 3); // n = floor(2*1.5) = 3 -> esi 3 invalid
+    }
+}

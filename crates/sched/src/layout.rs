@@ -1,0 +1,233 @@
+//! Packet identity and block layout.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one encoding packet: block number and encoding symbol ID
+/// within the block. ESIs `0..k_b` are source packets, `k_b..n_b` parity —
+/// the convention used by FLUTE/ALC systematic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PacketRef {
+    /// Source block number.
+    pub block: u32,
+    /// Encoding symbol ID within the block.
+    pub esi: u32,
+}
+
+impl fmt::Display for PacketRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.block, self.esi)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct BlockSpan {
+    k: u32,
+    n: u32,
+    /// Global index of this block's first packet.
+    offset: u64,
+}
+
+/// The block structure of an encoded object.
+///
+/// LDGM codes use a single block covering the whole object; blocked RSE has
+/// one span per source block. All schedules are expressed against a layout,
+/// which keeps the scheduling logic code-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    blocks: Vec<BlockSpan>,
+    total_source: u64,
+    total: u64,
+}
+
+impl Layout {
+    /// A single block with `k` source and `n` total packets (LDGM codes).
+    ///
+    /// # Panics
+    /// Panics unless `0 < k <= n`.
+    pub fn single_block(k: usize, n: usize) -> Layout {
+        Layout::from_blocks([(k, n)])
+    }
+
+    /// Builds a layout from `(k_b, n_b)` pairs in block order.
+    ///
+    /// # Panics
+    /// Panics on an empty block list or any block with `k_b == 0` or
+    /// `n_b < k_b`.
+    pub fn from_blocks<I: IntoIterator<Item = (usize, usize)>>(blocks: I) -> Layout {
+        let mut spans = Vec::new();
+        let mut offset = 0u64;
+        let mut total_source = 0u64;
+        for (k, n) in blocks {
+            assert!(k > 0, "block with no source packets");
+            assert!(n >= k, "block with n < k");
+            spans.push(BlockSpan {
+                k: k as u32,
+                n: n as u32,
+                offset,
+            });
+            offset += n as u64;
+            total_source += k as u64;
+        }
+        assert!(!spans.is_empty(), "layout needs at least one block");
+        Layout {
+            blocks: spans,
+            total_source,
+            total: offset,
+        }
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `(k_b, n_b)` of block `b`.
+    #[inline]
+    pub fn block(&self, b: usize) -> (usize, usize) {
+        let s = self.blocks[b];
+        (s.k as usize, s.n as usize)
+    }
+
+    /// Total packets across blocks (`sum n_b`).
+    #[inline]
+    pub fn total_packets(&self) -> u64 {
+        self.total
+    }
+
+    /// Total source packets (`sum k_b`).
+    #[inline]
+    pub fn total_source(&self) -> u64 {
+        self.total_source
+    }
+
+    /// Total parity packets.
+    #[inline]
+    pub fn total_parity(&self) -> u64 {
+        self.total - self.total_source
+    }
+
+    /// True if `r` denotes a source packet.
+    #[inline]
+    pub fn is_source(&self, r: PacketRef) -> bool {
+        r.esi < self.blocks[r.block as usize].k
+    }
+
+    /// Validates that `r` exists in this layout.
+    pub fn contains(&self, r: PacketRef) -> bool {
+        (r.block as usize) < self.blocks.len() && r.esi < self.blocks[r.block as usize].n
+    }
+
+    /// Maps a packet to a dense global index `0..total_packets()` (block
+    /// offset + ESI) — handy for bitmaps in simulators.
+    #[inline]
+    pub fn global_index(&self, r: PacketRef) -> u64 {
+        let s = self.blocks[r.block as usize];
+        debug_assert!(r.esi < s.n);
+        s.offset + r.esi as u64
+    }
+
+    /// All source packets in sequential order (block 0 first).
+    pub fn source_sequential(&self) -> Vec<PacketRef> {
+        let mut out = Vec::with_capacity(self.total_source as usize);
+        for (b, s) in self.blocks.iter().enumerate() {
+            for esi in 0..s.k {
+                out.push(PacketRef {
+                    block: b as u32,
+                    esi,
+                });
+            }
+        }
+        out
+    }
+
+    /// All parity packets in sequential order (block 0 first).
+    pub fn parity_sequential(&self) -> Vec<PacketRef> {
+        let mut out = Vec::with_capacity((self.total - self.total_source) as usize);
+        for (b, s) in self.blocks.iter().enumerate() {
+            for esi in s.k..s.n {
+                out.push(PacketRef {
+                    block: b as u32,
+                    esi,
+                });
+            }
+        }
+        out
+    }
+
+    /// Every packet, source-sequential then parity-sequential.
+    pub fn all_packets(&self) -> Vec<PacketRef> {
+        let mut out = self.source_sequential();
+        out.extend(self.parity_sequential());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_layout() {
+        let l = Layout::single_block(10, 25);
+        assert_eq!(l.num_blocks(), 1);
+        assert_eq!(l.total_packets(), 25);
+        assert_eq!(l.total_source(), 10);
+        assert_eq!(l.total_parity(), 15);
+        assert!(l.is_source(PacketRef { block: 0, esi: 9 }));
+        assert!(!l.is_source(PacketRef { block: 0, esi: 10 }));
+    }
+
+    #[test]
+    fn multi_block_offsets() {
+        let l = Layout::from_blocks([(3, 7), (2, 5)]);
+        assert_eq!(l.total_packets(), 12);
+        assert_eq!(l.global_index(PacketRef { block: 0, esi: 6 }), 6);
+        assert_eq!(l.global_index(PacketRef { block: 1, esi: 0 }), 7);
+        assert_eq!(l.global_index(PacketRef { block: 1, esi: 4 }), 11);
+    }
+
+    #[test]
+    fn sequential_orders() {
+        let l = Layout::from_blocks([(2, 4), (1, 2)]);
+        let src: Vec<(u32, u32)> = l.source_sequential().iter().map(|r| (r.block, r.esi)).collect();
+        assert_eq!(src, vec![(0, 0), (0, 1), (1, 0)]);
+        let par: Vec<(u32, u32)> = l.parity_sequential().iter().map(|r| (r.block, r.esi)).collect();
+        assert_eq!(par, vec![(0, 2), (0, 3), (1, 1)]);
+        assert_eq!(l.all_packets().len(), 6);
+    }
+
+    #[test]
+    fn contains_validates_bounds() {
+        let l = Layout::from_blocks([(2, 4)]);
+        assert!(l.contains(PacketRef { block: 0, esi: 3 }));
+        assert!(!l.contains(PacketRef { block: 0, esi: 4 }));
+        assert!(!l.contains(PacketRef { block: 1, esi: 0 }));
+    }
+
+    #[test]
+    fn global_indices_are_dense_and_unique() {
+        let l = Layout::from_blocks([(3, 8), (3, 7), (2, 4)]);
+        let mut seen = vec![false; l.total_packets() as usize];
+        for r in l.all_packets() {
+            let g = l.global_index(r) as usize;
+            assert!(!seen[g], "duplicate global index {g}");
+            seen[g] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_layout_rejected() {
+        let _ = Layout::from_blocks(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "n < k")]
+    fn inverted_block_rejected() {
+        let _ = Layout::from_blocks([(5, 4)]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Packet transmission scheduling (paper §4) and reception models (§5).
+//!
+//! The sender has `n` encoding packets — source and parity, possibly spread
+//! over several blocks for a small-block code like RSE — and must pick a
+//! transmission order. That order interacts strongly with the channel's loss
+//! *pattern*, which is the paper's central observation: the same code can be
+//! excellent under one schedule and useless under another.
+//!
+//! This crate is pure combinatorics: it knows nothing about FEC mathematics
+//! or channels. A [`Layout`] describes the block structure (one block for
+//! LDGM, many for blocked RSE); a [`TxModel`] turns a layout + seed into a
+//! transmission order over [`PacketRef`]s; an [`RxModel`] does the same for
+//! the §5 receiver-controlled experiments.
+//!
+//! The six paper models:
+//!
+//! | Model | Order |
+//! |-------|-------|
+//! | `Tx1` | source sequential, then parity sequential |
+//! | `Tx2` | source sequential, then parity random |
+//! | `Tx3` | parity sequential, then source random |
+//! | `Tx4` | everything random |
+//! | `Tx5` | interleaved (round-robin across blocks; 1-source-per-parity-run for single-block codes) |
+//! | `Tx6` | a random fraction (20%) of source + all parity, shuffled together |
+//!
+//! plus the no-FEC repetition scheme of §4.2 (each source packet sent `x`
+//! times, random order), and two **extension models** for the paper's §7
+//! "new transmission schemes" future work, both parameterized by sender
+//! memory:
+//!
+//! * [`TxModel::WindowShuffle`] — bounded-buffer randomization spanning the
+//!   Tx1 → Tx4 continuum (`window` packets of shuffle memory);
+//! * [`TxModel::GroupInterleaved`] — depth-limited interleaving spanning
+//!   sequential → Tx5 (`depth` blocks of interleaver memory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interleave;
+mod layout;
+mod model;
+mod rx;
+
+pub use interleave::{block_interleaved, group_interleaved, single_block_interleaved};
+pub use layout::{Layout, PacketRef};
+pub use model::TxModel;
+pub use rx::RxModel;

@@ -1,0 +1,118 @@
+//! Reception models (paper §5): the receiver-side dual of a transmission
+//! schedule, used to study code behaviour in a fully controlled setting
+//! (no channel, no transmission model — just "which packets arrive, in
+//! which order").
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Layout, PacketRef};
+
+/// A reception model: produces the exact packet arrival sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RxModel {
+    /// Rx_model_1 (§5.1): the receiver first gets `num_source` distinct
+    /// source packets (chosen uniformly), then all parity packets in random
+    /// order. Fig. 14 sweeps `num_source` and finds a sweet spot around
+    /// 400–1000 for k = 20000.
+    SourceThenParityRandom {
+        /// Number of source packets received up front.
+        num_source: usize,
+    },
+    /// All parity packets in random order, no source at all — the limiting
+    /// case of Rx_model_1 (useful to show LDGM cannot start from parity
+    /// alone).
+    ParityOnlyRandom,
+}
+
+impl RxModel {
+    /// Generates the arrival order for `layout`.
+    ///
+    /// # Panics
+    /// Panics if `num_source` exceeds the layout's source packet count.
+    pub fn reception(&self, layout: &Layout, seed: u64) -> Vec<PacketRef> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match *self {
+            RxModel::SourceThenParityRandom { num_source } => {
+                assert!(
+                    num_source as u64 <= layout.total_source(),
+                    "cannot receive {num_source} source packets out of {}",
+                    layout.total_source()
+                );
+                let mut source = layout.source_sequential();
+                source.shuffle(&mut rng);
+                source.truncate(num_source);
+                let mut parity = layout.parity_sequential();
+                parity.shuffle(&mut rng);
+                source.extend(parity);
+                source
+            }
+            RxModel::ParityOnlyRandom => {
+                let mut parity = layout.parity_sequential();
+                parity.shuffle(&mut rng);
+                parity
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rx1_prefix_is_distinct_sources() {
+        let l = Layout::single_block(100, 250);
+        let order = RxModel::SourceThenParityRandom { num_source: 30 }.reception(&l, 5);
+        assert_eq!(order.len(), 30 + 150);
+        let prefix: HashSet<PacketRef> = order[..30].iter().copied().collect();
+        assert_eq!(prefix.len(), 30);
+        assert!(order[..30].iter().all(|r| l.is_source(*r)));
+        assert!(order[30..].iter().all(|r| !l.is_source(*r)));
+        let parity: HashSet<PacketRef> = order[30..].iter().copied().collect();
+        assert_eq!(parity.len(), 150, "every parity packet exactly once");
+    }
+
+    #[test]
+    fn rx1_zero_sources_is_parity_only() {
+        let l = Layout::single_block(10, 30);
+        let a = RxModel::SourceThenParityRandom { num_source: 0 }.reception(&l, 9);
+        let b = RxModel::ParityOnlyRandom.reception(&l, 9);
+        assert_eq!(a.len(), 20);
+        assert_eq!(b.len(), 20);
+        assert!(a.iter().all(|r| !l.is_source(*r)));
+    }
+
+    #[test]
+    fn rx1_all_sources_allowed() {
+        let l = Layout::single_block(10, 30);
+        let order = RxModel::SourceThenParityRandom { num_source: 10 }.reception(&l, 9);
+        assert_eq!(order.len(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot receive")]
+    fn rx1_too_many_sources_panics() {
+        let l = Layout::single_block(10, 30);
+        let _ = RxModel::SourceThenParityRandom { num_source: 11 }.reception(&l, 9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let l = Layout::single_block(50, 125);
+        let m = RxModel::SourceThenParityRandom { num_source: 5 };
+        assert_eq!(m.reception(&l, 1), m.reception(&l, 1));
+        assert_ne!(m.reception(&l, 1), m.reception(&l, 2));
+    }
+
+    #[test]
+    fn works_on_multi_block_layouts() {
+        let l = Layout::from_blocks([(5, 12), (5, 13)]);
+        let order = RxModel::SourceThenParityRandom { num_source: 7 }.reception(&l, 3);
+        assert_eq!(order.len(), 7 + 15);
+        assert!(order.iter().all(|r| l.contains(*r)));
+    }
+}

@@ -1,0 +1,74 @@
+//! Monte-Carlo simulation engine for the paper's methodology (§4.1).
+//!
+//! An [`Experiment`] fixes a (FEC code, object size, expansion ratio,
+//! transmission model, channel) tuple. A [`Runner`] executes independent
+//! randomized runs of it: generate the transmission schedule, walk it
+//! through the Gilbert channel, feed survivors to a *structural* decoder,
+//! and record when decoding completed ([`RunResult`]). A [`GridSweep`]
+//! repeats that over the paper's 14×14 `(p, q)` grid with `runs` trials per
+//! cell, in parallel, and aggregates with the paper's strict rule: **a cell
+//! where any run failed is masked** (printed as `-`), because a scheme that
+//! sometimes fails outright is not acceptable in a feedback-free system.
+//!
+//! The headline metric is the **average inefficiency ratio**
+//! `inef_ratio = n_necessary_for_decoding / k`; the secondary curve
+//! `n_received / k` (everything the channel delivered, even after decoding
+//! finished) bounds it from above and reproduces the paper's
+//! `nreceived/k` surfaces.
+//!
+//! Parallelism follows the workspace guides: scoped threads (structured
+//! concurrency, panics propagate) fed by a `crossbeam` work queue; no async
+//! runtime, because this is pure CPU-bound work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+mod run;
+mod seed;
+mod spec;
+mod sweep;
+
+pub use run::{Runner, RunResult};
+pub use seed::mix_seed;
+pub use spec::{layout_for, partition_for, CodeKind, ExpansionRatio, SimError};
+pub use sweep::{CellStats, GridSweep, SweepConfig, SweepResult};
+
+use fec_channel::GilbertParams;
+use fec_sched::TxModel;
+use serde::{Deserialize, Serialize};
+
+/// A fully-specified simulation experiment (one curve/cell family).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Which FEC code to simulate.
+    pub code: CodeKind,
+    /// Number of source packets in the object (paper: 20000).
+    pub k: usize,
+    /// FEC expansion ratio `n/k` (paper: 1.5 and 2.5).
+    pub ratio: ExpansionRatio,
+    /// Transmission model.
+    pub tx: TxModel,
+    /// Channel parameters (overridden per cell by grid sweeps).
+    pub channel: GilbertParams,
+}
+
+impl Experiment {
+    /// Convenience constructor with a perfect channel (grid sweeps replace
+    /// the channel per cell anyway).
+    pub fn new(code: CodeKind, k: usize, ratio: ExpansionRatio, tx: TxModel) -> Experiment {
+        Experiment {
+            code,
+            k,
+            ratio,
+            tx,
+            channel: GilbertParams::perfect(),
+        }
+    }
+
+    /// Same experiment with different channel parameters.
+    pub fn with_channel(mut self, channel: GilbertParams) -> Experiment {
+        self.channel = channel;
+        self
+    }
+}

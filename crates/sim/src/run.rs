@@ -1,0 +1,469 @@
+//! Single-experiment execution: schedule → channel → structural decode.
+
+use std::sync::Arc;
+
+use fec_channel::{GilbertChannel, GilbertParams, LossModel};
+use fec_ldgm::{LdgmParams, SparseMatrix, StructuralDecoder};
+use fec_rse::{Partition, StructuralObjectDecoder};
+use fec_sched::{Layout, PacketRef, RxModel, TxModel};
+
+use crate::seed::mix_seed;
+use crate::spec::{layout_for, partition_for, CodeKind, SimError};
+use crate::Experiment;
+
+/// Sub-seed stream tags (see [`mix_seed`]).
+const TAG_SCHED: u64 = 1;
+const TAG_CHAN: u64 = 2;
+const TAG_MATRIX: u64 = 3;
+
+/// Outcome of one simulated transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Whether the receiver decoded the full object before the transmission
+    /// ended.
+    pub decoded: bool,
+    /// Number of packets received when decoding completed (the paper's
+    /// `n_necessary_for_decoding`); `None` if decoding never completed.
+    pub n_necessary: Option<u64>,
+    /// Total packets the channel delivered over the whole transmission.
+    /// Only meaningful when the run was executed with `track_total`
+    /// (otherwise it stops counting at decode completion).
+    pub n_received: u64,
+    /// Packets the sender transmitted (the schedule length).
+    pub n_sent: u64,
+}
+
+impl RunResult {
+    /// The paper's inefficiency ratio `n_necessary / k` (`None` on failure).
+    pub fn inefficiency(&self, k: usize) -> Option<f64> {
+        self.n_necessary.map(|n| n as f64 / k as f64)
+    }
+
+    /// The paper's `n_received / k` upper-bound curve.
+    pub fn received_ratio(&self, k: usize) -> f64 {
+        self.n_received as f64 / k as f64
+    }
+}
+
+/// Structural decoder dispatch for one run.
+enum RunDecoder<'m> {
+    /// Blocked MDS decoding (RSE).
+    Rse(StructuralObjectDecoder),
+    /// Iterative peeling (LDGM-*).
+    Ldgm(StructuralDecoder<'m>),
+    /// No FEC at all: complete once every distinct source packet was seen
+    /// (the §4.2 repetition baseline).
+    Counting {
+        seen: Vec<bool>,
+        missing: usize,
+    },
+}
+
+impl RunDecoder<'_> {
+    fn push(&mut self, layout: &Layout, r: PacketRef) -> bool {
+        match self {
+            RunDecoder::Rse(d) => d.push(r.block as usize, r.esi as usize),
+            RunDecoder::Ldgm(d) => d.push(r.esi),
+            RunDecoder::Counting { seen, missing } => {
+                let g = layout.global_index(r) as usize;
+                if layout.is_source(r) && !seen[g] {
+                    seen[g] = true;
+                    *missing -= 1;
+                }
+                *missing == 0
+            }
+        }
+    }
+}
+
+/// Prepared executor for one experiment: owns the layout, the RSE partition
+/// and/or a pool of LDGM matrices so repeated runs amortise construction.
+///
+/// `Runner` is immutable after construction and can be shared across sweep
+/// threads (`&Runner` is `Sync`).
+pub struct Runner {
+    experiment: Experiment,
+    layout: Layout,
+    partition: Option<Partition>,
+    matrices: Vec<Arc<SparseMatrix>>,
+}
+
+impl Runner {
+    /// Default number of independently-seeded LDGM matrices per runner.
+    ///
+    /// The paper regenerates the graph per test; re-using a small pool
+    /// round-robin keeps that variability at a fraction of the build cost.
+    pub const DEFAULT_MATRIX_POOL: usize = 4;
+
+    /// Prepares a runner, building `matrix_pool` LDGM matrices if the code
+    /// needs them (pass [`Runner::DEFAULT_MATRIX_POOL`] normally).
+    pub fn new(experiment: Experiment, matrix_pool: usize) -> Result<Runner, SimError> {
+        let ratio = experiment.ratio.as_f64();
+        let layout = layout_for(experiment.code, experiment.k, ratio)?;
+        let partition = partition_for(experiment.code, experiment.k, ratio);
+
+        let mut matrices = Vec::new();
+        if let Some(right) = experiment.code.ldgm_right_side() {
+            if matrix_pool == 0 {
+                return Err(SimError::BadExperiment {
+                    reason: "matrix pool must be non-empty for LDGM codes".into(),
+                });
+            }
+            let (k, n) = layout.block(0);
+            if n - k < fec_ldgm::DEFAULT_LEFT_DEGREE {
+                return Err(SimError::BadExperiment {
+                    reason: format!(
+                        "LDGM needs at least {} check equations, got {}",
+                        fec_ldgm::DEFAULT_LEFT_DEGREE,
+                        n - k
+                    ),
+                });
+            }
+            for i in 0..matrix_pool {
+                // Fixed base so every runner with equal (code, k, ratio)
+                // uses the same matrix pool — comparisons across
+                // transmission models then hold the code instance constant.
+                let seed = mix_seed(0x5EED_BA5E, &[TAG_MATRIX, i as u64]);
+                let m = SparseMatrix::build(LdgmParams::new(k, n, right, seed)).map_err(|e| {
+                    SimError::BadExperiment {
+                        reason: format!("LDGM matrix construction failed: {e}"),
+                    }
+                })?;
+                matrices.push(Arc::new(m));
+            }
+        }
+        Ok(Runner {
+            experiment,
+            layout,
+            partition,
+            matrices,
+        })
+    }
+
+    /// The experiment this runner executes.
+    pub fn experiment(&self) -> &Experiment {
+        &self.experiment
+    }
+
+    /// The packet layout (block structure).
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The RSE partition, if the code is blocked.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// Executes run number `run_idx` with the experiment's own channel.
+    ///
+    /// With `track_total = false` the walk stops at decode completion
+    /// (faster); with `true` it consumes the whole schedule so
+    /// [`RunResult::n_received`] reflects the full transmission.
+    pub fn run(&self, master_seed: u64, run_idx: u64, track_total: bool) -> RunResult {
+        self.run_with_channel(self.experiment.channel, master_seed, run_idx, track_total)
+    }
+
+    /// Executes run number `run_idx` against an explicit channel (used by
+    /// grid sweeps, which vary the channel per cell).
+    pub fn run_with_channel(
+        &self,
+        channel: GilbertParams,
+        master_seed: u64,
+        run_idx: u64,
+        track_total: bool,
+    ) -> RunResult {
+        let sched_seed = mix_seed(master_seed, &[TAG_SCHED, run_idx]);
+        let chan_seed = mix_seed(master_seed, &[TAG_CHAN, run_idx]);
+        let schedule = self.experiment.tx.schedule(&self.layout, sched_seed);
+        let mut gilbert = GilbertChannel::new(channel, chan_seed);
+        self.walk(&schedule, |_| gilbert.next_is_lost(), run_idx, track_total)
+    }
+
+    /// Executes a §5 reception-model run: the arrival sequence is given
+    /// directly, nothing is lost.
+    pub fn run_reception(&self, rx: RxModel, master_seed: u64, run_idx: u64) -> RunResult {
+        let rx_seed = mix_seed(master_seed, &[TAG_SCHED, run_idx]);
+        let arrivals = rx.reception(&self.layout, rx_seed);
+        self.walk(&arrivals, |_| false, run_idx, false)
+    }
+
+    /// Walks a packet sequence through a loss predicate into a fresh
+    /// structural decoder.
+    fn walk(
+        &self,
+        sequence: &[PacketRef],
+        mut is_lost: impl FnMut(usize) -> bool,
+        run_idx: u64,
+        track_total: bool,
+    ) -> RunResult {
+        let mut decoder = self.make_decoder(run_idx);
+        let mut n_received = 0u64;
+        let mut n_necessary = None;
+        for (i, &r) in sequence.iter().enumerate() {
+            if is_lost(i) {
+                continue;
+            }
+            n_received += 1;
+            if decoder.push(&self.layout, r) && n_necessary.is_none() {
+                n_necessary = Some(n_received);
+                if !track_total {
+                    break;
+                }
+            }
+        }
+        RunResult {
+            decoded: n_necessary.is_some(),
+            n_necessary,
+            n_received,
+            n_sent: sequence.len() as u64,
+        }
+    }
+
+    fn make_decoder(&self, run_idx: u64) -> RunDecoder<'_> {
+        if matches!(self.experiment.tx, TxModel::RepeatSource { .. }) {
+            // No FEC: parity never enters the schedule; completion is
+            // "collected all k distinct source packets".
+            return RunDecoder::Counting {
+                seen: vec![false; self.layout.total_packets() as usize],
+                missing: self.experiment.k,
+            };
+        }
+        match self.experiment.code {
+            CodeKind::Rse => RunDecoder::Rse(StructuralObjectDecoder::new(
+                self.partition.as_ref().expect("RSE runner has a partition"),
+            )),
+            _ => {
+                let m = &self.matrices[run_idx as usize % self.matrices.len()];
+                RunDecoder::Ldgm(StructuralDecoder::new(m))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExpansionRatio;
+
+    fn exp(code: CodeKind, k: usize, ratio: ExpansionRatio, tx: TxModel) -> Experiment {
+        Experiment::new(code, k, ratio, tx)
+    }
+
+    #[test]
+    fn perfect_channel_tx1_is_exactly_k() {
+        // Paper §4.3: "without loss (p = 0) the inefficiency ratio is 1.0
+        // with all codes" under Tx_model_1.
+        for code in CodeKind::paper_codes() {
+            let r = Runner::new(
+                exp(code, 500, ExpansionRatio::R2_5, TxModel::SourceSeqParitySeq),
+                2,
+            )
+            .unwrap();
+            let out = r.run(7, 0, false);
+            assert!(out.decoded);
+            assert_eq!(out.n_necessary, Some(500), "{code}");
+            assert_eq!(out.inefficiency(500), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn tx2_perfect_channel_also_exactly_k() {
+        for code in CodeKind::paper_codes() {
+            let r = Runner::new(
+                exp(code, 300, ExpansionRatio::R1_5, TxModel::SourceSeqParityRandom),
+                2,
+            )
+            .unwrap();
+            let out = r.run(11, 0, false);
+            assert_eq!(out.n_necessary, Some(300), "{code}");
+        }
+    }
+
+    #[test]
+    fn tx3_perfect_channel_matches_paper_section_4_5() {
+        // Paper: with p = 0 under Tx_model_3 the inefficiency is ~1.5 at
+        // ratio 2.5 for both families (parity is sent first; LDGM needs one
+        // source packet, RSE needs k_b of the last block).
+        let k = 500;
+        for code in [CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+            let r = Runner::new(
+                exp(code, k, ExpansionRatio::R2_5, TxModel::ParitySeqSourceRandom),
+                2,
+            )
+            .unwrap();
+            let out = r.run(3, 0, false);
+            // All n-k = 750 parity packets + exactly one source packet.
+            assert_eq!(out.n_necessary, Some(751), "{code}");
+        }
+        let r = Runner::new(
+            exp(CodeKind::Rse, k, ExpansionRatio::R2_5, TxModel::ParitySeqSourceRandom),
+            2,
+        )
+        .unwrap();
+        let out = r.run(3, 0, false);
+        let inef = out.inefficiency(k).unwrap();
+        assert!((1.4..=1.6).contains(&inef), "RSE Tx3 inefficiency {inef}");
+    }
+
+    #[test]
+    fn lossy_channel_needs_more_than_k() {
+        let ch = GilbertParams::new(0.05, 0.5).unwrap();
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                1000,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
+            2,
+        )
+        .unwrap();
+        let out = r.run_with_channel(ch, 5, 0, false);
+        assert!(out.decoded);
+        assert!(out.n_necessary.unwrap() > 1000);
+    }
+
+    #[test]
+    fn hopeless_channel_fails() {
+        // q = 0: after the first loss, everything is lost. With p = 0.5 the
+        // receiver gets only a handful of packets.
+        let ch = GilbertParams::new(0.5, 0.0).unwrap();
+        let r = Runner::new(
+            exp(CodeKind::LdgmStaircase, 200, ExpansionRatio::R2_5, TxModel::Random),
+            2,
+        )
+        .unwrap();
+        let out = r.run_with_channel(ch, 5, 0, true);
+        assert!(!out.decoded);
+        assert_eq!(out.n_necessary, None);
+        assert!(out.n_received < 200);
+    }
+
+    #[test]
+    fn track_total_consumes_whole_schedule() {
+        let r = Runner::new(
+            exp(CodeKind::Rse, 100, ExpansionRatio::R1_5, TxModel::Interleaved),
+            1,
+        )
+        .unwrap();
+        let full = r.run(1, 0, true);
+        assert_eq!(full.n_received, full.n_sent); // perfect channel
+        let short = r.run(1, 0, false);
+        assert_eq!(short.n_necessary, short.n_necessary);
+        assert!(short.n_received <= full.n_received);
+    }
+
+    #[test]
+    fn repetition_baseline_decodes_only_when_all_coupons_collected() {
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                100,
+                ExpansionRatio::R2_5,
+                TxModel::RepeatSource { copies: 2 },
+            ),
+            1,
+        )
+        .unwrap();
+        let out = r.run(9, 0, false);
+        assert!(out.decoded, "no loss: all coupons arrive");
+        assert_eq!(out.n_sent, 200);
+        // Must wait for the last distinct coupon; with 2 copies shuffled the
+        // expected completion is deep into the stream.
+        assert!(out.n_necessary.unwrap() > 100);
+    }
+
+    #[test]
+    fn repetition_fails_with_any_burst_loss() {
+        // fig 7's point: with p > 0 some source packet loses both copies.
+        let ch = GilbertParams::new(0.2, 0.3).unwrap();
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                500,
+                ExpansionRatio::R2_5,
+                TxModel::RepeatSource { copies: 2 },
+            ),
+            1,
+        )
+        .unwrap();
+        let failures = (0..10).filter(|&i| !r.run_with_channel(ch, 3, i, true).decoded).count();
+        assert!(failures >= 8, "only {failures}/10 failed");
+    }
+
+    #[test]
+    fn reception_model_runs_without_channel() {
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                200,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
+            2,
+        )
+        .unwrap();
+        let out = r.run_reception(RxModel::SourceThenParityRandom { num_source: 20 }, 5, 0);
+        assert!(out.decoded);
+        assert_eq!(out.n_sent, 20 + 300);
+    }
+
+    #[test]
+    fn ldgm_parity_only_reception_fails() {
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                200,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
+            2,
+        )
+        .unwrap();
+        let out = r.run_reception(RxModel::ParityOnlyRandom, 5, 0);
+        assert!(!out.decoded, "LDGM cannot decode from parity alone");
+    }
+
+    #[test]
+    fn rse_parity_only_reception_succeeds_at_ratio_2_5() {
+        // n - k >= k per block at ratio 2.5, so RSE decodes from parity only
+        // (paper §4.5: RSE can be used as a non-systematic code).
+        let r = Runner::new(
+            exp(CodeKind::Rse, 200, ExpansionRatio::R2_5, TxModel::Random),
+            1,
+        )
+        .unwrap();
+        let out = r.run_reception(RxModel::ParityOnlyRandom, 5, 0);
+        assert!(out.decoded);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let r = Runner::new(
+            exp(CodeKind::LdgmTriangle, 300, ExpansionRatio::R2_5, TxModel::Random),
+            2,
+        )
+        .unwrap();
+        let ch = GilbertParams::new(0.1, 0.5).unwrap();
+        let a = r.run_with_channel(ch, 42, 3, true);
+        let b = r.run_with_channel(ch, 42, 3, true);
+        assert_eq!(a, b);
+        let c = r.run_with_channel(ch, 43, 3, true);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn runner_validation() {
+        assert!(Runner::new(
+            exp(CodeKind::LdgmStaircase, 10, ExpansionRatio::Custom(1.1), TxModel::Random),
+            2
+        )
+        .is_err()); // only 1 check equation
+        assert!(Runner::new(
+            exp(CodeKind::LdgmStaircase, 100, ExpansionRatio::R2_5, TxModel::Random),
+            0
+        )
+        .is_err()); // empty matrix pool
+    }
+}

@@ -1,0 +1,413 @@
+//! Grid sweeps over the `(p, q)` channel space, with the paper's
+//! failure-masking aggregation (§4.1).
+
+use std::num::NonZeroUsize;
+
+use fec_channel::{grid, GilbertParams};
+use serde::{Deserialize, Serialize};
+
+use crate::seed::mix_seed;
+use crate::{Experiment, Runner, SimError};
+
+/// Sweep configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Trials per grid cell (paper: 100).
+    pub runs: u32,
+    /// Values of `p` to sweep (paper: [`grid::PAPER_GRID`]).
+    pub grid_p: Vec<f64>,
+    /// Values of `q` to sweep.
+    pub grid_q: Vec<f64>,
+    /// Master seed; every run derives deterministically from it.
+    pub seed: u64,
+    /// Number of independently-seeded LDGM matrices to rotate through.
+    pub matrix_pool: usize,
+    /// Whether to consume the whole schedule per run so the
+    /// `n_received / k` curve is exact (slower; needed for Figs. 8 and 10).
+    pub track_total: bool,
+    /// Worker threads (`None` = all available cores).
+    pub threads: Option<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            runs: 100,
+            grid_p: grid::PAPER_GRID.to_vec(),
+            grid_q: grid::PAPER_GRID.to_vec(),
+            seed: 0x0C0_FFEE,
+            matrix_pool: Runner::DEFAULT_MATRIX_POOL,
+            track_total: false,
+            threads: None,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The paper's configuration: 14×14 grid, 100 runs per cell.
+    pub fn paper() -> SweepConfig {
+        SweepConfig::default()
+    }
+
+    /// A smaller configuration for quick exploration and tests.
+    pub fn quick(runs: u32) -> SweepConfig {
+        SweepConfig {
+            runs,
+            grid_p: grid::COARSE_GRID.to_vec(),
+            grid_q: grid::COARSE_GRID.to_vec(),
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// Aggregated statistics for one `(p, q)` cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// Channel parameter `p` of this cell.
+    pub p: f64,
+    /// Channel parameter `q` of this cell.
+    pub q: f64,
+    /// Trials executed.
+    pub runs: u32,
+    /// Trials where decoding never completed.
+    pub failures: u32,
+    /// Mean inefficiency ratio over *successful* runs, masked to `None` if
+    /// any run failed (the paper's plotting rule) or no run succeeded.
+    pub mean_inefficiency: Option<f64>,
+    /// Mean inefficiency over successful runs even when some failed
+    /// (diagnostic; the paper hides these points).
+    pub mean_inefficiency_unmasked: Option<f64>,
+    /// Min/max inefficiency over successful runs.
+    pub min_inefficiency: Option<f64>,
+    /// Maximum inefficiency over successful runs.
+    pub max_inefficiency: Option<f64>,
+    /// Sample standard deviation of the inefficiency over successful runs.
+    pub std_inefficiency: Option<f64>,
+    /// Mean `n_received / k` over all runs (only if `track_total`).
+    pub mean_received_ratio: Option<f64>,
+}
+
+impl CellStats {
+    /// The paper's "plot nothing here" predicate.
+    pub fn is_masked(&self) -> bool {
+        self.mean_inefficiency.is_none()
+    }
+}
+
+/// Result of a full grid sweep: cells in row-major order, `p` outer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The experiment swept (its `channel` field is ignored/replaced).
+    pub experiment: Experiment,
+    /// The configuration used.
+    pub config: SweepConfig,
+    /// One entry per `(p, q)` pair, `p` outer, `q` inner.
+    pub cells: Vec<CellStats>,
+}
+
+impl SweepResult {
+    /// Looks up the cell for `(p, q)` (exact float match on grid values).
+    pub fn cell(&self, p: f64, q: f64) -> Option<&CellStats> {
+        self.cells.iter().find(|c| c.p == p && c.q == q)
+    }
+
+    /// Iterates over non-masked `(p, q, mean_inefficiency)` triples.
+    pub fn surface(&self) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        self.cells
+            .iter()
+            .filter_map(|c| c.mean_inefficiency.map(|m| (c.p, c.q, m)))
+    }
+
+    /// Overall mean of the non-masked cell means (a scalar summary used by
+    /// shape tests: "model A beats model B on this channel family").
+    pub fn grand_mean(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.surface().map(|(_, _, m)| m).collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Number of masked cells.
+    pub fn masked_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_masked()).count()
+    }
+}
+
+/// A prepared grid sweep.
+pub struct GridSweep {
+    runner: Runner,
+    config: SweepConfig,
+}
+
+impl GridSweep {
+    /// Validates and prepares the sweep.
+    pub fn new(experiment: Experiment, config: SweepConfig) -> Result<GridSweep, SimError> {
+        if config.runs == 0 {
+            return Err(SimError::BadExperiment {
+                reason: "sweep needs at least one run per cell".into(),
+            });
+        }
+        for (name, g) in [("p", &config.grid_p), ("q", &config.grid_q)] {
+            if g.is_empty() {
+                return Err(SimError::BadExperiment {
+                    reason: format!("empty {name} grid"),
+                });
+            }
+            if g.iter().any(|v| !(0.0..=1.0).contains(v)) {
+                return Err(SimError::BadExperiment {
+                    reason: format!("{name} grid contains non-probability values"),
+                });
+            }
+        }
+        let runner = Runner::new(experiment, config.matrix_pool)?;
+        Ok(GridSweep { runner, config })
+    }
+
+    /// Runs the sweep across worker threads and aggregates per cell.
+    ///
+    /// Structured concurrency: workers are scoped, a panic in any worker
+    /// propagates to the caller, and every cell's result is accounted for.
+    pub fn execute(&self) -> SweepResult {
+        let cells: Vec<(usize, f64, f64)> = self
+            .config
+            .grid_p
+            .iter()
+            .flat_map(|&p| self.config.grid_q.iter().map(move |&q| (p, q)))
+            .enumerate()
+            .map(|(i, (p, q))| (i, p, q))
+            .collect();
+
+        let threads = self
+            .config
+            .threads
+            .or_else(|| std::thread::available_parallelism().ok().map(NonZeroUsize::get))
+            .unwrap_or(1)
+            .max(1)
+            .min(cells.len().max(1));
+
+        let (work_tx, work_rx) = crossbeam_channel::unbounded::<(usize, f64, f64)>();
+        let (done_tx, done_rx) = crossbeam_channel::unbounded::<(usize, CellStats)>();
+        for cell in &cells {
+            work_tx.send(*cell).expect("queue open");
+        }
+        drop(work_tx);
+
+        let mut results: Vec<Option<CellStats>> = vec![None; cells.len()];
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((idx, p, q)) = work_rx.recv() {
+                        let stats = self.sweep_cell(idx, p, q);
+                        done_tx.send((idx, stats)).expect("collector open");
+                    }
+                });
+            }
+            drop(done_tx);
+            while let Ok((idx, stats)) = done_rx.recv() {
+                results[idx] = Some(stats);
+            }
+        });
+
+        SweepResult {
+            experiment: *self.runner.experiment(),
+            config: self.config.clone(),
+            cells: results
+                .into_iter()
+                .map(|c| c.expect("every cell completed"))
+                .collect(),
+        }
+    }
+
+    /// Runs all trials for one cell and aggregates.
+    fn sweep_cell(&self, cell_idx: usize, p: f64, q: f64) -> CellStats {
+        let k = self.runner.experiment().k;
+        let channel = GilbertParams::new(p, q).expect("grid probabilities validated");
+        let cell_seed = mix_seed(self.config.seed, &[cell_idx as u64]);
+
+        let mut failures = 0u32;
+        let mut ineffs: Vec<f64> = Vec::with_capacity(self.config.runs as usize);
+        let mut received_sum = 0.0f64;
+        for run_idx in 0..self.config.runs {
+            let out = self.runner.run_with_channel(
+                channel,
+                cell_seed,
+                run_idx as u64,
+                self.config.track_total,
+            );
+            match out.inefficiency(k) {
+                Some(i) => ineffs.push(i),
+                None => failures += 1,
+            }
+            received_sum += out.received_ratio(k);
+        }
+
+        let mean_unmasked = if ineffs.is_empty() {
+            None
+        } else {
+            Some(ineffs.iter().sum::<f64>() / ineffs.len() as f64)
+        };
+        let std = if ineffs.len() > 1 {
+            let m = mean_unmasked.expect("non-empty");
+            Some(
+                (ineffs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (ineffs.len() - 1) as f64)
+                    .sqrt(),
+            )
+        } else {
+            None
+        };
+        CellStats {
+            p,
+            q,
+            runs: self.config.runs,
+            failures,
+            mean_inefficiency: if failures == 0 { mean_unmasked } else { None },
+            mean_inefficiency_unmasked: mean_unmasked,
+            min_inefficiency: ineffs.iter().copied().reduce(f64::min),
+            max_inefficiency: ineffs.iter().copied().reduce(f64::max),
+            std_inefficiency: std,
+            mean_received_ratio: self
+                .config
+                .track_total
+                .then(|| received_sum / self.config.runs as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CodeKind, ExpansionRatio};
+    use fec_sched::TxModel;
+
+    fn tiny_sweep(code: CodeKind, tx: TxModel) -> SweepResult {
+        let exp = Experiment::new(code, 200, ExpansionRatio::R2_5, tx);
+        let cfg = SweepConfig {
+            runs: 5,
+            grid_p: vec![0.0, 0.1, 0.9],
+            grid_q: vec![0.1, 0.9],
+            seed: 1,
+            matrix_pool: 2,
+            track_total: false,
+            threads: Some(2),
+        };
+        GridSweep::new(exp, cfg).unwrap().execute()
+    }
+
+    #[test]
+    fn sweep_covers_every_cell_in_order() {
+        let r = tiny_sweep(CodeKind::LdgmStaircase, TxModel::Random);
+        assert_eq!(r.cells.len(), 6);
+        let coords: Vec<(f64, f64)> = r.cells.iter().map(|c| (c.p, c.q)).collect();
+        assert_eq!(
+            coords,
+            vec![(0.0, 0.1), (0.0, 0.9), (0.1, 0.1), (0.1, 0.9), (0.9, 0.1), (0.9, 0.9)]
+        );
+    }
+
+    #[test]
+    fn perfect_channel_cells_never_fail() {
+        let r = tiny_sweep(CodeKind::Rse, TxModel::Interleaved);
+        for c in r.cells.iter().filter(|c| c.p == 0.0) {
+            assert_eq!(c.failures, 0);
+            assert!(c.mean_inefficiency.is_some());
+        }
+    }
+
+    #[test]
+    fn hopeless_cells_are_masked() {
+        // p=0.9, q=0.1 → 90% loss: impossible at ratio 2.5.
+        let r = tiny_sweep(CodeKind::LdgmStaircase, TxModel::Random);
+        let c = r.cell(0.9, 0.1).unwrap();
+        assert_eq!(c.failures, c.runs);
+        assert!(c.is_masked());
+        assert!(c.mean_inefficiency_unmasked.is_none());
+        assert!(r.masked_cells() >= 1);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let exp = Experiment::new(
+            CodeKind::LdgmTriangle,
+            150,
+            ExpansionRatio::R2_5,
+            TxModel::Random,
+        );
+        let mk = |threads| {
+            let cfg = SweepConfig {
+                runs: 4,
+                grid_p: vec![0.0, 0.2],
+                grid_q: vec![0.3, 0.8],
+                seed: 9,
+                matrix_pool: 2,
+                track_total: true,
+                threads: Some(threads),
+            };
+            GridSweep::new(exp, cfg).unwrap().execute().cells
+        };
+        assert_eq!(mk(1), mk(4), "results must not depend on scheduling");
+    }
+
+    #[test]
+    fn track_total_populates_received_ratio() {
+        let exp = Experiment::new(CodeKind::Rse, 100, ExpansionRatio::R1_5, TxModel::Random);
+        let cfg = SweepConfig {
+            runs: 3,
+            grid_p: vec![0.1],
+            grid_q: vec![0.5],
+            track_total: true,
+            threads: Some(1),
+            ..SweepConfig::default()
+        };
+        let r = GridSweep::new(exp, cfg).unwrap().execute();
+        let ratio = r.cells[0].mean_received_ratio.unwrap();
+        // ~78% delivery of 1.5k packets ≈ 1.17k received.
+        assert!(ratio > 0.9 && ratio < 1.5, "received ratio {ratio}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let exp = Experiment::new(CodeKind::Rse, 10, ExpansionRatio::R1_5, TxModel::Random);
+        let bad_runs = SweepConfig {
+            runs: 0,
+            ..SweepConfig::default()
+        };
+        assert!(GridSweep::new(exp, bad_runs).is_err());
+        let bad_grid = SweepConfig {
+            grid_p: vec![1.5],
+            ..SweepConfig::default()
+        };
+        assert!(GridSweep::new(exp, bad_grid).is_err());
+        let empty_grid = SweepConfig {
+            grid_q: vec![],
+            ..SweepConfig::default()
+        };
+        assert!(GridSweep::new(exp, empty_grid).is_err());
+    }
+
+    #[test]
+    fn grand_mean_and_surface() {
+        let r = tiny_sweep(CodeKind::LdgmStaircase, TxModel::Random);
+        let gm = r.grand_mean().unwrap();
+        assert!(gm >= 1.0, "inefficiency is at least 1, got {gm}");
+        for (_, _, m) in r.surface() {
+            assert!(m >= 1.0);
+        }
+    }
+
+    #[test]
+    fn sweep_result_serializes() {
+        // Float text formatting may differ in the last ulp, so compare the
+        // JSON fixed point: deserialize -> serialize must be idempotent.
+        let r = tiny_sweep(CodeKind::Rse, TxModel::Random);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SweepResult = serde_json::from_str(&json).unwrap();
+        let json2 = serde_json::to_string(&back).unwrap();
+        assert_eq!(json, json2);
+        assert_eq!(back.cells.len(), r.cells.len());
+        assert_eq!(back.masked_cells(), r.masked_cells());
+    }
+}

@@ -1,0 +1,423 @@
+//! `fec-broadcast` — command-line front end for the paper's workflows.
+//!
+//! ```text
+//! fec-broadcast recommend [--p <p> --q <q>] [--high-loss]
+//! fec-broadcast plan --k <k> --ratio <r> --inef <i> --p <p> --q <q> [--tolerance <n>]
+//! fec-broadcast sweep --code <rse|staircase|triangle> --tx <1..6> --ratio <r>
+//!                     [--k <k>] [--runs <n>] [--coarse]
+//! fec-broadcast map [--ratio <r>]
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (the workspace's dependency
+//! budget has no CLI crate); every command prints a paper-style report to
+//! stdout.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use fec_broadcast::channel::analysis::FeasibilityLimit;
+use fec_broadcast::prelude::*;
+use fec_broadcast::sim::report;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "recommend" => cmd_recommend(&opts),
+        "plan" => cmd_plan(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "map" => cmd_map(&opts),
+        "send" => cmd_send(&opts),
+        "recv" => cmd_recv(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+fec-broadcast — FEC scheduling & loss-distribution toolkit (INRIA RR-5578)
+
+USAGE:
+  fec-broadcast recommend [--p <p> --q <q>] [--high-loss]
+      Rule-based §6.1 recommendations. With --p/--q: for that known channel.
+
+  fec-broadcast plan --k <k> --ratio <r> --inef <i> --p <p> --q <q> [--tolerance <n>]
+      Equation-3 transmission plan: how many packets to actually send.
+
+  fec-broadcast sweep --code <rse|staircase|triangle> --tx <1..6> --ratio <r>
+                      [--k <k>] [--runs <n>] [--coarse]
+      Monte-Carlo (p,q) grid sweep; prints a paper-style inefficiency table.
+
+  fec-broadcast map [--ratio <r>]
+      ASCII feasibility region (paper Fig. 6) for the given expansion ratio.
+
+  fec-broadcast send --file <path> --dest <addr:port>
+                     [--tsi <n>] [--code <rse|staircase|triangle>] [--tx <1..6>]
+                     [--ratio <r>] [--symbol <bytes>] [--seed <n>]
+                     [--loss-p <p> --loss-q <q>]
+      FLUTE/ALC file broadcast over UDP (feedback-free). --loss-p/--loss-q
+      inject Gilbert losses at the sender for reproducible demos.
+
+  fec-broadcast recv --listen <addr:port> [--tsi <n>] [--out <path>]
+                     [--timeout <secs>]
+      Join a FLUTE session and reconstruct the broadcast file.
+
+Probabilities are given as fractions (0.05 = 5%).";
+
+/// Minimal `--key value` / `--flag` parser.
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {arg:?}"));
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => String::from("true"), // bare flag
+        };
+        if out.insert(key.to_string(), value).is_some() {
+            return Err(format!("--{key} given twice"));
+        }
+    }
+    Ok(out)
+}
+
+fn get_f64(opts: &HashMap<String, String>, key: &str) -> Result<Option<f64>, String> {
+    opts.get(key)
+        .map(|v| v.parse::<f64>().map_err(|_| format!("--{key} {v:?} is not a number")))
+        .transpose()
+}
+
+fn require_f64(opts: &HashMap<String, String>, key: &str) -> Result<f64, String> {
+    get_f64(opts, key)?.ok_or_else(|| format!("--{key} is required"))
+}
+
+fn get_usize(opts: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key} {v:?} is not an integer")),
+        None => Ok(default),
+    }
+}
+
+fn channel_from(opts: &HashMap<String, String>) -> Result<Option<GilbertParams>, String> {
+    match (get_f64(opts, "p")?, get_f64(opts, "q")?) {
+        (Some(p), Some(q)) => GilbertParams::new(p, q)
+            .map(Some)
+            .map_err(|e| e.to_string()),
+        (None, None) => Ok(None),
+        _ => Err("--p and --q must be given together".into()),
+    }
+}
+
+fn cmd_recommend(opts: &HashMap<String, String>) -> Result<(), String> {
+    let knowledge = match (channel_from(opts)?, opts.contains_key("high-loss")) {
+        (Some(ch), _) => {
+            println!(
+                "channel: p = {}, q = {} (p_global = {:.2}%, mean burst {:.1})\n",
+                ch.p(),
+                ch.q(),
+                ch.global_loss_probability() * 100.0,
+                ch.mean_burst_length().unwrap_or(f64::NAN)
+            );
+            ChannelKnowledge::Known(ch)
+        }
+        (None, true) => ChannelKnowledge::UnknownHighLoss,
+        (None, false) => ChannelKnowledge::Unknown,
+    };
+    for (i, rec) in recommend(knowledge).iter().enumerate() {
+        println!(
+            "{}. {} + {} @ ratio {}\n   {}",
+            i + 1,
+            rec.code.name(),
+            rec.tx.name(),
+            rec.ratio.as_f64(),
+            rec.rationale
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(opts: &HashMap<String, String>) -> Result<(), String> {
+    let k = get_usize(opts, "k", 0)?;
+    if k == 0 {
+        return Err("--k is required".into());
+    }
+    let ratio = require_f64(opts, "ratio")?;
+    let inef = require_f64(opts, "inef")?;
+    let channel = channel_from(opts)?.ok_or("--p and --q are required")?;
+    let tolerance = get_usize(opts, "tolerance", 0)? as u64;
+    let n_total = (k as f64 * ratio).floor() as u64;
+    let plan = TransmissionPlan::new(k, n_total, inef, channel, tolerance);
+    println!(
+        "object: k = {k}, n = {n_total} (ratio {ratio}); channel p_global = {:.2}%",
+        plan.p_global * 100.0
+    );
+    println!(
+        "send n_sent = {} packets (saves {} = {:.1}%)",
+        plan.n_sent,
+        plan.savings_packets(),
+        plan.savings_fraction() * 100.0
+    );
+    println!(
+        "expected deliveries: {:.0} for a requirement of {:.0} ({})",
+        plan.expected_received(),
+        plan.inefficiency * k as f64,
+        if plan.is_sufficient() {
+            "sufficient"
+        } else {
+            "INSUFFICIENT — even n packets cannot cover this channel"
+        }
+    );
+    Ok(())
+}
+
+/// Parses `--code`, defaulting to the paper's universal recommendation.
+fn parse_code(opts: &HashMap<String, String>, default: Option<CodeKind>) -> Result<CodeKind, String> {
+    match opts.get("code").map(String::as_str) {
+        Some("rse") => Ok(CodeKind::Rse),
+        Some("staircase") => Ok(CodeKind::LdgmStaircase),
+        Some("triangle") => Ok(CodeKind::LdgmTriangle),
+        Some(other) => Err(format!("unknown --code {other:?}")),
+        None => default.ok_or_else(|| "--code is required (rse|staircase|triangle)".into()),
+    }
+}
+
+/// Parses `--tx` as a paper model number.
+fn parse_tx(opts: &HashMap<String, String>, default: Option<TxModel>) -> Result<TxModel, String> {
+    match opts.get("tx").map(String::as_str) {
+        Some("1") => Ok(TxModel::SourceSeqParitySeq),
+        Some("2") => Ok(TxModel::SourceSeqParityRandom),
+        Some("3") => Ok(TxModel::ParitySeqSourceRandom),
+        Some("4") => Ok(TxModel::Random),
+        Some("5") => Ok(TxModel::Interleaved),
+        Some("6") => Ok(TxModel::tx6_paper()),
+        Some(other) => Err(format!("unknown --tx {other:?} (1..6)")),
+        None => default.ok_or_else(|| "--tx is required (1..6)".into()),
+    }
+}
+
+/// Maps a numeric ratio onto the paper's enum values where exact.
+fn ratio_from(r: f64) -> Result<ExpansionRatio, String> {
+    if r < 1.0 {
+        return Err(format!("--ratio {r} must be >= 1"));
+    }
+    Ok(if (r - 1.5).abs() < 1e-12 {
+        ExpansionRatio::R1_5
+    } else if (r - 2.5).abs() < 1e-12 {
+        ExpansionRatio::R2_5
+    } else {
+        ExpansionRatio::Custom(r)
+    })
+}
+
+fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    let code = parse_code(opts, None)?;
+    let tx = parse_tx(opts, None)?;
+    let ratio = ratio_from(require_f64(opts, "ratio")?)?;
+    let k = get_usize(opts, "k", 2000)?;
+    let runs = get_usize(opts, "runs", 20)? as u32;
+    let grid = if opts.contains_key("coarse") {
+        fec_broadcast::channel::grid::COARSE_GRID.to_vec()
+    } else {
+        fec_broadcast::channel::grid::PAPER_GRID.to_vec()
+    };
+
+    let experiment = Experiment::new(code, k, ratio, tx);
+    let config = SweepConfig {
+        runs,
+        grid_p: grid.clone(),
+        grid_q: grid,
+        ..SweepConfig::default()
+    };
+    println!(
+        "sweeping {} / {} / ratio {} at k = {k}, {runs} runs per cell…\n",
+        code.name(),
+        tx.name(),
+        ratio.as_f64()
+    );
+    let result = GridSweep::new(experiment, config)
+        .map_err(|e| e.to_string())?
+        .execute();
+    println!("{}", report::paper_table(&result));
+    println!(
+        "grand mean {} over {} decodable cells ({} masked)",
+        result
+            .grand_mean()
+            .map_or_else(|| "-".into(), |m| format!("{m:.4}")),
+        result.cells.len() - result.masked_cells(),
+        result.masked_cells()
+    );
+    Ok(())
+}
+
+fn cmd_map(opts: &HashMap<String, String>) -> Result<(), String> {
+    let ratio = get_f64(opts, "ratio")?.unwrap_or(2.5);
+    if ratio < 1.0 {
+        return Err("--ratio must be >= 1".into());
+    }
+    let limit = FeasibilityLimit::ideal(ratio);
+    println!(
+        "decodable region for expansion ratio {ratio} (needs {:.0}% delivery):",
+        limit.required_delivery_rate() * 100.0
+    );
+    println!("rows p = 0..1 top-down, cols q = 0..1 left-right; '#' feasible\n");
+    let steps = 21;
+    for pi in 0..steps {
+        let p = pi as f64 / (steps - 1) as f64;
+        let row: String = (0..steps)
+            .map(|qi| {
+                let q = qi as f64 / (steps - 1) as f64;
+                if limit.is_feasible(p, q) {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        println!("  p={p:>5.2} {row}");
+    }
+    Ok(())
+}
+
+fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fec_broadcast::flute::{FluteSender, SenderConfig};
+
+    let path = opts.get("file").ok_or("--file is required")?;
+    let dest = opts.get("dest").ok_or("--dest is required (addr:port)")?;
+    let tsi = get_usize(opts, "tsi", 1)? as u32;
+    let code = parse_code(opts, Some(CodeKind::LdgmTriangle))?;
+    let tx = parse_tx(opts, Some(TxModel::Random))?;
+    let ratio = ratio_from(get_f64(opts, "ratio")?.unwrap_or(1.5))?;
+    let symbol = get_usize(opts, "symbol", 1024)?;
+    let seed = get_usize(opts, "seed", 1)? as u64;
+    let injected = channel_from_keys(opts, "loss-p", "loss-q")?;
+
+    let object = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "object.bin".into());
+
+    let mut session = FluteSender::new(SenderConfig::new(tsi));
+    session
+        .add_object(1, name.clone(), &object, code, ratio, symbol, seed, tx)
+        .map_err(|e| e.to_string())?;
+    let datagrams = session.datagrams(seed).map_err(|e| e.to_string())?;
+
+    let socket = std::net::UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
+    let mut loss = injected.map(|p| GilbertChannel::new(p, seed ^ 0x10c0));
+    let (mut sent, mut dropped) = (0u64, 0u64);
+    for dg in &datagrams {
+        if loss.as_mut().is_some_and(|ch| ch.next_is_lost()) {
+            dropped += 1;
+            continue;
+        }
+        socket.send_to(dg, dest).map_err(|e| e.to_string())?;
+        sent += 1;
+        if sent % 64 == 0 {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+        }
+    }
+    println!(
+        "sent '{name}' ({} bytes) to {dest}: {sent} datagrams transmitted, {dropped} dropped by injected loss\n\
+         session: tsi {tsi}, {} + {} @ ratio {}, {symbol}-byte symbols",
+        object.len(),
+        code.name(),
+        tx.name(),
+        ratio.as_f64()
+    );
+    Ok(())
+}
+
+fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fec_broadcast::flute::{FluteReceiver, ReceiverEvent};
+
+    let listen = opts.get("listen").ok_or("--listen is required (addr:port)")?;
+    let tsi = get_usize(opts, "tsi", 1)? as u32;
+    let timeout = get_usize(opts, "timeout", 10)? as u64;
+
+    let socket = std::net::UdpSocket::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    socket
+        .set_read_timeout(Some(std::time::Duration::from_secs(timeout)))
+        .map_err(|e| e.to_string())?;
+    println!("listening on {listen} for FLUTE session tsi {tsi} (timeout {timeout}s)…");
+
+    let mut session = FluteReceiver::new(tsi);
+    let mut buf = vec![0u8; 65536];
+    let mut datagrams = 0u64;
+    let toi = loop {
+        match socket.recv_from(&mut buf) {
+            Ok((len, _)) => {
+                datagrams += 1;
+                match session.push_datagram(&buf[..len]) {
+                    Ok(ReceiverEvent::ObjectComplete { toi }) => break toi,
+                    Ok(_) => {}
+                    Err(e) => eprintln!("dropping bad datagram: {e}"),
+                }
+            }
+            Err(_) => {
+                return Err(format!(
+                    "timed out after {datagrams} datagrams without completing the object \
+                     (losses beyond the code's budget, or no sender running)"
+                ))
+            }
+        }
+    };
+
+    let location = session
+        .fdt()
+        .and_then(|f| f.file(toi))
+        .map(|f| f.content_location.clone())
+        .unwrap_or_else(|| format!("toi-{toi}.bin"));
+    let received = session.packets_received(toi);
+    let object = session.take_object(toi).expect("object completed");
+    let out_path = opts.get("out").cloned().unwrap_or_else(|| {
+        std::path::Path::new(&location)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| format!("toi-{toi}.bin"))
+    });
+    std::fs::write(&out_path, &object).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "decoded '{location}' -> {out_path}: {} bytes from {received} data packets \
+         ({datagrams} datagrams consumed)",
+        object.len()
+    );
+    Ok(())
+}
+
+/// Like [`channel_from`] but with configurable option names.
+fn channel_from_keys(
+    opts: &HashMap<String, String>,
+    p_key: &str,
+    q_key: &str,
+) -> Result<Option<GilbertParams>, String> {
+    match (get_f64(opts, p_key)?, get_f64(opts, q_key)?) {
+        (Some(p), Some(q)) => GilbertParams::new(p, q)
+            .map(Some)
+            .map_err(|e| e.to_string()),
+        (None, None) => Ok(None),
+        _ => Err(format!("--{p_key} and --{q_key} must be given together")),
+    }
+}

@@ -1,0 +1,56 @@
+//! # fec-broadcast
+//!
+//! A packet-level Forward Error Correction toolkit reproducing *"Impacts of
+//! Packet Scheduling and Packet Loss Distribution on FEC Performances:
+//! Observations and Recommendations"* (Neumann, Roca, Francillon, Furodet —
+//! INRIA RR-5578 / CoNEXT 2005).
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names so applications can depend on a single crate.
+//!
+//! ```
+//! use fec_broadcast::prelude::*;
+//!
+//! // Encode a tiny object with LDGM Staircase, push packets through a lossy
+//! // Gilbert channel in Tx_model_4 (fully random) order, and decode.
+//! let spec = CodeSpec::ldgm_staircase(100, ExpansionRatio::R2_5);
+//! let object: Vec<u8> = (0..100u32 * 16).map(|i| (i % 251) as u8).collect();
+//! let mut sender = Sender::new(spec.clone(), &object, 16).unwrap();
+//! let schedule = TxModel::Random.schedule(sender.layout(), 7);
+//! let mut receiver = Receiver::new(spec, object.len(), 16).unwrap();
+//! let mut channel = GilbertChannel::new(GilbertParams::new(0.05, 0.6).unwrap(), 99);
+//! for r in schedule {
+//!     if channel.next_is_lost() {
+//!         continue;
+//!     }
+//!     let pkt = sender.packet(r).unwrap();
+//!     if receiver.push(&pkt).unwrap().is_decoded() {
+//!         break;
+//!     }
+//! }
+//! assert_eq!(receiver.into_object().unwrap(), object);
+//! ```
+
+pub use fec_channel as channel;
+pub use fec_core as core;
+pub use fec_flute as flute;
+pub use fec_gf256 as gf256;
+pub use fec_ldgm as ldgm;
+pub use fec_rse as rse;
+pub use fec_sched as sched;
+pub use fec_sim as sim;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use bytes::Bytes;
+    pub use fec_channel::{GilbertChannel, GilbertParams, LossModel};
+    pub use fec_core::{
+        recommend, Carousel, ChannelKnowledge, CodeSpec, DecodeProgress, MeasuredSelector,
+        Packet, Receiver, Recommendation, Sender, TransmissionPlan,
+    };
+    pub use fec_flute::{FluteReceiver, FluteSender, ObjectStatus, ReceiverEvent, SenderConfig};
+    pub use fec_sched::{Layout, PacketRef, RxModel, TxModel};
+    pub use fec_sim::{
+        CodeKind, Experiment, ExpansionRatio, GridSweep, Runner, SweepConfig, SweepResult,
+    };
+}

@@ -1,0 +1,191 @@
+//! Integration tests for the `fec-broadcast` command-line binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fec-broadcast"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("recommend"));
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn recommend_unknown_channel() {
+    let (ok, stdout, _) = run(&["recommend"]);
+    assert!(ok);
+    assert!(stdout.contains("LDGM Triangle + tx_model_4"));
+}
+
+#[test]
+fn recommend_known_low_loss_channel_matches_paper() {
+    let (ok, stdout, _) = run(&["recommend", "--p", "0.0109", "--q", "0.7915"]);
+    assert!(ok, "{stdout}");
+    // §6.2.1's winner comes first.
+    let first = stdout
+        .lines()
+        .find(|l| l.starts_with("1."))
+        .expect("ranked output");
+    assert!(first.contains("LDGM Staircase + tx_model_2"), "{first}");
+}
+
+#[test]
+fn plan_reproduces_section_6_2_1() {
+    let (ok, stdout, _) = run(&[
+        "plan", "--k", "48829", "--ratio", "1.5", "--inef", "1.011", "--p", "0.0109", "--q",
+        "0.7915",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("n = 73243"), "{stdout}");
+    // n_sent ≈ 50041 (paper); our rounding gives 50046.
+    assert!(stdout.contains("n_sent = 500"), "{stdout}");
+    assert!(stdout.contains("sufficient"));
+}
+
+#[test]
+fn plan_requires_its_arguments() {
+    let (ok, _, stderr) = run(&["plan", "--k", "100"]);
+    assert!(!ok);
+    assert!(stderr.contains("required"));
+}
+
+#[test]
+fn sweep_tiny_prints_paper_table() {
+    let (ok, stdout, _) = run(&[
+        "sweep", "--code", "rse", "--tx", "5", "--ratio", "2.5", "--k", "200", "--runs", "3",
+        "--coarse",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("p \\ q"), "{stdout}");
+    assert!(stdout.contains("grand mean"));
+}
+
+#[test]
+fn sweep_rejects_bad_code() {
+    let (ok, _, stderr) = run(&["sweep", "--code", "raptor", "--tx", "1", "--ratio", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --code"));
+}
+
+#[test]
+fn map_draws_the_region() {
+    let (ok, stdout, _) = run(&["map", "--ratio", "1.5"]);
+    assert!(ok);
+    assert!(stdout.contains('#'));
+    assert!(stdout.contains("67% delivery"));
+}
+
+#[test]
+fn bad_number_is_reported() {
+    let (ok, _, stderr) = run(&["map", "--ratio", "lots"]);
+    assert!(!ok);
+    assert!(stderr.contains("not a number"));
+}
+
+#[test]
+fn duplicate_flag_is_reported() {
+    let (ok, _, stderr) = run(&["map", "--ratio", "1.5", "--ratio", "2.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("given twice"));
+}
+
+/// Full send/recv round trip over loopback UDP with injected loss: the
+/// receiver is started first, the sender broadcasts a temp file at ratio
+/// 2.5 through a 10% Gilbert channel, and the reconstructed file must be
+/// byte-identical.
+#[test]
+fn send_recv_roundtrip_over_udp() {
+    use std::net::UdpSocket;
+
+    let dir = std::env::temp_dir().join(format!("fec-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src_path = dir.join("payload.bin");
+    let out_path = dir.join("decoded.bin");
+    let payload: Vec<u8> = (0..200_000usize).map(|i| (i * 37 % 251) as u8).collect();
+    std::fs::write(&src_path, &payload).expect("write temp file");
+
+    // Reserve a free UDP port, then release it for the receiver process.
+    let port = {
+        let probe = UdpSocket::bind("127.0.0.1:0").expect("probe bind");
+        probe.local_addr().expect("addr").port()
+    };
+    let listen = format!("127.0.0.1:{port}");
+
+    let receiver = Command::new(env!("CARGO_BIN_EXE_fec-broadcast"))
+        .args([
+            "recv",
+            "--listen",
+            &listen,
+            "--tsi",
+            "9",
+            "--out",
+            out_path.to_str().expect("utf8 path"),
+            "--timeout",
+            "30",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn receiver");
+    // Give the receiver a moment to bind.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    let (ok, stdout, stderr) = run(&[
+        "send",
+        "--file",
+        src_path.to_str().expect("utf8 path"),
+        "--dest",
+        &listen,
+        "--tsi",
+        "9",
+        "--code",
+        "triangle",
+        "--tx",
+        "4",
+        "--ratio",
+        "2.5",
+        "--loss-p",
+        "0.04",
+        "--loss-q",
+        "0.36",
+    ]);
+    assert!(ok, "send failed: {stdout}\n{stderr}");
+    assert!(stdout.contains("datagrams transmitted"));
+
+    let out = receiver.wait_with_output().expect("receiver exits");
+    let rx_stdout = String::from_utf8_lossy(&out.stdout);
+    let rx_stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "recv failed: {rx_stdout}\n{rx_stderr}"
+    );
+    let decoded = std::fs::read(&out_path).expect("decoded file exists");
+    assert_eq!(decoded, payload, "byte-exact delivery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
