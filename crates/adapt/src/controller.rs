@@ -1,0 +1,484 @@
+//! The adaptive controller: estimate → recommend → plan, with hysteresis.
+//!
+//! Closing the loop naively — re-run the §6.1 recommender on every fresh
+//! estimate and deploy whatever comes out — thrashes: near a decision
+//! boundary (say `p_global ≈ 5%`), estimation noise flips the chosen tuple
+//! every few objects, and every flip costs a re-encode and an out-of-band
+//! `CodeSpec` update to every receiver. The controller therefore:
+//!
+//! 1. maps the current [`ChannelEstimate`] through
+//!    [`recommend_known`](fec_core::recommend_known) using the estimate's
+//!    **worst-case** loss bound (uncertain estimates degrade toward robust
+//!    tuples, per the paper's unknown-channel advice);
+//! 2. applies **hysteresis**: a differing recommendation must persist for
+//!    `confirm_after` consecutive reconsiderations *and* the loss bound
+//!    must have moved by more than `dead_band` relative to the bound the
+//!    active tuple was adopted under;
+//! 3. derives the §6.2 transmission plan (equation 3) for the active tuple
+//!    from the conservative loss bound and the configured inefficiency
+//!    margin.
+
+use fec_channel::GilbertParams;
+use fec_core::{recommend, recommend_known, ChannelKnowledge, TransmissionPlan};
+use fec_sched::TxModel;
+use fec_sim::{CodeKind, ExpansionRatio};
+use serde::{Deserialize, Serialize};
+
+use crate::estimate::{ChannelEstimate, OnlineGilbertEstimator};
+
+/// A deployable (code, transmission model, expansion ratio) tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// FEC code.
+    pub code: CodeKind,
+    /// Transmission model.
+    pub tx: TxModel,
+    /// Expansion ratio.
+    pub ratio: ExpansionRatio,
+}
+
+impl Decision {
+    /// The conservative prior used before any estimate exists: LDGM
+    /// Triangle under Tx_model_4 at ratio 2.5 — the paper's pick when very
+    /// high loss cannot be ruled out (§6.1), which is exactly the situation
+    /// before the first observation arrives.
+    pub fn prior() -> Decision {
+        let top = &recommend(ChannelKnowledge::UnknownHighLoss)[0];
+        Decision {
+            code: top.code,
+            tx: top.tx,
+            ratio: top.ratio,
+        }
+    }
+
+    /// The expansion ratio as a plain number.
+    pub fn ratio_value(&self) -> f64 {
+        self.ratio.as_f64()
+    }
+}
+
+impl core::fmt::Display for Decision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} + {} @ {}",
+            self.code.name(),
+            self.tx.name(),
+            self.ratio
+        )
+    }
+}
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Sliding estimation window, in packets.
+    pub window: usize,
+    /// Observations required before the controller trusts an estimate at
+    /// all (below this it stays on [`Decision::prior`]).
+    pub min_observations: usize,
+    /// A differing recommendation must recur this many consecutive
+    /// reconsiderations before the controller switches.
+    pub confirm_after: u32,
+    /// Relative dead-band on the conservative loss bound: candidates are
+    /// ignored while the bound stays within this factor of the bound the
+    /// active decision was adopted under.
+    pub dead_band: f64,
+    /// Inefficiency ratio assumed when planning `n_sent` (equation 3)
+    /// before any measurement of the actual tuple exists. Conservative by
+    /// default: small-object LDGM inefficiency plus margin.
+    pub assumed_inefficiency: f64,
+    /// Extra packets added to every plan (the paper's ε), on top of the
+    /// automatic variance cushion.
+    pub plan_tolerance: u64,
+    /// After a decode failure, suspend plan truncation (send the full
+    /// schedule) until this many objects decode again — the channel just
+    /// proved it was worse than the estimate.
+    pub failure_backoff: u32,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> ControllerConfig {
+        ControllerConfig {
+            window: 20_000,
+            min_observations: 500,
+            confirm_after: 2,
+            dead_band: 0.25,
+            assumed_inefficiency: 1.35,
+            plan_tolerance: 16,
+            failure_backoff: 2,
+        }
+    }
+}
+
+/// Why the last reconsideration did (or did not) change the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Reconsideration {
+    /// No estimate yet (or not enough observations).
+    NoEstimate,
+    /// The recommendation matches the active decision.
+    Unchanged,
+    /// A differing recommendation is pending confirmation.
+    Pending,
+    /// The loss bound moved too little to justify churn.
+    HeldByDeadBand,
+    /// The controller switched to a new decision.
+    Switched,
+}
+
+/// The closed-loop decision maker.
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    config: ControllerConfig,
+    estimator: OnlineGilbertEstimator,
+    active: Decision,
+    /// Conservative loss bound the active decision was adopted under
+    /// (`None` while running on the prior).
+    adopted_bound: Option<f64>,
+    pending: Option<(Decision, u32)>,
+    switches: u64,
+    /// Objects that must decode before planning resumes.
+    backoff_remaining: u32,
+}
+
+impl AdaptiveController {
+    /// Builds a controller starting from [`Decision::prior`].
+    pub fn new(config: ControllerConfig) -> AdaptiveController {
+        let estimator = OnlineGilbertEstimator::new(config.window);
+        AdaptiveController {
+            config,
+            estimator,
+            active: Decision::prior(),
+            adopted_bound: None,
+            pending: None,
+            switches: 0,
+            backoff_remaining: 0,
+        }
+    }
+
+    /// The tuning in force.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The currently deployed tuple.
+    pub fn decision(&self) -> Decision {
+        self.active
+    }
+
+    /// How often the controller has switched tuples.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Read access to the estimator.
+    pub fn estimator(&self) -> &OnlineGilbertEstimator {
+        &self.estimator
+    }
+
+    /// The current channel estimate, if identifiable and past
+    /// `min_observations`.
+    pub fn estimate(&self) -> Option<ChannelEstimate> {
+        if self.estimator.window_len() < self.config.min_observations {
+            return None;
+        }
+        self.estimator.estimate()
+    }
+
+    /// Feeds one per-packet observation (`true` = lost).
+    pub fn observe(&mut self, lost: bool) {
+        self.estimator.push(lost);
+    }
+
+    /// Feeds a batch of observations (e.g. one object's reception report).
+    pub fn observe_all(&mut self, losses: &[bool]) {
+        self.estimator.extend(losses.iter().copied());
+    }
+
+    /// Reports whether the last object decoded. A failure suspends plan
+    /// truncation for [`ControllerConfig::failure_backoff`] successful
+    /// objects: the channel just demonstrated it was worse than the
+    /// estimate (typically a regime switch the window has not flushed
+    /// yet), so the sender falls back to full transmissions while the
+    /// estimator catches up.
+    pub fn record_outcome(&mut self, decoded: bool) {
+        if decoded {
+            self.backoff_remaining = self.backoff_remaining.saturating_sub(1);
+        } else {
+            self.backoff_remaining = self.config.failure_backoff;
+        }
+    }
+
+    /// True while planning is suspended by a recent decode failure.
+    pub fn in_failure_backoff(&self) -> bool {
+        self.backoff_remaining > 0
+    }
+
+    /// What the recommender would deploy for `estimate`, evaluated at the
+    /// estimate's conservative loss bound.
+    pub fn candidate_for(&self, estimate: &ChannelEstimate) -> Decision {
+        let top = &recommend_known(estimate.params, estimate.p_global_upper())[0];
+        Decision {
+            code: top.code,
+            tx: top.tx,
+            ratio: top.ratio,
+        }
+    }
+
+    /// Re-evaluates the decision against the current estimate, applying
+    /// hysteresis. Call between objects (or on a timer), not per packet.
+    pub fn reconsider(&mut self) -> Reconsideration {
+        let Some(estimate) = self.estimate() else {
+            self.pending = None;
+            return Reconsideration::NoEstimate;
+        };
+        let bound = estimate.p_global_upper();
+        let candidate = self.candidate_for(&estimate);
+
+        if candidate == self.active {
+            self.pending = None;
+            // Keep the adopted bound tracking reality while the decision is
+            // stable, so the dead-band is measured from recent conditions
+            // rather than a stale adoption point.
+            self.adopted_bound = Some(bound);
+            return Reconsideration::Unchanged;
+        }
+
+        // Dead-band: ignore differing candidates while the loss bound has
+        // not meaningfully moved since adoption. An absolute floor keeps
+        // the relative test meaningful near zero loss.
+        if let Some(adopted) = self.adopted_bound {
+            let moved = (bound - adopted).abs();
+            let threshold = (adopted * self.config.dead_band).max(0.005);
+            if moved < threshold {
+                self.pending = None;
+                return Reconsideration::HeldByDeadBand;
+            }
+        }
+
+        let count = match &self.pending {
+            Some((p, count)) if *p == candidate => count + 1,
+            _ => 1,
+        };
+        if count >= self.config.confirm_after {
+            self.active = candidate;
+            self.adopted_bound = Some(bound);
+            self.pending = None;
+            self.switches += 1;
+            Reconsideration::Switched
+        } else {
+            self.pending = Some((candidate, count));
+            Reconsideration::Pending
+        }
+    }
+
+    /// The §6.2 transmission plan for a `k`-packet object under the active
+    /// decision: equation 3 at the conservative loss bound with the
+    /// configured inefficiency margin, plus a **variance cushion** —
+    /// equation 3 covers the *average* delivery count, and a bursty
+    /// channel's delivered total has standard deviation inflated by
+    /// `(1+ρ)/(1−ρ)` (ρ = 1−p−q, the chain's lag-1 correlation), so the
+    /// plan adds three of those sigmas worth of extra sends.
+    ///
+    /// Returns `None` — meaning *send everything* — while no usable
+    /// estimate exists, during [failure backoff](Self::record_outcome), or
+    /// when even `n` packets cannot cover the bound (the plan would lie).
+    pub fn plan(&self, k: usize) -> Option<TransmissionPlan> {
+        if self.in_failure_backoff() {
+            return None;
+        }
+        let estimate = self.estimate()?;
+        let bound = estimate.p_global_upper();
+        if bound >= 1.0 {
+            return None;
+        }
+        let n_total = (k as f64 * self.active.ratio_value()).floor() as u64;
+        // Expected sends before cushioning (equation 3's numerator).
+        let base_sends = self.config.assumed_inefficiency * k as f64 / (1.0 - bound);
+        // Burstiness-inflated delivery variance, pessimistic within the CI.
+        let rho = (1.0 - estimate.p_ci.hi - estimate.q_ci.lo).clamp(-0.99, 0.99);
+        let inflation = ((1.0 + rho) / (1.0 - rho)).max(1.0);
+        let sigma = (base_sends * bound * (1.0 - bound) * inflation).sqrt();
+        let cushion = (3.0 * sigma / (1.0 - bound)).ceil() as u64;
+
+        // Equation 3 against a pessimistic channel with the right
+        // stationary rate (the plan only consumes p_global).
+        let channel = GilbertParams::bernoulli(bound).expect("bound in [0,1)");
+        let plan = TransmissionPlan::new(
+            k,
+            n_total,
+            self.config.assumed_inefficiency,
+            channel,
+            self.config.plan_tolerance + cushion,
+        );
+        plan.is_sufficient().then_some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fec_channel::{GilbertChannel, LossModel};
+
+    fn feed(c: &mut AdaptiveController, params: GilbertParams, n: usize, seed: u64) {
+        let mut ch = GilbertChannel::new(params, seed);
+        for _ in 0..n {
+            c.observe(ch.next_is_lost());
+        }
+    }
+
+    #[test]
+    fn prior_is_the_paper_high_loss_tuple() {
+        let d = Decision::prior();
+        assert_eq!(d.code, CodeKind::LdgmTriangle);
+        assert_eq!(d.tx, TxModel::Random);
+        assert_eq!(d.ratio, ExpansionRatio::R2_5);
+    }
+
+    #[test]
+    fn no_estimate_keeps_the_prior() {
+        let mut c = AdaptiveController::new(ControllerConfig::default());
+        assert_eq!(c.reconsider(), Reconsideration::NoEstimate);
+        assert_eq!(c.decision(), Decision::prior());
+        assert!(c.plan(1000).is_none(), "no estimate -> send everything");
+        // A few observations below min_observations change nothing.
+        feed(&mut c, GilbertParams::new(0.01, 0.8).unwrap(), 100, 1);
+        assert_eq!(c.reconsider(), Reconsideration::NoEstimate);
+    }
+
+    #[test]
+    fn converges_to_low_loss_tuple_and_plans() {
+        let mut c = AdaptiveController::new(ControllerConfig {
+            confirm_after: 2,
+            ..ControllerConfig::default()
+        });
+        let light = GilbertParams::new(0.0109, 0.7915).unwrap(); // §6.2.1
+        feed(&mut c, light, 30_000, 2);
+        // First differing recommendation goes pending, second confirms.
+        assert_eq!(c.reconsider(), Reconsideration::Pending);
+        assert_eq!(c.reconsider(), Reconsideration::Switched);
+        let d = c.decision();
+        assert_eq!(d.code, CodeKind::LdgmStaircase, "low loss: Tx2+Staircase");
+        assert_eq!(d.tx, TxModel::SourceSeqParityRandom);
+        assert_eq!(d.ratio, ExpansionRatio::R1_5);
+        assert_eq!(c.switches(), 1);
+        // And the plan saves real bandwidth at 1.35% loss.
+        let plan = c.plan(10_000).unwrap();
+        assert!(plan.is_sufficient());
+        assert!(plan.n_sent < plan.n_total, "plan truncates the schedule");
+        assert!(plan.savings_fraction() > 0.05);
+    }
+
+    #[test]
+    fn hysteresis_blocks_single_blips() {
+        let mut c = AdaptiveController::new(ControllerConfig {
+            confirm_after: 3,
+            ..ControllerConfig::default()
+        });
+        feed(
+            &mut c,
+            GilbertParams::new(0.0109, 0.7915).unwrap(),
+            30_000,
+            3,
+        );
+        assert_eq!(c.reconsider(), Reconsideration::Pending);
+        assert_eq!(c.reconsider(), Reconsideration::Pending);
+        assert_eq!(c.decision(), Decision::prior(), "not confirmed yet");
+        assert_eq!(c.reconsider(), Reconsideration::Switched);
+        assert_eq!(c.switches(), 1);
+        // Stable conditions afterwards: no further churn.
+        for _ in 0..10 {
+            assert_eq!(c.reconsider(), Reconsideration::Unchanged);
+        }
+        assert_eq!(c.switches(), 1);
+    }
+
+    #[test]
+    fn dead_band_holds_near_the_boundary() {
+        // Adopt under one bound, then nudge conditions slightly: the
+        // dead-band must keep the decision even if the recommender flips.
+        let mut c = AdaptiveController::new(ControllerConfig {
+            confirm_after: 1,
+            dead_band: 10.0, // absurdly wide on purpose
+            ..ControllerConfig::default()
+        });
+        let light = GilbertParams::new(0.01, 0.8).unwrap();
+        feed(&mut c, light, 25_000, 5);
+        assert_eq!(c.reconsider(), Reconsideration::Switched);
+        let adopted = c.decision();
+        // Moderate loss now: candidate differs, but the bound moved less
+        // than dead_band * adopted bound.
+        feed(&mut c, GilbertParams::new(0.03, 0.7).unwrap(), 5_000, 6);
+        let r = c.reconsider();
+        assert!(
+            matches!(
+                r,
+                Reconsideration::HeldByDeadBand | Reconsideration::Unchanged
+            ),
+            "got {r:?}"
+        );
+        assert_eq!(c.decision(), adopted);
+    }
+
+    #[test]
+    fn heavy_loss_switches_to_robust_tuple() {
+        let mut c = AdaptiveController::new(ControllerConfig {
+            confirm_after: 1,
+            ..ControllerConfig::default()
+        });
+        // First adopt a low-loss tuple…
+        feed(
+            &mut c,
+            GilbertParams::new(0.0109, 0.7915).unwrap(),
+            25_000,
+            6,
+        );
+        assert_eq!(c.reconsider(), Reconsideration::Switched);
+        assert_eq!(c.decision().code, CodeKind::LdgmStaircase);
+        // …then the channel degrades to 40% loss: back to the robust tuple.
+        feed(&mut c, GilbertParams::new(0.2, 0.3).unwrap(), 25_000, 7);
+        assert_eq!(c.reconsider(), Reconsideration::Switched);
+        let d = c.decision();
+        assert_eq!(d.code, CodeKind::LdgmTriangle);
+        assert_eq!(d.tx, TxModel::Random);
+        assert_eq!(d.ratio, ExpansionRatio::R2_5);
+        // 40% loss at ratio 2.5 with a 1.35 margin: equation 3 wants
+        // ~1.35k/0.6 ≈ 2.25k of the 2.5k available — sufficient, barely.
+        let plan = c.plan(2_000).unwrap();
+        assert!(plan.is_sufficient());
+    }
+
+    #[test]
+    fn impossible_channels_yield_no_plan() {
+        let mut c = AdaptiveController::new(ControllerConfig {
+            confirm_after: 1,
+            ..ControllerConfig::default()
+        });
+        // 60% loss: ratio 2.5 needs 40% delivery; with the 1.35 margin the
+        // plan cannot be sufficient -> None (send everything, hope).
+        feed(&mut c, GilbertParams::bernoulli(0.6).unwrap(), 25_000, 8);
+        c.reconsider();
+        assert!(c.plan(2_000).is_none());
+    }
+
+    #[test]
+    fn uncertain_estimates_recommend_conservatively() {
+        // Just past min_observations at ~4.5% loss: the point estimate
+        // says "low loss" but the Wilson bound does not clear the 5%
+        // threshold, so the controller must stay conservative.
+        let mut c = AdaptiveController::new(ControllerConfig {
+            min_observations: 600,
+            confirm_after: 1,
+            ..ControllerConfig::default()
+        });
+        feed(&mut c, GilbertParams::new(0.035, 0.75).unwrap(), 700, 9);
+        let est = c.estimate().unwrap();
+        assert!(est.p_global_upper() > est.p_global());
+        let cand = c.candidate_for(&est);
+        assert_eq!(
+            cand.code,
+            CodeKind::LdgmTriangle,
+            "uncertainty keeps the robust §6.1 tuple, got {cand}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the online Gilbert estimator: MLE recovery across
+//! the parameter space, confidence-interval calibration, and convergence
+//! under regime switches.
+
+use fec_adapt::OnlineGilbertEstimator;
+use fec_channel::{GilbertChannel, GilbertParams, LossModel};
+use proptest::prelude::*;
+
+fn feed(est: &mut OnlineGilbertEstimator, params: GilbertParams, n: usize, seed: u64) {
+    let mut ch = GilbertChannel::new(params, seed);
+    for _ in 0..n {
+        est.push(ch.next_is_lost());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The windowed MLE recovers known `(p, q)` within a tolerance that
+    /// scales like the binomial standard error of each transition count.
+    ///
+    /// Floors at 0.05 keep both states visited often enough that the
+    /// 60k-packet window contains thousands of exit trials for each; the
+    /// 6-sigma band makes false failures astronomically unlikely while
+    /// still catching any systematic bias.
+    #[test]
+    fn mle_recovers_known_parameters(
+        p in 0.05f64..0.95,
+        q in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let truth = GilbertParams::new(p, q).unwrap();
+        let n = 60_000;
+        let mut est = OnlineGilbertEstimator::new(n);
+        feed(&mut est, truth, n, seed);
+        let e = est.estimate().expect("both states visited at these rates");
+
+        // Expected exit-trial counts for each state.
+        let p_global = truth.global_loss_probability();
+        let good_trials = (n as f64) * (1.0 - p_global);
+        let bad_trials = (n as f64) * p_global;
+        let p_sigma = (p * (1.0 - p) / good_trials).sqrt();
+        let q_sigma = (q * (1.0 - q) / bad_trials).sqrt();
+
+        prop_assert!(
+            (e.params.p() - p).abs() < 6.0 * p_sigma + 1e-3,
+            "p̂ = {} vs p = {p} (σ = {p_sigma:.5})", e.params.p()
+        );
+        prop_assert!(
+            (e.params.q() - q).abs() < 6.0 * q_sigma + 1e-3,
+            "q̂ = {} vs q = {q} (σ = {q_sigma:.5})", e.params.q()
+        );
+        // The 95% intervals are wider than the point error above, so they
+        // must bracket the truth at 6 sigma.
+        prop_assert!(e.p_ci.contains(truth.p()) || (e.params.p() - p).abs() < 3.0 * p_sigma);
+        prop_assert!(e.p_global_upper() >= e.p_global() - 1e-12);
+    }
+
+    /// After a regime switch, once a full window of the new regime has been
+    /// observed, the estimate describes the new regime — the old one is
+    /// completely forgotten regardless of how extreme it was.
+    #[test]
+    fn converges_after_regime_switch(
+        p_old in 0.05f64..0.95,
+        q_old in 0.05f64..0.95,
+        p_new in 0.05f64..0.95,
+        q_new in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let old = GilbertParams::new(p_old, q_old).unwrap();
+        let new = GilbertParams::new(p_new, q_new).unwrap();
+        let window = 40_000;
+        let mut est = OnlineGilbertEstimator::new(window);
+        feed(&mut est, old, window, seed);
+        // One full window of the new regime evicts every old observation.
+        feed(&mut est, new, window, seed ^ 0xDEAD);
+        let e = est.estimate().expect("states visited");
+
+        let p_global = new.global_loss_probability();
+        let good_trials = (window as f64) * (1.0 - p_global);
+        let bad_trials = (window as f64) * p_global;
+        let p_sigma = (p_new * (1.0 - p_new) / good_trials).sqrt();
+        let q_sigma = (q_new * (1.0 - q_new) / bad_trials).sqrt();
+        prop_assert!(
+            (e.params.p() - p_new).abs() < 6.0 * p_sigma + 1e-3,
+            "p̂ = {} vs new p = {p_new}", e.params.p()
+        );
+        prop_assert!(
+            (e.params.q() - q_new).abs() < 6.0 * q_sigma + 1e-3,
+            "q̂ = {} vs new q = {q_new}", e.params.q()
+        );
+    }
+
+    /// Mid-transition (half a window of new data), the loss-rate estimate
+    /// lies between the two regimes' rates (widened by sampling noise) —
+    /// the estimator moves monotonically toward the new regime rather than
+    /// oscillating.
+    #[test]
+    fn transition_is_graceful(seed in any::<u64>()) {
+        let old = GilbertParams::new(0.02, 0.7).unwrap(); // ~2.8%
+        let new = GilbertParams::new(0.25, 0.25).unwrap(); // 50%
+        let window = 20_000;
+        let mut est = OnlineGilbertEstimator::new(window);
+        feed(&mut est, old, window, seed);
+        let before = est.estimate().unwrap().p_global();
+        feed(&mut est, new, window / 2, seed ^ 1);
+        let during = est.estimate().unwrap().p_global();
+        feed(&mut est, new, window, seed ^ 2);
+        let after = est.estimate().unwrap().p_global();
+        prop_assert!(before < 0.06, "calm regime: {before}");
+        prop_assert!(during > before && during < after,
+            "monotone transition: {before} -> {during} -> {after}");
+        prop_assert!((after - 0.5).abs() < 0.04, "converged: {after}");
+    }
+}

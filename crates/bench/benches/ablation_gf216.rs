@@ -22,8 +22,8 @@
 use std::time::Instant;
 
 use fec_bench::{banner, output, Scale};
-use fec_channel::{GilbertParams, GilbertChannel, LossModel};
-use fec_rse::{Rse16Codec, RseCodec, Partition};
+use fec_channel::{GilbertChannel, GilbertParams, LossModel};
+use fec_rse::{Partition, Rse16Codec, RseCodec};
 use fec_sched::{Layout, TxModel};
 use fec_sim::{CodeKind, ExpansionRatio, Experiment, Runner};
 use rand::rngs::SmallRng;
@@ -68,10 +68,7 @@ fn rse16_inefficiency(
             failures += 1;
         }
     }
-    (
-        (decoded > 0).then(|| sum / decoded as f64),
-        failures,
-    )
+    ((decoded > 0).then(|| sum / decoded as f64), failures)
 }
 
 /// Blocked GF(2^8) RSE inefficiency via the simulation engine.
@@ -110,7 +107,10 @@ fn random_symbols(count: usize, len: usize, seed: u64) -> Vec<Vec<u8>> {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation: GF(2^8) blocked RSE vs GF(2^16) single-block RSE", &scale);
+    banner(
+        "Ablation: GF(2^8) blocked RSE vs GF(2^16) single-block RSE",
+        &scale,
+    );
     let mut report = String::from("section,config,metric,value\n");
 
     // ---- Part 1: inefficiency --------------------------------------------
@@ -123,13 +123,22 @@ fn main() {
         "  {:<22} {:>18} {:>18}",
         "schedule", "GF(2^8) blocked", "GF(2^16) 1-block"
     );
-    for tx in [TxModel::SourceSeqParitySeq, TxModel::Random, TxModel::Interleaved] {
+    for tx in [
+        TxModel::SourceSeqParitySeq,
+        TxModel::Random,
+        TxModel::Interleaved,
+    ] {
         let (i8, f8) = rse8_inefficiency(k, tx, channel, runs, scale.seed);
         let (i16, f16) = rse16_inefficiency(k, n16, tx, channel, runs, scale.seed);
         let show = |v: Option<f64>, f: u32| {
             v.map_or_else(|| "all failed".into(), |x| format!("{x:.4} ({f}F)"))
         };
-        println!("  {:<22} {:>18} {:>18}", tx.name(), show(i8, f8), show(i16, f16));
+        println!(
+            "  {:<22} {:>18} {:>18}",
+            tx.name(),
+            show(i8, f8),
+            show(i16, f16)
+        );
         let _ = writeln!(report, "inef,{}_gf8,mean,{:?}", tx.name(), i8);
         let _ = writeln!(report, "inef,{}_gf16,mean,{:?}", tx.name(), i16);
         // GF(2^16) is MDS over the object: exactly 1.0 whenever it decodes.
@@ -232,14 +241,16 @@ fn main() {
     );
     let enc_slowdown = enc16.as_secs_f64() / enc8.as_secs_f64();
     let dec_slowdown = dec16.as_secs_f64() / dec8.as_secs_f64();
-    println!(
-        "  slowdown          : encode {enc_slowdown:.1}x, decode {dec_slowdown:.1}x"
-    );
+    println!("  slowdown          : encode {enc_slowdown:.1}x, decode {dec_slowdown:.1}x");
     let _ = writeln!(report, "speed,gf8,encode_s,{}", enc8.as_secs_f64());
     let _ = writeln!(report, "speed,gf8,decode_s,{}", dec8.as_secs_f64());
     let _ = writeln!(report, "speed,gf16,encode_s,{}", enc16.as_secs_f64());
     let _ = writeln!(report, "speed,gf16,decode_s,{}", dec16.as_secs_f64());
-    let _ = writeln!(report, "speed,gf16,generator_build_s,{}", build16.as_secs_f64());
+    let _ = writeln!(
+        report,
+        "speed,gf16,generator_build_s,{}",
+        build16.as_secs_f64()
+    );
 
     // The paper's dismissal must be measurable: GF(2^16) is clearly slower.
     assert!(

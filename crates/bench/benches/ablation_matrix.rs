@@ -45,7 +45,10 @@ fn mean_inef(matrix: &SparseMatrix, runs: u32, seed: u64) -> Option<f64> {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation: LDGM matrix construction (fill rule, left degree)", &scale);
+    banner(
+        "Ablation: LDGM matrix construction (fill rule, left degree)",
+        &scale,
+    );
     let k = scale.k;
     let n = (k as f64 * 2.5) as usize;
     let mut report = String::new();

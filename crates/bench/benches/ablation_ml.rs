@@ -62,7 +62,11 @@ fn measure(
     }
     let decoded = runs - failures;
     DecoderStats {
-        mean_inef: if decoded > 0 { sum / decoded as f64 } else { f64::NAN },
+        mean_inef: if decoded > 0 {
+            sum / decoded as f64
+        } else {
+            f64::NAN
+        },
         max_inef: max,
         failures,
     }
@@ -85,7 +89,11 @@ fn main() {
             "  {:<12} {:>16} {:>16} {:>10}",
             "code", "peeling inef", "ML inef", "ML gain"
         );
-        for right in [RightSide::Identity, RightSide::Staircase, RightSide::Triangle] {
+        for right in [
+            RightSide::Identity,
+            RightSide::Staircase,
+            RightSide::Triangle,
+        ] {
             let matrix =
                 SparseMatrix::build(LdgmParams::new(k, n, right, 1)).expect("valid params");
             let peel = measure(&matrix, runs, scale.seed, peeling_necessary);

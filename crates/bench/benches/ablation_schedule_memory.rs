@@ -60,7 +60,11 @@ fn run_cell(
         }
     }
     CellResult {
-        mean_inef: if decoded > 0 { sum / decoded as f64 } else { f64::NAN },
+        mean_inef: if decoded > 0 {
+            sum / decoded as f64
+        } else {
+            f64::NAN
+        },
         failures,
     }
 }
@@ -75,7 +79,10 @@ fn bursty(p_global: f64, mean_burst: f64) -> GilbertParams {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation: schedule memory (WindowShuffle / GroupInterleaved)", &scale);
+    banner(
+        "Ablation: schedule memory (WindowShuffle / GroupInterleaved)",
+        &scale,
+    );
     let runs = scale.runs.min(20);
     let mut report = String::from("part,code,channel,memory,mean_inef,failures\n");
 
@@ -92,7 +99,10 @@ fn main() {
         ("burst10_10%", bursty(0.10, 10.0)),
     ];
     println!("--- LDGM Staircase, ratio 2.5, k = {k}: shuffle window sweep ---");
-    println!("  {:<14} {:>10} {:>22}", "channel", "window", "mean inef (failures)");
+    println!(
+        "  {:<14} {:>10} {:>22}",
+        "channel", "window", "mean inef (failures)"
+    );
     let mut ldgm_curves: Vec<(&str, Vec<CellResult>)> = Vec::new();
     for (label, ch) in channels {
         let mut curve = Vec::new();
@@ -132,7 +142,11 @@ fn main() {
             runs,
             scale.seed,
         );
-        let curve = &ldgm_curves.iter().find(|(l, _)| *l == label).expect("ran").1;
+        let curve = &ldgm_curves
+            .iter()
+            .find(|(l, _)| *l == label)
+            .expect("ran")
+            .1;
         let full = curve.last().expect("non-empty sweep");
         let first = &curve[0];
         println!(
@@ -182,7 +196,12 @@ fn main() {
     // Number of blocks at this scale (for the depth = all case).
     let blocks = {
         let r = Runner::new(
-            Experiment::new(CodeKind::Rse, k_rse, ExpansionRatio::R1_5, TxModel::Interleaved),
+            Experiment::new(
+                CodeKind::Rse,
+                k_rse,
+                ExpansionRatio::R1_5,
+                TxModel::Interleaved,
+            ),
             1,
         )
         .expect("valid");
@@ -194,7 +213,10 @@ fn main() {
         .chain([blocks])
         .collect();
     println!("  ({blocks} blocks at this scale)");
-    println!("  {:<14} {:>10} {:>22}", "channel", "depth", "mean inef (failures)");
+    println!(
+        "  {:<14} {:>10} {:>22}",
+        "channel", "depth", "mean inef (failures)"
+    );
     for (label, ch) in rse_channels {
         let mut curve = Vec::new();
         for &d in &depths {
@@ -237,8 +259,7 @@ fn main() {
         // Depth must pay: sequential blocks either fail sometimes or wait
         // far longer for the last block's parity.
         assert!(
-            first.failures > full.failures
-                || first.mean_inef > full.mean_inef + 0.05,
+            first.failures > full.failures || first.mean_inef > full.mean_inef + 0.05,
             "{label}: depth=1 must be clearly worse \
              ({:.4}/{}F vs {:.4}/{}F)",
             first.mean_inef,

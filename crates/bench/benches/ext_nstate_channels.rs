@@ -110,7 +110,10 @@ fn measure(
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Extension: recommendations under n-state Markov channels (§7)", &scale);
+    banner(
+        "Extension: recommendations under n-state Markov channels (§7)",
+        &scale,
+    );
     let k = scale.k.min(5000);
     let runs = scale.runs.min(30);
     let ratio = 2.5;
@@ -138,7 +141,10 @@ fn main() {
     let pairings: Vec<(Code, TxModel)> = vec![
         (Code::Ldgm(RightSide::Triangle), TxModel::Random),
         (Code::Ldgm(RightSide::Triangle), TxModel::SourceSeqParitySeq),
-        (Code::Ldgm(RightSide::Staircase), TxModel::SourceSeqParityRandom),
+        (
+            Code::Ldgm(RightSide::Staircase),
+            TxModel::SourceSeqParityRandom,
+        ),
         (Code::Ldgm(RightSide::Staircase), TxModel::tx6_paper()),
         (Code::Rse, TxModel::Interleaved),
         (Code::Rse, TxModel::SourceSeqParitySeq),
@@ -193,7 +199,10 @@ fn main() {
             (None, Some(_)) => true,
             _ => tri_tx1_f >= tri_tx4_f,
         };
-        assert!(tx1_worse, "{channel_name}: Tx1 must stay worse than Tx4 for Triangle");
+        assert!(
+            tx1_worse,
+            "{channel_name}: Tx1 must stay worse than Tx4 for Triangle"
+        );
         // Gate 2: same for RSE — sequential vs interleaved.
         let (rse_tx5, rse_tx5_f) = get(Code::Rse, TxModel::Interleaved);
         let (rse_tx1, rse_tx1_f) = get(Code::Rse, TxModel::SourceSeqParitySeq);
@@ -202,7 +211,10 @@ fn main() {
             (None, Some(_)) => true,
             _ => rse_tx1_f >= rse_tx5_f,
         };
-        assert!(rse_seq_worse, "{channel_name}: sequential must stay worse than Tx5 for RSE");
+        assert!(
+            rse_seq_worse,
+            "{channel_name}: sequential must stay worse than Tx5 for RSE"
+        );
         // Gate 3: the universal recommendation stays usable: Triangle+Tx4
         // decodes (no failures) whenever RSE+Tx5 does.
         if rse_tx5_f == 0 {

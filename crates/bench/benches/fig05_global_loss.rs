@@ -35,7 +35,13 @@ fn main() {
 
     // The shape checks the paper's figure displays: 0 at p=0, 1 at q=0 (p>0),
     // 0.5 on the diagonal.
-    assert_eq!(surface.iter().filter(|(p, _, g)| *p == 0.0 && *g != 0.0).count(), 0);
+    assert_eq!(
+        surface
+            .iter()
+            .filter(|(p, _, g)| *p == 0.0 && *g != 0.0)
+            .count(),
+        0
+    );
     for &(p, q, g) in &surface {
         if p > 0.0 && q == 0.0 {
             assert!((g - 1.0).abs() < 1e-12, "q=0 must saturate");

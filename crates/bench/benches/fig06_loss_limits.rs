@@ -15,7 +15,10 @@ use fec_sim::{report, CodeKind, ExpansionRatio};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 6: loss limits (decoding-impossible regions)", &scale);
+    banner(
+        "Figure 6: loss limits (decoding-impossible regions)",
+        &scale,
+    );
 
     let mut dat = String::new();
     for ratio in [1.5, 2.5] {
@@ -55,7 +58,13 @@ fn main() {
     println!("\nempirical mask (LDGM Staircase, Tx_model_4) vs analytic bound:");
     let mut violations = 0;
     for ratio in [ExpansionRatio::R1_5, ExpansionRatio::R2_5] {
-        let result = sweep(CodeKind::LdgmStaircase, ratio, TxModel::Random, &scale, false);
+        let result = sweep(
+            CodeKind::LdgmStaircase,
+            ratio,
+            TxModel::Random,
+            &scale,
+            false,
+        );
         let limit = FeasibilityLimit::ideal(ratio.as_f64());
         for cell in &result.cells {
             if !cell.is_masked() && !limit.is_feasible(cell.p, cell.q) {

@@ -53,9 +53,7 @@ fn main() {
     assert_eq!(p0_cells, scale.grid.len());
     let masked = result.masked_cells();
     let non_p0 = result.cells.len() - p0_cells;
-    println!(
-        "masked cells: {masked}/{non_p0} non-perfect cells (paper: all of them at k=20000)"
-    );
+    println!("masked cells: {masked}/{non_p0} non-perfect cells (paper: all of them at k=20000)");
     assert!(
         masked as f64 >= 0.9 * non_p0 as f64,
         "repetition must fail almost everywhere"

@@ -55,7 +55,10 @@ fn check_shape(result: &SweepResult, label: &str) {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 8: Tx_model_1 (sequential source, then sequential parity)", &scale);
+    banner(
+        "Figure 8: Tx_model_1 (sequential source, then sequential parity)",
+        &scale,
+    );
 
     for ratio in [ExpansionRatio::R2_5, ExpansionRatio::R1_5] {
         let mut masked = Vec::new();
@@ -66,12 +69,20 @@ fn main() {
             check_shape(&result, &format!("{code}@{ratio}"));
             output::save(
                 "fig08",
-                &format!("tx1_{}_r{}.csv", code.name().replace(' ', "_"), ratio.as_f64()),
+                &format!(
+                    "tx1_{}_r{}.csv",
+                    code.name().replace(' ', "_"),
+                    ratio.as_f64()
+                ),
                 &report::to_csv(&result),
             );
             output::save(
                 "fig08",
-                &format!("tx1_{}_r{}.dat", code.name().replace(' ', "_"), ratio.as_f64()),
+                &format!(
+                    "tx1_{}_r{}.dat",
+                    code.name().replace(' ', "_"),
+                    ratio.as_f64()
+                ),
                 &report::to_dat(&result),
             );
             masked.push((code, result.masked_cells()));

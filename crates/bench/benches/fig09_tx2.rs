@@ -14,7 +14,10 @@ use fec_sim::{report, CodeKind, ExpansionRatio};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 9: Tx_model_2 (sequential source, then random parity)", &scale);
+    banner(
+        "Figure 9: Tx_model_2 (sequential source, then random parity)",
+        &scale,
+    );
 
     for ratio in [ExpansionRatio::R2_5, ExpansionRatio::R1_5] {
         let mut results = Vec::new();
@@ -24,7 +27,11 @@ fn main() {
             println!("{}", report::paper_table(&result));
             output::save(
                 "fig09",
-                &format!("tx2_{}_r{}.csv", code.name().replace(' ', "_"), ratio.as_f64()),
+                &format!(
+                    "tx2_{}_r{}.csv",
+                    code.name().replace(' ', "_"),
+                    ratio.as_f64()
+                ),
                 &report::to_csv(&result),
             );
             for cell in &result.cells {

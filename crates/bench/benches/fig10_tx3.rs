@@ -14,7 +14,10 @@ use fec_sim::{report, CodeKind, ExpansionRatio};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 10: Tx_model_3 (sequential parity first, then random source)", &scale);
+    banner(
+        "Figure 10: Tx_model_3 (sequential parity first, then random source)",
+        &scale,
+    );
 
     for ratio in [ExpansionRatio::R2_5, ExpansionRatio::R1_5] {
         for code in CodeKind::paper_codes() {
@@ -23,7 +26,11 @@ fn main() {
             println!("{}", report::paper_table(&result));
             output::save(
                 "fig10",
-                &format!("tx3_{}_r{}.csv", code.name().replace(' ', "_"), ratio.as_f64()),
+                &format!(
+                    "tx3_{}_r{}.csv",
+                    code.name().replace(' ', "_"),
+                    ratio.as_f64()
+                ),
                 &report::to_csv(&result),
             );
 
@@ -37,8 +44,7 @@ fn main() {
                         // source members (3k / 1.5k), so with all parity in
                         // hand ONE source packet cascades through the whole
                         // graph: inefficiency is exactly (n - k + 1) / k.
-                        let exact = ((scale.k as f64 * ratio.as_f64()).floor()
-                            - scale.k as f64
+                        let exact = ((scale.k as f64 * ratio.as_f64()).floor() - scale.k as f64
                             + 1.0)
                             / scale.k as f64;
                         assert!(

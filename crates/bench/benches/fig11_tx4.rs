@@ -32,7 +32,11 @@ fn main() {
             println!("{}", report::paper_table(&result));
             output::save(
                 "fig11",
-                &format!("tx4_{}_r{}.csv", code.name().replace(' ', "_"), ratio.as_f64()),
+                &format!(
+                    "tx4_{}_r{}.csv",
+                    code.name().replace(' ', "_"),
+                    ratio.as_f64()
+                ),
                 &report::to_csv(&result),
             );
             let gm = result.grand_mean().unwrap();
@@ -51,7 +55,10 @@ fn main() {
         if scale.k >= 4000 {
             assert!(rse.1 > sc.1, "RSE must be worst under Tx4 (ratio {ratio})");
         } else {
-            println!("note: k = {} too small for RSE's block-count penalty; skipping that check", scale.k);
+            println!(
+                "note: k = {} too small for RSE's block-count penalty; skipping that check",
+                scale.k
+            );
         }
         assert!(
             tri.1 < sc.1,

@@ -12,7 +12,10 @@ use fec_sim::{report, CodeKind, ExpansionRatio};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 13: Tx_model_6 (random 20% source + all parity)", &scale);
+    banner(
+        "Figure 13: Tx_model_6 (random 20% source + all parity)",
+        &scale,
+    );
 
     let ratio = ExpansionRatio::R2_5; // Tx6 needs the high ratio (§4.8)
     let mut means = Vec::new();
@@ -72,7 +75,10 @@ fn main() {
             rse.1
         );
     } else {
-        println!("note: k = {} too small for the RSE block-count penalty; skipping that check", scale.k);
+        println!(
+            "note: k = {} too small for the RSE block-count penalty; skipping that check",
+            scale.k
+        );
     }
     println!(
         "\nshape checks passed: Staircase ({:.4}) < Triangle ({:.4}), RSE ({:.4}); all flat",

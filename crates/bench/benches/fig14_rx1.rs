@@ -11,11 +11,14 @@ use std::fmt::Write as _;
 
 use fec_bench::{banner, output, Scale};
 use fec_sched::{RxModel, TxModel};
-use fec_sim::{CodeKind, Experiment, ExpansionRatio, Runner};
+use fec_sim::{CodeKind, ExpansionRatio, Experiment, Runner};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 14: Rx_model_1 (m source packets, then random parity)", &scale);
+    banner(
+        "Figure 14: Rx_model_1 (m source packets, then random parity)",
+        &scale,
+    );
 
     let experiment = Experiment::new(
         CodeKind::LdgmStaircase,
@@ -87,7 +90,10 @@ fn main() {
     // The paper's sweet spot at k=20000 is 400..1000, i.e. 2..5% of k; at
     // other scales the relative position is what transfers.
     let frac = best_m as f64 / scale.k as f64;
-    println!("sweet spot at {:.1}% of k (paper: 2-5% of k = 20000)", frac * 100.0);
+    println!(
+        "sweet spot at {:.1}% of k (paper: 2-5% of k = 20000)",
+        frac * 100.0
+    );
     assert!(
         frac > 0.001 && frac < 0.25,
         "sweet spot fraction {frac} implausibly far from the paper's 2-5%"

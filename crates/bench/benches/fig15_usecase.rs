@@ -14,7 +14,10 @@ use fec_sim::{CodeKind, ExpansionRatio};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 15 / §6.2.1: known channel use case (Yajnik Amherst->LA)", &scale);
+    banner(
+        "Figure 15 / §6.2.1: known channel use case (Yajnik Amherst->LA)",
+        &scale,
+    );
 
     let channel = GilbertParams::new(paper::prose::USECASE_P, paper::prose::USECASE_Q)
         .expect("paper probabilities");
@@ -55,7 +58,10 @@ fn main() {
     let choices = selector.select(channel).expect("valid candidates");
 
     let mut csv = String::from("code,tx,ratio,mean_inefficiency,failures,n_sent\n");
-    println!("{:<16} {:<12} {:>5} {:>10} {:>8} {:>9}", "code", "model", "ratio", "inef", "failures", "n_sent");
+    println!(
+        "{:<16} {:<12} {:>5} {:>10} {:>8} {:>9}",
+        "code", "model", "ratio", "inef", "failures", "n_sent"
+    );
     for c in &choices {
         println!(
             "{:<16} {:<12} {:>5} {:>10} {:>8} {:>9}",
@@ -65,16 +71,21 @@ fn main() {
             c.mean_inefficiency
                 .map_or_else(|| "-".into(), |m| format!("{m:.4}")),
             c.failures,
-            c.plan.as_ref().map_or_else(|| "-".into(), |p| p.n_sent.to_string()),
+            c.plan
+                .as_ref()
+                .map_or_else(|| "-".into(), |p| p.n_sent.to_string()),
         );
         csv.push_str(&format!(
             "{},{},{},{},{},{}\n",
             c.code.name(),
             c.tx.name(),
             c.ratio.as_f64(),
-            c.mean_inefficiency.map_or(String::new(), |m| format!("{m:.6}")),
+            c.mean_inefficiency
+                .map_or(String::new(), |m| format!("{m:.6}")),
             c.failures,
-            c.plan.as_ref().map_or(String::new(), |p| p.n_sent.to_string()),
+            c.plan
+                .as_ref()
+                .map_or(String::new(), |p| p.n_sent.to_string()),
         ));
     }
     output::save("fig15", "usecase_ranking.csv", &csv);

@@ -53,7 +53,10 @@ fn peak_memory(
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Memory profile: peak decoder buffers per transmission model (§7)", &scale);
+    banner(
+        "Memory profile: peak decoder buffers per transmission model (§7)",
+        &scale,
+    );
     let k = scale.k.min(5000); // payload decode: keep the byte volume sane
     let n = (k as f64 * 2.5) as usize;
     let channel = GilbertParams::new(0.05, 0.5).expect("params");

@@ -58,8 +58,16 @@ fn main() {
         summary.push('\n');
 
         let stem = table.id.to_lowercase().replace(' ', "_");
-        output::save("tables", &format!("{stem}_measured.csv"), &report::to_csv(&result));
-        output::save("tables", &format!("{stem}_measured.dat"), &report::to_dat(&result));
+        output::save(
+            "tables",
+            &format!("{stem}_measured.csv"),
+            &report::to_csv(&result),
+        );
+        output::save(
+            "tables",
+            &format!("{stem}_measured.dat"),
+            &report::to_dat(&result),
+        );
         output::save(
             "tables",
             &format!("{stem}_measured.json"),

@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::sync::Arc;
 
-use fec_ldgm::{Decoder as LdgmDecoder, Encoder as LdgmEncoder, LdgmParams, RightSide, SparseMatrix};
+use fec_ldgm::{
+    Decoder as LdgmDecoder, Encoder as LdgmEncoder, LdgmParams, RightSide, SparseMatrix,
+};
 use fec_rse::{Partition, RseCodec};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -45,9 +47,7 @@ fn bench_encode(c: &mut Criterion) {
                 let mut off = 0usize;
                 let mut out = 0usize;
                 for (blk, codec) in partition.blocks().iter().zip(&codecs) {
-                    let parity = codec
-                        .encode_refs(&refs[off..off + blk.k])
-                        .expect("encode");
+                    let parity = codec.encode_refs(&refs[off..off + blk.k]).expect("encode");
                     out += parity.len();
                     off += blk.k;
                 }

@@ -66,8 +66,7 @@ pub fn compare(paper: &PaperTable, measured: &SweepResult) -> Comparison {
                     c.both_numeric += 1;
                     if d > c.max_abs_delta {
                         c.max_abs_delta = d;
-                        c.worst_cell =
-                            Some((paper.grid_pct[pi], paper.grid_pct[qi]));
+                        c.worst_cell = Some((paper.grid_pct[pi], paper.grid_pct[qi]));
                     }
                 }
                 (None, None) => c.both_masked += 1,

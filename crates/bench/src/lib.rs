@@ -23,7 +23,7 @@ mod scale;
 pub use scale::Scale;
 
 use fec_sched::TxModel;
-use fec_sim::{CodeKind, Experiment, ExpansionRatio, GridSweep, SweepConfig, SweepResult};
+use fec_sim::{CodeKind, ExpansionRatio, Experiment, GridSweep, SweepConfig, SweepResult};
 
 /// Runs one grid sweep for a `(code, ratio, tx)` tuple at the given scale.
 ///

@@ -40,9 +40,10 @@ impl PaperTable {
                 if tok == "-" {
                     None
                 } else {
-                    Some(tok.parse::<f64>().unwrap_or_else(|_| {
-                        panic!("{}: bad cell {tok:?}", self.id)
-                    }))
+                    Some(
+                        tok.parse::<f64>()
+                            .unwrap_or_else(|_| panic!("{}: bad cell {tok:?}", self.id)),
+                    )
                 }
             })
             .collect()

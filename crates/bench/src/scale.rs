@@ -30,7 +30,7 @@ impl Default for Scale {
         Scale {
             k: 5000,
             runs: 30,
-            grid: grid::PAPER_GRID.to_vec(),
+            grid: grid::GridKind::Paper.to_vec(),
             seed: 0xC0FFEE,
         }
     }
@@ -51,7 +51,7 @@ impl Scale {
             s.runs = r as u32;
         }
         match std::env::var("FEC_REPRO_GRID").as_deref() {
-            Ok("coarse") => s.grid = grid::COARSE_GRID.to_vec(),
+            Ok("coarse") => s.grid = grid::GridKind::Coarse.to_vec(),
             Ok("paper") | Err(_) => {}
             Ok(other) => eprintln!("FEC_REPRO_GRID={other} unknown; using the paper grid"),
         }

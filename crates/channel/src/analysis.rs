@@ -88,10 +88,72 @@ impl FeasibilityLimit {
     }
 }
 
+/// Wilson score interval for a binomial proportion — the confidence
+/// interval online Gilbert estimators attach to their `p`/`q` transition
+/// estimates. Unlike the Wald interval it stays inside `[0, 1]` and behaves
+/// sensibly at small counts, which matters right after a regime switch when
+/// the estimation window has just been flushed.
+///
+/// `successes` out of `trials`, at critical value `z` (1.96 ≈ 95%).
+/// Returns the degenerate full interval `(0, 1)` when `trials == 0`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let phat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = phat + z2 / (2.0 * n);
+    let half = z * (phat * (1.0 - phat) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((centre - half) / denom).max(0.0),
+        ((centre + half) / denom).min(1.0),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100, 1.96);
+        assert!(lo < 0.3 && 0.3 < hi);
+        assert!(hi - lo < 0.2, "95% CI at n=100 is tight-ish: {lo}..{hi}");
+        let (lo2, hi2) = wilson_interval(300, 1000, 1.96);
+        assert!(hi2 - lo2 < hi - lo, "more data tightens the interval");
+    }
+
+    #[test]
+    fn wilson_interval_edge_cases() {
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (lo, hi) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.15, "zero successes still bound p: {hi}");
+        let (lo, hi) = wilson_interval(50, 50, 1.96);
+        assert!(lo > 0.85 && lo < 1.0, "all successes still bound p: {lo}");
+        assert_eq!(hi, 1.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The interval is always ordered, inside [0,1], and contains phat.
+        #[test]
+        fn wilson_interval_is_well_formed(s in 0u64..500, extra in 0u64..500) {
+            let n = s + extra;
+            let (lo, hi) = wilson_interval(s, n, 1.96);
+            prop_assert!((0.0..=1.0).contains(&lo));
+            prop_assert!((0.0..=1.0).contains(&hi));
+            prop_assert!(lo <= hi);
+            if n > 0 {
+                let phat = s as f64 / n as f64;
+                prop_assert!(lo <= phat + 1e-12 && phat - 1e-12 <= hi);
+            }
+        }
+    }
 
     #[test]
     fn surface_matches_formula() {

@@ -53,10 +53,16 @@ impl GilbertParams {
     /// Validates and wraps `(p, q)`.
     pub fn new(p: f64, q: f64) -> Result<GilbertParams, ChannelError> {
         if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-            return Err(ChannelError::BadProbability { name: "p", value: p });
+            return Err(ChannelError::BadProbability {
+                name: "p",
+                value: p,
+            });
         }
         if !(0.0..=1.0).contains(&q) || !q.is_finite() {
-            return Err(ChannelError::BadProbability { name: "q", value: q });
+            return Err(ChannelError::BadProbability {
+                name: "q",
+                value: q,
+            });
         }
         Ok(GilbertParams { p, q })
     }
@@ -232,7 +238,10 @@ mod tests {
         let losses = ch.sample_losses(10_000);
         let first = losses.iter().position(|&l| l);
         let first = first.expect("with p=0.3 a loss happens quickly");
-        assert!(losses[first..].iter().all(|&l| l), "loss state is absorbing");
+        assert!(
+            losses[first..].iter().all(|&l| l),
+            "loss state is absorbing"
+        );
     }
 
     #[test]
@@ -249,7 +258,10 @@ mod tests {
         // p = 1, q = 1 deterministically alternates: keep, lose, keep, …
         let mut ch = GilbertChannel::new(GilbertParams::new(1.0, 1.0).unwrap(), 5);
         let losses = ch.sample_losses(10);
-        assert_eq!(losses, vec![false, true, false, true, false, true, false, true, false, true]);
+        assert_eq!(
+            losses,
+            vec![false, true, false, true, false, true, false, true, false, true]
+        );
     }
 
     #[test]
@@ -332,11 +344,12 @@ mod tests {
     fn stationary_start_uses_loss_state_sometimes() {
         let params = GilbertParams::new(0.9, 0.1).unwrap(); // 90% loss
         let started_lossy = (0..200)
-            .filter(|&s| {
-                GilbertChannel::new_stationary(params, s).state() == GilbertState::Loss
-            })
+            .filter(|&s| GilbertChannel::new_stationary(params, s).state() == GilbertState::Loss)
             .count();
-        assert!(started_lossy > 140, "expected ~180/200, got {started_lossy}");
+        assert!(
+            started_lossy > 140,
+            "expected ~180/200, got {started_lossy}"
+        );
     }
 
     proptest! {

@@ -13,6 +13,33 @@ pub const COARSE_GRID: [f64; 8] = [0.0, 0.01, 0.05, 0.20, 0.40, 0.60, 0.80, 1.00
 /// Percent labels for [`PAPER_GRID`], as printed in the paper's appendix.
 pub const PAPER_GRID_PERCENT: [u32; 14] = [0, 1, 5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100];
 
+/// The canonical grid selection used by sweep configs, bench scaling and
+/// the CLI. Every `(p, q)` axis in the workspace resolves through this one
+/// type so the values cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GridKind {
+    /// The paper's 14-value grid.
+    #[default]
+    Paper,
+    /// The coarse 8-value grid for quick runs.
+    Coarse,
+}
+
+impl GridKind {
+    /// The grid values.
+    pub fn values(&self) -> &'static [f64] {
+        match self {
+            GridKind::Paper => &PAPER_GRID,
+            GridKind::Coarse => &COARSE_GRID,
+        }
+    }
+
+    /// The grid values as an owned vector (sweep configs store `Vec<f64>`).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.values().to_vec()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -39,5 +66,13 @@ mod tests {
         for v in COARSE_GRID {
             assert!(PAPER_GRID.contains(&v));
         }
+    }
+
+    #[test]
+    fn grid_kind_is_the_single_source() {
+        assert_eq!(GridKind::Paper.values(), &PAPER_GRID);
+        assert_eq!(GridKind::Coarse.values(), &COARSE_GRID);
+        assert_eq!(GridKind::default(), GridKind::Paper);
+        assert_eq!(GridKind::Coarse.to_vec().len(), 8);
     }
 }

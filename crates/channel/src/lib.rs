@@ -26,14 +26,16 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod drift;
 mod gilbert;
 pub mod grid;
 mod nstate;
 mod trace;
 
+pub use drift::{DriftingChannel, Regime};
 pub use gilbert::{ChannelError, GilbertChannel, GilbertParams, GilbertState};
 pub use nstate::{MarkovChannel, MarkovLossModel};
-pub use trace::{fit_gilbert, LossTrace, TraceChannel};
+pub use trace::{fit_gilbert, LossTrace, TraceChannel, TransitionCounts};
 
 /// A packet-erasure channel: a (usually random) source of per-packet
 /// keep/lose decisions.

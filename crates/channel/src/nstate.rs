@@ -55,7 +55,10 @@ impl MarkovLossModel {
                 });
             }
             let sum: f64 = row.iter().sum();
-            if row.iter().any(|p| !(0.0..=1.0).contains(p) || !p.is_finite()) {
+            if row
+                .iter()
+                .any(|p| !(0.0..=1.0).contains(p) || !p.is_finite())
+            {
                 return Err(ChannelError::BadProbability {
                     name: "transition probability",
                     value: sum,
@@ -238,16 +241,11 @@ mod tests {
         // Row does not sum to 1.
         assert!(MarkovLossModel::new(vec![vec![0.5, 0.4]], vec![0.0], 0).is_err());
         // Non-square.
-        assert!(
-            MarkovLossModel::new(vec![vec![1.0], vec![0.5, 0.5]], vec![0.0, 0.0], 0).is_err()
-        );
+        assert!(MarkovLossModel::new(vec![vec![1.0], vec![0.5, 0.5]], vec![0.0, 0.0], 0).is_err());
         // Loss probability out of range.
-        assert!(MarkovLossModel::new(
-            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
-            vec![0.0, 1.5],
-            0
-        )
-        .is_err());
+        assert!(
+            MarkovLossModel::new(vec![vec![0.5, 0.5], vec![0.5, 0.5]], vec![0.0, 1.5], 0).is_err()
+        );
         // Bad start state.
         assert!(MarkovLossModel::new(vec![vec![1.0]], vec![0.0], 3).is_err());
     }
@@ -257,8 +255,7 @@ mod tests {
         let params = GilbertParams::new(0.1, 0.4).unwrap();
         let model = MarkovLossModel::from_gilbert(params);
         assert!(
-            (model.stationary_loss_probability() - params.global_loss_probability()).abs()
-                < 1e-12
+            (model.stationary_loss_probability() - params.global_loss_probability()).abs() < 1e-12
         );
         // Empirical loss rate matches the 2-state closed form.
         let mut ch = model.channel(3);
@@ -290,12 +287,8 @@ mod tests {
     #[test]
     fn outage_state_loses_everything() {
         // Force start in outage with no escape: everything is lost.
-        let m = MarkovLossModel::new(
-            vec![vec![1.0, 0.0], vec![0.0, 1.0]],
-            vec![0.0, 1.0],
-            1,
-        )
-        .unwrap();
+        let m =
+            MarkovLossModel::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]], vec![0.0, 1.0], 1).unwrap();
         let mut ch = m.channel(1);
         assert!((0..1000).all(|_| ch.next_is_lost()));
     }

@@ -54,10 +54,21 @@ impl LossTrace {
 
     /// Lengths of the maximal loss bursts.
     pub fn burst_lengths(&self) -> Vec<usize> {
+        self.run_lengths(true)
+    }
+
+    /// Lengths of the maximal delivery runs (the complement of
+    /// [`LossTrace::burst_lengths`]).
+    pub fn good_run_lengths(&self) -> Vec<usize> {
+        self.run_lengths(false)
+    }
+
+    /// Lengths of the maximal runs of `state` (`true` = loss bursts).
+    pub fn run_lengths(&self, state: bool) -> Vec<usize> {
         let mut out = Vec::new();
         let mut cur = 0usize;
         for &l in &self.losses {
-            if l {
+            if l == state {
                 cur += 1;
             } else if cur > 0 {
                 out.push(cur);
@@ -68,6 +79,94 @@ impl LossTrace {
             out.push(cur);
         }
         out
+    }
+
+    /// Transition statistics over consecutive packet pairs — the sufficient
+    /// statistic for Gilbert maximum likelihood (and what online estimators
+    /// maintain incrementally).
+    pub fn transition_counts(&self) -> TransitionCounts {
+        let mut counts = TransitionCounts::default();
+        for w in self.losses.windows(2) {
+            counts.record(w[0], w[1]);
+        }
+        counts
+    }
+}
+
+/// Counts of the four consecutive-pair transitions of a loss process.
+///
+/// `good` / `bad` count pairs *leaving* the delivered / lost state, so
+/// `p = good_to_bad / good` and `q = bad_to_good / bad` are the two-state
+/// chain's maximum-likelihood estimates. Counts are additive: merging two
+/// disjoint windows sums their fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransitionCounts {
+    /// Pairs starting in the delivered state.
+    pub good: u64,
+    /// Pairs delivered → lost.
+    pub good_to_bad: u64,
+    /// Pairs starting in the lost state.
+    pub bad: u64,
+    /// Pairs lost → delivered.
+    pub bad_to_good: u64,
+}
+
+impl TransitionCounts {
+    /// Records one consecutive pair (`true` = lost).
+    pub fn record(&mut self, first: bool, second: bool) {
+        match (first, second) {
+            (false, false) => self.good += 1,
+            (false, true) => {
+                self.good += 1;
+                self.good_to_bad += 1;
+            }
+            (true, true) => self.bad += 1,
+            (true, false) => {
+                self.bad += 1;
+                self.bad_to_good += 1;
+            }
+        }
+    }
+
+    /// Removes one previously recorded pair (for sliding windows).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the pair was never recorded.
+    pub fn unrecord(&mut self, first: bool, second: bool) {
+        match (first, second) {
+            (false, false) => self.good -= 1,
+            (false, true) => {
+                self.good -= 1;
+                self.good_to_bad -= 1;
+            }
+            (true, true) => self.bad -= 1,
+            (true, false) => {
+                self.bad -= 1;
+                self.bad_to_good -= 1;
+            }
+        }
+    }
+
+    /// Total pairs recorded.
+    pub fn total(&self) -> u64 {
+        self.good + self.bad
+    }
+
+    /// True when both `p` and `q` are identifiable (each state was left at
+    /// least once observed, i.e. appeared as a pair's first element).
+    pub fn is_identifiable(&self) -> bool {
+        self.good > 0 && self.bad > 0
+    }
+
+    /// The maximum-likelihood `(p, q)` point estimate, `None` while a state
+    /// is unobserved.
+    pub fn mle(&self) -> Option<(f64, f64)> {
+        self.is_identifiable().then(|| {
+            (
+                self.good_to_bad as f64 / self.good as f64,
+                self.bad_to_good as f64 / self.bad as f64,
+            )
+        })
     }
 }
 
@@ -86,38 +185,21 @@ pub fn fit_gilbert(trace: &LossTrace) -> Result<GilbertParams, ChannelError> {
             value: xs.len() as f64,
         });
     }
-    let (mut n_good, mut n_good_to_bad) = (0u64, 0u64);
-    let (mut n_bad, mut n_bad_to_good) = (0u64, 0u64);
-    for w in xs.windows(2) {
-        match (w[0], w[1]) {
-            (false, false) => n_good += 1,
-            (false, true) => {
-                n_good += 1;
-                n_good_to_bad += 1;
-            }
-            (true, true) => n_bad += 1,
-            (true, false) => {
-                n_bad += 1;
-                n_bad_to_good += 1;
-            }
-        }
-    }
-    if n_good == 0 {
+    let counts = trace.transition_counts();
+    if counts.good == 0 {
         return Err(ChannelError::BadProbability {
             name: "trace never leaves the loss state; p unidentifiable",
             value: 0.0,
         });
     }
-    if n_bad == 0 {
+    if counts.bad == 0 {
         return Err(ChannelError::BadProbability {
             name: "trace has no losses; q unidentifiable",
             value: 0.0,
         });
     }
-    GilbertParams::new(
-        n_good_to_bad as f64 / n_good as f64,
-        n_bad_to_good as f64 / n_bad as f64,
-    )
+    let (p, q) = counts.mle().expect("both states observed");
+    GilbertParams::new(p, q)
 }
 
 /// Replays a recorded trace as a [`LossModel`], cycling when exhausted.
@@ -190,6 +272,42 @@ mod tests {
         assert_eq!(t.len(), 7);
         assert!((t.loss_rate() - 3.0 / 7.0).abs() < 1e-12);
         assert_eq!(t.burst_lengths(), vec![2, 1]);
+    }
+
+    #[test]
+    fn run_lengths_partition_the_trace() {
+        let t = LossTrace::new(vec![false, true, true, false, true, false, false]);
+        assert_eq!(t.good_run_lengths(), vec![1, 1, 2]);
+        assert_eq!(t.run_lengths(true), t.burst_lengths());
+        let total: usize =
+            t.burst_lengths().iter().sum::<usize>() + t.good_run_lengths().iter().sum::<usize>();
+        assert_eq!(total, t.len());
+    }
+
+    #[test]
+    fn transition_counts_match_fit() {
+        let t = LossTrace::new(vec![false, true, true, false, false]);
+        let c = t.transition_counts();
+        assert_eq!((c.good, c.good_to_bad, c.bad, c.bad_to_good), (2, 1, 2, 1));
+        assert_eq!(c.total(), 4);
+        assert!(c.is_identifiable());
+        let (p, q) = c.mle().unwrap();
+        let fit = fit_gilbert(&t).unwrap();
+        assert_eq!((p, q), (fit.p(), fit.q()));
+    }
+
+    #[test]
+    fn transition_counts_slide_consistently() {
+        // Recording then unrecording a pair returns to the prior counts, so
+        // a sliding window can maintain counts incrementally.
+        let mut c = TransitionCounts::default();
+        c.record(false, true);
+        c.record(true, true);
+        let snapshot = c;
+        c.record(true, false);
+        c.unrecord(true, false);
+        assert_eq!(c, snapshot);
+        assert!(TransitionCounts::default().mle().is_none());
     }
 
     #[test]

@@ -65,9 +65,10 @@ impl Iterator for Carousel<'_> {
         if self.position == self.current.len() {
             self.cycle += 1;
             self.position = 0;
-            self.current = self
-                .tx
-                .schedule(self.sender.layout(), fec_sim::mix_seed(self.seed, &[self.cycle]));
+            self.current = self.tx.schedule(
+                self.sender.layout(),
+                fec_sim::mix_seed(self.seed, &[self.cycle]),
+            );
         }
         let r = self.current[self.position];
         self.position += 1;

@@ -66,10 +66,16 @@ impl fmt::Display for CoreError {
                 write!(f, "packet {block}:{esi} outside the session layout")
             }
             CoreError::WrongSymbolSize { expected, got } => {
-                write!(f, "payload of {got} bytes, session symbol size is {expected}")
+                write!(
+                    f,
+                    "payload of {got} bytes, session symbol size is {expected}"
+                )
             }
             CoreError::NotDecoded { decoded, needed } => {
-                write!(f, "object not decoded yet ({decoded}/{needed} source packets)")
+                write!(
+                    f,
+                    "object not decoded yet ({decoded}/{needed} source packets)"
+                )
             }
             CoreError::Codec { detail } => write!(f, "codec error: {detail}"),
         }

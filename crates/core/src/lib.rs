@@ -38,7 +38,9 @@ pub use error::CoreError;
 pub use packet::{Packet, PACKET_HEADER_LEN};
 pub use plan::{optimal_n_sent, TransmissionPlan};
 pub use receiver::{DecodeProgress, Receiver};
-pub use recommend::{recommend, ChannelKnowledge, MeasuredChoice, MeasuredSelector, Recommendation};
+pub use recommend::{
+    recommend, recommend_known, ChannelKnowledge, MeasuredChoice, MeasuredSelector, Recommendation,
+};
 pub use sender::Sender;
 pub use spec::CodeSpec;
 

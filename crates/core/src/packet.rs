@@ -40,7 +40,11 @@ pub struct Packet {
 impl Packet {
     /// Creates a packet from its parts.
     pub fn new(block: u32, esi: u32, payload: Bytes) -> Packet {
-        Packet { block, esi, payload }
+        Packet {
+            block,
+            esi,
+            payload,
+        }
     }
 
     /// The `(block, esi)` pair as a scheduling reference.

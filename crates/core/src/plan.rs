@@ -148,10 +148,7 @@ mod tests {
 
     #[test]
     fn tolerance_is_added() {
-        assert_eq!(
-            optimal_n_sent(100, 1.0, 0.0, 25),
-            125
-        );
+        assert_eq!(optimal_n_sent(100, 1.0, 0.0, 25), 125);
     }
 
     #[test]

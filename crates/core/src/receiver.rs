@@ -72,7 +72,11 @@ impl Receiver {
     ///
     /// For LDGM codes this rebuilds the sender's matrix from
     /// `spec.matrix_seed` — the only shared state the scheme needs.
-    pub fn new(spec: CodeSpec, object_len: usize, symbol_size: usize) -> Result<Receiver, CoreError> {
+    pub fn new(
+        spec: CodeSpec,
+        object_len: usize,
+        symbol_size: usize,
+    ) -> Result<Receiver, CoreError> {
         spec.validate_object(object_len, symbol_size)?;
         let layout = spec.layout()?;
         let state = match spec.kind.ldgm_right_side() {
@@ -132,9 +136,10 @@ impl Receiver {
         self.received += 1;
         match &mut self.state {
             DecoderState::Ldgm(dec) => {
-                dec.push(r.esi, &packet.payload).map_err(|e| CoreError::Codec {
-                    detail: e.to_string(),
-                })?;
+                dec.push(r.esi, &packet.payload)
+                    .map_err(|e| CoreError::Codec {
+                        detail: e.to_string(),
+                    })?;
             }
             DecoderState::Rse {
                 codecs,
@@ -155,11 +160,11 @@ impl Receiver {
                         let (kb, nb) = self.layout.block(r.block as usize);
                         let codec = match codecs.entry((kb, nb)) {
                             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                            std::collections::hash_map::Entry::Vacant(e) => e.insert(
-                                RseCodec::new(kb, nb).map_err(|e| CoreError::Codec {
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(RseCodec::new(kb, nb).map_err(|e| CoreError::Codec {
                                     detail: e.to_string(),
-                                })?,
-                            ),
+                                })?)
+                            }
                         };
                         let refs: Vec<(u32, &[u8])> = block
                             .packets
@@ -314,7 +319,10 @@ mod tests {
         let rx = Receiver::new(spec, 100, 10).unwrap();
         assert!(matches!(
             rx.into_object(),
-            Err(CoreError::NotDecoded { decoded: 0, needed: 10 })
+            Err(CoreError::NotDecoded {
+                decoded: 0,
+                needed: 10
+            })
         ));
     }
 
@@ -325,7 +333,10 @@ mod tests {
         let pkt = Packet::new(0, 0, Bytes::from_static(b"short"));
         assert!(matches!(
             rx.push(&pkt),
-            Err(CoreError::WrongSymbolSize { expected: 10, got: 5 })
+            Err(CoreError::WrongSymbolSize {
+                expected: 10,
+                got: 5
+            })
         ));
     }
 
@@ -334,7 +345,10 @@ mod tests {
         let spec = CodeSpec::ldgm_staircase(10, ExpansionRatio::R2_5);
         let mut rx = Receiver::new(spec, 100, 10).unwrap();
         let pkt = Packet::new(3, 0, Bytes::from(vec![0u8; 10]));
-        assert!(matches!(rx.push(&pkt), Err(CoreError::UnknownPacket { .. })));
+        assert!(matches!(
+            rx.push(&pkt),
+            Err(CoreError::UnknownPacket { .. })
+        ));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use fec_channel::{analysis::FeasibilityLimit, GilbertParams};
 use fec_sched::TxModel;
-use fec_sim::{CodeKind, Experiment, ExpansionRatio, Runner, SimError};
+use fec_sim::{CodeKind, ExpansionRatio, Experiment, Runner, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::TransmissionPlan;
@@ -54,12 +54,6 @@ pub struct Recommendation {
 ///   magnitude faster;
 /// * Tx1 and Tx3 never appear ("of little interest in all cases").
 pub fn recommend(knowledge: ChannelKnowledge) -> Vec<Recommendation> {
-    let rec = |code, tx, ratio, rationale: &str| Recommendation {
-        code,
-        tx,
-        ratio,
-        rationale: rationale.to_string(),
-    };
     match knowledge {
         ChannelKnowledge::Unknown => vec![
             rec(
@@ -102,57 +96,78 @@ pub fn recommend(knowledge: ChannelKnowledge) -> Vec<Recommendation> {
             ),
         ],
         ChannelKnowledge::Known(params) => {
-            let p_global = params.global_loss_probability();
-            let mut out = Vec::new();
-            // Prefer the smaller ratio when it leaves a comfortable margin
-            // to the fundamental limit of §3.2 (1.25x the required rate).
-            let ratio = if FeasibilityLimit::ideal(1.5).required_delivery_rate() * 1.25
-                <= 1.0 - p_global
-            {
-                ExpansionRatio::R1_5
-            } else {
-                ExpansionRatio::R2_5
-            };
-            if p_global < 0.05 {
-                out.push(rec(
-                    CodeKind::LdgmStaircase,
-                    TxModel::SourceSeqParityRandom,
-                    ratio,
-                    "low loss: Tx_model_2 with LDGM Staircase is the paper's best \
-                     tuple in this regime (§6.2.1, Fig. 15)",
-                ));
-                out.push(rec(
-                    CodeKind::LdgmTriangle,
-                    TxModel::Random,
-                    ratio,
-                    "robust runner-up, much less sensitive to a mis-estimated \
-                     channel (§6.1)",
-                ));
-            } else {
-                out.push(rec(
-                    CodeKind::LdgmTriangle,
-                    TxModel::Random,
-                    ratio,
-                    "medium/high loss: Tx_model_4 with LDGM Triangle gives the best \
-                     and most stable inefficiency (§4.6)",
-                ));
-                out.push(rec(
-                    CodeKind::LdgmStaircase,
-                    TxModel::tx6_paper(),
-                    ExpansionRatio::R2_5,
-                    "Tx_model_6 with LDGM Staircase is flat across loss patterns \
-                     (§4.8)",
-                ));
-            }
-            out.push(rec(
-                CodeKind::Rse,
-                TxModel::Interleaved,
-                ExpansionRatio::R2_5,
-                "if RSE must be used (e.g. codec availability), always interleave \
-                 (§4.7)",
-            ));
-            out
+            recommend_known(params, params.global_loss_probability())
         }
+    }
+}
+
+/// The §6.1 known-channel rules, evaluated against a *conservative* loss
+/// estimate: `p_global_upper` is the worst loss rate the operator still
+/// considers plausible (for an exact fit, the stationary rate itself; for
+/// an online estimate, the upper edge of its confidence interval).
+///
+/// This is the entry point the `fec-adapt` controller drives: decision
+/// thresholds (ratio selection, the low-loss regime split) use the upper
+/// bound, so an uncertain estimate degrades gracefully toward the robust
+/// high-loss tuples instead of gambling on the point estimate.
+pub fn recommend_known(params: GilbertParams, p_global_upper: f64) -> Vec<Recommendation> {
+    let p_global = p_global_upper.max(params.global_loss_probability());
+    let mut out = Vec::new();
+    // Prefer the smaller ratio when it leaves a comfortable margin
+    // to the fundamental limit of §3.2 (1.25x the required rate).
+    let ratio = if FeasibilityLimit::ideal(1.5).required_delivery_rate() * 1.25 <= 1.0 - p_global {
+        ExpansionRatio::R1_5
+    } else {
+        ExpansionRatio::R2_5
+    };
+    if p_global < 0.05 {
+        out.push(rec(
+            CodeKind::LdgmStaircase,
+            TxModel::SourceSeqParityRandom,
+            ratio,
+            "low loss: Tx_model_2 with LDGM Staircase is the paper's best \
+             tuple in this regime (§6.2.1, Fig. 15)",
+        ));
+        out.push(rec(
+            CodeKind::LdgmTriangle,
+            TxModel::Random,
+            ratio,
+            "robust runner-up, much less sensitive to a mis-estimated \
+             channel (§6.1)",
+        ));
+    } else {
+        out.push(rec(
+            CodeKind::LdgmTriangle,
+            TxModel::Random,
+            ratio,
+            "medium/high loss: Tx_model_4 with LDGM Triangle gives the best \
+             and most stable inefficiency (§4.6)",
+        ));
+        out.push(rec(
+            CodeKind::LdgmStaircase,
+            TxModel::tx6_paper(),
+            ExpansionRatio::R2_5,
+            "Tx_model_6 with LDGM Staircase is flat across loss patterns \
+             (§4.8)",
+        ));
+    }
+    out.push(rec(
+        CodeKind::Rse,
+        TxModel::Interleaved,
+        ExpansionRatio::R2_5,
+        "if RSE must be used (e.g. codec availability), always interleave \
+         (§4.7)",
+    ));
+    out
+}
+
+/// Builds one [`Recommendation`] (shared by both rule entry points).
+fn rec(code: CodeKind, tx: TxModel, ratio: ExpansionRatio, rationale: &str) -> Recommendation {
+    Recommendation {
+        code,
+        tx,
+        ratio,
+        rationale: rationale.to_string(),
     }
 }
 
@@ -205,14 +220,26 @@ impl MeasuredSelector {
     pub fn new(k: usize, runs: u32) -> MeasuredSelector {
         let mut candidates = Vec::new();
         for ratio in ExpansionRatio::paper_ratios() {
-            candidates.push((CodeKind::LdgmStaircase, TxModel::SourceSeqParityRandom, ratio));
-            candidates.push((CodeKind::LdgmTriangle, TxModel::SourceSeqParityRandom, ratio));
+            candidates.push((
+                CodeKind::LdgmStaircase,
+                TxModel::SourceSeqParityRandom,
+                ratio,
+            ));
+            candidates.push((
+                CodeKind::LdgmTriangle,
+                TxModel::SourceSeqParityRandom,
+                ratio,
+            ));
             candidates.push((CodeKind::LdgmStaircase, TxModel::Random, ratio));
             candidates.push((CodeKind::LdgmTriangle, TxModel::Random, ratio));
             candidates.push((CodeKind::Rse, TxModel::Interleaved, ratio));
         }
         // Tx6 needs the high ratio (only 20% of source packets are sent).
-        candidates.push((CodeKind::LdgmStaircase, TxModel::tx6_paper(), ExpansionRatio::R2_5));
+        candidates.push((
+            CodeKind::LdgmStaircase,
+            TxModel::tx6_paper(),
+            ExpansionRatio::R2_5,
+        ));
         MeasuredSelector {
             k,
             runs,

@@ -125,8 +125,8 @@ mod tests {
 
     #[test]
     fn for_object_derives_k() {
-        let s = CodeSpec::for_object(CodeKind::LdgmStaircase, ExpansionRatio::R2_5, 1000, 64)
-            .unwrap();
+        let s =
+            CodeSpec::for_object(CodeKind::LdgmStaircase, ExpansionRatio::R2_5, 1000, 64).unwrap();
         assert_eq!(s.k, 16); // ceil(1000/64)
         s.validate_object(1000, 64).unwrap();
     }

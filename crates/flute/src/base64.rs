@@ -50,7 +50,7 @@ fn decode_char(c: u8) -> Option<u32> {
 /// whitespace and any character outside the alphabet.
 pub fn decode(text: &str) -> Result<Vec<u8>, FluteError> {
     let bytes = text.as_bytes();
-    if bytes.len() % 4 != 0 {
+    if !bytes.len().is_multiple_of(4) {
         return Err(FluteError::Base64 {
             reason: format!("length {} is not a multiple of 4", bytes.len()),
         });

@@ -265,7 +265,11 @@ pub struct FileEntry {
 
 impl FileEntry {
     /// Creates an entry.
-    pub fn new(toi: u32, content_location: impl Into<String>, oti: ObjectTransmissionInfo) -> FileEntry {
+    pub fn new(
+        toi: u32,
+        content_location: impl Into<String>,
+        oti: ObjectTransmissionInfo,
+    ) -> FileEntry {
         FileEntry {
             toi,
             content_location: content_location.into(),
@@ -460,8 +464,16 @@ mod tests {
 
     fn sample() -> FdtInstance {
         FdtInstance::new(7, 3600)
-            .with_file(FileEntry::new(1, "http://ex.com/a.bin", oti(FecEncodingId::LdpcStaircase)))
-            .with_file(FileEntry::new(2, "b & \"c\" <d>", oti(FecEncodingId::SmallBlockSystematic)))
+            .with_file(FileEntry::new(
+                1,
+                "http://ex.com/a.bin",
+                oti(FecEncodingId::LdpcStaircase),
+            ))
+            .with_file(FileEntry::new(
+                2,
+                "b & \"c\" <d>",
+                oti(FecEncodingId::SmallBlockSystematic),
+            ))
     }
 
     #[test]
@@ -475,8 +487,11 @@ mod tests {
     #[test]
     fn escaping_survives_hostile_locations() {
         let nasty = r#"a&b<c>d"e'f"#;
-        let fdt = FdtInstance::new(0, 1)
-            .with_file(FileEntry::new(3, nasty, oti(FecEncodingId::LdpcTriangle)));
+        let fdt = FdtInstance::new(0, 1).with_file(FileEntry::new(
+            3,
+            nasty,
+            oti(FecEncodingId::LdpcTriangle),
+        ));
         let back = FdtInstance::from_xml(&fdt.to_xml()).unwrap();
         assert_eq!(back.files[0].content_location, nasty);
     }
@@ -531,17 +546,20 @@ mod tests {
     fn rejects_contradictory_redundant_attributes() {
         let mut xml = sample().to_xml();
         // Lie about the encoding ID attribute (blob says 3).
-        xml = xml.replace("FEC-OTI-FEC-Encoding-ID=\"3\"", "FEC-OTI-FEC-Encoding-ID=\"4\"");
+        xml = xml.replace(
+            "FEC-OTI-FEC-Encoding-ID=\"3\"",
+            "FEC-OTI-FEC-Encoding-ID=\"4\"",
+        );
         assert!(FdtInstance::from_xml(&xml).is_err());
     }
 
     #[test]
     fn rejects_comments_and_dtd() {
         assert!(FdtInstance::from_xml("<!DOCTYPE x><FDT-Instance Expires=\"1\"/>").is_err());
-        assert!(FdtInstance::from_xml(
-            "<FDT-Instance Expires=\"1\"><!-- hi --></FDT-Instance>"
-        )
-        .is_err());
+        assert!(
+            FdtInstance::from_xml("<FDT-Instance Expires=\"1\"><!-- hi --></FDT-Instance>")
+                .is_err()
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! one self-contained blob keeps parse sites honest — the deviation is
 //! documented in the crate README.)
 
-use fec_core::{CodeSpec, CodeKind, ExpansionRatio};
+use fec_core::{CodeKind, CodeSpec, ExpansionRatio};
 
 use crate::FluteError;
 
@@ -362,21 +362,19 @@ mod tests {
     fn unknown_encoding_rejected() {
         assert!(FecEncodingId::from_u8(0).is_err());
         assert!(FecEncodingId::from_u8(128).is_err());
-        let mut wire = ObjectTransmissionInfo::from_spec(
-            &sample_spec(CodeKind::LdgmStaircase),
-            64,
-            100,
-        )
-        .unwrap()
-        .to_bytes();
+        let mut wire =
+            ObjectTransmissionInfo::from_spec(&sample_spec(CodeKind::LdgmStaircase), 64, 100)
+                .unwrap()
+                .to_bytes();
         wire[0] = 77;
         assert!(ObjectTransmissionInfo::from_bytes(&wire).is_err());
     }
 
     #[test]
     fn zero_fields_rejected() {
-        let base = ObjectTransmissionInfo::from_spec(&sample_spec(CodeKind::LdgmStaircase), 64, 100)
-            .unwrap();
+        let base =
+            ObjectTransmissionInfo::from_spec(&sample_spec(CodeKind::LdgmStaircase), 64, 100)
+                .unwrap();
         let mut wire = base.to_bytes();
         wire[1..7].fill(0); // transfer length 0
         assert!(ObjectTransmissionInfo::from_bytes(&wire).is_err());

@@ -182,7 +182,12 @@ impl LctHeader {
 
     /// Total header size in bytes (fixed part + extensions).
     pub fn wire_len(&self) -> usize {
-        FIXED_LEN + self.extensions.iter().map(HeaderExtension::wire_len).sum::<usize>()
+        FIXED_LEN
+            + self
+                .extensions
+                .iter()
+                .map(HeaderExtension::wire_len)
+                .sum::<usize>()
     }
 
     /// Serialises the header.
@@ -229,7 +234,7 @@ impl LctHeader {
         let mut b1: u8 = 0;
         b1 |= 1 << 7; // S = 1: 32-bit TSI
         b1 |= 1 << 5; // O = 01: 32-bit TOI
-        // H = 0 (bit 4), reserved bits 3..2 zero
+                      // H = 0 (bit 4), reserved bits 3..2 zero
         if self.close_session {
             b1 |= 1 << 1;
         }

@@ -113,7 +113,8 @@ mod tests {
         let id = FecPayloadId::new(0x1234, 0xFEDC);
         let wire = id.to_bytes(FecEncodingId::SmallBlockSystematic).unwrap();
         assert_eq!(wire, [0x12, 0x34, 0xFE, 0xDC]);
-        let (back, n) = FecPayloadId::from_bytes(&wire, FecEncodingId::SmallBlockSystematic).unwrap();
+        let (back, n) =
+            FecPayloadId::from_bytes(&wire, FecEncodingId::SmallBlockSystematic).unwrap();
         assert_eq!((back, n), (id, 4));
     }
 
@@ -123,7 +124,10 @@ mod tests {
         let wire = id.to_bytes(FecEncodingId::LdpcStaircase).unwrap();
         assert_eq!(wire, [0x00, 0x0F, 0xFF, 0xFF]);
         let id2 = FecPayloadId::new(1, 0);
-        assert_eq!(id2.to_bytes(FecEncodingId::LdpcTriangle).unwrap(), [0x00, 0x10, 0x00, 0x00]);
+        assert_eq!(
+            id2.to_bytes(FecEncodingId::LdpcTriangle).unwrap(),
+            [0x00, 0x10, 0x00, 0x00]
+        );
     }
 
     #[test]

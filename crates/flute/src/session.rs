@@ -14,7 +14,9 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use fec_core::{CodeKind, CodeSpec, ExpansionRatio, Packet, Receiver as CoreReceiver, Sender as CoreSender};
+use fec_core::{
+    CodeKind, CodeSpec, ExpansionRatio, Packet, Receiver as CoreReceiver, Sender as CoreSender,
+};
 use fec_sched::TxModel;
 
 use crate::alc::AlcPacket;
@@ -275,9 +277,7 @@ impl ObjectState {
         let Some(receiver) = self.receiver.as_mut() else {
             if self.pre_oti.len() >= MAX_PRE_OTI_BUFFER {
                 return Err(FluteError::Session {
-                    reason: format!(
-                        "{MAX_PRE_OTI_BUFFER} packets buffered with no OTI in sight"
-                    ),
+                    reason: format!("{MAX_PRE_OTI_BUFFER} packets buffered with no OTI in sight"),
                 });
             }
             self.pre_oti.push((id, payload));
@@ -370,9 +370,11 @@ impl FluteReceiver {
     }
 
     fn accept_fdt(&mut self, packet: &AlcPacket) -> Result<ReceiverEvent, FluteError> {
-        let instance_id = packet.fdt_instance_id().ok_or_else(|| FluteError::Session {
-            reason: "FDT packet without EXT_FDT".into(),
-        })?;
+        let instance_id = packet
+            .fdt_instance_id()
+            .ok_or_else(|| FluteError::Session {
+                reason: "FDT packet without EXT_FDT".into(),
+            })?;
         if let Some(existing) = &self.fdt {
             if existing.instance_id >= instance_id {
                 return Ok(ReceiverEvent::FdtIgnored);
@@ -387,7 +389,10 @@ impl FluteReceiver {
         // FDT agrees with the EXT_FTI we acted on (set_oti is idempotent
         // and rejects conflicts).
         for file in &fdt.files {
-            let state = self.objects.entry(file.toi).or_insert_with(ObjectState::new);
+            let state = self
+                .objects
+                .entry(file.toi)
+                .or_insert_with(ObjectState::new);
             state.set_oti(file.oti)?;
         }
         self.fdt = Some(fdt);
@@ -626,7 +631,11 @@ mod tests {
         for dg in &delivered {
             receiver.push_datagram(dg).unwrap();
         }
-        assert_eq!(receiver.object(1).unwrap(), &data[..], "ratio 2.5 absorbs 20% loss");
+        assert_eq!(
+            receiver.object(1).unwrap(),
+            &data[..],
+            "ratio 2.5 absorbs 20% loss"
+        );
     }
 
     #[test]
@@ -647,8 +656,14 @@ mod tests {
         let sender = session_with_object(&object_bytes(100), TxModel::Random);
         let fdt_dg = sender.fdt_datagram().unwrap();
         let mut receiver = FluteReceiver::new(7);
-        assert_eq!(receiver.push_datagram(&fdt_dg).unwrap(), ReceiverEvent::FdtReceived);
-        assert_eq!(receiver.push_datagram(&fdt_dg).unwrap(), ReceiverEvent::FdtIgnored);
+        assert_eq!(
+            receiver.push_datagram(&fdt_dg).unwrap(),
+            ReceiverEvent::FdtReceived
+        );
+        assert_eq!(
+            receiver.push_datagram(&fdt_dg).unwrap(),
+            ReceiverEvent::FdtIgnored
+        );
     }
 
     #[test]

@@ -179,11 +179,7 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[Gf256]) -> Vec<Gf256> {
         assert_eq!(v.len(), self.cols, "mul_vec shape");
         (0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self.get(i, j) * v[j])
-                    .sum::<Gf256>()
-            })
+            .map(|i| (0..self.cols).map(|j| self.get(i, j) * v[j]).sum::<Gf256>())
             .collect()
     }
 
@@ -251,16 +247,10 @@ impl Matrix {
         let cols = self.cols;
         let (s, d) = if src < dst {
             let (head, tail) = self.data.split_at_mut(dst * cols);
-            (
-                &head[src * cols..(src + 1) * cols],
-                &mut tail[..cols],
-            )
+            (&head[src * cols..(src + 1) * cols], &mut tail[..cols])
         } else {
             let (head, tail) = self.data.split_at_mut(src * cols);
-            (
-                &tail[..cols],
-                &mut head[dst * cols..(dst + 1) * cols],
-            )
+            (&tail[..cols], &mut head[dst * cols..(dst + 1) * cols])
         };
         crate::kernels::addmul_slice(d, s, f.0);
     }

@@ -10,10 +10,7 @@ use crate::Gf256;
 
 /// Evaluates the polynomial `coeffs[0] + coeffs[1] x + …` at `x` (Horner).
 pub fn eval(coeffs: &[Gf256], x: Gf256) -> Gf256 {
-    coeffs
-        .iter()
-        .rev()
-        .fold(Gf256::ZERO, |acc, &c| acc * x + c)
+    coeffs.iter().rev().fold(Gf256::ZERO, |acc, &c| acc * x + c)
 }
 
 /// Lagrange-interpolates the unique polynomial of degree `< points.len()`

@@ -14,10 +14,16 @@ fn mean_inef(k: usize, n: usize, right: RightSide, runs: u64) -> (f64, u32) {
         let mut d = StructuralDecoder::new(&m);
         let mut done = None;
         for (i, &id) in order.iter().enumerate() {
-            if d.push(id) { done = Some(i + 1); break; }
+            if d.push(id) {
+                done = Some(i + 1);
+                break;
+            }
         }
         match done {
-            Some(c) => { tot += c as f64 / k as f64; cnt += 1; }
+            Some(c) => {
+                tot += c as f64 / k as f64;
+                cnt += 1;
+            }
             None => fails += 1,
         }
     }

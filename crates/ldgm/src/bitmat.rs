@@ -182,14 +182,20 @@ impl BitMatrix {
                 continue;
             };
             if pivot != next_row {
-                on_op(RowOp::Swap { a: pivot, b: next_row });
+                on_op(RowOp::Swap {
+                    a: pivot,
+                    b: next_row,
+                });
                 self.swap_rows(pivot, next_row);
             }
             // Clear the column in every other row (full Gauss-Jordan so the
             // result is RREF, which the determinedness test needs).
             for r in 0..self.rows {
                 if r != next_row && self.get(r, col) {
-                    on_op(RowOp::Xor { src: next_row, dst: r });
+                    on_op(RowOp::Xor {
+                        src: next_row,
+                        dst: r,
+                    });
                     self.xor_rows(next_row, r);
                 }
             }
@@ -344,7 +350,7 @@ mod tests {
             let pivots = m.reduce(|_| {});
             let mut last_col = None;
             for &(r, c) in &pivots {
-                assert!(last_col.map_or(true, |lc| c > lc), "pivot cols increase");
+                assert!(last_col.is_none_or(|lc| c > lc), "pivot cols increase");
                 last_col = Some(c);
                 for rr in 0..rows {
                     assert_eq!(m.get(rr, c), rr == r, "pivot column is unit");

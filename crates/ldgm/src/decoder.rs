@@ -162,9 +162,13 @@ impl Decoder {
             // cloned for processing; a parity value is consumed here — after
             // this pass through its equations it is never read again.
             let value = if v < self.matrix.k() {
-                self.var_value[v].clone().expect("variable on stack is known")
+                self.var_value[v]
+                    .clone()
+                    .expect("variable on stack is known")
             } else {
-                let taken = self.var_value[v].take().expect("variable on stack is known");
+                let taken = self.var_value[v]
+                    .take()
+                    .expect("variable on stack is known");
                 self.memory.current_symbols -= 1;
                 taken
             };
@@ -351,7 +355,11 @@ mod tests {
 
     #[test]
     fn decodes_through_random_mixed_reception() {
-        for right in [RightSide::Identity, RightSide::Staircase, RightSide::Triangle] {
+        for right in [
+            RightSide::Identity,
+            RightSide::Staircase,
+            RightSide::Triangle,
+        ] {
             let (m, src, parity) = setup(40, 100, right, 3, 16);
             let mut packets: Vec<(u32, &[u8])> = Vec::new();
             for (i, s) in src.iter().enumerate() {

@@ -72,7 +72,9 @@ mod tests {
 
     fn source(k: usize, sym: usize, seed: u64) -> Vec<Vec<u8>> {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        (0..k).map(|_| (0..sym).map(|_| rng.gen()).collect()).collect()
+        (0..k)
+            .map(|_| (0..sym).map(|_| rng.gen()).collect())
+            .collect()
     }
 
     fn refs(s: &[Vec<u8>]) -> Vec<&[u8]> {
@@ -86,7 +88,11 @@ mod tests {
             let mut acc = vec![0u8; sym];
             for &c in m.row(i) {
                 let c = c as usize;
-                let sym_ref = if c < m.k() { &src[c] } else { &parity[c - m.k()] };
+                let sym_ref = if c < m.k() {
+                    &src[c]
+                } else {
+                    &parity[c - m.k()]
+                };
                 xor_slice(&mut acc, sym_ref);
             }
             assert!(acc.iter().all(|&b| b == 0), "check {i} violated");
@@ -95,7 +101,11 @@ mod tests {
 
     #[test]
     fn all_equations_hold_for_each_variant() {
-        for right in [RightSide::Identity, RightSide::Staircase, RightSide::Triangle] {
+        for right in [
+            RightSide::Identity,
+            RightSide::Staircase,
+            RightSide::Triangle,
+        ] {
             let m = SparseMatrix::build(LdgmParams::new(50, 125, right, 21)).unwrap();
             let src = source(50, 16, 1);
             let parity = Encoder::new(&m).encode(&refs(&src)).unwrap();
@@ -110,7 +120,10 @@ mod tests {
         let src = source(9, 8, 2);
         assert_eq!(
             Encoder::new(&m).encode(&refs(&src)),
-            Err(LdgmError::WrongSourceCount { got: 9, expected: 10 })
+            Err(LdgmError::WrongSourceCount {
+                got: 9,
+                expected: 10
+            })
         );
     }
 

@@ -392,7 +392,11 @@ mod tests {
     /// Payload ML decode returns byte-exact source data.
     #[test]
     fn payload_ml_recovers_exact_bytes() {
-        for right in [RightSide::Identity, RightSide::Staircase, RightSide::Triangle] {
+        for right in [
+            RightSide::Identity,
+            RightSide::Staircase,
+            RightSide::Triangle,
+        ] {
             for seed in 0..8u64 {
                 let (k, n, len) = (60, 150, 16);
                 let m = build(k, n, right, seed);
@@ -452,7 +456,8 @@ mod tests {
         // Delivering the final packet must now finish (possibly via a second
         // elimination): partial injections from the failed attempt must not
         // have corrupted state.
-        dec.push(order[need - 1], payload_of(order[need - 1])).unwrap();
+        dec.push(order[need - 1], payload_of(order[need - 1]))
+            .unwrap();
         assert!(dec.try_complete());
         assert_eq!(dec.into_source().unwrap(), src);
     }
@@ -481,11 +486,7 @@ mod tests {
                     };
                     pd.push(id, payload).unwrap();
                 }
-                assert_eq!(
-                    sd.ml_complete(),
-                    pd.try_complete(),
-                    "seed {seed} cut {cut}"
-                );
+                assert_eq!(sd.ml_complete(), pd.try_complete(), "seed {seed} cut {cut}");
             }
         }
     }

@@ -160,7 +160,10 @@ impl fmt::Display for LdgmError {
                 write!(f, "symbol length mismatch: expected {expected}, got {got}")
             }
             LdgmError::WrongSourceCount { got, expected } => {
-                write!(f, "encode needs exactly k={expected} source symbols, got {got}")
+                write!(
+                    f,
+                    "encode needs exactly k={expected} source symbols, got {got}"
+                )
             }
             LdgmError::BadPacketId { id, n } => write!(f, "packet id {id} out of range (n={n})"),
         }
@@ -209,7 +212,9 @@ impl SparseMatrix {
             seed,
         } = params;
         if k == 0 {
-            return Err(LdgmError::BadParameters { reason: "k must be > 0" });
+            return Err(LdgmError::BadParameters {
+                reason: "k must be > 0",
+            });
         }
         if n <= k {
             return Err(LdgmError::BadParameters {
@@ -217,7 +222,9 @@ impl SparseMatrix {
             });
         }
         if n > u32::MAX as usize / 2 {
-            return Err(LdgmError::BadParameters { reason: "n too large for u32 ids" });
+            return Err(LdgmError::BadParameters {
+                reason: "n too large for u32 ids",
+            });
         }
         let m = n - k;
         if left_degree == 0 {
@@ -410,7 +417,7 @@ fn build_left_part(
     let mut slots: Vec<u32> = Vec::with_capacity(edges);
     for (pos, &r) in rows.iter().enumerate() {
         let reps = base + usize::from(pos < extra);
-        slots.extend(std::iter::repeat(r).take(reps));
+        slots.extend(std::iter::repeat_n(r, reps));
     }
     rng.shuffle(&mut slots);
 
@@ -575,7 +582,11 @@ mod tests {
 
     #[test]
     fn source_columns_are_regular_degree_3() {
-        for right in [RightSide::Identity, RightSide::Staircase, RightSide::Triangle] {
+        for right in [
+            RightSide::Identity,
+            RightSide::Staircase,
+            RightSide::Triangle,
+        ] {
             let m = build(100, 250, right, 7);
             let s = m.stats();
             assert_eq!(s.source_col_weight_min, 3, "{right}");

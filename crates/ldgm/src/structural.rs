@@ -180,7 +180,11 @@ mod tests {
     /// contract that makes the Monte-Carlo sweeps faithful.
     #[test]
     fn agrees_with_payload_decoder() {
-        for right in [RightSide::Identity, RightSide::Staircase, RightSide::Triangle] {
+        for right in [
+            RightSide::Identity,
+            RightSide::Staircase,
+            RightSide::Triangle,
+        ] {
             for seed in 0..10u64 {
                 let k = 60;
                 let n = 150;

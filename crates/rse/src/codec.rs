@@ -238,8 +238,7 @@ mod tests {
     fn duplicate_esi_rejected() {
         let c = RseCodec::new(2, 4).unwrap();
         let src = make_source(2, 4, 2);
-        let rx: Vec<(u32, &[u8])> =
-            vec![(0, src[0].as_slice()), (0, src[0].as_slice())];
+        let rx: Vec<(u32, &[u8])> = vec![(0, src[0].as_slice()), (0, src[0].as_slice())];
         assert_eq!(c.decode(&rx), Err(RseError::DuplicateEsi { esi: 0 }));
     }
 

@@ -41,7 +41,7 @@ pub struct Rse16Codec {
 }
 
 fn to_elements(payload: &[u8]) -> Result<Vec<Gf2p16>, RseError> {
-    if payload.len() % 2 != 0 {
+    if !payload.len().is_multiple_of(2) {
         return Err(RseError::SymbolLengthMismatch {
             expected: payload.len() + 1,
             got: payload.len(),

@@ -51,7 +51,10 @@ impl fmt::Display for RseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RseError::BadParameters { k, n } => {
-                write!(f, "invalid RSE parameters k={k}, n={n} (need 0 < k <= n <= 255)")
+                write!(
+                    f,
+                    "invalid RSE parameters k={k}, n={n} (need 0 < k <= n <= 255)"
+                )
             }
             RseError::NotEnoughSymbols { have, need } => {
                 write!(f, "not enough symbols to decode: have {have}, need {need}")
@@ -62,7 +65,10 @@ impl fmt::Display for RseError {
                 write!(f, "symbol length mismatch: expected {expected}, got {got}")
             }
             RseError::WrongSourceCount { got, expected } => {
-                write!(f, "encode needs exactly k={expected} source symbols, got {got}")
+                write!(
+                    f,
+                    "encode needs exactly k={expected} source symbols, got {got}"
+                )
             }
         }
     }

@@ -148,17 +148,32 @@ mod tests {
     #[test]
     fn block_interleave_equal_blocks() {
         let l = Layout::from_blocks([(2, 4), (2, 4)]);
-        let got: Vec<(u32, u32)> = block_interleaved(&l).iter().map(|r| (r.block, r.esi)).collect();
+        let got: Vec<(u32, u32)> = block_interleaved(&l)
+            .iter()
+            .map(|r| (r.block, r.esi))
+            .collect();
         assert_eq!(
             got,
-            vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2), (0, 3), (1, 3)]
+            vec![
+                (0, 0),
+                (1, 0),
+                (0, 1),
+                (1, 1),
+                (0, 2),
+                (1, 2),
+                (0, 3),
+                (1, 3)
+            ]
         );
     }
 
     #[test]
     fn block_interleave_unequal_blocks_skips_exhausted() {
         let l = Layout::from_blocks([(2, 5), (1, 2)]);
-        let got: Vec<(u32, u32)> = block_interleaved(&l).iter().map(|r| (r.block, r.esi)).collect();
+        let got: Vec<(u32, u32)> = block_interleaved(&l)
+            .iter()
+            .map(|r| (r.block, r.esi))
+            .collect();
         assert_eq!(
             got,
             vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (0, 3), (0, 4)]
@@ -223,8 +238,10 @@ mod tests {
     #[test]
     fn group_interleave_depth_one_is_sequential_blocks() {
         let l = Layout::from_blocks([(2, 4), (2, 3)]);
-        let got: Vec<(u32, u32)> =
-            group_interleaved(&l, 1).iter().map(|r| (r.block, r.esi)).collect();
+        let got: Vec<(u32, u32)> = group_interleaved(&l, 1)
+            .iter()
+            .map(|r| (r.block, r.esi))
+            .collect();
         assert_eq!(
             got,
             vec![(0, 0), (0, 1), (0, 2), (0, 3), (1, 0), (1, 1), (1, 2)]
@@ -235,11 +252,22 @@ mod tests {
     fn group_interleave_intermediate_depth() {
         // 4 blocks, depth 2: blocks {0,1} fully interleaved, then {2,3}.
         let l = Layout::from_blocks(vec![(1, 2); 4]);
-        let got: Vec<(u32, u32)> =
-            group_interleaved(&l, 2).iter().map(|r| (r.block, r.esi)).collect();
+        let got: Vec<(u32, u32)> = group_interleaved(&l, 2)
+            .iter()
+            .map(|r| (r.block, r.esi))
+            .collect();
         assert_eq!(
             got,
-            vec![(0, 0), (1, 0), (0, 1), (1, 1), (2, 0), (3, 0), (2, 1), (3, 1)]
+            vec![
+                (0, 0),
+                (1, 0),
+                (0, 1),
+                (1, 1),
+                (2, 0),
+                (3, 0),
+                (2, 1),
+                (3, 1)
+            ]
         );
     }
 

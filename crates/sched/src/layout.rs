@@ -192,9 +192,17 @@ mod tests {
     #[test]
     fn sequential_orders() {
         let l = Layout::from_blocks([(2, 4), (1, 2)]);
-        let src: Vec<(u32, u32)> = l.source_sequential().iter().map(|r| (r.block, r.esi)).collect();
+        let src: Vec<(u32, u32)> = l
+            .source_sequential()
+            .iter()
+            .map(|r| (r.block, r.esi))
+            .collect();
         assert_eq!(src, vec![(0, 0), (0, 1), (1, 0)]);
-        let par: Vec<(u32, u32)> = l.parity_sequential().iter().map(|r| (r.block, r.esi)).collect();
+        let par: Vec<(u32, u32)> = l
+            .parity_sequential()
+            .iter()
+            .map(|r| (r.block, r.esi))
+            .collect();
         assert_eq!(par, vec![(0, 2), (0, 3), (1, 1)]);
         assert_eq!(l.all_packets().len(), 6);
     }

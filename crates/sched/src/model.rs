@@ -308,7 +308,7 @@ mod tests {
         let parity = order.iter().filter(|r| !l.is_source(**r)).count();
         assert_eq!(sources, 20); // 20% of 100
         assert_eq!(parity, 150); // all of it
-        // No duplicates.
+                                 // No duplicates.
         let set: HashSet<PacketRef> = order.iter().copied().collect();
         assert_eq!(set.len(), order.len());
     }
@@ -316,10 +316,16 @@ mod tests {
     #[test]
     fn tx6_fraction_extremes() {
         let l = Layout::single_block(10, 25);
-        let none = TxModel::PartialSourceRandom { source_fraction: 0.0 }.schedule(&l, 1);
+        let none = TxModel::PartialSourceRandom {
+            source_fraction: 0.0,
+        }
+        .schedule(&l, 1);
         assert_eq!(none.len(), 15);
         assert!(none.iter().all(|r| !l.is_source(*r)));
-        let all = TxModel::PartialSourceRandom { source_fraction: 1.0 }.schedule(&l, 1);
+        let all = TxModel::PartialSourceRandom {
+            source_fraction: 1.0,
+        }
+        .schedule(&l, 1);
         assert_eq!(all.len(), 25);
     }
 

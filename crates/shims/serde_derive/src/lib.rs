@@ -1,0 +1,339 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote` — the
+//! build is fully offline). Supports exactly the shapes this workspace
+//! derives on:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit, newtype (single unnamed field), or
+//!   struct-like (named fields);
+//! * no generics, no lifetimes, no `#[serde(...)]` attributes.
+//!
+//! The generated representation matches serde's externally-tagged JSON
+//! default: structs and struct variants become objects, unit variants
+//! become strings, newtype variants become `{"Variant": value}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named struct fields.
+    Struct(Vec<String>),
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated code parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated code parses"),
+        Err(e) => compile_error(&e),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("literal parses")
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the
+/// cursor; returns the next significant token index.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "{name}: generic types are not supported by the serde shim"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => return Err(format!("{name}: expected braced body, got {other:?}")),
+    };
+
+    let kind = match item_kind.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(body)?),
+        "enum" => Kind::Enum(parse_variants(body)?),
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// Parses `field: Type, ...` out of a brace group, returning field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("field {field}: expected `:`, got {other:?}")),
+        }
+        // Skip the type: everything up to a top-level comma. Track `<...>`
+        // nesting so `Vec<(f64, f64)>`-style types do not split early.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants: `Name`, `Name(Type)`, or `Name { f: T, ... }`.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                // Newtype only: a top-level comma would mean a multi-field
+                // tuple variant, which the workspace never uses.
+                let mut depth = 0i32;
+                for t in g.stream() {
+                    match &t {
+                        TokenTree::Group(_) => {}
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            return Err(format!(
+                                "variant {name}: multi-field tuple variants unsupported"
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                Shape::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Optional trailing comma between variants.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut entries = String::new();
+            for f in fields {
+                entries.push_str(&format!(
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),"
+                    )),
+                    Shape::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__x) => ::serde::Value::Object(::std::vec![(\
+                            ::std::string::String::from({vn:?}), \
+                            ::serde::Serialize::to_value(__x))]),"
+                    )),
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut entries = String::new();
+                        for f in fields {
+                            entries.push_str(&format!(
+                                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f})),"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                                ::std::string::String::from({vn:?}), \
+                                ::serde::Value::Object(::std::vec![{entries}]))]),"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, {f:?}))\
+                         .map_err(|e| ::serde::Error::custom(\
+                             ::std::format!(\"{name}.{f}: {{e}}\")))?,"
+                ));
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Shape::Newtype => tagged_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner).map_err(|e| \
+                                 ::serde::Error::custom(::std::format!(\"{name}::{vn}: {{e}}\")))?)),"
+                    )),
+                    Shape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::field(__iobj, {f:?}))\
+                                     .map_err(|e| ::serde::Error::custom(\
+                                         ::std::format!(\"{name}::{vn}.{f}: {{e}}\")))?,"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let __iobj = __inner.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"{name}::{vn}: expected object\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});\n\
+                             }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                     match __s {{ {unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::std::option::Option::Some(__obj) = __v.as_object() {{\n\
+                     if __obj.len() == 1 {{\n\
+                         let (__tag, __inner) = &__obj[0];\n\
+                         match __tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                     \"{name}: no matching variant\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

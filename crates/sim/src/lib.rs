@@ -29,7 +29,7 @@ mod seed;
 mod spec;
 mod sweep;
 
-pub use run::{Runner, RunResult};
+pub use run::{RunResult, Runner};
 pub use seed::mix_seed;
 pub use spec::{layout_for, partition_for, CodeKind, ExpansionRatio, SimError};
 pub use sweep::{CellStats, GridSweep, SweepConfig, SweepResult};

@@ -35,7 +35,9 @@ pub fn paper_table(result: &SweepResult) -> String {
 
 /// CSV export: `p,q,runs,failures,mean_inef,min,max,std,mean_received_ratio`.
 pub fn to_csv(result: &SweepResult) -> String {
-    let mut out = String::from("p,q,runs,failures,mean_inef,min_inef,max_inef,std_inef,mean_received_ratio\n");
+    let mut out = String::from(
+        "p,q,runs,failures,mean_inef,min_inef,max_inef,std_inef,mean_received_ratio\n",
+    );
     for c in &result.cells {
         let _ = writeln!(
             out,
@@ -102,7 +104,7 @@ fn opt(v: Option<f64>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CodeKind, Experiment, ExpansionRatio, GridSweep, SweepConfig};
+    use crate::{CodeKind, ExpansionRatio, Experiment, GridSweep, SweepConfig};
     use fec_sched::TxModel;
 
     fn sample() -> SweepResult {

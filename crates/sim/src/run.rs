@@ -53,10 +53,7 @@ enum RunDecoder<'m> {
     Ldgm(StructuralDecoder<'m>),
     /// No FEC at all: complete once every distinct source packet was seen
     /// (the §4.2 repetition baseline).
-    Counting {
-        seen: Vec<bool>,
-        missing: usize,
-    },
+    Counting { seen: Vec<bool>, missing: usize },
 }
 
 impl RunDecoder<'_> {
@@ -180,6 +177,62 @@ impl Runner {
         self.walk(&schedule, |_| gilbert.next_is_lost(), run_idx, track_total)
     }
 
+    /// Executes run number `run_idx` against any [`LossModel`] — a
+    /// [`DriftingChannel`](fec_channel::DriftingChannel), a replayed
+    /// [`TraceChannel`](fec_channel::TraceChannel), an n-state chain…
+    ///
+    /// Unlike [`Runner::run_with_channel`] the model is **stateful and
+    /// external**: consecutive runs against the same model see consecutive
+    /// stretches of one loss process, which is exactly what a closed
+    /// adaptive loop needs (the channel does not reset between objects).
+    pub fn run_with_model(
+        &self,
+        model: &mut dyn LossModel,
+        master_seed: u64,
+        run_idx: u64,
+        track_total: bool,
+    ) -> RunResult {
+        let sched_seed = mix_seed(master_seed, &[TAG_SCHED, run_idx]);
+        let schedule = self.experiment.tx.schedule(&self.layout, sched_seed);
+        self.walk(&schedule, |_| model.next_is_lost(), run_idx, track_total)
+    }
+
+    /// Like [`Runner::run_with_model`], but also returns the per-packet
+    /// loss observations a receiver would infer from schedule gaps
+    /// (`observed[i]` is the fate of the `i`-th *transmitted* packet), and
+    /// optionally truncates the transmission to `n_sent` packets — the
+    /// §6.2 planned-transmission mode.
+    ///
+    /// The whole (truncated) schedule is always consumed, so the
+    /// observation vector covers every transmitted packet even after
+    /// decoding completes; [`RunResult::n_received`] is correspondingly
+    /// exact.
+    pub fn run_observed(
+        &self,
+        model: &mut dyn LossModel,
+        master_seed: u64,
+        run_idx: u64,
+        n_sent: Option<u64>,
+    ) -> (RunResult, Vec<bool>) {
+        let sched_seed = mix_seed(master_seed, &[TAG_SCHED, run_idx]);
+        let mut schedule = self.experiment.tx.schedule(&self.layout, sched_seed);
+        if let Some(limit) = n_sent {
+            schedule.truncate(limit as usize);
+        }
+        let mut observed = Vec::with_capacity(schedule.len());
+        let result = self.walk(
+            &schedule,
+            |_| {
+                let lost = model.next_is_lost();
+                observed.push(lost);
+                lost
+            },
+            run_idx,
+            true,
+        );
+        (result, observed)
+    }
+
     /// Executes a §5 reception-model run: the arrival sequence is given
     /// directly, nothing is lost.
     pub fn run_reception(&self, rx: RxModel, master_seed: u64, run_idx: u64) -> RunResult {
@@ -271,7 +324,12 @@ mod tests {
     fn tx2_perfect_channel_also_exactly_k() {
         for code in CodeKind::paper_codes() {
             let r = Runner::new(
-                exp(code, 300, ExpansionRatio::R1_5, TxModel::SourceSeqParityRandom),
+                exp(
+                    code,
+                    300,
+                    ExpansionRatio::R1_5,
+                    TxModel::SourceSeqParityRandom,
+                ),
                 2,
             )
             .unwrap();
@@ -288,7 +346,12 @@ mod tests {
         let k = 500;
         for code in [CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
             let r = Runner::new(
-                exp(code, k, ExpansionRatio::R2_5, TxModel::ParitySeqSourceRandom),
+                exp(
+                    code,
+                    k,
+                    ExpansionRatio::R2_5,
+                    TxModel::ParitySeqSourceRandom,
+                ),
                 2,
             )
             .unwrap();
@@ -297,7 +360,12 @@ mod tests {
             assert_eq!(out.n_necessary, Some(751), "{code}");
         }
         let r = Runner::new(
-            exp(CodeKind::Rse, k, ExpansionRatio::R2_5, TxModel::ParitySeqSourceRandom),
+            exp(
+                CodeKind::Rse,
+                k,
+                ExpansionRatio::R2_5,
+                TxModel::ParitySeqSourceRandom,
+            ),
             2,
         )
         .unwrap();
@@ -330,7 +398,12 @@ mod tests {
         // receiver gets only a handful of packets.
         let ch = GilbertParams::new(0.5, 0.0).unwrap();
         let r = Runner::new(
-            exp(CodeKind::LdgmStaircase, 200, ExpansionRatio::R2_5, TxModel::Random),
+            exp(
+                CodeKind::LdgmStaircase,
+                200,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
             2,
         )
         .unwrap();
@@ -343,7 +416,12 @@ mod tests {
     #[test]
     fn track_total_consumes_whole_schedule() {
         let r = Runner::new(
-            exp(CodeKind::Rse, 100, ExpansionRatio::R1_5, TxModel::Interleaved),
+            exp(
+                CodeKind::Rse,
+                100,
+                ExpansionRatio::R1_5,
+                TxModel::Interleaved,
+            ),
             1,
         )
         .unwrap();
@@ -388,7 +466,9 @@ mod tests {
             1,
         )
         .unwrap();
-        let failures = (0..10).filter(|&i| !r.run_with_channel(ch, 3, i, true).decoded).count();
+        let failures = (0..10)
+            .filter(|&i| !r.run_with_channel(ch, 3, i, true).decoded)
+            .count();
         assert!(failures >= 8, "only {failures}/10 failed");
     }
 
@@ -439,9 +519,102 @@ mod tests {
     }
 
     #[test]
+    fn run_with_model_matches_run_with_channel() {
+        // A fresh GilbertChannel driven via the dyn path must reproduce the
+        // dedicated Gilbert path exactly (same seed derivation).
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                300,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
+            2,
+        )
+        .unwrap();
+        let params = GilbertParams::new(0.1, 0.5).unwrap();
+        let direct = r.run_with_channel(params, 42, 3, true);
+        let chan_seed = crate::mix_seed(42, &[2 /* TAG_CHAN */, 3]);
+        let mut model = GilbertChannel::new(params, chan_seed);
+        let via_model = r.run_with_model(&mut model, 42, 3, true);
+        assert_eq!(direct, via_model);
+    }
+
+    #[test]
+    fn observed_losses_cover_every_transmitted_packet() {
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                200,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
+            2,
+        )
+        .unwrap();
+        let mut model = GilbertChannel::new(GilbertParams::new(0.1, 0.5).unwrap(), 9);
+        let (out, observed) = r.run_observed(&mut model, 5, 0, None);
+        assert_eq!(observed.len() as u64, out.n_sent);
+        let delivered = observed.iter().filter(|&&l| !l).count() as u64;
+        assert_eq!(delivered, out.n_received);
+        assert!(out.decoded);
+    }
+
+    #[test]
+    fn observed_run_honours_the_transmission_plan() {
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                200,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
+            2,
+        )
+        .unwrap();
+        // Truncate to 260 of the 500 packets: decodes on a perfect channel
+        // (needs ~k), and the observation stream stops at the plan.
+        let mut model = GilbertChannel::new(GilbertParams::perfect(), 1);
+        let (out, observed) = r.run_observed(&mut model, 5, 0, Some(260));
+        assert_eq!(out.n_sent, 260);
+        assert_eq!(observed.len(), 260);
+        assert!(out.decoded);
+        // An impossible plan (fewer than k packets) must fail the run.
+        let mut model = GilbertChannel::new(GilbertParams::perfect(), 1);
+        let (out, _) = r.run_observed(&mut model, 5, 0, Some(150));
+        assert!(!out.decoded);
+    }
+
+    #[test]
+    fn external_model_state_carries_across_runs() {
+        // Two consecutive runs against one absorbing channel: the first run
+        // triggers the absorbing Loss state, so the second receives nothing.
+        let r = Runner::new(
+            exp(
+                CodeKind::LdgmStaircase,
+                100,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
+            1,
+        )
+        .unwrap();
+        let mut model = GilbertChannel::new(GilbertParams::new(0.5, 0.0).unwrap(), 3);
+        let first = r.run_with_model(&mut model, 1, 0, true);
+        assert!(first.n_received < first.n_sent);
+        let second = r.run_with_model(&mut model, 1, 1, true);
+        assert_eq!(second.n_received, 0, "absorbing state persisted");
+    }
+
+    #[test]
     fn deterministic_runs() {
         let r = Runner::new(
-            exp(CodeKind::LdgmTriangle, 300, ExpansionRatio::R2_5, TxModel::Random),
+            exp(
+                CodeKind::LdgmTriangle,
+                300,
+                ExpansionRatio::R2_5,
+                TxModel::Random,
+            ),
             2,
         )
         .unwrap();
@@ -456,12 +629,22 @@ mod tests {
     #[test]
     fn runner_validation() {
         assert!(Runner::new(
-            exp(CodeKind::LdgmStaircase, 10, ExpansionRatio::Custom(1.1), TxModel::Random),
+            exp(
+                CodeKind::LdgmStaircase,
+                10,
+                ExpansionRatio::Custom(1.1),
+                TxModel::Random
+            ),
             2
         )
         .is_err()); // only 1 check equation
         assert!(Runner::new(
-            exp(CodeKind::LdgmStaircase, 100, ExpansionRatio::R2_5, TxModel::Random),
+            exp(
+                CodeKind::LdgmStaircase,
+                100,
+                ExpansionRatio::R2_5,
+                TxModel::Random
+            ),
             0
         )
         .is_err()); // empty matrix pool

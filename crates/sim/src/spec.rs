@@ -25,7 +25,11 @@ pub enum CodeKind {
 impl CodeKind {
     /// The three codes evaluated in the paper, in paper order.
     pub fn paper_codes() -> [CodeKind; 3] {
-        [CodeKind::Rse, CodeKind::LdgmStaircase, CodeKind::LdgmTriangle]
+        [
+            CodeKind::Rse,
+            CodeKind::LdgmStaircase,
+            CodeKind::LdgmTriangle,
+        ]
     }
 
     /// Short name used in reports (matches the paper's terminology).

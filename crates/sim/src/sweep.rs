@@ -33,8 +33,8 @@ impl Default for SweepConfig {
     fn default() -> SweepConfig {
         SweepConfig {
             runs: 100,
-            grid_p: grid::PAPER_GRID.to_vec(),
-            grid_q: grid::PAPER_GRID.to_vec(),
+            grid_p: grid::GridKind::Paper.to_vec(),
+            grid_q: grid::GridKind::Paper.to_vec(),
             seed: 0x0C0_FFEE,
             matrix_pool: Runner::DEFAULT_MATRIX_POOL,
             track_total: false,
@@ -53,8 +53,8 @@ impl SweepConfig {
     pub fn quick(runs: u32) -> SweepConfig {
         SweepConfig {
             runs,
-            grid_p: grid::COARSE_GRID.to_vec(),
-            grid_q: grid::COARSE_GRID.to_vec(),
+            grid_p: grid::GridKind::Coarse.to_vec(),
+            grid_q: grid::GridKind::Coarse.to_vec(),
             ..SweepConfig::default()
         }
     }
@@ -182,7 +182,11 @@ impl GridSweep {
         let threads = self
             .config
             .threads
-            .or_else(|| std::thread::available_parallelism().ok().map(NonZeroUsize::get))
+            .or_else(|| {
+                std::thread::available_parallelism()
+                    .ok()
+                    .map(NonZeroUsize::get)
+            })
             .unwrap_or(1)
             .max(1)
             .min(cells.len().max(1));
@@ -304,7 +308,14 @@ mod tests {
         let coords: Vec<(f64, f64)> = r.cells.iter().map(|c| (c.p, c.q)).collect();
         assert_eq!(
             coords,
-            vec![(0.0, 0.1), (0.0, 0.9), (0.1, 0.1), (0.1, 0.9), (0.9, 0.1), (0.9, 0.9)]
+            vec![
+                (0.0, 0.1),
+                (0.0, 0.9),
+                (0.1, 0.1),
+                (0.1, 0.9),
+                (0.9, 0.1),
+                (0.9, 0.9)
+            ]
         );
     }
 

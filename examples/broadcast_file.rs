@@ -26,7 +26,12 @@ fn main() {
 
     // §6.2.2: unknown/heterogeneous channels -> (LDGM Triangle, Tx_model_4).
     let rec = &recommend(ChannelKnowledge::Unknown)[0];
-    println!("deployment: {:?} + {} — {}", rec.code, rec.tx.name(), rec.rationale);
+    println!(
+        "deployment: {:?} + {} — {}",
+        rec.code,
+        rec.tx.name(),
+        rec.rationale
+    );
     let spec = CodeSpec::for_object(rec.code, ExpansionRatio::R2_5, object.len(), symbol)
         .expect("valid parameters");
     let sender = Sender::new(spec.clone(), &object, symbol).expect("encode");

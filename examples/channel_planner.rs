@@ -42,15 +42,21 @@ fn main() {
     let mut selector = MeasuredSelector::new(3000, 12);
     selector.tolerance = (selector.k / 25) as u64; // ε = 4%
     let choices = selector.select(fitted).expect("simulations run");
-    println!("{:<16} {:<12} {:>5} {:>8} {:>7}", "code", "model", "ratio", "inef", "n_sent");
+    println!(
+        "{:<16} {:<12} {:>5} {:>8} {:>7}",
+        "code", "model", "ratio", "inef", "n_sent"
+    );
     for c in choices.iter().take(8) {
         println!(
             "{:<16} {:<12} {:>5} {:>8} {:>7}",
             c.code.name(),
             c.tx.name(),
             c.ratio.as_f64(),
-            c.mean_inefficiency.map_or_else(|| "-".into(), |m| format!("{m:.4}")),
-            c.plan.as_ref().map_or_else(|| "-".into(), |p| p.n_sent.to_string()),
+            c.mean_inefficiency
+                .map_or_else(|| "-".into(), |m| format!("{m:.4}")),
+            c.plan
+                .as_ref()
+                .map_or_else(|| "-".into(), |p| p.n_sent.to_string()),
         );
     }
     let best = &choices[0];
@@ -105,7 +111,11 @@ fn main() {
             if ch.next_is_lost() {
                 continue;
             }
-            if rx.push(&sender.packet(r).expect("ref")).expect("push").is_decoded() {
+            if rx
+                .push(&sender.packet(r).expect("ref"))
+                .expect("push")
+                .is_decoded()
+            {
                 assert_eq!(rx.into_object().expect("decoded"), object);
                 delivered += 1;
                 break;

@@ -20,7 +20,11 @@ fn main() {
         .skip(1)
         .map(|a| a.parse::<f64>().expect("ratio must be a number >= 1"))
         .collect();
-    let ratios = if ratios.is_empty() { vec![1.5, 2.5] } else { ratios };
+    let ratios = if ratios.is_empty() {
+        vec![1.5, 2.5]
+    } else {
+        ratios
+    };
 
     println!("Figure 5 — global loss probability p/(p+q), 0 '.' … '9' 90%+:");
     println!("(rows: p from 0 at the top; columns: q from 0 at the left)\n");
@@ -31,7 +35,11 @@ fn main() {
                 .expect("axis values")
                 .global_loss_probability();
             let digit = (g * 10.0).min(9.0) as u32;
-            row.push(if digit == 0 { '.' } else { char::from_digit(digit, 10).expect("digit") });
+            row.push(if digit == 0 {
+                '.'
+            } else {
+                char::from_digit(digit, 10).expect("digit")
+            });
         }
         println!("  {row}");
     }
@@ -46,7 +54,11 @@ fn main() {
         for pi in 0..STEPS {
             let mut row = String::new();
             for qi in 0..STEPS {
-                row.push(if limit.is_feasible(axis(pi), axis(qi)) { '#' } else { '.' });
+                row.push(if limit.is_feasible(axis(pi), axis(qi)) {
+                    '#'
+                } else {
+                    '.'
+                });
             }
             println!("  {row}");
         }

@@ -33,7 +33,9 @@ fn main() {
     let params = GilbertParams::new(p, q).expect("valid Gilbert parameters");
 
     // The "file": 2 MiB of deterministic bytes.
-    let object: Vec<u8> = (0..2 * 1024 * 1024u32).map(|i| (i * 2654435761) as u8).collect();
+    let object: Vec<u8> = (0..2 * 1024 * 1024u32)
+        .map(|i| (i * 2654435761) as u8)
+        .collect();
     println!(
         "object: {} KiB, symbol {} B, channel p = {p}, q = {q} (loss ≈ {:.1}%, mean burst {:.1})",
         object.len() / 1024,
@@ -126,7 +128,9 @@ fn main() {
         let fdt = session.fdt().expect("FDT received");
         println!(
             "decoded '{}' ({} bytes) from {} of {} data packets — inefficiency {:.4}",
-            fdt.file(1).map(|f| f.content_location.as_str()).unwrap_or("?"),
+            fdt.file(1)
+                .map(|f| f.content_location.as_str())
+                .unwrap_or("?"),
             got.len(),
             session.packets_received(1),
             sent + dropped - 1, // minus the FDT datagrams (approximation for display)

@@ -25,7 +25,11 @@ fn attempt(
             continue;
         }
         received += 1;
-        if rx.push(&sender.packet(r).expect("ref")).expect("push").is_decoded() {
+        if rx
+            .push(&sender.packet(r).expect("ref"))
+            .expect("push")
+            .is_decoded()
+        {
             assert_eq!(rx.into_object().expect("decoded"), object);
             return Ok(received);
         }

@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&opts),
         "sweep" => cmd_sweep(&opts),
         "map" => cmd_map(&opts),
+        "adapt" => cmd_adapt(&opts),
         "send" => cmd_send(&opts),
         "recv" => cmd_recv(&opts),
         "help" | "--help" | "-h" => {
@@ -70,6 +71,12 @@ USAGE:
 
   fec-broadcast map [--ratio <r>]
       ASCII feasibility region (paper Fig. 6) for the given expansion ratio.
+
+  fec-broadcast adapt [--k <k>] [--epochs <n>] [--seed <n>] [--window <pkts>]
+                      [--no-plan]
+      Closed-loop demo: online Gilbert estimation + adaptive tuple/plan
+      selection on a regime-switching channel, compared against the best
+      and worst static configurations in hindsight.
 
   fec-broadcast send --file <path> --dest <addr:port>
                      [--tsi <n>] [--code <rse|staircase|triangle>] [--tx <1..6>]
@@ -105,7 +112,10 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
 
 fn get_f64(opts: &HashMap<String, String>, key: &str) -> Result<Option<f64>, String> {
     opts.get(key)
-        .map(|v| v.parse::<f64>().map_err(|_| format!("--{key} {v:?} is not a number")))
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| format!("--{key} {v:?} is not a number"))
+        })
         .transpose()
 }
 
@@ -115,7 +125,9 @@ fn require_f64(opts: &HashMap<String, String>, key: &str) -> Result<f64, String>
 
 fn get_usize(opts: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
     match opts.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key} {v:?} is not an integer")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} {v:?} is not an integer")),
         None => Ok(default),
     }
 }
@@ -193,7 +205,10 @@ fn cmd_plan(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// Parses `--code`, defaulting to the paper's universal recommendation.
-fn parse_code(opts: &HashMap<String, String>, default: Option<CodeKind>) -> Result<CodeKind, String> {
+fn parse_code(
+    opts: &HashMap<String, String>,
+    default: Option<CodeKind>,
+) -> Result<CodeKind, String> {
     match opts.get("code").map(String::as_str) {
         Some("rse") => Ok(CodeKind::Rse),
         Some("staircase") => Ok(CodeKind::LdgmStaircase),
@@ -238,9 +253,9 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
     let k = get_usize(opts, "k", 2000)?;
     let runs = get_usize(opts, "runs", 20)? as u32;
     let grid = if opts.contains_key("coarse") {
-        fec_broadcast::channel::grid::COARSE_GRID.to_vec()
+        fec_broadcast::channel::grid::GridKind::Coarse.to_vec()
     } else {
-        fec_broadcast::channel::grid::PAPER_GRID.to_vec()
+        fec_broadcast::channel::grid::GridKind::Paper.to_vec()
     };
 
     let experiment = Experiment::new(code, k, ratio, tx);
@@ -300,6 +315,100 @@ fn cmd_map(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_adapt(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fec_broadcast::adapt::{AdaptiveRunner, ControllerConfig, Scenario};
+
+    let k = get_usize(opts, "k", 400)?;
+    let epochs = get_usize(opts, "epochs", 36)? as u32;
+    let seed = get_usize(opts, "seed", 0x5EED_AD47)? as u64;
+    let window = get_usize(opts, "window", 2_500)?;
+    if k == 0 || epochs == 0 {
+        return Err("--k and --epochs must be positive".into());
+    }
+    if window < 2 {
+        return Err("--window must be at least 2".into());
+    }
+
+    let scenario = Scenario::regime_switching(k, epochs, seed);
+    let config = ControllerConfig {
+        window,
+        min_observations: (k / 2).max(200),
+        confirm_after: 1,
+        ..ControllerConfig::default()
+    };
+    let mut runner = AdaptiveRunner::new(scenario, config);
+    if opts.contains_key("no-plan") {
+        runner = runner.without_plan_truncation();
+    }
+
+    println!(
+        "closed loop: k = {k}, {epochs} epochs, estimation window {window} packets\n\
+         regimes (cycling):"
+    );
+    for (i, r) in runner.scenario().regimes.iter().enumerate() {
+        println!(
+            "  {}: p = {:.3}, q = {:.3} (p_global = {:.1}%, mean burst {:.1}) for {} packets",
+            i,
+            r.params.p(),
+            r.params.q(),
+            r.params.global_loss_probability() * 100.0,
+            r.params.mean_burst_length().unwrap_or(f64::NAN),
+            r.packets
+        );
+    }
+
+    let comparison = runner.compare();
+    println!(
+        "\n{:>5} {:>9} {:>9} {:>7} {:>7} {:>7}  decision",
+        "epoch", "true-loss", "est-bound", "sent", "inef", "status"
+    );
+    for e in &comparison.adaptive.epochs {
+        let true_params = GilbertParams::new(e.true_p, e.true_q).map_err(|err| err.to_string())?;
+        println!(
+            "{:>5} {:>8.1}% {:>9} {:>7} {:>7} {:>7}  {}{}",
+            e.epoch,
+            true_params.global_loss_probability() * 100.0,
+            e.estimated_loss_bound
+                .map_or_else(|| "-".into(), |b| format!("{:.1}%", b * 100.0)),
+            e.n_sent,
+            e.inefficiency(comparison.adaptive.k)
+                .map_or_else(|| "-".into(), |i| format!("{i:.3}")),
+            if e.decoded { "ok" } else { "FAIL" },
+            e.decision,
+            if e.switched { "  <- switched" } else { "" },
+        );
+    }
+
+    println!("\nsummary (penalized mean inefficiency; failures charged at the tuple's ratio):");
+    println!(
+        "  adaptive    : {:.4}  ({} switches, {} failures, mean sent ratio {:.3})",
+        comparison.adaptive.penalized_mean_inefficiency(),
+        comparison.adaptive.switches,
+        comparison.adaptive.failures(),
+        comparison.adaptive.mean_sent_ratio()
+    );
+    println!(
+        "  static best : {:.4}  ({})",
+        comparison.oracle.penalized_mean_inefficiency(),
+        comparison.oracle_decision
+    );
+    println!(
+        "  static worst: {:.4}  ({})",
+        comparison.worst.penalized_mean_inefficiency(),
+        comparison.worst_decision
+    );
+    println!(
+        "  oracle gap {:.3}x; {} the static worst case",
+        comparison.oracle_gap(),
+        if comparison.beats_worst_case() {
+            "beats"
+        } else {
+            "DOES NOT beat"
+        }
+    );
+    Ok(())
+}
+
 fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
     use fec_broadcast::flute::{FluteSender, SenderConfig};
 
@@ -353,7 +462,9 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
     use fec_broadcast::flute::{FluteReceiver, ReceiverEvent};
 
-    let listen = opts.get("listen").ok_or("--listen is required (addr:port)")?;
+    let listen = opts
+        .get("listen")
+        .ok_or("--listen is required (addr:port)")?;
     let tsi = get_usize(opts, "tsi", 1)? as u32;
     let timeout = get_usize(opts, "timeout", 10)? as u64;
 
@@ -363,14 +474,28 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("listening on {listen} for FLUTE session tsi {tsi} (timeout {timeout}s)…");
 
+    // Drain the socket on a dedicated thread so a slow decode never lets
+    // the kernel receive buffer overflow (which silently drops datagrams
+    // the FEC budget then has to absorb twice).
+    let (datagram_tx, datagram_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+    std::thread::spawn(move || {
+        let mut buf = vec![0u8; 65536];
+        // Exits on read timeout (closing the channel) or once the decoder
+        // hangs up.
+        while let Ok((len, _)) = socket.recv_from(&mut buf) {
+            if datagram_tx.send(buf[..len].to_vec()).is_err() {
+                break;
+            }
+        }
+    });
+
     let mut session = FluteReceiver::new(tsi);
-    let mut buf = vec![0u8; 65536];
     let mut datagrams = 0u64;
     let toi = loop {
-        match socket.recv_from(&mut buf) {
-            Ok((len, _)) => {
+        match datagram_rx.recv() {
+            Ok(dg) => {
                 datagrams += 1;
-                match session.push_datagram(&buf[..len]) {
+                match session.push_datagram(&dg) {
                     Ok(ReceiverEvent::ObjectComplete { toi }) => break toi,
                     Ok(_) => {}
                     Err(e) => eprintln!("dropping bad datagram: {e}"),

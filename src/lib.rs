@@ -31,6 +31,7 @@
 //! assert_eq!(receiver.into_object().unwrap(), object);
 //! ```
 
+pub use fec_adapt as adapt;
 pub use fec_channel as channel;
 pub use fec_core as core;
 pub use fec_flute as flute;
@@ -43,14 +44,17 @@ pub use fec_sim as sim;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use bytes::Bytes;
-    pub use fec_channel::{GilbertChannel, GilbertParams, LossModel};
+    pub use fec_adapt::{
+        AdaptiveController, AdaptiveRunner, ControllerConfig, OnlineGilbertEstimator, Scenario,
+    };
+    pub use fec_channel::{DriftingChannel, GilbertChannel, GilbertParams, LossModel, Regime};
     pub use fec_core::{
-        recommend, Carousel, ChannelKnowledge, CodeSpec, DecodeProgress, MeasuredSelector,
-        Packet, Receiver, Recommendation, Sender, TransmissionPlan,
+        recommend, Carousel, ChannelKnowledge, CodeSpec, DecodeProgress, MeasuredSelector, Packet,
+        Receiver, Recommendation, Sender, TransmissionPlan,
     };
     pub use fec_flute::{FluteReceiver, FluteSender, ObjectStatus, ReceiverEvent, SenderConfig};
     pub use fec_sched::{Layout, PacketRef, RxModel, TxModel};
     pub use fec_sim::{
-        CodeKind, Experiment, ExpansionRatio, GridSweep, Runner, SweepConfig, SweepResult,
+        CodeKind, ExpansionRatio, Experiment, GridSweep, Runner, SweepConfig, SweepResult,
     };
 }

@@ -102,6 +102,30 @@ fn map_draws_the_region() {
 }
 
 #[test]
+fn adapt_runs_the_closed_loop() {
+    let (ok, stdout, _) = run(&["adapt", "--k", "200", "--epochs", "8", "--window", "1500"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("closed loop: k = 200"), "{stdout}");
+    assert!(stdout.contains("regimes (cycling):"));
+    // Per-epoch table and the comparison summary are printed.
+    assert!(stdout.contains("decision"));
+    assert!(stdout.contains("adaptive    :"));
+    assert!(stdout.contains("static best :"));
+    assert!(stdout.contains("static worst:"));
+    assert!(stdout.contains("oracle gap"));
+}
+
+#[test]
+fn adapt_validates_arguments() {
+    let (ok, _, stderr) = run(&["adapt", "--epochs", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("must be positive"));
+    let (ok, _, stderr) = run(&["adapt", "--window", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("--window"));
+}
+
+#[test]
 fn bad_number_is_reported() {
     let (ok, _, stderr) = run(&["map", "--ratio", "lots"]);
     assert!(!ok);

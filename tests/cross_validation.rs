@@ -6,12 +6,14 @@
 //! EXPERIMENTS.md is computed by the structural path, and this test is what
 //! entitles those numbers to speak for the real codec.
 
-use fec_broadcast::prelude::*;
 use fec_broadcast::ldgm::{LdgmParams, SparseMatrix, StructuralDecoder};
+use fec_broadcast::prelude::*;
 use fec_broadcast::rse::{Partition, StructuralObjectDecoder};
 
 fn object(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u32 * 31 + seed as u32) as u8).collect()
+    (0..len)
+        .map(|i| (i as u32 * 31 + seed as u32) as u8)
+        .collect()
 }
 
 /// Feeds the same survivor sequence to the payload receiver and a
@@ -83,7 +85,11 @@ fn run_both(
         }
     }
     if payload_done.is_some() {
-        assert_eq!(receiver.into_object().expect("decoded"), obj, "byte mismatch");
+        assert_eq!(
+            receiver.into_object().expect("decoded"),
+            obj,
+            "byte mismatch"
+        );
     }
     (payload_done, structural_done)
 }
@@ -147,7 +153,11 @@ fn rse_structural_matches_payload_across_schedules_and_channels() {
 
 #[test]
 fn ratio_1_5_also_agrees() {
-    for kind in [CodeKind::Rse, CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+    for kind in [
+        CodeKind::Rse,
+        CodeKind::LdgmStaircase,
+        CodeKind::LdgmTriangle,
+    ] {
         for seed in 0..4u64 {
             let (p, s) = run_both(
                 kind,
@@ -166,7 +176,11 @@ fn ratio_1_5_also_agrees() {
 /// its reported metadata (n_sent = schedule length, received <= sent).
 #[test]
 fn runner_results_are_internally_consistent() {
-    for kind in [CodeKind::Rse, CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+    for kind in [
+        CodeKind::Rse,
+        CodeKind::LdgmStaircase,
+        CodeKind::LdgmTriangle,
+    ] {
         let exp = Experiment::new(kind, 200, ExpansionRatio::R2_5, TxModel::Random)
             .with_channel(GilbertParams::new(0.1, 0.5).unwrap());
         let runner = Runner::new(exp, 2).expect("runner");

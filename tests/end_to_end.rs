@@ -5,7 +5,9 @@
 use fec_broadcast::prelude::*;
 
 fn object(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| ((i as u32).wrapping_mul(2654435761) + seed as u32) as u8).collect()
+    (0..len)
+        .map(|i| ((i as u32).wrapping_mul(2654435761) + seed as u32) as u8)
+        .collect()
 }
 
 /// Runs a full session; returns packets consumed until decode, or None.
@@ -39,7 +41,11 @@ fn session(
 #[test]
 fn all_codes_all_models_perfect_channel() {
     let symbol = 32;
-    for kind in [CodeKind::Rse, CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+    for kind in [
+        CodeKind::Rse,
+        CodeKind::LdgmStaircase,
+        CodeKind::LdgmTriangle,
+    ] {
         let k = 180;
         let spec = CodeSpec {
             kind,
@@ -60,7 +66,11 @@ fn all_codes_all_models_perfect_channel() {
 fn all_codes_survive_moderate_bursty_loss() {
     let symbol = 16;
     let channel = GilbertParams::new(0.05, 0.5).unwrap(); // ~9% loss, bursts of 2
-    for kind in [CodeKind::Rse, CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+    for kind in [
+        CodeKind::Rse,
+        CodeKind::LdgmStaircase,
+        CodeKind::LdgmTriangle,
+    ] {
         let k = 300;
         let spec = CodeSpec {
             kind,
@@ -184,9 +194,20 @@ fn rse_multi_block_objects() {
     let k = 700;
     let spec = CodeSpec::rse(k, ExpansionRatio::R2_5);
     let obj = object(k * symbol, 6);
-    for tx in [TxModel::Interleaved, TxModel::SourceSeqParityRandom, TxModel::Random] {
-        let n = session(&spec, &obj, symbol, tx, Some(GilbertParams::bernoulli(0.2).unwrap()), 3)
-            .unwrap_or_else(|| panic!("multi-block RSE failed under {tx:?}"));
+    for tx in [
+        TxModel::Interleaved,
+        TxModel::SourceSeqParityRandom,
+        TxModel::Random,
+    ] {
+        let n = session(
+            &spec,
+            &obj,
+            symbol,
+            tx,
+            Some(GilbertParams::bernoulli(0.2).unwrap()),
+            3,
+        )
+        .unwrap_or_else(|| panic!("multi-block RSE failed under {tx:?}"));
         assert!(n >= k as u64);
     }
 }

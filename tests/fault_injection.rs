@@ -49,7 +49,14 @@ fn errors_do_not_count_as_received() {
     let (_, _, sender, mut rx) = fresh(10, 8);
     let before = rx.progress().received;
     let _ = rx.push_bytes(b"junk");
-    let alien = Packet::new(42, 0, sender.packet(PacketRef { block: 0, esi: 0 }).unwrap().payload);
+    let alien = Packet::new(
+        42,
+        0,
+        sender
+            .packet(PacketRef { block: 0, esi: 0 })
+            .unwrap()
+            .payload,
+    );
     let _ = rx.push(&alien);
     assert_eq!(
         rx.progress().received,

@@ -31,8 +31,16 @@ fn deliver_with_loss(
 fn all_codes_lossless() {
     let cases = [
         (CodeKind::Rse, ExpansionRatio::R1_5, TxModel::Interleaved),
-        (CodeKind::LdgmStaircase, ExpansionRatio::R2_5, TxModel::tx6_paper()),
-        (CodeKind::LdgmTriangle, ExpansionRatio::R2_5, TxModel::Random),
+        (
+            CodeKind::LdgmStaircase,
+            ExpansionRatio::R2_5,
+            TxModel::tx6_paper(),
+        ),
+        (
+            CodeKind::LdgmTriangle,
+            ExpansionRatio::R2_5,
+            TxModel::Random,
+        ),
     ];
     for (i, (kind, ratio, tx)) in cases.into_iter().enumerate() {
         let data = object_bytes(20_000 + i * 997, i as u8);
@@ -135,7 +143,10 @@ fn fdt_loss_is_survivable() {
     }
     assert_eq!(receiver.object(1).unwrap(), &data[..]);
     assert!(receiver.fdt().is_none());
-    assert!(!receiver.all_complete(), "no FDT -> completeness unknowable");
+    assert!(
+        !receiver.all_complete(),
+        "no FDT -> completeness unknowable"
+    );
 }
 
 /// A carousel-style rerun: when one pass leaves the object undecoded, a

@@ -15,8 +15,16 @@ fn full_operational_loop_on_a_known_channel() {
     let mut probe = GilbertChannel::new(truth, 0xACE);
     let trace = LossTrace::record(&mut probe, 400_000);
     let fitted = fit_gilbert(&trace).expect("identifiable trace");
-    assert!((fitted.p() - truth.p()).abs() < 0.005, "p fit {}", fitted.p());
-    assert!((fitted.q() - truth.q()).abs() < 0.05, "q fit {}", fitted.q());
+    assert!(
+        (fitted.p() - truth.p()).abs() < 0.005,
+        "p fit {}",
+        fitted.p()
+    );
+    assert!(
+        (fitted.q() - truth.q()).abs() < 0.05,
+        "q fit {}",
+        fitted.q()
+    );
 
     // 2. Rule-based recommendation agrees this is the low-loss regime.
     let recs = recommend(ChannelKnowledge::Known(fitted));
@@ -103,8 +111,13 @@ fn planner_tolerance_improves_delivery() {
     // ε > 0 (the paper's "some tolerance") must not reduce the success rate.
     let channel = GilbertParams::bernoulli(0.1).unwrap();
     let k = 600;
-    let experiment = Experiment::new(CodeKind::LdgmTriangle, k, ExpansionRatio::R2_5, TxModel::Random)
-        .with_channel(channel);
+    let experiment = Experiment::new(
+        CodeKind::LdgmTriangle,
+        k,
+        ExpansionRatio::R2_5,
+        TxModel::Random,
+    )
+    .with_channel(channel);
     let runner = Runner::new(experiment, 2).expect("runner");
     // Measure inefficiency.
     let runs = 8;
@@ -115,7 +128,8 @@ fn planner_tolerance_improves_delivery() {
     let inef = sum / runs as f64;
 
     let deliver_rate = |tolerance: u64| {
-        let plan = TransmissionPlan::new(k, runner.layout().total_packets(), inef, channel, tolerance);
+        let plan =
+            TransmissionPlan::new(k, runner.layout().total_packets(), inef, channel, tolerance);
         let mut ok = 0;
         for seed in 100..130u64 {
             // Count survivors of the truncated transmission against the
@@ -136,5 +150,8 @@ fn planner_tolerance_improves_delivery() {
     let bare = deliver_rate(0);
     let padded = deliver_rate((k / 20) as u64); // 5% ε
     assert!(padded >= bare, "tolerance must help: {padded} vs {bare}");
-    assert!(padded >= 28, "5% tolerance should nearly always suffice, got {padded}/30");
+    assert!(
+        padded >= 28,
+        "5% tolerance should nearly always suffice, got {padded}/30"
+    );
 }

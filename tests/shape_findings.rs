@@ -27,7 +27,11 @@ fn point(
 #[test]
 fn perfect_channel_is_free_for_systematic_schedules() {
     // §4.3/§4.4: Tx1 and Tx2 at p = 0 give exactly 1.0 for every code.
-    for code in [CodeKind::Rse, CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+    for code in [
+        CodeKind::Rse,
+        CodeKind::LdgmStaircase,
+        CodeKind::LdgmTriangle,
+    ] {
         for tx in [TxModel::SourceSeqParitySeq, TxModel::SourceSeqParityRandom] {
             let m = point(code, 200, ExpansionRatio::R2_5, tx, 0.0, 0.5, 5).unwrap();
             assert_eq!(m, 1.0, "{code:?}/{tx:?}");
@@ -39,8 +43,24 @@ fn perfect_channel_is_free_for_systematic_schedules() {
 fn tx2_beats_tx1_for_rse_under_bursts() {
     // §4.4: random parity order fixes RSE's tail-block problem.
     let (p, q) = (0.05, 0.3); // bursty
-    let tx1 = point(CodeKind::Rse, 400, ExpansionRatio::R2_5, TxModel::SourceSeqParitySeq, p, q, 8);
-    let tx2 = point(CodeKind::Rse, 400, ExpansionRatio::R2_5, TxModel::SourceSeqParityRandom, p, q, 8);
+    let tx1 = point(
+        CodeKind::Rse,
+        400,
+        ExpansionRatio::R2_5,
+        TxModel::SourceSeqParitySeq,
+        p,
+        q,
+        8,
+    );
+    let tx2 = point(
+        CodeKind::Rse,
+        400,
+        ExpansionRatio::R2_5,
+        TxModel::SourceSeqParityRandom,
+        p,
+        q,
+        8,
+    );
     match (tx1, tx2) {
         (Some(a), Some(b)) => assert!(b < a, "Tx2 ({b}) must beat Tx1 ({a}) for RSE"),
         (None, Some(_)) => {} // Tx1 failing outright is the paper's point, too
@@ -53,8 +73,24 @@ fn interleaving_rescues_rse_from_bursts() {
     // §4.7: under strong bursts, sequential RSE collapses while interleaved
     // RSE sails through.
     let (p, q) = (0.1, 0.2); // mean burst length 5
-    let seq = point(CodeKind::Rse, 400, ExpansionRatio::R2_5, TxModel::SourceSeqParitySeq, p, q, 8);
-    let il = point(CodeKind::Rse, 400, ExpansionRatio::R2_5, TxModel::Interleaved, p, q, 8);
+    let seq = point(
+        CodeKind::Rse,
+        400,
+        ExpansionRatio::R2_5,
+        TxModel::SourceSeqParitySeq,
+        p,
+        q,
+        8,
+    );
+    let il = point(
+        CodeKind::Rse,
+        400,
+        ExpansionRatio::R2_5,
+        TxModel::Interleaved,
+        p,
+        q,
+        8,
+    );
     let il = il.expect("interleaved RSE must decode everywhere feasible");
     if let Some(seq) = seq {
         assert!(il < seq, "interleaving ({il}) must beat sequential ({seq})");
@@ -65,8 +101,26 @@ fn interleaving_rescues_rse_from_bursts() {
 fn staircase_beats_triangle_at_low_loss_under_tx2() {
     // §6.1: "LDGM Staircase is more efficient with Tx_model_2 and a low p".
     let (p, q) = (0.01, 0.8);
-    let sc = point(CodeKind::LdgmStaircase, 2000, ExpansionRatio::R2_5, TxModel::SourceSeqParityRandom, p, q, 6).unwrap();
-    let tri = point(CodeKind::LdgmTriangle, 2000, ExpansionRatio::R2_5, TxModel::SourceSeqParityRandom, p, q, 6).unwrap();
+    let sc = point(
+        CodeKind::LdgmStaircase,
+        2000,
+        ExpansionRatio::R2_5,
+        TxModel::SourceSeqParityRandom,
+        p,
+        q,
+        6,
+    )
+    .unwrap();
+    let tri = point(
+        CodeKind::LdgmTriangle,
+        2000,
+        ExpansionRatio::R2_5,
+        TxModel::SourceSeqParityRandom,
+        p,
+        q,
+        6,
+    )
+    .unwrap();
     assert!(sc < tri, "staircase {sc} vs triangle {tri}");
 }
 
@@ -77,8 +131,26 @@ fn triangle_beats_staircase_under_tx4() {
     let mut sc_sum = 0.0;
     let mut tri_sum = 0.0;
     for (p, q) in [(0.0, 1.0), (0.1, 0.6), (0.2, 0.6), (0.3, 0.7)] {
-        sc_sum += point(CodeKind::LdgmStaircase, 4000, ExpansionRatio::R2_5, TxModel::Random, p, q, 5).unwrap();
-        tri_sum += point(CodeKind::LdgmTriangle, 4000, ExpansionRatio::R2_5, TxModel::Random, p, q, 5).unwrap();
+        sc_sum += point(
+            CodeKind::LdgmStaircase,
+            4000,
+            ExpansionRatio::R2_5,
+            TxModel::Random,
+            p,
+            q,
+            5,
+        )
+        .unwrap();
+        tri_sum += point(
+            CodeKind::LdgmTriangle,
+            4000,
+            ExpansionRatio::R2_5,
+            TxModel::Random,
+            p,
+            q,
+            5,
+        )
+        .unwrap();
     }
     assert!(
         tri_sum < sc_sum,
@@ -90,8 +162,26 @@ fn triangle_beats_staircase_under_tx4() {
 fn staircase_beats_triangle_under_tx6() {
     // §4.8: "the fact that LDGM Staircase performs better than Triangle is
     // rather unusual".
-    let sc = point(CodeKind::LdgmStaircase, 1500, ExpansionRatio::R2_5, TxModel::tx6_paper(), 0.1, 0.6, 6).unwrap();
-    let tri = point(CodeKind::LdgmTriangle, 1500, ExpansionRatio::R2_5, TxModel::tx6_paper(), 0.1, 0.6, 6).unwrap();
+    let sc = point(
+        CodeKind::LdgmStaircase,
+        1500,
+        ExpansionRatio::R2_5,
+        TxModel::tx6_paper(),
+        0.1,
+        0.6,
+        6,
+    )
+    .unwrap();
+    let tri = point(
+        CodeKind::LdgmTriangle,
+        1500,
+        ExpansionRatio::R2_5,
+        TxModel::tx6_paper(),
+        0.1,
+        0.6,
+        6,
+    )
+    .unwrap();
     assert!(sc < tri, "staircase {sc} vs triangle {tri} under Tx6");
 }
 
@@ -100,7 +190,16 @@ fn tx3_needs_all_parity_plus_one_source_at_ratio_2_5() {
     // §4.5's exact result for large-block codes on a perfect channel.
     let k = 1000;
     for code in [CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
-        let m = point(code, k, ExpansionRatio::R2_5, TxModel::ParitySeqSourceRandom, 0.0, 0.5, 3).unwrap();
+        let m = point(
+            code,
+            k,
+            ExpansionRatio::R2_5,
+            TxModel::ParitySeqSourceRandom,
+            0.0,
+            0.5,
+            3,
+        )
+        .unwrap();
         let exact = (1.5 * k as f64 + 1.0) / k as f64;
         assert!((m - exact).abs() < 1e-9, "{code:?}: {m} vs {exact}");
     }
@@ -130,7 +229,10 @@ fn no_fec_repetition_fails_with_loss() {
         8,
     )
     .unwrap();
-    assert!(perfect > 1.8, "coupon collection should eat ~2x, got {perfect}");
+    assert!(
+        perfect > 1.8,
+        "coupon collection should eat ~2x, got {perfect}"
+    );
 }
 
 #[test]
@@ -148,7 +250,11 @@ fn infeasible_region_always_fails() {
 #[test]
 fn inefficiency_never_below_one() {
     // Fundamental: you cannot decode k packets from fewer than k.
-    for code in [CodeKind::Rse, CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+    for code in [
+        CodeKind::Rse,
+        CodeKind::LdgmStaircase,
+        CodeKind::LdgmTriangle,
+    ] {
         for tx in TxModel::paper_models() {
             if let Some(m) = point(code, 150, ExpansionRatio::R2_5, tx, 0.05, 0.5, 4) {
                 assert!(m >= 1.0, "{code:?}/{tx:?}: inefficiency {m} < 1");
@@ -163,7 +269,12 @@ fn rx1_sweet_spot_beats_extremes() {
     // both one source packet and half the source packets.
     let k = 3000;
     let runner = Runner::new(
-        Experiment::new(CodeKind::LdgmStaircase, k, ExpansionRatio::R2_5, TxModel::Random),
+        Experiment::new(
+            CodeKind::LdgmStaircase,
+            k,
+            ExpansionRatio::R2_5,
+            TxModel::Random,
+        ),
         2,
     )
     .expect("runner");
