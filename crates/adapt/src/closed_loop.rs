@@ -232,11 +232,16 @@ impl AdaptiveRunner {
     fn runner_for<'c>(
         cache: &'c mut HashMap<String, Runner>,
         scenario: &Scenario,
-        decision: Decision,
+        decision: &Decision,
     ) -> &'c Runner {
         let key = format!("{decision:?}");
         cache.entry(key).or_insert_with(|| {
-            let exp = Experiment::new(decision.code, scenario.k, decision.ratio, decision.tx);
+            let exp = Experiment::new(
+                decision.code.clone(),
+                scenario.k,
+                decision.ratio,
+                decision.tx,
+            );
             Runner::new(exp, scenario.matrix_pool).expect("scenario decisions are valid")
         })
     }
@@ -260,7 +265,7 @@ impl AdaptiveRunner {
                 .flatten();
             let planned_n_sent = plan.map(|p| p.n_sent);
 
-            let runner = Self::runner_for(&mut cache, scenario, decision);
+            let runner = Self::runner_for(&mut cache, scenario, &decision);
             let (result, observed) =
                 runner.run_observed(&mut channel, scenario.seed, epoch as u64, planned_n_sent);
             controller.observe_all(&observed);
@@ -285,7 +290,7 @@ impl AdaptiveRunner {
 
     /// Runs one fixed tuple over the identical channel law (fresh channel
     /// instance, same seed): the static baseline.
-    pub fn run_static(&self, decision: Decision) -> LoopReport {
+    pub fn run_static(&self, decision: &Decision) -> LoopReport {
         let scenario = &self.scenario;
         let mut channel = scenario.channel();
         let mut cache: HashMap<String, Runner> = HashMap::new();
@@ -296,7 +301,7 @@ impl AdaptiveRunner {
             let (result, _) = runner.run_observed(&mut channel, scenario.seed, epoch as u64, None);
             epochs.push(EpochOutcome::from_run(
                 epoch,
-                decision,
+                decision.clone(),
                 true_params,
                 None,
                 None,
@@ -314,36 +319,37 @@ impl AdaptiveRunner {
     /// The static candidate set: every tuple the §6.1 recommender can
     /// emit, i.e. what a non-adaptive operator would plausibly deploy.
     pub fn static_candidates() -> Vec<Decision> {
+        use fec_codec::builtin;
         use fec_sched::TxModel;
-        use fec_sim::{CodeKind, ExpansionRatio};
+        use fec_sim::ExpansionRatio;
         vec![
             Decision {
-                code: CodeKind::LdgmStaircase,
+                code: builtin::ldgm_staircase(),
                 tx: TxModel::SourceSeqParityRandom,
                 ratio: ExpansionRatio::R1_5,
             },
             Decision {
-                code: CodeKind::LdgmStaircase,
+                code: builtin::ldgm_staircase(),
                 tx: TxModel::SourceSeqParityRandom,
                 ratio: ExpansionRatio::R2_5,
             },
             Decision {
-                code: CodeKind::LdgmTriangle,
+                code: builtin::ldgm_triangle(),
                 tx: TxModel::Random,
                 ratio: ExpansionRatio::R1_5,
             },
             Decision {
-                code: CodeKind::LdgmTriangle,
+                code: builtin::ldgm_triangle(),
                 tx: TxModel::Random,
                 ratio: ExpansionRatio::R2_5,
             },
             Decision {
-                code: CodeKind::LdgmStaircase,
+                code: builtin::ldgm_staircase(),
                 tx: TxModel::tx6_paper(),
                 ratio: ExpansionRatio::R2_5,
             },
             Decision {
-                code: CodeKind::Rse,
+                code: builtin::rse(),
                 tx: TxModel::Interleaved,
                 ratio: ExpansionRatio::R2_5,
             },
@@ -355,7 +361,7 @@ impl AdaptiveRunner {
         Self::static_candidates()
             .into_iter()
             .map(|d| {
-                let report = self.run_static(d);
+                let report = self.run_static(&d);
                 (d, report)
             })
             .collect()
@@ -421,7 +427,7 @@ impl Comparison {
 pub fn clairvoyant_decision(params: GilbertParams) -> Decision {
     let top = &recommend_known(params, params.global_loss_probability())[0];
     Decision {
-        code: top.code,
+        code: top.code.clone(),
         tx: top.tx,
         ratio: top.ratio,
     }
@@ -472,8 +478,8 @@ mod tests {
     #[test]
     fn static_run_never_switches_and_sends_everything() {
         let runner = AdaptiveRunner::new(quick_scenario(), quick_config());
-        let d = AdaptiveRunner::static_candidates()[3]; // Triangle Tx4 R2_5
-        let report = runner.run_static(d);
+        let d = AdaptiveRunner::static_candidates()[3].clone(); // Triangle Tx4 R2_5
+        let report = runner.run_static(&d);
         assert_eq!(report.switches, 0);
         for e in &report.epochs {
             assert_eq!(e.n_sent, 750, "full n = 2.5k every epoch");
@@ -488,7 +494,7 @@ mod tests {
             k: 100,
             epochs: vec![EpochOutcome {
                 epoch: 0,
-                decision: AdaptiveRunner::static_candidates()[0],
+                decision: AdaptiveRunner::static_candidates()[0].clone(),
                 true_p: 0.5,
                 true_q: 0.1,
                 estimated_loss_bound: None,

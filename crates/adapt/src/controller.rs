@@ -21,16 +21,16 @@
 use fec_channel::GilbertParams;
 use fec_core::{recommend, recommend_known, ChannelKnowledge, TransmissionPlan};
 use fec_sched::TxModel;
-use fec_sim::{CodeKind, ExpansionRatio};
+use fec_sim::{CodecHandle, ExpansionRatio};
 use serde::{Deserialize, Serialize};
 
 use crate::estimate::{ChannelEstimate, OnlineGilbertEstimator};
 
 /// A deployable (code, transmission model, expansion ratio) tuple.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Decision {
-    /// FEC code.
-    pub code: CodeKind,
+    /// FEC code (any registered codec).
+    pub code: CodecHandle,
     /// Transmission model.
     pub tx: TxModel,
     /// Expansion ratio.
@@ -45,7 +45,7 @@ impl Decision {
     pub fn prior() -> Decision {
         let top = &recommend(ChannelKnowledge::UnknownHighLoss)[0];
         Decision {
-            code: top.code,
+            code: top.code.clone(),
             tx: top.tx,
             ratio: top.ratio,
         }
@@ -163,7 +163,7 @@ impl AdaptiveController {
 
     /// The currently deployed tuple.
     pub fn decision(&self) -> Decision {
-        self.active
+        self.active.clone()
     }
 
     /// How often the controller has switched tuples.
@@ -219,7 +219,7 @@ impl AdaptiveController {
     pub fn candidate_for(&self, estimate: &ChannelEstimate) -> Decision {
         let top = &recommend_known(estimate.params, estimate.p_global_upper())[0];
         Decision {
-            code: top.code,
+            code: top.code.clone(),
             tx: top.tx,
             ratio: top.ratio,
         }
@@ -319,6 +319,7 @@ impl AdaptiveController {
 mod tests {
     use super::*;
     use fec_channel::{GilbertChannel, LossModel};
+    use fec_sim::CodeKind;
 
     fn feed(c: &mut AdaptiveController, params: GilbertParams, n: usize, seed: u64) {
         let mut ch = GilbertChannel::new(params, seed);

@@ -7,8 +7,9 @@
 //! showing where deterministic interleaving sits between Tx2 and Tx4.
 
 use fec_bench::{banner, output, sweep, Scale};
+use fec_codec::builtin;
 use fec_sched::TxModel;
-use fec_sim::{CodeKind, ExpansionRatio};
+use fec_sim::ExpansionRatio;
 use std::fmt::Write as _;
 
 fn main() {
@@ -17,7 +18,7 @@ fn main() {
 
     let ratio = ExpansionRatio::R2_5;
     let mut csv = String::from("code,tx,grand_mean,masked_cells\n");
-    for code in [CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+    for code in [builtin::ldgm_staircase(), builtin::ldgm_triangle()] {
         println!("--- {code}, ratio {ratio} ---");
         let mut stats = Vec::new();
         for tx in [
@@ -26,7 +27,7 @@ fn main() {
             TxModel::Interleaved,
             TxModel::SourceSeqParitySeq,
         ] {
-            let result = sweep(code, ratio, tx, &scale, false);
+            let result = sweep(&code, ratio, tx, &scale, false);
             let gm = result.grand_mean().unwrap_or(f64::NAN);
             let masked = result.masked_cells();
             println!(

@@ -59,7 +59,7 @@ fn main() {
     let mut violations = 0;
     for ratio in [ExpansionRatio::R1_5, ExpansionRatio::R2_5] {
         let result = sweep(
-            CodeKind::LdgmStaircase,
+            &CodeKind::LdgmStaircase.resolve(),
             ratio,
             TxModel::Random,
             &scale,

@@ -14,7 +14,7 @@ fn main() {
     banner("Figure 7: no FEC, x2 repetition, random order", &scale);
 
     let result = sweep(
-        CodeKind::LdgmStaircase, // irrelevant: no parity is ever sent
+        &CodeKind::LdgmStaircase.resolve(), // irrelevant: no parity is ever sent
         ExpansionRatio::R2_5,
         TxModel::RepeatSource { copies: 2 },
         &scale,

@@ -8,9 +8,9 @@
 //! * RSE's decodable region is smaller than LDGM's (sequential parity +
 //!   bursts wipe out whole blocks).
 
-use fec_bench::{banner, output, sweep, Scale};
+use fec_bench::{banner, figure_grid, paper_codes, Scale};
 use fec_sched::TxModel;
-use fec_sim::{report, CodeKind, ExpansionRatio, SweepResult};
+use fec_sim::{CodeKind, ExpansionRatio, SweepResult};
 
 fn check_shape(result: &SweepResult, label: &str) {
     for cell in &result.cells {
@@ -61,39 +61,30 @@ fn main() {
     );
 
     for ratio in [ExpansionRatio::R2_5, ExpansionRatio::R1_5] {
-        let mut masked = Vec::new();
-        for code in CodeKind::paper_codes() {
-            let result = sweep(code, ratio, TxModel::SourceSeqParitySeq, &scale, true);
-            println!("\n--- {code}, ratio {ratio} ---");
-            println!("{}", report::paper_table(&result));
-            check_shape(&result, &format!("{code}@{ratio}"));
-            output::save(
-                "fig08",
-                &format!(
-                    "tx1_{}_r{}.csv",
-                    code.name().replace(' ', "_"),
-                    ratio.as_f64()
-                ),
-                &report::to_csv(&result),
-            );
-            output::save(
-                "fig08",
-                &format!(
-                    "tx1_{}_r{}.dat",
-                    code.name().replace(' ', "_"),
-                    ratio.as_f64()
-                ),
-                &report::to_dat(&result),
-            );
-            masked.push((code, result.masked_cells()));
+        let cells = figure_grid(
+            "fig08",
+            "tx1",
+            &paper_codes(),
+            &[ratio],
+            TxModel::SourceSeqParitySeq,
+            &scale,
+            true,
+            true,
+        );
+        let masked: Vec<_> = cells
+            .iter()
+            .map(|c| (c.code.clone(), c.result.masked_cells()))
+            .collect();
+        for c in &cells {
+            check_shape(&c.result, &format!("{}@{ratio}", c.code));
         }
         // RSE loses more of the grid than the LDGM codes.
         let rse = masked.iter().find(|(c, _)| *c == CodeKind::Rse).unwrap().1;
-        for &(code, m) in &masked {
+        for (code, m) in &masked {
             println!("ratio {ratio}: {code} masked cells = {m}");
-            if code != CodeKind::Rse {
+            if *code != CodeKind::Rse {
                 assert!(
-                    rse >= m,
+                    rse >= *m,
                     "RSE must cover a smaller area than {code} under Tx1"
                 );
             }

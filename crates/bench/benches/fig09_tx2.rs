@@ -8,9 +8,9 @@
 //!   failed run around p=50%, q=70% at ratio 2.5);
 //! * at p = 0 everything is exactly 1.0 (sources arrive unscathed).
 
-use fec_bench::{banner, output, sweep, Scale};
+use fec_bench::{banner, cell, figure_grid, paper_codes, Scale};
 use fec_sched::TxModel;
-use fec_sim::{report, CodeKind, ExpansionRatio};
+use fec_sim::{CodeKind, ExpansionRatio, SweepResult};
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,31 +20,27 @@ fn main() {
     );
 
     for ratio in [ExpansionRatio::R2_5, ExpansionRatio::R1_5] {
-        let mut results = Vec::new();
-        for code in CodeKind::paper_codes() {
-            let result = sweep(code, ratio, TxModel::SourceSeqParityRandom, &scale, false);
-            println!("\n--- {code}, ratio {ratio} ---");
-            println!("{}", report::paper_table(&result));
-            output::save(
-                "fig09",
-                &format!(
-                    "tx2_{}_r{}.csv",
-                    code.name().replace(' ', "_"),
-                    ratio.as_f64()
-                ),
-                &report::to_csv(&result),
-            );
-            for cell in &result.cells {
+        let cells = figure_grid(
+            "fig09",
+            "tx2",
+            &paper_codes(),
+            &[ratio],
+            TxModel::SourceSeqParityRandom,
+            &scale,
+            false,
+            false,
+        );
+        for c in &cells {
+            for cell in &c.result.cells {
                 if cell.p == 0.0 {
-                    assert_eq!(cell.mean_inefficiency, Some(1.0), "{code}: p=0 row");
+                    assert_eq!(cell.mean_inefficiency, Some(1.0), "{}: p=0 row", c.code);
                 }
             }
-            results.push((code, result));
         }
 
         // Low-loss corner: Staircase < Triangle (paper Tables 1 vs 2 at
         // p=1%, high q). Compare on the (p=1%, q in {60..100}%) cells.
-        let get = |kind: CodeKind| &results.iter().find(|(c, _)| *c == kind).unwrap().1;
+        let get = |kind: CodeKind| -> &SweepResult { &cell(&cells, kind, ratio).result };
         let corner_mean = |kind: CodeKind| {
             let r = get(kind);
             let vals: Vec<f64> = r

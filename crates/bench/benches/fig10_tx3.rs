@@ -8,9 +8,9 @@
 //! * globally "not that interesting": inefficiencies track the reception
 //!   curve over much of the grid.
 
-use fec_bench::{banner, output, sweep, Scale};
+use fec_bench::{banner, figure_grid, paper_codes, Scale};
 use fec_sched::TxModel;
-use fec_sim::{report, CodeKind, ExpansionRatio};
+use fec_sim::ExpansionRatio;
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,56 +20,50 @@ fn main() {
     );
 
     for ratio in [ExpansionRatio::R2_5, ExpansionRatio::R1_5] {
-        for code in CodeKind::paper_codes() {
-            let result = sweep(code, ratio, TxModel::ParitySeqSourceRandom, &scale, true);
-            println!("\n--- {code}, ratio {ratio} ---");
-            println!("{}", report::paper_table(&result));
-            output::save(
-                "fig10",
-                &format!(
-                    "tx3_{}_r{}.csv",
-                    code.name().replace(' ', "_"),
-                    ratio.as_f64()
-                ),
-                &report::to_csv(&result),
-            );
+        let cells = figure_grid(
+            "fig10",
+            "tx3",
+            &paper_codes(),
+            &[ratio],
+            TxModel::ParitySeqSourceRandom,
+            &scale,
+            true,
+            false,
+        );
+        for c in &cells {
+            let code = &c.code;
 
             // The p = 0 analysis of §4.5.
-            let p0 = result.cell(0.0, 0.0).unwrap();
+            let p0 = c.result.cell(0.0, 0.0).unwrap();
             let inef = p0.mean_inefficiency.unwrap();
-            match code {
-                CodeKind::LdgmStaircase | CodeKind::LdgmTriangle => {
-                    if ratio == ExpansionRatio::R2_5 {
-                        // §4.5, ratio 2.5: every check row has exactly two
-                        // source members (3k / 1.5k), so with all parity in
-                        // hand ONE source packet cascades through the whole
-                        // graph: inefficiency is exactly (n - k + 1) / k.
-                        let exact = ((scale.k as f64 * ratio.as_f64()).floor() - scale.k as f64
-                            + 1.0)
-                            / scale.k as f64;
-                        assert!(
-                            (inef - exact).abs() < 1e-9,
-                            "{code}: p=0 needs all parity + exactly one source ({inef} vs {exact})"
-                        );
-                    } else {
-                        // Ratio 1.5: check rows have six source members, so
-                        // peeling needs a majority of the sources too — the
-                        // paper's Fig. 10(e,f) surfaces sit in [1.0, 1.1].
-                        assert!(
-                            (1.0..1.2).contains(&inef),
-                            "{code}: p=0 inefficiency {inef} outside Fig. 10(e,f) range"
-                        );
-                    }
-                }
-                CodeKind::Rse => {
-                    // All parity of earlier blocks + k_b of the last block:
-                    // a bit below ratio - 1 + k_b/k; bracket it.
+            if code.is_large_block() {
+                if ratio == ExpansionRatio::R2_5 {
+                    // §4.5, ratio 2.5: every check row has exactly two
+                    // source members (3k / 1.5k), so with all parity in
+                    // hand ONE source packet cascades through the whole
+                    // graph: inefficiency is exactly (n - k + 1) / k.
+                    let exact = ((scale.k as f64 * ratio.as_f64()).floor() - scale.k as f64 + 1.0)
+                        / scale.k as f64;
                     assert!(
-                        inef > ratio.as_f64() - 1.1 && inef < ratio.as_f64(),
-                        "RSE: p=0 inefficiency {inef} out of range"
+                        (inef - exact).abs() < 1e-9,
+                        "{code}: p=0 needs all parity + exactly one source ({inef} vs {exact})"
+                    );
+                } else {
+                    // Ratio 1.5: check rows have six source members, so
+                    // peeling needs a majority of the sources too — the
+                    // paper's Fig. 10(e,f) surfaces sit in [1.0, 1.1].
+                    assert!(
+                        (1.0..1.2).contains(&inef),
+                        "{code}: p=0 inefficiency {inef} outside Fig. 10(e,f) range"
                     );
                 }
-                CodeKind::LdgmPlain => unreachable!("not swept here"),
+            } else {
+                // All parity of earlier blocks + k_b of the last block:
+                // a bit below ratio - 1 + k_b/k; bracket it.
+                assert!(
+                    inef > ratio.as_f64() - 1.1 && inef < ratio.as_f64(),
+                    "RSE: p=0 inefficiency {inef} out of range"
+                );
             }
             println!("p=0 inefficiency: {inef:.4} (≈ ratio - 1 + 1/k as the paper derives)");
         }

@@ -9,9 +9,9 @@
 //! DESIGN.md) reproduces the *ordering* Triangle < Staircase with a smaller
 //! gap than the paper's ~0.03.
 
-use fec_bench::{banner, output, paper, sweep, Scale};
+use fec_bench::{banner, figure_grid, paper, paper_codes, Scale};
 use fec_sched::TxModel;
-use fec_sim::{report, CodeKind, ExpansionRatio, SweepResult};
+use fec_sim::{CodeKind, ExpansionRatio, SweepResult};
 
 fn spread(result: &SweepResult) -> f64 {
     let vals: Vec<f64> = result.surface().map(|(_, _, m)| m).collect();
@@ -25,25 +25,25 @@ fn main() {
     banner("Figure 11: Tx_model_4 (everything random)", &scale);
 
     for ratio in [ExpansionRatio::R2_5, ExpansionRatio::R1_5] {
-        let mut means = Vec::new();
-        for code in CodeKind::paper_codes() {
-            let result = sweep(code, ratio, TxModel::Random, &scale, false);
-            println!("\n--- {code}, ratio {ratio} ---");
-            println!("{}", report::paper_table(&result));
-            output::save(
-                "fig11",
-                &format!(
-                    "tx4_{}_r{}.csv",
-                    code.name().replace(' ', "_"),
-                    ratio.as_f64()
-                ),
-                &report::to_csv(&result),
-            );
-            let gm = result.grand_mean().unwrap();
-            let sp = spread(&result);
-            println!("{code}: grand mean {gm:.4}, spread {sp:.4}");
-            means.push((code, gm, sp));
-        }
+        let cells = figure_grid(
+            "fig11",
+            "tx4",
+            &paper_codes(),
+            &[ratio],
+            TxModel::Random,
+            &scale,
+            false,
+            false,
+        );
+        let means: Vec<_> = cells
+            .iter()
+            .map(|c| {
+                let gm = c.result.grand_mean().unwrap();
+                let sp = spread(&c.result);
+                println!("{}: grand mean {gm:.4}, spread {sp:.4}", c.code);
+                (c.code.clone(), gm, sp)
+            })
+            .collect();
         let get = |k: CodeKind| means.iter().find(|(c, _, _)| *c == k).unwrap();
         let rse = get(CodeKind::Rse);
         let sc = get(CodeKind::LdgmStaircase);

@@ -6,9 +6,9 @@
 //! * LDGM Staircase largely outperforms the others — "rather unusual",
 //!   the one schedule where Staircase beats Triangle.
 
-use fec_bench::{banner, output, sweep, Scale};
+use fec_bench::{banner, figure_grid, paper_codes, Scale};
 use fec_sched::TxModel;
-use fec_sim::{report, CodeKind, ExpansionRatio};
+use fec_sim::{CodeKind, ExpansionRatio};
 
 fn main() {
     let scale = Scale::from_env();
@@ -18,23 +18,27 @@ fn main() {
     );
 
     let ratio = ExpansionRatio::R2_5; // Tx6 needs the high ratio (§4.8)
-    let mut means = Vec::new();
-    for code in CodeKind::paper_codes() {
-        let result = sweep(code, ratio, TxModel::tx6_paper(), &scale, false);
-        println!("\n--- {code} ---");
-        println!("{}", report::paper_table(&result));
-        output::save(
-            "fig13",
-            &format!("tx6_{}.csv", code.name().replace(' ', "_")),
-            &report::to_csv(&result),
-        );
-        let vals: Vec<f64> = result.surface().map(|(_, _, m)| m).collect();
-        let gm = result.grand_mean().unwrap();
-        let spread = vals.iter().copied().fold(f64::MIN, f64::max)
-            - vals.iter().copied().fold(f64::MAX, f64::min);
-        println!("{code}: grand mean {gm:.4}, spread {spread:.4}");
-        means.push((code, gm, spread));
-    }
+    let cells = figure_grid(
+        "fig13",
+        "tx6",
+        &paper_codes(),
+        &[ratio],
+        TxModel::tx6_paper(),
+        &scale,
+        false,
+        false,
+    );
+    let means: Vec<_> = cells
+        .iter()
+        .map(|c| {
+            let vals: Vec<f64> = c.result.surface().map(|(_, _, m)| m).collect();
+            let gm = c.result.grand_mean().unwrap();
+            let spread = vals.iter().copied().fold(f64::MIN, f64::max)
+                - vals.iter().copied().fold(f64::MAX, f64::min);
+            println!("{}: grand mean {gm:.4}, spread {spread:.4}", c.code);
+            (c.code.clone(), gm, spread)
+        })
+        .collect();
 
     let get = |k: CodeKind| means.iter().find(|(c, _, _)| *c == k).unwrap();
     let sc = get(CodeKind::LdgmStaircase);

@@ -8,9 +8,10 @@
 
 use fec_bench::{banner, output, paper, Scale};
 use fec_channel::GilbertParams;
+use fec_codec::registry;
 use fec_core::{MeasuredSelector, TransmissionPlan};
 use fec_sched::TxModel;
-use fec_sim::{CodeKind, ExpansionRatio};
+use fec_sim::ExpansionRatio;
 
 fn main() {
     let scale = Scale::from_env();
@@ -38,13 +39,13 @@ fn main() {
             TxModel::Random,
             TxModel::Interleaved,
         ] {
-            for code in CodeKind::paper_codes() {
+            for code in registry::candidates() {
                 candidates.push((code, tx, ratio));
             }
         }
     }
     // Tx6 only at ratio 2.5 (the paper's Fig. 15b).
-    for code in CodeKind::paper_codes() {
+    for code in registry::candidates() {
         candidates.push((code, TxModel::tx6_paper(), ExpansionRatio::R2_5));
     }
 

@@ -1,0 +1,289 @@
+//! The LDGM family behind the [`ErasureCode`] trait.
+
+use std::sync::Arc;
+
+use fec_ldgm::{
+    Decoder as LdgmDecoder, Encoder as LdgmEncoder, LdgmParams, RightSide, SparseMatrix,
+    StructuralDecoder, DEFAULT_LEFT_DEGREE,
+};
+use fec_sched::{Layout, PacketRef, TxModel};
+
+use crate::{
+    BlockParity, CodecError, DecodeProgress, Decoder, Encoder, Envelope, ErasureCode,
+    ExpansionRatio, SessionParams, StructuralFactory, StructuralSession,
+};
+
+/// A large-block LDGM code (§2.3): plain, Staircase or Triangle, selected
+/// by the right-side shape of the parity-check matrix.
+pub struct LdgmCode {
+    right: RightSide,
+    id: &'static str,
+    name: &'static str,
+    serde_token: &'static str,
+    aliases: &'static [&'static str],
+    fti: Option<u8>,
+}
+
+impl LdgmCode {
+    /// LDGM Staircase.
+    pub fn staircase() -> LdgmCode {
+        LdgmCode {
+            right: RightSide::Staircase,
+            id: "ldgm-staircase",
+            name: "LDGM Staircase",
+            serde_token: "LdgmStaircase",
+            aliases: &["staircase"],
+            fti: Some(3),
+        }
+    }
+
+    /// LDGM Triangle.
+    pub fn triangle() -> LdgmCode {
+        LdgmCode {
+            right: RightSide::Triangle,
+            id: "ldgm-triangle",
+            name: "LDGM Triangle",
+            serde_token: "LdgmTriangle",
+            aliases: &["triangle"],
+            fti: Some(4),
+        }
+    }
+
+    /// Plain LDGM (identity right side) — the ablation baseline.
+    pub fn plain() -> LdgmCode {
+        LdgmCode {
+            right: RightSide::Identity,
+            id: "ldgm-plain",
+            name: "LDGM",
+            serde_token: "LdgmPlain",
+            aliases: &["plain"],
+            fti: None,
+        }
+    }
+
+    fn geometry(&self, k: usize, ratio: f64) -> Result<(usize, usize), CodecError> {
+        let err = |reason: String| CodecError::UnsupportedGeometry {
+            code: self.id.to_string(),
+            k,
+            ratio,
+            reason,
+        };
+        if k == 0 {
+            return Err(err("k must be positive".into()));
+        }
+        if ratio < 1.0 || !ratio.is_finite() {
+            return Err(err(format!("expansion ratio {ratio} must be >= 1")));
+        }
+        let n = ((k as f64) * ratio).floor() as usize;
+        if n <= k {
+            return Err(err(format!("ratio {ratio} yields no parity for k = {k}")));
+        }
+        Ok((k, n))
+    }
+
+    /// Geometry check shared by the coding sessions: the peeling decoder
+    /// needs at least `DEFAULT_LEFT_DEGREE` check equations.
+    fn checked_geometry(&self, k: usize, ratio: f64) -> Result<(usize, usize), CodecError> {
+        let (k, n) = self.geometry(k, ratio)?;
+        if n - k < DEFAULT_LEFT_DEGREE {
+            return Err(CodecError::UnsupportedGeometry {
+                code: self.id.to_string(),
+                k,
+                ratio,
+                reason: format!(
+                    "LDGM needs at least {DEFAULT_LEFT_DEGREE} check equations, got {}",
+                    n - k
+                ),
+            });
+        }
+        Ok((k, n))
+    }
+
+    fn matrix(&self, k: usize, n: usize, seed: u64) -> Result<SparseMatrix, CodecError> {
+        SparseMatrix::build(LdgmParams::new(k, n, self.right, seed))
+            .map_err(|e| CodecError::construction(self, e))
+    }
+}
+
+impl ErasureCode for LdgmCode {
+    fn id(&self) -> &str {
+        self.id
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn serde_token(&self) -> &str {
+        self.serde_token
+    }
+
+    fn aliases(&self) -> &[&str] {
+        self.aliases
+    }
+
+    fn fti_id(&self) -> Option<u8> {
+        self.fti
+    }
+
+    fn envelope(&self) -> Envelope {
+        Envelope {
+            min_k: 1,
+            // The FLUTE large-block payload ID caps the ESI at 2^20.
+            max_k: 1 << 20,
+            min_ratio: 1.0,
+            max_ratio: 16.0,
+        }
+    }
+
+    fn supports(&self, k: usize, ratio: f64) -> bool {
+        self.envelope().contains(k, ratio) && self.checked_geometry(k, ratio).is_ok()
+    }
+
+    fn uses_matrix_seed(&self) -> bool {
+        true
+    }
+
+    fn recommendable(&self) -> bool {
+        self.fti.is_some()
+    }
+
+    fn candidate_tuples(&self) -> Vec<(TxModel, ExpansionRatio)> {
+        let mut out = Vec::new();
+        for ratio in ExpansionRatio::paper_ratios() {
+            out.push((TxModel::SourceSeqParityRandom, ratio));
+            out.push((TxModel::Random, ratio));
+        }
+        if matches!(self.right, RightSide::Staircase) {
+            // Tx_model_6 needs the high ratio (only 20% of source packets
+            // are transmitted) and is only competitive with Staircase
+            // (§4.8).
+            out.push((TxModel::tx6_paper(), ExpansionRatio::R2_5));
+        }
+        out
+    }
+
+    fn layout(&self, k: usize, ratio: f64) -> Result<Layout, CodecError> {
+        let (k, n) = self.geometry(k, ratio)?;
+        Ok(Layout::single_block(k, n))
+    }
+
+    fn encoder(&self, params: &SessionParams) -> Result<Box<dyn Encoder>, CodecError> {
+        let (k, n) = self.checked_geometry(params.k, params.ratio)?;
+        Ok(Box::new(LdgmSessionEncoder {
+            matrix: self.matrix(k, n, params.seed)?,
+            id: self.id,
+        }))
+    }
+
+    fn decoder(&self, params: &SessionParams) -> Result<Box<dyn Decoder>, CodecError> {
+        let (k, n) = self.checked_geometry(params.k, params.ratio)?;
+        let matrix = Arc::new(self.matrix(k, n, params.seed)?);
+        Ok(Box::new(LdgmSessionDecoder {
+            k,
+            id: self.id,
+            inner: LdgmDecoder::new(matrix, params.symbol_size),
+        }))
+    }
+
+    fn structural_factory(
+        &self,
+        k: usize,
+        ratio: f64,
+        seeds: &[u64],
+    ) -> Result<Box<dyn StructuralFactory>, CodecError> {
+        let (k, n) = self.checked_geometry(k, ratio)?;
+        if seeds.is_empty() {
+            return Err(CodecError::UnsupportedGeometry {
+                code: self.id.to_string(),
+                k,
+                ratio,
+                reason: "matrix pool must be non-empty for LDGM codes".into(),
+            });
+        }
+        let matrices = seeds
+            .iter()
+            .map(|&seed| self.matrix(k, n, seed))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Box::new(LdgmStructuralFactory { matrices }))
+    }
+}
+
+struct LdgmSessionEncoder {
+    matrix: SparseMatrix,
+    id: &'static str,
+}
+
+impl Encoder for LdgmSessionEncoder {
+    fn encode(&mut self, source: &[&[u8]]) -> Result<BlockParity, CodecError> {
+        let parity =
+            LdgmEncoder::new(&self.matrix)
+                .encode(source)
+                .map_err(|e| CodecError::Encode {
+                    code: self.id.to_string(),
+                    source: Box::new(e),
+                })?;
+        Ok(vec![parity])
+    }
+}
+
+struct LdgmSessionDecoder {
+    k: usize,
+    id: &'static str,
+    inner: LdgmDecoder,
+}
+
+impl Decoder for LdgmSessionDecoder {
+    fn add_symbol(
+        &mut self,
+        packet: PacketRef,
+        payload: &[u8],
+    ) -> Result<DecodeProgress, CodecError> {
+        self.inner
+            .push(packet.esi, payload)
+            .map_err(|e| CodecError::Decode {
+                code: self.id.to_string(),
+                source: Box::new(e),
+            })?;
+        Ok(self.progress())
+    }
+
+    fn progress(&self) -> DecodeProgress {
+        DecodeProgress {
+            received: self.inner.received(),
+            decoded_source: self.inner.decoded_source(),
+            total_source: self.k,
+        }
+    }
+
+    fn into_source(self: Box<Self>) -> Result<Vec<Vec<u8>>, CodecError> {
+        let progress = self.progress();
+        self.inner.into_source().ok_or(CodecError::NotDecoded {
+            decoded: progress.decoded_source,
+            needed: progress.total_source,
+        })
+    }
+}
+
+struct LdgmStructuralFactory {
+    matrices: Vec<SparseMatrix>,
+}
+
+impl StructuralFactory for LdgmStructuralFactory {
+    fn session(&self, run_idx: u64) -> Box<dyn StructuralSession + '_> {
+        let matrix = &self.matrices[run_idx as usize % self.matrices.len()];
+        Box::new(LdgmStructuralSession {
+            inner: StructuralDecoder::new(matrix),
+        })
+    }
+}
+
+struct LdgmStructuralSession<'m> {
+    inner: StructuralDecoder<'m>,
+}
+
+impl StructuralSession for LdgmStructuralSession<'_> {
+    fn add(&mut self, packet: PacketRef) -> bool {
+        self.inner.push(packet.esi)
+    }
+}

@@ -1,0 +1,46 @@
+//! The built-in codecs: blocked Reed-Solomon and the LDGM family.
+//!
+//! Each is a zero-sized descriptor implementing [`ErasureCode`]; the
+//! accessors hand out shared [`CodecHandle`]s so every resolution site in
+//! the process points at the same instance.
+
+use std::sync::OnceLock;
+
+use crate::{CodecHandle, ErasureCode};
+
+mod ldgm;
+mod rse;
+
+pub use ldgm::LdgmCode;
+pub use rse::RseCode;
+
+fn shared<C: ErasureCode + 'static>(
+    cell: &'static OnceLock<CodecHandle>,
+    make: fn() -> C,
+) -> CodecHandle {
+    cell.get_or_init(|| CodecHandle::new(make())).clone()
+}
+
+/// Blocked Reed-Solomon over GF(2^8) (FEC Encoding ID 129).
+pub fn rse() -> CodecHandle {
+    static CELL: OnceLock<CodecHandle> = OnceLock::new();
+    shared(&CELL, RseCode::new)
+}
+
+/// LDGM Staircase (FEC Encoding ID 3, RFC 5170 LDPC-Staircase).
+pub fn ldgm_staircase() -> CodecHandle {
+    static CELL: OnceLock<CodecHandle> = OnceLock::new();
+    shared(&CELL, LdgmCode::staircase)
+}
+
+/// LDGM Triangle (FEC Encoding ID 4, RFC 5170 LDPC-Triangle).
+pub fn ldgm_triangle() -> CodecHandle {
+    static CELL: OnceLock<CodecHandle> = OnceLock::new();
+    shared(&CELL, LdgmCode::triangle)
+}
+
+/// Plain LDGM (identity right side) — ablation baseline, no FTI id.
+pub fn ldgm_plain() -> CodecHandle {
+    static CELL: OnceLock<CodecHandle> = OnceLock::new();
+    shared(&CELL, LdgmCode::plain)
+}

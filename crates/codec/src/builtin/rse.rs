@@ -1,0 +1,288 @@
+//! Blocked Reed-Solomon behind the [`ErasureCode`] trait.
+
+use std::collections::HashMap;
+
+use fec_rse::{Partition, RseCodec, StructuralObjectDecoder};
+use fec_sched::{Layout, PacketRef, TxModel};
+
+use crate::{
+    BlockParity, CodecError, DecodeProgress, Decoder, Encoder, Envelope, ErasureCode,
+    ExpansionRatio, SessionParams, StructuralFactory, StructuralSession,
+};
+
+/// Reed-Solomon erasure over GF(2^8), segmented into RFC 5052-style
+/// near-equal blocks when the object exceeds one block (§2.2).
+pub struct RseCode;
+
+impl RseCode {
+    /// The canonical instance (stateless).
+    pub fn new() -> RseCode {
+        RseCode
+    }
+
+    fn validate(&self, k: usize, ratio: f64) -> Result<(), CodecError> {
+        let err = |reason: String| CodecError::UnsupportedGeometry {
+            code: "rse".into(),
+            k,
+            ratio,
+            reason,
+        };
+        if k == 0 {
+            return Err(err("k must be positive".into()));
+        }
+        if ratio < 1.0 || !ratio.is_finite() {
+            return Err(err(format!("expansion ratio {ratio} must be >= 1")));
+        }
+        Ok(())
+    }
+
+    fn partition(&self, k: usize, ratio: f64) -> Result<Partition, CodecError> {
+        self.validate(k, ratio)?;
+        Ok(Partition::for_ratio(k, ratio))
+    }
+}
+
+impl Default for RseCode {
+    fn default() -> RseCode {
+        RseCode::new()
+    }
+}
+
+/// Builds one codec per distinct `(k_b, n_b)` shape — RFC 5052 partitions
+/// produce at most two, so the cache stays tiny.
+fn codec_for(
+    cache: &mut HashMap<(usize, usize), RseCodec>,
+    kb: usize,
+    nb: usize,
+) -> Result<&RseCodec, CodecError> {
+    match cache.entry((kb, nb)) {
+        std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            let codec = RseCodec::new(kb, nb).map_err(|err| CodecError::Construction {
+                code: "rse".into(),
+                source: Box::new(err),
+            })?;
+            Ok(e.insert(codec))
+        }
+    }
+}
+
+impl ErasureCode for RseCode {
+    fn id(&self) -> &str {
+        "rse"
+    }
+
+    fn name(&self) -> &str {
+        "RSE"
+    }
+
+    fn serde_token(&self) -> &str {
+        "Rse"
+    }
+
+    fn aliases(&self) -> &[&str] {
+        &["reed-solomon"]
+    }
+
+    fn fti_id(&self) -> Option<u8> {
+        Some(129)
+    }
+
+    fn envelope(&self) -> Envelope {
+        Envelope {
+            min_k: 1,
+            // The FLUTE small-block payload ID caps the SBN at 2^16 blocks
+            // of at most 255 symbols.
+            max_k: (1 << 16) * fec_rse::MAX_N,
+            min_ratio: 1.0,
+            max_ratio: fec_rse::MAX_N as f64,
+        }
+    }
+
+    fn is_large_block(&self) -> bool {
+        false
+    }
+
+    fn candidate_tuples(&self) -> Vec<(TxModel, ExpansionRatio)> {
+        // Blocked codes must interleave (§4.7): sequential or random
+        // schedules expose whole blocks to loss bursts.
+        ExpansionRatio::paper_ratios()
+            .into_iter()
+            .map(|ratio| (TxModel::Interleaved, ratio))
+            .collect()
+    }
+
+    fn layout(&self, k: usize, ratio: f64) -> Result<Layout, CodecError> {
+        let part = self.partition(k, ratio)?;
+        Ok(Layout::from_blocks(
+            part.blocks().iter().map(|b| (b.k, b.n)),
+        ))
+    }
+
+    fn encoder(&self, params: &SessionParams) -> Result<Box<dyn Encoder>, CodecError> {
+        Ok(Box::new(RseSessionEncoder {
+            partition: self.partition(params.k, params.ratio)?,
+        }))
+    }
+
+    fn decoder(&self, params: &SessionParams) -> Result<Box<dyn Decoder>, CodecError> {
+        let partition = self.partition(params.k, params.ratio)?;
+        let blocks = partition
+            .blocks()
+            .iter()
+            .map(|b| RseBlock {
+                k: b.k,
+                n: b.n,
+                packets: Vec::with_capacity(b.k),
+                seen: vec![false; b.n],
+                src_received: 0,
+                solved: None,
+            })
+            .collect();
+        Ok(Box::new(RseSessionDecoder {
+            k: params.k,
+            codecs: HashMap::new(),
+            blocks,
+            decoded_source: 0,
+            received: 0,
+        }))
+    }
+
+    fn structural_factory(
+        &self,
+        k: usize,
+        ratio: f64,
+        _seeds: &[u64],
+    ) -> Result<Box<dyn StructuralFactory>, CodecError> {
+        Ok(Box::new(RseStructuralFactory {
+            partition: self.partition(k, ratio)?,
+        }))
+    }
+}
+
+struct RseSessionEncoder {
+    partition: Partition,
+}
+
+impl Encoder for RseSessionEncoder {
+    fn encode(&mut self, source: &[&[u8]]) -> Result<BlockParity, CodecError> {
+        let mut codecs: HashMap<(usize, usize), RseCodec> = HashMap::new();
+        let mut all = Vec::with_capacity(self.partition.num_blocks());
+        let mut start = 0usize;
+        for b in self.partition.blocks() {
+            let codec = codec_for(&mut codecs, b.k, b.n)?;
+            let parity = codec
+                .encode_refs(&source[start..start + b.k])
+                .map_err(|e| CodecError::Encode {
+                    code: "rse".into(),
+                    source: Box::new(e),
+                })?;
+            all.push(parity);
+            start += b.k;
+        }
+        Ok(all)
+    }
+}
+
+/// Per-block reception state.
+struct RseBlock {
+    k: usize,
+    n: usize,
+    /// Distinct received `(esi, payload)` pairs (until decoded).
+    packets: Vec<(u32, Vec<u8>)>,
+    /// Which ESIs were seen (duplicate filter).
+    seen: Vec<bool>,
+    /// Distinct *source* packets among them (already-known symbols).
+    src_received: usize,
+    /// Recovered source symbols once `k` packets arrived.
+    solved: Option<Vec<Vec<u8>>>,
+}
+
+struct RseSessionDecoder {
+    k: usize,
+    codecs: HashMap<(usize, usize), RseCodec>,
+    blocks: Vec<RseBlock>,
+    decoded_source: usize,
+    received: u64,
+}
+
+impl Decoder for RseSessionDecoder {
+    fn add_symbol(
+        &mut self,
+        packet: PacketRef,
+        payload: &[u8],
+    ) -> Result<DecodeProgress, CodecError> {
+        self.received += 1;
+        let block = &mut self.blocks[packet.block as usize];
+        if block.solved.is_none() && !block.seen[packet.esi as usize] {
+            block.seen[packet.esi as usize] = true;
+            block.packets.push((packet.esi, payload.to_vec()));
+            if (packet.esi as usize) < block.k {
+                // A systematic source symbol is known the moment it
+                // arrives, before the block as a whole decodes.
+                block.src_received += 1;
+                self.decoded_source += 1;
+            }
+            if block.packets.len() == block.k {
+                let codec = codec_for(&mut self.codecs, block.k, block.n)?;
+                let refs: Vec<(u32, &[u8])> = block
+                    .packets
+                    .iter()
+                    .map(|(esi, b)| (*esi, b.as_slice()))
+                    .collect();
+                let solved = codec.decode(&refs).map_err(|e| CodecError::Decode {
+                    code: "rse".into(),
+                    source: Box::new(e),
+                })?;
+                block.solved = Some(solved);
+                block.packets = Vec::new(); // free buffered payloads
+                self.decoded_source += block.k - block.src_received;
+            }
+        }
+        Ok(self.progress())
+    }
+
+    fn progress(&self) -> DecodeProgress {
+        DecodeProgress {
+            received: self.received,
+            decoded_source: self.decoded_source,
+            total_source: self.k,
+        }
+    }
+
+    fn into_source(self: Box<Self>) -> Result<Vec<Vec<u8>>, CodecError> {
+        if self.decoded_source != self.k {
+            return Err(CodecError::NotDecoded {
+                decoded: self.decoded_source,
+                needed: self.k,
+            });
+        }
+        let mut out = Vec::with_capacity(self.k);
+        for b in self.blocks {
+            out.extend(b.solved.expect("all blocks decoded"));
+        }
+        Ok(out)
+    }
+}
+
+struct RseStructuralFactory {
+    partition: Partition,
+}
+
+impl StructuralFactory for RseStructuralFactory {
+    fn session(&self, _run_idx: u64) -> Box<dyn StructuralSession + '_> {
+        Box::new(RseStructuralSession {
+            inner: StructuralObjectDecoder::new(&self.partition),
+        })
+    }
+}
+
+struct RseStructuralSession {
+    inner: StructuralObjectDecoder,
+}
+
+impl StructuralSession for RseStructuralSession {
+    fn add(&mut self, packet: PacketRef) -> bool {
+        self.inner.push(packet.block as usize, packet.esi as usize)
+    }
+}

@@ -1,0 +1,339 @@
+//! Codec conformance harness: behavioural checks every
+//! [`ErasureCode`](crate::ErasureCode) implementation must pass.
+//!
+//! [`check`] round-trips a codec across all paper transmission models,
+//! duplicate / out-of-order / truncated packet streams, a deterministic
+//! loss pattern, the batched decoder entry point, payload-vs-structural
+//! agreement, and the corners of its declared `(k, ratio)` envelope.
+//! It panics with a descriptive message on the first violation — call it
+//! from a `#[test]`:
+//!
+//! ```
+//! fec_codec::conformance::check(&fec_codec::builtin::ldgm_staircase());
+//! ```
+//!
+//! Third-party codecs should run it too; passing `check` is what "behaves
+//! like a codec" means to the rest of the workspace.
+
+use fec_sched::{Layout, PacketRef, TxModel};
+
+use crate::{CodecHandle, SessionParams, Symbol};
+
+/// Symbol size used throughout the harness (small, to keep it fast).
+const SYMBOL_SIZE: usize = 16;
+
+/// Structure seed used for every seeded session.
+const SEED: u64 = 0xC0DEC;
+
+/// Largest `k` exercised when clamping envelope corners (keeps the
+/// harness fast while still hitting multi-block / large-matrix shapes).
+const MAX_TEST_K: usize = 300;
+
+/// Deterministic test object: `k * SYMBOL_SIZE - 5` bytes so the final
+/// symbol exercises padding.
+fn object(k: usize) -> Vec<u8> {
+    (0..k * SYMBOL_SIZE - 5)
+        .map(|i| (i * 31 % 251) as u8)
+        .collect()
+}
+
+/// Splits an object into `k` zero-padded symbols.
+fn symbols(object: &[u8], k: usize) -> Vec<Vec<u8>> {
+    let out: Vec<Vec<u8>> = object
+        .chunks(SYMBOL_SIZE)
+        .map(|c| {
+            let mut s = vec![0u8; SYMBOL_SIZE];
+            s[..c.len()].copy_from_slice(c);
+            s
+        })
+        .collect();
+    assert_eq!(out.len(), k, "object split must yield k symbols");
+    out
+}
+
+/// All encoding symbols of the object, addressable by packet reference.
+struct EncodedObject {
+    layout: Layout,
+    /// `payload[global_index]`, sources first per block.
+    payloads: Vec<Vec<u8>>,
+}
+
+impl EncodedObject {
+    fn build(code: &CodecHandle, k: usize, ratio: f64) -> (EncodedObject, Vec<u8>) {
+        let ctx = format!("{}(k={k}, ratio={ratio})", code.id());
+        let layout = code
+            .layout(k, ratio)
+            .unwrap_or_else(|e| panic!("{ctx}: layout failed: {e}"));
+        assert_eq!(layout.total_source(), k as u64, "{ctx}: layout k mismatch");
+        let object = object(k);
+        let source = symbols(&object, k);
+        let refs: Vec<&[u8]> = source.iter().map(|s| s.as_slice()).collect();
+        let params = SessionParams {
+            k,
+            ratio,
+            symbol_size: SYMBOL_SIZE,
+            seed: SEED,
+        };
+        let parity = code
+            .encoder(&params)
+            .unwrap_or_else(|e| panic!("{ctx}: encoder failed: {e}"))
+            .encode(&refs)
+            .unwrap_or_else(|e| panic!("{ctx}: encode failed: {e}"));
+        assert_eq!(
+            parity.len(),
+            layout.num_blocks(),
+            "{ctx}: encoder must yield parity for every block"
+        );
+        let mut payloads = Vec::with_capacity(layout.total_packets() as usize);
+        let mut src_off = 0usize;
+        for (b, block_parity) in parity.iter().enumerate() {
+            let (kb, nb) = layout.block(b);
+            assert_eq!(block_parity.len(), nb - kb, "{ctx}: block {b} parity count");
+            payloads.extend_from_slice(&source[src_off..src_off + kb]);
+            for p in block_parity {
+                assert_eq!(p.len(), SYMBOL_SIZE, "{ctx}: parity symbol size");
+                payloads.push(p.clone());
+            }
+            src_off += kb;
+        }
+        (EncodedObject { layout, payloads }, object)
+    }
+
+    fn payload(&self, r: PacketRef) -> &[u8] {
+        &self.payloads[self.layout.global_index(r) as usize]
+    }
+}
+
+fn decode_sequence(
+    code: &CodecHandle,
+    enc: &EncodedObject,
+    k: usize,
+    ratio: f64,
+    sequence: &[PacketRef],
+    ctx: &str,
+) -> Option<Vec<u8>> {
+    let params = SessionParams {
+        k,
+        ratio,
+        symbol_size: SYMBOL_SIZE,
+        seed: SEED,
+    };
+    let mut dec = code
+        .decoder(&params)
+        .unwrap_or_else(|e| panic!("{ctx}: decoder failed: {e}"));
+    let mut fed = 0u64;
+    for &r in sequence {
+        let progress = dec
+            .add_symbol(r, enc.payload(r))
+            .unwrap_or_else(|e| panic!("{ctx}: add_symbol failed: {e}"));
+        fed += 1;
+        assert_eq!(progress.received, fed, "{ctx}: received must count pushes");
+        assert_eq!(progress.total_source, k, "{ctx}: total_source");
+        if progress.is_decoded() {
+            let mut out: Vec<u8> = dec
+                .into_source()
+                .unwrap_or_else(|e| panic!("{ctx}: into_source failed: {e}"))
+                .concat();
+            out.truncate(k * SYMBOL_SIZE - 5);
+            return Some(out);
+        }
+    }
+    assert!(
+        !dec.progress().is_decoded(),
+        "{ctx}: is_decoded and loop disagree"
+    );
+    assert!(
+        dec.into_source().is_err(),
+        "{ctx}: into_source before completion must fail"
+    );
+    None
+}
+
+/// Checks one `(k, ratio)` shape across schedules and stream corruptions.
+pub fn check_shape(code: &CodecHandle, k: usize, ratio: f64) {
+    let ctx = format!("{}(k={k}, ratio={ratio})", code.id());
+    let (enc, object) = EncodedObject::build(code, k, ratio);
+
+    // Every paper schedule, loss-free. Schedules that deliver the whole
+    // object (Tx1–Tx5 are permutations of all n packets) must decode to
+    // the exact bytes; partial schedules (Tx6 sends only 20% of the
+    // source) must at least never mis-decode or panic.
+    for tx in TxModel::paper_models() {
+        let schedule = tx.schedule(&enc.layout, 7);
+        let complete = schedule.len() as u64 == enc.layout.total_packets();
+        match decode_sequence(code, &enc, k, ratio, &schedule, &ctx) {
+            Some(got) => assert_eq!(got, object, "{ctx}: {} byte mismatch", tx.name()),
+            None => assert!(
+                !complete,
+                "{ctx}: {} failed despite delivering every packet",
+                tx.name()
+            ),
+        }
+    }
+
+    // Deterministic loss: drop every 8th packet of a random schedule
+    // (skipped for layouts too small to absorb any loss).
+    let schedule = TxModel::Random.schedule(&enc.layout, 11);
+    let lossy: Vec<PacketRef> = if enc.layout.total_packets() >= 2 * k as u64 {
+        schedule
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| (i % 8 != 0).then_some(r))
+            .collect()
+    } else {
+        schedule.clone()
+    };
+    let got = decode_sequence(code, &enc, k, ratio, &lossy, &ctx)
+        .unwrap_or_else(|| panic!("{ctx}: failed under deterministic loss"));
+    assert_eq!(got, object, "{ctx}: lossy byte mismatch");
+
+    // Duplicates: every packet twice, interleaved — harmless.
+    let doubled: Vec<PacketRef> = schedule.iter().flat_map(|&r| [r, r]).collect();
+    let got = decode_sequence(code, &enc, k, ratio, &doubled, &ctx)
+        .unwrap_or_else(|| panic!("{ctx}: failed with duplicated stream"));
+    assert_eq!(got, object, "{ctx}: duplicate byte mismatch");
+
+    // Out of order: the reversed schedule is as adversarial as it gets for
+    // sequential designs.
+    let reversed: Vec<PacketRef> = schedule.iter().rev().copied().collect();
+    let got = decode_sequence(code, &enc, k, ratio, &reversed, &ctx)
+        .unwrap_or_else(|| panic!("{ctx}: failed with reversed stream"));
+    assert_eq!(got, object, "{ctx}: reversed byte mismatch");
+
+    // Truncated: fewer than k symbols can never complete.
+    let truncated = &schedule[..k - 1];
+    assert!(
+        decode_sequence(code, &enc, k, ratio, truncated, &ctx).is_none(),
+        "{ctx}: decoded from k-1 symbols (violates information limit)"
+    );
+
+    // Batched entry point must agree with the one-by-one path.
+    let params = SessionParams {
+        k,
+        ratio,
+        symbol_size: SYMBOL_SIZE,
+        seed: SEED,
+    };
+    let mut batched = code.decoder(&params).expect("decoder");
+    let batch: Vec<Symbol<'_>> = schedule
+        .iter()
+        .map(|&r| Symbol {
+            packet: r,
+            payload: enc.payload(r),
+        })
+        .collect();
+    let progress = batched.add_symbols(&batch).expect("batched add");
+    assert!(progress.is_decoded(), "{ctx}: batched path failed");
+    assert_eq!(
+        progress.received,
+        schedule.len() as u64,
+        "{ctx}: batched received count"
+    );
+    let mut got: Vec<u8> = batched.into_source().expect("batched source").concat();
+    got.truncate(object.len());
+    assert_eq!(got, object, "{ctx}: batched byte mismatch");
+
+    // Structural sessions must agree with the payload decoder on *when*
+    // decoding completes (same structure seed, same sequence).
+    let factory = code
+        .structural_factory(k, ratio, &[SEED])
+        .unwrap_or_else(|e| panic!("{ctx}: structural_factory failed: {e}"));
+    let mut structural = factory.session(0);
+    let mut payload_dec = code.decoder(&params).expect("decoder");
+    let mut structural_at = None;
+    let mut payload_at = None;
+    for (i, &r) in lossy.iter().enumerate() {
+        if structural_at.is_none() && structural.add(r) {
+            structural_at = Some(i);
+        }
+        if payload_at.is_none()
+            && payload_dec
+                .add_symbol(r, enc.payload(r))
+                .expect("add_symbol")
+                .is_decoded()
+        {
+            payload_at = Some(i);
+        }
+        if structural_at.is_some() && payload_at.is_some() {
+            break;
+        }
+    }
+    assert_eq!(
+        structural_at, payload_at,
+        "{ctx}: structural and payload decoders disagree on completion"
+    );
+}
+
+/// The `(k, ratio)` shapes [`check`] exercises: a mid-size shape per paper
+/// ratio plus the corners of the codec's declared envelope (clamped to
+/// `MAX_TEST_K` (300) so huge envelopes stay testable).
+pub fn shapes(code: &CodecHandle) -> Vec<(usize, f64)> {
+    let env = code.envelope();
+    let mut out = Vec::new();
+    let mut push = |k: usize, ratio: f64| {
+        if code.supports(k, ratio) && !out.contains(&(k, ratio)) {
+            out.push((k, ratio));
+        }
+    };
+    // Paper ratios at a mid-size k (multi-block for segmented codes).
+    for ratio in [1.5, 2.5] {
+        push(120, ratio);
+        push(250, ratio);
+    }
+    // Envelope corners: smallest and (clamped) largest k, at the lowest
+    // usable ratio and a high ratio.
+    let hi_ratio = env.max_ratio.min(4.0);
+    let max_k = env.max_k.min(MAX_TEST_K);
+    for k in [env.min_k, max_k] {
+        // The lowest ratio the codec actually supports at this k.
+        if let Some(lo) = [env.min_ratio, 1.25, 1.5, 2.0, 2.5, 4.0, 5.0, 8.0]
+            .into_iter()
+            .find(|&r| r >= env.min_ratio && r <= env.max_ratio && code.supports(k, r))
+        {
+            push(k, lo);
+        }
+        push(k, hi_ratio);
+    }
+    assert!(
+        !out.is_empty(),
+        "{}: envelope admits no testable shape",
+        code.id()
+    );
+    out
+}
+
+/// Runs the full conformance suite against one codec. Panics on the first
+/// violation.
+pub fn check(code: &CodecHandle) {
+    let env = code.envelope();
+    assert!(env.min_k >= 1, "{}: envelope min_k must be >= 1", code.id());
+    assert!(
+        env.min_k <= env.max_k && env.min_ratio <= env.max_ratio,
+        "{}: envelope is inverted",
+        code.id()
+    );
+    assert!(
+        !code.id().is_empty() && code.id().chars().all(|c| !c.is_whitespace()),
+        "{}: id must be a machine token",
+        code.id()
+    );
+    for (k, ratio) in shapes(code) {
+        check_shape(code, k, ratio);
+    }
+    // Out-of-envelope geometry must be rejected, not mis-encoded.
+    assert!(
+        code.layout(0, 1.5).is_err(),
+        "{}: k = 0 must be rejected",
+        code.id()
+    );
+    assert!(
+        code.layout(10, 0.5).is_err(),
+        "{}: ratio < 1 must be rejected",
+        code.id()
+    );
+    assert!(
+        code.layout(10, f64::NAN).is_err(),
+        "{}: NaN ratio must be rejected",
+        code.id()
+    );
+}

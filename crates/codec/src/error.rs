@@ -1,0 +1,183 @@
+//! The codec layer's error type.
+
+use core::fmt;
+use std::error::Error;
+
+/// Boxed inner error preserved on the [`CodecError::source`] chain.
+pub type BoxedError = Box<dyn Error + Send + Sync + 'static>;
+
+/// Errors from codec construction, registry lookups and coding sessions.
+///
+/// Variants that wrap a lower-level codec error (an `LdgmError`, an
+/// `RseError`, a third-party implementation's error…) keep it on the
+/// standard [`Error::source`] chain, so callers can walk down to the root
+/// cause with `anyhow`-style iteration instead of parsing strings.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The `(k, ratio)` geometry is outside what this code supports.
+    UnsupportedGeometry {
+        /// Codec id.
+        code: String,
+        /// Requested number of source symbols.
+        k: usize,
+        /// Requested expansion ratio `n/k`.
+        ratio: f64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Building the code structure (matrix, generator, partition) failed.
+    Construction {
+        /// Codec id.
+        code: String,
+        /// The underlying error.
+        source: BoxedError,
+    },
+    /// Encoding failed.
+    Encode {
+        /// Codec id.
+        code: String,
+        /// The underlying error.
+        source: BoxedError,
+    },
+    /// A decoder session rejected a symbol or failed to make progress.
+    Decode {
+        /// Codec id.
+        code: String,
+        /// The underlying error.
+        source: BoxedError,
+    },
+    /// `into_source` was called before the object was decodable.
+    NotDecoded {
+        /// Source symbols recovered so far.
+        decoded: usize,
+        /// Source symbols needed (`k`).
+        needed: usize,
+    },
+    /// A registry lookup found no codec for the given name or alias.
+    UnknownCodec {
+        /// The token that failed to resolve.
+        token: String,
+    },
+    /// A registry lookup found no codec for the given FTI codepoint.
+    UnknownFti {
+        /// The FEC Encoding ID that failed to resolve.
+        fti: u8,
+    },
+    /// Registration would shadow an existing codec name, alias or FTI id.
+    DuplicateCodec {
+        /// The conflicting token or codepoint description.
+        token: String,
+    },
+}
+
+impl CodecError {
+    /// Shorthand for wrapping a lower-level construction failure.
+    pub fn construction(
+        code: &dyn crate::ErasureCode,
+        source: impl Into<BoxedError>,
+    ) -> CodecError {
+        CodecError::Construction {
+            code: code.id().to_string(),
+            source: source.into(),
+        }
+    }
+
+    /// Shorthand for wrapping a lower-level encode failure.
+    pub fn encode(code: &dyn crate::ErasureCode, source: impl Into<BoxedError>) -> CodecError {
+        CodecError::Encode {
+            code: code.id().to_string(),
+            source: source.into(),
+        }
+    }
+
+    /// Shorthand for wrapping a lower-level decode failure.
+    pub fn decode(code: &dyn crate::ErasureCode, source: impl Into<BoxedError>) -> CodecError {
+        CodecError::Decode {
+            code: code.id().to_string(),
+            source: source.into(),
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnsupportedGeometry {
+                code,
+                k,
+                ratio,
+                reason,
+            } => write!(
+                f,
+                "{code}: unsupported geometry k = {k}, ratio = {ratio}: {reason}"
+            ),
+            CodecError::Construction { code, .. } => write!(f, "{code}: construction failed"),
+            CodecError::Encode { code, .. } => write!(f, "{code}: encoding failed"),
+            CodecError::Decode { code, .. } => write!(f, "{code}: decoding failed"),
+            CodecError::NotDecoded { decoded, needed } => {
+                write!(
+                    f,
+                    "object not decoded yet ({decoded}/{needed} source symbols)"
+                )
+            }
+            CodecError::UnknownCodec { token } => {
+                write!(f, "no registered codec matches {token:?}")
+            }
+            CodecError::UnknownFti { fti } => {
+                write!(f, "no registered codec carries FEC Encoding ID {fti}")
+            }
+            CodecError::DuplicateCodec { token } => {
+                write!(f, "a codec is already registered for {token}")
+            }
+        }
+    }
+}
+
+impl Error for CodecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodecError::Construction { source, .. }
+            | CodecError::Encode { source, .. }
+            | CodecError::Decode { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Inner;
+    impl fmt::Display for Inner {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("inner cause")
+        }
+    }
+    impl Error for Inner {}
+
+    #[test]
+    fn source_chain_reaches_the_inner_error() {
+        let e = CodecError::Construction {
+            code: "rse".into(),
+            source: Box::new(Inner),
+        };
+        let src = e.source().expect("wrapped errors expose a source");
+        assert_eq!(src.to_string(), "inner cause");
+        assert!(e.to_string().contains("rse"));
+    }
+
+    #[test]
+    fn leaf_variants_have_no_source() {
+        let e = CodecError::UnknownCodec { token: "x".into() };
+        assert!(e.source().is_none());
+        assert!(CodecError::NotDecoded {
+            decoded: 1,
+            needed: 2
+        }
+        .source()
+        .is_none());
+    }
+}

@@ -1,0 +1,159 @@
+//! Pre-registry experiment vocabulary, kept for compatibility.
+
+use core::fmt;
+
+use fec_ldgm::RightSide;
+use serde::{Deserialize, Serialize};
+
+use crate::{builtin, CodecHandle};
+
+/// The FEC codes compared by the paper (plus plain LDGM for ablations).
+///
+/// **Deprecated alias.** `CodeKind` predates the pluggable codec layer: it
+/// survives only as a closed shorthand for the built-in codecs, and every
+/// method resolves through the registry handles. New code (and anything
+/// that must accept third-party codecs) should hold an
+/// `Arc<dyn ErasureCode>` — obtained from [`builtin`], from
+/// [`registry::resolve`](crate::registry::resolve), or via
+/// `CodeKind::resolve`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodeKind {
+    /// Reed-Solomon erasure over GF(2^8), blocked per RFC 5052 when the
+    /// object exceeds one block.
+    Rse,
+    /// LDGM Staircase (large block).
+    LdgmStaircase,
+    /// LDGM Triangle (large block).
+    LdgmTriangle,
+    /// Plain LDGM (identity right side) — the ablation baseline; the paper
+    /// introduces it (§2.3.1) but does not evaluate it.
+    LdgmPlain,
+}
+
+impl CodeKind {
+    /// The three codes evaluated in the paper, in paper order.
+    pub fn paper_codes() -> [CodeKind; 3] {
+        [
+            CodeKind::Rse,
+            CodeKind::LdgmStaircase,
+            CodeKind::LdgmTriangle,
+        ]
+    }
+
+    /// The registry handle this shorthand denotes.
+    pub fn resolve(self) -> CodecHandle {
+        match self {
+            CodeKind::Rse => builtin::rse(),
+            CodeKind::LdgmStaircase => builtin::ldgm_staircase(),
+            CodeKind::LdgmTriangle => builtin::ldgm_triangle(),
+            CodeKind::LdgmPlain => builtin::ldgm_plain(),
+        }
+    }
+
+    /// Short name used in reports (matches the paper's terminology).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CodeKind::Rse => "RSE",
+            CodeKind::LdgmStaircase => "LDGM Staircase",
+            CodeKind::LdgmTriangle => "LDGM Triangle",
+            CodeKind::LdgmPlain => "LDGM",
+        }
+    }
+
+    /// Whether this is a single-block (large block) code.
+    pub fn is_large_block(&self) -> bool {
+        self.resolve().is_large_block()
+    }
+
+    /// The LDGM right-side shape, if this is an LDGM variant.
+    pub fn ldgm_right_side(&self) -> Option<RightSide> {
+        match self {
+            CodeKind::Rse => None,
+            CodeKind::LdgmStaircase => Some(RightSide::Staircase),
+            CodeKind::LdgmTriangle => Some(RightSide::Triangle),
+            CodeKind::LdgmPlain => Some(RightSide::Identity),
+        }
+    }
+}
+
+impl fmt::Display for CodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// FEC expansion ratio `n/k` (§2.1; the inverse of the code rate).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExpansionRatio {
+    /// `n/k = 1.5` (code rate 2/3).
+    R1_5,
+    /// `n/k = 2.5` (code rate 2/5).
+    R2_5,
+    /// Any other ratio `>= 1` (used by ablations).
+    Custom(f64),
+}
+
+impl ExpansionRatio {
+    /// The two ratios studied throughout the paper.
+    pub fn paper_ratios() -> [ExpansionRatio; 2] {
+        [ExpansionRatio::R1_5, ExpansionRatio::R2_5]
+    }
+
+    /// The numeric value.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            ExpansionRatio::R1_5 => 1.5,
+            ExpansionRatio::R2_5 => 2.5,
+            ExpansionRatio::Custom(r) => r,
+        }
+    }
+}
+
+impl fmt::Display for ExpansionRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vocabulary() {
+        assert_eq!(CodeKind::paper_codes().len(), 3);
+        assert_eq!(ExpansionRatio::R1_5.as_f64(), 1.5);
+        assert_eq!(ExpansionRatio::R2_5.as_f64(), 2.5);
+        assert_eq!(CodeKind::Rse.name(), "RSE");
+        assert!(!CodeKind::Rse.is_large_block());
+        assert!(CodeKind::LdgmTriangle.is_large_block());
+    }
+
+    #[test]
+    fn kind_resolves_to_registry_handles() {
+        for kind in CodeKind::paper_codes() {
+            let code = kind.resolve();
+            assert_eq!(code, kind, "handle/kind equality");
+            assert_eq!(code.name(), kind.name(), "paper names preserved");
+        }
+        assert!(CodeKind::LdgmPlain.resolve().fti_id().is_none());
+    }
+
+    #[test]
+    fn kind_serde_tokens_are_wire_stable() {
+        for (kind, token) in [
+            (CodeKind::Rse, "Rse"),
+            (CodeKind::LdgmStaircase, "LdgmStaircase"),
+            (CodeKind::LdgmTriangle, "LdgmTriangle"),
+            (CodeKind::LdgmPlain, "LdgmPlain"),
+        ] {
+            assert_eq!(kind.resolve().serde_token(), token);
+            // The enum itself still serializes to the same token.
+            assert_eq!(
+                kind.to_value(),
+                serde::Value::String(token.to_string()),
+                "{kind:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The shared conformance suite, run against every built-in codec.
+
+use fec_codec::{builtin, conformance, registry};
+
+#[test]
+fn rse_conforms() {
+    conformance::check(&builtin::rse());
+}
+
+#[test]
+fn ldgm_staircase_conforms() {
+    conformance::check(&builtin::ldgm_staircase());
+}
+
+#[test]
+fn ldgm_triangle_conforms() {
+    conformance::check(&builtin::ldgm_triangle());
+}
+
+#[test]
+fn every_registered_recommendable_codec_conforms() {
+    // The same property the paper's methodology relies on: anything the
+    // recommenders may pick behaves like a codec under every schedule.
+    for code in registry::candidates() {
+        conformance::check(&code);
+    }
+}

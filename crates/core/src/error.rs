@@ -4,6 +4,7 @@ use core::fmt;
 
 /// Errors from session construction, packet handling and decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A [`crate::CodeSpec`] is internally inconsistent.
     BadSpec {

@@ -37,7 +37,7 @@ pub use carousel::Carousel;
 pub use error::CoreError;
 pub use packet::{Packet, PACKET_HEADER_LEN};
 pub use plan::{optimal_n_sent, TransmissionPlan};
-pub use receiver::{DecodeProgress, Receiver};
+pub use receiver::Receiver;
 pub use recommend::{
     recommend, recommend_known, ChannelKnowledge, MeasuredChoice, MeasuredSelector, Recommendation,
 };
@@ -45,5 +45,5 @@ pub use sender::Sender;
 pub use spec::CodeSpec;
 
 // Re-export the vocabulary types so applications need only this crate.
+pub use fec_codec::{CodeKind, CodecHandle, DecodeProgress, ErasureCode, ExpansionRatio};
 pub use fec_sched::{RxModel, TxModel};
-pub use fec_sim::{CodeKind, ExpansionRatio};

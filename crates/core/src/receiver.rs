@@ -1,76 +1,27 @@
 //! The receiving side of a broadcast session.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use bytes::Bytes;
-use fec_ldgm::{Decoder as LdgmDecoder, LdgmParams, SparseMatrix};
-use fec_rse::RseCodec;
+use fec_codec::{Decoder, Symbol};
 use fec_sched::Layout;
 
-use crate::{CodeSpec, CoreError, Packet};
-
-/// Decoding progress after a push.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DecodeProgress {
-    /// Packets pushed so far (duplicates included) — the quantity whose
-    /// final value is the paper's `n_necessary_for_decoding`.
-    pub received: u64,
-    /// Source packets recovered so far.
-    pub decoded_source: usize,
-    /// Source packets needed (`k`).
-    pub total_source: usize,
-}
-
-impl DecodeProgress {
-    /// True once the full object can be reassembled.
-    pub fn is_decoded(&self) -> bool {
-        self.decoded_source == self.total_source
-    }
-
-    /// The running inefficiency ratio `received / k` (meaningful once
-    /// decoded).
-    pub fn inefficiency(&self) -> f64 {
-        self.received as f64 / self.total_source as f64
-    }
-}
-
-/// Per-block reception state for blocked RSE.
-struct RseBlock {
-    k: usize,
-    /// Distinct received `(esi, payload)` pairs (until decoded).
-    packets: Vec<(u32, Bytes)>,
-    /// Which ESIs were seen (duplicate filter).
-    seen: Vec<bool>,
-    /// Distinct *source* packets among them (already-known symbols).
-    src_received: usize,
-    /// Recovered source symbols once `k` packets arrived.
-    solved: Option<Vec<Bytes>>,
-}
-
-enum DecoderState {
-    Ldgm(LdgmDecoder),
-    Rse {
-        codecs: HashMap<(usize, usize), RseCodec>,
-        blocks: Vec<RseBlock>,
-        decoded_source: usize,
-    },
-}
+use crate::{CodeSpec, CoreError, DecodeProgress, Packet};
 
 /// A decoding session: push packets in any order until the object is whole.
+///
+/// The session validates packets against the layout and symbol size, then
+/// delegates to the spec's codec [`Decoder`] — any registered
+/// [`ErasureCode`](fec_codec::ErasureCode) works here unchanged.
 pub struct Receiver {
     spec: CodeSpec,
     layout: Layout,
     symbol_size: usize,
     object_len: usize,
-    received: u64,
-    state: DecoderState,
+    decoder: Box<dyn Decoder>,
 }
 
 impl Receiver {
     /// Creates a receiver for an object of `object_len` bytes under `spec`.
     ///
-    /// For LDGM codes this rebuilds the sender's matrix from
+    /// For seeded codes (LDGM) this rebuilds the sender's structure from
     /// `spec.matrix_seed` — the only shared state the scheme needs.
     pub fn new(
         spec: CodeSpec,
@@ -79,47 +30,23 @@ impl Receiver {
     ) -> Result<Receiver, CoreError> {
         spec.validate_object(object_len, symbol_size)?;
         let layout = spec.layout()?;
-        let state = match spec.kind.ldgm_right_side() {
-            Some(right) => {
-                let (k, n) = layout.block(0);
-                let matrix = SparseMatrix::build(LdgmParams::new(k, n, right, spec.matrix_seed))
-                    .map_err(|e| CoreError::Codec {
-                        detail: e.to_string(),
-                    })?;
-                DecoderState::Ldgm(LdgmDecoder::new(Arc::new(matrix), symbol_size))
-            }
-            None => {
-                let blocks = (0..layout.num_blocks())
-                    .map(|b| {
-                        let (kb, nb) = layout.block(b);
-                        RseBlock {
-                            k: kb,
-                            packets: Vec::with_capacity(kb),
-                            seen: vec![false; nb],
-                            src_received: 0,
-                            solved: None,
-                        }
-                    })
-                    .collect();
-                DecoderState::Rse {
-                    codecs: HashMap::new(),
-                    blocks,
-                    decoded_source: 0,
-                }
-            }
-        };
+        let decoder = spec
+            .code
+            .decoder(&spec.session_params(symbol_size))
+            .map_err(|e| CoreError::Codec {
+                detail: e.to_string(),
+            })?;
         Ok(Receiver {
             spec,
             layout,
             symbol_size,
             object_len,
-            received: 0,
-            state,
+            decoder,
         })
     }
 
-    /// Feeds one packet; duplicates are counted but harmless.
-    pub fn push(&mut self, packet: &Packet) -> Result<DecodeProgress, CoreError> {
+    /// Validates a packet against the session geometry.
+    fn check(&self, packet: &Packet) -> Result<(), CoreError> {
         let r = packet.packet_ref();
         if !self.layout.contains(r) {
             return Err(CoreError::UnknownPacket {
@@ -133,55 +60,37 @@ impl Receiver {
                 got: packet.payload.len(),
             });
         }
-        self.received += 1;
-        match &mut self.state {
-            DecoderState::Ldgm(dec) => {
-                dec.push(r.esi, &packet.payload)
-                    .map_err(|e| CoreError::Codec {
-                        detail: e.to_string(),
-                    })?;
-            }
-            DecoderState::Rse {
-                codecs,
-                blocks,
-                decoded_source,
-            } => {
-                let block = &mut blocks[r.block as usize];
-                if block.solved.is_none() && !block.seen[r.esi as usize] {
-                    block.seen[r.esi as usize] = true;
-                    block.packets.push((r.esi, packet.payload.clone()));
-                    if (r.esi as usize) < block.k {
-                        // A systematic source symbol is known the moment it
-                        // arrives, before the block as a whole decodes.
-                        block.src_received += 1;
-                        *decoded_source += 1;
-                    }
-                    if block.packets.len() == block.k {
-                        let (kb, nb) = self.layout.block(r.block as usize);
-                        let codec = match codecs.entry((kb, nb)) {
-                            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                e.insert(RseCodec::new(kb, nb).map_err(|e| CoreError::Codec {
-                                    detail: e.to_string(),
-                                })?)
-                            }
-                        };
-                        let refs: Vec<(u32, &[u8])> = block
-                            .packets
-                            .iter()
-                            .map(|(esi, b)| (*esi, b.as_ref()))
-                            .collect();
-                        let solved = codec.decode(&refs).map_err(|e| CoreError::Codec {
-                            detail: e.to_string(),
-                        })?;
-                        block.solved = Some(solved.into_iter().map(Bytes::from).collect());
-                        block.packets = Vec::new(); // free buffered payloads
-                        *decoded_source += kb - block.src_received;
-                    }
-                }
-            }
+        Ok(())
+    }
+
+    /// Feeds one packet; duplicates are counted but harmless.
+    pub fn push(&mut self, packet: &Packet) -> Result<DecodeProgress, CoreError> {
+        self.check(packet)?;
+        self.decoder
+            .add_symbol(packet.packet_ref(), &packet.payload)
+            .map_err(|e| CoreError::Codec {
+                detail: e.to_string(),
+            })
+    }
+
+    /// Feeds a batch of packets through the codec's batched entry point
+    /// (the hook SIMD/batched decode kernels land behind).
+    pub fn push_batch(&mut self, packets: &[Packet]) -> Result<DecodeProgress, CoreError> {
+        for p in packets {
+            self.check(p)?;
         }
-        Ok(self.progress())
+        let batch: Vec<Symbol<'_>> = packets
+            .iter()
+            .map(|p| Symbol {
+                packet: p.packet_ref(),
+                payload: &p.payload,
+            })
+            .collect();
+        self.decoder
+            .add_symbols(&batch)
+            .map_err(|e| CoreError::Codec {
+                detail: e.to_string(),
+            })
     }
 
     /// Parses wire bytes and pushes the packet.
@@ -192,15 +101,7 @@ impl Receiver {
 
     /// Current progress snapshot.
     pub fn progress(&self) -> DecodeProgress {
-        let decoded_source = match &self.state {
-            DecoderState::Ldgm(dec) => dec.decoded_source(),
-            DecoderState::Rse { decoded_source, .. } => *decoded_source,
-        };
-        DecodeProgress {
-            received: self.received,
-            decoded_source,
-            total_source: self.spec.k,
-        }
+        self.decoder.progress()
     }
 
     /// True once the object is fully recoverable.
@@ -217,21 +118,12 @@ impl Receiver {
                 needed: progress.total_source,
             });
         }
+        let symbols = self.decoder.into_source().map_err(|e| CoreError::Codec {
+            detail: e.to_string(),
+        })?;
         let mut out = Vec::with_capacity(self.spec.k * self.symbol_size);
-        match self.state {
-            DecoderState::Ldgm(dec) => {
-                let symbols = dec.into_source().expect("decoded");
-                for s in symbols {
-                    out.extend_from_slice(&s);
-                }
-            }
-            DecoderState::Rse { blocks, .. } => {
-                for b in blocks {
-                    for s in b.solved.expect("all blocks decoded") {
-                        out.extend_from_slice(&s);
-                    }
-                }
-            }
+        for s in symbols {
+            out.extend_from_slice(&s);
         }
         out.truncate(self.object_len);
         Ok(out)
@@ -243,8 +135,11 @@ impl core::fmt::Debug for Receiver {
         let p = self.progress();
         write!(
             f,
-            "Receiver({:?}, {}/{} source, {} received)",
-            self.spec.kind, p.decoded_source, p.total_source, p.received
+            "Receiver({}, {}/{} source, {} received)",
+            self.spec.code.id(),
+            p.decoded_source,
+            p.total_source,
+            p.received
         )
     }
 }
@@ -253,19 +148,17 @@ impl core::fmt::Debug for Receiver {
 mod tests {
     use super::*;
     use crate::{Sender, TxModel};
-    use fec_sim::{CodeKind, ExpansionRatio};
+    use bytes::Bytes;
+    use fec_codec::{builtin, CodecHandle};
+    use fec_sim::ExpansionRatio;
 
     fn object(len: usize) -> Vec<u8> {
         (0..len).map(|i| (i * 131 % 251) as u8).collect()
     }
 
-    fn roundtrip(kind: CodeKind, k: usize, sym: usize, drop_every: usize) {
-        let spec = CodeSpec {
-            kind,
-            k,
-            ratio: ExpansionRatio::R2_5,
-            matrix_seed: 3,
-        };
+    fn roundtrip(code: CodecHandle, k: usize, sym: usize, drop_every: usize) {
+        let id = code.id().to_string();
+        let spec = CodeSpec::new(code, k, ExpansionRatio::R2_5).with_matrix_seed(3);
         let obj = object(k * sym - sym / 2); // exercise padding
         let sender = Sender::new(spec.clone(), &obj, sym).unwrap();
         let mut rx = Receiver::new(spec, obj.len(), sym).unwrap();
@@ -279,23 +172,23 @@ mod tests {
                 break;
             }
         }
-        assert!(decoded, "{kind:?} failed to decode");
+        assert!(decoded, "{id} failed to decode");
         assert_eq!(rx.into_object().unwrap(), obj);
     }
 
     #[test]
     fn ldgm_staircase_roundtrip_with_losses() {
-        roundtrip(CodeKind::LdgmStaircase, 120, 16, 4);
+        roundtrip(builtin::ldgm_staircase(), 120, 16, 4);
     }
 
     #[test]
     fn ldgm_triangle_roundtrip_with_losses() {
-        roundtrip(CodeKind::LdgmTriangle, 120, 16, 4);
+        roundtrip(builtin::ldgm_triangle(), 120, 16, 4);
     }
 
     #[test]
     fn rse_roundtrip_with_losses() {
-        roundtrip(CodeKind::Rse, 250, 8, 4);
+        roundtrip(builtin::rse(), 250, 8, 4);
     }
 
     #[test]
@@ -310,6 +203,19 @@ mod tests {
                 break;
             }
         }
+        assert_eq!(rx.into_object().unwrap(), obj);
+    }
+
+    #[test]
+    fn batched_push_decodes_too() {
+        let spec = CodeSpec::ldgm_staircase(30, ExpansionRatio::R2_5);
+        let obj = object(30 * 8);
+        let sender = Sender::new(spec.clone(), &obj, 8).unwrap();
+        let mut rx = Receiver::new(spec, obj.len(), 8).unwrap();
+        let pkts = sender.transmission(TxModel::Random, 5);
+        let progress = rx.push_batch(&pkts).unwrap();
+        assert!(progress.is_decoded());
+        assert_eq!(progress.received, pkts.len() as u64);
         assert_eq!(rx.into_object().unwrap(), obj);
     }
 

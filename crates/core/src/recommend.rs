@@ -11,8 +11,9 @@
 //!   [`TransmissionPlan`]s. This is exactly the paper's Fig. 15 workflow.
 
 use fec_channel::{analysis::FeasibilityLimit, GilbertParams};
+use fec_codec::{builtin, registry, CodecHandle};
 use fec_sched::TxModel;
-use fec_sim::{CodeKind, ExpansionRatio, Experiment, Runner, SimError};
+use fec_sim::{ExpansionRatio, Experiment, Runner, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::TransmissionPlan;
@@ -32,7 +33,7 @@ pub enum ChannelKnowledge {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
     /// Recommended code.
-    pub code: CodeKind,
+    pub code: CodecHandle,
     /// Recommended transmission model.
     pub tx: TxModel,
     /// Recommended FEC expansion ratio.
@@ -57,14 +58,14 @@ pub fn recommend(knowledge: ChannelKnowledge) -> Vec<Recommendation> {
     match knowledge {
         ChannelKnowledge::Unknown => vec![
             rec(
-                CodeKind::LdgmTriangle,
+                builtin::ldgm_triangle(),
                 TxModel::Random,
                 ExpansionRatio::R1_5,
                 "Tx_model_4 with LDGM Triangle is the least dependent on the loss \
                  distribution; all receivers see almost the same performance (§6.2.2)",
             ),
             rec(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 TxModel::tx6_paper(),
                 ExpansionRatio::R2_5,
                 "Tx_model_6 with LDGM Staircase is the other distribution-insensitive \
@@ -72,7 +73,7 @@ pub fn recommend(knowledge: ChannelKnowledge) -> Vec<Recommendation> {
                  packets are sent",
             ),
             rec(
-                CodeKind::Rse,
+                builtin::rse(),
                 TxModel::Interleaved,
                 ExpansionRatio::R2_5,
                 "RSE with interleaving works everywhere but performance differs \
@@ -81,14 +82,14 @@ pub fn recommend(knowledge: ChannelKnowledge) -> Vec<Recommendation> {
         ],
         ChannelKnowledge::UnknownHighLoss => vec![
             rec(
-                CodeKind::LdgmTriangle,
+                builtin::ldgm_triangle(),
                 TxModel::Random,
                 ExpansionRatio::R2_5,
                 "Tx_model_4 is preferred when, additionally, very high loss rates \
                  are suspected (§6.1); ratio 2.5 maximises the feasible region",
             ),
             rec(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 TxModel::Random,
                 ExpansionRatio::R2_5,
                 "LDGM Staircase under Tx_model_4 is flat across the grid, slightly \
@@ -122,14 +123,14 @@ pub fn recommend_known(params: GilbertParams, p_global_upper: f64) -> Vec<Recomm
     };
     if p_global < 0.05 {
         out.push(rec(
-            CodeKind::LdgmStaircase,
+            builtin::ldgm_staircase(),
             TxModel::SourceSeqParityRandom,
             ratio,
             "low loss: Tx_model_2 with LDGM Staircase is the paper's best \
              tuple in this regime (§6.2.1, Fig. 15)",
         ));
         out.push(rec(
-            CodeKind::LdgmTriangle,
+            builtin::ldgm_triangle(),
             TxModel::Random,
             ratio,
             "robust runner-up, much less sensitive to a mis-estimated \
@@ -137,14 +138,14 @@ pub fn recommend_known(params: GilbertParams, p_global_upper: f64) -> Vec<Recomm
         ));
     } else {
         out.push(rec(
-            CodeKind::LdgmTriangle,
+            builtin::ldgm_triangle(),
             TxModel::Random,
             ratio,
             "medium/high loss: Tx_model_4 with LDGM Triangle gives the best \
              and most stable inefficiency (§4.6)",
         ));
         out.push(rec(
-            CodeKind::LdgmStaircase,
+            builtin::ldgm_staircase(),
             TxModel::tx6_paper(),
             ExpansionRatio::R2_5,
             "Tx_model_6 with LDGM Staircase is flat across loss patterns \
@@ -152,7 +153,7 @@ pub fn recommend_known(params: GilbertParams, p_global_upper: f64) -> Vec<Recomm
         ));
     }
     out.push(rec(
-        CodeKind::Rse,
+        builtin::rse(),
         TxModel::Interleaved,
         ExpansionRatio::R2_5,
         "if RSE must be used (e.g. codec availability), always interleave \
@@ -162,7 +163,7 @@ pub fn recommend_known(params: GilbertParams, p_global_upper: f64) -> Vec<Recomm
 }
 
 /// Builds one [`Recommendation`] (shared by both rule entry points).
-fn rec(code: CodeKind, tx: TxModel, ratio: ExpansionRatio, rationale: &str) -> Recommendation {
+fn rec(code: CodecHandle, tx: TxModel, ratio: ExpansionRatio, rationale: &str) -> Recommendation {
     Recommendation {
         code,
         tx,
@@ -175,7 +176,7 @@ fn rec(code: CodeKind, tx: TxModel, ratio: ExpansionRatio, rationale: &str) -> R
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MeasuredChoice {
     /// Candidate code.
-    pub code: CodeKind,
+    pub code: CodecHandle,
     /// Candidate transmission model.
     pub tx: TxModel,
     /// Candidate expansion ratio.
@@ -212,34 +213,27 @@ pub struct MeasuredSelector {
     /// Safety margin added to each plan's `n_sent` (the paper's ε).
     pub tolerance: u64,
     /// Candidate tuples to evaluate.
-    pub candidates: Vec<(CodeKind, TxModel, ExpansionRatio)>,
+    pub candidates: Vec<(CodecHandle, TxModel, ExpansionRatio)>,
 }
 
 impl MeasuredSelector {
-    /// A sensible default: the paper's §6.1 shortlist at both ratios.
+    /// A sensible default: every recommendable codec in the global
+    /// registry, paired with its own
+    /// [`candidate_tuples`](fec_codec::ErasureCode::candidate_tuples)
+    /// (for the built-ins this reproduces the paper's §6.1 shortlist at
+    /// both ratios, Tx6 included for Staircase). A third-party codec joins
+    /// the selection simply by being registered; tuples outside a codec's
+    /// supported `(k, ratio)` envelope are skipped rather than failing the
+    /// whole selection.
     pub fn new(k: usize, runs: u32) -> MeasuredSelector {
         let mut candidates = Vec::new();
-        for ratio in ExpansionRatio::paper_ratios() {
-            candidates.push((
-                CodeKind::LdgmStaircase,
-                TxModel::SourceSeqParityRandom,
-                ratio,
-            ));
-            candidates.push((
-                CodeKind::LdgmTriangle,
-                TxModel::SourceSeqParityRandom,
-                ratio,
-            ));
-            candidates.push((CodeKind::LdgmStaircase, TxModel::Random, ratio));
-            candidates.push((CodeKind::LdgmTriangle, TxModel::Random, ratio));
-            candidates.push((CodeKind::Rse, TxModel::Interleaved, ratio));
+        for code in registry::candidates() {
+            for (tx, ratio) in code.candidate_tuples() {
+                if code.supports(k, ratio.as_f64()) {
+                    candidates.push((code.clone(), tx, ratio));
+                }
+            }
         }
-        // Tx6 needs the high ratio (only 20% of source packets are sent).
-        candidates.push((
-            CodeKind::LdgmStaircase,
-            TxModel::tx6_paper(),
-            ExpansionRatio::R2_5,
-        ));
         MeasuredSelector {
             k,
             runs,
@@ -254,8 +248,9 @@ impl MeasuredSelector {
     /// the wire wins — this is the actual bandwidth cost of reliability).
     pub fn select(&self, channel: GilbertParams) -> Result<Vec<MeasuredChoice>, SimError> {
         let mut out = Vec::with_capacity(self.candidates.len());
-        for (idx, &(code, tx, ratio)) in self.candidates.iter().enumerate() {
-            let exp = Experiment::new(code, self.k, ratio, tx).with_channel(channel);
+        for (idx, (code, tx, ratio)) in self.candidates.iter().enumerate() {
+            let (code, tx, ratio) = (code.clone(), *tx, *ratio);
+            let exp = Experiment::new(code.clone(), self.k, ratio, tx).with_channel(channel);
             let runner = Runner::new(exp, Runner::DEFAULT_MATRIX_POOL.min(self.runs as usize))?;
             let mut failures = 0u32;
             let mut sum = 0.0f64;
@@ -307,12 +302,15 @@ impl MeasuredSelector {
             key(a)
                 .partial_cmp(&key(b))
                 .expect("finite keys")
-                // Tie-break: prefer LDGM (an order of magnitude faster, §6.2).
-                .then_with(|| match (a.code, b.code) {
-                    (CodeKind::Rse, c) if c != CodeKind::Rse => std::cmp::Ordering::Greater,
-                    (c, CodeKind::Rse) if c != CodeKind::Rse => std::cmp::Ordering::Less,
-                    _ => std::cmp::Ordering::Equal,
-                })
+                // Tie-break: prefer large-block codes (an order of
+                // magnitude faster to decode than blocked MDS, §6.2).
+                .then_with(
+                    || match (a.code.is_large_block(), b.code.is_large_block()) {
+                        (false, true) => std::cmp::Ordering::Greater,
+                        (true, false) => std::cmp::Ordering::Less,
+                        _ => std::cmp::Ordering::Equal,
+                    },
+                )
         });
         Ok(out)
     }
@@ -321,6 +319,7 @@ impl MeasuredSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fec_sim::CodeKind;
 
     #[test]
     fn unknown_channel_prefers_triangle_tx4() {

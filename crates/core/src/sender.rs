@@ -1,10 +1,6 @@
 //! The sending side of a broadcast session.
 
-use std::collections::HashMap;
-
 use bytes::Bytes;
-use fec_ldgm::{Encoder as LdgmEncoder, LdgmParams, SparseMatrix};
-use fec_rse::RseCodec;
 use fec_sched::{Layout, PacketRef, TxModel};
 
 use crate::{CodeSpec, CoreError, Packet};
@@ -12,8 +8,9 @@ use crate::{CodeSpec, CoreError, Packet};
 /// A fully-encoded object, ready to emit packets in any schedule.
 ///
 /// Construction performs the complete FEC encoding (source symbol split +
-/// all parity symbols), so `packet()` is a cheap lookup afterwards — the
-/// natural shape for a carousel sender that cycles its schedule.
+/// all parity symbols) through the spec's codec session, so `packet()` is
+/// a cheap lookup afterwards — the natural shape for a carousel sender
+/// that cycles its schedule.
 pub struct Sender {
     spec: CodeSpec,
     layout: Layout,
@@ -54,50 +51,19 @@ impl Sender {
             off += layout.block(b).0;
         }
 
-        // Encode parity.
-        let parity = match spec.kind.ldgm_right_side() {
-            Some(right) => {
-                let (k, n) = layout.block(0);
-                let matrix = SparseMatrix::build(LdgmParams::new(k, n, right, spec.matrix_seed))
-                    .map_err(|e| CoreError::Codec {
-                        detail: e.to_string(),
-                    })?;
-                let refs: Vec<&[u8]> = source.iter().map(|s| s.as_ref()).collect();
-                let parity =
-                    LdgmEncoder::new(&matrix)
-                        .encode(&refs)
-                        .map_err(|e| CoreError::Codec {
-                            detail: e.to_string(),
-                        })?;
-                vec![parity.into_iter().map(Bytes::from).collect()]
-            }
-            None => {
-                // Blocked RSE: at most two distinct (k_b, n_b) shapes exist
-                // (RFC 5052), so cache codecs by shape.
-                let mut codecs: HashMap<(usize, usize), RseCodec> = HashMap::new();
-                let mut all = Vec::with_capacity(layout.num_blocks());
-                for (b, &start) in block_src_offset.iter().enumerate() {
-                    let (kb, nb) = layout.block(b);
-                    let codec = match codecs.entry((kb, nb)) {
-                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(RseCodec::new(kb, nb).map_err(|e| CoreError::Codec {
-                                detail: e.to_string(),
-                            })?)
-                        }
-                    };
-                    let refs: Vec<&[u8]> = source[start..start + kb]
-                        .iter()
-                        .map(|s| s.as_ref())
-                        .collect();
-                    let parity = codec.encode_refs(&refs).map_err(|e| CoreError::Codec {
-                        detail: e.to_string(),
-                    })?;
-                    all.push(parity.into_iter().map(Bytes::from).collect());
-                }
-                all
-            }
-        };
+        // Encode parity through the codec session.
+        let refs: Vec<&[u8]> = source.iter().map(|s| s.as_ref()).collect();
+        let parity = spec
+            .code
+            .encoder(&spec.session_params(symbol_size))
+            .and_then(|mut enc| enc.encode(&refs))
+            .map_err(|e| CoreError::Codec {
+                detail: e.to_string(),
+            })?;
+        let parity: Vec<Vec<Bytes>> = parity
+            .into_iter()
+            .map(|block| block.into_iter().map(Bytes::from).collect())
+            .collect();
 
         Ok(Sender {
             spec,
@@ -193,8 +159,8 @@ impl core::fmt::Debug for Sender {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
-            "Sender({:?}, k={}, n={}, symbol={}B)",
-            self.spec.kind,
+            "Sender({}, k={}, n={}, symbol={}B)",
+            self.spec.code.id(),
             self.source_count(),
             self.packet_count(),
             self.symbol_size

@@ -21,9 +21,8 @@
 
 use bytes::Bytes;
 
-use crate::fti::FecEncodingId;
 use crate::lct::{HeaderExtension, LctHeader, HET_FDT, HET_FTI};
-use crate::payload_id::FecPayloadId;
+use crate::payload_id::{FecPayloadId, PayloadIdFormat};
 use crate::{FluteError, FDT_TOI};
 
 /// A parsed ALC datagram.
@@ -38,17 +37,13 @@ pub struct AlcPacket {
 }
 
 impl AlcPacket {
-    /// Builds a data packet carrying one encoding symbol.
-    pub fn data(
-        tsi: u32,
-        toi: u32,
-        encoding: FecEncodingId,
-        id: FecPayloadId,
-        symbol: Bytes,
-    ) -> AlcPacket {
+    /// Builds a data packet carrying one encoding symbol. `codepoint` is
+    /// the object's FEC Encoding ID (see
+    /// [`fti_for_code`](crate::fti::fti_for_code)).
+    pub fn data(tsi: u32, toi: u32, codepoint: u8, id: FecPayloadId, symbol: Bytes) -> AlcPacket {
         debug_assert_ne!(toi, FDT_TOI, "TOI 0 is reserved for the FDT");
         AlcPacket {
-            header: LctHeader::new(tsi, toi, encoding.as_u8()),
+            header: LctHeader::new(tsi, toi, codepoint),
             payload_id: Some(id),
             payload: symbol,
         }
@@ -112,8 +107,8 @@ impl AlcPacket {
             let id = self.payload_id.ok_or_else(|| FluteError::Malformed {
                 reason: "data packets need a FEC payload ID".into(),
             })?;
-            let encoding = FecEncodingId::from_u8(self.header.codepoint)?;
-            out.extend_from_slice(&id.to_bytes(encoding)?);
+            let format = PayloadIdFormat::for_fti(self.header.codepoint)?;
+            out.extend_from_slice(&id.to_bytes(format)?);
         }
         out.extend_from_slice(&self.payload);
         Ok(out)
@@ -130,8 +125,8 @@ impl AlcPacket {
                 payload: Bytes::copy_from_slice(rest),
             });
         }
-        let encoding = FecEncodingId::from_u8(header.codepoint)?;
-        let (payload_id, id_len) = FecPayloadId::from_bytes(rest, encoding)?;
+        let format = PayloadIdFormat::for_fti(header.codepoint)?;
+        let (payload_id, id_len) = FecPayloadId::from_bytes(rest, format)?;
         Ok(AlcPacket {
             header,
             payload_id: Some(payload_id),
@@ -150,7 +145,7 @@ mod tests {
         let p = AlcPacket::data(
             9,
             1,
-            FecEncodingId::LdpcStaircase,
+            3,
             FecPayloadId::new(0, 1234),
             Bytes::from_static(b"symbol bytes"),
         );
@@ -173,81 +168,45 @@ mod tests {
     #[test]
     fn fti_extension_is_recoverable() {
         let blob = vec![1, 2, 3, 4, 5, 6, 7];
-        let p = AlcPacket::data(
-            1,
-            2,
-            FecEncodingId::SmallBlockSystematic,
-            FecPayloadId::new(3, 4),
-            Bytes::new(),
-        )
-        .with_fti(blob.clone());
+        let p = AlcPacket::data(1, 2, 129, FecPayloadId::new(3, 4), Bytes::new())
+            .with_fti(blob.clone());
         let back = AlcPacket::from_bytes(&p.to_bytes().unwrap()).unwrap();
         assert_eq!(&back.fti_blob().unwrap()[..blob.len()], &blob[..]);
     }
 
     #[test]
     fn flags_survive() {
-        let p = AlcPacket::data(
-            1,
-            2,
-            FecEncodingId::LdpcTriangle,
-            FecPayloadId::new(0, 0),
-            Bytes::new(),
-        )
-        .closing_object()
-        .closing_session();
+        let p = AlcPacket::data(1, 2, 4, FecPayloadId::new(0, 0), Bytes::new())
+            .closing_object()
+            .closing_session();
         let back = AlcPacket::from_bytes(&p.to_bytes().unwrap()).unwrap();
         assert!(back.header.close_object && back.header.close_session);
     }
 
     #[test]
     fn data_packet_requires_payload_id() {
-        let mut p = AlcPacket::data(
-            1,
-            2,
-            FecEncodingId::LdpcStaircase,
-            FecPayloadId::new(0, 0),
-            Bytes::new(),
-        );
+        let mut p = AlcPacket::data(1, 2, 3, FecPayloadId::new(0, 0), Bytes::new());
         p.payload_id = None;
         assert!(p.to_bytes().is_err());
     }
 
     #[test]
     fn unknown_codepoint_rejected_on_parse() {
-        let mut p = AlcPacket::data(
-            1,
-            2,
-            FecEncodingId::LdpcStaircase,
-            FecPayloadId::new(0, 0),
-            Bytes::new(),
-        );
+        let mut p = AlcPacket::data(1, 2, 3, FecPayloadId::new(0, 0), Bytes::new());
         p.header.codepoint = 200;
         // Build fails (codepoint drives the payload-ID layout)…
         assert!(p.to_bytes().is_err());
         // …and a forged wire packet fails on parse.
-        let mut wire = AlcPacket::data(
-            1,
-            2,
-            FecEncodingId::LdpcStaircase,
-            FecPayloadId::new(0, 0),
-            Bytes::new(),
-        )
-        .to_bytes()
-        .unwrap();
+        let mut wire = AlcPacket::data(1, 2, 3, FecPayloadId::new(0, 0), Bytes::new())
+            .to_bytes()
+            .unwrap();
         wire[3] = 200;
         assert!(AlcPacket::from_bytes(&wire).is_err());
     }
 
     #[test]
     fn empty_symbol_allowed() {
-        let p = AlcPacket::data(
-            1,
-            2,
-            FecEncodingId::LdpcStaircase,
-            FecPayloadId::new(0, 5),
-            Bytes::new(),
-        );
+        let p = AlcPacket::data(1, 2, 3, FecPayloadId::new(0, 5), Bytes::new());
         let back = AlcPacket::from_bytes(&p.to_bytes().unwrap()).unwrap();
         assert_eq!(back.payload.len(), 0);
     }
@@ -265,7 +224,7 @@ mod tests {
             let mut p = AlcPacket::data(
                 tsi,
                 toi,
-                FecEncodingId::LdpcTriangle,
+                4,
                 FecPayloadId::new(sbn, esi),
                 Bytes::from(payload),
             );

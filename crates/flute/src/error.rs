@@ -5,6 +5,7 @@ use core::fmt;
 /// Errors from parsing or building FLUTE/ALC/LCT artifacts, or from session
 /// state machines.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FluteError {
     /// A wire buffer is shorter than its declared or minimum length.
     Truncated {

@@ -13,10 +13,10 @@
 //! No comments, no CDATA, no namespaces, no DTDs (all rejected loudly).
 //!
 //! ```
-//! use fec_flute::{FdtInstance, FileEntry, ObjectTransmissionInfo, FecEncodingId};
+//! use fec_flute::{FdtInstance, FileEntry, ObjectTransmissionInfo};
 //!
 //! let oti = ObjectTransmissionInfo {
-//!     encoding: FecEncodingId::LdpcStaircase,
+//!     code: fec_codec::builtin::ldgm_staircase(),
 //!     transfer_length: 5000,
 //!     symbol_size: 64,
 //!     k: 79,
@@ -284,7 +284,7 @@ impl FileEntry {
             escape(&self.content_location),
             self.oti.transfer_length,
             self.oti.transfer_length,
-            self.oti.encoding.as_u8(),
+            self.oti.fti_id(),
             self.oti.symbol_size,
             base64::encode(&self.oti.to_bytes()),
         )
@@ -316,11 +316,11 @@ impl FileEntry {
             });
         }
         let enc = parse_u32(element, "FEC-OTI-FEC-Encoding-ID")?;
-        if enc != oti.encoding.as_u8() as u32 {
+        if enc != oti.fti_id() as u32 {
             return Err(FluteError::Xml {
                 reason: format!(
                     "FEC-OTI-FEC-Encoding-ID {enc} contradicts OTI {}",
-                    oti.encoding.as_u8()
+                    oti.fti_id()
                 ),
             });
         }
@@ -448,17 +448,18 @@ impl FdtInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fti::FecEncodingId;
+    use fec_codec::{builtin, CodecHandle};
     use proptest::prelude::*;
 
-    fn oti(kind: FecEncodingId) -> ObjectTransmissionInfo {
+    fn oti(code: CodecHandle) -> ObjectTransmissionInfo {
+        let matrix_seed = if code.uses_matrix_seed() { 42 } else { 0 };
         ObjectTransmissionInfo {
-            encoding: kind,
+            code,
             transfer_length: 5000,
             symbol_size: 64,
             k: 79,
             n: 197,
-            matrix_seed: if kind.has_matrix_seed() { 42 } else { 0 },
+            matrix_seed,
         }
     }
 
@@ -467,13 +468,9 @@ mod tests {
             .with_file(FileEntry::new(
                 1,
                 "http://ex.com/a.bin",
-                oti(FecEncodingId::LdpcStaircase),
+                oti(builtin::ldgm_staircase()),
             ))
-            .with_file(FileEntry::new(
-                2,
-                "b & \"c\" <d>",
-                oti(FecEncodingId::SmallBlockSystematic),
-            ))
+            .with_file(FileEntry::new(2, "b & \"c\" <d>", oti(builtin::rse())))
     }
 
     #[test]
@@ -490,7 +487,7 @@ mod tests {
         let fdt = FdtInstance::new(0, 1).with_file(FileEntry::new(
             3,
             nasty,
-            oti(FecEncodingId::LdpcTriangle),
+            oti(builtin::ldgm_triangle()),
         ));
         let back = FdtInstance::from_xml(&fdt.to_xml()).unwrap();
         assert_eq!(back.files[0].content_location, nasty);
@@ -526,7 +523,7 @@ mod tests {
 
     #[test]
     fn rejects_toi_zero_and_duplicates() {
-        let o = base64::encode(&oti(FecEncodingId::LdpcStaircase).to_bytes());
+        let o = base64::encode(&oti(builtin::ldgm_staircase()).to_bytes());
         let file = |toi: u32| {
             format!(
                 r#"<File TOI="{toi}" Content-Location="x" Content-Length="5000" Transfer-Length="5000" FEC-OTI-FEC-Encoding-ID="3" FEC-OTI-Encoding-Symbol-Length="64" FEC-OTI-Scheme-Specific-Info="{o}"/>"#
@@ -591,7 +588,7 @@ mod tests {
         #[test]
         fn location_roundtrip(loc in "[ -~]{1,60}") {
             let fdt = FdtInstance::new(0, 1)
-                .with_file(FileEntry::new(1, loc.clone(), oti(FecEncodingId::LdpcStaircase)));
+                .with_file(FileEntry::new(1, loc.clone(), oti(builtin::ldgm_staircase())));
             let back = FdtInstance::from_xml(&fdt.to_xml()).unwrap();
             prop_assert_eq!(&back.files[0].content_location, &loc);
         }

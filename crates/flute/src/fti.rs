@@ -2,9 +2,16 @@
 //!
 //! The OTI is everything a receiver needs to instantiate the right decoder
 //! for an object: which code, the transfer length, the symbol size, the
-//! block structure and — for the LDGM codes — the PRNG seed that makes
-//! sender and receiver build bit-identical parity-check matrices (the
-//! RFC 5170 approach).
+//! block structure and — for seeded codes like LDGM — the PRNG seed that
+//! makes sender and receiver build bit-identical parity-check matrices
+//! (the RFC 5170 approach).
+//!
+//! The code byte is the FEC Encoding ID (also mirrored in the LCT
+//! codepoint), resolved through the [`fec_codec::registry`]: any
+//! registered codec with an [`fti_id`](fec_codec::ErasureCode::fti_id) can
+//! ride in a FLUTE session. The built-ins use their IANA numbers — 129
+//! "Small Block Systematic FEC" (blocked Reed-Solomon), 3 and 4 (RFC 5170
+//! LDPC-Staircase / LDPC-Triangle).
 //!
 //! Wire layout of the OTI blob (carried both in EXT_FTI and, base64-coded,
 //! in the FDT's `FEC-OTI-Scheme-Specific-Info` attribute):
@@ -16,81 +23,34 @@
 //! 7       2     encoding symbol size in bytes (16-bit BE)
 //! 9       4     k — total source symbols (32-bit BE)
 //! 13      4     n — total encoding symbols (32-bit BE)
-//! 17      8     matrix seed (64-bit BE; LDGM codepoints only)
+//! 17      8     matrix seed (64-bit BE; seeded codepoints only)
 //! ```
 //!
 //! (RFC 3452 splits this across common and scheme-specific parts; carrying
 //! one self-contained blob keeps parse sites honest — the deviation is
 //! documented in the crate README.)
 
-use fec_core::{CodeKind, CodeSpec, ExpansionRatio};
+use fec_codec::{registry, CodecHandle};
+use fec_core::{CodeSpec, ExpansionRatio};
 
 use crate::FluteError;
 
-/// FEC Encoding IDs used by this crate (LCT codepoint values).
-///
-/// The numbers follow the IANA registrations the codes correspond to:
-/// 129 is "Small Block Systematic FEC" (blocked Reed-Solomon), 3 and 4 are
-/// RFC 5170's LDPC-Staircase and LDPC-Triangle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum FecEncodingId {
-    /// RFC 5170 LDPC-Staircase (our LDGM Staircase).
-    LdpcStaircase,
-    /// RFC 5170 LDPC-Triangle (our LDGM Triangle).
-    LdpcTriangle,
-    /// Small Block Systematic FEC (our blocked RSE).
-    SmallBlockSystematic,
+/// Resolves an FEC Encoding ID (LCT codepoint) to a registered codec.
+pub fn code_for_fti(fti: u8) -> Result<CodecHandle, FluteError> {
+    registry::by_fti(fti).map_err(|_| FluteError::Unsupported {
+        reason: format!("FEC Encoding ID {fti}"),
+    })
 }
 
-impl FecEncodingId {
-    /// The wire value (LCT codepoint).
-    pub fn as_u8(self) -> u8 {
-        match self {
-            FecEncodingId::LdpcStaircase => 3,
-            FecEncodingId::LdpcTriangle => 4,
-            FecEncodingId::SmallBlockSystematic => 129,
-        }
-    }
-
-    /// Parses a wire value.
-    pub fn from_u8(value: u8) -> Result<FecEncodingId, FluteError> {
-        match value {
-            3 => Ok(FecEncodingId::LdpcStaircase),
-            4 => Ok(FecEncodingId::LdpcTriangle),
-            129 => Ok(FecEncodingId::SmallBlockSystematic),
-            other => Err(FluteError::Unsupported {
-                reason: format!("FEC Encoding ID {other}"),
-            }),
-        }
-    }
-
-    /// The `fec-sim` code this encoding maps to.
-    pub fn code_kind(self) -> CodeKind {
-        match self {
-            FecEncodingId::LdpcStaircase => CodeKind::LdgmStaircase,
-            FecEncodingId::LdpcTriangle => CodeKind::LdgmTriangle,
-            FecEncodingId::SmallBlockSystematic => CodeKind::Rse,
-        }
-    }
-
-    /// The encoding for a `fec-sim` code.
-    pub fn for_code(kind: CodeKind) -> Result<FecEncodingId, FluteError> {
-        match kind {
-            CodeKind::LdgmStaircase => Ok(FecEncodingId::LdpcStaircase),
-            CodeKind::LdgmTriangle => Ok(FecEncodingId::LdpcTriangle),
-            CodeKind::Rse => Ok(FecEncodingId::SmallBlockSystematic),
-            CodeKind::LdgmPlain => Err(FluteError::Unsupported {
-                reason: "plain LDGM has no registered FEC Encoding ID \
-                         (it exists for ablations only)"
-                    .into(),
-            }),
-        }
-    }
-
-    /// Whether the OTI blob carries a matrix seed for this encoding.
-    pub fn has_matrix_seed(self) -> bool {
-        !matches!(self, FecEncodingId::SmallBlockSystematic)
-    }
+/// The FEC Encoding ID a codec is transported under, or an error for
+/// codecs without a registered codepoint.
+pub fn fti_for_code(code: &CodecHandle) -> Result<u8, FluteError> {
+    code.fti_id().ok_or_else(|| FluteError::Unsupported {
+        reason: format!(
+            "{} has no registered FEC Encoding ID (it cannot ride in ALC sessions)",
+            code.id()
+        ),
+    })
 }
 
 /// Maximum transfer length representable in the 48-bit field.
@@ -100,10 +60,10 @@ const BASE_LEN: usize = 17;
 const SEEDED_LEN: usize = BASE_LEN + 8;
 
 /// The decoded OTI: code + object geometry + seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectTransmissionInfo {
-    /// Which FEC code encodes the object.
-    pub encoding: FecEncodingId,
+    /// Which FEC code encodes the object (registry-resolved).
+    pub code: CodecHandle,
     /// Exact object length in bytes (before symbol padding).
     pub transfer_length: u64,
     /// Encoding symbol (packet payload) size in bytes.
@@ -112,7 +72,7 @@ pub struct ObjectTransmissionInfo {
     pub k: u32,
     /// Total encoding symbols across all blocks.
     pub n: u32,
-    /// LDGM matrix seed (0 and unused for RSE).
+    /// Structure seed (0 and unused for unseeded codes like RSE).
     pub matrix_seed: u64,
 }
 
@@ -123,7 +83,7 @@ impl ObjectTransmissionInfo {
         symbol_size: usize,
         transfer_length: u64,
     ) -> Result<ObjectTransmissionInfo, FluteError> {
-        let encoding = FecEncodingId::for_code(spec.kind)?;
+        fti_for_code(&spec.code)?;
         if transfer_length == 0 || transfer_length > MAX_TRANSFER_LENGTH {
             return Err(FluteError::Malformed {
                 reason: format!("transfer length {transfer_length} out of range"),
@@ -140,17 +100,26 @@ impl ObjectTransmissionInfo {
             reason: "n exceeds 32 bits".into(),
         })?;
         Ok(ObjectTransmissionInfo {
-            encoding,
+            code: spec.code.clone(),
             transfer_length,
             symbol_size,
             k,
             n,
-            matrix_seed: if encoding.has_matrix_seed() {
+            matrix_seed: if spec.code.uses_matrix_seed() {
                 spec.matrix_seed
             } else {
                 0
             },
         })
+    }
+
+    /// The FEC Encoding ID byte (LCT codepoint) for this OTI.
+    ///
+    /// # Panics
+    /// Never for OTIs built by this crate: construction and parsing both
+    /// guarantee the code carries a codepoint.
+    pub fn fti_id(&self) -> u8 {
+        self.code.fti_id().expect("OTI codes carry an FTI id")
     }
 
     /// Reconstructs the `CodeSpec` a receiver must use.
@@ -182,7 +151,7 @@ impl ObjectTransmissionInfo {
             ExpansionRatio::Custom((self.n as f64 + 0.5) / self.k as f64)
         };
         let spec = CodeSpec {
-            kind: self.encoding.code_kind(),
+            code: self.code.clone(),
             k,
             ratio,
             matrix_seed: self.matrix_seed,
@@ -205,12 +174,12 @@ impl ObjectTransmissionInfo {
     /// Serialises the OTI blob.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(SEEDED_LEN);
-        out.push(self.encoding.as_u8());
+        out.push(self.fti_id());
         out.extend_from_slice(&self.transfer_length.to_be_bytes()[2..]); // 48 bits
         out.extend_from_slice(&self.symbol_size.to_be_bytes());
         out.extend_from_slice(&self.k.to_be_bytes());
         out.extend_from_slice(&self.n.to_be_bytes());
-        if self.encoding.has_matrix_seed() {
+        if self.code.uses_matrix_seed() {
             out.extend_from_slice(&self.matrix_seed.to_be_bytes());
         }
         out
@@ -226,8 +195,8 @@ impl ObjectTransmissionInfo {
                 got: 0,
             });
         }
-        let encoding = FecEncodingId::from_u8(data[0])?;
-        let needed = if encoding.has_matrix_seed() {
+        let code = code_for_fti(data[0])?;
+        let needed = if code.uses_matrix_seed() {
             SEEDED_LEN
         } else {
             BASE_LEN
@@ -255,13 +224,13 @@ impl ObjectTransmissionInfo {
         }
         let k = u32::from_be_bytes(data[9..13].try_into().expect("4 bytes"));
         let n = u32::from_be_bytes(data[13..17].try_into().expect("4 bytes"));
-        let matrix_seed = if encoding.has_matrix_seed() {
+        let matrix_seed = if code.uses_matrix_seed() {
             u64::from_be_bytes(data[17..25].try_into().expect("8 bytes"))
         } else {
             0
         };
         Ok(ObjectTransmissionInfo {
-            encoding,
+            code,
             transfer_length,
             symbol_size,
             k,
@@ -274,11 +243,12 @@ impl ObjectTransmissionInfo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fec_codec::builtin;
     use proptest::prelude::*;
 
-    fn sample_spec(kind: CodeKind) -> CodeSpec {
+    fn sample_spec(code: CodecHandle) -> CodeSpec {
         CodeSpec {
-            kind,
+            code,
             k: 120,
             ratio: ExpansionRatio::R2_5,
             matrix_seed: 0xFACE,
@@ -287,9 +257,9 @@ mod tests {
 
     #[test]
     fn ldgm_oti_roundtrip() {
-        let spec = sample_spec(CodeKind::LdgmStaircase);
+        let spec = sample_spec(builtin::ldgm_staircase());
         let oti = ObjectTransmissionInfo::from_spec(&spec, 64, 120 * 64 - 7).unwrap();
-        assert_eq!(oti.encoding, FecEncodingId::LdpcStaircase);
+        assert_eq!(oti.fti_id(), 3);
         assert_eq!(oti.k, 120);
         assert_eq!(oti.n, 300);
         assert_eq!(oti.matrix_seed, 0xFACE);
@@ -303,22 +273,47 @@ mod tests {
 
     #[test]
     fn rse_oti_has_no_seed() {
-        let spec = sample_spec(CodeKind::Rse);
+        let spec = sample_spec(builtin::rse());
         let oti = ObjectTransmissionInfo::from_spec(&spec, 32, 100).unwrap();
         let wire = oti.to_bytes();
         assert_eq!(wire.len(), 17);
         let back = ObjectTransmissionInfo::from_bytes(&wire).unwrap();
         assert_eq!(back.matrix_seed, 0);
         let spec2 = back.code_spec().unwrap();
-        assert_eq!(spec2.kind, CodeKind::Rse);
+        assert_eq!(spec2.code, builtin::rse());
         assert_eq!(spec2.k, 120);
         // Layout reproduces the advertised totals.
         assert_eq!(spec2.layout().unwrap().total_packets(), oti.n as u64);
     }
 
     #[test]
+    fn oti_wire_bytes_are_stable() {
+        // Captured from the pre-registry build: FTI bytes must not change.
+        let spec = CodeSpec {
+            code: builtin::ldgm_staircase(),
+            k: 123,
+            ratio: ExpansionRatio::R2_5,
+            matrix_seed: 0xFACE,
+        };
+        let oti = ObjectTransmissionInfo::from_spec(&spec, 64, 123 * 64 - 7).unwrap();
+        assert_eq!(
+            oti.to_bytes(),
+            [
+                3, 0, 0, 0, 0, 30, 185, 0, 64, 0, 0, 0, 123, 0, 0, 1, 51, 0, 0, 0, 0, 0, 0, 250,
+                206
+            ]
+        );
+        let rse = CodeSpec::rse(250, ExpansionRatio::R1_5);
+        let oti = ObjectTransmissionInfo::from_spec(&rse, 32, 999).unwrap();
+        assert_eq!(
+            oti.to_bytes(),
+            [129, 0, 0, 0, 0, 3, 231, 0, 32, 0, 0, 0, 250, 0, 0, 1, 118]
+        );
+    }
+
+    #[test]
     fn oti_tolerates_ext_padding() {
-        let spec = sample_spec(CodeKind::LdgmTriangle);
+        let spec = sample_spec(builtin::ldgm_triangle());
         let oti = ObjectTransmissionInfo::from_spec(&spec, 64, 999).unwrap();
         let mut wire = oti.to_bytes();
         wire.extend_from_slice(&[0, 0, 0]); // EXT_FTI alignment padding
@@ -329,7 +324,7 @@ mod tests {
     fn custom_ratio_reproduces_geometry() {
         // k = 97, n = 241: ratio 2.4845… — not a paper ratio.
         let oti = ObjectTransmissionInfo {
-            encoding: FecEncodingId::LdpcStaircase,
+            code: builtin::ldgm_staircase(),
             transfer_length: 97 * 16,
             symbol_size: 16,
             k: 97,
@@ -345,7 +340,7 @@ mod tests {
     #[test]
     fn degenerate_oti_rejected() {
         let mut oti = ObjectTransmissionInfo {
-            encoding: FecEncodingId::LdpcStaircase,
+            code: builtin::ldgm_staircase(),
             transfer_length: 100,
             symbol_size: 16,
             k: 10,
@@ -360,10 +355,10 @@ mod tests {
 
     #[test]
     fn unknown_encoding_rejected() {
-        assert!(FecEncodingId::from_u8(0).is_err());
-        assert!(FecEncodingId::from_u8(128).is_err());
+        assert!(code_for_fti(0).is_err());
+        assert!(code_for_fti(128).is_err());
         let mut wire =
-            ObjectTransmissionInfo::from_spec(&sample_spec(CodeKind::LdgmStaircase), 64, 100)
+            ObjectTransmissionInfo::from_spec(&sample_spec(builtin::ldgm_staircase()), 64, 100)
                 .unwrap()
                 .to_bytes();
         wire[0] = 77;
@@ -373,7 +368,7 @@ mod tests {
     #[test]
     fn zero_fields_rejected() {
         let base =
-            ObjectTransmissionInfo::from_spec(&sample_spec(CodeKind::LdgmStaircase), 64, 100)
+            ObjectTransmissionInfo::from_spec(&sample_spec(builtin::ldgm_staircase()), 64, 100)
                 .unwrap();
         let mut wire = base.to_bytes();
         wire[1..7].fill(0); // transfer length 0
@@ -385,12 +380,14 @@ mod tests {
 
     #[test]
     fn ldgm_plain_has_no_encoding_id() {
-        assert!(FecEncodingId::for_code(CodeKind::LdgmPlain).is_err());
+        assert!(fti_for_code(&builtin::ldgm_plain()).is_err());
+        let spec = sample_spec(builtin::ldgm_plain());
+        assert!(ObjectTransmissionInfo::from_spec(&spec, 64, 100).is_err());
     }
 
     #[test]
     fn transfer_length_range_checked() {
-        let spec = sample_spec(CodeKind::LdgmStaircase);
+        let spec = sample_spec(builtin::ldgm_staircase());
         assert!(ObjectTransmissionInfo::from_spec(&spec, 64, 0).is_err());
         assert!(ObjectTransmissionInfo::from_spec(&spec, 64, 1 << 48).is_err());
     }
@@ -398,24 +395,22 @@ mod tests {
     proptest! {
         #[test]
         fn wire_roundtrip_arbitrary(
-            enc in prop_oneof![
-                Just(FecEncodingId::LdpcStaircase),
-                Just(FecEncodingId::LdpcTriangle),
-                Just(FecEncodingId::SmallBlockSystematic),
-            ],
+            fti in prop_oneof![Just(3u8), Just(4u8), Just(129u8)],
             transfer_length in 1u64..MAX_TRANSFER_LENGTH,
             symbol_size in 1u16..,
             k in any::<u32>(),
             n in any::<u32>(),
             seed in any::<u64>(),
         ) {
+            let code = code_for_fti(fti).unwrap();
+            let seeded = code.uses_matrix_seed();
             let oti = ObjectTransmissionInfo {
-                encoding: enc,
+                code,
                 transfer_length,
                 symbol_size,
                 k,
                 n,
-                matrix_seed: if enc.has_matrix_seed() { seed } else { 0 },
+                matrix_seed: if seeded { seed } else { 0 },
             };
             let back = ObjectTransmissionInfo::from_bytes(&oti.to_bytes()).unwrap();
             prop_assert_eq!(back, oti);

@@ -56,7 +56,7 @@ mod session;
 pub use alc::AlcPacket;
 pub use error::FluteError;
 pub use fdt::{FdtInstance, FileEntry};
-pub use fti::{FecEncodingId, ObjectTransmissionInfo};
+pub use fti::{code_for_fti, fti_for_code, ObjectTransmissionInfo};
 pub use lct::{HeaderExtension, LctHeader};
 pub use payload_id::FecPayloadId;
 pub use session::{FluteReceiver, FluteSender, ObjectStatus, ReceiverEvent, SenderConfig};

@@ -2,22 +2,53 @@
 //!
 //! The FEC Payload ID sits between the LCT header and the encoding symbol
 //! and addresses the symbol within its object. Its layout depends on the
-//! FEC Encoding ID (the LCT codepoint):
+//! codec the LCT codepoint resolves to (via the [`fec_codec`] registry):
 //!
-//! * **Small-block systematic codes** (RSE, FEC Encoding ID 129): the
-//!   object is cut into many blocks, so the ID carries a 16-bit source
-//!   block number (SBN) and a 16-bit encoding symbol ID (ESI) — 4 bytes.
-//! * **Large-block LDPC/LDGM codes** (FEC Encoding IDs 3 and 4, the
-//!   RFC 5170 numbers for LDPC-Staircase and LDPC-Triangle): there is a
-//!   single block, so the SBN shrinks to 12 bits and the ESI grows to
+//! * [`PayloadIdFormat::SmallBlock`] — segmented codes (RSE, FEC Encoding
+//!   ID 129): the object is cut into many blocks, so the ID carries a
+//!   16-bit source block number (SBN) and a 16-bit encoding symbol ID
+//!   (ESI) — 4 bytes.
+//! * [`PayloadIdFormat::LargeBlock`] — single-block codes (FEC Encoding
+//!   IDs 3 and 4, the RFC 5170 numbers for LDPC-Staircase and
+//!   LDPC-Triangle): the SBN shrinks to 12 bits and the ESI grows to
 //!   20 bits, packed into one 32-bit word. 2^20 symbols × 1 KiB packets
 //!   covers the "several hundreds of megabytes" objects the paper cites
 //!   (§2.3.1).
 //!
-//! Both shapes are 4 bytes on the wire; the codepoint decides the split.
+//! Both shapes are 4 bytes on the wire; the codepoint's codec
+//! ([`ErasureCode::is_large_block`](fec_codec::ErasureCode::is_large_block))
+//! decides the split — so a third-party registered code gets the right
+//! layout automatically.
 
-use crate::fti::FecEncodingId;
+use fec_codec::CodecHandle;
+
+use crate::fti::code_for_fti;
 use crate::FluteError;
+
+/// Which of the two 4-byte payload-ID layouts a codec uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadIdFormat {
+    /// 16-bit SBN + 16-bit ESI (segmented small-block codes).
+    SmallBlock,
+    /// 12-bit SBN + 20-bit ESI (single large block).
+    LargeBlock,
+}
+
+impl PayloadIdFormat {
+    /// The layout a codec's packets use.
+    pub fn for_code(code: &CodecHandle) -> PayloadIdFormat {
+        if code.is_large_block() {
+            PayloadIdFormat::LargeBlock
+        } else {
+            PayloadIdFormat::SmallBlock
+        }
+    }
+
+    /// The layout behind an LCT codepoint (registry-resolved).
+    pub fn for_fti(fti: u8) -> Result<PayloadIdFormat, FluteError> {
+        Ok(PayloadIdFormat::for_code(&code_for_fti(fti)?))
+    }
+}
 
 /// Wire size of every payload-ID shape in this crate.
 pub const PAYLOAD_ID_LEN: usize = 4;
@@ -45,10 +76,10 @@ impl FecPayloadId {
         FecPayloadId { sbn, esi }
     }
 
-    /// Encodes for the given FEC Encoding ID.
-    pub fn to_bytes(self, encoding: FecEncodingId) -> Result<[u8; PAYLOAD_ID_LEN], FluteError> {
-        match encoding {
-            FecEncodingId::SmallBlockSystematic => {
+    /// Encodes for the given payload-ID layout.
+    pub fn to_bytes(self, format: PayloadIdFormat) -> Result<[u8; PAYLOAD_ID_LEN], FluteError> {
+        match format {
+            PayloadIdFormat::SmallBlock => {
                 let sbn = u16::try_from(self.sbn).map_err(|_| FluteError::Malformed {
                     reason: format!("SBN {} exceeds 16 bits", self.sbn),
                 })?;
@@ -60,7 +91,7 @@ impl FecPayloadId {
                 out[2..].copy_from_slice(&esi.to_be_bytes());
                 Ok(out)
             }
-            FecEncodingId::LdpcStaircase | FecEncodingId::LdpcTriangle => {
+            PayloadIdFormat::LargeBlock => {
                 if self.sbn > MAX_LARGE_BLOCK_SBN {
                     return Err(FluteError::Malformed {
                         reason: format!("SBN {} exceeds 12 bits", self.sbn),
@@ -76,10 +107,10 @@ impl FecPayloadId {
         }
     }
 
-    /// Decodes for the given FEC Encoding ID.
+    /// Decodes for the given payload-ID layout.
     pub fn from_bytes(
         data: &[u8],
-        encoding: FecEncodingId,
+        format: PayloadIdFormat,
     ) -> Result<(FecPayloadId, usize), FluteError> {
         if data.len() < PAYLOAD_ID_LEN {
             return Err(FluteError::Truncated {
@@ -89,12 +120,12 @@ impl FecPayloadId {
             });
         }
         let word = u32::from_be_bytes(data[..4].try_into().expect("4 bytes"));
-        let id = match encoding {
-            FecEncodingId::SmallBlockSystematic => FecPayloadId {
+        let id = match format {
+            PayloadIdFormat::SmallBlock => FecPayloadId {
                 sbn: word >> 16,
                 esi: word & 0xFFFF,
             },
-            FecEncodingId::LdpcStaircase | FecEncodingId::LdpcTriangle => FecPayloadId {
+            PayloadIdFormat::LargeBlock => FecPayloadId {
                 sbn: word >> 20,
                 esi: word & 0xF_FFFF,
             },
@@ -111,21 +142,20 @@ mod tests {
     #[test]
     fn small_block_roundtrip() {
         let id = FecPayloadId::new(0x1234, 0xFEDC);
-        let wire = id.to_bytes(FecEncodingId::SmallBlockSystematic).unwrap();
+        let wire = id.to_bytes(PayloadIdFormat::SmallBlock).unwrap();
         assert_eq!(wire, [0x12, 0x34, 0xFE, 0xDC]);
-        let (back, n) =
-            FecPayloadId::from_bytes(&wire, FecEncodingId::SmallBlockSystematic).unwrap();
+        let (back, n) = FecPayloadId::from_bytes(&wire, PayloadIdFormat::SmallBlock).unwrap();
         assert_eq!((back, n), (id, 4));
     }
 
     #[test]
     fn large_block_packing() {
         let id = FecPayloadId::new(0, 0xF_FFFF);
-        let wire = id.to_bytes(FecEncodingId::LdpcStaircase).unwrap();
+        let wire = id.to_bytes(PayloadIdFormat::LargeBlock).unwrap();
         assert_eq!(wire, [0x00, 0x0F, 0xFF, 0xFF]);
         let id2 = FecPayloadId::new(1, 0);
         assert_eq!(
-            id2.to_bytes(FecEncodingId::LdpcTriangle).unwrap(),
+            id2.to_bytes(PayloadIdFormat::LargeBlock).unwrap(),
             [0x00, 0x10, 0x00, 0x00]
         );
     }
@@ -133,31 +163,31 @@ mod tests {
     #[test]
     fn range_violations_rejected() {
         assert!(FecPayloadId::new(1 << 16, 0)
-            .to_bytes(FecEncodingId::SmallBlockSystematic)
+            .to_bytes(PayloadIdFormat::SmallBlock)
             .is_err());
         assert!(FecPayloadId::new(0, 1 << 16)
-            .to_bytes(FecEncodingId::SmallBlockSystematic)
+            .to_bytes(PayloadIdFormat::SmallBlock)
             .is_err());
         assert!(FecPayloadId::new(1 << 12, 0)
-            .to_bytes(FecEncodingId::LdpcStaircase)
+            .to_bytes(PayloadIdFormat::LargeBlock)
             .is_err());
         assert!(FecPayloadId::new(0, 1 << 20)
-            .to_bytes(FecEncodingId::LdpcTriangle)
+            .to_bytes(PayloadIdFormat::LargeBlock)
             .is_err());
     }
 
     #[test]
     fn truncated_rejected() {
-        assert!(FecPayloadId::from_bytes(&[1, 2, 3], FecEncodingId::LdpcStaircase).is_err());
+        assert!(FecPayloadId::from_bytes(&[1, 2, 3], PayloadIdFormat::LargeBlock).is_err());
     }
 
     proptest! {
         #[test]
         fn small_block_roundtrip_arbitrary(sbn in 0u32..=0xFFFF, esi in 0u32..=0xFFFF) {
             let id = FecPayloadId::new(sbn, esi);
-            let wire = id.to_bytes(FecEncodingId::SmallBlockSystematic).unwrap();
+            let wire = id.to_bytes(PayloadIdFormat::SmallBlock).unwrap();
             let (back, _) =
-                FecPayloadId::from_bytes(&wire, FecEncodingId::SmallBlockSystematic).unwrap();
+                FecPayloadId::from_bytes(&wire, PayloadIdFormat::SmallBlock).unwrap();
             prop_assert_eq!(back, id);
         }
 
@@ -167,11 +197,9 @@ mod tests {
             esi in 0u32..=MAX_LARGE_BLOCK_ESI,
         ) {
             let id = FecPayloadId::new(sbn, esi);
-            for enc in [FecEncodingId::LdpcStaircase, FecEncodingId::LdpcTriangle] {
-                let wire = id.to_bytes(enc).unwrap();
-                let (back, _) = FecPayloadId::from_bytes(&wire, enc).unwrap();
-                prop_assert_eq!(back, id);
-            }
+            let wire = id.to_bytes(PayloadIdFormat::LargeBlock).unwrap();
+            let (back, _) = FecPayloadId::from_bytes(&wire, PayloadIdFormat::LargeBlock).unwrap();
+            prop_assert_eq!(back, id);
         }
     }
 }

@@ -15,13 +15,13 @@ use std::collections::HashMap;
 use bytes::Bytes;
 
 use fec_core::{
-    CodeKind, CodeSpec, ExpansionRatio, Packet, Receiver as CoreReceiver, Sender as CoreSender,
+    CodeSpec, CodecHandle, ExpansionRatio, Packet, Receiver as CoreReceiver, Sender as CoreSender,
 };
 use fec_sched::TxModel;
 
 use crate::alc::AlcPacket;
 use crate::fdt::{FdtInstance, FileEntry};
-use crate::fti::{FecEncodingId, ObjectTransmissionInfo};
+use crate::fti::ObjectTransmissionInfo;
 use crate::payload_id::FecPayloadId;
 use crate::{FluteError, FDT_TOI};
 
@@ -64,7 +64,7 @@ impl SenderConfig {
 struct SessionObject {
     toi: u32,
     content_location: String,
-    encoding: FecEncodingId,
+    codepoint: u8,
     oti: ObjectTransmissionInfo,
     sender: CoreSender,
     tx: TxModel,
@@ -96,7 +96,7 @@ impl FluteSender {
         toi: u32,
         content_location: impl Into<String>,
         object: &[u8],
-        kind: CodeKind,
+        code: impl Into<CodecHandle>,
         ratio: ExpansionRatio,
         symbol_size: usize,
         matrix_seed: u64,
@@ -112,15 +112,15 @@ impl FluteSender {
                 reason: format!("duplicate TOI {toi}"),
             });
         }
-        let spec = CodeSpec::for_object(kind, ratio, object.len(), symbol_size)?
+        let spec = CodeSpec::for_object(code, ratio, object.len(), symbol_size)?
             .with_matrix_seed(matrix_seed);
         let oti = ObjectTransmissionInfo::from_spec(&spec, symbol_size, object.len() as u64)?;
-        let encoding = oti.encoding;
+        let codepoint = oti.fti_id();
         let sender = CoreSender::new(spec, object, symbol_size)?;
         self.objects.push(SessionObject {
             toi,
             content_location: content_location.into(),
-            encoding,
+            codepoint,
             oti,
             sender,
             tx,
@@ -132,7 +132,11 @@ impl FluteSender {
     pub fn fdt(&self) -> FdtInstance {
         let mut fdt = FdtInstance::new(self.config.fdt_instance_id, self.config.expires);
         for o in &self.objects {
-            fdt = fdt.with_file(FileEntry::new(o.toi, o.content_location.clone(), o.oti));
+            fdt = fdt.with_file(FileEntry::new(
+                o.toi,
+                o.content_location.clone(),
+                o.oti.clone(),
+            ));
         }
         fdt
     }
@@ -165,7 +169,7 @@ impl FluteSender {
                 let mut alc = AlcPacket::data(
                     self.config.tsi,
                     object.toi,
-                    object.encoding,
+                    object.codepoint,
                     FecPayloadId::new(packet.block, packet.esi),
                     packet.payload.clone(),
                 );
@@ -247,8 +251,8 @@ impl ObjectState {
 
     /// Learns the OTI (idempotent; conflicting OTIs are an error).
     fn set_oti(&mut self, oti: ObjectTransmissionInfo) -> Result<(), FluteError> {
-        match self.oti {
-            Some(existing) if existing != oti => Err(FluteError::Session {
+        match &self.oti {
+            Some(existing) if *existing != oti => Err(FluteError::Session {
                 reason: "conflicting OTI for the same TOI".into(),
             }),
             Some(_) => Ok(()),
@@ -393,7 +397,7 @@ impl FluteReceiver {
                 .objects
                 .entry(file.toi)
                 .or_insert_with(ObjectState::new);
-            state.set_oti(file.oti)?;
+            state.set_oti(file.oti.clone())?;
         }
         self.fdt = Some(fdt);
         Ok(ReceiverEvent::FdtReceived)
@@ -454,7 +458,7 @@ mod tests {
                 1,
                 "file:///demo.bin",
                 data,
-                CodeKind::LdgmStaircase,
+                fec_codec::builtin::ldgm_staircase(),
                 ExpansionRatio::R2_5,
                 16,
                 99,
@@ -521,7 +525,7 @@ mod tests {
                 1,
                 "x",
                 &data,
-                CodeKind::Rse,
+                fec_codec::builtin::rse(),
                 ExpansionRatio::R1_5,
                 16,
                 0,
@@ -547,7 +551,7 @@ mod tests {
                 1,
                 "x",
                 &data,
-                CodeKind::LdgmTriangle,
+                fec_codec::builtin::ldgm_triangle(),
                 ExpansionRatio::R2_5,
                 8,
                 1,
@@ -577,7 +581,7 @@ mod tests {
                 1,
                 "a",
                 &a,
-                CodeKind::LdgmStaircase,
+                fec_codec::builtin::ldgm_staircase(),
                 ExpansionRatio::R2_5,
                 16,
                 5,
@@ -589,7 +593,7 @@ mod tests {
                 2,
                 "b",
                 &b,
-                CodeKind::Rse,
+                fec_codec::builtin::rse(),
                 ExpansionRatio::R1_5,
                 32,
                 0,
@@ -689,7 +693,7 @@ mod tests {
                 0,
                 "x",
                 b"data",
-                CodeKind::LdgmStaircase,
+                fec_codec::builtin::ldgm_staircase(),
                 ExpansionRatio::R2_5,
                 4,
                 1,
@@ -701,7 +705,7 @@ mod tests {
                 5,
                 "x",
                 &object_bytes(64),
-                CodeKind::LdgmStaircase,
+                fec_codec::builtin::ldgm_staircase(),
                 ExpansionRatio::R2_5,
                 4,
                 1,
@@ -714,7 +718,7 @@ mod tests {
                     5,
                     "y",
                     &object_bytes(64),
-                    CodeKind::LdgmStaircase,
+                    fec_codec::builtin::ldgm_staircase(),
                     ExpansionRatio::R2_5,
                     4,
                     1,
@@ -752,7 +756,7 @@ mod tests {
                 1,
                 "x",
                 &data,
-                CodeKind::LdgmStaircase,
+                fec_codec::builtin::ldgm_staircase(),
                 ExpansionRatio::R2_5,
                 8,
                 1,

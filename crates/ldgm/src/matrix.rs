@@ -123,6 +123,7 @@ impl TriangleFill {
 
 /// Errors from matrix construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum LdgmError {
     /// Parameters violate `0 < k < n` or degree constraints.
     BadParameters {

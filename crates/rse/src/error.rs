@@ -4,6 +4,7 @@ use core::fmt;
 
 /// Errors reported by the Reed-Solomon erasure codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RseError {
     /// Requested `(k, n)` outside `0 < k <= n <= 255`.
     BadParameters {

@@ -31,7 +31,7 @@ mod sweep;
 
 pub use run::{RunResult, Runner};
 pub use seed::mix_seed;
-pub use spec::{layout_for, partition_for, CodeKind, ExpansionRatio, SimError};
+pub use spec::{layout_for, CodeKind, CodecHandle, ExpansionRatio, SimError};
 pub use sweep::{CellStats, GridSweep, SweepConfig, SweepResult};
 
 use fec_channel::GilbertParams;
@@ -39,10 +39,10 @@ use fec_sched::TxModel;
 use serde::{Deserialize, Serialize};
 
 /// A fully-specified simulation experiment (one curve/cell family).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Experiment {
-    /// Which FEC code to simulate.
-    pub code: CodeKind,
+    /// Which FEC code to simulate (any registered codec).
+    pub code: CodecHandle,
     /// Number of source packets in the object (paper: 20000).
     pub k: usize,
     /// FEC expansion ratio `n/k` (paper: 1.5 and 2.5).
@@ -55,10 +55,16 @@ pub struct Experiment {
 
 impl Experiment {
     /// Convenience constructor with a perfect channel (grid sweeps replace
-    /// the channel per cell anyway).
-    pub fn new(code: CodeKind, k: usize, ratio: ExpansionRatio, tx: TxModel) -> Experiment {
+    /// the channel per cell anyway). Accepts a codec handle, a `&`-ref to
+    /// one, or a deprecated [`CodeKind`] shorthand.
+    pub fn new(
+        code: impl Into<CodecHandle>,
+        k: usize,
+        ratio: ExpansionRatio,
+        tx: TxModel,
+    ) -> Experiment {
         Experiment {
-            code,
+            code: code.into(),
             k,
             ratio,
             tx,

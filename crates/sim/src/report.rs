@@ -104,12 +104,13 @@ fn opt(v: Option<f64>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CodeKind, ExpansionRatio, Experiment, GridSweep, SweepConfig};
+    use crate::{ExpansionRatio, Experiment, GridSweep, SweepConfig};
+    use fec_codec::builtin;
     use fec_sched::TxModel;
 
     fn sample() -> SweepResult {
         let exp = Experiment::new(
-            CodeKind::LdgmStaircase,
+            builtin::ldgm_staircase(),
             150,
             ExpansionRatio::R2_5,
             TxModel::Random,

@@ -1,14 +1,11 @@
 //! Single-experiment execution: schedule → channel → structural decode.
 
-use std::sync::Arc;
-
 use fec_channel::{GilbertChannel, GilbertParams, LossModel};
-use fec_ldgm::{LdgmParams, SparseMatrix, StructuralDecoder};
-use fec_rse::{Partition, StructuralObjectDecoder};
+use fec_codec::{StructuralFactory, StructuralSession};
 use fec_sched::{Layout, PacketRef, RxModel, TxModel};
 
 use crate::seed::mix_seed;
-use crate::spec::{layout_for, partition_for, CodeKind, SimError};
+use crate::spec::SimError;
 use crate::Experiment;
 
 /// Sub-seed stream tags (see [`mix_seed`]).
@@ -45,95 +42,65 @@ impl RunResult {
     }
 }
 
-/// Structural decoder dispatch for one run.
-enum RunDecoder<'m> {
-    /// Blocked MDS decoding (RSE).
-    Rse(StructuralObjectDecoder),
-    /// Iterative peeling (LDGM-*).
-    Ldgm(StructuralDecoder<'m>),
-    /// No FEC at all: complete once every distinct source packet was seen
-    /// (the §4.2 repetition baseline).
-    Counting { seen: Vec<bool>, missing: usize },
+/// The §4.2 repetition baseline: no FEC at all, completion is "collected
+/// all k distinct source packets". This is a transmission-model property,
+/// not a codec, so it lives here rather than behind [`fec_codec`].
+struct CouponCounting<'l> {
+    layout: &'l Layout,
+    seen: Vec<bool>,
+    missing: usize,
 }
 
-impl RunDecoder<'_> {
-    fn push(&mut self, layout: &Layout, r: PacketRef) -> bool {
-        match self {
-            RunDecoder::Rse(d) => d.push(r.block as usize, r.esi as usize),
-            RunDecoder::Ldgm(d) => d.push(r.esi),
-            RunDecoder::Counting { seen, missing } => {
-                let g = layout.global_index(r) as usize;
-                if layout.is_source(r) && !seen[g] {
-                    seen[g] = true;
-                    *missing -= 1;
-                }
-                *missing == 0
-            }
+impl StructuralSession for CouponCounting<'_> {
+    fn add(&mut self, r: PacketRef) -> bool {
+        let g = self.layout.global_index(r) as usize;
+        if self.layout.is_source(r) && !self.seen[g] {
+            self.seen[g] = true;
+            self.missing -= 1;
         }
+        self.missing == 0
     }
 }
 
-/// Prepared executor for one experiment: owns the layout, the RSE partition
-/// and/or a pool of LDGM matrices so repeated runs amortise construction.
+/// Prepared executor for one experiment: owns the layout and the codec's
+/// [`StructuralFactory`] (matrix pools, partitions) so repeated runs
+/// amortise construction.
 ///
 /// `Runner` is immutable after construction and can be shared across sweep
 /// threads (`&Runner` is `Sync`).
 pub struct Runner {
     experiment: Experiment,
     layout: Layout,
-    partition: Option<Partition>,
-    matrices: Vec<Arc<SparseMatrix>>,
+    structural: Box<dyn StructuralFactory>,
 }
 
 impl Runner {
-    /// Default number of independently-seeded LDGM matrices per runner.
+    /// Default number of independently-seeded code structures (LDGM
+    /// matrices) per runner.
     ///
     /// The paper regenerates the graph per test; re-using a small pool
     /// round-robin keeps that variability at a fraction of the build cost.
     pub const DEFAULT_MATRIX_POOL: usize = 4;
 
-    /// Prepares a runner, building `matrix_pool` LDGM matrices if the code
-    /// needs them (pass [`Runner::DEFAULT_MATRIX_POOL`] normally).
+    /// Prepares a runner, building a pool of `matrix_pool` code structures
+    /// if the code needs them (pass [`Runner::DEFAULT_MATRIX_POOL`]
+    /// normally).
     pub fn new(experiment: Experiment, matrix_pool: usize) -> Result<Runner, SimError> {
         let ratio = experiment.ratio.as_f64();
-        let layout = layout_for(experiment.code, experiment.k, ratio)?;
-        let partition = partition_for(experiment.code, experiment.k, ratio);
-
-        let mut matrices = Vec::new();
-        if let Some(right) = experiment.code.ldgm_right_side() {
-            if matrix_pool == 0 {
-                return Err(SimError::BadExperiment {
-                    reason: "matrix pool must be non-empty for LDGM codes".into(),
-                });
-            }
-            let (k, n) = layout.block(0);
-            if n - k < fec_ldgm::DEFAULT_LEFT_DEGREE {
-                return Err(SimError::BadExperiment {
-                    reason: format!(
-                        "LDGM needs at least {} check equations, got {}",
-                        fec_ldgm::DEFAULT_LEFT_DEGREE,
-                        n - k
-                    ),
-                });
-            }
-            for i in 0..matrix_pool {
-                // Fixed base so every runner with equal (code, k, ratio)
-                // uses the same matrix pool — comparisons across
-                // transmission models then hold the code instance constant.
-                let seed = mix_seed(0x5EED_BA5E, &[TAG_MATRIX, i as u64]);
-                let m = SparseMatrix::build(LdgmParams::new(k, n, right, seed)).map_err(|e| {
-                    SimError::BadExperiment {
-                        reason: format!("LDGM matrix construction failed: {e}"),
-                    }
-                })?;
-                matrices.push(Arc::new(m));
-            }
-        }
+        let layout = experiment.code.layout(experiment.k, ratio)?;
+        // Fixed base so every runner with equal (code, k, ratio) uses the
+        // same structure pool — comparisons across transmission models
+        // then hold the code instance constant.
+        let seeds: Vec<u64> = (0..matrix_pool)
+            .map(|i| mix_seed(0x5EED_BA5E, &[TAG_MATRIX, i as u64]))
+            .collect();
+        let structural = experiment
+            .code
+            .structural_factory(experiment.k, ratio, &seeds)?;
         Ok(Runner {
             experiment,
             layout,
-            partition,
-            matrices,
+            structural,
         })
     }
 
@@ -145,11 +112,6 @@ impl Runner {
     /// The packet layout (block structure).
     pub fn layout(&self) -> &Layout {
         &self.layout
-    }
-
-    /// The RSE partition, if the code is blocked.
-    pub fn partition(&self) -> Option<&Partition> {
-        self.partition.as_ref()
     }
 
     /// Executes run number `run_idx` with the experiment's own channel.
@@ -242,7 +204,7 @@ impl Runner {
     }
 
     /// Walks a packet sequence through a loss predicate into a fresh
-    /// structural decoder.
+    /// structural decoding session.
     fn walk(
         &self,
         sequence: &[PacketRef],
@@ -250,7 +212,7 @@ impl Runner {
         run_idx: u64,
         track_total: bool,
     ) -> RunResult {
-        let mut decoder = self.make_decoder(run_idx);
+        let mut session = self.make_session(run_idx);
         let mut n_received = 0u64;
         let mut n_necessary = None;
         for (i, &r) in sequence.iter().enumerate() {
@@ -258,7 +220,7 @@ impl Runner {
                 continue;
             }
             n_received += 1;
-            if decoder.push(&self.layout, r) && n_necessary.is_none() {
+            if session.add(r) && n_necessary.is_none() {
                 n_necessary = Some(n_received);
                 if !track_total {
                     break;
@@ -273,24 +235,17 @@ impl Runner {
         }
     }
 
-    fn make_decoder(&self, run_idx: u64) -> RunDecoder<'_> {
+    fn make_session(&self, run_idx: u64) -> Box<dyn StructuralSession + '_> {
         if matches!(self.experiment.tx, TxModel::RepeatSource { .. }) {
             // No FEC: parity never enters the schedule; completion is
             // "collected all k distinct source packets".
-            return RunDecoder::Counting {
+            return Box::new(CouponCounting {
+                layout: &self.layout,
                 seen: vec![false; self.layout.total_packets() as usize],
                 missing: self.experiment.k,
-            };
+            });
         }
-        match self.experiment.code {
-            CodeKind::Rse => RunDecoder::Rse(StructuralObjectDecoder::new(
-                self.partition.as_ref().expect("RSE runner has a partition"),
-            )),
-            _ => {
-                let m = &self.matrices[run_idx as usize % self.matrices.len()];
-                RunDecoder::Ldgm(StructuralDecoder::new(m))
-            }
-        }
+        self.structural.session(run_idx)
     }
 }
 
@@ -298,8 +253,9 @@ impl Runner {
 mod tests {
     use super::*;
     use crate::spec::ExpansionRatio;
+    use fec_codec::{builtin, registry, CodecHandle};
 
-    fn exp(code: CodeKind, k: usize, ratio: ExpansionRatio, tx: TxModel) -> Experiment {
+    fn exp(code: CodecHandle, k: usize, ratio: ExpansionRatio, tx: TxModel) -> Experiment {
         Experiment::new(code, k, ratio, tx)
     }
 
@@ -307,9 +263,14 @@ mod tests {
     fn perfect_channel_tx1_is_exactly_k() {
         // Paper §4.3: "without loss (p = 0) the inefficiency ratio is 1.0
         // with all codes" under Tx_model_1.
-        for code in CodeKind::paper_codes() {
+        for code in registry::candidates() {
             let r = Runner::new(
-                exp(code, 500, ExpansionRatio::R2_5, TxModel::SourceSeqParitySeq),
+                exp(
+                    code.clone(),
+                    500,
+                    ExpansionRatio::R2_5,
+                    TxModel::SourceSeqParitySeq,
+                ),
                 2,
             )
             .unwrap();
@@ -322,10 +283,10 @@ mod tests {
 
     #[test]
     fn tx2_perfect_channel_also_exactly_k() {
-        for code in CodeKind::paper_codes() {
+        for code in registry::candidates() {
             let r = Runner::new(
                 exp(
-                    code,
+                    code.clone(),
                     300,
                     ExpansionRatio::R1_5,
                     TxModel::SourceSeqParityRandom,
@@ -344,10 +305,10 @@ mod tests {
         // ratio 2.5 for both families (parity is sent first; LDGM needs one
         // source packet, RSE needs k_b of the last block).
         let k = 500;
-        for code in [CodeKind::LdgmStaircase, CodeKind::LdgmTriangle] {
+        for code in [builtin::ldgm_staircase(), builtin::ldgm_triangle()] {
             let r = Runner::new(
                 exp(
-                    code,
+                    code.clone(),
                     k,
                     ExpansionRatio::R2_5,
                     TxModel::ParitySeqSourceRandom,
@@ -361,7 +322,7 @@ mod tests {
         }
         let r = Runner::new(
             exp(
-                CodeKind::Rse,
+                builtin::rse(),
                 k,
                 ExpansionRatio::R2_5,
                 TxModel::ParitySeqSourceRandom,
@@ -379,7 +340,7 @@ mod tests {
         let ch = GilbertParams::new(0.05, 0.5).unwrap();
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 1000,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -399,7 +360,7 @@ mod tests {
         let ch = GilbertParams::new(0.5, 0.0).unwrap();
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 200,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -417,7 +378,7 @@ mod tests {
     fn track_total_consumes_whole_schedule() {
         let r = Runner::new(
             exp(
-                CodeKind::Rse,
+                builtin::rse(),
                 100,
                 ExpansionRatio::R1_5,
                 TxModel::Interleaved,
@@ -428,7 +389,6 @@ mod tests {
         let full = r.run(1, 0, true);
         assert_eq!(full.n_received, full.n_sent); // perfect channel
         let short = r.run(1, 0, false);
-        assert_eq!(short.n_necessary, short.n_necessary);
         assert!(short.n_received <= full.n_received);
     }
 
@@ -436,7 +396,7 @@ mod tests {
     fn repetition_baseline_decodes_only_when_all_coupons_collected() {
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 100,
                 ExpansionRatio::R2_5,
                 TxModel::RepeatSource { copies: 2 },
@@ -458,7 +418,7 @@ mod tests {
         let ch = GilbertParams::new(0.2, 0.3).unwrap();
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 500,
                 ExpansionRatio::R2_5,
                 TxModel::RepeatSource { copies: 2 },
@@ -476,7 +436,7 @@ mod tests {
     fn reception_model_runs_without_channel() {
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 200,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -493,7 +453,7 @@ mod tests {
     fn ldgm_parity_only_reception_fails() {
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 200,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -510,7 +470,7 @@ mod tests {
         // n - k >= k per block at ratio 2.5, so RSE decodes from parity only
         // (paper §4.5: RSE can be used as a non-systematic code).
         let r = Runner::new(
-            exp(CodeKind::Rse, 200, ExpansionRatio::R2_5, TxModel::Random),
+            exp(builtin::rse(), 200, ExpansionRatio::R2_5, TxModel::Random),
             1,
         )
         .unwrap();
@@ -524,7 +484,7 @@ mod tests {
         // dedicated Gilbert path exactly (same seed derivation).
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 300,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -544,7 +504,7 @@ mod tests {
     fn observed_losses_cover_every_transmitted_packet() {
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 200,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -564,7 +524,7 @@ mod tests {
     fn observed_run_honours_the_transmission_plan() {
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 200,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -591,7 +551,7 @@ mod tests {
         // triggers the absorbing Loss state, so the second receives nothing.
         let r = Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 100,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -610,7 +570,7 @@ mod tests {
     fn deterministic_runs() {
         let r = Runner::new(
             exp(
-                CodeKind::LdgmTriangle,
+                builtin::ldgm_triangle(),
                 300,
                 ExpansionRatio::R2_5,
                 TxModel::Random,
@@ -630,7 +590,7 @@ mod tests {
     fn runner_validation() {
         assert!(Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 10,
                 ExpansionRatio::Custom(1.1),
                 TxModel::Random
@@ -640,7 +600,7 @@ mod tests {
         .is_err()); // only 1 check equation
         assert!(Runner::new(
             exp(
-                CodeKind::LdgmStaircase,
+                builtin::ldgm_staircase(),
                 100,
                 ExpansionRatio::R2_5,
                 TxModel::Random

@@ -1,104 +1,20 @@
-//! Experiment vocabulary: the codes and expansion ratios under study.
+//! Experiment vocabulary: codec handles, expansion ratios, errors.
+//!
+//! The codes themselves live in [`fec_codec`]; this module re-exports the
+//! vocabulary (`CodeKind` stays available as the deprecated closed
+//! shorthand) and keeps the simulation-facing error type.
 
 use core::fmt;
 
-use fec_ldgm::RightSide;
-use fec_rse::Partition;
 use fec_sched::Layout;
-use serde::{Deserialize, Serialize};
 
-/// The FEC codes compared by the paper (plus plain LDGM for ablations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum CodeKind {
-    /// Reed-Solomon erasure over GF(2^8), blocked per RFC 5052 when the
-    /// object exceeds one block.
-    Rse,
-    /// LDGM Staircase (large block).
-    LdgmStaircase,
-    /// LDGM Triangle (large block).
-    LdgmTriangle,
-    /// Plain LDGM (identity right side) — the ablation baseline; the paper
-    /// introduces it (§2.3.1) but does not evaluate it.
-    LdgmPlain,
-}
-
-impl CodeKind {
-    /// The three codes evaluated in the paper, in paper order.
-    pub fn paper_codes() -> [CodeKind; 3] {
-        [
-            CodeKind::Rse,
-            CodeKind::LdgmStaircase,
-            CodeKind::LdgmTriangle,
-        ]
-    }
-
-    /// Short name used in reports (matches the paper's terminology).
-    pub fn name(&self) -> &'static str {
-        match self {
-            CodeKind::Rse => "RSE",
-            CodeKind::LdgmStaircase => "LDGM Staircase",
-            CodeKind::LdgmTriangle => "LDGM Triangle",
-            CodeKind::LdgmPlain => "LDGM",
-        }
-    }
-
-    /// Whether this is a single-block (large block) code.
-    pub fn is_large_block(&self) -> bool {
-        !matches!(self, CodeKind::Rse)
-    }
-
-    /// The LDGM right-side shape, if this is an LDGM variant.
-    pub fn ldgm_right_side(&self) -> Option<RightSide> {
-        match self {
-            CodeKind::Rse => None,
-            CodeKind::LdgmStaircase => Some(RightSide::Staircase),
-            CodeKind::LdgmTriangle => Some(RightSide::Triangle),
-            CodeKind::LdgmPlain => Some(RightSide::Identity),
-        }
-    }
-}
-
-impl fmt::Display for CodeKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// FEC expansion ratio `n/k` (§2.1; the inverse of the code rate).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum ExpansionRatio {
-    /// `n/k = 1.5` (code rate 2/3).
-    R1_5,
-    /// `n/k = 2.5` (code rate 2/5).
-    R2_5,
-    /// Any other ratio `>= 1` (used by ablations).
-    Custom(f64),
-}
-
-impl ExpansionRatio {
-    /// The two ratios studied throughout the paper.
-    pub fn paper_ratios() -> [ExpansionRatio; 2] {
-        [ExpansionRatio::R1_5, ExpansionRatio::R2_5]
-    }
-
-    /// The numeric value.
-    pub fn as_f64(&self) -> f64 {
-        match *self {
-            ExpansionRatio::R1_5 => 1.5,
-            ExpansionRatio::R2_5 => 2.5,
-            ExpansionRatio::Custom(r) => r,
-        }
-    }
-}
-
-impl fmt::Display for ExpansionRatio {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.as_f64())
-    }
-}
+// Re-exported so `fec_sim::{CodeKind, ExpansionRatio}` keeps working for
+// the whole workspace.
+pub use fec_codec::{CodeKind, CodecHandle, ExpansionRatio};
 
 /// Errors from experiment validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// Invalid experiment parameters.
     BadExperiment {
@@ -117,60 +33,39 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Builds the packet [`Layout`] for a `(code, k, ratio)` triple: RFC 5052
-/// blocking for RSE, one big block for LDGM-*.
-pub fn layout_for(code: CodeKind, k: usize, ratio: f64) -> Result<Layout, SimError> {
-    if k == 0 {
-        return Err(SimError::BadExperiment {
-            reason: "k must be positive".into(),
-        });
-    }
-    if ratio < 1.0 || !ratio.is_finite() {
-        return Err(SimError::BadExperiment {
-            reason: format!("expansion ratio {ratio} must be >= 1"),
-        });
-    }
-    match code {
-        CodeKind::Rse => {
-            let part = Partition::for_ratio(k, ratio);
-            Ok(Layout::from_blocks(
-                part.blocks().iter().map(|b| (b.k, b.n)),
-            ))
-        }
-        _ => {
-            let n = ((k as f64) * ratio).floor() as usize;
-            if n <= k {
-                return Err(SimError::BadExperiment {
-                    reason: format!("ratio {ratio} yields no parity for k = {k}"),
-                });
-            }
-            Ok(Layout::single_block(k, n))
+impl From<fec_codec::CodecError> for SimError {
+    fn from(e: fec_codec::CodecError) -> SimError {
+        SimError::BadExperiment {
+            reason: e.to_string(),
         }
     }
 }
 
-/// Builds the RSE partition for an experiment (None for LDGM codes).
-pub fn partition_for(code: CodeKind, k: usize, ratio: f64) -> Option<Partition> {
-    matches!(code, CodeKind::Rse).then(|| Partition::for_ratio(k, ratio))
+/// Builds the packet [`Layout`] for a `(code, k, ratio)` triple.
+///
+/// Compatibility wrapper: the layout is a codec property now — this simply
+/// resolves the code (a `CodeKind` or any codec handle) and asks it.
+pub fn layout_for(code: impl Into<CodecHandle>, k: usize, ratio: f64) -> Result<Layout, SimError> {
+    Ok(code.into().layout(k, ratio)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fec_codec::builtin;
 
     #[test]
     fn paper_vocabulary() {
-        assert_eq!(CodeKind::paper_codes().len(), 3);
         assert_eq!(ExpansionRatio::R1_5.as_f64(), 1.5);
         assert_eq!(ExpansionRatio::R2_5.as_f64(), 2.5);
-        assert_eq!(CodeKind::Rse.name(), "RSE");
-        assert!(!CodeKind::Rse.is_large_block());
-        assert!(CodeKind::LdgmTriangle.is_large_block());
+        assert_eq!(builtin::rse().name(), "RSE");
+        assert!(!builtin::rse().is_large_block());
+        assert!(builtin::ldgm_triangle().is_large_block());
     }
 
     #[test]
     fn ldgm_layout_is_single_block() {
-        let l = layout_for(CodeKind::LdgmStaircase, 1000, 2.5).unwrap();
+        let l = layout_for(builtin::ldgm_staircase(), 1000, 2.5).unwrap();
         assert_eq!(l.num_blocks(), 1);
         assert_eq!(l.total_packets(), 2500);
         assert_eq!(l.total_source(), 1000);
@@ -178,7 +73,7 @@ mod tests {
 
     #[test]
     fn rse_layout_is_blocked() {
-        let l = layout_for(CodeKind::Rse, 1000, 2.5).unwrap();
+        let l = layout_for(builtin::rse(), 1000, 2.5).unwrap();
         assert!(l.num_blocks() > 1);
         assert_eq!(l.total_source(), 1000);
         // Every block fits the GF(2^8) bound.
@@ -189,28 +84,22 @@ mod tests {
 
     #[test]
     fn paper_scale_rse_layout() {
-        let l = layout_for(CodeKind::Rse, 20_000, 2.5).unwrap();
+        let l = layout_for(builtin::rse(), 20_000, 2.5).unwrap();
         assert_eq!(l.num_blocks(), 197);
         assert_eq!(l.total_packets(), 49_953);
     }
 
     #[test]
     fn paper_scale_ldgm_layout() {
-        let l = layout_for(CodeKind::LdgmTriangle, 20_000, 2.5).unwrap();
+        let l = layout_for(builtin::ldgm_triangle(), 20_000, 2.5).unwrap();
         assert_eq!(l.total_packets(), 50_000);
     }
 
     #[test]
     fn validation_errors() {
-        assert!(layout_for(CodeKind::Rse, 0, 2.5).is_err());
-        assert!(layout_for(CodeKind::LdgmStaircase, 10, 0.5).is_err());
-        assert!(layout_for(CodeKind::LdgmStaircase, 10, 1.0).is_err());
-        assert!(layout_for(CodeKind::Rse, 10, f64::NAN).is_err());
-    }
-
-    #[test]
-    fn partition_only_for_rse() {
-        assert!(partition_for(CodeKind::Rse, 100, 1.5).is_some());
-        assert!(partition_for(CodeKind::LdgmStaircase, 100, 1.5).is_none());
+        assert!(layout_for(builtin::rse(), 0, 2.5).is_err());
+        assert!(layout_for(builtin::ldgm_staircase(), 10, 0.5).is_err());
+        assert!(layout_for(builtin::ldgm_staircase(), 10, 1.0).is_err());
+        assert!(layout_for(builtin::rse(), 10, f64::NAN).is_err());
     }
 }

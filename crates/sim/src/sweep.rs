@@ -217,7 +217,7 @@ impl GridSweep {
         });
 
         SweepResult {
-            experiment: *self.runner.experiment(),
+            experiment: self.runner.experiment().clone(),
             config: self.config.clone(),
             cells: results
                 .into_iter()
@@ -284,10 +284,11 @@ impl GridSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CodeKind, ExpansionRatio};
+    use crate::ExpansionRatio;
+    use fec_codec::{builtin, CodecHandle};
     use fec_sched::TxModel;
 
-    fn tiny_sweep(code: CodeKind, tx: TxModel) -> SweepResult {
+    fn tiny_sweep(code: CodecHandle, tx: TxModel) -> SweepResult {
         let exp = Experiment::new(code, 200, ExpansionRatio::R2_5, tx);
         let cfg = SweepConfig {
             runs: 5,
@@ -303,7 +304,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_every_cell_in_order() {
-        let r = tiny_sweep(CodeKind::LdgmStaircase, TxModel::Random);
+        let r = tiny_sweep(builtin::ldgm_staircase(), TxModel::Random);
         assert_eq!(r.cells.len(), 6);
         let coords: Vec<(f64, f64)> = r.cells.iter().map(|c| (c.p, c.q)).collect();
         assert_eq!(
@@ -321,7 +322,7 @@ mod tests {
 
     #[test]
     fn perfect_channel_cells_never_fail() {
-        let r = tiny_sweep(CodeKind::Rse, TxModel::Interleaved);
+        let r = tiny_sweep(builtin::rse(), TxModel::Interleaved);
         for c in r.cells.iter().filter(|c| c.p == 0.0) {
             assert_eq!(c.failures, 0);
             assert!(c.mean_inefficiency.is_some());
@@ -331,7 +332,7 @@ mod tests {
     #[test]
     fn hopeless_cells_are_masked() {
         // p=0.9, q=0.1 → 90% loss: impossible at ratio 2.5.
-        let r = tiny_sweep(CodeKind::LdgmStaircase, TxModel::Random);
+        let r = tiny_sweep(builtin::ldgm_staircase(), TxModel::Random);
         let c = r.cell(0.9, 0.1).unwrap();
         assert_eq!(c.failures, c.runs);
         assert!(c.is_masked());
@@ -342,12 +343,13 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let exp = Experiment::new(
-            CodeKind::LdgmTriangle,
+            builtin::ldgm_triangle(),
             150,
             ExpansionRatio::R2_5,
             TxModel::Random,
         );
         let mk = |threads| {
+            let exp = exp.clone();
             let cfg = SweepConfig {
                 runs: 4,
                 grid_p: vec![0.0, 0.2],
@@ -364,7 +366,7 @@ mod tests {
 
     #[test]
     fn track_total_populates_received_ratio() {
-        let exp = Experiment::new(CodeKind::Rse, 100, ExpansionRatio::R1_5, TxModel::Random);
+        let exp = Experiment::new(builtin::rse(), 100, ExpansionRatio::R1_5, TxModel::Random);
         let cfg = SweepConfig {
             runs: 3,
             grid_p: vec![0.1],
@@ -381,17 +383,17 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let exp = Experiment::new(CodeKind::Rse, 10, ExpansionRatio::R1_5, TxModel::Random);
+        let exp = Experiment::new(builtin::rse(), 10, ExpansionRatio::R1_5, TxModel::Random);
         let bad_runs = SweepConfig {
             runs: 0,
             ..SweepConfig::default()
         };
-        assert!(GridSweep::new(exp, bad_runs).is_err());
+        assert!(GridSweep::new(exp.clone(), bad_runs).is_err());
         let bad_grid = SweepConfig {
             grid_p: vec![1.5],
             ..SweepConfig::default()
         };
-        assert!(GridSweep::new(exp, bad_grid).is_err());
+        assert!(GridSweep::new(exp.clone(), bad_grid).is_err());
         let empty_grid = SweepConfig {
             grid_q: vec![],
             ..SweepConfig::default()
@@ -401,7 +403,7 @@ mod tests {
 
     #[test]
     fn grand_mean_and_surface() {
-        let r = tiny_sweep(CodeKind::LdgmStaircase, TxModel::Random);
+        let r = tiny_sweep(builtin::ldgm_staircase(), TxModel::Random);
         let gm = r.grand_mean().unwrap();
         assert!(gm >= 1.0, "inefficiency is at least 1, got {gm}");
         for (_, _, m) in r.surface() {
@@ -413,7 +415,7 @@ mod tests {
     fn sweep_result_serializes() {
         // Float text formatting may differ in the last ulp, so compare the
         // JSON fixed point: deserialize -> serialize must be idempotent.
-        let r = tiny_sweep(CodeKind::Rse, TxModel::Random);
+        let r = tiny_sweep(builtin::rse(), TxModel::Random);
         let json = serde_json::to_string(&r).unwrap();
         let back: SweepResult = serde_json::from_str(&json).unwrap();
         let json2 = serde_json::to_string(&back).unwrap();

@@ -44,12 +44,7 @@ fn main() {
         let object: Vec<u8> = (0..k * symbol)
             .map(|i| ((i as u32 * 31 + object_id * 17) % 251) as u8)
             .collect();
-        let spec = CodeSpec {
-            kind: decision.code,
-            k,
-            ratio: decision.ratio,
-            matrix_seed: 11,
-        };
+        let spec = CodeSpec::new(decision.code.clone(), k, decision.ratio).with_matrix_seed(11);
         let sender = Sender::new(spec.clone(), &object, symbol).unwrap();
 
         // Plan the transmission if the estimate supports one.

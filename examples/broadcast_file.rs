@@ -32,7 +32,7 @@ fn main() {
         rec.tx.name(),
         rec.rationale
     );
-    let spec = CodeSpec::for_object(rec.code, ExpansionRatio::R2_5, object.len(), symbol)
+    let spec = CodeSpec::for_object(rec.code.clone(), ExpansionRatio::R2_5, object.len(), symbol)
         .expect("valid parameters");
     let sender = Sender::new(spec.clone(), &object, symbol).expect("encode");
     println!(

@@ -88,12 +88,7 @@ fn main() {
 
     // --- 5. Validate the plan on a (smaller) real object.
     let symbol = 64;
-    let spec = CodeSpec {
-        kind: best.code,
-        k: selector.k,
-        ratio: best.ratio,
-        matrix_seed: 11,
-    };
+    let spec = CodeSpec::new(best.code.clone(), selector.k, best.ratio).with_matrix_seed(11);
     let object: Vec<u8> = (0..selector.k * symbol).map(|i| (i % 241) as u8).collect();
     let sender = Sender::new(spec.clone(), &object, symbol).expect("encode");
     let small_plan = best.plan.as_ref().expect("winner has a plan");

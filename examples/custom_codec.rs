@@ -1,0 +1,239 @@
+//! Registering a third-party erasure code and using it end to end.
+//!
+//! This is the workspace's "write your own codec" walkthrough: a complete
+//! single-parity XOR code (any `k` of its `k + 1` encoding symbols
+//! recover the object) implemented against `fec_codec::ErasureCode`,
+//! registered at runtime, then driven through every consumer that
+//! resolves codecs by name — a byte-true `fec-core` sender/receiver
+//! session, the `fec-sim` Monte-Carlo runner, and serialized `CodeSpec`s —
+//! plus the conformance harness that proves it behaves like a codec.
+//!
+//! Run with: `cargo run --example custom_codec`
+
+use std::sync::Arc;
+
+use fec_broadcast::codec::{
+    conformance, registry, BlockParity, CodecError, DecodeProgress, Decoder, Encoder, Envelope,
+    ErasureCode, SessionParams, StructuralFactory, StructuralSession,
+};
+use fec_broadcast::prelude::*;
+
+/// A single-parity XOR code: `n = k + 1`, parity = XOR of all sources.
+///
+/// It corrects exactly one erasure — useless for the paper's channels,
+/// perfect for showing the seam: nothing below this file knows it exists.
+struct XorParity;
+
+impl ErasureCode for XorParity {
+    fn id(&self) -> &str {
+        "xor-parity"
+    }
+
+    fn name(&self) -> &str {
+        "XOR single parity"
+    }
+
+    // No IANA FEC Encoding ID: usable everywhere except ALC transport.
+    fn fti_id(&self) -> Option<u8> {
+        None
+    }
+
+    // Keep it out of the §6 recommenders' candidate set: a 1-erasure
+    // parity code is never a broadcast recommendation. (Codecs that should
+    // compete leave the default `true` and are picked up automatically by
+    // `MeasuredSelector` and the benches.)
+    fn recommendable(&self) -> bool {
+        false
+    }
+
+    fn envelope(&self) -> Envelope {
+        Envelope {
+            min_k: 1,
+            max_k: 1 << 16,
+            min_ratio: 1.0,
+            max_ratio: 2.0,
+        }
+    }
+
+    fn supports(&self, k: usize, ratio: f64) -> bool {
+        // Exactly one parity symbol: floor(k * ratio) == k + 1.
+        self.envelope().contains(k, ratio) && ((k as f64) * ratio).floor() as usize == k + 1
+    }
+
+    fn layout(&self, k: usize, ratio: f64) -> Result<Layout, CodecError> {
+        if !self.supports(k, ratio) {
+            return Err(CodecError::UnsupportedGeometry {
+                code: self.id().into(),
+                k,
+                ratio,
+                reason: "single-parity needs floor(k * ratio) == k + 1".into(),
+            });
+        }
+        Ok(Layout::single_block(k, k + 1))
+    }
+
+    fn encoder(&self, p: &SessionParams) -> Result<Box<dyn Encoder>, CodecError> {
+        self.layout(p.k, p.ratio)?;
+        Ok(Box::new(XorEncoder))
+    }
+
+    fn decoder(&self, p: &SessionParams) -> Result<Box<dyn Decoder>, CodecError> {
+        self.layout(p.k, p.ratio)?;
+        Ok(Box::new(XorDecoder {
+            k: p.k,
+            have: vec![None; p.k + 1],
+            received: 0,
+        }))
+    }
+
+    fn structural_factory(
+        &self,
+        k: usize,
+        ratio: f64,
+        _seeds: &[u64],
+    ) -> Result<Box<dyn StructuralFactory>, CodecError> {
+        self.layout(k, ratio)?;
+        Ok(Box::new(XorFactory { k }))
+    }
+}
+
+struct XorEncoder;
+
+impl Encoder for XorEncoder {
+    fn encode(&mut self, source: &[&[u8]]) -> Result<BlockParity, CodecError> {
+        let mut parity = source[0].to_vec();
+        for s in &source[1..] {
+            parity.iter_mut().zip(*s).for_each(|(p, b)| *p ^= b);
+        }
+        Ok(vec![vec![parity]]) // one block, one parity symbol
+    }
+}
+
+struct XorDecoder {
+    k: usize,
+    have: Vec<Option<Vec<u8>>>,
+    received: u64,
+}
+
+impl Decoder for XorDecoder {
+    fn add_symbol(&mut self, r: PacketRef, payload: &[u8]) -> Result<DecodeProgress, CodecError> {
+        self.received += 1;
+        self.have[r.esi as usize].get_or_insert_with(|| payload.to_vec());
+        Ok(self.progress())
+    }
+
+    fn progress(&self) -> DecodeProgress {
+        let missing = self.have[..self.k].iter().filter(|s| s.is_none()).count();
+        let solvable = missing == 0 || (missing == 1 && self.have[self.k].is_some());
+        DecodeProgress {
+            received: self.received,
+            decoded_source: if solvable { self.k } else { self.k - missing },
+            total_source: self.k,
+        }
+    }
+
+    fn into_source(self: Box<Self>) -> Result<Vec<Vec<u8>>, CodecError> {
+        let p = self.progress();
+        if !p.is_decoded() {
+            return Err(CodecError::NotDecoded {
+                decoded: p.decoded_source,
+                needed: p.total_source,
+            });
+        }
+        let mut have = self.have;
+        if let Some(hole) = (0..self.k).find(|&i| have[i].is_none()) {
+            let mut fill = have[self.k].clone().expect("parity present");
+            for (i, s) in have[..self.k].iter().enumerate() {
+                if i != hole {
+                    let s = s.as_ref().expect("only one hole");
+                    fill.iter_mut().zip(s).for_each(|(p, b)| *p ^= b);
+                }
+            }
+            have[hole] = Some(fill);
+        }
+        Ok(have.into_iter().take(self.k).map(Option::unwrap).collect())
+    }
+}
+
+struct XorFactory {
+    k: usize,
+}
+
+impl StructuralFactory for XorFactory {
+    fn session(&self, _run_idx: u64) -> Box<dyn StructuralSession + '_> {
+        Box::new(XorStructural {
+            seen: vec![false; self.k + 1],
+            distinct: 0,
+            k: self.k,
+        })
+    }
+}
+
+struct XorStructural {
+    seen: Vec<bool>,
+    distinct: usize,
+    k: usize,
+}
+
+impl StructuralSession for XorStructural {
+    fn add(&mut self, r: PacketRef) -> bool {
+        if !self.seen[r.esi as usize] {
+            self.seen[r.esi as usize] = true;
+            self.distinct += 1;
+        }
+        self.distinct >= self.k
+    }
+}
+
+fn main() {
+    // 1. Register. From here on the codec resolves by name everywhere.
+    registry::register(Arc::new(XorParity)).expect("no conflicts");
+    let code = registry::resolve("xor-parity").expect("just registered");
+    println!("registered: {} ({})", code.id(), code.name());
+    // recommendable() == false keeps it out of the §6 candidate sets the
+    // recommenders and benches sweep.
+    assert!(registry::candidates()
+        .iter()
+        .all(|c| c.id() != "xor-parity"));
+
+    // 2. Prove it behaves like a codec (the same harness the built-ins
+    //    pass; panics with a description on any violation).
+    let k = 50;
+    let ratio = ExpansionRatio::Custom(1.02); // floor(50 * 1.02) = 51 = k + 1
+    conformance::check_shape(&code, k, ratio.as_f64());
+    println!("conformance: ok for (k = {k}, ratio = {ratio})");
+
+    // 3. A byte-true session through fec-core, losing one packet — the
+    //    exact budget a single parity covers.
+    let symbol = 32;
+    let spec = CodeSpec::new(code.clone(), k, ratio);
+    let object: Vec<u8> = (0..k * symbol - 3).map(|i| (i % 251) as u8).collect();
+    let sender = Sender::new(spec.clone(), &object, symbol).expect("encode");
+    let mut receiver = Receiver::new(spec.clone(), object.len(), symbol).expect("receiver");
+    for (i, packet) in sender.transmission(TxModel::Random, 7).iter().enumerate() {
+        if i == 3 {
+            continue; // one erasure
+        }
+        if receiver.push(packet).expect("valid packet").is_decoded() {
+            break;
+        }
+    }
+    assert_eq!(receiver.into_object().expect("decoded"), object);
+    println!("fec-core session: decoded through 1 erasure");
+
+    // 4. The Monte-Carlo runner accepts it like any built-in.
+    let exp = Experiment::new(code.clone(), k, ratio, TxModel::Random);
+    let out = Runner::new(exp, 1)
+        .expect("valid experiment")
+        .run(11, 0, false);
+    println!(
+        "fec-sim run: decoded = {}, n_necessary = {:?} (k = {k})",
+        out.decoded, out.n_necessary
+    );
+
+    // 5. Serialized specs name it, and resolve back through the registry.
+    let json = serde_json::to_string(&spec).expect("serialize");
+    let back: CodeSpec = serde_json::from_str(&json).expect("resolves by name");
+    assert_eq!(back, spec);
+    println!("CodeSpec wire form: {json}");
+}

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use fec_broadcast::channel::analysis::FeasibilityLimit;
+use fec_broadcast::codec::{registry, CodecHandle};
 use fec_broadcast::prelude::*;
 use fec_broadcast::sim::report;
 
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         }
     };
     let result = match command.as_str() {
+        "codecs" => cmd_codecs(&opts),
         "recommend" => cmd_recommend(&opts),
         "plan" => cmd_plan(&opts),
         "sweep" => cmd_sweep(&opts),
@@ -59,13 +61,17 @@ const USAGE: &str = "\
 fec-broadcast — FEC scheduling & loss-distribution toolkit (INRIA RR-5578)
 
 USAGE:
+  fec-broadcast codecs
+      List the registered erasure codecs (name, FTI id, (k, ratio)
+      envelope). Every --code argument below accepts any listed name.
+
   fec-broadcast recommend [--p <p> --q <q>] [--high-loss]
       Rule-based §6.1 recommendations. With --p/--q: for that known channel.
 
   fec-broadcast plan --k <k> --ratio <r> --inef <i> --p <p> --q <q> [--tolerance <n>]
       Equation-3 transmission plan: how many packets to actually send.
 
-  fec-broadcast sweep --code <rse|staircase|triangle> --tx <1..6> --ratio <r>
+  fec-broadcast sweep --code <name> --tx <1..6> --ratio <r>
                       [--k <k>] [--runs <n>] [--coarse]
       Monte-Carlo (p,q) grid sweep; prints a paper-style inefficiency table.
 
@@ -79,7 +85,7 @@ USAGE:
       and worst static configurations in hindsight.
 
   fec-broadcast send --file <path> --dest <addr:port>
-                     [--tsi <n>] [--code <rse|staircase|triangle>] [--tx <1..6>]
+                     [--tsi <n>] [--code <name>] [--tx <1..6>]
                      [--ratio <r>] [--symbol <bytes>] [--seed <n>]
                      [--loss-p <p> --loss-q <q>]
       FLUTE/ALC file broadcast over UDP (feedback-free). --loss-p/--loss-q
@@ -204,18 +210,64 @@ fn cmd_plan(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses `--code`, defaulting to the paper's universal recommendation.
+/// Parses `--code` against the codec registry (any registered name or
+/// alias), defaulting to the paper's universal recommendation.
 fn parse_code(
     opts: &HashMap<String, String>,
-    default: Option<CodeKind>,
-) -> Result<CodeKind, String> {
-    match opts.get("code").map(String::as_str) {
-        Some("rse") => Ok(CodeKind::Rse),
-        Some("staircase") => Ok(CodeKind::LdgmStaircase),
-        Some("triangle") => Ok(CodeKind::LdgmTriangle),
-        Some(other) => Err(format!("unknown --code {other:?}")),
-        None => default.ok_or_else(|| "--code is required (rse|staircase|triangle)".into()),
+    default: Option<CodecHandle>,
+) -> Result<CodecHandle, String> {
+    match opts.get("code") {
+        Some(token) => registry::resolve(token).map_err(|e| {
+            format!(
+                "{e} (try `fec-broadcast codecs`; registered: {})",
+                registered_names().join(", ")
+            )
+        }),
+        None => default.ok_or_else(|| {
+            format!(
+                "--code is required (one of: {})",
+                registered_names().join(", ")
+            )
+        }),
     }
+}
+
+fn registered_names() -> Vec<String> {
+    registry::registered()
+        .iter()
+        .map(|c| c.id().to_string())
+        .collect()
+}
+
+fn cmd_codecs(_opts: &HashMap<String, String>) -> Result<(), String> {
+    println!(
+        "{:<16} {:<16} {:>6} {:>12} {:>13} {:>6} {:>6}",
+        "name", "display", "fti", "k range", "ratio range", "seed", "block"
+    );
+    for code in registry::registered() {
+        let env = code.envelope();
+        println!(
+            "{:<16} {:<16} {:>6} {:>12} {:>13} {:>6} {:>6}",
+            code.id(),
+            code.name(),
+            code.fti_id()
+                .map_or_else(|| "-".into(), |id| id.to_string()),
+            format!("{}..{}", env.min_k, env.max_k),
+            format!("{}..{}", env.min_ratio, env.max_ratio),
+            if code.uses_matrix_seed() { "yes" } else { "no" },
+            if code.is_large_block() {
+                "large"
+            } else {
+                "small"
+            },
+        );
+    }
+    println!(
+        "
+aliases also resolve (e.g. \"staircase\", \"LdgmTriangle\", \"reed-solomon\");
+ablation-only codecs (no FTI id) cannot be used with `send`."
+    );
+    Ok(())
 }
 
 /// Parses `--tx` as a paper model number.
@@ -258,7 +310,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         fec_broadcast::channel::grid::GridKind::Paper.to_vec()
     };
 
-    let experiment = Experiment::new(code, k, ratio, tx);
+    let experiment = Experiment::new(code.clone(), k, ratio, tx);
     let config = SweepConfig {
         runs,
         grid_p: grid.clone(),
@@ -415,7 +467,10 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
     let path = opts.get("file").ok_or("--file is required")?;
     let dest = opts.get("dest").ok_or("--dest is required (addr:port)")?;
     let tsi = get_usize(opts, "tsi", 1)? as u32;
-    let code = parse_code(opts, Some(CodeKind::LdgmTriangle))?;
+    let code = parse_code(
+        opts,
+        Some(registry::resolve("ldgm-triangle").expect("builtin")),
+    )?;
     let tx = parse_tx(opts, Some(TxModel::Random))?;
     let ratio = ratio_from(get_f64(opts, "ratio")?.unwrap_or(1.5))?;
     let symbol = get_usize(opts, "symbol", 1024)?;
@@ -430,7 +485,16 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let mut session = FluteSender::new(SenderConfig::new(tsi));
     session
-        .add_object(1, name.clone(), &object, code, ratio, symbol, seed, tx)
+        .add_object(
+            1,
+            name.clone(),
+            &object,
+            code.clone(),
+            ratio,
+            symbol,
+            seed,
+            tx,
+        )
         .map_err(|e| e.to_string())?;
     let datagrams = session.datagrams(seed).map_err(|e| e.to_string())?;
 

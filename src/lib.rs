@@ -33,6 +33,7 @@
 
 pub use fec_adapt as adapt;
 pub use fec_channel as channel;
+pub use fec_codec as codec;
 pub use fec_core as core;
 pub use fec_flute as flute;
 pub use fec_gf256 as gf256;
@@ -48,9 +49,12 @@ pub mod prelude {
         AdaptiveController, AdaptiveRunner, ControllerConfig, OnlineGilbertEstimator, Scenario,
     };
     pub use fec_channel::{DriftingChannel, GilbertChannel, GilbertParams, LossModel, Regime};
+    pub use fec_codec::{
+        CodecHandle, CodecRegistry, DecodeProgress, Envelope, ErasureCode, SessionParams,
+    };
     pub use fec_core::{
-        recommend, Carousel, ChannelKnowledge, CodeSpec, DecodeProgress, MeasuredSelector, Packet,
-        Receiver, Recommendation, Sender, TransmissionPlan,
+        recommend, Carousel, ChannelKnowledge, CodeSpec, MeasuredSelector, Packet, Receiver,
+        Recommendation, Sender, TransmissionPlan,
     };
     pub use fec_flute::{FluteReceiver, FluteSender, ObjectStatus, ReceiverEvent, SenderConfig};
     pub use fec_sched::{Layout, PacketRef, RxModel, TxModel};

@@ -90,7 +90,33 @@ fn sweep_tiny_prints_paper_table() {
 fn sweep_rejects_bad_code() {
     let (ok, _, stderr) = run(&["sweep", "--code", "raptor", "--tx", "1", "--ratio", "1.5"]);
     assert!(!ok);
-    assert!(stderr.contains("unknown --code"));
+    assert!(stderr.contains("no registered codec matches"));
+    assert!(
+        stderr.contains("ldgm-staircase"),
+        "lists what is registered"
+    );
+}
+
+#[test]
+fn codecs_lists_the_registry() {
+    let (ok, stdout, _) = run(&["codecs"]);
+    assert!(ok);
+    for id in ["rse", "ldgm-staircase", "ldgm-triangle", "ldgm-plain"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+    assert!(stdout.contains("129"), "FTI ids shown");
+}
+
+#[test]
+fn code_arguments_accept_any_registered_spelling() {
+    for spelling in ["triangle", "ldgm-triangle", "LdgmTriangle"] {
+        let (ok, stdout, _) = run(&[
+            "sweep", "--code", spelling, "--tx", "4", "--ratio", "2.5", "--k", "60", "--runs", "1",
+            "--coarse",
+        ]);
+        assert!(ok, "--code {spelling} must resolve");
+        assert!(stdout.contains("LDGM Triangle"));
+    }
 }
 
 #[test]

@@ -6,9 +6,7 @@
 //! EXPERIMENTS.md is computed by the structural path, and this test is what
 //! entitles those numbers to speak for the real codec.
 
-use fec_broadcast::ldgm::{LdgmParams, SparseMatrix, StructuralDecoder};
 use fec_broadcast::prelude::*;
-use fec_broadcast::rse::{Partition, StructuralObjectDecoder};
 
 fn object(len: usize, seed: u8) -> Vec<u8> {
     (0..len)
@@ -28,37 +26,20 @@ fn run_both(
     seed: u64,
 ) -> (Option<u64>, Option<u64>) {
     let symbol = 8;
-    let spec = CodeSpec {
-        kind,
-        k,
-        ratio,
-        matrix_seed: seed ^ 0xAB,
-    };
+    let spec = CodeSpec::new(kind, k, ratio).with_matrix_seed(seed ^ 0xAB);
     let obj = object(k * symbol, seed as u8);
     let sender = Sender::new(spec.clone(), &obj, symbol).expect("sender");
     let mut receiver = Receiver::new(spec.clone(), obj.len(), symbol).expect("receiver");
 
-    // The structural twin is built from the *same* layout and, for LDGM,
-    // the same matrix seed the session uses.
+    // The structural twin is spawned through the same codec trait the
+    // Monte-Carlo runner uses, from the same structure seed the session
+    // uses.
     let layout = sender.layout().clone();
-    enum Structural<'m> {
-        Ldgm(StructuralDecoder<'m>),
-        Rse(StructuralObjectDecoder),
-    }
-    let matrix;
-    let partition;
-    let mut structural = match kind.ldgm_right_side() {
-        Some(right) => {
-            let (kb, nb) = layout.block(0);
-            matrix = SparseMatrix::build(LdgmParams::new(kb, nb, right, spec.matrix_seed))
-                .expect("matrix");
-            Structural::Ldgm(StructuralDecoder::new(&matrix))
-        }
-        None => {
-            partition = Partition::for_ratio(k, ratio.as_f64());
-            Structural::Rse(StructuralObjectDecoder::new(&partition))
-        }
-    };
+    let factory = spec
+        .code
+        .structural_factory(k, ratio.as_f64(), &[spec.matrix_seed])
+        .expect("structural factory");
+    let mut structural = factory.session(0);
 
     let mut gilbert = GilbertChannel::new(channel, seed ^ 0x77);
     let mut received = 0u64;
@@ -73,11 +54,7 @@ fn run_both(
         if receiver.push(&pkt).expect("ok").is_decoded() && payload_done.is_none() {
             payload_done = Some(received);
         }
-        let s_done = match &mut structural {
-            Structural::Ldgm(d) => d.push(r.esi),
-            Structural::Rse(d) => d.push(r.block as usize, r.esi as usize),
-        };
-        if s_done && structural_done.is_none() {
+        if structural.add(r) && structural_done.is_none() {
             structural_done = Some(received);
         }
         if payload_done.is_some() && structural_done.is_some() {

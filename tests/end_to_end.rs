@@ -47,12 +47,7 @@ fn all_codes_all_models_perfect_channel() {
         CodeKind::LdgmTriangle,
     ] {
         let k = 180;
-        let spec = CodeSpec {
-            kind,
-            k,
-            ratio: ExpansionRatio::R2_5,
-            matrix_seed: 5,
-        };
+        let spec = CodeSpec::new(kind, k, ExpansionRatio::R2_5).with_matrix_seed(5);
         let obj = object(k * symbol - 7, 1);
         for tx in TxModel::paper_models() {
             let n = session(&spec, &obj, symbol, tx, None, 42)
@@ -72,12 +67,7 @@ fn all_codes_survive_moderate_bursty_loss() {
         CodeKind::LdgmTriangle,
     ] {
         let k = 300;
-        let spec = CodeSpec {
-            kind,
-            k,
-            ratio: ExpansionRatio::R2_5,
-            matrix_seed: 9,
-        };
+        let spec = CodeSpec::new(kind, k, ExpansionRatio::R2_5).with_matrix_seed(9);
         let obj = object(k * symbol, 2);
         // Robust schedules only (Tx1 legitimately dies under bursts).
         let tx = if kind == CodeKind::Rse {

@@ -50,12 +50,7 @@ fn full_operational_loop_on_a_known_channel() {
     //    the winning schedule and verify the object still arrives.
     let k = selector.k;
     let symbol = 8;
-    let spec = CodeSpec {
-        kind: best.code,
-        k,
-        ratio: best.ratio,
-        matrix_seed: 77,
-    };
+    let spec = CodeSpec::new(best.code.clone(), k, best.ratio).with_matrix_seed(77);
     let obj: Vec<u8> = (0..k * symbol).map(|i| (i % 251) as u8).collect();
     let sender = Sender::new(spec.clone(), &obj, symbol).expect("sender");
     let mut delivered = 0;
@@ -94,7 +89,8 @@ fn unknown_channel_recommendation_is_universal() {
         GilbertParams::new(0.05, 0.3).unwrap(), // bursty
         GilbertParams::new(0.01, 0.9).unwrap(), // sparse
     ] {
-        let exp = Experiment::new(rec.code, k, ExpansionRatio::R2_5, rec.tx).with_channel(channel);
+        let exp = Experiment::new(rec.code.clone(), k, ExpansionRatio::R2_5, rec.tx)
+            .with_channel(channel);
         let runner = Runner::new(exp, 2).expect("runner");
         for run in 0..5 {
             let out = runner.run(11, run, false);
