@@ -156,6 +156,10 @@ fn bench_decode(c: &mut Criterion) {
 
 fn bench_gf_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("gf256_kernels");
+    println!(
+        "  active kernel backend: {}",
+        fec_gf256::kernels::active_name()
+    );
     let a = vec![0xA5u8; 64 * 1024];
     let mut b = vec![0x5Au8; 64 * 1024];
     group.throughput(Throughput::Bytes(a.len() as u64));

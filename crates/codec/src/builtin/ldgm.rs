@@ -10,7 +10,7 @@ use fec_sched::{Layout, PacketRef, TxModel};
 
 use crate::{
     BlockParity, CodecError, DecodeProgress, Decoder, Encoder, Envelope, ErasureCode,
-    ExpansionRatio, SessionParams, StructuralFactory, StructuralSession,
+    ExpansionRatio, SessionParams, StructuralFactory, StructuralSession, Symbol,
 };
 
 /// A large-block LDGM code (§2.3): plain, Staircase or Triangle, selected
@@ -248,6 +248,20 @@ impl Decoder for LdgmSessionDecoder {
         Ok(self.progress())
     }
 
+    fn add_symbols(&mut self, batch: &[Symbol<'_>]) -> Result<DecodeProgress, CodecError> {
+        // One pass over the burst: the LDGM batch entry point validates
+        // everything up front and skips duplicates / already-solved
+        // variables without entering the peeling machinery.
+        let packets: Vec<(u32, &[u8])> = batch.iter().map(|s| (s.packet.esi, s.payload)).collect();
+        self.inner
+            .push_batch(&packets)
+            .map_err(|e| CodecError::Decode {
+                code: self.id.to_string(),
+                source: Box::new(e),
+            })?;
+        Ok(self.progress())
+    }
+
     fn progress(&self) -> DecodeProgress {
         DecodeProgress {
             received: self.inner.received(),
@@ -274,16 +288,27 @@ impl StructuralFactory for LdgmStructuralFactory {
         let matrix = &self.matrices[run_idx as usize % self.matrices.len()];
         Box::new(LdgmStructuralSession {
             inner: StructuralDecoder::new(matrix),
+            scratch: Vec::new(),
         })
     }
 }
 
 struct LdgmStructuralSession<'m> {
     inner: StructuralDecoder<'m>,
+    /// Reusable id buffer for the batched path.
+    scratch: Vec<u32>,
 }
 
 impl StructuralSession for LdgmStructuralSession<'_> {
     fn add(&mut self, packet: PacketRef) -> bool {
         self.inner.push(packet.esi)
+    }
+
+    fn add_batch(&mut self, batch: &[PacketRef]) -> Option<usize> {
+        // Large-block LDGM is single-block: the ESI is the variable id, so
+        // the whole window forwards to the structural decoder in one call.
+        self.scratch.clear();
+        self.scratch.extend(batch.iter().map(|r| r.esi));
+        self.inner.push_batch(&self.scratch)
     }
 }

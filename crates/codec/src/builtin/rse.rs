@@ -7,7 +7,7 @@ use fec_sched::{Layout, PacketRef, TxModel};
 
 use crate::{
     BlockParity, CodecError, DecodeProgress, Decoder, Encoder, Envelope, ErasureCode,
-    ExpansionRatio, SessionParams, StructuralFactory, StructuralSession,
+    ExpansionRatio, SessionParams, StructuralFactory, StructuralSession, Symbol,
 };
 
 /// Reed-Solomon erasure over GF(2^8), segmented into RFC 5052-style
@@ -206,37 +206,76 @@ struct RseSessionDecoder {
     received: u64,
 }
 
+/// Solves `block` from its buffered packets (call once it holds at least
+/// `k` distinct symbols). `decode` uses the first `k` distinct ESIs, so a
+/// deferred batched solve and an eager per-symbol solve produce identical
+/// output.
+fn solve_block(
+    codecs: &mut HashMap<(usize, usize), RseCodec>,
+    block: &mut RseBlock,
+) -> Result<usize, CodecError> {
+    let codec = codec_for(codecs, block.k, block.n)?;
+    let refs: Vec<(u32, &[u8])> = block
+        .packets
+        .iter()
+        .map(|(esi, b)| (*esi, b.as_slice()))
+        .collect();
+    let solved = codec.decode(&refs).map_err(|e| CodecError::Decode {
+        code: "rse".into(),
+        source: Box::new(e),
+    })?;
+    block.solved = Some(solved);
+    block.packets = Vec::new(); // free buffered payloads
+    Ok(block.k - block.src_received)
+}
+
+impl RseSessionDecoder {
+    /// Buffers one symbol without attempting a solve. Returns `true` if
+    /// the symbol was novel (not a duplicate, block not already solved).
+    fn buffer_symbol(&mut self, packet: PacketRef, payload: &[u8]) -> bool {
+        self.received += 1;
+        let block = &mut self.blocks[packet.block as usize];
+        if block.solved.is_some() || block.seen[packet.esi as usize] {
+            return false;
+        }
+        block.seen[packet.esi as usize] = true;
+        block.packets.push((packet.esi, payload.to_vec()));
+        if (packet.esi as usize) < block.k {
+            // A systematic source symbol is known the moment it arrives,
+            // before the block as a whole decodes.
+            block.src_received += 1;
+            self.decoded_source += 1;
+        }
+        true
+    }
+}
+
 impl Decoder for RseSessionDecoder {
     fn add_symbol(
         &mut self,
         packet: PacketRef,
         payload: &[u8],
     ) -> Result<DecodeProgress, CodecError> {
-        self.received += 1;
-        let block = &mut self.blocks[packet.block as usize];
-        if block.solved.is_none() && !block.seen[packet.esi as usize] {
-            block.seen[packet.esi as usize] = true;
-            block.packets.push((packet.esi, payload.to_vec()));
-            if (packet.esi as usize) < block.k {
-                // A systematic source symbol is known the moment it
-                // arrives, before the block as a whole decodes.
-                block.src_received += 1;
-                self.decoded_source += 1;
+        if self.buffer_symbol(packet, payload) {
+            let block = &mut self.blocks[packet.block as usize];
+            if block.packets.len() >= block.k {
+                self.decoded_source += solve_block(&mut self.codecs, block)?;
             }
-            if block.packets.len() == block.k {
-                let codec = codec_for(&mut self.codecs, block.k, block.n)?;
-                let refs: Vec<(u32, &[u8])> = block
-                    .packets
-                    .iter()
-                    .map(|(esi, b)| (*esi, b.as_slice()))
-                    .collect();
-                let solved = codec.decode(&refs).map_err(|e| CodecError::Decode {
-                    code: "rse".into(),
-                    source: Box::new(e),
-                })?;
-                block.solved = Some(solved);
-                block.packets = Vec::new(); // free buffered payloads
-                self.decoded_source += block.k - block.src_received;
+        }
+        Ok(self.progress())
+    }
+
+    fn add_symbols(&mut self, batch: &[Symbol<'_>]) -> Result<DecodeProgress, CodecError> {
+        // Buffer the whole burst first, then run each touched block's
+        // matrix inversion + fused GF(2⁸) row solve exactly once — the
+        // per-symbol path re-checks every block boundary, the batched
+        // path eliminates the burst in one pass.
+        for s in batch {
+            self.buffer_symbol(s.packet, s.payload);
+        }
+        for block in &mut self.blocks {
+            if block.solved.is_none() && block.packets.len() >= block.k {
+                self.decoded_source += solve_block(&mut self.codecs, block)?;
             }
         }
         Ok(self.progress())
@@ -273,16 +312,26 @@ impl StructuralFactory for RseStructuralFactory {
     fn session(&self, _run_idx: u64) -> Box<dyn StructuralSession + '_> {
         Box::new(RseStructuralSession {
             inner: StructuralObjectDecoder::new(&self.partition),
+            scratch: Vec::new(),
         })
     }
 }
 
 struct RseStructuralSession {
     inner: StructuralObjectDecoder,
+    /// Reusable `(block, esi)` buffer for the batched path.
+    scratch: Vec<(usize, usize)>,
 }
 
 impl StructuralSession for RseStructuralSession {
     fn add(&mut self, packet: PacketRef) -> bool {
         self.inner.push(packet.block as usize, packet.esi as usize)
+    }
+
+    fn add_batch(&mut self, batch: &[PacketRef]) -> Option<usize> {
+        self.scratch.clear();
+        self.scratch
+            .extend(batch.iter().map(|r| (r.block as usize, r.esi as usize)));
+        self.inner.push_batch(&self.scratch)
     }
 }

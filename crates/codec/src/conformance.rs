@@ -5,6 +5,10 @@
 //! duplicate / out-of-order / truncated packet streams, a deterministic
 //! loss pattern, the batched decoder entry point, payload-vs-structural
 //! agreement, and the corners of its declared `(k, ratio)` envelope.
+//! [`check_batched`] (run from `check`) additionally hammers the batched
+//! entry points with adversarial windows: odd symbol sizes, in-batch
+//! duplicates, reordering, already-decoded symbols, and a
+//! window-boundary-exact batched-vs-sequential equivalence check.
 //! It panics with a descriptive message on the first violation — call it
 //! from a `#[test]`:
 //!
@@ -19,7 +23,9 @@ use fec_sched::{Layout, PacketRef, TxModel};
 
 use crate::{CodecHandle, SessionParams, Symbol};
 
-/// Symbol size used throughout the harness (small, to keep it fast).
+/// Symbol size used by the schedule/stream checks (small, to keep the
+/// harness fast); [`check_batched`] additionally sweeps adversarial
+/// odd sizes.
 const SYMBOL_SIZE: usize = 16;
 
 /// Structure seed used for every seeded session.
@@ -29,20 +35,26 @@ const SEED: u64 = 0xC0DEC;
 /// harness fast while still hitting multi-block / large-matrix shapes).
 const MAX_TEST_K: usize = 300;
 
-/// Deterministic test object: `k * SYMBOL_SIZE - 5` bytes so the final
-/// symbol exercises padding.
-fn object(k: usize) -> Vec<u8> {
-    (0..k * SYMBOL_SIZE - 5)
+/// Bytes the test object leaves off `k * symbol_size` so the final symbol
+/// exercises padding (0 for one-byte symbols, where no partial symbol is
+/// possible).
+fn pad_of(symbol_size: usize) -> usize {
+    symbol_size.saturating_sub(1).min(5)
+}
+
+/// Deterministic test object of `k * symbol_size - pad_of(..)` bytes.
+fn object_sized(k: usize, symbol_size: usize) -> Vec<u8> {
+    (0..k * symbol_size - pad_of(symbol_size))
         .map(|i| (i * 31 % 251) as u8)
         .collect()
 }
 
 /// Splits an object into `k` zero-padded symbols.
-fn symbols(object: &[u8], k: usize) -> Vec<Vec<u8>> {
+fn symbols(object: &[u8], k: usize, symbol_size: usize) -> Vec<Vec<u8>> {
     let out: Vec<Vec<u8>> = object
-        .chunks(SYMBOL_SIZE)
+        .chunks(symbol_size)
         .map(|c| {
-            let mut s = vec![0u8; SYMBOL_SIZE];
+            let mut s = vec![0u8; symbol_size];
             s[..c.len()].copy_from_slice(c);
             s
         })
@@ -60,18 +72,27 @@ struct EncodedObject {
 
 impl EncodedObject {
     fn build(code: &CodecHandle, k: usize, ratio: f64) -> (EncodedObject, Vec<u8>) {
-        let ctx = format!("{}(k={k}, ratio={ratio})", code.id());
+        EncodedObject::build_sized(code, k, ratio, SYMBOL_SIZE)
+    }
+
+    fn build_sized(
+        code: &CodecHandle,
+        k: usize,
+        ratio: f64,
+        symbol_size: usize,
+    ) -> (EncodedObject, Vec<u8>) {
+        let ctx = format!("{}(k={k}, ratio={ratio}, sym={symbol_size})", code.id());
         let layout = code
             .layout(k, ratio)
             .unwrap_or_else(|e| panic!("{ctx}: layout failed: {e}"));
         assert_eq!(layout.total_source(), k as u64, "{ctx}: layout k mismatch");
-        let object = object(k);
-        let source = symbols(&object, k);
+        let object = object_sized(k, symbol_size);
+        let source = symbols(&object, k, symbol_size);
         let refs: Vec<&[u8]> = source.iter().map(|s| s.as_slice()).collect();
         let params = SessionParams {
             k,
             ratio,
-            symbol_size: SYMBOL_SIZE,
+            symbol_size,
             seed: SEED,
         };
         let parity = code
@@ -91,7 +112,7 @@ impl EncodedObject {
             assert_eq!(block_parity.len(), nb - kb, "{ctx}: block {b} parity count");
             payloads.extend_from_slice(&source[src_off..src_off + kb]);
             for p in block_parity {
-                assert_eq!(p.len(), SYMBOL_SIZE, "{ctx}: parity symbol size");
+                assert_eq!(p.len(), symbol_size, "{ctx}: parity symbol size");
                 payloads.push(p.clone());
             }
             src_off += kb;
@@ -264,6 +285,131 @@ pub fn check_shape(code: &CodecHandle, k: usize, ratio: f64) {
     );
 }
 
+/// Adversarial odd symbol sizes [`check_batched`] sweeps: a one-byte
+/// symbol (no padding possible, every kernel call is all-tail), a small
+/// prime, and a large prime that straddles every SIMD block width.
+const BATCH_SYMBOL_SIZES: &[usize] = &[1, 13, 1023];
+
+/// Batched-path conformance: [`Decoder::add_symbols`](crate::Decoder::add_symbols)
+/// must be indistinguishable from the
+/// [`Decoder::add_symbol`](crate::Decoder::add_symbol) loop, and
+/// [`StructuralSession::add_batch`](crate::StructuralSession::add_batch)
+/// from the [`add`](crate::StructuralSession::add) loop, under
+/// adversarial batches — odd symbol sizes, duplicates inside and across
+/// batches, reordered windows, and symbols arriving after their block
+/// (or the whole object) already decoded.
+///
+/// Run from [`check`]; callable on its own for quick iteration on a
+/// codec's batched path.
+pub fn check_batched(code: &CodecHandle) {
+    let (k, ratio) = shapes(code)[0];
+    for &symbol_size in BATCH_SYMBOL_SIZES {
+        check_batched_shape(code, k, ratio, symbol_size);
+    }
+}
+
+/// One `(k, ratio, symbol_size)` shape of the batched conformance suite.
+pub fn check_batched_shape(code: &CodecHandle, k: usize, ratio: f64, symbol_size: usize) {
+    let ctx = format!("{}(k={k}, ratio={ratio}, sym={symbol_size})", code.id());
+    let (enc, object) = EncodedObject::build_sized(code, k, ratio, symbol_size);
+    let params = SessionParams {
+        k,
+        ratio,
+        symbol_size,
+        seed: SEED,
+    };
+
+    // Adversarial stream: windows of a random schedule, each window
+    // reversed and with its first packet duplicated, followed (after the
+    // whole object has been delivered) by a window of already-decoded
+    // symbols. Window sizes vary so batch boundaries land on every
+    // alignment.
+    let schedule = TxModel::Random.schedule(&enc.layout, 13);
+    let window_sizes = [1usize, 2, 7, 3, 16, 5, 64, 11];
+    let mut windows: Vec<Vec<PacketRef>> = Vec::new();
+    let mut cursor = 0usize;
+    let mut size_idx = 0usize;
+    while cursor < schedule.len() {
+        let want = window_sizes[size_idx % window_sizes.len()];
+        size_idx += 1;
+        let end = (cursor + want).min(schedule.len());
+        let mut w: Vec<PacketRef> = schedule[cursor..end].iter().rev().copied().collect();
+        let dup = w[0];
+        w.push(dup); // in-batch duplicate
+        windows.push(w);
+        cursor = end;
+    }
+    // A final window of symbols the decoder has already solved.
+    windows.push(schedule[..schedule.len().min(10)].to_vec());
+
+    // Feed the same windows to a batched and a sequential decoder; their
+    // progress must agree at every window boundary (not just at the end).
+    let mut batched = code
+        .decoder(&params)
+        .unwrap_or_else(|e| panic!("{ctx}: decoder failed: {e}"));
+    let mut sequential = code.decoder(&params).expect("decoder");
+    for (w_idx, window) in windows.iter().enumerate() {
+        let batch: Vec<Symbol<'_>> = window
+            .iter()
+            .map(|&r| Symbol {
+                packet: r,
+                payload: enc.payload(r),
+            })
+            .collect();
+        let via_batch = batched
+            .add_symbols(&batch)
+            .unwrap_or_else(|e| panic!("{ctx}: add_symbols failed: {e}"));
+        let mut via_loop = sequential.progress();
+        for &r in window {
+            via_loop = sequential
+                .add_symbol(r, enc.payload(r))
+                .unwrap_or_else(|e| panic!("{ctx}: add_symbol failed: {e}"));
+        }
+        assert_eq!(
+            via_batch, via_loop,
+            "{ctx}: batched and sequential progress diverge after window {w_idx}"
+        );
+    }
+    let final_progress = batched.progress();
+    assert!(
+        final_progress.is_decoded(),
+        "{ctx}: full delivery must decode"
+    );
+    let total_fed: usize = windows.iter().map(Vec::len).sum();
+    assert_eq!(
+        final_progress.received, total_fed as u64,
+        "{ctx}: every batched symbol (duplicates included) must be counted"
+    );
+    for (name, dec) in [("batched", batched), ("sequential", sequential)] {
+        let mut got: Vec<u8> = dec
+            .into_source()
+            .unwrap_or_else(|e| panic!("{ctx}: {name} into_source failed: {e}"))
+            .concat();
+        got.truncate(object.len());
+        assert_eq!(got, object, "{ctx}: {name} byte mismatch");
+    }
+
+    // Structural sessions: the batched entry point must complete at the
+    // same packet index as the per-packet loop on the same stream.
+    let flat: Vec<PacketRef> = windows.iter().flatten().copied().collect();
+    let factory = code
+        .structural_factory(k, ratio, &[SEED])
+        .unwrap_or_else(|e| panic!("{ctx}: structural_factory failed: {e}"));
+    let mut looped = factory.session(0);
+    let loop_done = flat.iter().position(|&r| looped.add(r));
+    for window in [&flat[..], &flat[..flat.len() / 2]] {
+        let mut batched = factory.session(0);
+        let batch_done = batched.add_batch(window);
+        let expect = loop_done.filter(|&i| i < window.len());
+        assert_eq!(
+            batch_done,
+            expect,
+            "{ctx}: structural add_batch completion index (window {})",
+            window.len()
+        );
+    }
+}
+
 /// The `(k, ratio)` shapes [`check`] exercises: a mid-size shape per paper
 /// ratio plus the corners of the codec's declared envelope (clamped to
 /// `MAX_TEST_K` (300) so huge envelopes stay testable).
@@ -320,6 +466,7 @@ pub fn check(code: &CodecHandle) {
     for (k, ratio) in shapes(code) {
         check_shape(code, k, ratio);
     }
+    check_batched(code);
     // Out-of-envelope geometry must be rejected, not mis-encoded.
     assert!(
         code.layout(0, 1.5).is_err(),

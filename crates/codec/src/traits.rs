@@ -110,10 +110,17 @@ pub trait Decoder: Send {
 
     /// Feeds a batch of symbols.
     ///
-    /// Semantically identical to looping [`Decoder::add_symbol`]; it exists
-    /// so implementations can amortise per-call work (SIMD XOR sweeps,
-    /// batched GF(2⁸) multiplies) without an API break. The default
-    /// implementation is the loop.
+    /// For any batch of **valid** symbols this is semantically identical
+    /// to looping [`Decoder::add_symbol`] (the conformance harness pins
+    /// the equivalence at every batch boundary); implementations override
+    /// it to amortise per-call work. The built-ins do: RSE defers each
+    /// block's solve to the end of the batch, LDGM validates the burst up
+    /// front and skips known variables before the peeling machinery. On
+    /// an invalid symbol an implementation may reject the batch
+    /// atomically (nothing consumed) instead of consuming the valid
+    /// prefix the way a loop would — session layers validate packets
+    /// before they reach the codec, so only direct codec users see the
+    /// difference. The default implementation is the loop.
     fn add_symbols(&mut self, batch: &[Symbol<'_>]) -> Result<DecodeProgress, CodecError> {
         for s in batch {
             self.add_symbol(s.packet, s.payload)?;
@@ -147,6 +154,25 @@ pub trait StructuralFactory: Send + Sync {
 pub trait StructuralSession {
     /// Records the arrival of `packet`; true once the object is decodable.
     fn add(&mut self, packet: PacketRef) -> bool;
+
+    /// Records a whole window of arrivals (a loss-schedule batch). Every
+    /// packet is processed; the return value is the index within `batch`
+    /// at which [`StructuralSession::add`] first returned `true`, or
+    /// `None` if the object is still undecodable afterwards.
+    ///
+    /// Semantically identical to looping [`StructuralSession::add`]; it
+    /// exists so implementations can amortise per-packet dispatch (the
+    /// sweep engine feeds batches of ~128 packets through one virtual
+    /// call). The default implementation is the loop.
+    fn add_batch(&mut self, batch: &[PacketRef]) -> Option<usize> {
+        let mut done_at = None;
+        for (i, &packet) in batch.iter().enumerate() {
+            if self.add(packet) && done_at.is_none() {
+                done_at = Some(i);
+            }
+        }
+        done_at
+    }
 }
 
 /// An erasure code, as the rest of the workspace sees it.

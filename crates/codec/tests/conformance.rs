@@ -18,6 +18,20 @@ fn ldgm_triangle_conforms() {
 }
 
 #[test]
+fn every_builtin_survives_adversarial_batches() {
+    // Also runs inside `check`; kept as a named test so a batched-path
+    // regression points straight at the batched suite.
+    for code in [
+        builtin::rse(),
+        builtin::ldgm_staircase(),
+        builtin::ldgm_triangle(),
+        builtin::ldgm_plain(),
+    ] {
+        conformance::check_batched(&code);
+    }
+}
+
+#[test]
 fn every_registered_recommendable_codec_conforms() {
     // The same property the paper's methodology relies on: anything the
     // recommenders may pick behaves like a codec under every schedule.

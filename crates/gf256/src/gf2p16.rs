@@ -70,6 +70,7 @@ fn tables() -> &'static Tables {
 /// assert_eq!(a + a, Gf2p16::ZERO);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+#[repr(transparent)] // the kernel layer reinterprets symbol slices as bytes
 pub struct Gf2p16(pub u16);
 
 impl Gf2p16 {
@@ -204,18 +205,19 @@ impl fmt::Display for Gf2p16 {
 // Symbol kernels: symbols are &[u16] (the codec converts wire bytes).
 // ---------------------------------------------------------------------------
 
-/// `dst[i] ^= c * src[i]` over GF(2^16) symbols.
+/// `dst[i] ^= c * src[i]` over GF(2^16) symbols, dispatched through the
+/// active [`crate::kernels`] backend (the `c = 1` fast path rides the wide
+/// byte-XOR kernels; general coefficients stay log/exp-table-bound on every
+/// backend — GF(2^16) lacks a compile-time product table, which is exactly
+/// the cost asymmetry this module exists to measure).
 pub fn addmul_slice16(dst: &mut [Gf2p16], src: &[Gf2p16], c: Gf2p16) {
-    assert_eq!(dst.len(), src.len(), "symbol length mismatch");
-    if c.is_zero() {
-        return;
-    }
-    if c == Gf2p16::ONE {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d += *s;
-        }
-        return;
-    }
+    crate::kernels::active().addmul_slice16(dst, src, c);
+}
+
+/// The scalar general-coefficient kernel every backend's `addmul16` vtable
+/// entry points at. The caller guarantees equal lengths and `c ∉ {0, 1}`.
+pub(crate) fn addmul16_scalar(dst: &mut [Gf2p16], src: &[Gf2p16], c: Gf2p16) {
+    debug_assert!(!c.is_zero() && c != Gf2p16::ONE);
     // Hoist the log of c; each element still pays a log + exp lookup —
     // this is the slowness the paper cites, measured in `speed_codecs`.
     let t = tables();

@@ -7,9 +7,13 @@
 //!   compile-time exp/log tables over the primitive polynomial
 //!   `x^8 + x^4 + x^3 + x^2 + 1` (`0x11D`, the polynomial used by Rizzo's
 //!   classic `fec` codec and by CCSDS Reed-Solomon),
-//! * [`kernels`] — the hot slice kernels (`xor_slice`, `addmul_slice`, …)
-//!   that move actual packet payloads, backed by a compile-time 64 KiB
-//!   multiplication table,
+//! * [`kernels`] — the hot slice kernels (`xor_slice`, `addmul_slice`, the
+//!   fused `xor_acc_many` / `addmul_acc_many`, …) that move actual packet
+//!   payloads. They dispatch through a runtime-selected backend: a safe
+//!   `u64`-lane portable implementation everywhere, plus `std::arch`
+//!   SSE2/SSSE3/AVX2 (x86_64) and NEON (aarch64) backends using
+//!   split-nibble shuffle multiplies, detected once at first use and
+//!   overridable via `FEC_FORCE_KERNEL`,
 //! * [`Matrix`] — a dense matrix over GF(2^8) with Gauss-Jordan inversion and
 //!   Vandermonde constructors, used to build systematic generator matrices
 //!   and to solve the decoding systems,
@@ -20,11 +24,15 @@
 //!   §2.2 decision to stay on GF(2^8) (its tables are runtime-initialised;
 //!   a compile-time multiplication table would need 8 GiB).
 //!
-//! Design notes (see DESIGN.md at the workspace root): no `unsafe`, no
-//! macro/type tricks; the GF(2^8) tables are `const fn`-generated so the
-//! common path has zero runtime initialisation and no dependencies.
+//! Design notes (see DESIGN.md at the workspace root): no macro/type
+//! tricks; the GF(2^8) tables are `const fn`-generated so the common path
+//! has zero runtime initialisation and no dependencies. `unsafe` is denied
+//! crate-wide and allowed only inside the SIMD kernel backends (and the
+//! one slice-reinterpret helper they share), where every block carries a
+//! `SAFETY` comment and every backend is differentially tested against
+//! the scalar reference (`tests/kernel_props.rs`).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;

@@ -146,6 +146,58 @@ impl Decoder {
         })
     }
 
+    /// Feeds a burst of received packets in one call.
+    ///
+    /// Reaches the same decoder state as [`Decoder::push`]ing each
+    /// `(id, payload)` in order, but the whole batch is validated up front
+    /// and duplicate/known variables are skipped without entering the
+    /// peeling machinery, so a receiver can hand over an entire
+    /// loss-schedule window at once.
+    ///
+    /// Returns [`PushOutcome::Complete`] once all `k` source packets are
+    /// known, [`PushOutcome::Progress`] if **this batch** taught the
+    /// decoder something, and [`PushOutcome::Useless`] for a window of
+    /// pure duplicates/already-solved variables.
+    ///
+    /// # Errors
+    /// Fails on the first invalid id or payload length **without
+    /// consuming any of the batch** (all-or-nothing validation — unlike a
+    /// `push` loop, which would consume the valid prefix first).
+    pub fn push_batch(&mut self, batch: &[(u32, &[u8])]) -> Result<PushOutcome, LdgmError> {
+        for &(id, payload) in batch {
+            if id as usize >= self.matrix.n() {
+                return Err(LdgmError::BadPacketId {
+                    id,
+                    n: self.matrix.n(),
+                });
+            }
+            if payload.len() != self.symbol_len {
+                return Err(LdgmError::SymbolLengthMismatch {
+                    expected: self.symbol_len,
+                    got: payload.len(),
+                });
+            }
+        }
+        self.received += batch.len() as u64;
+        let decoded_before = self.decoded_source;
+        let mut learned = false;
+        for &(id, payload) in batch {
+            if !self.is_complete() && !self.known[id as usize] {
+                self.learn(id as usize, payload.to_vec());
+                learned = true;
+            }
+        }
+        Ok(if self.is_complete() {
+            PushOutcome::Complete
+        } else if learned || self.decoded_source > decoded_before {
+            PushOutcome::Progress {
+                decoded_source: self.decoded_source,
+            }
+        } else {
+            PushOutcome::Useless
+        })
+    }
+
     /// Marks variable `var` as known and cascades the peeling.
     fn learn(&mut self, var: usize, value: Vec<u8>) {
         debug_assert!(!self.known[var]);
@@ -383,6 +435,56 @@ mod tests {
             assert!(complete_at >= 40, "cannot decode below k packets");
             assert_eq!(d.into_source().unwrap(), src, "{right}");
         }
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_push() {
+        let (m, src, parity) = setup(40, 100, RightSide::Staircase, 8, 8);
+        let mut batched = Decoder::new(m.clone(), 8);
+        let mut sequential = Decoder::new(m.clone(), 8);
+        let all: Vec<(u32, &[u8])> = src
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_slice()))
+            .chain(
+                parity
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| ((40 + i) as u32, p.as_slice())),
+            )
+            .collect();
+        for window in all.chunks(13) {
+            batched.push_batch(window).unwrap();
+            for &(id, payload) in window {
+                sequential.push(id, payload).unwrap();
+            }
+            assert_eq!(batched.decoded_source(), sequential.decoded_source());
+            assert_eq!(batched.received(), sequential.received());
+        }
+        assert!(batched.is_complete());
+        assert_eq!(batched.into_source().unwrap(), src);
+    }
+
+    #[test]
+    fn push_batch_outcomes() {
+        let (m, src, _) = setup(10, 30, RightSide::Staircase, 5, 4);
+        let mut d = Decoder::new(m.clone(), 4);
+        let first: Vec<(u32, &[u8])> = vec![(0, &src[0]), (1, &src[1])];
+        assert!(matches!(
+            d.push_batch(&first).unwrap(),
+            PushOutcome::Progress { decoded_source: 2 }
+        ));
+        // A window of pure duplicates is useless, not progress.
+        assert_eq!(d.push_batch(&first).unwrap(), PushOutcome::Useless);
+        assert_eq!(d.received(), 4);
+        // All-or-nothing validation: a bad id rejects the whole batch.
+        let bad: Vec<(u32, &[u8])> = vec![(2, &src[2]), (99, &src[3])];
+        assert!(d.push_batch(&bad).is_err());
+        assert_eq!(d.received(), 4, "rejected batch must consume nothing");
+        assert_eq!(d.decoded_source(), 2);
+        // Completing batch reports Complete.
+        let rest: Vec<(u32, &[u8])> = (2..10).map(|i| (i as u32, src[i].as_slice())).collect();
+        assert_eq!(d.push_batch(&rest).unwrap(), PushOutcome::Complete);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! is an order of magnitude faster than Reed-Solomon (paper §6.2), which the
 //! `speed_codecs` bench measures.
 
-use fec_gf256::kernels::xor_slice;
+use fec_gf256::kernels::xor_acc_many;
 
 use crate::{LdgmError, SparseMatrix};
 
@@ -49,15 +49,27 @@ impl<'m> Encoder<'m> {
         let mut parity: Vec<Vec<u8>> = Vec::with_capacity(m);
         for i in 0..m {
             let mut acc = vec![0u8; sym_len];
-            for &c in self.matrix.row(i) {
-                let c = c as usize;
-                if c < k {
-                    xor_slice(&mut acc, source[c]);
-                } else if c != k + i {
-                    // Earlier parity (guaranteed c - k < i by construction).
-                    xor_slice(&mut acc, &parity[c - k]);
-                }
-            }
+            // Gather the whole row and apply it as ONE fused multi-source
+            // XOR: the accumulator streams through the kernel backend once
+            // per row instead of once per non-zero entry.
+            let row: Vec<&[u8]> = self
+                .matrix
+                .row(i)
+                .iter()
+                .filter_map(|&c| {
+                    let c = c as usize;
+                    if c < k {
+                        Some(source[c])
+                    } else if c != k + i {
+                        // Earlier parity (guaranteed c - k < i by
+                        // construction).
+                        Some(parity[c - k].as_slice())
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            xor_acc_many(&mut acc, &row);
             parity.push(acc);
         }
         Ok(parity)
@@ -68,6 +80,7 @@ impl<'m> Encoder<'m> {
 mod tests {
     use super::*;
     use crate::{LdgmParams, RightSide};
+    use fec_gf256::kernels::xor_slice;
     use rand::{Rng, SeedableRng};
 
     fn source(k: usize, sym: usize, seed: u64) -> Vec<Vec<u8>> {

@@ -50,6 +50,31 @@ impl<'m> StructuralDecoder<'m> {
         self.is_complete()
     }
 
+    /// Feeds a whole window of received packet ids; every id is counted.
+    ///
+    /// Returns the index within `ids` at which decoding first completed
+    /// (the same index a [`StructuralDecoder::push`] loop would report),
+    /// or `None` if the decoder is still incomplete afterwards. The sweep
+    /// engine feeds loss-schedule batches through this to amortise its
+    /// per-packet dispatch.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id.
+    pub fn push_batch(&mut self, ids: &[u32]) -> Option<usize> {
+        let mut done_at = None;
+        for (i, &id) in ids.iter().enumerate() {
+            assert!((id as usize) < self.matrix.n(), "packet id out of range");
+            self.received += 1;
+            if !self.var_known[id as usize] {
+                self.learn(id);
+            }
+            if done_at.is_none() && self.is_complete() {
+                done_at = Some(i);
+            }
+        }
+        done_at
+    }
+
     fn learn(&mut self, var: u32) {
         self.mark_known(var);
         self.stack.push(var);

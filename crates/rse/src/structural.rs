@@ -67,6 +67,23 @@ impl StructuralObjectDecoder {
         self.is_decoded()
     }
 
+    /// Feeds a whole window of `(block, esi)` arrivals; every packet is
+    /// counted. Returns the index within `packets` at which the object
+    /// first became decodable (what a [`StructuralObjectDecoder::push`]
+    /// loop would report), or `None` if still short afterwards.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range block or ESI.
+    pub fn push_batch(&mut self, packets: &[(usize, usize)]) -> Option<usize> {
+        let mut done_at = None;
+        for (i, &(block, esi)) in packets.iter().enumerate() {
+            if self.push(block, esi) && done_at.is_none() {
+                done_at = Some(i);
+            }
+        }
+        done_at
+    }
+
     /// True once every block has at least `k_b` distinct packets.
     #[inline]
     pub fn is_decoded(&self) -> bool {

@@ -156,7 +156,18 @@ impl Runner {
     ) -> RunResult {
         let sched_seed = mix_seed(master_seed, &[TAG_SCHED, run_idx]);
         let schedule = self.experiment.tx.schedule(&self.layout, sched_seed);
-        self.walk(&schedule, |_| model.next_is_lost(), run_idx, track_total)
+        if track_total {
+            // The whole schedule is consumed regardless, so batching the
+            // session calls cannot change how far the external model
+            // advances.
+            self.walk(&schedule, |_| model.next_is_lost(), run_idx, true)
+        } else {
+            // An external model's state is shared across runs and the
+            // per-packet walk stops consuming it exactly at decode
+            // completion — batching would overdraw the loss process, so
+            // this path stays scalar.
+            self.walk_scalar(&schedule, |_| model.next_is_lost(), run_idx, false)
+        }
     }
 
     /// Like [`Runner::run_with_model`], but also returns the per-packet
@@ -203,9 +214,69 @@ impl Runner {
         self.walk(&arrivals, |_| false, run_idx, false)
     }
 
+    /// Survivor-window size for the batched walk: big enough to amortise
+    /// the per-call dispatch, small enough that an early-stopping run does
+    /// not decode far past its completion point.
+    const WALK_BATCH: usize = 128;
+
     /// Walks a packet sequence through a loss predicate into a fresh
-    /// structural decoding session.
+    /// structural decoding session, feeding the surviving packets down in
+    /// [`Runner::WALK_BATCH`]-sized windows
+    /// ([`StructuralSession::add_batch`]).
+    ///
+    /// Produces exactly the [`RunResult`] of the per-packet walk: the loss
+    /// predicate is still consumed once per transmitted packet, in order,
+    /// and the completion index inside a window pins `n_necessary` to the
+    /// packet. With `track_total = false` the walk stops at the window in
+    /// which decoding completed (the predicate may then be consumed up to
+    /// one window past the completing packet — callers whose predicate
+    /// state outlives the run use [`Runner::walk_scalar`] instead).
     fn walk(
+        &self,
+        sequence: &[PacketRef],
+        mut is_lost: impl FnMut(usize) -> bool,
+        run_idx: u64,
+        track_total: bool,
+    ) -> RunResult {
+        let mut session = self.make_session(run_idx);
+        let mut n_received = 0u64;
+        let mut n_necessary = None;
+        let mut batch: Vec<PacketRef> = Vec::with_capacity(Self::WALK_BATCH);
+        let mut idx = 0;
+        while idx < sequence.len() {
+            batch.clear();
+            while idx < sequence.len() && batch.len() < Self::WALK_BATCH {
+                if !is_lost(idx) {
+                    batch.push(sequence[idx]);
+                }
+                idx += 1;
+            }
+            if let Some(done) = session.add_batch(&batch) {
+                if n_necessary.is_none() {
+                    n_necessary = Some(n_received + done as u64 + 1);
+                    if !track_total {
+                        // The per-packet walk stops receiving at the
+                        // completing packet; mirror its count exactly.
+                        n_received = n_necessary.expect("just set");
+                        break;
+                    }
+                }
+            }
+            n_received += batch.len() as u64;
+        }
+        RunResult {
+            decoded: n_necessary.is_some(),
+            n_necessary,
+            n_received,
+            n_sent: sequence.len() as u64,
+        }
+    }
+
+    /// The per-packet reference walk: identical results to [`Runner::walk`],
+    /// but the loss predicate is never consumed past the completing packet.
+    /// Used when the predicate drives an external stateful [`LossModel`]
+    /// whose position must stay exact across runs.
+    fn walk_scalar(
         &self,
         sequence: &[PacketRef],
         mut is_lost: impl FnMut(usize) -> bool,
@@ -564,6 +635,29 @@ mod tests {
         assert!(first.n_received < first.n_sent);
         let second = r.run_with_model(&mut model, 1, 1, true);
         assert_eq!(second.n_received, 0, "absorbing state persisted");
+    }
+
+    #[test]
+    fn batched_walk_matches_scalar_walk() {
+        // `run_with_channel` goes through the batched walk;
+        // `run_with_model` with `track_total = false` stays on the scalar
+        // walk. Same seed derivation → the two must produce identical
+        // results for every code family.
+        for code in [builtin::ldgm_staircase(), builtin::rse()] {
+            let r = Runner::new(
+                exp(code.clone(), 300, ExpansionRatio::R2_5, TxModel::Random),
+                2,
+            )
+            .unwrap();
+            let params = GilbertParams::new(0.15, 0.4).unwrap();
+            for run_idx in 0..5 {
+                let batched = r.run_with_channel(params, 21, run_idx, false);
+                let chan_seed = crate::mix_seed(21, &[TAG_CHAN, run_idx]);
+                let mut model = GilbertChannel::new(params, chan_seed);
+                let scalar = r.run_with_model(&mut model, 21, run_idx, false);
+                assert_eq!(batched, scalar, "{code} run {run_idx}");
+            }
+        }
     }
 
     #[test]
