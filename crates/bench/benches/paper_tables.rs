@@ -8,7 +8,8 @@
 //! EXPERIMENTS.md.
 
 use fec_bench::{banner, compare, output, paper::PaperTable, Scale};
-use fec_sim::{report, Experiment, GridSweep, SweepConfig};
+use fec_distrib::{execute_plan, SweepPlan};
+use fec_sim::{report, Experiment, SweepConfig};
 
 fn selected() -> Vec<usize> {
     match std::env::var("FEC_REPRO_TABLES") {
@@ -40,9 +41,10 @@ fn main() {
             threads: None,
         };
         let experiment = Experiment::new(table.code, scale.k, table.ratio, table.tx);
-        let result = GridSweep::new(experiment, config)
-            .expect("experiment from a published table")
-            .execute();
+        // Through the sharded-sweep planner: the same plan document a
+        // multi-host regeneration of this table would distribute.
+        let plan = SweepPlan::new(experiment, config).expect("experiment from a published table");
+        let result = execute_plan(&plan).expect("experiment from a published table");
 
         println!(
             "\n=== {} — {} / {} / ratio {} ===",

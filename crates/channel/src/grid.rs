@@ -13,6 +13,20 @@ pub const COARSE_GRID: [f64; 8] = [0.0, 0.01, 0.05, 0.20, 0.40, 0.60, 0.80, 1.00
 /// Percent labels for [`PAPER_GRID`], as printed in the paper's appendix.
 pub const PAPER_GRID_PERCENT: [u32; 14] = [0, 1, 5, 10, 15, 20, 30, 40, 50, 60, 70, 80, 90, 100];
 
+/// Tolerance for matching a probability against a grid axis value.
+///
+/// Grid values live in `[0, 1]` and neighbouring paper-grid points are at
+/// least 0.01 apart, so an absolute epsilon nine orders of magnitude below
+/// the spacing can never be ambiguous while still absorbing parse/arithmetic
+/// noise (`1.0 - 0.9 != 0.1` bit-for-bit).
+pub const GRID_EPSILON: f64 = 1e-9;
+
+/// Resolves a probability to its index on a grid axis, tolerating float
+/// noise up to [`GRID_EPSILON`]. Returns `None` for off-grid values.
+pub fn index_of(axis: &[f64], value: f64) -> Option<usize> {
+    axis.iter().position(|&g| (g - value).abs() <= GRID_EPSILON)
+}
+
 /// The canonical grid selection used by sweep configs, bench scaling and
 /// the CLI. Every `(p, q)` axis in the workspace resolves through this one
 /// type so the values cannot drift apart.
@@ -59,6 +73,16 @@ mod tests {
         for (v, pct) in PAPER_GRID.iter().zip(PAPER_GRID_PERCENT) {
             assert!((v * 100.0 - pct as f64).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn index_of_tolerates_noise() {
+        assert_eq!(index_of(&PAPER_GRID, 0.1), Some(3));
+        assert_eq!(index_of(&PAPER_GRID, 1.0 - 0.9), Some(3));
+        assert_eq!(index_of(&PAPER_GRID, 0.10000000049), Some(3));
+        assert_eq!(index_of(&PAPER_GRID, 0.11), None);
+        assert_eq!(index_of(&COARSE_GRID, 1.0), Some(7));
+        assert_eq!(index_of(&[], 0.0), None);
     }
 
     #[test]

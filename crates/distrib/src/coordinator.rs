@@ -1,0 +1,202 @@
+//! The local coordinator: fans a plan out to worker subprocesses and
+//! merges their streamed partials.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use fec_sim::SweepResult;
+
+use crate::worker::parse_partial_line;
+use crate::{from_partials, DistribError, PartialSweep, SweepPlan};
+
+/// Spawns `workers` subprocesses speaking the worker protocol (plan JSON
+/// on stdin, [`PartialSweep`] JSONL on stdout) and merges their results.
+///
+/// The default construction self-execs the current binary with the
+/// `sweep-worker` subcommand — the CLI's `sweep --workers N` path — but
+/// any program implementing the protocol can be coordinated.
+pub struct Coordinator {
+    program: PathBuf,
+    args_prefix: Vec<String>,
+    workers: usize,
+    worker_threads: usize,
+}
+
+impl Coordinator {
+    /// Coordinates `workers` invocations of `program sweep-worker …`.
+    ///
+    /// Each worker runs single-threaded by default — the process count is
+    /// the parallelism knob on this path, so `--workers N` scales
+    /// linearly in N up to the host's cores (and oversubscription is
+    /// impossible). Use [`Coordinator::with_worker_threads`] for
+    /// multi-threaded workers.
+    pub fn new(program: impl Into<PathBuf>, workers: usize) -> Coordinator {
+        Coordinator {
+            program: program.into(),
+            args_prefix: vec!["sweep-worker".into()],
+            workers: workers.max(1),
+            worker_threads: 1,
+        }
+    }
+
+    /// Sets the `--threads` value passed to every worker (the plan itself
+    /// is never modified, so the merged result is unaffected).
+    pub fn with_worker_threads(mut self, threads: usize) -> Coordinator {
+        self.worker_threads = threads.max(1);
+        self
+    }
+
+    /// Coordinates `workers` copies of the current executable (the CLI
+    /// self-exec path).
+    pub fn self_exec(workers: usize) -> Result<Coordinator, DistribError> {
+        let exe = std::env::current_exe().map_err(DistribError::from)?;
+        Ok(Coordinator::new(exe, workers))
+    }
+
+    /// Replaces the argument prefix placed before `--shard i/n` (default:
+    /// `["sweep-worker"]`).
+    pub fn with_args_prefix(mut self, prefix: Vec<String>) -> Coordinator {
+        self.args_prefix = prefix;
+        self
+    }
+
+    /// Number of workers that will be spawned for `plan` (clamped to the
+    /// plan's unit count — an 8-unit plan never spawns 16 processes).
+    pub fn effective_workers(&self, plan: &SweepPlan) -> usize {
+        self.workers.min(plan.unit_count().max(1))
+    }
+
+    /// Runs the plan across the workers and merges the result.
+    ///
+    /// Each worker gets an `i/n` round-robin shard and the configured
+    /// `--threads` override (the plan itself is sent verbatim, so every
+    /// worker fingerprints the identical document). A worker that exits
+    /// non-zero or streams garbage fails the whole run with its stderr
+    /// tail.
+    pub fn run(&self, plan: &SweepPlan) -> Result<SweepResult, DistribError> {
+        let partials = self.collect_partials(plan)?;
+        from_partials(plan, &partials)
+    }
+
+    /// Runs the workers and returns the raw partials (the `run` half
+    /// without the merge; useful for tests and progress reporting).
+    pub fn collect_partials(&self, plan: &SweepPlan) -> Result<Vec<PartialSweep>, DistribError> {
+        let doc = plan.to_json()?;
+        let count = self.effective_workers(plan);
+        let mut children: Vec<Child> = Vec::with_capacity(count);
+        for index in 0..count {
+            let child = Command::new(&self.program)
+                .args(&self.args_prefix)
+                .arg("--shard")
+                .arg(format!("{index}/{count}"))
+                .arg("--threads")
+                .arg(self.worker_threads.to_string())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::piped())
+                .spawn()
+                .map_err(|e| DistribError::Worker {
+                    shard: index,
+                    detail: format!("spawn {}: {e}", self.program.display()),
+                })?;
+            children.push(child);
+        }
+
+        // Feed every worker its plan, then drain stdout AND stderr on
+        // scoped threads — both pipes must be consumed while the workers
+        // run, or a worker filling one of them blocks in write(2) and the
+        // whole run deadlocks.
+        let mut results: Vec<Result<Vec<PartialSweep>, DistribError>> = Vec::new();
+        let mut stderrs: Vec<String> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(count);
+            let mut stderr_handles = Vec::with_capacity(count);
+            for (index, child) in children.iter_mut().enumerate() {
+                let mut stdin = child.stdin.take().expect("piped");
+                let stdout = child.stdout.take().expect("piped");
+                let mut stderr = child.stderr.take().expect("piped");
+                let doc = doc.as_str();
+                stderr_handles.push(scope.spawn(move || -> String {
+                    let mut text = String::new();
+                    let _ = stderr.read_to_string(&mut text);
+                    text
+                }));
+                handles.push(
+                    scope.spawn(move || -> Result<Vec<PartialSweep>, DistribError> {
+                        stdin
+                            .write_all(doc.as_bytes())
+                            .and_then(|()| stdin.flush())
+                            .map_err(|e| DistribError::Worker {
+                                shard: index,
+                                detail: format!("writing plan: {e}"),
+                            })?;
+                        drop(stdin); // EOF: the worker reads to end before starting
+                        let mut partials = Vec::new();
+                        for line in BufReader::new(stdout).lines() {
+                            let line = line.map_err(|e| DistribError::Worker {
+                                shard: index,
+                                detail: format!("reading partials: {e}"),
+                            })?;
+                            if line.trim().is_empty() {
+                                continue;
+                            }
+                            partials.push(parse_partial_line(&line).map_err(|e| {
+                                DistribError::Worker {
+                                    shard: index,
+                                    detail: e.to_string(),
+                                }
+                            })?);
+                        }
+                        Ok(partials)
+                    }),
+                );
+            }
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect();
+            stderrs = stderr_handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect();
+        });
+
+        let mut partials = Vec::new();
+        let mut first_error = None;
+        for (index, ((child, result), stderr)) in
+            children.iter_mut().zip(results).zip(stderrs).enumerate()
+        {
+            let status = child.wait().map_err(|e| DistribError::Worker {
+                shard: index,
+                detail: format!("wait: {e}"),
+            })?;
+            if !status.success() {
+                let tail: String = stderr
+                    .lines()
+                    .rev()
+                    .take(4)
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect::<Vec<_>>()
+                    .join(" | ");
+                first_error.get_or_insert(DistribError::Worker {
+                    shard: index,
+                    detail: format!("exited with {status}: {tail}"),
+                });
+                continue;
+            }
+            match result {
+                Ok(mut p) => partials.append(&mut p),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(partials),
+        }
+    }
+}

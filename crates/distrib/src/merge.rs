@@ -1,0 +1,128 @@
+//! Merging partial results back into a [`SweepResult`].
+
+use fec_sim::{finalize_cells, CellAccum, SweepResult};
+
+use crate::{DistribError, PartialFile, PartialSweep, SweepPlan};
+
+/// Merges a set of partials into the plan's final [`SweepResult`], with
+/// completeness checking: every canonical unit must be accounted for
+/// exactly once (bit-identical duplicates — e.g. a rerun shard — are
+/// tolerated; conflicting duplicates are an error), every partial must
+/// carry the plan's fingerprint, and every accumulator must match its
+/// unit's cell and run count.
+///
+/// The per-unit accumulators are folded in canonical unit order, so the
+/// result is byte-identical to the single-process sweep of the same plan
+/// no matter how the units were partitioned or in which order the partials
+/// arrive.
+pub fn from_partials(
+    plan: &SweepPlan,
+    partials: &[PartialSweep],
+) -> Result<SweepResult, DistribError> {
+    let units = plan.units();
+    let expected = plan.fingerprint();
+    let mut slots: Vec<Option<&CellAccum>> = vec![None; units.len()];
+    for partial in partials {
+        if partial.fingerprint != expected {
+            return Err(DistribError::PlanMismatch {
+                expected,
+                found: partial.fingerprint,
+            });
+        }
+        for ur in &partial.units {
+            let unit = units
+                .get(ur.unit_id as usize)
+                .ok_or_else(|| DistribError::Protocol {
+                    detail: format!(
+                        "unit {} is not in the plan ({} units)",
+                        ur.unit_id,
+                        units.len()
+                    ),
+                })?;
+            if ur.accum.cell_idx != unit.cell_idx || ur.accum.runs != unit.run_len {
+                return Err(DistribError::Protocol {
+                    detail: format!(
+                        "unit {} accumulator covers cell {} over {} run(s), \
+                         but the plan says cell {} over {} run(s)",
+                        ur.unit_id, ur.accum.cell_idx, ur.accum.runs, unit.cell_idx, unit.run_len
+                    ),
+                });
+            }
+            match &slots[ur.unit_id as usize] {
+                Some(existing) if **existing != ur.accum => {
+                    return Err(DistribError::Protocol {
+                        detail: format!(
+                            "unit {} was reported twice with conflicting results",
+                            ur.unit_id
+                        ),
+                    });
+                }
+                Some(_) => {} // identical duplicate: idempotent
+                None => slots[ur.unit_id as usize] = Some(&ur.accum),
+            }
+        }
+    }
+
+    let missing: Vec<u32> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i as u32)
+        .collect();
+    if !missing.is_empty() {
+        return Err(DistribError::Incomplete {
+            missing_count: missing.len(),
+            missing: missing.into_iter().take(8).collect(),
+        });
+    }
+
+    let accums: Vec<CellAccum> = slots
+        .into_iter()
+        .map(|s| s.expect("checked complete").clone())
+        .collect();
+    Ok(SweepResult {
+        experiment: plan.experiment.clone(),
+        config: plan.config.clone(),
+        cells: finalize_cells(&plan.config, &accums),
+    })
+}
+
+/// Merges self-contained partial files (the multi-host workflow): all
+/// files must embed the identical plan; their unit sets together must
+/// cover it exactly.
+pub fn merge_files(files: &[PartialFile]) -> Result<SweepResult, DistribError> {
+    let first = files.first().ok_or_else(|| DistribError::Protocol {
+        detail: "no partial files to merge".into(),
+    })?;
+    let reference = first.plan.fingerprint();
+    for (i, f) in files.iter().enumerate().skip(1) {
+        let fp = f.plan.fingerprint();
+        if fp != reference {
+            return Err(DistribError::Protocol {
+                detail: format!(
+                    "partial file #{i} was produced by a different plan \
+                     (fingerprint {fp:#018x}, expected {reference:#018x}); \
+                     every host must run the same sweep parameters"
+                ),
+            });
+        }
+    }
+    let partials: Vec<PartialSweep> = files.iter().map(PartialFile::to_partial).collect();
+    from_partials(&first.plan, &partials)
+}
+
+/// Extension trait hanging the merge off [`SweepResult`] itself, so the
+/// call site reads `SweepResult::from_partials(&plan, &partials)`.
+pub trait FromPartials: Sized {
+    /// See [`from_partials`].
+    fn from_partials(plan: &SweepPlan, partials: &[PartialSweep]) -> Result<Self, DistribError>;
+}
+
+impl FromPartials for SweepResult {
+    fn from_partials(
+        plan: &SweepPlan,
+        partials: &[PartialSweep],
+    ) -> Result<SweepResult, DistribError> {
+        from_partials(plan, partials)
+    }
+}

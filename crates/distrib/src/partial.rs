@@ -1,0 +1,98 @@
+//! Partial sweep results: what workers stream and hosts ship.
+
+use fec_sim::CellAccum;
+use serde::{Deserialize, Serialize};
+
+use crate::{DistribError, SweepPlan};
+
+/// One executed work unit's accumulator, tagged with its canonical id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitResult {
+    /// The unit's position in the plan's canonical enumeration.
+    pub unit_id: u32,
+    /// The statistics accumulated over the unit's runs.
+    pub accum: CellAccum,
+}
+
+/// A set of unit results tied to a plan by fingerprint — the worker
+/// protocol's stream element (workers emit one single-unit `PartialSweep`
+/// JSON line per completed unit) and the in-memory merge input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialSweep {
+    /// [`SweepPlan::fingerprint`] of the plan these units belong to.
+    pub fingerprint: u64,
+    /// The executed units (any subset of the plan, any order).
+    pub units: Vec<UnitResult>,
+}
+
+/// A self-contained partial file: the plan plus the units one host
+/// executed. This is what `fec-broadcast sweep --shard i/n --emit-partial`
+/// writes and what the `merge` subcommand combines, so multi-host users
+/// never have to ship the plan separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialFile {
+    /// The complete plan (every host must have built the identical one).
+    pub plan: SweepPlan,
+    /// The units this file accounts for.
+    pub units: Vec<UnitResult>,
+}
+
+impl PartialFile {
+    /// Serializes the file document.
+    pub fn to_json(&self) -> Result<String, DistribError> {
+        serde_json::to_string(self).map_err(|e| DistribError::Protocol {
+            detail: format!("partial file does not serialize: {e}"),
+        })
+    }
+
+    /// Parses a file document.
+    pub fn from_json(json: &str) -> Result<PartialFile, DistribError> {
+        serde_json::from_str(json).map_err(|e| DistribError::Protocol {
+            detail: format!("malformed partial file: {e}"),
+        })
+    }
+
+    /// The fingerprint-tagged view used for merging.
+    pub fn to_partial(&self) -> PartialSweep {
+        PartialSweep {
+            fingerprint: self.plan.fingerprint(),
+            units: self.units.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fec_codec::builtin;
+    use fec_sim::{CellAccum, ExpansionRatio, Experiment, SweepConfig};
+
+    #[test]
+    fn partial_file_roundtrips() {
+        let plan = SweepPlan::new(
+            Experiment::new(
+                builtin::rse(),
+                100,
+                ExpansionRatio::R1_5,
+                fec_sched::TxModel::Random,
+            ),
+            SweepConfig {
+                runs: 2,
+                grid_p: vec![0.0],
+                grid_q: vec![0.0],
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        let mut accum = CellAccum::new(0);
+        accum.record(Some(1.0), 1.0);
+        accum.record(None, 0.5);
+        let file = PartialFile {
+            plan,
+            units: vec![UnitResult { unit_id: 0, accum }],
+        };
+        let back = PartialFile::from_json(&file.to_json().unwrap()).unwrap();
+        assert_eq!(back, file);
+        assert_eq!(back.to_partial().fingerprint, file.plan.fingerprint());
+    }
+}

@@ -1,0 +1,178 @@
+//! [`ShardSpec`] — which slice of a plan's work units one participant runs.
+
+use fec_sim::WorkUnit;
+use serde::{Deserialize, Serialize};
+
+use crate::DistribError;
+
+/// Selects a subset of a plan's canonical work units.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardSpec {
+    /// Round-robin: every unit whose `unit_id % count == index`.
+    ///
+    /// Because consecutive unit ids belong to consecutive cells/run-ranges,
+    /// round-robin spreads both grid rows and heavy cells evenly across
+    /// shards.
+    RoundRobin {
+        /// This shard's position, `0 <= index < count`.
+        index: u32,
+        /// Total number of shards.
+        count: u32,
+    },
+    /// An explicit list of unit ids (any order; executed in the order
+    /// given, merged in canonical order regardless).
+    Explicit(Vec<u32>),
+}
+
+impl ShardSpec {
+    /// The whole plan as a single shard.
+    pub fn all() -> ShardSpec {
+        ShardSpec::RoundRobin { index: 0, count: 1 }
+    }
+
+    /// Parses the CLI syntax `i/n` (0-based: shards of a 4-way split are
+    /// `0/4` … `3/4`).
+    pub fn parse(s: &str) -> Result<ShardSpec, DistribError> {
+        let err = || DistribError::Protocol {
+            detail: format!("bad shard spec {s:?}: expected i/n with 0 <= i < n (e.g. 0/4)"),
+        };
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let index: u32 = i.trim().parse().map_err(|_| err())?;
+        let count: u32 = n.trim().parse().map_err(|_| err())?;
+        let spec = ShardSpec::RoundRobin { index, count };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks internal consistency (index in range, count non-zero).
+    pub fn validate(&self) -> Result<(), DistribError> {
+        match self {
+            ShardSpec::RoundRobin { index, count } => {
+                if *count == 0 || index >= count {
+                    return Err(DistribError::Protocol {
+                        detail: format!("shard index {index} out of range for {count} shard(s)"),
+                    });
+                }
+            }
+            ShardSpec::Explicit(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Selects this shard's units out of a plan's canonical enumeration.
+    ///
+    /// Explicit ids must exist in the plan; duplicates are rejected (they
+    /// would double-count runs at merge time).
+    pub fn select(&self, units: &[WorkUnit]) -> Result<Vec<WorkUnit>, DistribError> {
+        self.validate()?;
+        match self {
+            ShardSpec::RoundRobin { index, count } => Ok(units
+                .iter()
+                .filter(|u| u.unit_id % count == *index)
+                .copied()
+                .collect()),
+            ShardSpec::Explicit(ids) => {
+                let mut seen = vec![false; units.len()];
+                let mut out = Vec::with_capacity(ids.len());
+                for &id in ids {
+                    let unit =
+                        units
+                            .get(id as usize)
+                            .copied()
+                            .ok_or_else(|| DistribError::Protocol {
+                                detail: format!(
+                                    "unit {id} is not in the plan ({} units)",
+                                    units.len()
+                                ),
+                            })?;
+                    debug_assert_eq!(unit.unit_id, id, "canonical enumeration is indexed");
+                    if std::mem::replace(&mut seen[id as usize], true) {
+                        return Err(DistribError::Protocol {
+                            detail: format!("unit {id} listed twice in the shard"),
+                        });
+                    }
+                    out.push(unit);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardSpec::RoundRobin { index, count } => write!(f, "{index}/{count}"),
+            ShardSpec::Explicit(ids) => write!(f, "explicit[{} unit(s)]", ids.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn units(n: u32) -> Vec<WorkUnit> {
+        (0..n)
+            .map(|i| WorkUnit {
+                unit_id: i,
+                cell_idx: i / 2,
+                run_start: 0,
+                run_len: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_and_roundtrip() {
+        assert_eq!(
+            ShardSpec::parse("2/4").unwrap(),
+            ShardSpec::RoundRobin { index: 2, count: 4 }
+        );
+        assert!(ShardSpec::parse("4/4").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("x/4").is_err());
+        assert!(ShardSpec::parse("3").is_err());
+        assert_eq!(ShardSpec::parse("1/3").unwrap().to_string(), "1/3");
+    }
+
+    #[test]
+    fn round_robin_partitions_exactly() {
+        let us = units(10);
+        let mut covered = vec![0u32; 10];
+        for index in 0..3 {
+            for u in (ShardSpec::RoundRobin { index, count: 3 })
+                .select(&us)
+                .unwrap()
+            {
+                covered[u.unit_id as usize] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "{covered:?}");
+    }
+
+    #[test]
+    fn explicit_selection_checks_ids() {
+        let us = units(4);
+        let sel = ShardSpec::Explicit(vec![3, 1]).select(&us).unwrap();
+        assert_eq!(
+            sel.iter().map(|u| u.unit_id).collect::<Vec<_>>(),
+            vec![3, 1]
+        );
+        assert!(ShardSpec::Explicit(vec![4]).select(&us).is_err());
+        assert!(ShardSpec::Explicit(vec![1, 1]).select(&us).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for spec in [
+            ShardSpec::all(),
+            ShardSpec::RoundRobin { index: 1, count: 5 },
+            ShardSpec::Explicit(vec![0, 2, 4]),
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ShardSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The worker half of the subprocess protocol.
+//!
+//! A worker reads one [`SweepPlan`] JSON document on stdin, executes its
+//! shard's units, and streams one single-unit [`PartialSweep`] JSON line
+//! per completed unit on stdout (flushed per line, so a coordinator sees
+//! progress and a killed worker loses only its in-flight unit).
+
+use std::io::{Read, Write};
+
+use crate::{DistribError, PartialSweep, ShardSpec, SweepPlan, UnitResult};
+
+/// Runs the worker protocol over arbitrary byte streams (the CLI's
+/// `sweep-worker` subcommand passes stdin/stdout; tests pass buffers).
+///
+/// `threads` sets how many executor threads this worker runs its units
+/// on, without touching the plan (a coordinator dividing one host's
+/// cores among several workers passes `--threads`); `None` falls back to
+/// the plan's `config.threads`, and that to 1. With more than one thread
+/// the partial lines stream in completion order — each line is a
+/// self-describing single-unit [`PartialSweep`], so the merge does not
+/// care.
+pub fn run_worker(
+    input: &mut dyn Read,
+    output: &mut dyn Write,
+    shard: &ShardSpec,
+    threads: Option<usize>,
+) -> Result<(), DistribError> {
+    let mut doc = String::new();
+    input.read_to_string(&mut doc).map_err(DistribError::from)?;
+    let plan = SweepPlan::from_json(&doc)?;
+    let sweep = plan.prepare()?;
+    let fingerprint = plan.fingerprint();
+    let units = shard.select(&plan.units())?;
+    let threads = threads
+        .or(plan.config.threads)
+        .unwrap_or(1)
+        .clamp(1, units.len().max(1));
+
+    let mut emit = |unit_id: u32, accum| -> Result<(), DistribError> {
+        let line = serde_json::to_string(&PartialSweep {
+            fingerprint,
+            units: vec![UnitResult { unit_id, accum }],
+        })
+        .map_err(|e| DistribError::Protocol {
+            detail: format!("partial does not serialize: {e}"),
+        })?;
+        writeln!(output, "{line}").map_err(DistribError::from)?;
+        output.flush().map_err(DistribError::from)
+    };
+
+    if threads <= 1 {
+        for unit in units {
+            let accum = sweep.execute_unit(&unit);
+            emit(unit.unit_id, accum)?;
+        }
+        return Ok(());
+    }
+
+    // Streamed pool: executor threads push completed units into a
+    // channel; the protocol thread writes each line as it lands.
+    let (work_tx, work_rx) = crossbeam_channel::unbounded();
+    let (done_tx, done_rx) = crossbeam_channel::unbounded();
+    for unit in &units {
+        work_tx.send(*unit).expect("queue open");
+    }
+    drop(work_tx);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            let sweep = &sweep;
+            scope.spawn(move || {
+                while let Ok(unit) = work_rx.recv() {
+                    let accum = sweep.execute_unit(&unit);
+                    if done_tx.send((unit, accum)).is_err() {
+                        break; // collector hung up (emit failed): stop early
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        while let Ok((unit, accum)) = done_rx.recv() {
+            emit(unit.unit_id, accum)?;
+        }
+        Ok(())
+    })
+}
+
+/// Parses one worker stdout line into a [`PartialSweep`].
+pub fn parse_partial_line(line: &str) -> Result<PartialSweep, DistribError> {
+    serde_json::from_str(line.trim()).map_err(|e| DistribError::Protocol {
+        detail: format!("malformed partial line: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_partials;
+    use fec_codec::builtin;
+    use fec_sim::{ExpansionRatio, Experiment, GridSweep, SweepConfig};
+
+    fn plan() -> SweepPlan {
+        SweepPlan::new(
+            Experiment::new(
+                builtin::ldgm_staircase(),
+                150,
+                ExpansionRatio::R2_5,
+                fec_sched::TxModel::Random,
+            ),
+            SweepConfig {
+                runs: 4,
+                grid_p: vec![0.0, 0.2],
+                grid_q: vec![0.3, 0.8],
+                seed: 9,
+                matrix_pool: 2,
+                track_total: true,
+                threads: Some(1),
+            },
+        )
+        .unwrap()
+        .with_runs_per_unit(2)
+    }
+
+    #[test]
+    fn worker_streams_match_in_process_execution() {
+        let plan = plan();
+        let doc = plan.to_json().unwrap();
+        let mut partials = Vec::new();
+        for index in 0..3u32 {
+            let mut out = Vec::new();
+            run_worker(
+                &mut doc.as_bytes(),
+                &mut out,
+                &ShardSpec::RoundRobin { index, count: 3 },
+                Some(2),
+            )
+            .unwrap();
+            for line in String::from_utf8(out).unwrap().lines() {
+                partials.push(parse_partial_line(line).unwrap());
+            }
+        }
+        let merged = from_partials(&plan, &partials).unwrap();
+        let direct = crate::execute_plan(&plan).unwrap();
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&direct).unwrap(),
+            "sharded workers must reproduce the in-process sweep byte for byte"
+        );
+        // And the plan path agrees with the plain GridSweep when the
+        // slicing is canonical.
+        let default_plan = SweepPlan::new(plan.experiment.clone(), plan.config.clone()).unwrap();
+        let via_gridsweep = GridSweep::new(plan.experiment.clone(), plan.config.clone())
+            .unwrap()
+            .execute();
+        assert_eq!(
+            serde_json::to_string(&crate::execute_plan(&default_plan).unwrap()).unwrap(),
+            serde_json::to_string(&via_gridsweep).unwrap()
+        );
+    }
+
+    #[test]
+    fn worker_rejects_garbage() {
+        let mut out = Vec::new();
+        assert!(run_worker(
+            &mut "not a plan".as_bytes(),
+            &mut out,
+            &ShardSpec::all(),
+            None
+        )
+        .is_err());
+        assert!(parse_partial_line("{oops").is_err());
+    }
+}

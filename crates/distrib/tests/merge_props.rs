@@ -1,0 +1,192 @@
+//! Merge-algebra properties: any partition of a plan's units, with the
+//! partials and their unit lists in any order, must merge into a
+//! `SweepResult` whose JSON serialization is byte-identical to the
+//! single-process run of the same plan — plus the numeric-stability check
+//! for the Welford `std_inefficiency` path.
+
+use std::sync::OnceLock;
+
+use fec_codec::builtin;
+use fec_distrib::{
+    execute_plan, from_partials, run_shard, DistribError, PartialSweep, ShardSpec, SweepPlan,
+    UnitResult,
+};
+use fec_sim::{CellAccum, ExpansionRatio, Experiment, SweepConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const GROUPS: usize = 5;
+
+/// The shared fixture: a small but non-trivial plan (4 cells × 3 units
+/// per cell, with failures in the hopeless cell), its per-unit results,
+/// and the single-process reference JSON.
+fn reference() -> &'static (SweepPlan, Vec<UnitResult>, String) {
+    static REFERENCE: OnceLock<(SweepPlan, Vec<UnitResult>, String)> = OnceLock::new();
+    REFERENCE.get_or_init(|| {
+        let plan = SweepPlan::new(
+            Experiment::new(
+                builtin::ldgm_staircase(),
+                150,
+                ExpansionRatio::R2_5,
+                fec_sched::TxModel::Random,
+            ),
+            SweepConfig {
+                runs: 6,
+                grid_p: vec![0.0, 0.9],
+                grid_q: vec![0.1, 0.8],
+                seed: 0x00D1_571B,
+                matrix_pool: 2,
+                track_total: true,
+                threads: Some(2),
+            },
+        )
+        .unwrap()
+        .with_runs_per_unit(2);
+        let all = run_shard(&plan, &ShardSpec::all()).unwrap();
+        let expected =
+            serde_json::to_string(&execute_plan(&plan).unwrap()).expect("result serializes");
+        (plan, all.units, expected)
+    })
+}
+
+proptest! {
+    #[test]
+    fn any_partition_merged_in_any_order_is_byte_identical(
+        assignment in proptest::collection::vec(0usize..GROUPS, 12),
+        order_seed in 0u64..u64::MAX,
+    ) {
+        let (plan, units, expected) = reference();
+        prop_assert_eq!(units.len(), assignment.len(), "fixture has 12 units");
+        let mut groups: Vec<Vec<UnitResult>> = vec![Vec::new(); GROUPS];
+        for (unit, &g) in units.iter().zip(&assignment) {
+            groups[g].push(unit.clone());
+        }
+        let fingerprint = plan.fingerprint();
+        let mut partials: Vec<PartialSweep> = groups
+            .into_iter()
+            .filter(|g| !g.is_empty())
+            .map(|units| PartialSweep { fingerprint, units })
+            .collect();
+        // Arbitrary arrival order, inside and across partials.
+        let mut rng = SmallRng::seed_from_u64(order_seed);
+        partials.shuffle(&mut rng);
+        for partial in &mut partials {
+            partial.units.shuffle(&mut rng);
+        }
+        let merged = from_partials(plan, &partials).unwrap();
+        let json = serde_json::to_string(&merged).expect("result serializes");
+        prop_assert_eq!(&json, expected);
+    }
+}
+
+#[test]
+fn incomplete_and_conflicting_sets_are_rejected() {
+    let (plan, units, _) = reference();
+    let fingerprint = plan.fingerprint();
+
+    // Missing units.
+    let partial = PartialSweep {
+        fingerprint,
+        units: units[..units.len() - 2].to_vec(),
+    };
+    match from_partials(plan, &[partial]) {
+        Err(DistribError::Incomplete { missing_count, .. }) => assert_eq!(missing_count, 2),
+        other => panic!("expected Incomplete, got {other:?}"),
+    }
+
+    // Identical duplicates are idempotent (a rerun shard).
+    let everything = PartialSweep {
+        fingerprint,
+        units: units.clone(),
+    };
+    let first_again = PartialSweep {
+        fingerprint,
+        units: vec![units[0].clone()],
+    };
+    assert!(from_partials(plan, &[everything.clone(), first_again]).is_ok());
+
+    // Conflicting duplicates are not.
+    let mut forged = units[0].clone();
+    forged.accum.received_sum += 1.0;
+    let conflict = PartialSweep {
+        fingerprint,
+        units: vec![forged],
+    };
+    assert!(matches!(
+        from_partials(plan, &[everything, conflict]),
+        Err(DistribError::Protocol { .. })
+    ));
+
+    // Foreign fingerprints never merge.
+    let foreign = PartialSweep {
+        fingerprint: fingerprint ^ 1,
+        units: units.clone(),
+    };
+    assert!(matches!(
+        from_partials(plan, &[foreign]),
+        Err(DistribError::PlanMismatch { .. })
+    ));
+}
+
+/// `std_inefficiency` must come out of the Welford/M2 path with two-pass
+/// accuracy. The adversarial input is the realistic one: a large common
+/// offset (inefficiencies sit just above 1.0) with variation many orders
+/// of magnitude smaller, where the textbook one-pass formula
+/// `E[x²] − E[x]²` cancels catastrophically.
+#[test]
+fn welford_std_is_numerically_stable_where_naive_is_not() {
+    let n = 1000usize;
+    let values: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 1e-12).collect();
+
+    // Reference: two-pass in f64 (exact to rounding for this input, since
+    // the deviations are exactly representable).
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let two_pass = (values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt();
+
+    // Welford, through the production accumulator (also exercising merge).
+    let mut left = CellAccum::new(0);
+    let mut right = CellAccum::new(0);
+    for (i, &x) in values.iter().enumerate() {
+        if i < n / 2 {
+            left.record(Some(x), 1.0);
+        } else {
+            right.record(Some(x), 1.0);
+        }
+    }
+    left.merge(&right);
+    let stats = left.finalize(0.0, 0.0, false);
+    let welford = stats.std_inefficiency.expect("n > 1");
+
+    // Naive one-pass sum of squares.
+    let sum_sq = values.iter().map(|x| x * x).sum::<f64>();
+    let naive_var = (sum_sq - n as f64 * mean * mean) / (n - 1) as f64;
+    let naive = if naive_var > 0.0 {
+        naive_var.sqrt()
+    } else {
+        f64::NAN // cancellation went negative — the classic failure
+    };
+
+    // The input's condition number is ~1e12 (offset / spread), so the
+    // best a one-pass method can do is ~1e12·ε ≈ 1e-4 relative error;
+    // Welford stays inside that envelope while the naive formula loses
+    // *all* significant digits (or goes negative).
+    let rel = |a: f64, b: f64| ((a - b) / b).abs();
+    assert!(two_pass > 0.0, "fixture has spread");
+    assert!(
+        rel(welford, two_pass) < 1e-3,
+        "welford {welford:e} vs two-pass {two_pass:e}"
+    );
+    assert!(
+        naive.is_nan() || rel(naive, two_pass) > 1e-1,
+        "naive {naive:e} unexpectedly accurate vs {two_pass:e} \
+         (the fixture no longer stresses cancellation)"
+    );
+    if !naive.is_nan() {
+        assert!(
+            rel(welford, two_pass) < rel(naive, two_pass) / 100.0,
+            "welford must beat naive by orders of magnitude"
+        );
+    }
+}

@@ -265,29 +265,37 @@ impl ObjectState {
                 )?;
                 self.oti = Some(oti);
                 self.receiver = Some(receiver);
-                // Drain everything buffered before the OTI arrived.
-                for (id, payload) in std::mem::take(&mut self.pre_oti) {
-                    self.feed(id, payload)?;
-                }
-                Ok(())
+                // Drain everything buffered before the OTI arrived, as one
+                // batch — the late-FDT catch-up is the single largest
+                // symbol burst a receiver ever sees.
+                let buffered = std::mem::take(&mut self.pre_oti);
+                self.feed_batch(buffered)
             }
         }
     }
 
-    fn feed(&mut self, id: FecPayloadId, payload: Bytes) -> Result<(), FluteError> {
-        if self.decoded.is_some() {
+    /// Feeds a burst of data packets for this object through the decoder's
+    /// batched entry point ([`CoreReceiver::push_batch`]), which defers
+    /// block solves to the end of the batch instead of attempting one per
+    /// symbol.
+    fn feed_batch(&mut self, packets: Vec<(FecPayloadId, Bytes)>) -> Result<(), FluteError> {
+        if self.decoded.is_some() || packets.is_empty() {
             return Ok(()); // late duplicates after completion are normal
         }
         let Some(receiver) = self.receiver.as_mut() else {
-            if self.pre_oti.len() >= MAX_PRE_OTI_BUFFER {
+            if self.pre_oti.len() + packets.len() > MAX_PRE_OTI_BUFFER {
                 return Err(FluteError::Session {
                     reason: format!("{MAX_PRE_OTI_BUFFER} packets buffered with no OTI in sight"),
                 });
             }
-            self.pre_oti.push((id, payload));
+            self.pre_oti.extend(packets);
             return Ok(());
         };
-        let progress = receiver.push(&Packet::new(id.sbn, id.esi, payload))?;
+        let batch: Vec<Packet> = packets
+            .into_iter()
+            .map(|(id, payload)| Packet::new(id.sbn, id.esi, payload))
+            .collect();
+        let progress = receiver.push_batch(&batch)?;
         if progress.is_decoded() {
             let receiver = self.receiver.take().expect("just used it");
             self.decoded = Some(receiver.into_object()?);
@@ -315,6 +323,10 @@ pub enum ReceiverEvent {
     },
     /// A packet for another session (TSI mismatch) was ignored.
     ForeignSession,
+    /// A malformed datagram was skipped (batched path only — the rest of
+    /// the burst is unaffected; [`FluteReceiver::push_datagram`] surfaces
+    /// the parse error instead).
+    Rejected,
 }
 
 /// The receiving half of a FLUTE session.
@@ -338,39 +350,112 @@ impl FluteReceiver {
 
     /// Feeds one raw datagram (as read from the socket).
     pub fn push_datagram(&mut self, datagram: &[u8]) -> Result<ReceiverEvent, FluteError> {
-        let packet = AlcPacket::from_bytes(datagram)?;
-        if packet.header.tsi != self.tsi {
-            return Ok(ReceiverEvent::ForeignSession);
-        }
-        if packet.header.close_session {
-            self.session_closed = true;
-        }
-        if packet.header.toi == FDT_TOI {
-            return self.accept_fdt(&packet);
-        }
+        // Surface malformed datagrams as errors (the batched path skips
+        // them so one corrupt datagram cannot sink a whole burst).
+        AlcPacket::from_bytes(datagram)?;
+        let events = self.push_datagrams(std::slice::from_ref(&datagram))?;
+        Ok(events
+            .into_iter()
+            .next()
+            .expect("one datagram yields one event"))
+    }
 
-        let toi = packet.header.toi;
-        let state = self.objects.entry(toi).or_insert_with(ObjectState::new);
-        if packet.header.close_object {
-            state.closed = true;
-        }
-        let was_complete = state.decoded.is_some();
-        state.packets_received += 1;
+    /// Feeds a burst of raw datagrams — everything a socket drain produced
+    /// in one wakeup — returning one event per datagram in order.
+    ///
+    /// Consecutive data packets of the same object are funnelled through
+    /// the decoder's batched entry point
+    /// ([`push_batch`](fec_core::Receiver::push_batch)), which defers
+    /// block solves to the end of the burst; a burst that completes an
+    /// object reports [`ReceiverEvent::ObjectComplete`] on that object's
+    /// last datagram of the burst. FDT packets act as batch barriers so
+    /// metadata still applies in arrival order. Malformed datagrams are
+    /// skipped with [`ReceiverEvent::Rejected`] (one corrupt datagram
+    /// must not cost the burst); `Err` is reserved for session-fatal
+    /// states such as conflicting OTIs.
+    pub fn push_datagrams<D: AsRef<[u8]>>(
+        &mut self,
+        datagrams: &[D],
+    ) -> Result<Vec<ReceiverEvent>, FluteError> {
+        let mut events = Vec::with_capacity(datagrams.len());
+        // Per-TOI bursts awaiting a batched feed, in first-seen order,
+        // plus the event slot of each data datagram (to upgrade the right
+        // entry to ObjectComplete once its burst decodes).
+        let mut pending: Vec<(u32, Vec<(FecPayloadId, Bytes)>)> = Vec::new();
+        let mut data_slots: Vec<(usize, u32)> = Vec::new();
 
-        // EXT_FTI on the packet lets decoding start before any FDT arrives.
-        if state.oti.is_none() {
-            if let Some(blob) = packet.fti_blob() {
-                state.set_oti(ObjectTransmissionInfo::from_bytes(blob)?)?;
+        for datagram in datagrams {
+            let packet = match AlcPacket::from_bytes(datagram.as_ref()) {
+                Ok(p) => p,
+                Err(_) => {
+                    // Network garbage must not sink the burst's good
+                    // datagrams: skip it and keep going.
+                    events.push(ReceiverEvent::Rejected);
+                    continue;
+                }
+            };
+            if packet.header.tsi != self.tsi {
+                events.push(ReceiverEvent::ForeignSession);
+                continue;
+            }
+            if packet.header.close_session {
+                self.session_closed = true;
+            }
+            if packet.header.toi == FDT_TOI {
+                // The FDT may unlock buffered objects; keep arrival order
+                // by flushing the bursts collected so far first.
+                self.flush_pending(&mut pending, &mut events, &mut data_slots)?;
+                let event = self.accept_fdt(&packet)?;
+                events.push(event);
+                continue;
+            }
+
+            let toi = packet.header.toi;
+            let state = self.objects.entry(toi).or_insert_with(ObjectState::new);
+            if packet.header.close_object {
+                state.closed = true;
+            }
+            state.packets_received += 1;
+
+            // EXT_FTI on the packet lets decoding start before any FDT
+            // arrives.
+            if state.oti.is_none() {
+                if let Some(blob) = packet.fti_blob() {
+                    state.set_oti(ObjectTransmissionInfo::from_bytes(blob)?)?;
+                }
+            }
+            let id = packet.payload_id.expect("data packets carry a payload ID");
+            match pending.iter_mut().find(|(t, _)| *t == toi) {
+                Some((_, batch)) => batch.push((id, packet.payload)),
+                None => pending.push((toi, vec![(id, packet.payload)])),
+            }
+            data_slots.push((events.len(), toi));
+            events.push(ReceiverEvent::ObjectProgress { toi });
+        }
+        self.flush_pending(&mut pending, &mut events, &mut data_slots)?;
+        Ok(events)
+    }
+
+    /// Feeds the collected per-object bursts down to the decoders and
+    /// upgrades each newly-completed object's last event of the burst.
+    fn flush_pending(
+        &mut self,
+        pending: &mut Vec<(u32, Vec<(FecPayloadId, Bytes)>)>,
+        events: &mut [ReceiverEvent],
+        data_slots: &mut Vec<(usize, u32)>,
+    ) -> Result<(), FluteError> {
+        for (toi, batch) in pending.drain(..) {
+            let state = self.objects.get_mut(&toi).expect("pending implies state");
+            let was_complete = state.decoded.is_some();
+            state.feed_batch(batch)?;
+            if !was_complete && state.decoded.is_some() {
+                if let Some(&(slot, _)) = data_slots.iter().rev().find(|(_, t)| *t == toi) {
+                    events[slot] = ReceiverEvent::ObjectComplete { toi };
+                }
             }
         }
-        let id = packet.payload_id.expect("data packets carry a payload ID");
-        state.feed(id, packet.payload)?;
-
-        if !was_complete && state.decoded.is_some() {
-            Ok(ReceiverEvent::ObjectComplete { toi })
-        } else {
-            Ok(ReceiverEvent::ObjectProgress { toi })
-        }
+        data_slots.clear();
+        Ok(())
     }
 
     fn accept_fdt(&mut self, packet: &AlcPacket) -> Result<ReceiverEvent, FluteError> {
@@ -640,6 +725,164 @@ mod tests {
             &data[..],
             "ratio 2.5 absorbs 20% loss"
         );
+    }
+
+    #[test]
+    fn batched_push_matches_per_datagram_push() {
+        use rand::rngs::SmallRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+
+        let data = object_bytes(1200);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut datagrams = sender.datagrams(11).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Same 20% loss / 10% duplication / shuffle as the scalar test.
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        for dg in datagrams.drain(..) {
+            if rng.gen_bool(0.2) {
+                continue;
+            }
+            if rng.gen_bool(0.1) {
+                delivered.push(dg.clone());
+            }
+            delivered.push(dg);
+        }
+        delivered.shuffle(&mut rng);
+
+        let mut scalar_rx = FluteReceiver::new(7);
+        for dg in &delivered {
+            scalar_rx.push_datagram(dg).unwrap();
+        }
+        // Feed the same stream in random burst sizes (as a socket drain
+        // would produce them).
+        let mut batched_rx = FluteReceiver::new(7);
+        let mut events = Vec::new();
+        let mut rest: &[Vec<u8>] = &delivered;
+        while !rest.is_empty() {
+            let n = rng.gen_range(1..=rest.len().min(64));
+            let (burst, tail) = rest.split_at(n);
+            events.extend(batched_rx.push_datagrams(burst).unwrap());
+            rest = tail;
+        }
+        assert_eq!(events.len(), delivered.len(), "one event per datagram");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ReceiverEvent::ObjectComplete { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(batched_rx.object(1).unwrap(), &data[..]);
+        assert_eq!(batched_rx.object(1), scalar_rx.object(1));
+        assert_eq!(
+            batched_rx.packets_received(1),
+            scalar_rx.packets_received(1)
+        );
+    }
+
+    #[test]
+    fn corrupt_datagram_does_not_sink_the_burst() {
+        let data = object_bytes(600);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut burst = sender.datagrams(4).unwrap();
+        // Inject garbage mid-burst (and truncate one real datagram into
+        // garbage too).
+        burst.insert(burst.len() / 2, vec![0xFF; 7]);
+        burst.insert(burst.len() / 3, b"not an alc packet".to_vec());
+        let mut receiver = FluteReceiver::new(7);
+        let events = receiver.push_datagrams(&burst).unwrap();
+        assert_eq!(events.len(), burst.len());
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ReceiverEvent::Rejected))
+                .count(),
+            2
+        );
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+        // The scalar path keeps its error contract for the same bytes.
+        assert!(receiver.push_datagram(&[0xFF; 7]).is_err());
+    }
+
+    #[test]
+    fn whole_session_in_one_burst() {
+        let a = object_bytes(400);
+        let b = object_bytes(777);
+        let mut sender = FluteSender::new(SenderConfig::new(3));
+        sender
+            .add_object(
+                1,
+                "a",
+                &a,
+                fec_codec::builtin::ldgm_staircase(),
+                ExpansionRatio::R2_5,
+                16,
+                5,
+                TxModel::Random,
+            )
+            .unwrap();
+        sender
+            .add_object(
+                2,
+                "b",
+                &b,
+                fec_codec::builtin::rse(),
+                ExpansionRatio::R1_5,
+                32,
+                0,
+                TxModel::Interleaved,
+            )
+            .unwrap();
+        let mut receiver = FluteReceiver::new(3);
+        let events = receiver
+            .push_datagrams(&sender.datagrams(8).unwrap())
+            .unwrap();
+        assert!(receiver.all_complete());
+        assert_eq!(receiver.object(1).unwrap(), &a[..]);
+        assert_eq!(receiver.object(2).unwrap(), &b[..]);
+        // Both objects completed exactly once each, in this single burst.
+        let completed: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                ReceiverEvent::ObjectComplete { toi } => Some(*toi),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completed.len(), 2);
+        assert!(completed.contains(&1) && completed.contains(&2));
+    }
+
+    #[test]
+    fn batched_push_buffers_until_late_fdt() {
+        let data = object_bytes(300);
+        let mut config = SenderConfig::new(7);
+        config.fti_in_data_packets = false;
+        config.fdt_interval = 0;
+        let mut sender = FluteSender::new(config);
+        sender
+            .add_object(
+                1,
+                "x",
+                &data,
+                fec_codec::builtin::ldgm_triangle(),
+                ExpansionRatio::R2_5,
+                8,
+                1,
+                TxModel::Random,
+            )
+            .unwrap();
+        let datagrams = sender.datagrams(3).unwrap();
+        let mut receiver = FluteReceiver::new(7);
+        // One burst: all data first (no OTI anywhere), then the FDT last —
+        // the FDT barrier must flush the buffered burst and complete the
+        // object within the same call.
+        let mut reordered: Vec<Vec<u8>> = datagrams[1..].to_vec();
+        reordered.push(datagrams[0].clone());
+        let events = receiver.push_datagrams(&reordered).unwrap();
+        assert_eq!(receiver.object_status(1), Some(ObjectStatus::Complete));
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+        assert_eq!(events.len(), reordered.len());
     }
 
     #[test]

@@ -32,7 +32,10 @@ mod sweep;
 pub use run::{RunResult, Runner};
 pub use seed::mix_seed;
 pub use spec::{layout_for, CodeKind, CodecHandle, ExpansionRatio, SimError};
-pub use sweep::{CellStats, GridSweep, SweepConfig, SweepResult};
+pub use sweep::{
+    finalize_cells, CellAccum, CellStats, GridSweep, SweepConfig, SweepResult, WorkUnit,
+    DEFAULT_RUNS_PER_UNIT,
+};
 
 use fec_channel::GilbertParams;
 use fec_sched::TxModel;

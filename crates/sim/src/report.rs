@@ -15,10 +15,10 @@ pub fn paper_table(result: &SweepResult) -> String {
         let _ = write!(out, "{:>7}", format_pct(*q));
     }
     let _ = writeln!(out);
-    for p in &result.config.grid_p {
+    for (pi, p) in result.config.grid_p.iter().enumerate() {
         let _ = write!(out, "{:>5} ", format_pct(*p));
-        for q in &result.config.grid_q {
-            let cell = result.cell(*p, *q).expect("cell on grid");
+        for qi in 0..result.config.grid_q.len() {
+            let cell = result.cell_at(pi, qi).expect("cell on grid");
             match cell.mean_inefficiency {
                 Some(m) => {
                     let _ = write!(out, "{m:>7.3}");
@@ -61,11 +61,11 @@ pub fn to_csv(result: &SweepResult) -> String {
 /// leaves holes in its 3-D plots).
 pub fn to_dat(result: &SweepResult) -> String {
     let mut out = String::new();
-    for p in &result.config.grid_p {
-        for q in &result.config.grid_q {
-            let cell = result.cell(*p, *q).expect("cell on grid");
+    for pi in 0..result.config.grid_p.len() {
+        for qi in 0..result.config.grid_q.len() {
+            let cell = result.cell_at(pi, qi).expect("cell on grid");
             if let Some(m) = cell.mean_inefficiency {
-                let _ = writeln!(out, "{p} {q} {m:.6}");
+                let _ = writeln!(out, "{} {} {m:.6}", cell.p, cell.q);
             }
         }
         let _ = writeln!(out);
@@ -78,9 +78,9 @@ pub fn to_dat(result: &SweepResult) -> String {
 /// `q` (left = 0) — visually matching Fig. 6's feasibility region.
 pub fn ascii_mask(result: &SweepResult) -> String {
     let mut out = String::new();
-    for p in &result.config.grid_p {
-        for q in &result.config.grid_q {
-            let cell = result.cell(*p, *q).expect("cell on grid");
+    for pi in 0..result.config.grid_p.len() {
+        for qi in 0..result.config.grid_q.len() {
+            let cell = result.cell_at(pi, qi).expect("cell on grid");
             out.push(if cell.is_masked() { '.' } else { '#' });
         }
         out.push('\n');

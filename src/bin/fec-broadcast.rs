@@ -17,6 +17,7 @@ use std::process::ExitCode;
 
 use fec_broadcast::channel::analysis::FeasibilityLimit;
 use fec_broadcast::codec::{registry, CodecHandle};
+use fec_broadcast::distrib;
 use fec_broadcast::prelude::*;
 use fec_broadcast::sim::report;
 
@@ -26,18 +27,27 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(rest) {
+    let (opts, positionals) = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    if command != "merge" && !positionals.is_empty() {
+        eprintln!(
+            "error: unexpected positional argument {:?}\n\n{USAGE}",
+            positionals[0]
+        );
+        return ExitCode::FAILURE;
+    }
     let result = match command.as_str() {
         "codecs" => cmd_codecs(&opts),
         "recommend" => cmd_recommend(&opts),
         "plan" => cmd_plan(&opts),
         "sweep" => cmd_sweep(&opts),
+        "sweep-worker" => cmd_sweep_worker(&opts),
+        "merge" => cmd_merge(&opts, &positionals),
         "map" => cmd_map(&opts),
         "adapt" => cmd_adapt(&opts),
         "send" => cmd_send(&opts),
@@ -72,8 +82,28 @@ USAGE:
       Equation-3 transmission plan: how many packets to actually send.
 
   fec-broadcast sweep --code <name> --tx <1..6> --ratio <r>
-                      [--k <k>] [--runs <n>] [--coarse]
+                      [--k <k>] [--runs <n>] [--coarse] [--seed <n>]
+                      [--workers <n>] [--out <file>]
+                      [--shard <i/n> --emit-partial]
       Monte-Carlo (p,q) grid sweep; prints a paper-style inefficiency table.
+      --workers N fans the sweep out over N single-threaded `sweep-worker`
+      subprocesses (process count is the parallelism knob; without the
+      flag the sweep uses an in-process thread pool over all cores, and
+      the output bytes are identical either way). --shard i/n runs
+      only that round-robin slice of the plan and --emit-partial saves it
+      as a self-contained partial file (--out, default stdout) for a later
+      `merge` — the multi-host recipe. --out saves the merged result JSON.
+
+  fec-broadcast sweep-worker [--shard <i/n>] [--threads <n>]
+      Worker half of the subprocess protocol: reads a sweep plan JSON
+      document on stdin, streams one partial-result JSON line per
+      completed work unit on stdout. Spawned by `sweep --workers`; also
+      usable directly by external schedulers.
+
+  fec-broadcast merge <partial.json>... [--out <file>]
+      Combines partial files produced by `sweep --shard i/n --emit-partial`
+      (all hosts must use identical sweep parameters) into the full sweep
+      result, checking that every work unit is covered exactly once.
 
   fec-broadcast map [--ratio <r>]
       ASCII feasibility region (paper Fig. 6) for the given expansion ratio.
@@ -97,13 +127,17 @@ USAGE:
 
 Probabilities are given as fractions (0.05 = 5%).";
 
-/// Minimal `--key value` / `--flag` parser.
-fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Minimal `--key value` / `--flag` parser; non-flag arguments that do not
+/// follow a `--key` are collected as positionals (the `merge` subcommand's
+/// partial files).
+fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
     let mut out = HashMap::new();
+    let mut positionals = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         let Some(key) = arg.strip_prefix("--") else {
-            return Err(format!("unexpected positional argument {arg:?}"));
+            positionals.push(arg.clone());
+            continue;
         };
         let value = match it.peek() {
             Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
@@ -113,7 +147,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("--{key} given twice"));
         }
     }
-    Ok(out)
+    Ok((out, positionals))
 }
 
 fn get_f64(opts: &HashMap<String, String>, key: &str) -> Result<Option<f64>, String> {
@@ -298,12 +332,16 @@ fn ratio_from(r: f64) -> Result<ExpansionRatio, String> {
     })
 }
 
-fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+/// Builds the sweep plan every `sweep`-family invocation shares: identical
+/// flags on different hosts (or different `--shard` values) must produce
+/// the identical plan document, or their partials will not merge.
+fn sweep_plan(opts: &HashMap<String, String>) -> Result<(SweepPlan, String), String> {
     let code = parse_code(opts, None)?;
     let tx = parse_tx(opts, None)?;
     let ratio = ratio_from(require_f64(opts, "ratio")?)?;
     let k = get_usize(opts, "k", 2000)?;
     let runs = get_usize(opts, "runs", 20)? as u32;
+    let seed = get_usize(opts, "seed", SweepConfig::default().seed as usize)? as u64;
     let grid = if opts.contains_key("coarse") {
         fec_broadcast::channel::grid::GridKind::Coarse.to_vec()
     } else {
@@ -315,18 +353,21 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         runs,
         grid_p: grid.clone(),
         grid_q: grid,
+        seed,
         ..SweepConfig::default()
     };
-    println!(
-        "sweeping {} / {} / ratio {} at k = {k}, {runs} runs per cell…\n",
+    let description = format!(
+        "{} / {} / ratio {} at k = {k}, {runs} runs per cell",
         code.name(),
         tx.name(),
         ratio.as_f64()
     );
-    let result = GridSweep::new(experiment, config)
-        .map_err(|e| e.to_string())?
-        .execute();
-    println!("{}", report::paper_table(&result));
+    let plan = SweepPlan::new(experiment, config).map_err(|e| e.to_string())?;
+    Ok((plan, description))
+}
+
+fn print_sweep_result(result: &fec_broadcast::sim::SweepResult) {
+    println!("{}", report::paper_table(result));
     println!(
         "grand mean {} over {} decodable cells ({} masked)",
         result
@@ -335,6 +376,125 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
         result.cells.len() - result.masked_cells(),
         result.masked_cells()
     );
+}
+
+fn write_or_print(out: Option<&String>, json: &str, what: &str) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("{what} saved to {path}");
+            Ok(())
+        }
+        None => {
+            println!("{json}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
+    let (plan, description) = sweep_plan(opts)?;
+
+    // Multi-host path: run one round-robin shard and save its partial.
+    if let Some(shard_arg) = opts.get("shard") {
+        let shard = ShardSpec::parse(shard_arg).map_err(|e| e.to_string())?;
+        if !opts.contains_key("emit-partial") {
+            return Err(
+                "--shard requires --emit-partial (run the slice, save the partial, \
+                 combine later with `merge`)"
+                    .into(),
+            );
+        }
+        eprintln!("sweeping shard {shard} of {description}…");
+        let partial = distrib::run_shard(&plan, &shard).map_err(|e| e.to_string())?;
+        let units = partial.units.len();
+        let file = PartialFile {
+            plan,
+            units: partial.units,
+        };
+        let json = file.to_json().map_err(|e| e.to_string())?;
+        write_or_print(
+            opts.get("out"),
+            &json,
+            &format!("partial result ({units} work units)"),
+        )?;
+        return Ok(());
+    }
+    if opts.contains_key("emit-partial") {
+        return Err("--emit-partial requires --shard i/n".into());
+    }
+
+    // An explicit --workers N (including N = 1) always goes through the
+    // coordinator — N single-threaded subprocesses, so process count is
+    // the parallelism knob and `--workers 4` vs `--workers 1` measures
+    // real scaling. Without the flag the sweep runs in-process on the
+    // thread pool (all cores). Same bytes either way.
+    let result = if opts.contains_key("workers") {
+        let workers = get_usize(opts, "workers", 1)?.max(1);
+        println!(
+            "sweeping {description} across {workers} worker process(es) \
+             ({} work units)…\n",
+            plan.unit_count()
+        );
+        Coordinator::self_exec(workers)
+            .and_then(|c| c.run(&plan))
+            .map_err(|e| e.to_string())?
+    } else {
+        println!("sweeping {description}…\n");
+        distrib::execute_plan(&plan).map_err(|e| e.to_string())?
+    };
+    print_sweep_result(&result);
+    if let Some(path) = opts.get("out") {
+        let json = serde_json::to_string(&result).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("sweep result saved to {path}");
+    }
+    Ok(())
+}
+
+/// The subprocess half of `sweep --workers` (also usable by external
+/// schedulers): plan JSON on stdin, one partial JSON line per completed
+/// unit on stdout. Keep stdout pure — all diagnostics go to stderr.
+fn cmd_sweep_worker(opts: &HashMap<String, String>) -> Result<(), String> {
+    let shard = match opts.get("shard") {
+        Some(s) => ShardSpec::parse(s).map_err(|e| e.to_string())?,
+        None => ShardSpec::all(),
+    };
+    let threads = opts
+        .get("threads")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--threads {v:?} is not an integer"))
+        })
+        .transpose()?;
+    let mut stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    distrib::run_worker(&mut stdin, &mut stdout, &shard, threads).map_err(|e| e.to_string())
+}
+
+fn cmd_merge(opts: &HashMap<String, String>, files: &[String]) -> Result<(), String> {
+    if files.is_empty() {
+        return Err("merge needs at least one partial file \
+                    (produced by `sweep --shard i/n --emit-partial`)"
+            .into());
+    }
+    let mut partials = Vec::with_capacity(files.len());
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        partials.push(PartialFile::from_json(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let total_units: usize = partials.iter().map(|p| p.units.len()).sum();
+    let result = distrib::merge_files(&partials).map_err(|e| e.to_string())?;
+    eprintln!(
+        "merged {} partial file(s) covering {total_units} work units\n",
+        partials.len()
+    );
+    print_sweep_result(&result);
+    if let Some(path) = opts.get("out") {
+        let json = serde_json::to_string(&result).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("merged sweep result saved to {path}");
+    }
     Ok(())
 }
 
@@ -555,22 +715,41 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let mut session = FluteReceiver::new(tsi);
     let mut datagrams = 0u64;
-    let toi = loop {
+    let mut burst: Vec<Vec<u8>> = Vec::new();
+    let toi = 'decode: loop {
+        // Drain every immediately-available datagram per wakeup and push
+        // them as one burst: the decoder's batched path defers block
+        // solves to the end of the burst instead of attempting one per
+        // UDP read.
+        burst.clear();
         match datagram_rx.recv() {
-            Ok(dg) => {
-                datagrams += 1;
-                match session.push_datagram(&dg) {
-                    Ok(ReceiverEvent::ObjectComplete { toi }) => break toi,
-                    Ok(_) => {}
-                    Err(e) => eprintln!("dropping bad datagram: {e}"),
-                }
-            }
+            Ok(dg) => burst.push(dg),
             Err(_) => {
                 return Err(format!(
                     "timed out after {datagrams} datagrams without completing the object \
                      (losses beyond the code's budget, or no sender running)"
                 ))
             }
+        }
+        while burst.len() < 4096 {
+            match datagram_rx.try_recv() {
+                Ok(dg) => burst.push(dg),
+                Err(_) => break,
+            }
+        }
+        datagrams += burst.len() as u64;
+        match session.push_datagrams(&burst) {
+            Ok(events) => {
+                for event in events {
+                    if let ReceiverEvent::ObjectComplete { toi } = event {
+                        break 'decode toi;
+                    }
+                }
+            }
+            Err(e) => eprintln!(
+                "dropping bad datagram burst ({} datagrams): {e}",
+                burst.len()
+            ),
         }
     };
 

@@ -35,6 +35,7 @@ pub use fec_adapt as adapt;
 pub use fec_channel as channel;
 pub use fec_codec as codec;
 pub use fec_core as core;
+pub use fec_distrib as distrib;
 pub use fec_flute as flute;
 pub use fec_gf256 as gf256;
 pub use fec_ldgm as ldgm;
@@ -56,6 +57,7 @@ pub mod prelude {
         recommend, Carousel, ChannelKnowledge, CodeSpec, MeasuredSelector, Packet, Receiver,
         Recommendation, Sender, TransmissionPlan,
     };
+    pub use fec_distrib::{Coordinator, PartialFile, PartialSweep, ShardSpec, SweepPlan};
     pub use fec_flute::{FluteReceiver, FluteSender, ObjectStatus, ReceiverEvent, SenderConfig};
     pub use fec_sched::{Layout, PacketRef, RxModel, TxModel};
     pub use fec_sim::{
