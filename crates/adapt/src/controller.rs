@@ -195,6 +195,19 @@ impl AdaptiveController {
         self.estimator.extend(losses.iter().copied());
     }
 
+    /// Feeds run-length-encoded observations — the shape a reception
+    /// report's loss sketch arrives in (`(lost, run length)` pairs, in
+    /// transmission order). Returns the number of per-packet observations
+    /// folded into the estimator.
+    pub fn observe_runs(&mut self, runs: impl IntoIterator<Item = (bool, u64)>) -> u64 {
+        let mut n = 0;
+        for (lost, len) in runs {
+            self.estimator.push_run(lost, len);
+            n += len;
+        }
+        n
+    }
+
     /// Reports whether the last object decoded. A failure suspends plan
     /// truncation for [`ControllerConfig::failure_backoff`] successful
     /// objects: the channel just demonstrated it was worse than the
@@ -313,6 +326,32 @@ impl AdaptiveController {
         );
         plan.is_sufficient().then_some(plan)
     }
+
+    /// The one-call re-plan hook a live feedback loop drives between
+    /// reports: [`reconsider`](Self::reconsider) the tuple, then
+    /// [`plan`](Self::plan) the `k`-packet object in flight under
+    /// whatever decision is now active. A `plan` of `None` means *send
+    /// the full schedule*.
+    pub fn replan(&mut self, k: usize) -> Replan {
+        let reconsideration = self.reconsider();
+        Replan {
+            reconsideration,
+            decision: self.decision(),
+            plan: self.plan(k),
+        }
+    }
+}
+
+/// The outcome of one [`AdaptiveController::replan`] call.
+#[derive(Debug, Clone)]
+pub struct Replan {
+    /// What reconsidering the estimate did to the active tuple.
+    pub reconsideration: Reconsideration,
+    /// The tuple in force after reconsideration (applies to *future*
+    /// objects; the object in flight keeps its encoding).
+    pub decision: Decision,
+    /// The §6.2 plan for the in-flight object, `None` = send everything.
+    pub plan: Option<TransmissionPlan>,
 }
 
 #[cfg(test)]
@@ -460,6 +499,38 @@ mod tests {
         feed(&mut c, GilbertParams::bernoulli(0.6).unwrap(), 25_000, 8);
         c.reconsider();
         assert!(c.plan(2_000).is_none());
+    }
+
+    #[test]
+    fn observe_runs_matches_observe_and_replan_plans() {
+        let light = GilbertParams::new(0.0109, 0.7915).unwrap();
+        let mut ch = GilbertChannel::new(light, 13);
+        // Record 30k observations, once as scalars and once as runs.
+        let mut scalar = AdaptiveController::new(ControllerConfig::default());
+        let mut runs: Vec<(bool, u64)> = Vec::new();
+        for _ in 0..30_000 {
+            let lost = ch.next_is_lost();
+            scalar.observe(lost);
+            match runs.last_mut() {
+                Some((l, len)) if *l == lost => *len += 1,
+                _ => runs.push((lost, 1)),
+            }
+        }
+        let mut by_run = AdaptiveController::new(ControllerConfig::default());
+        assert_eq!(by_run.observe_runs(runs), 30_000);
+        assert_eq!(
+            by_run.estimate().unwrap().params,
+            scalar.estimate().unwrap().params
+        );
+
+        // The replan hook reconsiders and plans in one call.
+        let r1 = by_run.replan(10_000);
+        let r2 = by_run.replan(10_000);
+        assert_eq!(r1.reconsideration, Reconsideration::Pending);
+        assert_eq!(r2.reconsideration, Reconsideration::Switched);
+        let plan = r2.plan.expect("light channel is plannable");
+        assert!(plan.n_sent < plan.n_total);
+        assert_eq!(r2.decision, by_run.decision());
     }
 
     #[test]

@@ -140,6 +140,29 @@ impl OnlineGilbertEstimator {
         }
     }
 
+    /// Records one run of `len` consecutive packets that all shared the
+    /// same fate — the natural unit of a reception report's run-length
+    /// sketch (see `fec_flute::feedback`). Runs longer than the window
+    /// only contribute their final `capacity` observations, exactly as if
+    /// they had been pushed one by one.
+    pub fn push_run(&mut self, lost: bool, len: u64) {
+        // A run that alone overflows the window leaves the window entirely
+        // uniform; skip the evicted middle instead of churning through it.
+        let cap = self.capacity as u64;
+        if len > cap {
+            self.window.clear();
+            self.counts = TransitionCounts::default();
+            self.total_observed += len - cap;
+            for _ in 0..cap {
+                self.push(lost);
+            }
+            return;
+        }
+        for _ in 0..len {
+            self.push(lost);
+        }
+    }
+
     /// Forgets everything (e.g. after an out-of-band signal that the path
     /// changed).
     pub fn reset(&mut self) {
@@ -407,6 +430,37 @@ mod tests {
         }
         assert_eq!(est.total_observed(), 400);
         assert_eq!(est.window_len(), 50);
+    }
+
+    #[test]
+    fn push_run_equals_pushing_one_by_one() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        // Random alternating runs, some longer than the window.
+        let mut runs: Vec<(bool, u64)> = Vec::new();
+        let mut lost = false;
+        for _ in 0..40 {
+            use rand::Rng as _;
+            runs.push((lost, rng.gen_range(1..90)));
+            lost = !lost;
+        }
+        runs.push((true, 500)); // overflows the 64-packet window outright
+        runs.push((false, 3));
+
+        let mut by_run = OnlineGilbertEstimator::new(64);
+        let mut scalar = OnlineGilbertEstimator::new(64);
+        for &(lost, len) in &runs {
+            by_run.push_run(lost, len);
+            for _ in 0..len {
+                scalar.push(lost);
+            }
+            assert_eq!(by_run.counts(), scalar.counts());
+            assert_eq!(by_run.window_len(), scalar.window_len());
+            assert_eq!(by_run.total_observed(), scalar.total_observed());
+        }
+        assert_eq!(
+            by_run.estimate().unwrap().params,
+            scalar.estimate().unwrap().params
+        );
     }
 
     #[test]

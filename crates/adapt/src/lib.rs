@@ -27,6 +27,18 @@
 //!   worst fixed tuple in hindsight) for the comparison that justifies the
 //!   whole exercise.
 //!
+//! The controller is transport-agnostic: observations arrive either
+//! per-packet ([`AdaptiveController::observe`]) or as the run-length
+//! sketches a live reception-report digest carries
+//! ([`AdaptiveController::observe_runs`] /
+//! [`OnlineGilbertEstimator::push_run`]), and
+//! [`AdaptiveController::replan`] is the one-call reconsider-and-plan
+//! hook a feedback loop drives between digests. The live UDP transport —
+//! EXT_SEQ sequence stamping, digest wire format, receiver-side emitter
+//! and sender-side ingestion — lives in `fec_flute::feedback`, which
+//! depends on this crate; `tests/adaptive_flute.rs` closes the loop over
+//! real sockets.
+//!
 //! ```
 //! use fec_adapt::{AdaptiveRunner, ControllerConfig, Scenario};
 //!
@@ -51,5 +63,5 @@ mod estimate;
 pub use closed_loop::{
     clairvoyant_decision, AdaptiveRunner, Comparison, EpochOutcome, LoopReport, Scenario,
 };
-pub use controller::{AdaptiveController, ControllerConfig, Decision, Reconsideration};
+pub use controller::{AdaptiveController, ControllerConfig, Decision, Reconsideration, Replan};
 pub use estimate::{ChannelEstimate, ConfidenceInterval, OnlineGilbertEstimator};

@@ -1,0 +1,275 @@
+//! Datagram-level link emulation for loopback experiments.
+//!
+//! The sweep machinery applies a [`LossModel`](crate::LossModel) to
+//! *symbols inside a simulator*; closing the adaptive loop over real UDP
+//! needs the same loss process applied to *datagrams on their way to a
+//! socket* — plus the two impairments UDP adds for free, duplication and
+//! reordering. [`LinkEmulator`] wraps any loss model into a deterministic
+//! datagram gate: feed each outgoing datagram through
+//! [`transmit`](LinkEmulator::transmit) and send whatever comes back.
+//!
+//! The emulator is transport-agnostic (it moves opaque byte vectors), so
+//! the same instance can impair a forward data channel or a reception-
+//! report return channel in tests.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::LossModel;
+
+/// Impairment knobs beyond the loss model itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Probability that a delivered datagram is delivered twice.
+    pub duplicate_rate: f64,
+    /// Probability that a delivered datagram is held back and released
+    /// after up to [`reorder_depth`](LinkConfig::reorder_depth) later
+    /// datagrams (out-of-order delivery).
+    pub reorder_rate: f64,
+    /// How many subsequent datagrams may overtake a held-back one.
+    pub reorder_depth: usize,
+}
+
+impl Default for LinkConfig {
+    fn default() -> LinkConfig {
+        LinkConfig {
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_depth: 4,
+        }
+    }
+}
+
+/// Lifetime delivery statistics of a [`LinkEmulator`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Datagrams offered to the link.
+    pub offered: u64,
+    /// Datagram copies that came out the far end (duplicates included).
+    pub delivered: u64,
+    /// Datagrams the loss model erased.
+    pub dropped: u64,
+    /// Extra copies created by duplication.
+    pub duplicated: u64,
+    /// Datagrams delivered out of order.
+    pub reordered: u64,
+}
+
+impl LinkStats {
+    /// Observed loss fraction of the link so far.
+    pub fn loss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.offered as f64
+    }
+}
+
+/// A deterministic lossy/duplicating/reordering datagram gate.
+pub struct LinkEmulator {
+    model: Box<dyn LossModel>,
+    config: LinkConfig,
+    rng: SmallRng,
+    /// Held-back datagrams: `(release_after_countdown, datagram)`.
+    held: VecDeque<(usize, Vec<u8>)>,
+    stats: LinkStats,
+}
+
+impl LinkEmulator {
+    /// Wraps `model` into a plain lossy link (no duplication/reordering).
+    pub fn new(model: Box<dyn LossModel>, seed: u64) -> LinkEmulator {
+        LinkEmulator::with_config(model, LinkConfig::default(), seed)
+    }
+
+    /// Wraps `model` with explicit duplication/reordering knobs.
+    pub fn with_config(model: Box<dyn LossModel>, config: LinkConfig, seed: u64) -> LinkEmulator {
+        LinkEmulator {
+            model,
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            held: VecDeque::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offers one datagram to the link; returns the datagram copies that
+    /// arrive at the far end *now*, in delivery order (possibly none —
+    /// lost or held back — and possibly several: duplicates and earlier
+    /// held-back datagrams whose countdown expired).
+    pub fn transmit(&mut self, datagram: &[u8]) -> Vec<Vec<u8>> {
+        self.stats.offered += 1;
+        let mut out = Vec::new();
+        // Tick only the datagrams held by *earlier* transmits. A fresh
+        // hold is pushed un-ticked and the expired ones are released
+        // *after* the current datagram's own delivery — so a countdown of
+        // c means "overtaken by the next c delivered datagrams", and even
+        // depth 1 produces genuine out-of-order arrival.
+        for entry in self.held.iter_mut() {
+            entry.0 = entry.0.saturating_sub(1);
+        }
+        if self.model.next_is_lost() {
+            self.stats.dropped += 1;
+        } else {
+            let duplicate = self.config.duplicate_rate > 0.0
+                && self
+                    .rng
+                    .gen_bool(self.config.duplicate_rate.clamp(0.0, 1.0));
+            let hold = self.config.reorder_rate > 0.0
+                && self.config.reorder_depth > 0
+                && self.rng.gen_bool(self.config.reorder_rate.clamp(0.0, 1.0));
+            if hold {
+                let countdown = self.rng.gen_range(1..=self.config.reorder_depth);
+                self.held.push_back((countdown, datagram.to_vec()));
+                self.stats.reordered += 1;
+            } else {
+                out.push(datagram.to_vec());
+                self.stats.delivered += 1;
+            }
+            if duplicate {
+                out.push(datagram.to_vec());
+                self.stats.delivered += 1;
+                self.stats.duplicated += 1;
+            }
+        }
+        while let Some((0, _)) = self.held.front() {
+            let (_, dg) = self.held.pop_front().expect("peeked");
+            self.stats.delivered += 1;
+            out.push(dg);
+        }
+        out
+    }
+
+    /// Releases every held-back datagram (end of transmission).
+    pub fn flush(&mut self) -> Vec<Vec<u8>> {
+        let out: Vec<Vec<u8>> = self.held.drain(..).map(|(_, dg)| dg).collect();
+        self.stats.delivered += out.len() as u64;
+        out
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+impl core::fmt::Debug for LinkEmulator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "LinkEmulator({:?}, held {}, {:?})",
+            self.config,
+            self.held.len(),
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GilbertChannel, GilbertParams};
+
+    fn datagrams(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| vec![(i % 251) as u8; 8]).collect()
+    }
+
+    fn gilbert(p: f64, q: f64, seed: u64) -> Box<dyn LossModel> {
+        Box::new(GilbertChannel::new(GilbertParams::new(p, q).unwrap(), seed))
+    }
+
+    #[test]
+    fn perfect_link_delivers_everything_in_order() {
+        let mut link = LinkEmulator::new(gilbert(0.0, 1.0, 1), 9);
+        let mut delivered = Vec::new();
+        for dg in datagrams(100) {
+            delivered.extend(link.transmit(&dg));
+        }
+        delivered.extend(link.flush());
+        assert_eq!(delivered, datagrams(100));
+        let s = link.stats();
+        assert_eq!((s.offered, s.delivered, s.dropped), (100, 100, 0));
+    }
+
+    #[test]
+    fn lossy_link_drops_at_the_model_rate() {
+        let mut link = LinkEmulator::new(gilbert(0.1, 0.4, 2), 3);
+        for dg in datagrams(20_000) {
+            link.transmit(&dg);
+        }
+        let rate = link.stats().loss_rate();
+        assert!((rate - 0.2).abs() < 0.02, "p_global 20%, saw {rate}");
+    }
+
+    #[test]
+    fn duplication_and_reordering_preserve_the_multiset() {
+        let config = LinkConfig {
+            duplicate_rate: 0.1,
+            reorder_rate: 0.2,
+            reorder_depth: 5,
+        };
+        let mut link = LinkEmulator::with_config(gilbert(0.0, 1.0, 4), config, 7);
+        let sent = datagrams(2_000);
+        let mut delivered = Vec::new();
+        for dg in &sent {
+            delivered.extend(link.transmit(dg));
+        }
+        delivered.extend(link.flush());
+        let s = link.stats();
+        assert_eq!(s.delivered as usize, delivered.len());
+        assert!(s.duplicated > 100, "{s:?}");
+        assert!(s.reordered > 200, "{s:?}");
+        assert_ne!(delivered, sent, "order was perturbed");
+        // Every original datagram arrives at least once, and nothing
+        // arrives that was never sent.
+        let mut sorted_sent = sent.clone();
+        let mut unique_delivered = delivered.clone();
+        sorted_sent.sort();
+        unique_delivered.sort();
+        unique_delivered.dedup();
+        sorted_sent.dedup();
+        assert_eq!(unique_delivered, sorted_sent);
+    }
+
+    #[test]
+    fn depth_one_reordering_really_reorders() {
+        // Regression: a hold must survive the call that created it, so a
+        // depth-1 hold is genuinely overtaken by the next delivered
+        // datagram instead of being released in the same call.
+        let config = LinkConfig {
+            duplicate_rate: 0.0,
+            reorder_rate: 0.5,
+            reorder_depth: 1,
+        };
+        let mut link = LinkEmulator::with_config(gilbert(0.0, 1.0, 1), config, 2);
+        let sent = datagrams(50);
+        let mut delivered = Vec::new();
+        for dg in &sent {
+            delivered.extend(link.transmit(dg));
+        }
+        delivered.extend(link.flush());
+        assert_eq!(delivered.len(), sent.len());
+        assert!(link.stats().reordered > 10, "{:?}", link.stats());
+        assert_ne!(delivered, sent, "held datagrams were overtaken");
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let config = LinkConfig {
+            duplicate_rate: 0.05,
+            reorder_rate: 0.1,
+            reorder_depth: 3,
+        };
+        let run = || {
+            let mut link = LinkEmulator::with_config(gilbert(0.05, 0.5, 11), config, 13);
+            let mut all = Vec::new();
+            for dg in datagrams(500) {
+                all.extend(link.transmit(&dg));
+            }
+            all.extend(link.flush());
+            all
+        };
+        assert_eq!(run(), run());
+    }
+}

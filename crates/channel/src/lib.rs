@@ -27,12 +27,14 @@
 
 pub mod analysis;
 mod drift;
+mod emulate;
 mod gilbert;
 pub mod grid;
 mod nstate;
 mod trace;
 
 pub use drift::{DriftingChannel, Regime};
+pub use emulate::{LinkConfig, LinkEmulator, LinkStats};
 pub use gilbert::{ChannelError, GilbertChannel, GilbertParams, GilbertState};
 pub use nstate::{MarkovChannel, MarkovLossModel};
 pub use trace::{fit_gilbert, LossTrace, TraceChannel, TransitionCounts};

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod carousel;
+mod emission;
 mod error;
 mod packet;
 mod plan;
@@ -34,6 +35,7 @@ mod sender;
 mod spec;
 
 pub use carousel::Carousel;
+pub use emission::{Amendment, PlannedEmission};
 pub use error::CoreError;
 pub use packet::{Packet, PACKET_HEADER_LEN};
 pub use plan::{optimal_n_sent, TransmissionPlan};

@@ -153,6 +153,18 @@ impl Sender {
             .map(|r| self.packet(r).expect("schedule refs are valid"))
             .collect()
     }
+
+    /// Starts an incremental, *amendable* emission of this object's
+    /// schedule (the live counterpart of
+    /// [`planned_transmission`](Self::planned_transmission)): packets come
+    /// out one [`next_ref`](crate::PlannedEmission::next_ref) at a time
+    /// and a fresh [`TransmissionPlan`](crate::TransmissionPlan) can move
+    /// the stopping point mid-flight via
+    /// [`amend`](crate::PlannedEmission::amend). Materialise each
+    /// reference with [`packet`](Self::packet).
+    pub fn emission(&self, tx: TxModel, seed: u64) -> crate::PlannedEmission {
+        crate::PlannedEmission::full(tx.schedule(&self.layout, seed))
+    }
 }
 
 impl core::fmt::Debug for Sender {

@@ -21,10 +21,14 @@
 //!    sums, Welford mean/M2, min/max). In-process, as self-exec'd
 //!    `fec-broadcast sweep-worker` subprocesses (plan JSON on stdin,
 //!    [`PartialSweep`] JSONL on stdout), or on other hosts entirely.
-//! 4. **Merge** ([`from_partials`], [`merge_files`]): completeness-checked
-//!    reduction in canonical unit order, yielding a
-//!    [`SweepResult`] whose JSON serialization is
-//!    byte-identical for every execution strategy of the same plan.
+//! 4. **Merge** ([`from_partials`], [`merge_files`], [`StreamingMerge`]):
+//!    completeness-checked reduction in canonical unit order, yielding a
+//!    [`SweepResult`] whose JSON serialization is byte-identical for
+//!    every execution strategy of the same plan. On-disk partials are
+//!    JSONL — a [`PartialHeader`] line carrying the plan, then one
+//!    [`UnitResult`] per line — and [`merge_paths`] folds them
+//!    unit-by-unit, so a multi-host merge holds the plan's slot table,
+//!    never whole files, in memory.
 //!
 //! ## In one process
 //!
@@ -75,8 +79,8 @@ mod worker;
 pub use coordinator::Coordinator;
 pub use error::DistribError;
 pub use exec::{execute_plan, run_shard, run_shard_with_threads};
-pub use merge::{from_partials, merge_files, FromPartials};
-pub use partial::{PartialFile, PartialSweep, UnitResult};
+pub use merge::{from_partials, merge_files, merge_paths, FromPartials, StreamingMerge};
+pub use partial::{PartialFile, PartialHeader, PartialSweep, UnitResult, PARTIAL_JSONL_FORMAT};
 pub use plan::SweepPlan;
 pub use shard::ShardSpec;
 pub use worker::{parse_partial_line, run_worker};

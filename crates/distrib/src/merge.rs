@@ -1,8 +1,12 @@
-//! Merging partial results back into a [`SweepResult`].
+//! Merging partial results back into a [`SweepResult`] — in memory or
+//! streamed unit-by-unit.
 
-use fec_sim::{finalize_cells, CellAccum, SweepResult};
+use std::io::BufRead;
 
-use crate::{DistribError, PartialFile, PartialSweep, SweepPlan};
+use fec_sim::{finalize_cells, CellAccum, SweepResult, WorkUnit};
+
+use crate::partial::{PartialHeader, PARTIAL_JSONL_FORMAT};
+use crate::{DistribError, PartialFile, PartialSweep, SweepPlan, UnitResult};
 
 /// Merges a set of partials into the plan's final [`SweepResult`], with
 /// completeness checking: every canonical unit must be accounted for
@@ -19,72 +23,301 @@ pub fn from_partials(
     plan: &SweepPlan,
     partials: &[PartialSweep],
 ) -> Result<SweepResult, DistribError> {
-    let units = plan.units();
-    let expected = plan.fingerprint();
-    let mut slots: Vec<Option<&CellAccum>> = vec![None; units.len()];
+    let mut merge = StreamingMerge::new(plan.clone());
     for partial in partials {
-        if partial.fingerprint != expected {
+        merge.fold_partial(partial)?;
+    }
+    merge.finish()
+}
+
+/// An incremental merge: units fold in one at a time (any source, any
+/// order), so a multi-host merge never holds more than the plan's slot
+/// table plus one unit in memory — constant in the number and size of the
+/// partial files.
+#[derive(Debug)]
+pub struct StreamingMerge {
+    plan: SweepPlan,
+    units: Vec<WorkUnit>,
+    fingerprint: u64,
+    slots: Vec<Option<CellAccum>>,
+    folded: u64,
+}
+
+impl StreamingMerge {
+    /// Starts a merge of `plan`.
+    pub fn new(plan: SweepPlan) -> StreamingMerge {
+        let units = plan.units();
+        let fingerprint = plan.fingerprint();
+        let slots = vec![None; units.len()];
+        StreamingMerge {
+            plan,
+            units,
+            fingerprint,
+            slots,
+            folded: 0,
+        }
+    }
+
+    /// The plan being merged.
+    pub fn plan(&self) -> &SweepPlan {
+        &self.plan
+    }
+
+    /// Unit results folded so far (duplicates included).
+    pub fn folded(&self) -> u64 {
+        self.folded
+    }
+
+    /// Plan units still unaccounted for.
+    pub fn missing(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Folds one unit result, with the full validation set: the unit must
+    /// exist in the plan, its accumulator must cover the unit's cell and
+    /// run count, and a duplicate must be bit-identical (idempotent
+    /// re-runs are fine, conflicting ones are an error).
+    pub fn fold_unit(&mut self, ur: &UnitResult) -> Result<(), DistribError> {
+        let unit = self
+            .units
+            .get(ur.unit_id as usize)
+            .ok_or_else(|| DistribError::Protocol {
+                detail: format!(
+                    "unit {} is not in the plan ({} units)",
+                    ur.unit_id,
+                    self.units.len()
+                ),
+            })?;
+        if ur.accum.cell_idx != unit.cell_idx || ur.accum.runs != unit.run_len {
+            return Err(DistribError::Protocol {
+                detail: format!(
+                    "unit {} accumulator covers cell {} over {} run(s), \
+                     but the plan says cell {} over {} run(s)",
+                    ur.unit_id, ur.accum.cell_idx, ur.accum.runs, unit.cell_idx, unit.run_len
+                ),
+            });
+        }
+        match &self.slots[ur.unit_id as usize] {
+            Some(existing) if *existing != ur.accum => {
+                return Err(DistribError::Protocol {
+                    detail: format!(
+                        "unit {} was reported twice with conflicting results",
+                        ur.unit_id
+                    ),
+                });
+            }
+            Some(_) => {} // identical duplicate: idempotent
+            None => self.slots[ur.unit_id as usize] = Some(ur.accum.clone()),
+        }
+        self.folded += 1;
+        Ok(())
+    }
+
+    /// Folds a fingerprint-tagged batch (the worker protocol's stream
+    /// element).
+    pub fn fold_partial(&mut self, partial: &PartialSweep) -> Result<(), DistribError> {
+        if partial.fingerprint != self.fingerprint {
             return Err(DistribError::PlanMismatch {
-                expected,
+                expected: self.fingerprint,
                 found: partial.fingerprint,
             });
         }
         for ur in &partial.units {
-            let unit = units
-                .get(ur.unit_id as usize)
-                .ok_or_else(|| DistribError::Protocol {
-                    detail: format!(
-                        "unit {} is not in the plan ({} units)",
-                        ur.unit_id,
-                        units.len()
-                    ),
-                })?;
-            if ur.accum.cell_idx != unit.cell_idx || ur.accum.runs != unit.run_len {
+            self.fold_unit(ur)?;
+        }
+        Ok(())
+    }
+
+    /// Folds one partial file from a line reader without materialising
+    /// it: a JSONL file streams unit-by-unit; a legacy single-document
+    /// file is parsed whole (its one line *is* the whole file). Returns
+    /// the number of unit results folded from this source.
+    pub fn fold_reader(&mut self, reader: impl BufRead) -> Result<u64, DistribError> {
+        let before = self.folded;
+        let mut lines = reader.lines();
+        let first = loop {
+            match lines.next() {
+                None => {
+                    return Err(DistribError::Protocol {
+                        detail: "empty partial file".into(),
+                    })
+                }
+                Some(line) => {
+                    let line = line.map_err(|e| DistribError::Protocol {
+                        detail: format!("cannot read partial file: {e}"),
+                    })?;
+                    if !line.trim().is_empty() {
+                        break line;
+                    }
+                }
+            }
+        };
+        if let Ok(header) = serde_json::from_str::<PartialHeader>(&first) {
+            if header.format != PARTIAL_JSONL_FORMAT {
                 return Err(DistribError::Protocol {
-                    detail: format!(
-                        "unit {} accumulator covers cell {} over {} run(s), \
-                         but the plan says cell {} over {} run(s)",
-                        ur.unit_id, ur.accum.cell_idx, ur.accum.runs, unit.cell_idx, unit.run_len
-                    ),
+                    detail: format!("unknown partial format {:?}", header.format),
                 });
             }
-            match &slots[ur.unit_id as usize] {
-                Some(existing) if **existing != ur.accum => {
-                    return Err(DistribError::Protocol {
-                        detail: format!(
-                            "unit {} was reported twice with conflicting results",
-                            ur.unit_id
-                        ),
-                    });
+            if header.plan.fingerprint() != self.fingerprint {
+                return Err(DistribError::PlanMismatch {
+                    expected: self.fingerprint,
+                    found: header.plan.fingerprint(),
+                });
+            }
+            for line in lines {
+                let line = line.map_err(|e| DistribError::Protocol {
+                    detail: format!("cannot read partial file: {e}"),
+                })?;
+                if line.trim().is_empty() {
+                    continue;
                 }
-                Some(_) => {} // identical duplicate: idempotent
-                None => slots[ur.unit_id as usize] = Some(&ur.accum),
+                let ur: UnitResult =
+                    serde_json::from_str(&line).map_err(|e| DistribError::Protocol {
+                        detail: format!("malformed unit line: {e}"),
+                    })?;
+                self.fold_unit(&ur)?;
+            }
+        } else {
+            // Legacy single-document file — usually one line, but a
+            // pretty-printed document spans many: reassemble before
+            // parsing.
+            let mut text = first;
+            for line in lines {
+                let line = line.map_err(|e| DistribError::Protocol {
+                    detail: format!("cannot read partial file: {e}"),
+                })?;
+                text.push('\n');
+                text.push_str(&line);
+            }
+            let file = PartialFile::from_json(&text)?;
+            if file.plan.fingerprint() != self.fingerprint {
+                return Err(DistribError::PlanMismatch {
+                    expected: self.fingerprint,
+                    found: file.plan.fingerprint(),
+                });
+            }
+            for ur in &file.units {
+                self.fold_unit(ur)?;
             }
         }
+        Ok(self.folded - before)
     }
 
-    let missing: Vec<u32> = slots
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.is_none())
-        .map(|(i, _)| i as u32)
-        .collect();
-    if !missing.is_empty() {
-        return Err(DistribError::Incomplete {
-            missing_count: missing.len(),
-            missing: missing.into_iter().take(8).collect(),
-        });
+    /// Completes the merge: every plan unit must be accounted for.
+    pub fn finish(self) -> Result<SweepResult, DistribError> {
+        let missing: Vec<u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i as u32)
+            .collect();
+        if !missing.is_empty() {
+            return Err(DistribError::Incomplete {
+                missing_count: missing.len(),
+                missing: missing.into_iter().take(8).collect(),
+            });
+        }
+        let accums: Vec<CellAccum> = self
+            .slots
+            .into_iter()
+            .map(|s| s.expect("checked complete"))
+            .collect();
+        Ok(SweepResult {
+            experiment: self.plan.experiment.clone(),
+            config: self.plan.config.clone(),
+            cells: finalize_cells(&self.plan.config, &accums),
+        })
     }
+}
 
-    let accums: Vec<CellAccum> = slots
-        .into_iter()
-        .map(|s| s.expect("checked complete").clone())
-        .collect();
-    Ok(SweepResult {
-        experiment: plan.experiment.clone(),
-        config: plan.config.clone(),
-        cells: finalize_cells(&plan.config, &accums),
-    })
+/// Merges partial files from disk in constant memory: the first file's
+/// header (or legacy document) fixes the plan, then every file streams
+/// its units into a [`StreamingMerge`] line by line. Returns the result
+/// and the number of unit results folded.
+pub fn merge_paths<P: AsRef<std::path::Path>>(
+    paths: &[P],
+) -> Result<(SweepResult, u64), DistribError> {
+    use std::io::BufReader;
+
+    let open = |path: &std::path::Path| {
+        std::fs::File::open(path)
+            .map(BufReader::new)
+            .map_err(|e| DistribError::Protocol {
+                detail: format!("cannot read {}: {e}", path.display()),
+            })
+    };
+    let first_path = paths
+        .first()
+        .ok_or_else(|| DistribError::Protocol {
+            detail: "no partial files to merge".into(),
+        })?
+        .as_ref();
+    // Peek the first file's plan from its first non-blank line. For a
+    // JSONL file only the header line is parsed twice; a legacy
+    // single-document file (whose one line *is* the whole file) is folded
+    // directly from the peek so it is never deserialized twice.
+    let mut first_reader = open(first_path)?;
+    let first_line = loop {
+        let mut line = String::new();
+        let n = first_reader
+            .read_line(&mut line)
+            .map_err(|e| DistribError::Protocol {
+                detail: format!("cannot read {}: {e}", first_path.display()),
+            })?;
+        if n == 0 {
+            return Err(DistribError::Protocol {
+                detail: format!("{}: empty partial file", first_path.display()),
+            });
+        }
+        if !line.trim().is_empty() {
+            break line;
+        }
+    };
+    let mut merge;
+    let mut folded = 0u64;
+    let rest: &[P] = match serde_json::from_str::<PartialHeader>(&first_line) {
+        Ok(header) => {
+            // JSONL: re-stream the whole first file below with the others.
+            drop(first_reader);
+            merge = StreamingMerge::new(header.plan);
+            paths
+        }
+        Err(_) => {
+            // Legacy single document: reassemble the rest of the file
+            // (pretty-printed documents span lines) and fold it from the
+            // peek so it is parsed exactly once.
+            let mut text = first_line;
+            for line in first_reader.lines() {
+                let line = line.map_err(|e| DistribError::Protocol {
+                    detail: format!("cannot read {}: {e}", first_path.display()),
+                })?;
+                text.push('\n');
+                text.push_str(&line);
+            }
+            let file = PartialFile::from_json(&text)?;
+            merge = StreamingMerge::new(file.plan.clone());
+            merge.fold_partial(&file.to_partial())?;
+            folded += file.units.len() as u64;
+            &paths[1..]
+        }
+    };
+    for path in rest {
+        folded += merge
+            .fold_reader(open(path.as_ref())?)
+            .map_err(|e| match e {
+                DistribError::PlanMismatch { expected, found } => DistribError::Protocol {
+                    detail: format!(
+                        "{} was produced by a different plan \
+                         (fingerprint {found:#018x}, expected {expected:#018x}); \
+                         every host must run the same sweep parameters",
+                        path.as_ref().display()
+                    ),
+                },
+                other => other,
+            })?;
+    }
+    merge.finish().map(|r| (r, folded))
 }
 
 /// Merges self-contained partial files (the multi-host workflow): all

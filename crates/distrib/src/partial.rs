@@ -37,19 +37,84 @@ pub struct PartialFile {
     pub units: Vec<UnitResult>,
 }
 
+/// First line of a JSONL partial file: the plan, tagged with the format
+/// name so readers can tell the two on-disk layouts apart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartialHeader {
+    /// Always [`PARTIAL_JSONL_FORMAT`].
+    pub format: String,
+    /// The complete plan (identical on every host).
+    pub plan: SweepPlan,
+}
+
+/// Format tag of the streaming partial-file layout.
+pub const PARTIAL_JSONL_FORMAT: &str = "fec-partial/1";
+
 impl PartialFile {
-    /// Serializes the file document.
+    /// Serializes the file document (legacy single-document layout; the
+    /// CLI writes [`to_jsonl`](Self::to_jsonl) since the streamed-merge
+    /// rework, which `merge` folds unit-by-unit in constant memory).
     pub fn to_json(&self) -> Result<String, DistribError> {
         serde_json::to_string(self).map_err(|e| DistribError::Protocol {
             detail: format!("partial file does not serialize: {e}"),
         })
     }
 
-    /// Parses a file document.
+    /// Parses a legacy single-document file.
     pub fn from_json(json: &str) -> Result<PartialFile, DistribError> {
         serde_json::from_str(json).map_err(|e| DistribError::Protocol {
             detail: format!("malformed partial file: {e}"),
         })
+    }
+
+    /// Serializes the streaming layout: one [`PartialHeader`] line
+    /// carrying the plan, then one [`UnitResult`] per line. A reader can
+    /// fold units as it goes instead of materialising the whole file.
+    pub fn to_jsonl(&self) -> Result<String, DistribError> {
+        let err = |e: serde_json::Error| DistribError::Protocol {
+            detail: format!("partial file does not serialize: {e}"),
+        };
+        let mut out = serde_json::to_string(&PartialHeader {
+            format: PARTIAL_JSONL_FORMAT.to_string(),
+            plan: self.plan.clone(),
+        })
+        .map_err(err)?;
+        out.push('\n');
+        for unit in &self.units {
+            out.push_str(&serde_json::to_string(unit).map_err(err)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parses either on-disk layout (JSONL with a header line, or the
+    /// legacy single document — one line or pretty-printed), loading it
+    /// fully into memory. The constant-memory path is
+    /// [`merge_paths`](crate::merge_paths).
+    pub fn from_text(text: &str) -> Result<PartialFile, DistribError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let first = lines.next().ok_or_else(|| DistribError::Protocol {
+            detail: "empty partial file".into(),
+        })?;
+        if let Ok(header) = serde_json::from_str::<PartialHeader>(first) {
+            if header.format != PARTIAL_JSONL_FORMAT {
+                return Err(DistribError::Protocol {
+                    detail: format!("unknown partial format {:?}", header.format),
+                });
+            }
+            let units = lines
+                .map(|l| {
+                    serde_json::from_str::<UnitResult>(l).map_err(|e| DistribError::Protocol {
+                        detail: format!("malformed unit line: {e}"),
+                    })
+                })
+                .collect::<Result<Vec<UnitResult>, DistribError>>()?;
+            return Ok(PartialFile {
+                plan: header.plan,
+                units,
+            });
+        }
+        PartialFile::from_json(text)
     }
 
     /// The fingerprint-tagged view used for merging.

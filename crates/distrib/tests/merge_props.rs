@@ -130,6 +130,97 @@ fn incomplete_and_conflicting_sets_are_rejected() {
     ));
 }
 
+/// The streamed merge (JSONL partial files folded line-by-line) must be
+/// byte-identical to the in-memory merge and to the single-process run,
+/// across both on-disk formats, with every rejection path intact.
+#[test]
+fn streamed_jsonl_merge_is_byte_identical_across_formats() {
+    use fec_distrib::{merge_paths, PartialFile, StreamingMerge};
+
+    let (plan, units, expected) = reference();
+    let dir = std::env::temp_dir().join(format!("fec-merge-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Two JSONL shards plus one legacy single-document shard.
+    let third = units.len() / 3;
+    let shards = [
+        &units[..third],
+        &units[third..2 * third],
+        &units[2 * third..],
+    ];
+    let mut paths = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let file = PartialFile {
+            plan: plan.clone(),
+            units: shard.to_vec(),
+        };
+        let path = dir.join(format!("p{i}.json"));
+        let text = if i == 1 {
+            // Legacy format in the middle — pretty-printed across many
+            // lines, as a hand-inspected PR-4-era file might be.
+            file.to_json()
+                .unwrap()
+                .replace(",\"units\"", ",\n\"units\"")
+        } else if i == 0 {
+            // A leading blank line (e.g. from a shell pipeline) must not
+            // break the first-file plan peek.
+            format!("\n{}", file.to_jsonl().unwrap())
+        } else {
+            file.to_jsonl().unwrap()
+        };
+        std::fs::write(&path, text).unwrap();
+        paths.push(path);
+    }
+    let (merged, folded) = merge_paths(&paths).unwrap();
+    assert_eq!(folded as usize, units.len());
+    assert_eq!(&serde_json::to_string(&merged).unwrap(), expected);
+
+    // Argument order must not matter — including a legacy document first
+    // (which takes the fold-from-peek path).
+    let reordered = [paths[1].clone(), paths[2].clone(), paths[0].clone()];
+    let (merged2, folded2) = merge_paths(&reordered).unwrap();
+    assert_eq!(folded2, folded);
+    assert_eq!(&serde_json::to_string(&merged2).unwrap(), expected);
+
+    // Round-trip through from_text agrees for both formats.
+    for path in &paths {
+        let file = PartialFile::from_text(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(file.plan.fingerprint(), plan.fingerprint());
+    }
+
+    // Incremental API: folding unit-by-unit matches too, and missing
+    // units are reported before finish.
+    let mut stream = StreamingMerge::new(plan.clone());
+    assert_eq!(stream.missing(), units.len());
+    for ur in units {
+        stream.fold_unit(ur).unwrap();
+    }
+    assert_eq!(stream.missing(), 0);
+    let incremental = stream.finish().unwrap();
+    assert_eq!(&serde_json::to_string(&incremental).unwrap(), expected);
+
+    // An incomplete streamed merge still fails loudly.
+    let (first, rest) = (&paths[0], &paths[1..]);
+    let _ = rest;
+    assert!(matches!(
+        merge_paths(std::slice::from_ref(first)).map(|_| ()),
+        Err(DistribError::Incomplete { .. })
+    ));
+
+    // A foreign-plan JSONL file is rejected by fingerprint.
+    let mut foreign_plan = plan.clone();
+    foreign_plan.config.seed ^= 1;
+    let foreign = PartialFile {
+        plan: foreign_plan,
+        units: units.clone(),
+    };
+    let foreign_path = dir.join("foreign.json");
+    std::fs::write(&foreign_path, foreign.to_jsonl().unwrap()).unwrap();
+    assert!(merge_paths(&[paths[0].clone(), foreign_path]).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `std_inefficiency` must come out of the Welford/M2 path with two-pass
 /// accuracy. The adversarial input is the realistic one: a large common
 /// offset (inefficiencies sit just above 1.0) with variation many orders

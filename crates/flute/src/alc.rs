@@ -21,7 +21,7 @@
 
 use bytes::Bytes;
 
-use crate::lct::{HeaderExtension, LctHeader, HET_FDT, HET_FTI};
+use crate::lct::{HeaderExtension, LctHeader, HET_FDT, HET_FTI, HET_SEQ};
 use crate::payload_id::{FecPayloadId, PayloadIdFormat};
 use crate::{FluteError, FDT_TOI};
 
@@ -64,6 +64,20 @@ impl AlcPacket {
     pub fn with_fti(mut self, oti_blob: Vec<u8>) -> AlcPacket {
         self.header = self.header.with_extension(HeaderExtension::fti(oti_blob));
         self
+    }
+
+    /// Attaches an EXT_SEQ session transmission sequence number (builder
+    /// style). See [`HeaderExtension::seq`].
+    pub fn with_sequence(mut self, seq: u32) -> AlcPacket {
+        self.header = self.header.with_extension(HeaderExtension::seq(seq));
+        self
+    }
+
+    /// The EXT_SEQ transmission sequence number, if present.
+    pub fn sequence(&self) -> Option<u32> {
+        self.header
+            .find_extension(HET_SEQ)
+            .and_then(HeaderExtension::as_seq)
     }
 
     /// Marks this as the session's final packet (`A` flag).

@@ -1,0 +1,369 @@
+//! Receiver-side digest batching.
+//!
+//! A [`ReportEmitter`] rides along the receive path (enable it with
+//! [`FluteReceiver::enable_reports`](crate::FluteReceiver::enable_reports)
+//! or drive it standalone via [`observe`](ReportEmitter::observe)): every
+//! datagram's EXT_SEQ is compared against the expected next sequence
+//! number, turning the gap structure into the loss run sketch, while
+//! per-TOI counters accumulate. Digests are batched — one per
+//! [`report_every`](ReportConfig::report_every) observed datagrams via
+//! [`poll`](ReportEmitter::poll), or on demand via
+//! [`flush`](ReportEmitter::flush) (the caller's timer) — so the return
+//! channel carries a trickle, not a mirror, of the forward traffic.
+//!
+//! Reordered or duplicated *forward* datagrams (EXT_SEQ at or below the
+//! highest already seen) count as received for their TOI but do not enter
+//! the sketch: the gap they once left was already recorded as a loss, so
+//! late arrivals bias the estimate slightly pessimistic — the safe
+//! direction for FEC provisioning.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use super::wire::{LossRun, ReceptionReport, ReportEntry, SEQ_MODULUS};
+
+/// Emitter tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportConfig {
+    /// Emit a digest every this many observed datagrams ([`poll`]
+    /// threshold; [`flush`] ignores it).
+    ///
+    /// [`poll`]: ReportEmitter::poll
+    /// [`flush`]: ReportEmitter::flush
+    pub report_every: usize,
+    /// Run-sketch capacity per digest; overflowing drops the oldest runs
+    /// and sets the digest's `truncated` flag.
+    pub max_runs: usize,
+}
+
+impl Default for ReportConfig {
+    fn default() -> ReportConfig {
+        ReportConfig {
+            report_every: 256,
+            max_runs: 2048,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct ToiCounters {
+    received: u32,
+    lost: u32,
+    complete: bool,
+}
+
+/// Batches per-packet observations into [`ReceptionReport`] digests.
+#[derive(Debug)]
+pub struct ReportEmitter {
+    tsi: u32,
+    config: ReportConfig,
+    next_report_seq: u32,
+    /// Next EXT_SEQ we expect (modulo [`SEQ_MODULUS`]); `None` until the
+    /// first sequenced datagram arrives.
+    expected_seq: Option<u32>,
+    highest_seq: Option<u32>,
+    counters: BTreeMap<u32, ToiCounters>,
+    runs: VecDeque<LossRun>,
+    truncated: bool,
+    observed_since_report: usize,
+    session_complete: bool,
+    observed_ever: bool,
+}
+
+impl ReportEmitter {
+    /// An emitter for session `tsi`.
+    pub fn new(tsi: u32, config: ReportConfig) -> ReportEmitter {
+        ReportEmitter {
+            tsi,
+            config: ReportConfig {
+                report_every: config.report_every.max(1),
+                max_runs: config.max_runs.max(2),
+            },
+            next_report_seq: 1,
+            expected_seq: None,
+            highest_seq: None,
+            counters: BTreeMap::new(),
+            runs: VecDeque::new(),
+            truncated: false,
+            observed_since_report: 0,
+            session_complete: false,
+            observed_ever: false,
+        }
+    }
+
+    /// Records one received datagram of the session: its TOI and its
+    /// EXT_SEQ (if the sender attached one).
+    pub fn observe(&mut self, toi: u32, seq: Option<u32>) {
+        self.observed_ever = true;
+        self.observed_since_report += 1;
+        let c = self.counters.entry(toi).or_default();
+        c.received = c.received.saturating_add(1);
+        let Some(seq) = seq else {
+            // No sequencing: the sketch cannot see losses, but the packet
+            // itself was delivered.
+            self.push_run(false, 1, toi);
+            return;
+        };
+        let seq = seq % SEQ_MODULUS;
+        match self.expected_seq {
+            None => {
+                // First sequenced datagram: everything before it is
+                // unknowable (we may have joined mid-session), so the
+                // sketch starts here.
+                self.push_run(false, 1, toi);
+                self.expected_seq = Some((seq + 1) % SEQ_MODULUS);
+                self.highest_seq = Some(seq);
+            }
+            Some(expected) => {
+                let gap = (seq.wrapping_sub(expected)) % SEQ_MODULUS;
+                if gap >= SEQ_MODULUS / 2 {
+                    // At or behind the highest seen: a duplicate or a
+                    // reordered late arrival. Its loss was already
+                    // sketched; leave the pattern alone.
+                    return;
+                }
+                if gap > 0 {
+                    self.push_run(true, gap, toi);
+                }
+                self.push_run(false, 1, toi);
+                self.expected_seq = Some((seq + 1) % SEQ_MODULUS);
+                self.highest_seq = Some(seq);
+            }
+        }
+    }
+
+    /// Marks one object as fully decoded.
+    pub fn mark_complete(&mut self, toi: u32) {
+        self.counters.entry(toi).or_default().complete = true;
+    }
+
+    /// Marks the whole session as complete (every FDT-listed object
+    /// decoded) — sets the FIN flag on subsequent digests.
+    pub fn mark_session_complete(&mut self) {
+        self.session_complete = true;
+    }
+
+    /// Emits a digest if the batching threshold has been reached.
+    pub fn poll(&mut self) -> Option<ReceptionReport> {
+        (self.observed_since_report >= self.config.report_every).then(|| self.build())
+    }
+
+    /// Emits a digest now regardless of the threshold (the caller's timer
+    /// tick, or the final FIN digest). Returns `None` only before any
+    /// observation at all.
+    pub fn flush(&mut self) -> Option<ReceptionReport> {
+        self.observed_ever.then(|| self.build())
+    }
+
+    /// Datagrams observed since the last emitted digest.
+    pub fn pending_observations(&self) -> usize {
+        self.observed_since_report
+    }
+
+    fn push_run(&mut self, lost: bool, len: u32, attributed_toi: u32) {
+        if lost {
+            let c = self.counters.entry(attributed_toi).or_default();
+            c.lost = c.lost.saturating_add(len);
+        }
+        match self.runs.back_mut() {
+            Some(last) if last.lost == lost => last.len = last.len.saturating_add(len),
+            _ => {
+                self.runs.push_back(LossRun { lost, len });
+                if self.runs.len() > self.config.max_runs {
+                    self.runs.pop_front();
+                    self.truncated = true;
+                }
+            }
+        }
+    }
+
+    fn build(&mut self) -> ReceptionReport {
+        let report = ReceptionReport {
+            tsi: self.tsi,
+            report_seq: self.next_report_seq,
+            highest_seq: self.highest_seq,
+            session_complete: self.session_complete,
+            truncated: self.truncated,
+            entries: self
+                .counters
+                .iter()
+                .map(|(&toi, c)| ReportEntry {
+                    toi,
+                    received: c.received,
+                    lost: c.lost,
+                    complete: c.complete,
+                })
+                .collect(),
+            runs: self.runs.iter().copied().collect(),
+        };
+        self.next_report_seq = self.next_report_seq.wrapping_add(1);
+        self.runs.clear();
+        self.truncated = false;
+        self.observed_since_report = 0;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_detection_builds_the_loss_sketch() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        // Sequences 0,1,2 then a 3-packet gap, then 6,7.
+        for s in [0u32, 1, 2, 6, 7] {
+            em.observe(1, Some(s));
+        }
+        let r = em.flush().unwrap();
+        assert_eq!(
+            r.runs,
+            vec![
+                LossRun {
+                    lost: false,
+                    len: 3
+                },
+                LossRun { lost: true, len: 3 },
+                LossRun {
+                    lost: false,
+                    len: 2
+                },
+            ]
+        );
+        assert_eq!(r.entries.len(), 1);
+        assert_eq!((r.entries[0].received, r.entries[0].lost), (5, 3));
+        assert_eq!(r.highest_seq, Some(7));
+        assert_eq!(r.report_seq, 1);
+        // The sketch resets per digest; counters are cumulative.
+        em.observe(1, Some(8));
+        let r2 = em.flush().unwrap();
+        assert_eq!(r2.report_seq, 2);
+        assert_eq!(r2.runs.len(), 1);
+        assert_eq!(r2.entries[0].received, 6);
+        assert_eq!(r2.entries[0].lost, 3);
+    }
+
+    #[test]
+    fn duplicates_and_reordering_do_not_enter_the_sketch() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        for s in [0u32, 1, 4, 4, 2] {
+            em.observe(1, Some(s));
+        }
+        let r = em.flush().unwrap();
+        // 0,1 delivered; 2,3 gapped; 4 delivered; dup 4 and late 2 ignored
+        // by the sketch but counted as received.
+        assert_eq!(
+            r.runs,
+            vec![
+                LossRun {
+                    lost: false,
+                    len: 2
+                },
+                LossRun { lost: true, len: 2 },
+                LossRun {
+                    lost: false,
+                    len: 1
+                },
+            ]
+        );
+        assert_eq!(r.entries[0].received, 5);
+    }
+
+    #[test]
+    fn sequence_wraparound_is_a_gap_not_a_reorder() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        em.observe(1, Some(SEQ_MODULUS - 2));
+        em.observe(1, Some(SEQ_MODULUS - 1));
+        em.observe(1, Some(1)); // seq 0 lost across the wrap
+        let r = em.flush().unwrap();
+        assert_eq!(
+            r.runs,
+            vec![
+                LossRun {
+                    lost: false,
+                    len: 2
+                },
+                LossRun { lost: true, len: 1 },
+                LossRun {
+                    lost: false,
+                    len: 1
+                },
+            ]
+        );
+        assert_eq!(r.highest_seq, Some(1));
+    }
+
+    #[test]
+    fn poll_batches_on_threshold() {
+        let mut em = ReportEmitter::new(
+            7,
+            ReportConfig {
+                report_every: 10,
+                ..ReportConfig::default()
+            },
+        );
+        assert!(em.flush().is_none(), "nothing observed yet");
+        for s in 0..9u32 {
+            em.observe(1, Some(s));
+            assert!(em.poll().is_none());
+        }
+        em.observe(1, Some(9));
+        let r = em.poll().expect("threshold reached");
+        assert_eq!(r.observations(), 10);
+        assert!(em.poll().is_none(), "threshold resets");
+    }
+
+    #[test]
+    fn sketch_overflow_truncates_oldest_and_flags_it() {
+        let mut em = ReportEmitter::new(
+            7,
+            ReportConfig {
+                report_every: 1_000_000,
+                max_runs: 4,
+            },
+        );
+        // Alternating delivered/lost: every observation is a new run.
+        for i in 0..10u32 {
+            em.observe(1, Some(i * 2)); // gap of 1 before each after the first
+        }
+        let r = em.flush().unwrap();
+        assert!(r.truncated);
+        assert_eq!(r.runs.len(), 4);
+        // Counters stay exact despite sketch truncation.
+        assert_eq!(r.entries[0].received, 10);
+        assert_eq!(r.entries[0].lost, 9);
+    }
+
+    #[test]
+    fn completion_flags_propagate() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        em.observe(0, Some(0));
+        em.observe(1, Some(1));
+        em.mark_complete(1);
+        em.mark_session_complete();
+        let r = em.flush().unwrap();
+        assert!(r.session_complete);
+        let toi1 = r.entries.iter().find(|e| e.toi == 1).unwrap();
+        assert!(toi1.complete);
+        let fdt = r.entries.iter().find(|e| e.toi == 0).unwrap();
+        assert!(!fdt.complete);
+    }
+
+    #[test]
+    fn unsequenced_datagrams_still_count() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        em.observe(1, None);
+        em.observe(1, None);
+        let r = em.flush().unwrap();
+        assert_eq!(r.entries[0].received, 2);
+        assert_eq!(r.entries[0].lost, 0);
+        assert_eq!(r.highest_seq, None);
+        assert_eq!(
+            r.runs,
+            vec![LossRun {
+                lost: false,
+                len: 2
+            }]
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! The live reception-report feedback channel.
+//!
+//! The paper's delivery stack is feedback-free by design — reliability
+//! comes from FEC alone — but its §6 recommendations presuppose a sender
+//! that *knows* the loss process. This module closes that gap with a
+//! return channel an order of magnitude lighter than the forward one:
+//!
+//! 1. the sender stamps every datagram with an EXT_SEQ sequence number
+//!    ([`HeaderExtension::seq`](crate::lct::HeaderExtension::seq));
+//! 2. the receiver's [`ReportEmitter`] turns sequence gaps into a
+//!    run-length loss sketch and batches it, with cumulative per-TOI
+//!    counters, into compact [`ReceptionReport`] digests (one small UDP
+//!    datagram every few hundred received packets);
+//! 3. the sender's [`FeedbackLoop`] dedups digests, folds the sketches
+//!    into its online Gilbert estimator and re-plans the in-flight
+//!    object's transmission via
+//!    [`AdaptiveController::replan`](fec_adapt::AdaptiveController::replan)
+//!    — amendments land through
+//!    [`SessionStream::amend_plan`](crate::SessionStream::amend_plan).
+//!
+//! Both channel directions are lossy UDP: the sketch survives forward
+//! reordering/duplication (see [`ReportEmitter`]) and the loop survives
+//! dropped, duplicated and reordered digests (see [`FeedbackLoop`]).
+
+mod emitter;
+mod sender_loop;
+mod wire;
+
+pub use emitter::{ReportConfig, ReportEmitter};
+pub use sender_loop::{FeedbackLoop, FeedbackStats, ReportOutcome};
+pub use wire::{
+    LossRun, ReceptionReport, ReportEntry, REPORT_ENTRY_LEN, REPORT_HEADER_LEN, REPORT_MAGIC,
+    REPORT_RUN_LEN, REPORT_VERSION, SEQ_MODULUS,
+};

@@ -1,0 +1,304 @@
+//! Sender-side digest ingestion: the glue between the return channel and
+//! the adaptive controller.
+//!
+//! A [`FeedbackLoop`] owns an
+//! [`AdaptiveController`](fec_adapt::AdaptiveController) and folds every
+//! accepted [`ReceptionReport`] into it: the digest's loss-run sketch
+//! becomes per-packet observations
+//! ([`observe_runs`](fec_adapt::AdaptiveController::observe_runs)), per-TOI
+//! completion flags become decode outcomes
+//! ([`record_outcome`](fec_adapt::AdaptiveController::record_outcome)),
+//! and [`replan`](FeedbackLoop::replan) re-derives the §6.2 plan for the
+//! object in flight.
+//!
+//! The return channel is itself UDP, so digests arrive **late, twice, or
+//! never**. The loop is safe against all three by construction:
+//!
+//! * each digest carries a monotone `report_seq`; anything at or below the
+//!   last applied sequence is [`ReportOutcome::Stale`] and ignored, so a
+//!   duplicated or reordered digest can never double-count observations;
+//! * a *lost* digest only costs its own sketch — later digests carry later
+//!   observations (and exact cumulative counters), so the estimator window
+//!   simply fills a little slower and re-planning continues.
+
+use std::collections::BTreeSet;
+
+use fec_adapt::{AdaptiveController, ControllerConfig, Replan};
+
+use super::wire::ReceptionReport;
+use crate::{FluteError, FDT_TOI};
+
+/// What ingesting one digest did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportOutcome {
+    /// The digest was applied to the estimator.
+    Applied {
+        /// Per-packet observations folded in from the run sketch.
+        observations: u64,
+        /// TOIs newly reported complete by this digest.
+        completed: Vec<u32>,
+    },
+    /// Duplicate or reordered digest (report_seq at or below the last
+    /// applied one) — dropped without touching the estimator.
+    Stale,
+    /// A digest for another session (TSI mismatch) — ignored.
+    ForeignSession,
+}
+
+/// Ingestion statistics (diagnostics / assertions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedbackStats {
+    /// Digests applied to the estimator.
+    pub applied: u64,
+    /// Digests dropped as stale (duplicate / reordered).
+    pub stale: u64,
+    /// Digests for a different session.
+    pub foreign: u64,
+    /// Per-packet observations folded into the estimator.
+    pub observations: u64,
+}
+
+/// Sender half of the live adaptive loop.
+#[derive(Debug)]
+pub struct FeedbackLoop {
+    tsi: u32,
+    controller: AdaptiveController,
+    last_report_seq: Option<u32>,
+    completed: BTreeSet<u32>,
+    session_complete: bool,
+    stats: FeedbackStats,
+}
+
+impl FeedbackLoop {
+    /// A loop for session `tsi` with a fresh controller.
+    pub fn new(tsi: u32, config: ControllerConfig) -> FeedbackLoop {
+        FeedbackLoop::with_controller(tsi, AdaptiveController::new(config))
+    }
+
+    /// A loop for session `tsi` around an existing (possibly pre-warmed)
+    /// controller.
+    pub fn with_controller(tsi: u32, controller: AdaptiveController) -> FeedbackLoop {
+        FeedbackLoop {
+            tsi,
+            controller,
+            last_report_seq: None,
+            completed: BTreeSet::new(),
+            session_complete: false,
+            stats: FeedbackStats::default(),
+        }
+    }
+
+    /// Parses and ingests one raw digest datagram from the return socket.
+    pub fn ingest_datagram(&mut self, datagram: &[u8]) -> Result<ReportOutcome, FluteError> {
+        let report = ReceptionReport::from_bytes(datagram)?;
+        Ok(self.ingest(&report))
+    }
+
+    /// Ingests one parsed digest.
+    pub fn ingest(&mut self, report: &ReceptionReport) -> ReportOutcome {
+        if report.tsi != self.tsi {
+            self.stats.foreign += 1;
+            return ReportOutcome::ForeignSession;
+        }
+        if let Some(last) = self.last_report_seq {
+            if report.report_seq <= last {
+                self.stats.stale += 1;
+                return ReportOutcome::Stale;
+            }
+        }
+        self.last_report_seq = Some(report.report_seq);
+
+        let observations = self.controller.observe_runs(report.run_pairs());
+        let mut completed = Vec::new();
+        for entry in &report.entries {
+            if entry.complete && entry.toi != FDT_TOI && self.completed.insert(entry.toi) {
+                // An object decoding under the live plan is the loop's
+                // positive outcome signal (failures are recorded by the
+                // sender when it exhausts a schedule unheard — see
+                // `record_failure`).
+                self.controller.record_outcome(true);
+                completed.push(entry.toi);
+            }
+        }
+        if report.session_complete {
+            self.session_complete = true;
+        }
+        self.stats.applied += 1;
+        self.stats.observations += observations;
+        ReportOutcome::Applied {
+            observations,
+            completed,
+        }
+    }
+
+    /// Records that an object's schedule was exhausted without any digest
+    /// reporting it complete — the channel beat the plan.
+    pub fn record_failure(&mut self) {
+        self.controller.record_outcome(false);
+    }
+
+    /// Reconsiders the tuple and re-plans a `k`-packet in-flight object
+    /// (see [`AdaptiveController::replan`]).
+    pub fn replan(&mut self, k: usize) -> Replan {
+        self.controller.replan(k)
+    }
+
+    /// The controller driven by this loop.
+    pub fn controller(&self) -> &AdaptiveController {
+        &self.controller
+    }
+
+    /// Mutable access to the controller (manual warm-up, tuning).
+    pub fn controller_mut(&mut self) -> &mut AdaptiveController {
+        &mut self.controller
+    }
+
+    /// TOIs some digest has reported complete.
+    pub fn completed(&self) -> impl Iterator<Item = u32> + '_ {
+        self.completed.iter().copied()
+    }
+
+    /// Whether `toi` has been reported complete.
+    pub fn is_complete(&self, toi: u32) -> bool {
+        self.completed.contains(&toi)
+    }
+
+    /// Whether a digest has reported the whole session complete.
+    pub fn session_complete(&self) -> bool {
+        self.session_complete
+    }
+
+    /// Ingestion statistics so far.
+    pub fn stats(&self) -> FeedbackStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::{LossRun, ReportEntry};
+    use fec_adapt::Reconsideration;
+
+    fn report(seq: u32, runs: Vec<LossRun>) -> ReceptionReport {
+        ReceptionReport {
+            tsi: 7,
+            report_seq: seq,
+            highest_seq: Some(seq * 100),
+            session_complete: false,
+            truncated: false,
+            entries: vec![ReportEntry {
+                toi: 1,
+                received: seq * 90,
+                lost: seq * 10,
+                complete: false,
+            }],
+            runs,
+        }
+    }
+
+    fn light_runs(n: u32) -> Vec<LossRun> {
+        // ~1% loss in short bursts.
+        let mut runs = Vec::new();
+        for _ in 0..n {
+            runs.push(LossRun {
+                lost: false,
+                len: 99,
+            });
+            runs.push(LossRun { lost: true, len: 1 });
+        }
+        runs
+    }
+
+    #[test]
+    fn duplicates_and_reordering_are_stale() {
+        let mut fb = FeedbackLoop::new(7, ControllerConfig::default());
+        let r1 = report(1, light_runs(2));
+        let r2 = report(2, light_runs(2));
+        assert!(matches!(fb.ingest(&r1), ReportOutcome::Applied { .. }));
+        let after_one = *fb.controller().estimator().counts();
+        assert_eq!(fb.ingest(&r1), ReportOutcome::Stale, "duplicate");
+        assert_eq!(
+            fb.controller().estimator().counts(),
+            &after_one,
+            "duplicate did not double-count"
+        );
+        assert!(matches!(fb.ingest(&r2), ReportOutcome::Applied { .. }));
+        assert_eq!(fb.ingest(&r1), ReportOutcome::Stale, "reordered");
+        assert_eq!(fb.stats().applied, 2);
+        assert_eq!(fb.stats().stale, 2);
+        assert_eq!(fb.stats().observations, 400);
+    }
+
+    #[test]
+    fn foreign_sessions_are_ignored() {
+        let mut fb = FeedbackLoop::new(99, ControllerConfig::default());
+        assert_eq!(
+            fb.ingest(&report(1, light_runs(1))),
+            ReportOutcome::ForeignSession
+        );
+        assert_eq!(fb.controller().estimator().window_len(), 0);
+    }
+
+    #[test]
+    fn lost_digests_do_not_stall_replanning() {
+        let mut fb = FeedbackLoop::new(
+            7,
+            ControllerConfig {
+                min_observations: 500,
+                confirm_after: 1,
+                ..ControllerConfig::default()
+            },
+        );
+        // Digests 1..=3 lost in transit; 4 and 40 arrive.
+        fb.ingest(&report(4, light_runs(4)));
+        fb.ingest(&report(40, light_runs(4)));
+        let replan = fb.replan(10_000);
+        assert_ne!(replan.reconsideration, Reconsideration::NoEstimate);
+        assert!(
+            replan.plan.is_some(),
+            "estimator kept working across losses"
+        );
+    }
+
+    #[test]
+    fn completion_records_outcomes_once() {
+        let mut fb = FeedbackLoop::new(7, ControllerConfig::default());
+        let mut r = report(1, light_runs(1));
+        r.entries[0].complete = true;
+        r.entries.push(ReportEntry {
+            toi: 0,
+            received: 3,
+            lost: 0,
+            complete: true, // the FDT never counts as an object outcome
+        });
+        match fb.ingest(&r) {
+            ReportOutcome::Applied { completed, .. } => assert_eq!(completed, vec![1]),
+            other => panic!("{other:?}"),
+        }
+        assert!(fb.is_complete(1));
+        // The same completion in a later digest is not a new outcome.
+        let mut r2 = report(2, light_runs(1));
+        r2.entries[0].complete = true;
+        r2.session_complete = true;
+        match fb.ingest(&r2) {
+            ReportOutcome::Applied { completed, .. } => assert!(completed.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(fb.session_complete());
+    }
+
+    #[test]
+    fn ingest_datagram_roundtrips_the_wire() {
+        let mut fb = FeedbackLoop::new(7, ControllerConfig::default());
+        let wire = report(1, light_runs(3)).to_bytes().unwrap();
+        assert!(matches!(
+            fb.ingest_datagram(&wire).unwrap(),
+            ReportOutcome::Applied {
+                observations: 300,
+                ..
+            }
+        ));
+        assert!(fb.ingest_datagram(b"garbage").is_err());
+    }
+}

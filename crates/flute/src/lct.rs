@@ -44,6 +44,14 @@ pub const HET_NOP: u8 = 0;
 pub const HET_FTI: u8 = 64;
 /// Header-extension type for FLUTE's EXT_FDT (RFC 3926 §3.4.1).
 pub const HET_FDT: u8 = 192;
+/// Header-extension type for this implementation's EXT_SEQ: a session-wide
+/// 24-bit transmission sequence number on every datagram, so receivers can
+/// observe the *loss process* (which packets vanished, in what runs) and
+/// feed it back for online channel estimation (see
+/// `fec_flute::feedback`). Not an IANA-assigned extension — it lives in
+/// the reserved fixed-format range, and receivers that do not know it
+/// skip it per RFC 3451 rules.
+pub const HET_SEQ: u8 = 193;
 
 /// One LCT header extension.
 ///
@@ -89,6 +97,30 @@ impl HeaderExtension {
         HeaderExtension::Fixed {
             het: HET_FDT,
             data: [b[1], b[2], b[3]],
+        }
+    }
+
+    /// EXT_SEQ carrying a 24-bit session transmission sequence number.
+    ///
+    /// # Panics
+    /// Panics if `seq` does not fit in 24 bits (callers wrap with
+    /// [`SEQ_MODULUS`](crate::feedback::SEQ_MODULUS)).
+    pub fn seq(seq: u32) -> HeaderExtension {
+        assert!(seq < (1 << 24), "EXT_SEQ carries 24 bits");
+        let b = seq.to_be_bytes();
+        HeaderExtension::Fixed {
+            het: HET_SEQ,
+            data: [b[1], b[2], b[3]],
+        }
+    }
+
+    /// Decodes an EXT_SEQ payload back into the sequence number.
+    pub fn as_seq(&self) -> Option<u32> {
+        match self {
+            HeaderExtension::Fixed { het, data } if *het == HET_SEQ => {
+                Some(u32::from_be_bytes([0, data[0], data[1], data[2]]))
+            }
+            _ => None,
         }
     }
 

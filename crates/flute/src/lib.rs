@@ -20,7 +20,13 @@
 //! * [`alc`] — complete ALC datagrams: LCT header + payload ID + symbol;
 //! * sessions — [`FluteSender`] / [`FluteReceiver`]: multi-object
 //!   sessions that carry whole files (FDT + data) over any transmission
-//!   schedule from `fec-sched`, tolerating loss, reordering and duplication.
+//!   schedule from `fec-sched`, tolerating loss, reordering and
+//!   duplication; [`SessionStream`] emits a session incrementally with
+//!   mid-flight plan amendments;
+//! * [`feedback`] — the live adaptive loop's return channel: EXT_SEQ
+//!   sequence stamping, [`ReceptionReport`] digests, the receiver-side
+//!   [`ReportEmitter`] and the sender-side [`FeedbackLoop`] driving an
+//!   online channel estimator and §6.2 re-planning.
 //!
 //! ## What is implemented, and what is not (smoltcp-style)
 //!
@@ -48,6 +54,7 @@ pub mod alc;
 pub mod base64;
 mod error;
 pub mod fdt;
+pub mod feedback;
 pub mod fti;
 pub mod lct;
 pub mod payload_id;
@@ -56,10 +63,13 @@ mod session;
 pub use alc::AlcPacket;
 pub use error::FluteError;
 pub use fdt::{FdtInstance, FileEntry};
+pub use feedback::{FeedbackLoop, ReceptionReport, ReportConfig, ReportEmitter, ReportOutcome};
 pub use fti::{code_for_fti, fti_for_code, ObjectTransmissionInfo};
 pub use lct::{HeaderExtension, LctHeader};
 pub use payload_id::FecPayloadId;
-pub use session::{FluteReceiver, FluteSender, ObjectStatus, ReceiverEvent, SenderConfig};
+pub use session::{
+    FluteReceiver, FluteSender, ObjectStatus, ReceiverEvent, SenderConfig, SessionStream,
+};
 
 /// The TOI value reserved for FDT instances (RFC 3926 §3.4.1).
 pub const FDT_TOI: u32 = 0;

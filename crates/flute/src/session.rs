@@ -21,6 +21,7 @@ use fec_sched::TxModel;
 
 use crate::alc::AlcPacket;
 use crate::fdt::{FdtInstance, FileEntry};
+use crate::feedback::{ReceptionReport, ReportConfig, ReportEmitter};
 use crate::fti::ObjectTransmissionInfo;
 use crate::payload_id::FecPayloadId;
 use crate::{FluteError, FDT_TOI};
@@ -46,6 +47,13 @@ pub struct SenderConfig {
     /// the start). FDT packets are not FEC-protected, so on lossy channels
     /// they must be repeated.
     pub fdt_interval: usize,
+    /// Stamp every emitted datagram (FDT included) with an EXT_SEQ
+    /// session transmission sequence number (4 bytes of overhead per
+    /// packet). Receivers use the sequence gaps to observe the loss
+    /// *process* and report it back (see [`crate::feedback`]); without it
+    /// a reception report can still count per-TOI arrivals but carries no
+    /// loss-run sketch. On by default.
+    pub sequence_datagrams: bool,
 }
 
 impl SenderConfig {
@@ -57,6 +65,7 @@ impl SenderConfig {
             expires: 0,
             fti_in_data_packets: true,
             fdt_interval: 500,
+            sequence_datagrams: true,
         }
     }
 }
@@ -155,50 +164,212 @@ impl FluteSender {
     /// object's packets in its schedule (objects back to back), with FDT
     /// repeats every `fdt_interval` data packets, the `B` flag on each
     /// object's last packet and the `A` flag on the session's last packet.
+    ///
+    /// This is [`stream`](Self::stream) collected to completion with no
+    /// plan amendments.
     pub fn datagrams(&self, schedule_seed: u64) -> Result<Vec<Vec<u8>>, FluteError> {
+        let mut stream = self.stream(schedule_seed);
         let mut out = Vec::new();
-        out.push(self.fdt_datagram()?);
-        let mut since_fdt = 0usize;
-        let last_object = self.objects.len().checked_sub(1);
-        for (oi, object) in self.objects.iter().enumerate() {
-            let order = object
-                .sender
-                .transmission(object.tx, schedule_seed ^ (object.toi as u64) << 32);
-            let last_packet = order.len().checked_sub(1);
-            for (pi, packet) in order.iter().enumerate() {
-                let mut alc = AlcPacket::data(
-                    self.config.tsi,
-                    object.toi,
-                    object.codepoint,
-                    FecPayloadId::new(packet.block, packet.esi),
-                    packet.payload.clone(),
-                );
-                if self.config.fti_in_data_packets {
-                    alc = alc.with_fti(object.oti.to_bytes());
-                }
-                if Some(pi) == last_packet {
-                    alc = alc.closing_object();
-                    if Some(oi) == last_object {
-                        alc = alc.closing_session();
-                    }
-                }
-                out.push(alc.to_bytes()?);
-                since_fdt += 1;
-                if self.config.fdt_interval > 0
-                    && since_fdt >= self.config.fdt_interval
-                    && !(Some(pi) == last_packet && Some(oi) == last_object)
-                {
-                    out.push(self.fdt_datagram()?);
-                    since_fdt = 0;
-                }
-            }
+        while let Some(dg) = stream.next_datagram()? {
+            out.push(dg);
         }
         Ok(out)
+    }
+
+    /// Starts an incremental, plan-amendable emission of the session —
+    /// the live counterpart of [`datagrams`](Self::datagrams). Pull one
+    /// wire datagram at a time with
+    /// [`next_datagram`](SessionStream::next_datagram) and move any
+    /// in-flight object's stopping point with
+    /// [`amend_plan`](SessionStream::amend_plan) whenever the feedback
+    /// loop produces a fresh [`TransmissionPlan`](fec_core::TransmissionPlan).
+    pub fn stream(&self, schedule_seed: u64) -> SessionStream<'_> {
+        let emissions = self
+            .objects
+            .iter()
+            .map(|o| {
+                o.sender
+                    .emission(o.tx, schedule_seed ^ (o.toi as u64) << 32)
+            })
+            .collect();
+        SessionStream {
+            sender: self,
+            emissions,
+            current: 0,
+            next_seq: 0,
+            since_fdt: 0,
+            fdt_sent: false,
+            data_emitted: 0,
+        }
     }
 
     /// Total data packets the session will emit (excluding FDT repeats).
     pub fn data_packet_count(&self) -> u64 {
         self.objects.iter().map(|o| o.sender.packet_count()).sum()
+    }
+}
+
+/// The incremental sending half of a live session: a cursor over every
+/// object's schedule, FDT repeats included, whose per-object stopping
+/// points can be amended mid-flight (see
+/// [`FluteSender::stream`]).
+///
+/// The `B`/`A` close flags are stamped on whatever packet is the last one
+/// *under the plan in force when it is emitted*; a later extension simply
+/// keeps sending (receivers treat the flags as advisory status, not as a
+/// hard stop).
+pub struct SessionStream<'a> {
+    sender: &'a FluteSender,
+    emissions: Vec<fec_core::PlannedEmission>,
+    current: usize,
+    next_seq: u32,
+    since_fdt: usize,
+    fdt_sent: bool,
+    data_emitted: u64,
+}
+
+impl SessionStream<'_> {
+    /// The next wire datagram, or `None` once every object's emission
+    /// reached its target.
+    pub fn next_datagram(&mut self) -> Result<Option<Vec<u8>>, FluteError> {
+        if !self.fdt_sent {
+            self.fdt_sent = true;
+            return self.fdt_datagram().map(Some);
+        }
+        loop {
+            if self.current >= self.emissions.len() {
+                return Ok(None);
+            }
+            if self.emissions[self.current].is_done() {
+                self.current += 1;
+                continue;
+            }
+            // A data packet is definitely coming: emit any due FDT repeat
+            // first (this ordering also guarantees the session never
+            // trails off with a lone FDT after the A-flagged packet).
+            if self.sender.config.fdt_interval > 0
+                && self.since_fdt >= self.sender.config.fdt_interval
+            {
+                self.since_fdt = 0;
+                return self.fdt_datagram().map(Some);
+            }
+            let emission = &mut self.emissions[self.current];
+            let r = emission.next_ref().expect("not done");
+            let object = &self.sender.objects[self.current];
+            let packet = object.sender.packet(r)?;
+            let mut alc = AlcPacket::data(
+                self.sender.config.tsi,
+                object.toi,
+                object.codepoint,
+                FecPayloadId::new(packet.block, packet.esi),
+                packet.payload,
+            );
+            if self.sender.config.fti_in_data_packets {
+                alc = alc.with_fti(object.oti.to_bytes());
+            }
+            if emission.is_done() {
+                alc = alc.closing_object();
+                if self.current + 1 == self.emissions.len() {
+                    alc = alc.closing_session();
+                }
+            }
+            self.data_emitted += 1;
+            self.since_fdt += 1;
+            return self.seal(alc).map(Some);
+        }
+    }
+
+    /// One FDT announcement datagram, sequenced like any other (callers
+    /// needing extra FDT robustness can interleave these at will).
+    pub fn fdt_datagram(&mut self) -> Result<Vec<u8>, FluteError> {
+        let alc = AlcPacket::fdt(
+            self.sender.config.tsi,
+            self.sender.config.fdt_instance_id,
+            Bytes::from(self.sender.fdt().to_xml().into_bytes()),
+        );
+        self.seal(alc)
+    }
+
+    fn seal(&mut self, mut alc: AlcPacket) -> Result<Vec<u8>, FluteError> {
+        if self.sender.config.sequence_datagrams {
+            alc = alc.with_sequence(self.next_seq);
+            self.next_seq = (self.next_seq + 1) % crate::feedback::SEQ_MODULUS;
+        }
+        alc.to_bytes()
+    }
+
+    /// Moves `toi`'s stopping point to `plan` (`None` = the full
+    /// schedule). Unknown TOIs are an error. An amendment that *extends*
+    /// an object the cursor already passed rewinds the stream to it (the
+    /// failure-backoff "the plan was too thin, keep sending" path), so an
+    /// exhausted stream becomes productive again.
+    pub fn amend_plan(
+        &mut self,
+        toi: u32,
+        plan: Option<&fec_core::TransmissionPlan>,
+    ) -> Result<fec_core::Amendment, FluteError> {
+        let idx = self.object_index(toi)?;
+        let amendment = self.emissions[idx].amend(plan);
+        if matches!(amendment, fec_core::Amendment::Extended { .. }) && idx < self.current {
+            self.current = idx;
+        }
+        Ok(amendment)
+    }
+
+    /// Stops `toi`'s emission where it stands (e.g. a digest reported the
+    /// object complete — nothing more is needed). Idempotent.
+    pub fn stop_object(&mut self, toi: u32) -> Result<fec_core::Amendment, FluteError> {
+        let idx = self.object_index(toi)?;
+        Ok(self.emissions[idx].stop())
+    }
+
+    fn object_index(&self, toi: u32) -> Result<usize, FluteError> {
+        self.sender
+            .objects
+            .iter()
+            .position(|o| o.toi == toi)
+            .ok_or_else(|| FluteError::Session {
+                reason: format!("cannot amend unknown TOI {toi}"),
+            })
+    }
+
+    /// The TOI currently being emitted, if the stream is not done.
+    pub fn current_toi(&self) -> Option<u32> {
+        // `current` only advances when a later datagram is pulled, so skip
+        // finished emissions to answer "what is in flight *now*".
+        (self.current..self.emissions.len())
+            .find(|&i| !self.emissions[i].is_done())
+            .map(|i| self.sender.objects[i].toi)
+    }
+
+    /// Source packet count (`k`) of one object — the planner's input.
+    pub fn source_count(&self, toi: u32) -> Option<u64> {
+        self.sender
+            .objects
+            .iter()
+            .find(|o| o.toi == toi)
+            .map(|o| o.sender.source_count())
+    }
+
+    /// Data packets emitted so far (FDT datagrams excluded).
+    pub fn data_emitted(&self) -> u64 {
+        self.data_emitted
+    }
+
+    /// Sum of the current per-object targets.
+    pub fn planned_total(&self) -> u64 {
+        self.emissions.iter().map(|e| e.target()).sum()
+    }
+
+    /// Sum of the full per-object schedules (what a plan-free session
+    /// would send).
+    pub fn full_total(&self) -> u64 {
+        self.emissions.iter().map(|e| e.schedule_len()).sum()
+    }
+
+    /// True once every emission reached its current target.
+    pub fn is_done(&self) -> bool {
+        self.emissions.iter().all(|e| e.is_done())
     }
 }
 
@@ -335,6 +506,7 @@ pub struct FluteReceiver {
     fdt: Option<FdtInstance>,
     objects: HashMap<u32, ObjectState>,
     session_closed: bool,
+    emitter: Option<ReportEmitter>,
 }
 
 impl FluteReceiver {
@@ -345,7 +517,31 @@ impl FluteReceiver {
             fdt: None,
             objects: HashMap::new(),
             session_closed: false,
+            emitter: None,
         }
+    }
+
+    /// Attaches a reception-report emitter to the receive path: every
+    /// accepted datagram is observed (EXT_SEQ gap detection + per-TOI
+    /// counters) and digests become available through
+    /// [`poll_report`](Self::poll_report) /
+    /// [`flush_report`](Self::flush_report).
+    pub fn enable_reports(&mut self, config: ReportConfig) {
+        self.emitter = Some(ReportEmitter::new(self.tsi, config));
+    }
+
+    /// A digest, if the configured batching threshold has been reached.
+    /// Call after each [`push_datagrams`](Self::push_datagrams) burst and
+    /// ship the bytes down the return channel.
+    pub fn poll_report(&mut self) -> Option<ReceptionReport> {
+        self.emitter.as_mut().and_then(ReportEmitter::poll)
+    }
+
+    /// A digest now, regardless of the threshold — the caller's timer
+    /// tick, or the final FIN digest after completion. `None` if reports
+    /// are disabled or nothing was ever observed.
+    pub fn flush_report(&mut self) -> Option<ReceptionReport> {
+        self.emitter.as_mut().and_then(ReportEmitter::flush)
     }
 
     /// Feeds one raw datagram (as read from the socket).
@@ -398,6 +594,9 @@ impl FluteReceiver {
                 events.push(ReceiverEvent::ForeignSession);
                 continue;
             }
+            if let Some(em) = self.emitter.as_mut() {
+                em.observe(packet.header.toi, packet.sequence());
+            }
             if packet.header.close_session {
                 self.session_closed = true;
             }
@@ -433,6 +632,26 @@ impl FluteReceiver {
             events.push(ReceiverEvent::ObjectProgress { toi });
         }
         self.flush_pending(&mut pending, &mut events, &mut data_slots)?;
+        if self.emitter.is_some() {
+            // Completion flags are sticky in the emitter, so a scan per
+            // burst is enough even if the application later takes the
+            // decoded objects out.
+            let complete: Vec<u32> = self
+                .objects
+                .iter()
+                .filter(|(_, s)| s.decoded.is_some())
+                .map(|(&toi, _)| toi)
+                .collect();
+            let session_done = self.all_complete();
+            if let Some(em) = self.emitter.as_mut() {
+                for toi in complete {
+                    em.mark_complete(toi);
+                }
+                if session_done {
+                    em.mark_session_complete();
+                }
+            }
+        }
         Ok(events)
     }
 
@@ -883,6 +1102,200 @@ mod tests {
         assert_eq!(receiver.object_status(1), Some(ObjectStatus::Complete));
         assert_eq!(receiver.object(1).unwrap(), &data[..]);
         assert_eq!(events.len(), reordered.len());
+    }
+
+    #[test]
+    fn stream_without_amendments_equals_datagrams() {
+        let data = object_bytes(900);
+        let mut sender = FluteSender::new(SenderConfig::new(7));
+        sender
+            .add_object(
+                1,
+                "a",
+                &data,
+                fec_codec::builtin::ldgm_staircase(),
+                ExpansionRatio::R2_5,
+                16,
+                5,
+                TxModel::Random,
+            )
+            .unwrap();
+        sender
+            .add_object(
+                2,
+                "b",
+                &object_bytes(333),
+                fec_codec::builtin::rse(),
+                ExpansionRatio::R1_5,
+                16,
+                0,
+                TxModel::Interleaved,
+            )
+            .unwrap();
+        let batch = sender.datagrams(9).unwrap();
+        let mut stream = sender.stream(9);
+        let mut streamed = Vec::new();
+        while let Some(dg) = stream.next_datagram().unwrap() {
+            streamed.push(dg);
+        }
+        assert_eq!(batch, streamed);
+        assert!(stream.is_done());
+        assert_eq!(stream.data_emitted(), sender.data_packet_count());
+        // Every datagram carries a distinct, consecutive EXT_SEQ.
+        for (i, dg) in batch.iter().enumerate() {
+            assert_eq!(
+                AlcPacket::from_bytes(dg).unwrap().sequence(),
+                Some(i as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn stream_amendment_truncates_mid_flight() {
+        use fec_core::{Amendment, TransmissionPlan};
+
+        let data = object_bytes(2000); // k = 125 at 16B symbols, n = 312
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut stream = sender.stream(4);
+        let full = stream.full_total();
+        let k = stream.source_count(1).unwrap() as usize;
+
+        // Emit a first chunk, then a plan arrives from the feedback loop.
+        let mut receiver = FluteReceiver::new(7);
+        for _ in 0..80 {
+            let dg = stream.next_datagram().unwrap().unwrap();
+            receiver.push_datagram(&dg).unwrap();
+        }
+        let plan = TransmissionPlan::new(k, full, 1.15, fec_channel::GilbertParams::perfect(), 4);
+        assert!(matches!(
+            stream.amend_plan(1, Some(&plan)).unwrap(),
+            Amendment::Truncated { .. }
+        ));
+        assert!(stream.amend_plan(99, None).is_err(), "unknown TOI");
+
+        let mut emitted = 80u64;
+        while let Some(dg) = stream.next_datagram().unwrap() {
+            emitted += 1;
+            receiver.push_datagram(&dg).unwrap();
+        }
+        assert_eq!(stream.data_emitted(), stream.planned_total());
+        assert!(emitted < full, "truncated: {emitted} of {full}");
+        // A lossless channel decodes from the planned prefix.
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+        assert!(
+            receiver.session_closed(),
+            "A flag rode the planned last packet"
+        );
+    }
+
+    #[test]
+    fn exhausted_stream_revives_on_extension() {
+        use fec_core::{Amendment, TransmissionPlan};
+
+        let data = object_bytes(2000);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut stream = sender.stream(4);
+        let full = stream.full_total();
+        let k = stream.source_count(1).unwrap() as usize;
+        // Truncate hard, run the stream dry…
+        let thin = TransmissionPlan::new(k, full, 1.0, fec_channel::GilbertParams::perfect(), 0);
+        stream.amend_plan(1, Some(&thin)).unwrap();
+        let mut first_leg = 0u64;
+        while stream.next_datagram().unwrap().is_some() {
+            first_leg += 1;
+        }
+        assert!(stream.is_done());
+        // …then the backoff path reverts to the full schedule: the cursor
+        // must rewind and emission must resume (this is the "plan was too
+        // thin, keep sending" recovery — it must not dead-end).
+        assert!(matches!(
+            stream.amend_plan(1, None).unwrap(),
+            Amendment::Extended { .. }
+        ));
+        assert!(!stream.is_done());
+        let mut second_leg = 0u64;
+        let mut receiver = FluteReceiver::new(7);
+        while let Some(dg) = stream.next_datagram().unwrap() {
+            second_leg += 1;
+            receiver.push_datagram(&dg).unwrap();
+        }
+        assert!(second_leg > 0, "extension revived the stream");
+        assert_eq!(stream.data_emitted(), full);
+        let _ = first_leg;
+        // A decoded object stops mid-plan, idempotently.
+        let mut stream2 = sender.stream(4);
+        for _ in 0..10 {
+            stream2.next_datagram().unwrap().unwrap();
+        }
+        assert!(matches!(
+            stream2.stop_object(1).unwrap(),
+            Amendment::Truncated { .. }
+        ));
+        assert!(matches!(
+            stream2.stop_object(1).unwrap(),
+            Amendment::Unchanged
+        ));
+        assert!(stream2.next_datagram().unwrap().is_none());
+        assert!(stream2.stop_object(99).is_err(), "unknown TOI");
+    }
+
+    #[test]
+    fn receiver_reports_feed_the_sender_loop() {
+        use crate::feedback::{FeedbackLoop, ReportConfig, ReportOutcome};
+        use fec_adapt::ControllerConfig;
+        use fec_channel::{GilbertChannel, GilbertParams, LinkEmulator, LossModel};
+
+        let data = object_bytes(4000);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut stream = sender.stream(11);
+        let mut receiver = FluteReceiver::new(7);
+        receiver.enable_reports(ReportConfig {
+            report_every: 64,
+            ..ReportConfig::default()
+        });
+        let mut feedback = FeedbackLoop::new(
+            7,
+            ControllerConfig {
+                min_observations: 100,
+                ..ControllerConfig::default()
+            },
+        );
+        // ~5% bursty loss on the forward channel, clean return channel.
+        let model: Box<dyn LossModel> = Box::new(GilbertChannel::new(
+            GilbertParams::new(0.02, 0.38).unwrap(),
+            3,
+        ));
+        let mut link = LinkEmulator::new(model, 17);
+        let mut digests = 0u64;
+        while let Some(dg) = stream.next_datagram().unwrap() {
+            for delivered in link.transmit(&dg) {
+                receiver.push_datagram(&delivered).unwrap();
+            }
+            if let Some(report) = receiver.poll_report() {
+                digests += 1;
+                let outcome = feedback
+                    .ingest_datagram(&report.to_bytes().unwrap())
+                    .unwrap();
+                assert!(matches!(outcome, ReportOutcome::Applied { .. }));
+            }
+        }
+        let report = receiver.flush_report().expect("observations exist");
+        feedback.ingest(&report);
+        assert!(digests > 3, "batching produced {digests} digests");
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+        assert!(feedback.is_complete(1));
+        assert!(feedback.session_complete());
+        // The estimator saw the channel: its loss estimate is near 5%.
+        let est = feedback.controller().estimator().estimate().unwrap();
+        let p_global = est.p_global();
+        assert!(
+            (0.01..0.12).contains(&p_global),
+            "estimated global loss {p_global}"
+        );
+        // And the counters crossed the wire: losses were reported.
+        let entry = report.entries.iter().find(|e| e.toi == 1).unwrap();
+        assert!(entry.lost > 0 && entry.received > 0);
+        assert!(entry.complete);
     }
 
     #[test]

@@ -118,12 +118,21 @@ USAGE:
                      [--tsi <n>] [--code <name>] [--tx <1..6>]
                      [--ratio <r>] [--symbol <bytes>] [--seed <n>]
                      [--loss-p <p> --loss-q <q>]
-      FLUTE/ALC file broadcast over UDP (feedback-free). --loss-p/--loss-q
-      inject Gilbert losses at the sender for reproducible demos.
+                     [--adaptive --report-addr <addr:port>]
+                     [--window <pkts>] [--replan-every <pkts>]
+      FLUTE/ALC file broadcast over UDP. --loss-p/--loss-q inject Gilbert
+      losses at the sender for reproducible demos. With --adaptive the
+      sender binds --report-addr for reception-report digests, estimates
+      the channel online and truncates/extends the transmission live
+      (§6.2 re-planning); receivers must run with `recv --report-to` set
+      to the same address.
 
   fec-broadcast recv --listen <addr:port> [--tsi <n>] [--out <path>]
                      [--timeout <secs>]
-      Join a FLUTE session and reconstruct the broadcast file.
+                     [--report-to <addr:port>] [--report-every <pkts>]
+      Join a FLUTE session and reconstruct the broadcast file. With
+      --report-to, emit reception-report digests (one per --report-every
+      received datagrams, default 128) to the sender's feedback port.
 
 Probabilities are given as fractions (0.05 = 5%).";
 
@@ -412,10 +421,12 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
             plan,
             units: partial.units,
         };
-        let json = file.to_json().map_err(|e| e.to_string())?;
+        // JSONL (header line + one unit per line) so `merge` can fold the
+        // file unit-by-unit in constant memory.
+        let jsonl = file.to_jsonl().map_err(|e| e.to_string())?;
         write_or_print(
             opts.get("out"),
-            &json,
+            jsonl.trim_end(),
             &format!("partial result ({units} work units)"),
         )?;
         return Ok(());
@@ -478,16 +489,14 @@ fn cmd_merge(opts: &HashMap<String, String>, files: &[String]) -> Result<(), Str
                     (produced by `sweep --shard i/n --emit-partial`)"
             .into());
     }
-    let mut partials = Vec::with_capacity(files.len());
-    for path in files {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        partials.push(PartialFile::from_json(&text).map_err(|e| format!("{path}: {e}"))?);
-    }
-    let total_units: usize = partials.iter().map(|p| p.units.len()).sum();
-    let result = distrib::merge_files(&partials).map_err(|e| e.to_string())?;
+    // Streamed merge: each file folds into the plan's slot table one JSONL
+    // unit line at a time, so multi-host merges at paper scale never load
+    // a whole partial file into memory (legacy single-document partials
+    // still work).
+    let (result, total_units) = distrib::merge_paths(files).map_err(|e| e.to_string())?;
     eprintln!(
         "merged {} partial file(s) covering {total_units} work units\n",
-        partials.len()
+        files.len()
     );
     print_sweep_result(&result);
     if let Some(path) = opts.get("out") {
@@ -656,22 +665,27 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
             tx,
         )
         .map_err(|e| e.to_string())?;
-    let datagrams = session.datagrams(seed).map_err(|e| e.to_string())?;
 
     let socket = std::net::UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
     let mut loss = injected.map(|p| GilbertChannel::new(p, seed ^ 0x10c0));
-    let (mut sent, mut dropped) = (0u64, 0u64);
-    for dg in &datagrams {
-        if loss.as_mut().is_some_and(|ch| ch.next_is_lost()) {
-            dropped += 1;
-            continue;
+    let (sent, dropped) = if opts.contains_key("adaptive") {
+        send_adaptive(opts, &session, &socket, dest, seed, tsi, &mut loss)?
+    } else {
+        let datagrams = session.datagrams(seed).map_err(|e| e.to_string())?;
+        let (mut sent, mut dropped) = (0u64, 0u64);
+        for dg in &datagrams {
+            if loss.as_mut().is_some_and(|ch| ch.next_is_lost()) {
+                dropped += 1;
+                continue;
+            }
+            socket.send_to(dg, dest).map_err(|e| e.to_string())?;
+            sent += 1;
+            if sent % 64 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
         }
-        socket.send_to(dg, dest).map_err(|e| e.to_string())?;
-        sent += 1;
-        if sent % 64 == 0 {
-            std::thread::sleep(std::time::Duration::from_micros(300));
-        }
-    }
+        (sent, dropped)
+    };
     println!(
         "sent '{name}' ({} bytes) to {dest}: {sent} datagrams transmitted, {dropped} dropped by injected loss\n\
          session: tsi {tsi}, {} + {} @ ratio {}, {symbol}-byte symbols",
@@ -683,7 +697,147 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The live adaptive send loop: emit through a [`SessionStream`], drain
+/// reception-report digests from the feedback socket, and re-plan the
+/// in-flight object between bursts.
+fn send_adaptive(
+    opts: &HashMap<String, String>,
+    session: &fec_broadcast::flute::FluteSender,
+    socket: &std::net::UdpSocket,
+    dest: &str,
+    seed: u64,
+    tsi: u32,
+    loss: &mut Option<GilbertChannel>,
+) -> Result<(u64, u64), String> {
+    use fec_broadcast::adapt::ControllerConfig;
+    use fec_broadcast::flute::feedback::FeedbackLoop;
+
+    let report_addr = opts
+        .get("report-addr")
+        .ok_or("--adaptive requires --report-addr (addr:port to receive digests on)")?;
+    let window = get_usize(opts, "window", 20_000)?;
+    let replan_every = get_usize(opts, "replan-every", 64)?.max(1);
+    let report_socket =
+        std::net::UdpSocket::bind(report_addr).map_err(|e| format!("bind {report_addr}: {e}"))?;
+    report_socket
+        .set_nonblocking(true)
+        .map_err(|e| e.to_string())?;
+
+    let mut feedback = FeedbackLoop::new(
+        tsi,
+        ControllerConfig {
+            window,
+            confirm_after: 1,
+            ..ControllerConfig::default()
+        },
+    );
+    let mut stream = session.stream(seed);
+    let full_total = stream.full_total();
+    let (mut sent, mut dropped) = (0u64, 0u64);
+    let mut buf = [0u8; 65536];
+    let mut linger_until: Option<std::time::Instant> = None;
+
+    loop {
+        // Drain every pending digest.
+        while let Ok((len, _)) = report_socket.recv_from(&mut buf) {
+            use fec_broadcast::flute::ReportOutcome;
+            match feedback.ingest_datagram(&buf[..len]) {
+                Ok(ReportOutcome::Applied { completed, .. }) => {
+                    // Objects the receiver already decoded need nothing
+                    // more: stop their emission where it stands.
+                    for toi in completed {
+                        stream.stop_object(toi).map_err(|e| e.to_string())?;
+                    }
+                }
+                Ok(_) => {} // stale or foreign: ignored by design
+                Err(e) => eprintln!("ignoring malformed digest: {e}"),
+            }
+        }
+        if feedback.session_complete() {
+            eprintln!(
+                "receiver reported the session complete after {sent} datagrams \
+                 ({} planned, {full_total} full)",
+                stream.planned_total()
+            );
+            break;
+        }
+        match stream.next_datagram().map_err(|e| e.to_string())? {
+            Some(dg) => {
+                linger_until = None;
+                if loss.as_mut().is_some_and(|ch| ch.next_is_lost()) {
+                    dropped += 1;
+                } else {
+                    socket.send_to(&dg, dest).map_err(|e| e.to_string())?;
+                    sent += 1;
+                }
+                if sent % 64 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                }
+                // Re-plan the in-flight object periodically.
+                if (sent + dropped) % replan_every as u64 == 0 {
+                    if let Some(toi) = stream.current_toi() {
+                        let k = stream.source_count(toi).expect("in-flight TOI") as usize;
+                        let replan = feedback.replan(k);
+                        stream
+                            .amend_plan(toi, replan.plan.as_ref())
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+            }
+            None => {
+                // Planned emission exhausted: linger for the digests still
+                // in flight before declaring the plan insufficient.
+                let now = std::time::Instant::now();
+                match linger_until {
+                    None => linger_until = Some(now + std::time::Duration::from_millis(1500)),
+                    Some(deadline) if now < deadline => {}
+                    Some(_) => {
+                        if stream.planned_total() < full_total {
+                            // The plan was too optimistic: fall back to the
+                            // full schedules and keep going.
+                            eprintln!(
+                                "no completion report after the planned {} datagrams; \
+                                 reverting to the full schedule",
+                                stream.planned_total()
+                            );
+                            feedback.record_failure();
+                            for toi in session.fdt().files.iter().map(|f| f.toi) {
+                                if !feedback.is_complete(toi) {
+                                    stream.amend_plan(toi, None).map_err(|e| e.to_string())?;
+                                }
+                            }
+                            linger_until = None;
+                        } else {
+                            eprintln!(
+                                "full schedule exhausted without a completion report \
+                                 (receiver gone, or losses beyond the code budget)"
+                            );
+                            break;
+                        }
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        }
+    }
+    let stats = feedback.stats();
+    eprintln!(
+        "feedback: {} digests applied ({} stale, {} foreign), {} observations; \
+         estimator bound {}",
+        stats.applied,
+        stats.stale,
+        stats.foreign,
+        stats.observations,
+        feedback.controller().estimate().map_or_else(
+            || "-".into(),
+            |e| format!("{:.2}%", e.p_global_upper() * 100.0)
+        ),
+    );
+    Ok((sent, dropped))
+}
+
 fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
+    use fec_broadcast::flute::feedback::ReportConfig;
     use fec_broadcast::flute::{FluteReceiver, ReceiverEvent};
 
     let listen = opts
@@ -691,12 +845,23 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
         .ok_or("--listen is required (addr:port)")?;
     let tsi = get_usize(opts, "tsi", 1)? as u32;
     let timeout = get_usize(opts, "timeout", 10)? as u64;
+    let report_every = get_usize(opts, "report-every", 128)?.max(1);
 
     let socket = std::net::UdpSocket::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
     socket
         .set_read_timeout(Some(std::time::Duration::from_secs(timeout)))
         .map_err(|e| e.to_string())?;
     println!("listening on {listen} for FLUTE session tsi {tsi} (timeout {timeout}s)…");
+
+    // The reception-report return channel, if the sender runs adaptively.
+    let reporting = match opts.get("report-to") {
+        Some(addr) => {
+            let report_socket =
+                std::net::UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
+            Some((report_socket, addr.clone()))
+        }
+        None => None,
+    };
 
     // Drain the socket on a dedicated thread so a slow decode never lets
     // the kernel receive buffer overflow (which silently drops datagrams
@@ -714,17 +879,41 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
     });
 
     let mut session = FluteReceiver::new(tsi);
+    if reporting.is_some() {
+        session.enable_reports(ReportConfig {
+            report_every,
+            ..ReportConfig::default()
+        });
+    }
+    let ship = |report: fec_broadcast::flute::ReceptionReport| -> Result<(), String> {
+        if let Some((sock, addr)) = &reporting {
+            let bytes = report.to_bytes().map_err(|e| e.to_string())?;
+            sock.send_to(&bytes, addr.as_str())
+                .map_err(|e| format!("report to {addr}: {e}"))?;
+        }
+        Ok(())
+    };
+
     let mut datagrams = 0u64;
     let mut burst: Vec<Vec<u8>> = Vec::new();
+    let flush_interval = std::time::Duration::from_millis(250);
     let toi = 'decode: loop {
         // Drain every immediately-available datagram per wakeup and push
         // them as one burst: the decoder's batched path defers block
         // solves to the end of the burst instead of attempting one per
         // UDP read.
         burst.clear();
-        match datagram_rx.recv() {
+        match datagram_rx.recv_timeout(flush_interval) {
             Ok(dg) => burst.push(dg),
-            Err(_) => {
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Idle tick: ship whatever the emitter has batched so the
+                // sender's estimator never starves on a quiet channel.
+                if let Some(report) = session.flush_report() {
+                    ship(report)?;
+                }
+                continue;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                 return Err(format!(
                     "timed out after {datagrams} datagrams without completing the object \
                      (losses beyond the code's budget, or no sender running)"
@@ -751,7 +940,18 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
                 burst.len()
             ),
         }
+        if let Some(report) = session.poll_report() {
+            ship(report)?;
+        }
     };
+
+    // Final FIN digests (repeated: the return channel is lossy too) so an
+    // adaptive sender stops transmitting immediately.
+    for _ in 0..3 {
+        if let Some(report) = session.flush_report() {
+            ship(report)?;
+        }
+    }
 
     let location = session
         .fdt()

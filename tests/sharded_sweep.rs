@@ -135,7 +135,7 @@ fn all_execution_strategies_are_byte_identical() {
     // The CLI plan is the library plan: a partial file from disk carries
     // the same fingerprint.
     let from_disk =
-        PartialFile::from_json(&std::fs::read_to_string(&partial_paths[0]).unwrap()).unwrap();
+        PartialFile::from_text(&std::fs::read_to_string(&partial_paths[0]).unwrap()).unwrap();
     assert_eq!(from_disk.plan.fingerprint(), plan.fingerprint());
 
     std::fs::remove_dir_all(&dir).ok();
