@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 
+use fec_telemetry::{Counter, Registry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +66,77 @@ impl LinkStats {
         }
         self.dropped as f64 / self.offered as f64
     }
+
+    /// Datagrams offered to the link.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Datagram copies that came out the far end (duplicates included).
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Datagrams the loss model erased.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Extra copies created by duplication.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Datagrams delivered out of order.
+    pub fn reordered(&self) -> u64 {
+        self.reordered
+    }
+
+    /// Fraction of offered datagrams that gained a duplicate copy.
+    pub fn duplication_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.duplicated as f64 / self.offered as f64
+    }
+
+    /// Fraction of offered datagrams delivered out of order.
+    pub fn reordering_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.reordered as f64 / self.offered as f64
+    }
+
+    /// Datagrams impaired in any way (dropped, duplicated, or
+    /// reordered) — the per-impairment breakdown summed back up.
+    pub fn impaired(&self) -> u64 {
+        self.dropped + self.duplicated + self.reordered
+    }
+}
+
+/// Per-fate link counters mirrored into a telemetry registry.
+#[derive(Debug)]
+struct LinkMetrics {
+    offered: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+}
+
+impl LinkMetrics {
+    fn register(registry: &Registry) -> LinkMetrics {
+        let name = "fec_link_datagrams_total";
+        let help = "Datagrams through the link emulator, by fate.";
+        LinkMetrics {
+            offered: registry.counter_with(name, help, &[("fate", "offered")]),
+            delivered: registry.counter_with(name, help, &[("fate", "delivered")]),
+            dropped: registry.counter_with(name, help, &[("fate", "dropped")]),
+            duplicated: registry.counter_with(name, help, &[("fate", "duplicated")]),
+            reordered: registry.counter_with(name, help, &[("fate", "reordered")]),
+        }
+    }
 }
 
 /// A deterministic lossy/duplicating/reordering datagram gate.
@@ -75,6 +147,7 @@ pub struct LinkEmulator {
     /// Held-back datagrams: `(release_after_countdown, datagram)`.
     held: VecDeque<(usize, Vec<u8>)>,
     stats: LinkStats,
+    metrics: Option<LinkMetrics>,
 }
 
 impl LinkEmulator {
@@ -91,7 +164,21 @@ impl LinkEmulator {
             rng: SmallRng::seed_from_u64(seed),
             held: VecDeque::new(),
             stats: LinkStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Starts mirroring this link's per-fate counters into `registry`
+    /// (metric `fec_link_datagrams_total{fate=...}`). Counters pick up
+    /// from the current stats so attach order does not skew totals.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let metrics = LinkMetrics::register(registry);
+        metrics.offered.add(self.stats.offered);
+        metrics.delivered.add(self.stats.delivered);
+        metrics.dropped.add(self.stats.dropped);
+        metrics.duplicated.add(self.stats.duplicated);
+        metrics.reordered.add(self.stats.reordered);
+        self.metrics = Some(metrics);
     }
 
     /// Offers one datagram to the link; returns the datagram copies that
@@ -100,6 +187,9 @@ impl LinkEmulator {
     /// held-back datagrams whose countdown expired).
     pub fn transmit(&mut self, datagram: &[u8]) -> Vec<Vec<u8>> {
         self.stats.offered += 1;
+        if let Some(m) = &self.metrics {
+            m.offered.inc();
+        }
         let mut out = Vec::new();
         // Tick only the datagrams held by *earlier* transmits. A fresh
         // hold is pushed un-ticked and the expired ones are released
@@ -111,6 +201,9 @@ impl LinkEmulator {
         }
         if self.model.next_is_lost() {
             self.stats.dropped += 1;
+            if let Some(m) = &self.metrics {
+                m.dropped.inc();
+            }
         } else {
             let duplicate = self.config.duplicate_rate > 0.0
                 && self
@@ -123,6 +216,9 @@ impl LinkEmulator {
                 let countdown = self.rng.gen_range(1..=self.config.reorder_depth);
                 self.held.push_back((countdown, datagram.to_vec()));
                 self.stats.reordered += 1;
+                if let Some(m) = &self.metrics {
+                    m.reordered.inc();
+                }
             } else {
                 out.push(datagram.to_vec());
                 self.stats.delivered += 1;
@@ -131,12 +227,18 @@ impl LinkEmulator {
                 out.push(datagram.to_vec());
                 self.stats.delivered += 1;
                 self.stats.duplicated += 1;
+                if let Some(m) = &self.metrics {
+                    m.duplicated.inc();
+                }
             }
         }
         while let Some((0, _)) = self.held.front() {
             let (_, dg) = self.held.pop_front().expect("peeked");
             self.stats.delivered += 1;
             out.push(dg);
+        }
+        if let Some(m) = &self.metrics {
+            m.delivered.add(out.len() as u64);
         }
         out
     }
@@ -145,6 +247,9 @@ impl LinkEmulator {
     pub fn flush(&mut self) -> Vec<Vec<u8>> {
         let out: Vec<Vec<u8>> = self.held.drain(..).map(|(_, dg)| dg).collect();
         self.stats.delivered += out.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.delivered.add(out.len() as u64);
+        }
         out
     }
 
@@ -252,6 +357,79 @@ mod tests {
         assert_eq!(delivered.len(), sent.len());
         assert!(link.stats().reordered > 10, "{:?}", link.stats());
         assert_ne!(delivered, sent, "held datagrams were overtaken");
+    }
+
+    #[test]
+    fn stats_accessors_break_down_impairments() {
+        let config = LinkConfig {
+            duplicate_rate: 0.1,
+            reorder_rate: 0.2,
+            reorder_depth: 3,
+        };
+        let mut link = LinkEmulator::with_config(gilbert(0.05, 0.5, 21), config, 22);
+        for dg in datagrams(5_000) {
+            link.transmit(&dg);
+        }
+        link.flush();
+        let s = link.stats();
+        // Accessors agree with the raw fields…
+        assert_eq!(s.offered(), s.offered);
+        assert_eq!(s.delivered(), s.delivered);
+        assert_eq!(s.dropped(), s.dropped);
+        assert_eq!(s.duplicated(), s.duplicated);
+        assert_eq!(s.reordered(), s.reordered);
+        assert_eq!(s.impaired(), s.dropped + s.duplicated + s.reordered);
+        // …and every impairment actually occurred, distinctly.
+        assert!(s.dropped() > 0 && s.duplicated() > 0 && s.reordered() > 0);
+        assert!((s.loss_rate() - 0.09).abs() < 0.03, "{}", s.loss_rate());
+        assert!(
+            (s.duplication_rate() - 0.1 * (1.0 - s.loss_rate())).abs() < 0.03,
+            "{}",
+            s.duplication_rate()
+        );
+        assert!(
+            (s.reordering_rate() - 0.2 * (1.0 - s.loss_rate())).abs() < 0.03,
+            "{}",
+            s.reordering_rate()
+        );
+        // Conservation: everything offered was dropped, delivered in
+        // order, or delivered late; duplicates are extra copies.
+        assert_eq!(s.offered() + s.duplicated(), s.delivered() + s.dropped());
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        use fec_telemetry::Registry;
+
+        let config = LinkConfig {
+            duplicate_rate: 0.1,
+            reorder_rate: 0.2,
+            reorder_depth: 3,
+        };
+        let mut link = LinkEmulator::with_config(gilbert(0.05, 0.5, 21), config, 22);
+        // Attach mid-stream: the counters must back-fill what happened
+        // before and track what happens after.
+        for dg in datagrams(500) {
+            link.transmit(&dg);
+        }
+        let registry = Registry::new();
+        link.attach_telemetry(&registry);
+        for dg in datagrams(500) {
+            link.transmit(&dg);
+        }
+        link.flush();
+        let s = link.stats();
+        let text = registry.render_prometheus();
+        for (fate, value) in [
+            ("offered", s.offered()),
+            ("delivered", s.delivered()),
+            ("dropped", s.dropped()),
+            ("duplicated", s.duplicated()),
+            ("reordered", s.reordered()),
+        ] {
+            let line = format!("fec_link_datagrams_total{{fate=\"{fate}\"}} {value}");
+            assert!(text.contains(&line), "missing {line:?} in:\n{text}");
+        }
     }
 
     #[test]

@@ -109,6 +109,14 @@ impl Receiver {
         self.progress().is_decoded()
     }
 
+    /// Source symbols still unrecovered — the residual (post-FEC) loss
+    /// this object would suffer if reception stopped now. Zero once
+    /// decoded.
+    pub fn missing_source(&self) -> usize {
+        let p = self.progress();
+        p.total_source.saturating_sub(p.decoded_source)
+    }
+
     /// Reassembles the object (consumes the receiver).
     pub fn into_object(self) -> Result<Vec<u8>, CoreError> {
         let progress = self.progress();
@@ -189,6 +197,23 @@ mod tests {
     #[test]
     fn rse_roundtrip_with_losses() {
         roundtrip(builtin::rse(), 250, 8, 4);
+    }
+
+    #[test]
+    fn missing_source_tracks_residual_loss() {
+        let spec = CodeSpec::ldgm_staircase(20, ExpansionRatio::R2_5);
+        let obj = object(20 * 8);
+        let sender = Sender::new(spec.clone(), &obj, 8).unwrap();
+        let mut rx = Receiver::new(spec, obj.len(), 8).unwrap();
+        assert_eq!(rx.missing_source(), 20, "nothing recovered yet");
+        for pkt in sender.transmission(TxModel::SourceSeqParitySeq, 0) {
+            let before = rx.missing_source();
+            if rx.push(&pkt).unwrap().is_decoded() {
+                break;
+            }
+            assert!(rx.missing_source() <= before, "never regresses");
+        }
+        assert_eq!(rx.missing_source(), 0, "decoded means no residual");
     }
 
     #[test]

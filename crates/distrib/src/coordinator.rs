@@ -6,9 +6,38 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 
 use fec_sim::SweepResult;
+use fec_telemetry::{Counter, Gauge, Registry};
 
 use crate::worker::parse_partial_line;
 use crate::{from_partials, DistribError, PartialSweep, SweepPlan};
+
+/// Sweep progress counters mirrored into a telemetry registry.
+#[derive(Debug)]
+struct SweepMetrics {
+    units_done: Counter,
+    units_planned: Gauge,
+    workers_ok: Counter,
+    workers_failed: Counter,
+}
+
+impl SweepMetrics {
+    fn register(registry: &Registry) -> SweepMetrics {
+        let workers = "fec_sweep_workers_total";
+        let workers_help = "Worker subprocesses that finished, by result.";
+        SweepMetrics {
+            units_done: registry.counter(
+                "fec_sweep_units_total",
+                "Work units (partials) streamed back by workers.",
+            ),
+            units_planned: registry.gauge(
+                "fec_sweep_units_planned",
+                "Work units in the plan being executed.",
+            ),
+            workers_ok: registry.counter_with(workers, workers_help, &[("result", "ok")]),
+            workers_failed: registry.counter_with(workers, workers_help, &[("result", "failed")]),
+        }
+    }
+}
 
 /// Spawns `workers` subprocesses speaking the worker protocol (plan JSON
 /// on stdin, [`PartialSweep`] JSONL on stdout) and merges their results.
@@ -21,6 +50,7 @@ pub struct Coordinator {
     args_prefix: Vec<String>,
     workers: usize,
     worker_threads: usize,
+    metrics: Option<SweepMetrics>,
 }
 
 impl Coordinator {
@@ -37,7 +67,16 @@ impl Coordinator {
             args_prefix: vec!["sweep-worker".into()],
             workers: workers.max(1),
             worker_threads: 1,
+            metrics: None,
         }
+    }
+
+    /// Starts recording sweep progress into `registry`: work units
+    /// streamed back (`fec_sweep_units_total`), the planned unit count,
+    /// and per-worker completion results.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Coordinator {
+        self.metrics = Some(SweepMetrics::register(registry));
+        self
     }
 
     /// Sets the `--threads` value passed to every worker (the plan itself
@@ -84,6 +123,16 @@ impl Coordinator {
     pub fn collect_partials(&self, plan: &SweepPlan) -> Result<Vec<PartialSweep>, DistribError> {
         let doc = plan.to_json()?;
         let count = self.effective_workers(plan);
+        if let Some(m) = &self.metrics {
+            m.units_planned.set(plan.unit_count() as f64);
+        }
+        // Cheap atomic handles: the reader threads below count partials
+        // as they stream in, so a mid-run scrape sees live progress.
+        let units_done = self
+            .metrics
+            .as_ref()
+            .map(|m| m.units_done.clone())
+            .unwrap_or_else(Counter::noop);
         let mut children: Vec<Child> = Vec::with_capacity(count);
         for index in 0..count {
             let child = Command::new(&self.program)
@@ -117,6 +166,7 @@ impl Coordinator {
                 let stdout = child.stdout.take().expect("piped");
                 let mut stderr = child.stderr.take().expect("piped");
                 let doc = doc.as_str();
+                let units_done = units_done.clone();
                 stderr_handles.push(scope.spawn(move || -> String {
                     let mut text = String::new();
                     let _ = stderr.read_to_string(&mut text);
@@ -147,6 +197,7 @@ impl Coordinator {
                                     detail: e.to_string(),
                                 }
                             })?);
+                            units_done.inc();
                         }
                         Ok(partials)
                     }),
@@ -171,6 +222,13 @@ impl Coordinator {
                 shard: index,
                 detail: format!("wait: {e}"),
             })?;
+            if let Some(m) = &self.metrics {
+                if status.success() {
+                    m.workers_ok.inc();
+                } else {
+                    m.workers_failed.inc();
+                }
+            }
             if !status.success() {
                 let tail: String = stderr
                     .lines()

@@ -20,7 +20,16 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
+use fec_telemetry::Registry;
+
 use super::wire::{LossRun, ReceptionReport, ReportEntry, SEQ_MODULUS};
+use crate::metrics::EmitterMetrics;
+use crate::FDT_TOI;
+
+/// Loss runs retained per session for residual (post-FEC) attribution
+/// when telemetry is on. Beyond this the oldest are folded into the
+/// repaired count (the common fate) to bound memory.
+const MAX_RESIDUAL_RUNS: usize = 4096;
 
 /// Emitter tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +77,11 @@ pub struct ReportEmitter {
     observed_since_report: usize,
     session_complete: bool,
     observed_ever: bool,
+    metrics: Option<EmitterMetrics>,
+    /// Loss runs not yet claimed by a completed object: `(attributed
+    /// TOI, run length)`. Only populated while telemetry is attached —
+    /// the digest wire format never carries this.
+    residual_runs: Vec<(u32, u32)>,
 }
 
 impl ReportEmitter {
@@ -88,7 +102,17 @@ impl ReportEmitter {
             observed_since_report: 0,
             session_complete: false,
             observed_ever: false,
+            metrics: None,
+            residual_runs: Vec::new(),
         }
+    }
+
+    /// Starts recording this emitter's loss-process observations into
+    /// `registry`: EXT_SEQ gap counters, the link loss-run-length
+    /// histogram, and the repaired-vs-residual run accounting (see
+    /// [`finalize_residual`](Self::finalize_residual)).
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(EmitterMetrics::register(registry));
     }
 
     /// Records one received datagram of the session: its TOI and its
@@ -120,9 +144,16 @@ impl ReportEmitter {
                     // At or behind the highest seen: a duplicate or a
                     // reordered late arrival. Its loss was already
                     // sketched; leave the pattern alone.
+                    if let Some(m) = &self.metrics {
+                        m.late_or_duplicate.inc();
+                    }
                     return;
                 }
                 if gap > 0 {
+                    if let Some(m) = &self.metrics {
+                        m.seq_gaps.inc();
+                        m.lost_packets.add(gap as u64);
+                    }
                     self.push_run(true, gap, toi);
                 }
                 self.push_run(false, 1, toi);
@@ -135,6 +166,26 @@ impl ReportEmitter {
     /// Marks one object as fully decoded.
     pub fn mark_complete(&mut self, toi: u32) {
         self.counters.entry(toi).or_default().complete = true;
+        if let Some(m) = &self.metrics {
+            // Every loss run attributed to this object is now known
+            // repaired: the erasure code filled the gaps.
+            let before = self.residual_runs.len();
+            self.residual_runs.retain(|&(t, _)| t != toi);
+            m.repaired_runs
+                .add((before - self.residual_runs.len()) as u64);
+        }
+    }
+
+    /// Folds the loss runs of still-undecoded objects into the residual
+    /// (post-FEC) loss histogram. Call once at session end; no-op without
+    /// telemetry.
+    pub fn finalize_residual(&mut self) {
+        if let Some(m) = &self.metrics {
+            for (_, len) in self.residual_runs.drain(..) {
+                m.residual_run_length.observe(len as f64);
+                m.residual_lost_packets.add(len as u64);
+            }
+        }
     }
 
     /// Marks the whole session as complete (every FDT-listed object
@@ -164,6 +215,19 @@ impl ReportEmitter {
         if lost {
             let c = self.counters.entry(attributed_toi).or_default();
             c.lost = c.lost.saturating_add(len);
+            if let Some(m) = &self.metrics {
+                // Each gap is one complete link-level loss run (runs can
+                // only merge across a digest boundary, which is rare and
+                // biases the histogram short, never long).
+                m.loss_run_length.observe(len as f64);
+                if attributed_toi != FDT_TOI {
+                    if self.residual_runs.len() == MAX_RESIDUAL_RUNS {
+                        self.residual_runs.remove(0);
+                        m.repaired_runs.inc();
+                    }
+                    self.residual_runs.push((attributed_toi, len));
+                }
+            }
         }
         match self.runs.back_mut() {
             Some(last) if last.lost == lost => last.len = last.len.saturating_add(len),
@@ -172,6 +236,9 @@ impl ReportEmitter {
                 if self.runs.len() > self.config.max_runs {
                     self.runs.pop_front();
                     self.truncated = true;
+                    if let Some(m) = &self.metrics {
+                        m.sketch_truncations.inc();
+                    }
                 }
             }
         }
@@ -200,6 +267,9 @@ impl ReportEmitter {
         self.runs.clear();
         self.truncated = false;
         self.observed_since_report = 0;
+        if let Some(m) = &self.metrics {
+            m.digests.inc();
+        }
         report
     }
 }

@@ -24,8 +24,10 @@
 use std::collections::BTreeSet;
 
 use fec_adapt::{AdaptiveController, ControllerConfig, Replan};
+use fec_telemetry::Registry;
 
 use super::wire::ReceptionReport;
+use crate::metrics::LoopMetrics;
 use crate::{FluteError, FDT_TOI};
 
 /// What ingesting one digest did.
@@ -67,6 +69,7 @@ pub struct FeedbackLoop {
     completed: BTreeSet<u32>,
     session_complete: bool,
     stats: FeedbackStats,
+    metrics: Option<LoopMetrics>,
 }
 
 impl FeedbackLoop {
@@ -85,7 +88,15 @@ impl FeedbackLoop {
             completed: BTreeSet::new(),
             session_complete: false,
             stats: FeedbackStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Starts recording this loop's activity into `registry`: digest
+    /// outcome counters, the estimator's p/q and Wilson-CI gauges, and
+    /// replan/backoff counts.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(LoopMetrics::register(registry));
     }
 
     /// Parses and ingests one raw digest datagram from the return socket.
@@ -98,11 +109,17 @@ impl FeedbackLoop {
     pub fn ingest(&mut self, report: &ReceptionReport) -> ReportOutcome {
         if report.tsi != self.tsi {
             self.stats.foreign += 1;
+            if let Some(m) = &self.metrics {
+                m.foreign.inc();
+            }
             return ReportOutcome::ForeignSession;
         }
         if let Some(last) = self.last_report_seq {
             if report.report_seq <= last {
                 self.stats.stale += 1;
+                if let Some(m) = &self.metrics {
+                    m.stale.inc();
+                }
                 return ReportOutcome::Stale;
             }
         }
@@ -125,6 +142,22 @@ impl FeedbackLoop {
         }
         self.stats.applied += 1;
         self.stats.observations += observations;
+        if let Some(m) = &self.metrics {
+            m.applied.inc();
+            m.observations.add(observations);
+            m.completed.add(completed.len() as u64);
+            if let Some(est) = self.controller.estimate() {
+                m.p.set(est.params.p());
+                m.q.set(est.params.q());
+                m.p_upper.set(est.p_global_upper());
+                m.p_ci_low.set(est.p_ci.lo);
+                m.p_ci_high.set(est.p_ci.hi);
+                m.q_ci_low.set(est.q_ci.lo);
+                m.q_ci_high.set(est.q_ci.hi);
+            }
+            m.window
+                .set(self.controller.estimator().window_len() as f64);
+        }
         ReportOutcome::Applied {
             observations,
             completed,
@@ -135,11 +168,17 @@ impl FeedbackLoop {
     /// reporting it complete — the channel beat the plan.
     pub fn record_failure(&mut self) {
         self.controller.record_outcome(false);
+        if let Some(m) = &self.metrics {
+            m.backoffs.inc();
+        }
     }
 
     /// Reconsiders the tuple and re-plans a `k`-packet in-flight object
     /// (see [`AdaptiveController::replan`]).
     pub fn replan(&mut self, k: usize) -> Replan {
+        if let Some(m) = &self.metrics {
+            m.replans.inc();
+        }
         self.controller.replan(k)
     }
 

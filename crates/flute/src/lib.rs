@@ -57,6 +57,7 @@ pub mod fdt;
 pub mod feedback;
 pub mod fti;
 pub mod lct;
+mod metrics;
 pub mod payload_id;
 mod session;
 

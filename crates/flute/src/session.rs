@@ -19,10 +19,13 @@ use fec_core::{
 };
 use fec_sched::TxModel;
 
+use fec_telemetry::Registry;
+
 use crate::alc::AlcPacket;
 use crate::fdt::{FdtInstance, FileEntry};
 use crate::feedback::{ReceptionReport, ReportConfig, ReportEmitter};
 use crate::fti::ObjectTransmissionInfo;
+use crate::metrics::{ReceiverMetrics, StreamMetrics};
 use crate::payload_id::FecPayloadId;
 use crate::{FluteError, FDT_TOI};
 
@@ -200,6 +203,7 @@ impl FluteSender {
             since_fdt: 0,
             fdt_sent: false,
             data_emitted: 0,
+            metrics: None,
         }
     }
 
@@ -226,9 +230,21 @@ pub struct SessionStream<'a> {
     since_fdt: usize,
     fdt_sent: bool,
     data_emitted: u64,
+    metrics: Option<StreamMetrics>,
 }
 
 impl SessionStream<'_> {
+    /// Starts recording this stream's activity into `registry`
+    /// (datagram/byte counters, per-TOI progress, amendment counts, and
+    /// the planned-vs-full schedule gauges). A disabled registry costs
+    /// one branch per datagram.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let tois: Vec<u32> = self.sender.objects.iter().map(|o| o.toi).collect();
+        let metrics = StreamMetrics::register(registry, &tois);
+        metrics.planned.set(self.planned_total() as f64);
+        metrics.full.set(self.full_total() as f64);
+        self.metrics = Some(metrics);
+    }
     /// The next wire datagram, or `None` once every object's emission
     /// reached its target.
     pub fn next_datagram(&mut self) -> Result<Option<Vec<u8>>, FluteError> {
@@ -275,7 +291,14 @@ impl SessionStream<'_> {
             }
             self.data_emitted += 1;
             self.since_fdt += 1;
-            return self.seal(alc).map(Some);
+            let idx = self.current;
+            let datagram = self.seal(alc)?;
+            if let Some(m) = &self.metrics {
+                m.data.inc();
+                m.bytes.add(datagram.len() as u64);
+                m.per_object[idx].inc();
+            }
+            return Ok(Some(datagram));
         }
     }
 
@@ -287,7 +310,12 @@ impl SessionStream<'_> {
             self.sender.config.fdt_instance_id,
             Bytes::from(self.sender.fdt().to_xml().into_bytes()),
         );
-        self.seal(alc)
+        let datagram = self.seal(alc)?;
+        if let Some(m) = &self.metrics {
+            m.fdt.inc();
+            m.bytes.add(datagram.len() as u64);
+        }
+        Ok(datagram)
     }
 
     fn seal(&mut self, mut alc: AlcPacket) -> Result<Vec<u8>, FluteError> {
@@ -313,6 +341,14 @@ impl SessionStream<'_> {
         if matches!(amendment, fec_core::Amendment::Extended { .. }) && idx < self.current {
             self.current = idx;
         }
+        if let Some(m) = &self.metrics {
+            match amendment {
+                fec_core::Amendment::Truncated { .. } => m.amend_truncated.inc(),
+                fec_core::Amendment::Extended { .. } => m.amend_extended.inc(),
+                fec_core::Amendment::Unchanged => {}
+            }
+            m.planned.set(self.planned_total() as f64);
+        }
         Ok(amendment)
     }
 
@@ -320,7 +356,14 @@ impl SessionStream<'_> {
     /// object complete — nothing more is needed). Idempotent.
     pub fn stop_object(&mut self, toi: u32) -> Result<fec_core::Amendment, FluteError> {
         let idx = self.object_index(toi)?;
-        Ok(self.emissions[idx].stop())
+        let amendment = self.emissions[idx].stop();
+        if let Some(m) = &self.metrics {
+            if matches!(amendment, fec_core::Amendment::Truncated { .. }) {
+                m.stops.inc();
+            }
+            m.planned.set(self.planned_total() as f64);
+        }
+        Ok(amendment)
     }
 
     fn object_index(&self, toi: u32) -> Result<usize, FluteError> {
@@ -507,6 +550,8 @@ pub struct FluteReceiver {
     objects: HashMap<u32, ObjectState>,
     session_closed: bool,
     emitter: Option<ReportEmitter>,
+    metrics: Option<ReceiverMetrics>,
+    registry: Option<Registry>,
 }
 
 impl FluteReceiver {
@@ -518,6 +563,8 @@ impl FluteReceiver {
             objects: HashMap::new(),
             session_closed: false,
             emitter: None,
+            metrics: None,
+            registry: None,
         }
     }
 
@@ -527,7 +574,36 @@ impl FluteReceiver {
     /// [`poll_report`](Self::poll_report) /
     /// [`flush_report`](Self::flush_report).
     pub fn enable_reports(&mut self, config: ReportConfig) {
-        self.emitter = Some(ReportEmitter::new(self.tsi, config));
+        let mut emitter = ReportEmitter::new(self.tsi, config);
+        if let Some(registry) = &self.registry {
+            emitter.attach_telemetry(registry);
+        }
+        self.emitter = Some(emitter);
+    }
+
+    /// Starts recording this receiver's activity into `registry`:
+    /// datagram outcome counters, decode completions, and — once reports
+    /// are enabled — the emitter's loss-process metrics (EXT_SEQ gaps,
+    /// late/duplicate arrivals, sketch truncations, loss-run histograms).
+    /// Call order relative to [`enable_reports`](Self::enable_reports)
+    /// does not matter.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.metrics = Some(ReceiverMetrics::register(registry));
+        if let Some(emitter) = self.emitter.as_mut() {
+            emitter.attach_telemetry(registry);
+        }
+        self.registry = Some(registry.clone());
+    }
+
+    /// Folds the loss runs of still-undecoded objects into the residual
+    /// (post-FEC) loss metrics. Call once, when the session is over from
+    /// this receiver's point of view; without it the residual histograms
+    /// stay empty (every run is presumed repairable until the session
+    /// ends). No-op when telemetry or reports are off.
+    pub fn finalize_telemetry(&mut self) {
+        if let Some(emitter) = self.emitter.as_mut() {
+            emitter.finalize_residual();
+        }
     }
 
     /// A digest, if the configured batching threshold has been reached.
@@ -649,6 +725,21 @@ impl FluteReceiver {
                 }
                 if session_done {
                     em.mark_session_complete();
+                }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            for event in &events {
+                match event {
+                    ReceiverEvent::FdtReceived => m.fdt.inc(),
+                    ReceiverEvent::FdtIgnored => m.fdt_ignored.inc(),
+                    ReceiverEvent::ObjectProgress { .. } => m.data.inc(),
+                    ReceiverEvent::ObjectComplete { .. } => {
+                        m.data.inc();
+                        m.completed.inc();
+                    }
+                    ReceiverEvent::ForeignSession => m.foreign.inc(),
+                    ReceiverEvent::Rejected => m.rejected.inc(),
                 }
             }
         }

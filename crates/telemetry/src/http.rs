@@ -1,0 +1,150 @@
+//! A tiny blocking HTTP responder that serves the registry's Prometheus
+//! exposition.
+//!
+//! This is deliberately not a web framework: it answers **any** HTTP
+//! request on its socket with the current metrics snapshot, closing the
+//! connection after each response. That is all a Prometheus scraper (or
+//! `curl`) needs, and it keeps the whole server at one std `TcpListener`
+//! plus one background thread — no async runtime, no external crates.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Serves `GET /metrics` (and every other path) with the registry's
+/// current Prometheus text exposition.
+///
+/// The listener runs on a background thread; dropping the server stops
+/// the thread and releases the port.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port, then read
+    /// [`local_addr`](MetricsServer::local_addr)) and starts serving
+    /// snapshots of `registry`.
+    pub fn bind(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("fec-metrics".to_string())
+            .spawn(move || serve(listener, registry, stop_flag))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn serve(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrapes are rare and tiny, and a
+                // single-threaded responder cannot be connection-bombed
+                // into spawning threads.
+                let _ = respond(stream, &registry);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn respond(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head (or timeout). The request
+    // line/headers are ignored — every path gets the metrics page.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 256];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = registry.render_prometheus();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_current_snapshot_per_request() {
+        let registry = Registry::new();
+        let hits = registry.counter("hits_total", "Scrape test counter.");
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        hits.add(2);
+        let first = scrape(server.local_addr());
+        assert!(first.starts_with("HTTP/1.1 200 OK\r\n"), "{first}");
+        assert!(first.contains("text/plain; version=0.0.4"));
+        assert!(first.contains("hits_total 2"));
+        // The server snapshots at request time, not bind time.
+        hits.add(3);
+        assert!(scrape(server.local_addr()).contains("hits_total 5"));
+    }
+
+    #[test]
+    fn drop_releases_the_port() {
+        let server = MetricsServer::bind("127.0.0.1:0", Registry::new()).unwrap();
+        let addr = server.local_addr();
+        drop(server);
+        // The port must be rebindable once the thread has exited.
+        TcpListener::bind(addr).unwrap();
+    }
+}

@@ -1,0 +1,88 @@
+//! Golden test for the Prometheus text exposition: the rendered bytes are
+//! pinned exactly, so any drift in ordering, escaping, or number
+//! formatting — all of which scrape consumers depend on — fails loudly.
+
+use fec_telemetry::Registry;
+
+#[test]
+fn exposition_format_is_stable() {
+    let registry = Registry::new();
+
+    // Families registered deliberately out of alphabetical order: the
+    // renderer must sort them.
+    let gauge = registry.gauge("demo_planned_packets", "Packets currently planned.");
+    gauge.set(512.0);
+
+    let data = registry.counter_with(
+        "demo_datagrams_total",
+        "Datagrams emitted, by kind.",
+        &[("kind", "data")],
+    );
+    let fdt = registry.counter_with(
+        "demo_datagrams_total",
+        "Datagrams emitted, by kind.",
+        &[("kind", "fdt")],
+    );
+    data.add(41);
+    data.inc();
+    fdt.inc();
+
+    let runs = registry.histogram(
+        "demo_run_length",
+        "Loss run lengths in packets.",
+        &[1.0, 2.0, 5.0],
+    );
+    runs.observe(1.0); // first bucket
+    runs.observe(2.0); // second bucket (le is inclusive)
+    runs.observe(3.5); // third bucket
+    runs.observe(9.0); // +Inf only
+
+    let fraction = registry.gauge("demo_estimate", "Estimated loss fraction.");
+    fraction.set(0.0625);
+
+    let expected = "\
+# HELP demo_datagrams_total Datagrams emitted, by kind.
+# TYPE demo_datagrams_total counter
+demo_datagrams_total{kind=\"data\"} 42
+demo_datagrams_total{kind=\"fdt\"} 1
+# HELP demo_estimate Estimated loss fraction.
+# TYPE demo_estimate gauge
+demo_estimate 0.0625
+# HELP demo_planned_packets Packets currently planned.
+# TYPE demo_planned_packets gauge
+demo_planned_packets 512
+# HELP demo_run_length Loss run lengths in packets.
+# TYPE demo_run_length histogram
+demo_run_length_bucket{le=\"1\"} 1
+demo_run_length_bucket{le=\"2\"} 2
+demo_run_length_bucket{le=\"5\"} 3
+demo_run_length_bucket{le=\"+Inf\"} 4
+demo_run_length_sum 15.5
+demo_run_length_count 4
+";
+    assert_eq!(registry.render_prometheus(), expected);
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let registry = Registry::new();
+    registry
+        .counter_with(
+            "demo_odd_labels_total",
+            "Counter with label values needing escapes.",
+            &[("path", "a\\b\"c\nd")],
+        )
+        .inc();
+    let rendered = registry.render_prometheus();
+    assert!(
+        rendered.contains("demo_odd_labels_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+        "escaping drifted:\n{rendered}"
+    );
+}
+
+#[test]
+fn disabled_registry_renders_nothing() {
+    let registry = Registry::disabled();
+    registry.counter("demo_total", "Never registered.").inc();
+    assert_eq!(registry.render_prometheus(), "");
+}

@@ -16,9 +16,15 @@ use fec_broadcast::channel::{GilbertChannel, GilbertParams, LinkConfig, LinkEmul
 use fec_broadcast::flute::feedback::{FeedbackLoop, ReportConfig, ReportOutcome};
 use fec_broadcast::flute::{FluteReceiver, FluteSender, SenderConfig};
 use fec_broadcast::prelude::*;
+use fec_broadcast::telemetry::EstimatorSample;
 
 fn main() {
     let tsi = 5;
+    let started = std::time::Instant::now();
+
+    // Everything below records into one registry; render_prometheus() at
+    // the end shows the same text a `--metrics-addr` scrape would return.
+    let registry = Registry::new();
 
     // A session of three 16 KiB objects, encoded at the conservative
     // prior's ratio 2.5 (the sender does not know the channel yet).
@@ -58,11 +64,14 @@ fn main() {
         9,
     );
 
+    link.attach_telemetry(&registry);
+
     let mut receiver = FluteReceiver::new(tsi);
     receiver.enable_reports(ReportConfig {
         report_every: 64,
         ..ReportConfig::default()
     });
+    receiver.attach_telemetry(&registry);
     let mut feedback = FeedbackLoop::new(
         tsi,
         ControllerConfig {
@@ -72,8 +81,10 @@ fn main() {
             ..ControllerConfig::default()
         },
     );
+    feedback.attach_telemetry(&registry);
 
     let mut stream = sender.stream(0x5EED);
+    stream.attach_telemetry(&registry);
     let full = stream.full_total();
     println!(
         "session: 3 × 16 KiB at ratio 2.5 → {} data packets if sent statically\n\
@@ -84,8 +95,10 @@ fn main() {
     );
 
     let mut on_wire = 0u64;
+    let mut bytes_on_wire = 0u64;
     while let Some(datagram) = stream.next_datagram().unwrap() {
         on_wire += 1;
+        bytes_on_wire += datagram.len() as u64;
         // Forward path: impaired link, straight into the receiver.
         for delivered in link.transmit(&datagram) {
             receiver.push_datagrams(&[&delivered]).unwrap();
@@ -134,6 +147,7 @@ fn main() {
             i + 1
         );
     }
+    receiver.finalize_telemetry();
     let stats = feedback.stats();
     println!(
         "\ndelivered all 3 objects with {on_wire} datagrams on the wire \
@@ -147,5 +161,34 @@ fn main() {
             |e| format!("{:.2}%", e.p_global_upper() * 100.0)
         ),
     );
+
+    // The same SessionSummary an adaptive `send --metrics-addr` prints on
+    // exit: goodput, overhead against the static worst case, and the
+    // estimator's final state.
+    let mut summary = SessionSummary::new(tsi as u64);
+    summary.datagrams_sent = on_wire;
+    summary.bytes_sent = bytes_on_wire;
+    summary.object_bytes = objects.iter().map(|o| o.len() as u64).sum();
+    summary.full_schedule = full;
+    summary.replans = stats.applied;
+    summary.digests_applied = stats.applied;
+    summary.objects_completed = objects.len() as u32;
+    summary.elapsed_secs = started.elapsed().as_secs_f64();
+    if let Some(est) = feedback.controller().estimate() {
+        summary.estimator.push(EstimatorSample {
+            observations: stats.observations,
+            p: est.params.p(),
+            q: est.params.q(),
+            p_upper: est.p_global_upper(),
+        });
+    }
+    summary.finalize();
+    println!("\n{}", summary.to_json());
+
     assert!(on_wire < full, "the adaptive loop must save packets");
+    assert!(
+        summary.overhead_ratio < 1.0,
+        "overhead {:.3} must undercut the static worst case",
+        summary.overhead_ratio
+    );
 }

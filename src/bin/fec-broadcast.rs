@@ -85,6 +85,7 @@ USAGE:
                       [--k <k>] [--runs <n>] [--coarse] [--seed <n>]
                       [--workers <n>] [--out <file>]
                       [--shard <i/n> --emit-partial]
+                      [--metrics-addr <addr:port>] [--telemetry-log <path>]
       Monte-Carlo (p,q) grid sweep; prints a paper-style inefficiency table.
       --workers N fans the sweep out over N single-threaded `sweep-worker`
       subprocesses (process count is the parallelism knob; without the
@@ -117,22 +118,33 @@ USAGE:
   fec-broadcast send --file <path> --dest <addr:port>
                      [--tsi <n>] [--code <name>] [--tx <1..6>]
                      [--ratio <r>] [--symbol <bytes>] [--seed <n>]
-                     [--loss-p <p> --loss-q <q>]
+                     [--loss-p <p> --loss-q <q>] [--pace <micros>]
                      [--adaptive --report-addr <addr:port>]
                      [--window <pkts>] [--replan-every <pkts>]
+                     [--metrics-addr <addr:port>] [--telemetry-log <path>]
       FLUTE/ALC file broadcast over UDP. --loss-p/--loss-q inject Gilbert
-      losses at the sender for reproducible demos. With --adaptive the
-      sender binds --report-addr for reception-report digests, estimates
-      the channel online and truncates/extends the transmission live
-      (§6.2 re-planning); receivers must run with `recv --report-to` set
-      to the same address.
+      losses at the sender for reproducible demos. --pace sleeps that many
+      microseconds between datagrams (default 0: full speed), stretching a
+      session out so a human — or a Prometheus scrape — can watch it.
+      With --adaptive the sender binds --report-addr for reception-report
+      digests, estimates the channel online and truncates/extends the
+      transmission live (§6.2 re-planning); receivers must run with
+      `recv --report-to` set to the same address.
 
   fec-broadcast recv --listen <addr:port> [--tsi <n>] [--out <path>]
                      [--timeout <secs>]
                      [--report-to <addr:port>] [--report-every <pkts>]
+                     [--metrics-addr <addr:port>] [--telemetry-log <path>]
       Join a FLUTE session and reconstruct the broadcast file. With
       --report-to, emit reception-report digests (one per --report-every
       received datagrams, default 128) to the sender's feedback port.
+
+Observability (send / recv / sweep): --metrics-addr serves a Prometheus
+text endpoint (`curl http://addr:port/metrics`) for the lifetime of the
+command; --telemetry-log appends one JSON event per line to the given
+file. With either flag, adaptive `send` also prints a SessionSummary
+JSON document (goodput, overhead vs the static worst case, estimator
+trajectory) on exit.
 
 Probabilities are given as fractions (0.05 = 5%).";
 
@@ -188,6 +200,80 @@ fn channel_from(opts: &HashMap<String, String>) -> Result<Option<GilbertParams>,
             .map_err(|e| e.to_string()),
         (None, None) => Ok(None),
         _ => Err("--p and --q must be given together".into()),
+    }
+}
+
+/// Observability context shared by `send`, `recv` and `sweep`: the metric
+/// registry (disabled — one dead branch per update site — unless a
+/// telemetry flag is given), the Prometheus scrape endpoint, and the
+/// structured event log with its optional JSONL sink.
+struct Telemetry {
+    registry: Registry,
+    /// Holds the scrape endpoint open for the lifetime of the command.
+    _server: Option<MetricsServer>,
+    events: EventLog,
+    sink: Option<JsonlSink>,
+}
+
+impl Telemetry {
+    /// Parses `--metrics-addr` / `--telemetry-log`; with neither flag the
+    /// registry is disabled and every instrument call is a no-op.
+    fn from_opts(opts: &HashMap<String, String>) -> Result<Telemetry, String> {
+        let metrics_addr = opts.get("metrics-addr");
+        let log_path = opts.get("telemetry-log");
+        let registry = if metrics_addr.is_some() || log_path.is_some() {
+            Registry::new()
+        } else {
+            Registry::disabled()
+        };
+        let server = metrics_addr
+            .map(|addr| {
+                MetricsServer::bind(addr, registry.clone())
+                    .map_err(|e| format!("metrics endpoint {addr}: {e}"))
+            })
+            .transpose()?;
+        if let Some(server) = &server {
+            eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+        }
+        let sink = log_path
+            .map(|p| {
+                JsonlSink::create(std::path::Path::new(p))
+                    .map_err(|e| format!("telemetry log {p}: {e}"))
+            })
+            .transpose()?;
+        Ok(Telemetry {
+            registry,
+            _server: server,
+            events: EventLog::bounded(4096),
+            sink,
+        })
+    }
+
+    fn enabled(&self) -> bool {
+        self.registry.is_enabled()
+    }
+
+    /// Records `event` if telemetry is on (the log is bounded, so a burst
+    /// between drains evicts oldest-first rather than growing).
+    fn record(&self, event: Event) {
+        if self.enabled() {
+            self.events.record(event);
+        }
+    }
+
+    /// Flushes buffered events to the JSONL sink, if one was requested.
+    fn drain(&mut self) -> Result<(), String> {
+        match &mut self.sink {
+            Some(sink) => {
+                sink.drain_from(&self.events)
+                    .and_then(|_| sink.flush())
+                    .map_err(|e| format!("telemetry log: {e}"))?;
+            }
+            None => {
+                let _ = self.events.drain();
+            }
+        }
+        Ok(())
     }
 }
 
@@ -440,6 +526,7 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
     // the parallelism knob and `--workers 4` vs `--workers 1` measures
     // real scaling. Without the flag the sweep runs in-process on the
     // thread pool (all cores). Same bytes either way.
+    let mut telemetry = Telemetry::from_opts(opts)?;
     let result = if opts.contains_key("workers") {
         let workers = get_usize(opts, "workers", 1)?.max(1);
         println!(
@@ -447,13 +534,22 @@ fn cmd_sweep(opts: &HashMap<String, String>) -> Result<(), String> {
              ({} work units)…\n",
             plan.unit_count()
         );
-        Coordinator::self_exec(workers)
-            .and_then(|c| c.run(&plan))
-            .map_err(|e| e.to_string())?
+        let mut coordinator = Coordinator::self_exec(workers).map_err(|e| e.to_string())?;
+        if telemetry.enabled() {
+            // Work units stream into the registry as workers report them,
+            // so a mid-run scrape shows live progress.
+            coordinator = coordinator.with_telemetry(&telemetry.registry);
+        }
+        coordinator.run(&plan).map_err(|e| e.to_string())?
     } else {
         println!("sweeping {description}…\n");
         distrib::execute_plan(&plan).map_err(|e| e.to_string())?
     };
+    telemetry.record(Event::SweepProgress {
+        units_done: plan.unit_count() as u64,
+        units_total: plan.unit_count() as u64,
+    });
+    telemetry.drain()?;
     print_sweep_result(&result);
     if let Some(path) = opts.get("out") {
         let json = serde_json::to_string(&result).map_err(|e| e.to_string())?;
@@ -644,6 +740,7 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
     let ratio = ratio_from(get_f64(opts, "ratio")?.unwrap_or(1.5))?;
     let symbol = get_usize(opts, "symbol", 1024)?;
     let seed = get_usize(opts, "seed", 1)? as u64;
+    let pace = Pace::from_micros(get_usize(opts, "pace", 0)? as u64);
     let injected = channel_from_keys(opts, "loss-p", "loss-q")?;
 
     let object = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -668,23 +765,32 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let socket = std::net::UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
     let mut loss = injected.map(|p| GilbertChannel::new(p, seed ^ 0x10c0));
-    let (sent, dropped) = if opts.contains_key("adaptive") {
-        send_adaptive(opts, &session, &socket, dest, seed, tsi, &mut loss)?
+    let mut telemetry = Telemetry::from_opts(opts)?;
+    let (sent, dropped, summary) = if opts.contains_key("adaptive") {
+        send_adaptive(
+            opts,
+            &session,
+            &socket,
+            dest,
+            seed,
+            tsi,
+            &mut loss,
+            pace,
+            &mut telemetry,
+            object.len() as u64,
+        )?
     } else {
-        let datagrams = session.datagrams(seed).map_err(|e| e.to_string())?;
-        let (mut sent, mut dropped) = (0u64, 0u64);
-        for dg in &datagrams {
-            if loss.as_mut().is_some_and(|ch| ch.next_is_lost()) {
-                dropped += 1;
-                continue;
-            }
-            socket.send_to(dg, dest).map_err(|e| e.to_string())?;
-            sent += 1;
-            if sent % 64 == 0 {
-                std::thread::sleep(std::time::Duration::from_micros(300));
-            }
-        }
-        (sent, dropped)
+        send_static(
+            &session,
+            &socket,
+            dest,
+            seed,
+            tsi,
+            &mut loss,
+            pace,
+            &telemetry,
+            object.len() as u64,
+        )?
     };
     println!(
         "sent '{name}' ({} bytes) to {dest}: {sent} datagrams transmitted, {dropped} dropped by injected loss\n\
@@ -694,12 +800,102 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
         tx.name(),
         ratio.as_f64()
     );
+    if let Some(mut summary) = summary {
+        summary.finalize();
+        println!("{}", summary.to_json());
+    }
+    telemetry.drain()?;
     Ok(())
+}
+
+/// Inter-datagram pacing for the send loops. `--pace <micros>` sleeps
+/// between every datagram, stretching a loopback session from hundreds of
+/// milliseconds to something a metrics scrape (or a human with `curl`)
+/// can observe mid-flight; the default only throttles in bursts, enough
+/// to keep the kernel's UDP buffers from overflowing at full speed.
+#[derive(Clone, Copy)]
+struct Pace {
+    micros: u64,
+}
+
+impl Pace {
+    fn from_micros(micros: u64) -> Self {
+        Pace { micros }
+    }
+
+    fn tick(&self, sent: u64) {
+        if self.micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.micros));
+        } else if sent.is_multiple_of(64) {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+        }
+    }
+}
+
+/// The fixed-schedule send loop, instrumented: every datagram bumps the
+/// session counters so a scrape of `--metrics-addr` shows live progress.
+#[allow(clippy::too_many_arguments)]
+fn send_static(
+    session: &fec_broadcast::flute::FluteSender,
+    socket: &std::net::UdpSocket,
+    dest: &str,
+    seed: u64,
+    tsi: u32,
+    loss: &mut Option<GilbertChannel>,
+    pace: Pace,
+    telemetry: &Telemetry,
+    object_bytes: u64,
+) -> Result<(u64, u64, Option<SessionSummary>), String> {
+    let datagrams = session.datagrams(seed).map_err(|e| e.to_string())?;
+    let datagram_counter = telemetry.registry.counter_with(
+        "fec_session_datagrams_total",
+        "Datagrams emitted by the sender session, by kind.",
+        &[("kind", "data")],
+    );
+    let byte_counter = telemetry.registry.counter(
+        "fec_session_bytes_total",
+        "UDP payload bytes emitted by the sender session.",
+    );
+    telemetry.record(Event::SessionStart {
+        tsi: tsi as u64,
+        objects: session.fdt().files.len() as u32,
+        full_schedule: datagrams.len() as u64,
+    });
+    let started = std::time::Instant::now();
+    let mut summary = SessionSummary::new(tsi as u64);
+    summary.object_bytes = object_bytes;
+    summary.full_schedule = datagrams.len() as u64;
+    let (mut sent, mut dropped) = (0u64, 0u64);
+    for dg in &datagrams {
+        if loss.as_mut().is_some_and(|ch| ch.next_is_lost()) {
+            dropped += 1;
+            continue;
+        }
+        socket.send_to(dg, dest).map_err(|e| e.to_string())?;
+        sent += 1;
+        datagram_counter.inc();
+        byte_counter.add(dg.len() as u64);
+        summary.bytes_sent += dg.len() as u64;
+        pace.tick(sent);
+    }
+    summary.datagrams_sent = sent;
+    summary.elapsed_secs = started.elapsed().as_secs_f64();
+    telemetry.record(Event::SessionEnd {
+        tsi: tsi as u64,
+        datagrams: sent,
+        planned: datagrams.len() as u64,
+        completed: 0,
+    });
+    Ok((sent, dropped, telemetry.enabled().then_some(summary)))
 }
 
 /// The live adaptive send loop: emit through a [`SessionStream`], drain
 /// reception-report digests from the feedback socket, and re-plan the
-/// in-flight object between bursts.
+/// in-flight object between bursts. Every control decision lands in the
+/// telemetry context as a structured event, and the [`SessionSummary`]
+/// (returned when telemetry is on) captures the run's goodput, overhead
+/// versus the static worst case, and the estimator trajectory.
+#[allow(clippy::too_many_arguments)]
 fn send_adaptive(
     opts: &HashMap<String, String>,
     session: &fec_broadcast::flute::FluteSender,
@@ -708,9 +904,14 @@ fn send_adaptive(
     seed: u64,
     tsi: u32,
     loss: &mut Option<GilbertChannel>,
-) -> Result<(u64, u64), String> {
+    pace: Pace,
+    telemetry: &mut Telemetry,
+    object_bytes: u64,
+) -> Result<(u64, u64, Option<SessionSummary>), String> {
     use fec_broadcast::adapt::ControllerConfig;
     use fec_broadcast::flute::feedback::FeedbackLoop;
+    use fec_broadcast::flute::{ReceptionReport, ReportOutcome};
+    use fec_broadcast::telemetry::EstimatorSample;
 
     let report_addr = opts
         .get("report-addr")
@@ -732,7 +933,20 @@ fn send_adaptive(
         },
     );
     let mut stream = session.stream(seed);
+    if telemetry.enabled() {
+        stream.attach_telemetry(&telemetry.registry);
+        feedback.attach_telemetry(&telemetry.registry);
+    }
     let full_total = stream.full_total();
+    telemetry.record(Event::SessionStart {
+        tsi: tsi as u64,
+        objects: session.fdt().files.len() as u32,
+        full_schedule: full_total,
+    });
+    let started = std::time::Instant::now();
+    let mut summary = SessionSummary::new(tsi as u64);
+    summary.object_bytes = object_bytes;
+    summary.full_schedule = full_total;
     let (mut sent, mut dropped) = (0u64, 0u64);
     let mut buf = [0u8; 65536];
     let mut linger_until: Option<std::time::Instant> = None;
@@ -740,17 +954,54 @@ fn send_adaptive(
     loop {
         // Drain every pending digest.
         while let Ok((len, _)) = report_socket.recv_from(&mut buf) {
-            use fec_broadcast::flute::ReportOutcome;
-            match feedback.ingest_datagram(&buf[..len]) {
-                Ok(ReportOutcome::Applied { completed, .. }) => {
+            let report = match ReceptionReport::from_bytes(&buf[..len]) {
+                Ok(report) => report,
+                Err(e) => {
+                    eprintln!("ignoring malformed digest: {e}");
+                    continue;
+                }
+            };
+            match feedback.ingest(&report) {
+                ReportOutcome::Applied {
+                    observations,
+                    completed,
+                } => {
+                    summary.digests_applied += 1;
+                    summary.objects_completed += completed.len() as u32;
+                    telemetry.record(Event::DigestReceived {
+                        report_seq: report.report_seq as u64,
+                        observations,
+                        applied: true,
+                    });
+                    if telemetry.enabled() {
+                        if let Some(est) = feedback.controller().estimate() {
+                            telemetry.record(Event::EstimateUpdated {
+                                p: est.params.p(),
+                                q: est.params.q(),
+                                p_upper: est.p_global_upper(),
+                                window: feedback.controller().estimator().window_len() as u64,
+                            });
+                            summary.estimator.push(EstimatorSample {
+                                observations: feedback.stats().observations,
+                                p: est.params.p(),
+                                q: est.params.q(),
+                                p_upper: est.p_global_upper(),
+                            });
+                        }
+                    }
                     // Objects the receiver already decoded need nothing
                     // more: stop their emission where it stands.
                     for toi in completed {
+                        telemetry.record(Event::ObjectComplete { toi });
                         stream.stop_object(toi).map_err(|e| e.to_string())?;
                     }
                 }
-                Ok(_) => {} // stale or foreign: ignored by design
-                Err(e) => eprintln!("ignoring malformed digest: {e}"),
+                // Stale or foreign: dropped by design, but still logged.
+                _ => telemetry.record(Event::DigestReceived {
+                    report_seq: report.report_seq as u64,
+                    observations: report.observations(),
+                    applied: false,
+                }),
             }
         }
         if feedback.session_complete() {
@@ -769,18 +1020,23 @@ fn send_adaptive(
                 } else {
                     socket.send_to(&dg, dest).map_err(|e| e.to_string())?;
                     sent += 1;
+                    summary.bytes_sent += dg.len() as u64;
                 }
-                if sent % 64 == 0 {
-                    std::thread::sleep(std::time::Duration::from_micros(300));
-                }
+                pace.tick(sent);
                 // Re-plan the in-flight object periodically.
                 if (sent + dropped) % replan_every as u64 == 0 {
                     if let Some(toi) = stream.current_toi() {
                         let k = stream.source_count(toi).expect("in-flight TOI") as usize;
                         let replan = feedback.replan(k);
+                        summary.replans += 1;
                         stream
                             .amend_plan(toi, replan.plan.as_ref())
                             .map_err(|e| e.to_string())?;
+                        telemetry.record(Event::ReplanIssued {
+                            toi,
+                            target: replan.plan.as_ref().map_or(full_total, |p| p.n_sent),
+                            schedule: stream.planned_total(),
+                        });
                     }
                 }
             }
@@ -801,8 +1057,10 @@ fn send_adaptive(
                                 stream.planned_total()
                             );
                             feedback.record_failure();
+                            summary.backoffs += 1;
                             for toi in session.fdt().files.iter().map(|f| f.toi) {
                                 if !feedback.is_complete(toi) {
+                                    telemetry.record(Event::BackoffTriggered { reverted: toi });
                                     stream.amend_plan(toi, None).map_err(|e| e.to_string())?;
                                 }
                             }
@@ -820,6 +1078,14 @@ fn send_adaptive(
             }
         }
     }
+    summary.datagrams_sent = sent;
+    summary.elapsed_secs = started.elapsed().as_secs_f64();
+    telemetry.record(Event::SessionEnd {
+        tsi: tsi as u64,
+        datagrams: sent,
+        planned: stream.planned_total(),
+        completed: summary.objects_completed,
+    });
     let stats = feedback.stats();
     eprintln!(
         "feedback: {} digests applied ({} stale, {} foreign), {} observations; \
@@ -833,7 +1099,7 @@ fn send_adaptive(
             |e| format!("{:.2}%", e.p_global_upper() * 100.0)
         ),
     );
-    Ok((sent, dropped))
+    Ok((sent, dropped, telemetry.enabled().then_some(summary)))
 }
 
 fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -847,6 +1113,7 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
     let timeout = get_usize(opts, "timeout", 10)? as u64;
     let report_every = get_usize(opts, "report-every", 128)?.max(1);
 
+    let mut telemetry = Telemetry::from_opts(opts)?;
     let socket = std::net::UdpSocket::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
     socket
         .set_read_timeout(Some(std::time::Duration::from_secs(timeout)))
@@ -885,7 +1152,18 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
             ..ReportConfig::default()
         });
     }
+    if telemetry.enabled() {
+        session.attach_telemetry(&telemetry.registry);
+    }
+    let events = telemetry.events.clone();
+    let record_events = telemetry.enabled();
     let ship = |report: fec_broadcast::flute::ReceptionReport| -> Result<(), String> {
+        if record_events {
+            events.record(Event::DigestEmitted {
+                report_seq: report.report_seq as u64,
+                observations: report.observations(),
+            });
+        }
         if let Some((sock, addr)) = &reporting {
             let bytes = report.to_bytes().map_err(|e| e.to_string())?;
             sock.send_to(&bytes, addr.as_str())
@@ -952,6 +1230,11 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
             ship(report)?;
         }
     }
+    telemetry.record(Event::ObjectComplete { toi });
+    // Attribute any loss runs still unrepaired to the residual histogram
+    // before the final scrape / event drain.
+    session.finalize_telemetry();
+    telemetry.drain()?;
 
     let location = session
         .fdt()

@@ -42,6 +42,7 @@ pub use fec_ldgm as ldgm;
 pub use fec_rse as rse;
 pub use fec_sched as sched;
 pub use fec_sim as sim;
+pub use fec_telemetry as telemetry;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
@@ -63,4 +64,5 @@ pub mod prelude {
     pub use fec_sim::{
         CodeKind, ExpansionRatio, Experiment, GridSweep, Runner, SweepConfig, SweepResult,
     };
+    pub use fec_telemetry::{Event, EventLog, JsonlSink, MetricsServer, Registry, SessionSummary};
 }

@@ -1,0 +1,237 @@
+//! Acceptance test for the observability layer on a live session: the
+//! full adaptive loop (sender stream → impaired link → receiver →
+//! digests → feedback) instrumented into one registry, scraped over a
+//! **real HTTP connection** mid-flight, with the structured event log
+//! drained to JSONL and parsed back.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use fec_broadcast::adapt::ControllerConfig;
+use fec_broadcast::channel::{GilbertParams, LinkConfig, LinkEmulator, LossModel};
+use fec_broadcast::flute::feedback::{FeedbackLoop, ReportConfig, ReportOutcome};
+use fec_broadcast::flute::{FluteReceiver, FluteSender, SenderConfig};
+use fec_broadcast::prelude::*;
+use fec_broadcast::telemetry::EventRecord;
+
+const TSI: u32 = 33;
+
+/// One plain-text HTTP GET against the metrics endpoint; returns the body.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has header/body split");
+    assert!(
+        head.starts_with("HTTP/1.1 200 OK"),
+        "unexpected status line: {head}"
+    );
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "missing exposition content type: {head}"
+    );
+    body.to_string()
+}
+
+/// Extracts the value of an exact series line (`name value` or
+/// `name{labels} value`).
+fn series_value(body: &str, series: &str) -> f64 {
+    body.lines()
+        .find_map(|l| {
+            l.strip_prefix(series)
+                .and_then(|rest| rest.strip_prefix(' '))
+        })
+        .unwrap_or_else(|| panic!("series {series:?} not in scrape:\n{body}"))
+        .parse()
+        .expect("series value parses")
+}
+
+#[test]
+fn live_session_exposes_metrics_and_events() {
+    let registry = Registry::new();
+    let server = MetricsServer::bind("127.0.0.1:0", registry.clone()).expect("bind metrics");
+    let events = EventLog::bounded(1024);
+
+    // A two-object session over a bursty link, closed-loop as in the CLI.
+    let mut sender = FluteSender::new(SenderConfig::new(TSI));
+    let objects: Vec<Vec<u8>> = (1..=2u32)
+        .map(|toi| {
+            (0..12_000)
+                .map(|i| ((i as u32 * 37 + toi) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    for (i, object) in objects.iter().enumerate() {
+        sender
+            .add_object(
+                i as u32 + 1,
+                format!("file:///obj-{}.bin", i + 1),
+                object,
+                fec_broadcast::codec::registry::resolve("ldgm-triangle").unwrap(),
+                ExpansionRatio::R2_5,
+                64,
+                11 + i as u64,
+                TxModel::Random,
+            )
+            .unwrap();
+    }
+
+    let params = GilbertParams::new(0.02, 0.5).unwrap();
+    let model: Box<dyn LossModel> = Box::new(GilbertChannel::new(params, 77));
+    let mut link = LinkEmulator::with_config(
+        model,
+        LinkConfig {
+            duplicate_rate: 0.005,
+            reorder_rate: 0.01,
+            reorder_depth: 2,
+        },
+        13,
+    );
+    link.attach_telemetry(&registry);
+
+    let mut receiver = FluteReceiver::new(TSI);
+    receiver.enable_reports(ReportConfig {
+        report_every: 64,
+        ..ReportConfig::default()
+    });
+    receiver.attach_telemetry(&registry);
+    let mut feedback = FeedbackLoop::new(
+        TSI,
+        ControllerConfig {
+            window: 5_000,
+            min_observations: 250,
+            confirm_after: 1,
+            ..ControllerConfig::default()
+        },
+    );
+    feedback.attach_telemetry(&registry);
+    let mut stream = sender.stream(0xFEED);
+    stream.attach_telemetry(&registry);
+    let full = stream.full_total();
+
+    events.record(Event::SessionStart {
+        tsi: TSI as u64,
+        objects: objects.len() as u32,
+        full_schedule: full,
+    });
+
+    let mut on_wire = 0u64;
+    let mut scraped_mid_session = false;
+    while let Some(datagram) = stream.next_datagram().unwrap() {
+        on_wire += 1;
+        for delivered in link.transmit(&datagram) {
+            receiver.push_datagrams(&[&delivered]).unwrap();
+        }
+        if on_wire == full / 4 {
+            // Mid-flight scrape: counters must already be moving.
+            let body = scrape(server.local_addr());
+            assert!(series_value(&body, "fec_session_datagrams_total{kind=\"data\"}") > 0.0);
+            scraped_mid_session = true;
+        }
+        if let Some(report) = receiver.poll_report() {
+            let wire = report.to_bytes().unwrap();
+            if let ReportOutcome::Applied { completed, .. } =
+                feedback.ingest_datagram(&wire).unwrap()
+            {
+                for toi in completed {
+                    events.record(Event::ObjectComplete { toi });
+                    stream.stop_object(toi).unwrap();
+                }
+            }
+            if feedback.session_complete() {
+                break;
+            }
+            if let Some(toi) = stream.current_toi() {
+                let k = stream.source_count(toi).unwrap() as usize;
+                let replan = feedback.replan(k);
+                stream.amend_plan(toi, replan.plan.as_ref()).unwrap();
+            }
+        }
+    }
+    assert!(
+        scraped_mid_session,
+        "session ended before the mid-flight scrape"
+    );
+    for (i, object) in objects.iter().enumerate() {
+        assert_eq!(receiver.object(i as u32 + 1).expect("decoded"), &object[..]);
+    }
+    receiver.finalize_telemetry();
+    events.record(Event::SessionEnd {
+        tsi: TSI as u64,
+        datagrams: on_wire,
+        planned: stream.planned_total(),
+        completed: objects.len() as u32,
+    });
+
+    // Final scrape: every layer of the stack must have reported in.
+    let body = scrape(server.local_addr());
+    let data = series_value(&body, "fec_session_datagrams_total{kind=\"data\"}");
+    assert!(
+        data > 0.0 && data <= on_wire as f64,
+        "sender counted {data} of {on_wire} emitted datagrams"
+    );
+    assert!(
+        series_value(&body, "fec_replans_total") > 0.0,
+        "feedback loop never re-planned"
+    );
+    assert!(
+        series_value(&body, "fec_digests_total{outcome=\"applied\"}") > 0.0,
+        "no digest reached the estimator"
+    );
+    // The estimator gauges exist even before convergence (value may be 0).
+    series_value(&body, "fec_estimator_p");
+    let offered = series_value(&body, "fec_link_datagrams_total{fate=\"offered\"}");
+    let delivered = series_value(&body, "fec_link_datagrams_total{fate=\"delivered\"}");
+    let link_dropped = series_value(&body, "fec_link_datagrams_total{fate=\"dropped\"}");
+    let duplicated = series_value(&body, "fec_link_datagrams_total{fate=\"duplicated\"}");
+    assert_eq!(
+        offered + duplicated,
+        delivered + link_dropped,
+        "link conservation law broken in the scrape"
+    );
+    let rx = series_value(&body, "fec_rx_datagrams_total{result=\"data\"}");
+    assert!(
+        rx > 0.0 && rx <= delivered,
+        "receiver saw {rx} of {delivered} delivered"
+    );
+    assert!(
+        series_value(&body, "fec_loss_run_length_count") > 0.0,
+        "no loss runs observed on a 2% channel"
+    );
+    // Both objects decoded, so every loss run was repaired: the residual
+    // histogram stays empty and the repaired counter took them all.
+    assert_eq!(
+        series_value(&body, "fec_residual_loss_run_length_count"),
+        0.0
+    );
+    assert!(series_value(&body, "fec_repaired_loss_runs_total") > 0.0);
+
+    // Event log: JSONL-encode the drained records and parse them back.
+    let records = events.drain();
+    assert!(
+        records.len() >= 4,
+        "session start/end + 2 completions expected"
+    );
+    let jsonl: String = records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap() + "\n")
+        .collect();
+    let parsed: Vec<EventRecord> = jsonl
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(parsed, records);
+    assert!(matches!(parsed[0].event, Event::SessionStart { tsi, .. } if tsi == TSI as u64));
+    assert!(
+        matches!(
+            parsed.last().unwrap().event,
+            Event::SessionEnd { completed: 2, .. }
+        ),
+        "last event must be the session end"
+    );
+}
