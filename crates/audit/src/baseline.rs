@@ -1,0 +1,138 @@
+//! Ratchet baselines: checked-in per-crate counts that may go down but
+//! never up.
+//!
+//! The files under `audit/` use a tiny TOML subset — `# comments`, one
+//! `[section]` header, and `key = integer` pairs (keys may be quoted) —
+//! hand-rolled for the same reason the serde shims are: the build is
+//! offline. The writer emits keys sorted, so regenerated baselines diff
+//! cleanly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A parsed baseline: section name → key → count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Sections in file order (`BTreeMap` keeps rendering deterministic).
+    pub sections: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// Looks up one counter.
+    pub fn get(&self, section: &str, key: &str) -> Option<u64> {
+        self.sections.get(section)?.get(key).copied()
+    }
+
+    /// Sets one counter.
+    pub fn set(&mut self, section: &str, key: &str, value: u64) {
+        self.sections
+            .entry(section.to_string())
+            .or_default()
+            .insert(key.to_string(), value);
+    }
+
+    /// Parses the TOML subset. Unknown syntax is an error, not a guess —
+    /// a ratchet file that cannot be read must never pass silently.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut out = Baseline::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+                section = name.trim().to_string();
+                out.sections.entry(section.clone()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`: {raw}", idx + 1));
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: expected an integer: {raw}", idx + 1))?;
+            if section.is_empty() {
+                return Err(format!("line {}: key before any [section]", idx + 1));
+            }
+            out.sections
+                .get_mut(&section)
+                .expect("section was just inserted")
+                .insert(key, value);
+        }
+        Ok(out)
+    }
+
+    /// Loads a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Renders the baseline back to its file format.
+    pub fn render(&self, header: &str) -> String {
+        let mut out = String::new();
+        for line in header.lines() {
+            let _ = writeln!(out, "# {line}");
+        }
+        for (section, entries) in &self.sections {
+            let _ = writeln!(out, "\n[{section}]");
+            for (key, value) in entries {
+                if key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    let _ = writeln!(out, "{key} = {value}");
+                } else {
+                    let _ = writeln!(out, "\"{key}\" = {value}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Strips a `#` comment, respecting quoted keys.
+fn strip_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '#' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::default();
+        b.set("unsafe", "fec-gf256", 52);
+        b.set("unsafe", "total", 52);
+        let text = b.render("regenerate with --update-baselines");
+        let back = Baseline::parse(&text).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.get("unsafe", "fec-gf256"), Some(52));
+    }
+
+    #[test]
+    fn comments_and_quoted_keys() {
+        let b =
+            Baseline::parse("# header\n[panic]\n\"fec-core\" = 3 # trailing\ntotal = 3\n").unwrap();
+        assert_eq!(b.get("panic", "fec-core"), Some(3));
+        assert_eq!(b.get("panic", "total"), Some(3));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("[s]\nkey = notanumber").is_err());
+        assert!(Baseline::parse("stray = 1").is_err());
+        assert!(Baseline::parse("[s]\nno equals sign").is_err());
+    }
+}

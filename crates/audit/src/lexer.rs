@@ -1,0 +1,301 @@
+//! A minimal, comment- and string-aware lexer for Rust source files.
+//!
+//! The lints in this crate reason about *tokens in code*, never about text
+//! inside comments or string literals — a doc example containing
+//! `unwrap()` must not trip the panic lint, and a `SAFETY:` justification
+//! must be recognised as a comment, not as code. Instead of pulling in a
+//! full parser (the build is offline and dependency-free by design, like
+//! the serde shims), this module performs exactly the lexical split the
+//! lints need: every input line is separated into its **code** text (with
+//! comment and literal *contents* blanked out) and its **comment** text.
+//!
+//! Handled Rust surface: line comments (`//`, `///`, `//!`), nested block
+//! comments (`/* /* */ */`, including doc block comments), string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth),
+//! byte/raw-byte strings, char literals, and the char-vs-lifetime
+//! ambiguity (`'a'` is a literal, `'a` in `&'a str` is not).
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line's code text. Comment text is removed entirely; string and
+    /// char literal *contents* are replaced by spaces (the delimiters
+    /// remain, so the shape of expressions is preserved).
+    pub code: String,
+    /// Concatenated text of every comment (segment) on the line, without
+    /// the `//` / `/*` markers.
+    pub comment: String,
+}
+
+impl Line {
+    /// Whether the line carries no code tokens at all (blank or pure
+    /// comment / pure whitespace).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// Whether the line is *only* a comment (no code, some comment text).
+    pub fn is_comment_only(&self) -> bool {
+        self.is_code_blank() && !self.comment.trim().is_empty()
+    }
+
+    /// Whether the line is an attribute line (`#[…]` / `#![…]`),
+    /// possibly with the attribute's closing bracket on a later line.
+    pub fn is_attribute(&self) -> bool {
+        let t = self.code.trim_start();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    /// Inside a block comment, with the current nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string with the given hash count.
+    RawStr(u32),
+}
+
+/// Splits a whole file into per-line code/comment channels.
+pub fn split_lines(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for raw in source.lines() {
+        let mut line = Line::default();
+        let b: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                State::Block(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        line.comment.push_str("/*");
+                        i += 2;
+                        state = State::Block(depth + 1);
+                    } else {
+                        line.comment.push(b[i]);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if b[i] == '\\' {
+                        line.code.push(' ');
+                        if i + 1 < b.len() {
+                            line.code.push(' ');
+                        }
+                        i += 2;
+                    } else if b[i] == '"' {
+                        line.code.push('"');
+                        i += 1;
+                        state = State::Code;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if b[i] == '"' && closes_raw(&b, i + 1, hashes) {
+                        line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Code => {
+                    let c = b[i];
+                    if c == '/' && b.get(i + 1) == Some(&'/') {
+                        // Line comment: everything to EOL is comment text.
+                        let rest: String = b[i + 2..].iter().collect();
+                        line.comment.push_str(rest.trim_start_matches(['/', '!']));
+                        i = b.len();
+                    } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                        i += 2;
+                        // Skip doc-block markers `/**` `/*!`.
+                        if i < b.len() && (b[i] == '*' || b[i] == '!') && b.get(i + 1) != Some(&'/')
+                        {
+                            i += 1;
+                        }
+                        state = State::Block(1);
+                    } else if c == '"' {
+                        line.code.push('"');
+                        i += 1;
+                        state = State::Str;
+                    } else if let Some(hashes) = raw_string_open(&b, i) {
+                        // `r"…"`, `r#"…"#`, `br"…"`, … — emit the prefix.
+                        while b[i] != '"' {
+                            line.code.push(b[i]);
+                            i += 1;
+                        }
+                        line.code.push('"');
+                        i += 1;
+                        state = State::RawStr(hashes);
+                    } else if c == '\'' {
+                        // Char literal vs lifetime.
+                        if let Some(len) = char_literal_len(&b, i) {
+                            line.code.push('\'');
+                            for _ in 1..len - 1 {
+                                line.code.push(' ');
+                            }
+                            line.code.push('\'');
+                            i += len;
+                        } else {
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Does a raw-string opener start at `i`? Returns the hash count.
+fn raw_string_open(b: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if b.get(j) == Some(&'b') && matches!(b.get(j + 1), Some(&'r')) {
+        j += 1;
+    }
+    if b.get(j) != Some(&'r') {
+        return None;
+    }
+    // `r` must not be the tail of an identifier (`var"` is not a string).
+    if i > 0 && is_ident_char(b[i - 1]) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while b.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Do `hashes` `#` characters follow position `i`?
+fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// If a char literal starts at `i` (which holds `'`), its total length.
+fn char_literal_len(b: &[char], i: usize) -> Option<usize> {
+    match b.get(i + 1) {
+        Some('\\') => {
+            // Escape: scan to the closing quote.
+            let mut j = i + 2;
+            if b.get(j).is_some() {
+                j += 1; // the escaped character
+            }
+            if b.get(j) == Some(&'{') {
+                // `'\u{…}'`
+                while j < b.len() && b[j] != '}' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            (b.get(j) == Some(&'\'')).then_some(j - i + 1)
+        }
+        Some(_) if b.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None, // a lifetime, or EOL
+    }
+}
+
+/// Is `c` an identifier character (for keyword-boundary checks)?
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets (in `code`) where `word` occurs as a standalone token.
+pub fn keyword_offsets(code: &str, word: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+        from = at + word.len();
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let lines = split_lines("let x = 1; // unsafe unwrap()\n// SAFETY: fine\n");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert!(lines[0].comment.contains("unsafe unwrap()"));
+        assert!(lines[1].is_comment_only());
+        assert!(lines[1].comment.contains("SAFETY: fine"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = codes("let s = \"unsafe { unwrap() }\";");
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains('"'));
+        let c = codes("let s = \"esc \\\" quote\"; call()");
+        assert!(c[0].contains("call()"));
+    }
+
+    #[test]
+    fn raw_strings_span_lines() {
+        let c = codes("let s = r#\"line one unsafe\nline two \"# ; done()");
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[1].contains("done()"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = split_lines("a(); /* outer /* inner */ still */ b();\n/* open\nclose */ c();");
+        assert!(lines[0].code.contains("a();") && lines[0].code.contains("b();"));
+        assert!(lines[1].is_comment_only());
+        assert!(lines[2].code.contains("c();"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let c = codes("let c = 'x'; fn f<'a>(s: &'a str) {} let n = '\\n';");
+        assert!(c[0].contains("'"));
+        assert!(c[0].contains("&'a str"), "lifetime preserved: {}", c[0]);
+    }
+
+    #[test]
+    fn keyword_boundaries() {
+        assert_eq!(keyword_offsets("unsafe { }", "unsafe"), vec![0]);
+        assert!(keyword_offsets("deny(unsafe_op_in_unsafe_fn)", "unsafe").is_empty());
+        assert!(keyword_offsets("allow(unsafe_code)", "unsafe").is_empty());
+        assert_eq!(keyword_offsets("x unsafe y unsafe", "unsafe"), vec![2, 11]);
+    }
+}

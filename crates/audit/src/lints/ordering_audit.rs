@@ -1,0 +1,67 @@
+//! Lint 3: atomic memory-ordering inventory and `Relaxed` justifications.
+//!
+//! Every `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` use in
+//! library code is inventoried. `Relaxed` is only legal when the site
+//! carries an explicit `// audit:allow(relaxed) -- <reason>` comment —
+//! relaxed atomics are correct exactly when someone has argued *why* no
+//! cross-cell ordering is needed, and that argument belongs next to the
+//! code, where the next refactor will see it. Stronger orderings pass
+//! unconditionally (they can cost performance, never soundness).
+//!
+//! `std::cmp::Ordering` variants (`Less`/`Equal`/`Greater`) never collide
+//! with the atomic names, so a plain token match is exact.
+
+use crate::{Diagnostic, Outcome, Section, Workspace};
+
+const LINT: &str = "ordering-audit";
+
+/// The atomic orderings this lint recognises.
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs the ordering audit over the scanned workspace.
+pub fn run(ws: &Workspace) -> Result<Outcome, String> {
+    let mut out = Outcome::default();
+    let mut inventory = 0usize;
+    for file in &ws.files {
+        if file.section != Section::Lib {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            let code = &line.code;
+            let mut from = 0;
+            while let Some(pos) = code[from..].find("Ordering::") {
+                let at = from + pos + "Ordering::".len();
+                let variant: String = code[at..]
+                    .chars()
+                    .take_while(|c| crate::lexer::is_ident_char(*c))
+                    .collect();
+                from = at;
+                if !ATOMIC_ORDERINGS.contains(&variant.as_str()) {
+                    continue; // `cmp::Ordering` or an unknown name.
+                }
+                inventory += 1;
+                if variant == "Relaxed" && !file.allows(idx, "relaxed") {
+                    out.diagnostics.push(Diagnostic {
+                        file: file.rel_path.clone(),
+                        line: idx + 1,
+                        lint: LINT,
+                        message: "Ordering::Relaxed without a justification — argue why \
+                                  no cross-cell ordering is needed with \
+                                  `// audit:allow(relaxed) -- <reason>`, or upgrade to \
+                                  Acquire/Release/SeqCst"
+                            .to_string(),
+                    });
+                } else {
+                    out.notes.push(format!(
+                        "{}:{}: Ordering::{variant}",
+                        file.rel_path,
+                        idx + 1
+                    ));
+                }
+            }
+        }
+    }
+    out.notes
+        .push(format!("{inventory} atomic ordering sites inventoried"));
+    Ok(out)
+}

@@ -1,0 +1,167 @@
+//! Lint 2: panic-freedom of the wire parsers + a workspace-wide ratchet.
+//!
+//! Modules tagged with a `//! fec-audit: deny(panic)` header comment —
+//! anything that parses bytes off a socket or JSON off stdin — must be
+//! *total*: `unwrap`/`expect`, the `panic!` macro family, and slice
+//! indexing are all violations there, because a malformed datagram must
+//! produce an `Err`, never abort the process. The escape hatch is an
+//! explicit, reviewable justification:
+//! `// audit:allow(panic) -- <reason>`.
+//!
+//! Untagged library code is not panic-free, but it ratchets: the
+//! workspace-wide count of panic-capable tokens (unit tests excluded) is
+//! checked against `audit/panic.baseline.toml` and may only shrink.
+
+use std::collections::BTreeMap;
+
+use crate::{lexer, Diagnostic, Options, Outcome, Section, Workspace};
+
+/// Baseline file, relative to the workspace root.
+pub const BASELINE_PATH: &str = "audit/panic.baseline.toml";
+
+const LINT: &str = "panic-lint";
+
+/// Method calls that panic on the unhappy path.
+const PANIC_METHODS: [&str; 4] = [".unwrap()", ".unwrap_err()", ".expect(", ".expect_err("];
+
+/// Macros that abort (keyword + `!`).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the panic lint over the scanned workspace.
+pub fn run(ws: &Workspace, opts: &Options) -> Result<Outcome, String> {
+    let mut out = Outcome::default();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tagged_files = 0usize;
+
+    for file in &ws.files {
+        if file.section != Section::Lib {
+            continue;
+        }
+        let deny = file.denies_panic();
+        if deny {
+            tagged_files += 1;
+        }
+        let count = counts.entry(file.crate_name.clone()).or_default();
+        for (idx, line) in file.lines.iter().enumerate().take(file.test_cutoff) {
+            let mut hits: Vec<String> = Vec::new();
+            for m in PANIC_METHODS {
+                for _ in 0..line.code.matches(m).count() {
+                    hits.push(m.trim_end_matches('(').to_string());
+                }
+            }
+            for name in PANIC_MACROS {
+                for off in lexer::keyword_offsets(&line.code, name) {
+                    if line.code[off + name.len()..].starts_with('!') {
+                        hits.push(format!("{name}!"));
+                    }
+                }
+            }
+            *count += hits.len() as u64;
+            if deny {
+                for off in index_offsets(&line.code) {
+                    let ctx: String = line.code[..off].chars().rev().take(20).collect();
+                    hits.push(format!(
+                        "slice indexing (…{})",
+                        ctx.chars().rev().collect::<String>().trim_start()
+                    ));
+                }
+                for what in hits {
+                    if !file.allows(idx, "panic") {
+                        out.diagnostics.push(Diagnostic {
+                            file: file.rel_path.clone(),
+                            line: idx + 1,
+                            lint: LINT,
+                            message: format!(
+                                "{what} in a `deny(panic)` module — wire-facing code must \
+                                 be total; return a typed error, use `.get(..)`, or \
+                                 justify with `// audit:allow(panic) -- <reason>`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let total: u64 = counts.values().sum();
+    super::unsafe_audit::ratchet(
+        ws,
+        opts,
+        BASELINE_PATH,
+        "panic",
+        &counts,
+        total,
+        LINT,
+        &mut out,
+    )?;
+    out.notes.push(format!(
+        "{total} panic-capable tokens in non-test library code; \
+         {tagged_files} modules tagged deny(panic)"
+    ));
+    Ok(out)
+}
+
+/// Keywords that may legitimately precede a `[` starting an array
+/// *expression* (not an index).
+const NON_INDEX_KEYWORDS: [&str; 16] = [
+    "return", "break", "in", "if", "else", "match", "let", "mut", "ref", "move", "as", "box",
+    "yield", "await", "dyn", "where",
+];
+
+/// Offsets of `[` tokens that look like index/slice expressions: the
+/// previous non-space character ends an expression (identifier, `)`, or
+/// `]`), and the preceding word is not a keyword.
+pub(crate) fn index_offsets(code: &str) -> Vec<usize> {
+    let bytes: Vec<char> = code.chars().collect();
+    let mut hits = Vec::new();
+    for (i, &c) in bytes.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && bytes[j - 1] == ' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = bytes[j - 1];
+        if prev == ')' || prev == ']' {
+            hits.push(i);
+            continue;
+        }
+        if lexer::is_ident_char(prev) {
+            let mut k = j;
+            while k > 0 && lexer::is_ident_char(bytes[k - 1]) {
+                k -= 1;
+            }
+            // A lifetime (`&'a [u8]`) is type syntax, not an index base.
+            if k > 0 && bytes[k - 1] == '\'' {
+                continue;
+            }
+            let word: String = bytes[k..j].iter().collect();
+            if !NON_INDEX_KEYWORDS.contains(&word.as_str()) {
+                hits.push(i);
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_detection() {
+        assert_eq!(index_offsets("let x = data[0];").len(), 1);
+        assert_eq!(index_offsets("let x = &data[4..8];").len(), 1);
+        assert_eq!(index_offsets("f(a)[1]").len(), 1);
+        assert!(index_offsets("let t: [u8; 3] = x;").is_empty());
+        assert!(index_offsets("return [1, 2];").is_empty());
+        assert!(index_offsets("vec![0; 4]").is_empty());
+        assert!(index_offsets("#[derive(Debug)]").is_empty());
+        assert!(index_offsets("match x { [a, b] => a }").is_empty());
+        assert!(index_offsets("fn take(&mut self) -> &'a [u8] {").is_empty());
+    }
+}

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! Partial sweep results: what workers stream and hosts ship.
 
 use fec_sim::CellAccum;

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! [`SweepPlan`] — the serializable contract every shard executes against.
 
 use fec_sim::{Experiment, GridSweep, SweepConfig, WorkUnit, DEFAULT_RUNS_PER_UNIT};
@@ -94,6 +96,8 @@ impl SweepPlan {
     /// canonical JSON serialization). Partial results carry it so a merge
     /// can refuse units computed against a different plan.
     pub fn fingerprint(&self) -> u64 {
+        // audit:allow(panic) -- serialising our own in-memory plan cannot
+        // fail; only network-received bytes must parse totally.
         let json = self.to_json().expect("plan serializes");
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! Complete ALC/LCT datagrams (RFC 3450 shape).
 //!
 //! An ALC packet is an LCT header (whose codepoint carries the FEC
@@ -131,7 +133,11 @@ impl AlcPacket {
     /// Parses a datagram.
     pub fn from_bytes(data: &[u8]) -> Result<AlcPacket, FluteError> {
         let (header, header_len) = LctHeader::parse(data)?;
-        let rest = &data[header_len..];
+        let rest = data.get(header_len..).ok_or(FluteError::Truncated {
+            what: "ALC payload",
+            needed: header_len,
+            got: data.len(),
+        })?;
         if header.toi == FDT_TOI {
             return Ok(AlcPacket {
                 header,
@@ -141,10 +147,15 @@ impl AlcPacket {
         }
         let format = PayloadIdFormat::for_fti(header.codepoint)?;
         let (payload_id, id_len) = FecPayloadId::from_bytes(rest, format)?;
+        let payload = rest.get(id_len..).ok_or(FluteError::Truncated {
+            what: "ALC payload",
+            needed: id_len,
+            got: rest.len(),
+        })?;
         Ok(AlcPacket {
             header,
             payload_id: Some(payload_id),
-            payload: Bytes::copy_from_slice(&rest[id_len..]),
+            payload: Bytes::copy_from_slice(payload),
         })
     }
 }

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! Receiver-side digest batching.
 //!
 //! A [`ReportEmitter`] rides along the receive path (enable it with

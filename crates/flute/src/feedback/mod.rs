@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! The live reception-report feedback channel.
 //!
 //! The paper's delivery stack is feedback-free by design — reliability

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! Sender-side digest ingestion: the glue between the return channel and
 //! the adaptive controller.
 //!

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! The reception-report digest wire format.
 //!
 //! One digest is a single small UDP datagram (RTCP receiver-report style):
@@ -42,6 +44,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::reader::Reader;
 use crate::FluteError;
 
 /// EXT_SEQ sequence numbers live in 24 bits and wrap at this modulus.
@@ -191,31 +194,27 @@ impl ReceptionReport {
 
     /// Parses a digest datagram.
     pub fn from_bytes(data: &[u8]) -> Result<ReceptionReport, FluteError> {
-        if data.len() < REPORT_HEADER_LEN {
-            return Err(FluteError::Truncated {
-                what: "reception report header",
-                needed: REPORT_HEADER_LEN,
-                got: data.len(),
-            });
-        }
-        if data[0..4] != REPORT_MAGIC {
+        let mut r = Reader::new(data, "reception report header");
+        if r.array::<4>()? != REPORT_MAGIC {
             return Err(FluteError::Malformed {
                 reason: "reception report magic mismatch".into(),
             });
         }
-        if data[4] != REPORT_VERSION {
+        let version = r.u8()?;
+        if version != REPORT_VERSION {
             return Err(FluteError::Unsupported {
-                reason: format!("reception report version {}", data[4]),
+                reason: format!("reception report version {version}"),
             });
         }
-        let flags = data[5];
+        let flags = r.u8()?;
         if flags & !(FLAG_SESSION_COMPLETE | FLAG_HAS_HIGHEST_SEQ | FLAG_TRUNCATED) != 0 {
             return Err(FluteError::Unsupported {
                 reason: format!("reception report flags {flags:#04x}"),
             });
         }
-        let entry_count = u16::from_be_bytes([data[6], data[7]]) as usize;
-        let run_count = u16::from_be_bytes([data[8], data[9]]) as usize;
+        let entry_count = r.u16_be()? as usize;
+        let run_count = r.u16_be()? as usize;
+        let _reserved = r.u16_be()?;
         let expected =
             REPORT_HEADER_LEN + entry_count * REPORT_ENTRY_LEN + run_count * REPORT_RUN_LEN;
         if data.len() != expected {
@@ -225,10 +224,9 @@ impl ReceptionReport {
                 got: data.len(),
             });
         }
-        let u32_at = |off: usize| u32::from_be_bytes(data[off..off + 4].try_into().expect("4"));
-        let tsi = u32_at(12);
-        let report_seq = u32_at(16);
-        let highest_raw = u32_at(20);
+        let tsi = r.u32_be()?;
+        let report_seq = r.u32_be()?;
+        let highest_raw = r.u32_be()?;
         let highest_seq = if flags & FLAG_HAS_HIGHEST_SEQ != 0 {
             if highest_raw >= SEQ_MODULUS {
                 return Err(FluteError::Malformed {
@@ -241,25 +239,27 @@ impl ReceptionReport {
         };
 
         let mut entries = Vec::with_capacity(entry_count);
-        let mut off = REPORT_HEADER_LEN;
         for _ in 0..entry_count {
-            let status = data[off + 12];
+            let toi = r.u32_be()?;
+            let received = r.u32_be()?;
+            let lost = r.u32_be()?;
+            let status = r.u8()?;
+            let _pad = r.take(3)?;
             if status & !STATUS_COMPLETE != 0 {
                 return Err(FluteError::Unsupported {
                     reason: format!("reception report entry status {status:#04x}"),
                 });
             }
             entries.push(ReportEntry {
-                toi: u32_at(off),
-                received: u32_at(off + 4),
-                lost: u32_at(off + 8),
+                toi,
+                received,
+                lost,
                 complete: status & STATUS_COMPLETE != 0,
             });
-            off += REPORT_ENTRY_LEN;
         }
         let mut runs = Vec::with_capacity(run_count);
         for _ in 0..run_count {
-            let word = u32_at(off);
+            let word = r.u32_be()?;
             let len = word & !RUN_LOST_BIT;
             if len == 0 {
                 return Err(FluteError::Malformed {
@@ -270,7 +270,6 @@ impl ReceptionReport {
                 lost: word & RUN_LOST_BIT != 0,
                 len,
             });
-            off += REPORT_RUN_LEN;
         }
         Ok(ReceptionReport {
             tsi,

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! FEC Object Transmission Information (the EXT_FTI content, RFC 3452 §5).
 //!
 //! The OTI is everything a receiver needs to instantiate the right decoder
@@ -33,6 +35,7 @@
 use fec_codec::{registry, CodecHandle};
 use fec_core::{CodeSpec, ExpansionRatio};
 
+use crate::reader::Reader;
 use crate::FluteError;
 
 /// Resolves an FEC Encoding ID (LCT codepoint) to a registered codec.
@@ -119,6 +122,9 @@ impl ObjectTransmissionInfo {
     /// Never for OTIs built by this crate: construction and parsing both
     /// guarantee the code carries a codepoint.
     pub fn fti_id(&self) -> u8 {
+        // audit:allow(panic) -- invariant, not input-reachable: both
+        // `from_spec` (via `fti_for_code`) and `from_bytes` (via
+        // `code_for_fti`) refuse codes without a registered encoding ID.
         self.code.fti_id().expect("OTI codes carry an FTI id")
     }
 
@@ -175,7 +181,8 @@ impl ObjectTransmissionInfo {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(SEEDED_LEN);
         out.push(self.fti_id());
-        out.extend_from_slice(&self.transfer_length.to_be_bytes()[2..]); // 48 bits
+        let [_, _, tl @ ..] = self.transfer_length.to_be_bytes();
+        out.extend_from_slice(&tl); // 48 bits
         out.extend_from_slice(&self.symbol_size.to_be_bytes());
         out.extend_from_slice(&self.k.to_be_bytes());
         out.extend_from_slice(&self.n.to_be_bytes());
@@ -188,14 +195,8 @@ impl ObjectTransmissionInfo {
     /// Parses an OTI blob (tolerates trailing zero padding from the 32-bit
     /// aligned EXT_FTI carrier).
     pub fn from_bytes(data: &[u8]) -> Result<ObjectTransmissionInfo, FluteError> {
-        if data.is_empty() {
-            return Err(FluteError::Truncated {
-                what: "FEC OTI",
-                needed: BASE_LEN,
-                got: 0,
-            });
-        }
-        let code = code_for_fti(data[0])?;
+        let mut r = Reader::new(data, "FEC OTI");
+        let code = code_for_fti(r.u8()?)?;
         let needed = if code.uses_matrix_seed() {
             SEEDED_LEN
         } else {
@@ -208,24 +209,22 @@ impl ObjectTransmissionInfo {
                 got: data.len(),
             });
         }
-        let mut tl = [0u8; 8];
-        tl[2..].copy_from_slice(&data[1..7]);
-        let transfer_length = u64::from_be_bytes(tl);
+        let transfer_length = r.u48_be()?;
         if transfer_length == 0 {
             return Err(FluteError::Malformed {
                 reason: "OTI with zero transfer length".into(),
             });
         }
-        let symbol_size = u16::from_be_bytes(data[7..9].try_into().expect("2 bytes"));
+        let symbol_size = r.u16_be()?;
         if symbol_size == 0 {
             return Err(FluteError::Malformed {
                 reason: "OTI with zero symbol size".into(),
             });
         }
-        let k = u32::from_be_bytes(data[9..13].try_into().expect("4 bytes"));
-        let n = u32::from_be_bytes(data[13..17].try_into().expect("4 bytes"));
+        let k = r.u32_be()?;
+        let n = r.u32_be()?;
         let matrix_seed = if code.uses_matrix_seed() {
-            u64::from_be_bytes(data[17..25].try_into().expect("8 bytes"))
+            r.u64_be()?
         } else {
             0
         };

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! LCT header building blocks (RFC 3451 shape).
 //!
 //! Every ALC packet starts with an LCT header:
@@ -25,6 +27,7 @@
 //! instead of guessing. `HDR_LEN` is counted in 32-bit words, as in the
 //! RFC, so the fixed part is 4 words.
 
+use crate::reader::Reader;
 use crate::FluteError;
 
 /// Protocol version carried in the `V` field.
@@ -93,10 +96,10 @@ impl HeaderExtension {
         assert!(instance_id < (1 << 20), "FDT instance ID is 20 bits");
         assert!(version < 16, "FLUTE version is 4 bits");
         let packed = ((version as u32) << 20) | instance_id;
-        let b = packed.to_be_bytes();
+        let [_, b1, b2, b3] = packed.to_be_bytes();
         HeaderExtension::Fixed {
             het: HET_FDT,
-            data: [b[1], b[2], b[3]],
+            data: [b1, b2, b3],
         }
     }
 
@@ -107,10 +110,10 @@ impl HeaderExtension {
     /// [`SEQ_MODULUS`](crate::feedback::SEQ_MODULUS)).
     pub fn seq(seq: u32) -> HeaderExtension {
         assert!(seq < (1 << 24), "EXT_SEQ carries 24 bits");
-        let b = seq.to_be_bytes();
+        let [_, b1, b2, b3] = seq.to_be_bytes();
         HeaderExtension::Fixed {
             het: HET_SEQ,
-            data: [b[1], b[2], b[3]],
+            data: [b1, b2, b3],
         }
     }
 
@@ -118,7 +121,8 @@ impl HeaderExtension {
     pub fn as_seq(&self) -> Option<u32> {
         match self {
             HeaderExtension::Fixed { het, data } if *het == HET_SEQ => {
-                Some(u32::from_be_bytes([0, data[0], data[1], data[2]]))
+                let [b1, b2, b3] = *data;
+                Some(u32::from_be_bytes([0, b1, b2, b3]))
             }
             _ => None,
         }
@@ -135,7 +139,8 @@ impl HeaderExtension {
     pub fn as_fdt(&self) -> Option<(u8, u32)> {
         match self {
             HeaderExtension::Fixed { het, data } if *het == HET_FDT => {
-                let packed = u32::from_be_bytes([0, data[0], data[1], data[2]]);
+                let [b1, b2, b3] = *data;
+                let packed = u32::from_be_bytes([0, b1, b2, b3]);
                 Some(((packed >> 20) as u8, packed & 0xF_FFFF))
             }
             _ => None,
@@ -290,15 +295,9 @@ impl LctHeader {
     /// Parses a header from the front of `data`; returns the header and its
     /// wire length (offset of the payload).
     pub fn parse(data: &[u8]) -> Result<(LctHeader, usize), FluteError> {
-        if data.len() < FIXED_LEN {
-            return Err(FluteError::Truncated {
-                what: "LCT header",
-                needed: FIXED_LEN,
-                got: data.len(),
-            });
-        }
-        let b0 = data[0];
-        let b1 = data[1];
+        let mut r = Reader::new(data, "LCT header");
+        let b0 = r.u8()?;
+        let b1 = r.u8()?;
         let version = b0 >> 4;
         if version != LCT_VERSION {
             return Err(FluteError::Unsupported {
@@ -321,8 +320,8 @@ impl LctHeader {
         }
         let close_session = (b1 >> 1) & 1 == 1;
         let close_object = b1 & 1 == 1;
-        let hdr_len = data[2] as usize * 4;
-        let codepoint = data[3];
+        let hdr_len = r.u8()? as usize * 4;
+        let codepoint = r.u8()?;
         if hdr_len < FIXED_LEN {
             return Err(FluteError::Malformed {
                 reason: format!("HDR_LEN {hdr_len} below fixed header size"),
@@ -336,53 +335,51 @@ impl LctHeader {
             });
         }
         // CCI must be zero in this implementation's shape.
-        let cci = u32::from_be_bytes(data[4..8].try_into().expect("4 bytes"));
+        let cci = r.u32_be()?;
         if cci != 0 {
             return Err(FluteError::Unsupported {
                 reason: format!("nonzero CCI {cci}"),
             });
         }
-        let tsi = u32::from_be_bytes(data[8..12].try_into().expect("4 bytes"));
-        let toi = u32::from_be_bytes(data[12..16].try_into().expect("4 bytes"));
+        let tsi = r.u32_be()?;
+        let toi = r.u32_be()?;
 
         let mut extensions = Vec::new();
-        let mut off = FIXED_LEN;
-        while off < hdr_len {
-            let het = data[off];
+        while r.pos() < hdr_len {
+            let het = r.u8()?;
             if het >= 128 {
-                if hdr_len - off < 4 {
+                if hdr_len - r.pos() < 3 {
                     return Err(FluteError::Malformed {
                         reason: "fixed extension spills past HDR_LEN".into(),
                     });
                 }
                 extensions.push(HeaderExtension::Fixed {
                     het,
-                    data: [data[off + 1], data[off + 2], data[off + 3]],
+                    data: r.array::<3>()?,
                 });
-                off += 4;
             } else {
-                if hdr_len - off < 2 {
+                if hdr_len - r.pos() < 1 {
                     return Err(FluteError::Malformed {
                         reason: "variable extension header spills past HDR_LEN".into(),
                     });
                 }
-                let words = data[off + 1] as usize;
+                let words = r.u8()? as usize;
                 if words == 0 {
                     return Err(FluteError::Malformed {
                         reason: "variable extension with HEL = 0".into(),
                     });
                 }
                 let len = words * 4;
-                if off + len > hdr_len {
+                // HET and HEL account for 2 of the extension's `len` bytes.
+                if hdr_len - r.pos() < len - 2 {
                     return Err(FluteError::Malformed {
                         reason: format!("extension of {len} bytes spills past HDR_LEN"),
                     });
                 }
                 extensions.push(HeaderExtension::Variable {
                     het,
-                    data: data[off + 2..off + len].to_vec(),
+                    data: r.take(len - 2)?.to_vec(),
                 });
-                off += len;
             }
         }
         Ok((

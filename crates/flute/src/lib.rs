@@ -59,6 +59,7 @@ pub mod fti;
 pub mod lct;
 mod metrics;
 pub mod payload_id;
+mod reader;
 mod session;
 
 pub use alc::AlcPacket;

@@ -1,3 +1,5 @@
+//! fec-audit: deny(panic)
+//!
 //! FEC Payload IDs (RFC 3452 shape, per-codepoint layouts).
 //!
 //! The FEC Payload ID sits between the LCT header and the encoding symbol
@@ -23,6 +25,7 @@
 use fec_codec::CodecHandle;
 
 use crate::fti::code_for_fti;
+use crate::reader::Reader;
 use crate::FluteError;
 
 /// Which of the two 4-byte payload-ID layouts a codec uses.
@@ -86,10 +89,9 @@ impl FecPayloadId {
                 let esi = u16::try_from(self.esi).map_err(|_| FluteError::Malformed {
                     reason: format!("ESI {} exceeds 16 bits", self.esi),
                 })?;
-                let mut out = [0u8; 4];
-                out[..2].copy_from_slice(&sbn.to_be_bytes());
-                out[2..].copy_from_slice(&esi.to_be_bytes());
-                Ok(out)
+                let [s0, s1] = sbn.to_be_bytes();
+                let [e0, e1] = esi.to_be_bytes();
+                Ok([s0, s1, e0, e1])
             }
             PayloadIdFormat::LargeBlock => {
                 if self.sbn > MAX_LARGE_BLOCK_SBN {
@@ -112,14 +114,7 @@ impl FecPayloadId {
         data: &[u8],
         format: PayloadIdFormat,
     ) -> Result<(FecPayloadId, usize), FluteError> {
-        if data.len() < PAYLOAD_ID_LEN {
-            return Err(FluteError::Truncated {
-                what: "FEC payload ID",
-                needed: PAYLOAD_ID_LEN,
-                got: data.len(),
-            });
-        }
-        let word = u32::from_be_bytes(data[..4].try_into().expect("4 bytes"));
+        let word = Reader::new(data, "FEC payload ID").u32_be()?;
         let id = match format {
             PayloadIdFormat::SmallBlock => FecPayloadId {
                 sbn: word >> 16,

@@ -1,0 +1,128 @@
+//! fec-audit: deny(panic)
+//! A bounds-checked big-endian cursor over a wire buffer.
+//!
+//! Every datagram parser in this crate (LCT header, FEC OTI, reception
+//! reports, ALC framing) reads through [`Reader`] instead of indexing the
+//! byte slice directly: a short buffer yields [`FluteError::Truncated`]
+//! with the exact byte counts, never a panic. This is what lets those
+//! modules carry the `fec-audit: deny(panic)` tag — the only bounds logic
+//! they need is `take`, and `take` is total.
+
+use crate::FluteError;
+
+/// A forward-only cursor over `data` that fails with
+/// [`FluteError::Truncated`] instead of panicking on over-read.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    /// Label used in `Truncated { what }` diagnostics.
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `data`; `what` names the structure being
+    /// parsed in error messages.
+    pub(crate) fn new(data: &'a [u8], what: &'static str) -> Reader<'a> {
+        Reader { data, pos: 0, what }
+    }
+
+    /// Bytes consumed so far.
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Takes the next `n` bytes, or fails with the total length the buffer
+    /// would have needed.
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], FluteError> {
+        let end = self.pos.checked_add(n).ok_or(FluteError::Truncated {
+            what: self.what,
+            needed: usize::MAX,
+            got: self.data.len(),
+        })?;
+        match self.data.get(self.pos..end) {
+            Some(bytes) => {
+                self.pos = end;
+                Ok(bytes)
+            }
+            None => Err(FluteError::Truncated {
+                what: self.what,
+                needed: end,
+                got: self.data.len(),
+            }),
+        }
+    }
+
+    /// Takes exactly `N` bytes as an array.
+    pub(crate) fn array<const N: usize>(&mut self) -> Result<[u8; N], FluteError> {
+        let bytes = self.take(N)?;
+        let mut out = [0u8; N];
+        // Lengths match by construction: `take(N)` returned exactly N bytes.
+        out.copy_from_slice(bytes);
+        Ok(out)
+    }
+
+    /// Next byte.
+    pub(crate) fn u8(&mut self) -> Result<u8, FluteError> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    /// Next big-endian u16.
+    pub(crate) fn u16_be(&mut self) -> Result<u16, FluteError> {
+        Ok(u16::from_be_bytes(self.array()?))
+    }
+
+    /// Next big-endian u32.
+    pub(crate) fn u32_be(&mut self) -> Result<u32, FluteError> {
+        Ok(u32::from_be_bytes(self.array()?))
+    }
+
+    /// Next big-endian u64.
+    pub(crate) fn u64_be(&mut self) -> Result<u64, FluteError> {
+        Ok(u64::from_be_bytes(self.array()?))
+    }
+
+    /// Next big-endian 48-bit integer, widened to u64.
+    pub(crate) fn u48_be(&mut self) -> Result<u64, FluteError> {
+        let [a, b, c, d, e, f] = self.array::<6>()?;
+        Ok(u64::from_be_bytes([0, 0, a, b, c, d, e, f]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_order() {
+        let buf = [1, 0, 2, 0, 0, 0, 3, 0xAA, 0xBB];
+        let mut r = Reader::new(&buf, "test");
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.u16_be().unwrap(), 2);
+        assert_eq!(r.u32_be().unwrap(), 3);
+        assert_eq!(r.take(2).unwrap(), &[0xAA, 0xBB]);
+        assert_eq!(r.pos(), 9);
+    }
+
+    #[test]
+    fn over_read_is_truncated_not_panic() {
+        let mut r = Reader::new(&[1, 2], "thing");
+        assert_eq!(r.u8().unwrap(), 1);
+        match r.u32_be() {
+            Err(FluteError::Truncated { what, needed, got }) => {
+                assert_eq!(what, "thing");
+                assert_eq!(needed, 5);
+                assert_eq!(got, 2);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // The failed read did not consume anything.
+        assert_eq!(r.u8().unwrap(), 2);
+    }
+
+    #[test]
+    fn u48_widens() {
+        let mut r = Reader::new(&[0, 0, 0, 0x1E, 0xB9, 0x00], "tl");
+        assert_eq!(r.u48_be().unwrap(), 0x1EB900);
+    }
+}

@@ -38,6 +38,9 @@ fn xor_neon(dst: &mut [u8], src: &[u8]) {
     unsafe { xor_neon_impl(dst, src) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `neon`; `dst` and
+/// `src` must have equal lengths (the `Kernels` wrappers assert this).
 #[target_feature(enable = "neon")]
 unsafe fn xor_neon_impl(dst: &mut [u8], src: &[u8]) {
     let n = dst.len() / 16 * 16;
@@ -64,6 +67,9 @@ fn xor_many_neon(dst: &mut [u8], srcs: &[&[u8]]) {
     unsafe { xor_many_neon_impl(dst, srcs) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `neon`; every
+/// source must have `dst`'s length (asserted by `Kernels::xor_acc_many`).
 #[target_feature(enable = "neon")]
 unsafe fn xor_many_neon_impl(dst: &mut [u8], srcs: &[&[u8]]) {
     let n = dst.len() / 16 * 16;
@@ -108,6 +114,9 @@ fn addmul_neon(dst: &mut [u8], src: &[u8], c: u8) {
     unsafe { addmul_neon_impl(dst, src, c) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `neon`; `dst` and
+/// `src` must have equal lengths (the `Kernels` wrappers assert this).
 #[target_feature(enable = "neon")]
 unsafe fn addmul_neon_impl(dst: &mut [u8], src: &[u8], c: u8) {
     let tab = MUL_NIBBLES[c as usize].as_ptr();
@@ -135,6 +144,8 @@ fn mul_neon(dst: &mut [u8], c: u8) {
     unsafe { mul_neon_impl(dst, c) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `neon`.
 #[target_feature(enable = "neon")]
 unsafe fn mul_neon_impl(dst: &mut [u8], c: u8) {
     let tab = MUL_NIBBLES[c as usize].as_ptr();
@@ -162,6 +173,10 @@ fn addmul_many_neon(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
     unsafe { addmul_many_neon_impl(dst, srcs, coeffs) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `neon`; every
+/// source must have `dst`'s length and `coeffs` must have `srcs`'s
+/// length (asserted by `Kernels::addmul_acc_many`).
 #[target_feature(enable = "neon")]
 unsafe fn addmul_many_neon_impl(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
     let n = dst.len() / 64 * 64;

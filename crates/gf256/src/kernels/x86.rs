@@ -77,6 +77,9 @@ fn xor_128(dst: &mut [u8], src: &[u8]) {
     unsafe { xor_128_impl(dst, src) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `sse2`; `dst` and
+/// `src` must have equal lengths (the `Kernels` wrappers assert this).
 #[target_feature(enable = "sse2")]
 unsafe fn xor_128_impl(dst: &mut [u8], src: &[u8]) {
     debug_assert_eq!(dst.len(), src.len());
@@ -104,6 +107,9 @@ fn xor_many_128(dst: &mut [u8], srcs: &[&[u8]]) {
     unsafe { xor_many_128_impl(dst, srcs) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `sse2`; every
+/// source must have `dst`'s length (asserted by `Kernels::xor_acc_many`).
 #[target_feature(enable = "sse2")]
 unsafe fn xor_many_128_impl(dst: &mut [u8], srcs: &[&[u8]]) {
     let n = dst.len() / 16 * 16;
@@ -149,6 +155,9 @@ fn addmul_ssse3(dst: &mut [u8], src: &[u8], c: u8) {
     unsafe { addmul_ssse3_impl(dst, src, c) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `ssse3`; `dst` and
+/// `src` must have equal lengths (the `Kernels` wrappers assert this).
 #[target_feature(enable = "ssse3")]
 unsafe fn addmul_ssse3_impl(dst: &mut [u8], src: &[u8], c: u8) {
     let tab = MUL_NIBBLES[c as usize].as_ptr();
@@ -177,6 +186,8 @@ fn mul_ssse3(dst: &mut [u8], c: u8) {
     unsafe { mul_ssse3_impl(dst, c) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `ssse3`.
 #[target_feature(enable = "ssse3")]
 unsafe fn mul_ssse3_impl(dst: &mut [u8], c: u8) {
     let tab = MUL_NIBBLES[c as usize].as_ptr();
@@ -205,6 +216,10 @@ fn addmul_many_ssse3(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
     unsafe { addmul_many_ssse3_impl(dst, srcs, coeffs) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `ssse3`; every
+/// source must have `dst`'s length and `coeffs` must have `srcs`'s
+/// length (asserted by `Kernels::addmul_acc_many`).
 #[target_feature(enable = "ssse3")]
 unsafe fn addmul_many_ssse3_impl(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
     let n = dst.len() / 64 * 64;
@@ -271,6 +286,9 @@ fn xor_avx2(dst: &mut [u8], src: &[u8]) {
     unsafe { xor_avx2_impl(dst, src) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `avx2`; `dst` and
+/// `src` must have equal lengths (the `Kernels` wrappers assert this).
 #[target_feature(enable = "avx2")]
 unsafe fn xor_avx2_impl(dst: &mut [u8], src: &[u8]) {
     let n = dst.len() / 32 * 32;
@@ -296,6 +314,9 @@ fn xor_many_avx2(dst: &mut [u8], srcs: &[&[u8]]) {
     unsafe { xor_many_avx2_impl(dst, srcs) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `avx2`; every
+/// source must have `dst`'s length (asserted by `Kernels::xor_acc_many`).
 #[target_feature(enable = "avx2")]
 unsafe fn xor_many_avx2_impl(dst: &mut [u8], srcs: &[&[u8]]) {
     let n = dst.len() / 32 * 32;
@@ -357,6 +378,9 @@ fn addmul_avx2(dst: &mut [u8], src: &[u8], c: u8) {
     unsafe { addmul_avx2_impl(dst, src, c) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `avx2`; `dst` and
+/// `src` must have equal lengths (the `Kernels` wrappers assert this).
 #[target_feature(enable = "avx2")]
 unsafe fn addmul_avx2_impl(dst: &mut [u8], src: &[u8], c: u8) {
     let n = dst.len() / 32 * 32;
@@ -383,6 +407,8 @@ fn mul_avx2(dst: &mut [u8], c: u8) {
     unsafe { mul_avx2_impl(dst, c) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `avx2`.
 #[target_feature(enable = "avx2")]
 unsafe fn mul_avx2_impl(dst: &mut [u8], c: u8) {
     let n = dst.len() / 32 * 32;
@@ -409,6 +435,10 @@ fn addmul_many_avx2(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
     unsafe { addmul_many_avx2_impl(dst, srcs, coeffs) }
 }
 
+/// # Safety
+/// Caller must be compiled with (and the CPU support) `avx2`; every
+/// source must have `dst`'s length and `coeffs` must have `srcs`'s
+/// length (asserted by `Kernels::addmul_acc_many`).
 #[target_feature(enable = "avx2")]
 unsafe fn addmul_many_avx2_impl(dst: &mut [u8], srcs: &[&[u8]], coeffs: &[u8]) {
     let n = dst.len() / 64 * 64;

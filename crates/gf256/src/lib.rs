@@ -33,6 +33,7 @@
 //! the scalar reference (`tests/kernel_props.rs`).
 
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 mod field;

@@ -43,12 +43,16 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.0 {
+            // audit:allow(relaxed) -- single independent cell, monotone RMW;
+            // scrapes are statistical snapshots with no cross-cell invariant.
             cell.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Current value (0 for inert handles).
     pub fn get(&self) -> u64 {
+        // audit:allow(relaxed) -- reads one monotone cell; the value is a
+        // point-in-time sample, not a synchronisation signal.
         self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
 }
@@ -67,12 +71,15 @@ impl Gauge {
     #[inline]
     pub fn set(&self, value: f64) {
         if let Some(cell) = &self.0 {
+            // audit:allow(relaxed) -- last-write-wins on a single cell; the
+            // bits are a complete f64, so no torn read is observable.
             cell.store(value.to_bits(), Ordering::Relaxed);
         }
     }
 
     /// Current value (0.0 for inert handles).
     pub fn get(&self) -> f64 {
+        // audit:allow(relaxed) -- point-in-time sample of one cell.
         self.0
             .as_ref()
             .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
@@ -114,16 +121,23 @@ impl Histogram {
             .iter()
             .position(|&b| value <= b)
             .unwrap_or(cells.bounds.len());
+        // audit:allow(relaxed) -- bucket, count and sum are deliberately
+        // NOT updated atomically as a group: a concurrent scrape may see
+        // count ahead of the bucket row (documented in render_prometheus).
+        // Each cell on its own is a monotone counter, so Relaxed suffices.
         cells.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        cells.count.fetch_add(1, Ordering::Relaxed);
-        let mut current = cells.sum_bits.load(Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed); // audit:allow(relaxed) -- see above
+        let mut current = cells.sum_bits.load(Ordering::Relaxed); // audit:allow(relaxed) -- CAS retry loop re-reads
         loop {
             let next = (f64::from_bits(current) + value).to_bits();
             match cells.sum_bits.compare_exchange_weak(
                 current,
                 next,
+                // audit:allow(relaxed) -- the loop only publishes the sum
+                // bits themselves; failure re-reads, success needs no
+                // release because no other data is guarded by this cell.
                 Ordering::Relaxed,
-                Ordering::Relaxed,
+                Ordering::Relaxed, // audit:allow(relaxed) -- see above
             ) {
                 Ok(_) => break,
                 Err(seen) => current = seen,
@@ -133,6 +147,7 @@ impl Histogram {
 
     /// Total observations (0 for inert handles).
     pub fn count(&self) -> u64 {
+        // audit:allow(relaxed) -- point-in-time sample of one cell.
         self.0
             .as_ref()
             .map_or(0, |c| c.count.load(Ordering::Relaxed))
@@ -140,6 +155,7 @@ impl Histogram {
 
     /// Sum of observations (0.0 for inert handles).
     pub fn sum(&self) -> f64 {
+        // audit:allow(relaxed) -- point-in-time sample of one cell.
         self.0
             .as_ref()
             .map_or(0.0, |c| f64::from_bits(c.sum_bits.load(Ordering::Relaxed)))
@@ -414,6 +430,8 @@ fn render_series(out: &mut String, name: &str, series: &Series) {
             out.push_str(name);
             out.push_str(&series.signature);
             out.push(' ');
+            // audit:allow(relaxed) -- exposition samples each cell once; a
+            // scrape racing an update sees either value, both valid.
             out.push_str(&c.load(Ordering::Relaxed).to_string());
             out.push('\n');
         }
@@ -421,12 +439,16 @@ fn render_series(out: &mut String, name: &str, series: &Series) {
             out.push_str(name);
             out.push_str(&series.signature);
             out.push(' ');
+            // audit:allow(relaxed) -- same sampling argument as counters.
             out.push_str(&render_float(f64::from_bits(g.load(Ordering::Relaxed))));
             out.push('\n');
         }
         Cells::Histogram(h) => {
             let mut cumulative = 0u64;
             for (i, bucket) in h.buckets.iter().enumerate() {
+                // audit:allow(relaxed) -- bucket/count/sum may be mutually
+                // skewed by in-flight observe() calls (each cell is exact);
+                // Prometheus tolerates this between scrapes by design.
                 cumulative += bucket.load(Ordering::Relaxed);
                 let le = h
                     .bounds
@@ -444,13 +466,14 @@ fn render_series(out: &mut String, name: &str, series: &Series) {
             out.push_str(&series.signature);
             out.push(' ');
             out.push_str(&render_float(f64::from_bits(
-                h.sum_bits.load(Ordering::Relaxed),
+                h.sum_bits.load(Ordering::Relaxed), // audit:allow(relaxed) -- see bucket note
             )));
             out.push('\n');
             out.push_str(name);
             out.push_str("_count");
             out.push_str(&series.signature);
             out.push(' ');
+            // audit:allow(relaxed) -- see the bucket note above.
             out.push_str(&h.count.load(Ordering::Relaxed).to_string());
             out.push('\n');
         }
