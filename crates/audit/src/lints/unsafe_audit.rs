@@ -17,8 +17,10 @@ use std::fmt::Write as _;
 use crate::baseline::Baseline;
 use crate::{lexer, Diagnostic, Options, Outcome, Workspace};
 
-/// Path prefixes (workspace-relative) where `unsafe` is permitted.
-pub const ALLOWED_MODULES: [&str; 1] = ["crates/gf256/src/kernels/"];
+/// Path prefixes (workspace-relative) where `unsafe` is permitted: the
+/// SIMD kernel backends and the wire engine's raw `sendmmsg`/`recvmmsg`
+/// syscall shim.
+pub const ALLOWED_MODULES: [&str; 2] = ["crates/gf256/src/kernels/", "crates/wire/src/sys.rs"];
 
 /// Baseline file, relative to the workspace root.
 pub const BASELINE_PATH: &str = "audit/unsafe.baseline.toml";
@@ -78,7 +80,8 @@ pub fn run(ws: &Workspace, opts: &Options) -> Result<Outcome, String> {
                 lint: LINT,
                 message: format!(
                     "`unsafe` outside the allowlisted modules ({}); keep unsafe code \
-                     confined to the SIMD kernel backends or extend the allowlist in \
+                     confined to the SIMD kernel backends and the wire syscall shim, \
+                     or extend the allowlist in \
                      crates/audit/src/lints/unsafe_audit.rs with a review",
                     ALLOWED_MODULES.join(", ")
                 ),
@@ -270,8 +273,9 @@ fn render_ledger(sites: &[Site], total: u64) -> String {
     let _ = writeln!(
         out,
         "Every `unsafe` site in the workspace, with its SAFETY justification.\n\
-         Total sites: **{total}**, all confined to the allowlisted SIMD kernel\n\
-         backends (`{}`). The per-crate counts ratchet in\n\
+         Total sites: **{total}**, all confined to the allowlisted modules\n\
+         (`{}`): the SIMD kernel backends and the wire\n\
+         engine's raw syscall shim. The per-crate counts ratchet in\n\
          `{}`.\n",
         ALLOWED_MODULES.join("`, `"),
         BASELINE_PATH

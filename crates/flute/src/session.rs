@@ -680,24 +680,45 @@ impl FluteReceiver {
                 // The FDT may unlock buffered objects; keep arrival order
                 // by flushing the bursts collected so far first.
                 self.flush_pending(&mut pending, &mut events, &mut data_slots)?;
-                let event = self.accept_fdt(&packet)?;
-                events.push(event);
+                match self.accept_fdt(&packet) {
+                    Ok(event) => events.push(event),
+                    // A garbled FDT payload (bad UTF-8, bad XML, missing
+                    // EXT_FDT) is one bad datagram, not a dead session. A
+                    // *conflicting* OTI for an object we are already
+                    // decoding stays session-fatal.
+                    Err(e @ FluteError::Session { .. }) => return Err(e),
+                    Err(_) => events.push(ReceiverEvent::Rejected),
+                }
                 continue;
             }
 
             let toi = packet.header.toi;
+            // EXT_FTI on the packet lets decoding start before any FDT
+            // arrives. A corrupt FTI blob is per-datagram garbage: reject
+            // it before touching object state, keeping the burst alive.
+            let oti_known = self.objects.get(&toi).is_some_and(|s| s.oti.is_some());
+            let fresh_oti = if oti_known {
+                None
+            } else {
+                match packet.fti_blob() {
+                    Some(blob) => match ObjectTransmissionInfo::from_bytes(blob) {
+                        Ok(oti) => Some(oti),
+                        Err(_) => {
+                            events.push(ReceiverEvent::Rejected);
+                            continue;
+                        }
+                    },
+                    None => None,
+                }
+            };
             let state = self.objects.entry(toi).or_insert_with(ObjectState::new);
             if packet.header.close_object {
                 state.closed = true;
             }
             state.packets_received += 1;
-
-            // EXT_FTI on the packet lets decoding start before any FDT
-            // arrives.
-            if state.oti.is_none() {
-                if let Some(blob) = packet.fti_blob() {
-                    state.set_oti(ObjectTransmissionInfo::from_bytes(blob)?)?;
-                }
+            if let Some(oti) = fresh_oti {
+                // Conflicting OTIs (vs an FDT seen earlier) stay fatal.
+                state.set_oti(oti)?;
             }
             let id = packet.payload_id.expect("data packets carry a payload ID");
             match pending.iter_mut().find(|(t, _)| *t == toi) {
@@ -771,7 +792,7 @@ impl FluteReceiver {
     fn accept_fdt(&mut self, packet: &AlcPacket) -> Result<ReceiverEvent, FluteError> {
         let instance_id = packet
             .fdt_instance_id()
-            .ok_or_else(|| FluteError::Session {
+            .ok_or_else(|| FluteError::Malformed {
                 reason: "FDT packet without EXT_FDT".into(),
             })?;
         if let Some(existing) = &self.fdt {
@@ -1113,6 +1134,71 @@ mod tests {
         assert_eq!(receiver.object(1).unwrap(), &data[..]);
         // The scalar path keeps its error contract for the same bytes.
         assert!(receiver.push_datagram(&[0xFF; 7]).is_err());
+    }
+
+    #[test]
+    fn corrupt_fti_blob_rejects_one_datagram_not_the_burst() {
+        let data = object_bytes(600);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut burst = sender.datagrams(4).unwrap();
+        // Forge a data packet whose EXT_FTI blob is garbage: the ALC
+        // framing parses (codepoint borrowed from a real data packet),
+        // the OTI inside does not.
+        let template = AlcPacket::from_bytes(&burst[1]).unwrap();
+        let poison = AlcPacket::data(
+            7,
+            1,
+            template.header.codepoint,
+            FecPayloadId { sbn: 0, esi: 9999 },
+            Bytes::from(vec![0u8; 16]),
+        )
+        .with_fti(vec![0xFF; 3])
+        .to_bytes()
+        .unwrap();
+        // Before the FDT, so the receiver must judge the FTI blob itself.
+        burst.insert(0, poison);
+        let mut receiver = FluteReceiver::new(7);
+        let events = receiver.push_datagrams(&burst).unwrap();
+        assert_eq!(events.len(), burst.len());
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ReceiverEvent::Rejected))
+                .count(),
+            1
+        );
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+    }
+
+    #[test]
+    fn garbled_fdt_payload_rejects_one_datagram_not_the_burst() {
+        let data = object_bytes(600);
+        let sender = session_with_object(&data, TxModel::Random);
+        let mut burst = sender.datagrams(4).unwrap();
+        // Valid ALC framing, EXT_FDT present, but the payload is not XML.
+        let bad_fdt = AlcPacket::fdt(7, 99, Bytes::from(b"\xFF\xFEnot xml".to_vec()))
+            .to_bytes()
+            .unwrap();
+        burst.insert(1, bad_fdt);
+        // And one FDT-TOI packet with no EXT_FDT at all.
+        let no_ext = AlcPacket {
+            header: crate::LctHeader::new(7, FDT_TOI, 0),
+            payload_id: None,
+            payload: Bytes::from(b"<FDT/>".to_vec()),
+        }
+        .to_bytes()
+        .unwrap();
+        burst.insert(3, no_ext);
+        let mut receiver = FluteReceiver::new(7);
+        let events = receiver.push_datagrams(&burst).unwrap();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, ReceiverEvent::Rejected))
+                .count(),
+            2
+        );
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
     }
 
     #[test]

@@ -16,10 +16,13 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use fec_broadcast::channel::analysis::FeasibilityLimit;
+use fec_broadcast::channel::LinkEmulator;
 use fec_broadcast::codec::{registry, CodecHandle};
 use fec_broadcast::distrib;
+use fec_broadcast::live;
 use fec_broadcast::prelude::*;
 use fec_broadcast::sim::report;
+use fec_broadcast::wire::{Backend, BatchReceiver, BatchSender, BufferPool, Pacer, MAX_BURST};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -740,7 +743,7 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
     let ratio = ratio_from(get_f64(opts, "ratio")?.unwrap_or(1.5))?;
     let symbol = get_usize(opts, "symbol", 1024)?;
     let seed = get_usize(opts, "seed", 1)? as u64;
-    let pace = Pace::from_micros(get_usize(opts, "pace", 0)? as u64);
+    let pace = pacer_from_micros(get_usize(opts, "pace", 0)? as u64);
     let injected = channel_from_keys(opts, "loss-p", "loss-q")?;
 
     let object = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -764,30 +767,34 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
 
     let socket = std::net::UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
-    let mut loss = injected.map(|p| GilbertChannel::new(p, seed ^ 0x10c0));
+    let mut wire_tx = BatchSender::connect(socket, resolve_dest(dest)?, Backend::detect(), pace)
+        .map_err(|e| format!("connect {dest}: {e}"))?;
     let mut telemetry = Telemetry::from_opts(opts)?;
+    if telemetry.enabled() {
+        wire_tx.attach_telemetry(&telemetry.registry);
+    }
+    // Opportunistic UDP GSO: the wire format is unchanged (the kernel
+    // segments super-datagrams), so a refusal just means per-datagram sends.
+    if wire_tx.enable_gso().is_ok() {
+        eprintln!("wire: UDP generic segmentation offload active");
+    }
+    let mut sink = WireSink::new(wire_tx, injected, seed);
     let (sent, dropped, summary) = if opts.contains_key("adaptive") {
         send_adaptive(
             opts,
             &session,
-            &socket,
-            dest,
+            &mut sink,
             seed,
             tsi,
-            &mut loss,
-            pace,
             &mut telemetry,
             object.len() as u64,
         )?
     } else {
         send_static(
             &session,
-            &socket,
-            dest,
+            &mut sink,
             seed,
             tsi,
-            &mut loss,
-            pace,
             &telemetry,
             object.len() as u64,
         )?
@@ -808,41 +815,100 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Inter-datagram pacing for the send loops. `--pace <micros>` sleeps
-/// between every datagram, stretching a loopback session from hundreds of
-/// milliseconds to something a metrics scrape (or a human with `curl`)
-/// can observe mid-flight; the default only throttles in bursts, enough
-/// to keep the kernel's UDP buffers from overflowing at full speed.
-#[derive(Clone, Copy)]
-struct Pace {
-    micros: u64,
+/// Maps `--pace <micros>` onto the wire engine's token bucket.
+/// `--pace 1000` stretches a loopback session to something a metrics
+/// scrape (or a human with `curl`) can observe mid-flight. The default
+/// keeps the historical gentle throttle — the old loop napped 300 µs
+/// every 64 datagrams (≈213k datagrams/s), enough to keep a loopback
+/// receiver's kernel queue from overflowing at full blast — while any
+/// explicit value paces at exactly `1e6 / micros` datagrams/s with a
+/// one-syscall burst allowance.
+fn pacer_from_micros(micros: u64) -> Pacer {
+    if micros == 0 {
+        Pacer::rate(213_000.0, MAX_BURST as u32)
+    } else {
+        Pacer::per_datagram_micros(micros)
+    }
 }
 
-impl Pace {
-    fn from_micros(micros: u64) -> Self {
-        Pace { micros }
+/// Resolves `addr:port` to the first usable socket address.
+fn resolve_dest(dest: &str) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    dest.to_socket_addrs()
+        .map_err(|e| format!("resolve {dest}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{dest}: no usable address"))
+}
+
+/// The send-side wire stack: the batched engine, optionally behind a
+/// Gilbert link emulator when `--loss-p/--loss-q` are given. Keeping the
+/// emulator in front of the engine (rather than gating datagram-by-
+/// datagram inside the send loops) means both send commands run the
+/// exact same burst path as a clean session, and drop accounting comes
+/// off the link's [`LinkStats`].
+enum WireSink {
+    Clean(BatchSender),
+    Emulated {
+        link: LinkEmulator,
+        sender: BatchSender,
+    },
+}
+
+impl WireSink {
+    fn new(sender: BatchSender, injected: Option<GilbertParams>, seed: u64) -> WireSink {
+        match injected {
+            None => WireSink::Clean(sender),
+            Some(params) => WireSink::Emulated {
+                // Same loss-process seed the pre-engine loops used, so
+                // a given seed reproduces the same erasure pattern.
+                link: LinkEmulator::new(
+                    Box::new(GilbertChannel::new(params, seed ^ 0x10c0)),
+                    seed ^ 0x10c0,
+                ),
+                sender,
+            },
+        }
     }
 
-    fn tick(&self, sent: u64) {
-        if self.micros > 0 {
-            std::thread::sleep(std::time::Duration::from_micros(self.micros));
-        } else if sent.is_multiple_of(64) {
-            std::thread::sleep(std::time::Duration::from_micros(300));
+    /// Sends one burst; returns `(datagrams delivered, payload bytes)`.
+    /// Injected loss erases datagrams before the wire, so delivered can
+    /// be less than offered — the gap shows up in [`WireSink::dropped`].
+    fn send_burst<D: AsRef<[u8]>>(&mut self, burst: &[D]) -> Result<(u64, u64), String> {
+        match self {
+            WireSink::Clean(sender) => {
+                let refs: Vec<&[u8]> = burst.iter().map(|d| d.as_ref()).collect();
+                let bytes = refs.iter().map(|d| d.len() as u64).sum();
+                let n = sender.send_burst(&refs).map_err(|e| e.to_string())?;
+                Ok((n as u64, bytes))
+            }
+            WireSink::Emulated { link, sender } => {
+                let survivors = link.transmit_batch(burst);
+                let refs: Vec<&[u8]> = survivors.iter().map(|d| d.as_slice()).collect();
+                let bytes = refs.iter().map(|d| d.len() as u64).sum();
+                let n = sender.send_burst(&refs).map_err(|e| e.to_string())?;
+                Ok((n as u64, bytes))
+            }
+        }
+    }
+
+    /// Datagrams the injected loss erased so far.
+    fn dropped(&self) -> u64 {
+        match self {
+            WireSink::Clean(_) => 0,
+            WireSink::Emulated { link, .. } => link.stats().dropped(),
         }
     }
 }
 
-/// The fixed-schedule send loop, instrumented: every datagram bumps the
+/// The fixed-schedule send loop, instrumented: every burst bumps the
 /// session counters so a scrape of `--metrics-addr` shows live progress.
-#[allow(clippy::too_many_arguments)]
+/// The whole schedule rides the batched engine in [`MAX_BURST`]-datagram
+/// syscalls.
 fn send_static(
     session: &fec_broadcast::flute::FluteSender,
-    socket: &std::net::UdpSocket,
-    dest: &str,
+    sink: &mut WireSink,
     seed: u64,
     tsi: u32,
-    loss: &mut Option<GilbertChannel>,
-    pace: Pace,
     telemetry: &Telemetry,
     object_bytes: u64,
 ) -> Result<(u64, u64, Option<SessionSummary>), String> {
@@ -865,19 +931,15 @@ fn send_static(
     let mut summary = SessionSummary::new(tsi as u64);
     summary.object_bytes = object_bytes;
     summary.full_schedule = datagrams.len() as u64;
-    let (mut sent, mut dropped) = (0u64, 0u64);
-    for dg in &datagrams {
-        if loss.as_mut().is_some_and(|ch| ch.next_is_lost()) {
-            dropped += 1;
-            continue;
-        }
-        socket.send_to(dg, dest).map_err(|e| e.to_string())?;
-        sent += 1;
-        datagram_counter.inc();
-        byte_counter.add(dg.len() as u64);
-        summary.bytes_sent += dg.len() as u64;
-        pace.tick(sent);
+    let mut sent = 0u64;
+    for chunk in datagrams.chunks(MAX_BURST) {
+        let (delivered, bytes) = sink.send_burst(chunk)?;
+        sent += delivered;
+        datagram_counter.add(delivered);
+        byte_counter.add(bytes);
+        summary.bytes_sent += bytes;
     }
+    let dropped = sink.dropped();
     summary.datagrams_sent = sent;
     summary.elapsed_secs = started.elapsed().as_secs_f64();
     telemetry.record(Event::SessionEnd {
@@ -889,22 +951,19 @@ fn send_static(
     Ok((sent, dropped, telemetry.enabled().then_some(summary)))
 }
 
-/// The live adaptive send loop: emit through a [`SessionStream`], drain
-/// reception-report digests from the feedback socket, and re-plan the
-/// in-flight object between bursts. Every control decision lands in the
-/// telemetry context as a structured event, and the [`SessionSummary`]
-/// (returned when telemetry is on) captures the run's goodput, overhead
-/// versus the static worst case, and the estimator trajectory.
-#[allow(clippy::too_many_arguments)]
+/// The live adaptive send loop: emit bursts through a [`SessionStream`],
+/// drain reception-report digests from the feedback socket, and re-plan
+/// the in-flight object between bursts. Every control decision lands in
+/// the telemetry context as a structured event, and the
+/// [`SessionSummary`] (returned when telemetry is on) captures the run's
+/// goodput, overhead versus the static worst case, and the estimator
+/// trajectory.
 fn send_adaptive(
     opts: &HashMap<String, String>,
     session: &fec_broadcast::flute::FluteSender,
-    socket: &std::net::UdpSocket,
-    dest: &str,
+    sink: &mut WireSink,
     seed: u64,
     tsi: u32,
-    loss: &mut Option<GilbertChannel>,
-    pace: Pace,
     telemetry: &mut Telemetry,
     object_bytes: u64,
 ) -> Result<(u64, u64, Option<SessionSummary>), String> {
@@ -920,9 +979,13 @@ fn send_adaptive(
     let replan_every = get_usize(opts, "replan-every", 64)?.max(1);
     let report_socket =
         std::net::UdpSocket::bind(report_addr).map_err(|e| format!("bind {report_addr}: {e}"))?;
-    report_socket
-        .set_nonblocking(true)
-        .map_err(|e| e.to_string())?;
+    // Digests ride the batched engine too: one non-blocking poll drains
+    // every queued report in a single syscall on Linux.
+    let mut report_rx = BatchReceiver::new(
+        report_socket,
+        BufferPool::with_config(2048, 64),
+        Backend::detect(),
+    );
 
     let mut feedback = FeedbackLoop::new(
         tsi,
@@ -936,6 +999,7 @@ fn send_adaptive(
     if telemetry.enabled() {
         stream.attach_telemetry(&telemetry.registry);
         feedback.attach_telemetry(&telemetry.registry);
+        report_rx.attach_telemetry(&telemetry.registry);
     }
     let full_total = stream.full_total();
     telemetry.record(Event::SessionStart {
@@ -947,61 +1011,74 @@ fn send_adaptive(
     let mut summary = SessionSummary::new(tsi as u64);
     summary.object_bytes = object_bytes;
     summary.full_schedule = full_total;
-    let (mut sent, mut dropped) = (0u64, 0u64);
-    let mut buf = [0u8; 65536];
+    let mut sent = 0u64;
+    // Bursts stay inside the replan cadence so control decisions keep
+    // their per-`replan_every` granularity.
+    let burst_cap = replan_every.min(MAX_BURST);
+    let mut burst: Vec<Vec<u8>> = Vec::with_capacity(burst_cap);
+    let mut offered = 0u64;
+    let mut next_replan_at = replan_every as u64;
     let mut linger_until: Option<std::time::Instant> = None;
 
     loop {
         // Drain every pending digest.
-        while let Ok((len, _)) = report_socket.recv_from(&mut buf) {
-            let report = match ReceptionReport::from_bytes(&buf[..len]) {
-                Ok(report) => report,
-                Err(e) => {
-                    eprintln!("ignoring malformed digest: {e}");
-                    continue;
-                }
-            };
-            match feedback.ingest(&report) {
-                ReportOutcome::Applied {
-                    observations,
-                    completed,
-                } => {
-                    summary.digests_applied += 1;
-                    summary.objects_completed += completed.len() as u32;
-                    telemetry.record(Event::DigestReceived {
-                        report_seq: report.report_seq as u64,
+        loop {
+            let digests = report_rx
+                .try_recv_burst(MAX_BURST)
+                .map_err(|e| e.to_string())?;
+            if digests.is_empty() {
+                break;
+            }
+            for dg in &digests {
+                let report = match ReceptionReport::from_bytes(dg) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        eprintln!("ignoring malformed digest: {e}");
+                        continue;
+                    }
+                };
+                match feedback.ingest(&report) {
+                    ReportOutcome::Applied {
                         observations,
-                        applied: true,
-                    });
-                    if telemetry.enabled() {
-                        if let Some(est) = feedback.controller().estimate() {
-                            telemetry.record(Event::EstimateUpdated {
-                                p: est.params.p(),
-                                q: est.params.q(),
-                                p_upper: est.p_global_upper(),
-                                window: feedback.controller().estimator().window_len() as u64,
-                            });
-                            summary.estimator.push(EstimatorSample {
-                                observations: feedback.stats().observations,
-                                p: est.params.p(),
-                                q: est.params.q(),
-                                p_upper: est.p_global_upper(),
-                            });
+                        completed,
+                    } => {
+                        summary.digests_applied += 1;
+                        summary.objects_completed += completed.len() as u32;
+                        telemetry.record(Event::DigestReceived {
+                            report_seq: report.report_seq as u64,
+                            observations,
+                            applied: true,
+                        });
+                        if telemetry.enabled() {
+                            if let Some(est) = feedback.controller().estimate() {
+                                telemetry.record(Event::EstimateUpdated {
+                                    p: est.params.p(),
+                                    q: est.params.q(),
+                                    p_upper: est.p_global_upper(),
+                                    window: feedback.controller().estimator().window_len() as u64,
+                                });
+                                summary.estimator.push(EstimatorSample {
+                                    observations: feedback.stats().observations,
+                                    p: est.params.p(),
+                                    q: est.params.q(),
+                                    p_upper: est.p_global_upper(),
+                                });
+                            }
+                        }
+                        // Objects the receiver already decoded need nothing
+                        // more: stop their emission where it stands.
+                        for toi in completed {
+                            telemetry.record(Event::ObjectComplete { toi });
+                            stream.stop_object(toi).map_err(|e| e.to_string())?;
                         }
                     }
-                    // Objects the receiver already decoded need nothing
-                    // more: stop their emission where it stands.
-                    for toi in completed {
-                        telemetry.record(Event::ObjectComplete { toi });
-                        stream.stop_object(toi).map_err(|e| e.to_string())?;
-                    }
+                    // Stale or foreign: dropped by design, but still logged.
+                    _ => telemetry.record(Event::DigestReceived {
+                        report_seq: report.report_seq as u64,
+                        observations: report.observations(),
+                        applied: false,
+                    }),
                 }
-                // Stale or foreign: dropped by design, but still logged.
-                _ => telemetry.record(Event::DigestReceived {
-                    report_seq: report.report_seq as u64,
-                    observations: report.observations(),
-                    applied: false,
-                }),
             }
         }
         if feedback.session_complete() {
@@ -1012,72 +1089,74 @@ fn send_adaptive(
             );
             break;
         }
-        match stream.next_datagram().map_err(|e| e.to_string())? {
-            Some(dg) => {
-                linger_until = None;
-                if loss.as_mut().is_some_and(|ch| ch.next_is_lost()) {
-                    dropped += 1;
-                } else {
-                    socket.send_to(&dg, dest).map_err(|e| e.to_string())?;
-                    sent += 1;
-                    summary.bytes_sent += dg.len() as u64;
-                }
-                pace.tick(sent);
-                // Re-plan the in-flight object periodically.
-                if (sent + dropped) % replan_every as u64 == 0 {
-                    if let Some(toi) = stream.current_toi() {
-                        let k = stream.source_count(toi).expect("in-flight TOI") as usize;
-                        let replan = feedback.replan(k);
-                        summary.replans += 1;
-                        stream
-                            .amend_plan(toi, replan.plan.as_ref())
-                            .map_err(|e| e.to_string())?;
-                        telemetry.record(Event::ReplanIssued {
-                            toi,
-                            target: replan.plan.as_ref().map_or(full_total, |p| p.n_sent),
-                            schedule: stream.planned_total(),
-                        });
+        burst.clear();
+        while burst.len() < burst_cap {
+            match stream.next_datagram().map_err(|e| e.to_string())? {
+                Some(dg) => burst.push(dg),
+                None => break,
+            }
+        }
+        if burst.is_empty() {
+            // Planned emission exhausted: linger for the digests still
+            // in flight before declaring the plan insufficient.
+            let now = std::time::Instant::now();
+            match linger_until {
+                None => linger_until = Some(now + std::time::Duration::from_millis(1500)),
+                Some(deadline) if now < deadline => {}
+                Some(_) => {
+                    if stream.planned_total() < full_total {
+                        // The plan was too optimistic: fall back to the
+                        // full schedules and keep going.
+                        eprintln!(
+                            "no completion report after the planned {} datagrams; \
+                             reverting to the full schedule",
+                            stream.planned_total()
+                        );
+                        feedback.record_failure();
+                        summary.backoffs += 1;
+                        for toi in session.fdt().files.iter().map(|f| f.toi) {
+                            if !feedback.is_complete(toi) {
+                                telemetry.record(Event::BackoffTriggered { reverted: toi });
+                                stream.amend_plan(toi, None).map_err(|e| e.to_string())?;
+                            }
+                        }
+                        linger_until = None;
+                    } else {
+                        eprintln!(
+                            "full schedule exhausted without a completion report \
+                             (receiver gone, or losses beyond the code budget)"
+                        );
+                        break;
                     }
                 }
             }
-            None => {
-                // Planned emission exhausted: linger for the digests still
-                // in flight before declaring the plan insufficient.
-                let now = std::time::Instant::now();
-                match linger_until {
-                    None => linger_until = Some(now + std::time::Duration::from_millis(1500)),
-                    Some(deadline) if now < deadline => {}
-                    Some(_) => {
-                        if stream.planned_total() < full_total {
-                            // The plan was too optimistic: fall back to the
-                            // full schedules and keep going.
-                            eprintln!(
-                                "no completion report after the planned {} datagrams; \
-                                 reverting to the full schedule",
-                                stream.planned_total()
-                            );
-                            feedback.record_failure();
-                            summary.backoffs += 1;
-                            for toi in session.fdt().files.iter().map(|f| f.toi) {
-                                if !feedback.is_complete(toi) {
-                                    telemetry.record(Event::BackoffTriggered { reverted: toi });
-                                    stream.amend_plan(toi, None).map_err(|e| e.to_string())?;
-                                }
-                            }
-                            linger_until = None;
-                        } else {
-                            eprintln!(
-                                "full schedule exhausted without a completion report \
-                                 (receiver gone, or losses beyond the code budget)"
-                            );
-                            break;
-                        }
-                    }
-                }
-                std::thread::sleep(std::time::Duration::from_millis(20));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            continue;
+        }
+        linger_until = None;
+        offered += burst.len() as u64;
+        let (delivered, bytes) = sink.send_burst(&burst)?;
+        sent += delivered;
+        summary.bytes_sent += bytes;
+        // Re-plan the in-flight object periodically.
+        if offered >= next_replan_at {
+            next_replan_at = offered + replan_every as u64;
+            if let Some(toi) = stream.current_toi() {
+                let k = stream.source_count(toi).expect("in-flight TOI") as usize;
+                let replan = feedback.replan(k);
+                summary.replans += 1;
+                stream
+                    .amend_plan(toi, replan.plan.as_ref())
+                    .map_err(|e| e.to_string())?;
+                telemetry.record(Event::ReplanIssued {
+                    toi,
+                    target: replan.plan.as_ref().map_or(full_total, |p| p.n_sent),
+                    schedule: stream.planned_total(),
+                });
             }
         }
     }
+    let dropped = sink.dropped();
     summary.datagrams_sent = sent;
     summary.elapsed_secs = started.elapsed().as_secs_f64();
     telemetry.record(Event::SessionEnd {
@@ -1104,7 +1183,7 @@ fn send_adaptive(
 
 fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
     use fec_broadcast::flute::feedback::ReportConfig;
-    use fec_broadcast::flute::{FluteReceiver, ReceiverEvent};
+    use fec_broadcast::flute::FluteReceiver;
 
     let listen = opts
         .get("listen")
@@ -1132,18 +1211,26 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
 
     // Drain the socket on a dedicated thread so a slow decode never lets
     // the kernel receive buffer overflow (which silently drops datagrams
-    // the FEC budget then has to absorb twice).
-    let (datagram_tx, datagram_rx) = std::sync::mpsc::channel::<Vec<u8>>();
-    std::thread::spawn(move || {
-        let mut buf = vec![0u8; 65536];
-        // Exits on read timeout (closing the channel) or once the decoder
-        // hangs up.
-        while let Ok((len, _)) = socket.recv_from(&mut buf) {
-            if datagram_tx.send(buf[..len].to_vec()).is_err() {
-                break;
-            }
-        }
-    });
+    // the FEC budget then has to absorb twice). The drain rides the
+    // batched engine: one `recvmmsg` syscall per burst, pooled buffers
+    // instead of a fresh allocation per datagram, and an error
+    // discipline (see [`live::drain_loop`]) that retries `EINTR` and
+    // survives transient socket errors instead of silently ending the
+    // session.
+    let pool = BufferPool::new();
+    let mut wire_rx = BatchReceiver::new(socket, pool.clone(), Backend::detect());
+    wire_rx.request_recv_buffer(4 << 20);
+    // Opportunistic UDP GRO: coalesced payloads are split back into the
+    // original datagrams before decode, so decoding is offload-agnostic.
+    if wire_rx.enable_gro().is_ok() {
+        eprintln!("wire: UDP generic receive offload active");
+    }
+    if telemetry.enabled() {
+        wire_rx.attach_telemetry(&telemetry.registry);
+        pool.attach_telemetry(&telemetry.registry);
+    }
+    let (datagram_tx, datagram_rx) = std::sync::mpsc::channel();
+    let _drain = live::spawn_drain(wire_rx, datagram_tx);
 
     let mut session = FluteReceiver::new(tsi);
     if reporting.is_some() {
@@ -1157,7 +1244,7 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     let events = telemetry.events.clone();
     let record_events = telemetry.enabled();
-    let ship = |report: fec_broadcast::flute::ReceptionReport| -> Result<(), String> {
+    let ship = |report: &fec_broadcast::flute::ReceptionReport| -> Result<(), String> {
         if record_events {
             events.record(Event::DigestEmitted {
                 report_seq: report.report_seq as u64,
@@ -1172,63 +1259,28 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
         Ok(())
     };
 
-    let mut datagrams = 0u64;
-    let mut burst: Vec<Vec<u8>> = Vec::new();
-    let flush_interval = std::time::Duration::from_millis(250);
-    let toi = 'decode: loop {
-        // Drain every immediately-available datagram per wakeup and push
-        // them as one burst: the decoder's batched path defers block
-        // solves to the end of the burst instead of attempting one per
-        // UDP read.
-        burst.clear();
-        match datagram_rx.recv_timeout(flush_interval) {
-            Ok(dg) => burst.push(dg),
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                // Idle tick: ship whatever the emitter has batched so the
-                // sender's estimator never starves on a quiet channel.
-                if let Some(report) = session.flush_report() {
-                    ship(report)?;
-                }
-                continue;
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                return Err(format!(
-                    "timed out after {datagrams} datagrams without completing the object \
-                     (losses beyond the code's budget, or no sender running)"
-                ))
-            }
-        }
-        while burst.len() < 4096 {
-            match datagram_rx.try_recv() {
-                Ok(dg) => burst.push(dg),
-                Err(_) => break,
-            }
-        }
-        datagrams += burst.len() as u64;
-        match session.push_datagrams(&burst) {
-            Ok(events) => {
-                for event in events {
-                    if let ReceiverEvent::ObjectComplete { toi } = event {
-                        break 'decode toi;
-                    }
-                }
-            }
-            Err(e) => eprintln!(
-                "dropping bad datagram burst ({} datagrams): {e}",
-                burst.len()
-            ),
-        }
-        if let Some(report) = session.poll_report() {
-            ship(report)?;
-        }
+    // The decode loop lives in [`live::receive_session`]: bursts from the
+    // drain thread feed the decoder's batched path, digests ship through
+    // the *lossy* return channel (a failed send is counted, never fatal),
+    // and a malformed datagram costs itself, not its burst.
+    let config = live::ReceiveConfig {
+        rejected_counter: Some(telemetry.registry.counter(
+            "fec_session_rejected_datagrams_total",
+            "Datagrams the receiver rejected as malformed or undecodable.",
+        )),
+        ship_failure_counter: Some(telemetry.registry.counter(
+            "fec_session_report_ship_failures_total",
+            "Reception-report digests that failed to ship (lossy return channel).",
+        )),
+        ..Default::default()
     };
-
-    // Final FIN digests (repeated: the return channel is lossy too) so an
-    // adaptive sender stops transmitting immediately.
-    for _ in 0..3 {
-        if let Some(report) = session.flush_report() {
-            ship(report)?;
-        }
+    let outcome = live::receive_session(&mut session, &datagram_rx, ship, &config)?;
+    let live::ReceiveOutcome { toi, datagrams, .. } = outcome;
+    if outcome.rejected > 0 || outcome.ship_failures > 0 {
+        eprintln!(
+            "survived wire faults: {} datagrams rejected, {} digests unshipped",
+            outcome.rejected, outcome.ship_failures
+        );
     }
     telemetry.record(Event::ObjectComplete { toi });
     // Attribute any loss runs still unrepaired to the residual histogram

@@ -31,6 +31,8 @@
 //! assert_eq!(receiver.into_object().unwrap(), object);
 //! ```
 
+pub mod live;
+
 pub use fec_adapt as adapt;
 pub use fec_channel as channel;
 pub use fec_codec as codec;
@@ -43,6 +45,7 @@ pub use fec_rse as rse;
 pub use fec_sched as sched;
 pub use fec_sim as sim;
 pub use fec_telemetry as telemetry;
+pub use fec_wire as wire;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {

@@ -1,0 +1,315 @@
+//! Live-session wire plumbing shared by the CLI and the fault tests.
+//!
+//! The `send`/`recv` commands used to speak to their sockets directly,
+//! and three latent bugs lived in that plumbing: the receive drain thread
+//! died on *any* `recv_from` error (a stray `EINTR` ended the session),
+//! a single failed digest `send_to` aborted the whole receive (the return
+//! channel is lossy by design), and one malformed datagram could poison
+//! an entire decode burst. This module centralises the loops so the
+//! fixes are testable without sockets:
+//!
+//! * [`drain_loop`] / [`spawn_drain`] — pull bursts from a
+//!   [`BurstSource`] (the batched engine's [`BatchReceiver`], or a
+//!   scripted source in tests) and forward datagrams to the decode
+//!   thread. Errors route through
+//!   [`fec_wire::classify_recv_error`]: interrupted
+//!   syscalls retry, only an idle read timeout ends the session, and
+//!   anything else is logged, counted, and survived.
+//! * [`receive_session`] — the decode loop. Reception reports ship
+//!   through a *lossy* hook: failures are counted and logged, never
+//!   fatal.
+//! * [`push_salvaging`] — feeds a burst to the FLUTE receiver and, if
+//!   the batched path reports an error, replays the burst one datagram
+//!   at a time so the bad datagram is skipped instead of sinking its
+//!   4000-odd good neighbours.
+
+use std::io;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use fec_flute::{FluteReceiver, ReceiverEvent, ReceptionReport};
+use fec_telemetry::Counter;
+use fec_wire::{classify_recv_error, BatchReceiver, PoolBuf, RecvDisposition, MAX_BURST};
+
+/// Consecutive transient receive errors tolerated before the drain loop
+/// concludes the socket is wedged and gives up. Transients are expected
+/// in ones and twos (an ICMP-reflected `ECONNREFUSED`, a spurious kernel
+/// hiccup); a thousand in a row with no successful read in between means
+/// retrying is just spinning.
+pub const TRANSIENT_ERROR_CAP: u32 = 1000;
+
+/// Anything a drain loop can pull datagram bursts from: the batched
+/// engine's [`BatchReceiver`] in production, a scripted source in tests.
+pub trait BurstSource {
+    /// Blocks for the next burst (honouring any configured read
+    /// timeout). `max` bounds the number of wire messages read per call;
+    /// with UDP GRO active one wire message may carry several coalesced
+    /// datagrams, so the returned burst can exceed `max` entries.
+    fn recv_burst(&mut self, max: usize) -> io::Result<Vec<PoolBuf>>;
+}
+
+impl BurstSource for BatchReceiver {
+    fn recv_burst(&mut self, max: usize) -> io::Result<Vec<PoolBuf>> {
+        BatchReceiver::recv_burst(self, max)
+    }
+}
+
+/// What a drain loop did before it ended.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Bursts pulled from the source.
+    pub bursts: u64,
+    /// Datagrams forwarded to the decode thread.
+    pub datagrams: u64,
+    /// Interrupted syscalls retried (`EINTR`).
+    pub retries: u64,
+    /// Transient errors survived.
+    pub transients: u64,
+}
+
+/// Pulls bursts from `source` and forwards each datagram into `tx` until
+/// the session ends. The error discipline is the whole point:
+///
+/// * `Interrupted` (`EINTR`) — retry immediately; a signal delivery is
+///   not an event.
+/// * `WouldBlock` / `TimedOut` — the read timeout expired with no
+///   traffic: the one legitimate way a session goes idle. Return.
+/// * anything else — log it, count it, sleep a moment, keep receiving.
+///   After [`TRANSIENT_ERROR_CAP`] consecutive failures give up (the
+///   socket is wedged, not hiccuping).
+///
+/// Also returns when the decode side hangs up (`tx` disconnected).
+pub fn drain_loop<S: BurstSource>(
+    source: &mut S,
+    tx: &mpsc::Sender<PoolBuf>,
+    max_burst: usize,
+) -> DrainStats {
+    let mut stats = DrainStats::default();
+    let mut consecutive_transients = 0u32;
+    loop {
+        match source.recv_burst(max_burst) {
+            Ok(burst) => {
+                consecutive_transients = 0;
+                stats.bursts += 1;
+                stats.datagrams += burst.len() as u64;
+                for dg in burst {
+                    if tx.send(dg).is_err() {
+                        return stats; // decoder hung up: session is over
+                    }
+                }
+            }
+            Err(e) => match classify_recv_error(&e) {
+                RecvDisposition::Retry => stats.retries += 1,
+                RecvDisposition::SessionIdle => return stats,
+                RecvDisposition::Transient => {
+                    stats.transients += 1;
+                    consecutive_transients += 1;
+                    if stats.transients <= 5 || consecutive_transients == TRANSIENT_ERROR_CAP {
+                        eprintln!("transient receive error (continuing): {e}");
+                    }
+                    if consecutive_transients >= TRANSIENT_ERROR_CAP {
+                        eprintln!(
+                            "{TRANSIENT_ERROR_CAP} consecutive receive errors; giving up on the socket"
+                        );
+                        return stats;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            },
+        }
+    }
+}
+
+/// Runs [`drain_loop`] on a dedicated thread so a slow decode never lets
+/// the kernel receive queue overflow. The handle yields the loop's
+/// [`DrainStats`]; dropping it detaches the thread (the CLI does).
+pub fn spawn_drain<S>(
+    mut source: S,
+    tx: mpsc::Sender<PoolBuf>,
+) -> std::thread::JoinHandle<DrainStats>
+where
+    S: BurstSource + Send + 'static,
+{
+    std::thread::spawn(move || drain_loop(&mut source, &tx, MAX_BURST))
+}
+
+/// Feeds a burst through [`FluteReceiver::push_datagrams`]; if the
+/// batched path errors, replays the burst one datagram at a time so only
+/// the offending datagrams are dropped. Returns the events (one per
+/// accepted datagram) and how many datagrams were rejected — both the
+/// per-datagram [`ReceiverEvent::Rejected`] skips the batched path
+/// already performs and any salvage-pass casualties.
+pub fn push_salvaging<D: AsRef<[u8]>>(
+    session: &mut FluteReceiver,
+    burst: &[D],
+) -> (Vec<ReceiverEvent>, u64) {
+    match session.push_datagrams(burst) {
+        Ok(events) => {
+            let rejected = events
+                .iter()
+                .filter(|e| matches!(e, ReceiverEvent::Rejected))
+                .count() as u64;
+            (events, rejected)
+        }
+        Err(burst_error) => {
+            // The batched path hit a datagram it could not even skip
+            // (e.g. a forged payload ID the decoder rejects). Replay
+            // one-by-one: good datagrams land, bad ones are dropped.
+            let mut events = Vec::with_capacity(burst.len());
+            let mut rejected = 0u64;
+            let mut logged = false;
+            for dg in burst {
+                match session.push_datagram(dg.as_ref()) {
+                    Ok(event) => events.push(event),
+                    Err(e) => {
+                        rejected += 1;
+                        if !logged {
+                            eprintln!(
+                                "dropping bad datagram (salvaging the remaining burst): \
+                                 {e} (burst error: {burst_error})"
+                            );
+                            logged = true;
+                        }
+                    }
+                }
+            }
+            (events, rejected)
+        }
+    }
+}
+
+/// Knobs for [`receive_session`]. The defaults match the CLI.
+pub struct ReceiveConfig {
+    /// How long to wait for a datagram before shipping a timer-tick
+    /// digest (so the sender's estimator never starves when quiet).
+    pub flush_interval: Duration,
+    /// Most datagrams decoded per burst.
+    pub burst_cap: usize,
+    /// How many times the final FIN digest is repeated (the return
+    /// channel is lossy too).
+    pub fin_repeats: u32,
+    /// Counts datagrams rejected as malformed, when telemetry is on.
+    pub rejected_counter: Option<Counter>,
+    /// Counts digests that failed to ship, when telemetry is on.
+    pub ship_failure_counter: Option<Counter>,
+}
+
+impl Default for ReceiveConfig {
+    fn default() -> ReceiveConfig {
+        ReceiveConfig {
+            flush_interval: Duration::from_millis(250),
+            burst_cap: 4096,
+            fin_repeats: 3,
+            rejected_counter: None,
+            ship_failure_counter: None,
+        }
+    }
+}
+
+/// How a completed [`receive_session`] went.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReceiveOutcome {
+    /// The object that completed.
+    pub toi: u32,
+    /// Datagrams consumed (accepted or rejected).
+    pub datagrams: u64,
+    /// Datagrams rejected as malformed or undecodable.
+    pub rejected: u64,
+    /// Digests that failed to ship down the return channel.
+    pub ship_failures: u64,
+}
+
+/// The receive decode loop: pull datagrams from the drain thread's
+/// channel, decode in bursts, and ship reception-report digests through
+/// `ship` until an object completes.
+///
+/// `ship` is treated as *lossy by design*: a failure is logged and
+/// counted (see [`ReceiveConfig::ship_failure_counter`]) but never ends
+/// the session — the sender's digest protocol already tolerates missing
+/// reports, exactly like it tolerates lost data datagrams.
+///
+/// Errors only when the channel disconnects (the drain thread saw the
+/// read timeout expire) before any object completed.
+pub fn receive_session<F>(
+    session: &mut FluteReceiver,
+    datagrams: &mpsc::Receiver<PoolBuf>,
+    mut ship: F,
+    config: &ReceiveConfig,
+) -> Result<ReceiveOutcome, String>
+where
+    F: FnMut(&ReceptionReport) -> Result<(), String>,
+{
+    let mut outcome = ReceiveOutcome::default();
+    let mut burst: Vec<PoolBuf> = Vec::new();
+    let toi = 'decode: loop {
+        burst.clear();
+        match datagrams.recv_timeout(config.flush_interval) {
+            Ok(dg) => burst.push(dg),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Idle tick: ship whatever the emitter has batched so the
+                // sender's estimator never starves on a quiet channel.
+                if let Some(report) = session.flush_report() {
+                    ship_lossy(&mut ship, &report, &mut outcome, config);
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(format!(
+                    "timed out after {} datagrams without completing the object \
+                     (losses beyond the code's budget, or no sender running)",
+                    outcome.datagrams
+                ))
+            }
+        }
+        while burst.len() < config.burst_cap {
+            match datagrams.try_recv() {
+                Ok(dg) => burst.push(dg),
+                Err(_) => break,
+            }
+        }
+        outcome.datagrams += burst.len() as u64;
+        let (events, rejected) = push_salvaging(session, &burst);
+        if rejected > 0 {
+            outcome.rejected += rejected;
+            if let Some(c) = &config.rejected_counter {
+                c.add(rejected);
+            }
+        }
+        for event in events {
+            if let ReceiverEvent::ObjectComplete { toi } = event {
+                break 'decode toi;
+            }
+        }
+        if let Some(report) = session.poll_report() {
+            ship_lossy(&mut ship, &report, &mut outcome, config);
+        }
+    };
+    // Final FIN digests (repeated: the return channel is lossy too) so an
+    // adaptive sender stops transmitting immediately.
+    for _ in 0..config.fin_repeats {
+        if let Some(report) = session.flush_report() {
+            ship_lossy(&mut ship, &report, &mut outcome, config);
+        }
+    }
+    outcome.toi = toi;
+    Ok(outcome)
+}
+
+fn ship_lossy<F>(
+    ship: &mut F,
+    report: &ReceptionReport,
+    outcome: &mut ReceiveOutcome,
+    config: &ReceiveConfig,
+) where
+    F: FnMut(&ReceptionReport) -> Result<(), String>,
+{
+    if let Err(e) = ship(report) {
+        outcome.ship_failures += 1;
+        if let Some(c) = &config.ship_failure_counter {
+            c.inc();
+        }
+        if outcome.ship_failures <= 5 {
+            eprintln!("digest not shipped (return channel is lossy by design): {e}");
+        }
+    }
+}

@@ -125,3 +125,248 @@ fn ldgm_spec_with_no_checks_is_rejected_cleanly() {
     let spec = CodeSpec::ldgm_staircase(10, ExpansionRatio::Custom(1.04));
     assert!(Sender::new(spec, &[0u8; 100], 10).is_err());
 }
+
+/// Wire-level fault injection: the live-session loops in
+/// `fec_broadcast::live` must survive the three historical failure modes
+/// — a drain thread killed by a stray `EINTR`/ICMP error, a receive
+/// aborted because one digest failed to ship down the (lossy by design)
+/// return channel, and one malformed datagram poisoning its whole decode
+/// burst.
+mod wire_faults {
+    use std::io;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    use bytes::Bytes;
+    use fec_broadcast::flute::feedback::ReportConfig;
+    use fec_broadcast::flute::{AlcPacket, FecPayloadId, FluteReceiver, FluteSender, SenderConfig};
+    use fec_broadcast::live::{self, BurstSource, DrainStats, ReceiveConfig};
+    use fec_broadcast::prelude::{ExpansionRatio, TxModel};
+    use fec_broadcast::wire::{BufferPool, PoolBuf};
+
+    const TSI: u32 = 77;
+    const SYMBOL: usize = 64;
+
+    /// One scripted step for the fake burst source.
+    enum Step {
+        Burst(Vec<Vec<u8>>),
+        Fail(io::ErrorKind),
+    }
+
+    /// A [`BurstSource`] that replays a script instead of a socket, so the
+    /// drain loop's error discipline is testable without signals or ICMP.
+    struct ScriptedSource {
+        pool: BufferPool,
+        steps: std::vec::IntoIter<Step>,
+    }
+
+    impl ScriptedSource {
+        fn new(steps: Vec<Step>) -> ScriptedSource {
+            ScriptedSource {
+                pool: BufferPool::new(),
+                steps: steps.into_iter(),
+            }
+        }
+    }
+
+    impl BurstSource for ScriptedSource {
+        fn recv_burst(&mut self, _max: usize) -> io::Result<Vec<PoolBuf>> {
+            match self.steps.next() {
+                Some(Step::Burst(datagrams)) => {
+                    Ok(datagrams.iter().map(|d| self.pool.buf_from(d)).collect())
+                }
+                Some(Step::Fail(kind)) => Err(io::Error::new(kind, "scripted fault")),
+                // Script exhausted: behave like an idle read timeout.
+                None => Err(io::Error::new(io::ErrorKind::TimedOut, "script over")),
+            }
+        }
+    }
+
+    /// Bugfix 1: the drain loop must retry `EINTR`, survive transient
+    /// errors (an ICMP-reflected `ECONNREFUSED`), and end the session
+    /// only on an idle read timeout — delivering every datagram that
+    /// arrived around the faults.
+    #[test]
+    fn drain_survives_interrupts_and_transient_errors() {
+        let mut source = ScriptedSource::new(vec![
+            Step::Burst(vec![vec![1u8; 10]]),
+            Step::Fail(io::ErrorKind::Interrupted),
+            Step::Burst(vec![vec![2u8; 20], vec![3u8; 30]]),
+            Step::Fail(io::ErrorKind::ConnectionRefused),
+            Step::Fail(io::ErrorKind::Interrupted),
+            Step::Burst(vec![vec![4u8; 40]]),
+            Step::Fail(io::ErrorKind::TimedOut),
+            // Never reached: the timeout above ends the session first.
+            Step::Burst(vec![vec![5u8; 50]]),
+        ]);
+        let (tx, rx) = mpsc::channel();
+        let stats = live::drain_loop(&mut source, &tx, 64);
+        assert_eq!(
+            stats,
+            DrainStats {
+                bursts: 3,
+                datagrams: 4,
+                retries: 2,
+                transients: 1,
+            }
+        );
+        let delivered: Vec<Vec<u8>> = rx.try_iter().map(|b| b.to_vec()).collect();
+        assert_eq!(
+            delivered,
+            vec![vec![1u8; 10], vec![2u8; 20], vec![3u8; 30], vec![4u8; 40]],
+            "every datagram that arrived around the faults must be forwarded"
+        );
+    }
+
+    /// The drain loop must also end promptly when the decode side hangs
+    /// up, instead of spinning against a dead channel.
+    #[test]
+    fn drain_stops_when_the_decoder_hangs_up() {
+        let mut source = ScriptedSource::new(vec![
+            Step::Burst(vec![vec![1u8; 8]]),
+            Step::Burst(vec![vec![2u8; 8]]),
+        ]);
+        let (tx, rx) = mpsc::channel();
+        drop(rx);
+        let stats = live::drain_loop(&mut source, &tx, 64);
+        assert_eq!(stats.bursts, 1, "first failed send must end the loop");
+    }
+
+    fn object_bytes(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 13 % 251) as u8).collect()
+    }
+
+    /// The full datagram schedule for one small object, in wire order.
+    fn schedule(object: &[u8]) -> Vec<Vec<u8>> {
+        let mut config = SenderConfig::new(TSI);
+        config.fdt_interval = 1000;
+        let mut sender = FluteSender::new(config);
+        sender
+            .add_object(
+                1,
+                "file:///wire-fault.bin",
+                object,
+                fec_broadcast::codec::registry::resolve("ldgm-staircase").unwrap(),
+                ExpansionRatio::R2_5,
+                SYMBOL,
+                0xFA11,
+                TxModel::Random,
+            )
+            .unwrap();
+        let mut stream = sender.stream(0xFA11);
+        let mut datagrams = Vec::new();
+        while let Some(dg) = stream.next_datagram().unwrap() {
+            datagrams.push(dg);
+        }
+        datagrams
+    }
+
+    fn feed(datagrams: Vec<Vec<u8>>) -> mpsc::Receiver<PoolBuf> {
+        let pool = BufferPool::new();
+        let (tx, rx) = mpsc::channel();
+        for dg in &datagrams {
+            tx.send(pool.buf_from(dg)).unwrap();
+        }
+        // Leak the sender so `receive_session` never sees a disconnect:
+        // the object completes long before the channel drains dry.
+        std::mem::forget(tx);
+        rx
+    }
+
+    fn receive_config() -> ReceiveConfig {
+        ReceiveConfig {
+            flush_interval: Duration::from_millis(20),
+            ..ReceiveConfig::default()
+        }
+    }
+
+    /// Bugfix 2: a digest that fails to ship must be logged and counted,
+    /// never abort the receive — the return channel is lossy by design.
+    #[test]
+    fn digest_ship_failure_does_not_abort_receive() {
+        let object = object_bytes(4000);
+        let rx = feed(schedule(&object));
+
+        let mut session = FluteReceiver::new(TSI);
+        session.enable_reports(ReportConfig {
+            report_every: 16,
+            ..ReportConfig::default()
+        });
+        let mut attempts = 0u64;
+        let outcome = live::receive_session(
+            &mut session,
+            &rx,
+            |_report| {
+                attempts += 1;
+                Err("return channel down".to_string())
+            },
+            &receive_config(),
+        )
+        .expect("a dead return channel must not abort the receive");
+
+        assert_eq!(outcome.toi, 1);
+        assert!(attempts > 0, "the session must have tried to ship digests");
+        assert_eq!(
+            outcome.ship_failures, attempts,
+            "every failed ship must be counted"
+        );
+        assert_eq!(
+            session.take_object(1).unwrap(),
+            object,
+            "the object must decode byte-exactly despite the dead return channel"
+        );
+    }
+
+    /// Bugfix 3: garbage datagrams and a forged undecodable packet mixed
+    /// into a burst must be rejected individually — the good neighbours
+    /// in the same burst still decode the object byte-exactly.
+    #[test]
+    fn malformed_datagram_mid_burst_still_decodes() {
+        let object = object_bytes(4000);
+        let mut datagrams = schedule(&object);
+
+        // Forge a syntactically valid ALC packet whose payload ID the
+        // decoder must reject (ESI far beyond n). Borrow the codepoint
+        // and a real symbol from a genuine data packet so the forgery
+        // survives parsing and dies only at the decode stage — the case
+        // that errors the *batched* push path.
+        let template = datagrams
+            .iter()
+            .map(|dg| AlcPacket::from_bytes(dg).unwrap())
+            .find(|pkt| pkt.payload_id.is_some())
+            .expect("the schedule contains data packets");
+        let forged = AlcPacket::data(
+            TSI,
+            1,
+            template.header.codepoint,
+            FecPayloadId { sbn: 0, esi: 9999 },
+            Bytes::from(template.payload.to_vec()),
+        )
+        .to_bytes()
+        .unwrap();
+
+        // Plant the faults mid-schedule, after the FTI is known (so the
+        // forgery reaches the decoder) but long before decode completes.
+        datagrams.insert(5, b"not an alc packet".to_vec());
+        datagrams.insert(9, forged);
+        datagrams.insert(12, vec![0xFF; 3]);
+
+        let rx = feed(datagrams);
+        let mut session = FluteReceiver::new(TSI);
+        let outcome = live::receive_session(&mut session, &rx, |_| Ok(()), &receive_config())
+            .expect("malformed datagrams must not sink the session");
+
+        assert_eq!(outcome.toi, 1);
+        assert!(
+            outcome.rejected >= 3,
+            "the two garbage datagrams and the forged packet must all be \
+             counted as rejected (got {})",
+            outcome.rejected
+        );
+        assert_eq!(
+            session.take_object(1).unwrap(),
+            object,
+            "the burst's good datagrams must still decode the object"
+        );
+    }
+}
