@@ -111,6 +111,29 @@ impl Default for ControllerConfig {
     }
 }
 
+/// One aggregated view of a whole receiver population, handed to the
+/// controller by a sender-side digest aggregator in place of n separate
+/// digest streams. The aggregator folds only the *worst* receiver's loss
+/// sketch into the estimator (so `estimate()` is already worst-case);
+/// this summary carries the fleet-level context around that estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSummary {
+    /// Receivers the aggregator is currently tracking.
+    pub receivers: u64,
+    /// Worst per-receiver cumulative loss fraction observed (lost /
+    /// (received + lost)), 0.0 when nothing has been lost anywhere.
+    pub worst_loss: f64,
+    /// The worst receiver's Gilbert (p, q) as folded into the central
+    /// estimator, when identifiable.
+    pub worst_p: Option<f64>,
+    /// See [`worst_p`](Self::worst_p).
+    pub worst_q: Option<f64>,
+    /// Completion-fraction quantiles across the population, ascending:
+    /// 10th, 50th and 90th percentile of per-receiver session progress
+    /// (completed objects / objects seen), each in `[0, 1]`.
+    pub completion_quantiles: [f64; 3],
+}
+
 /// Why the last reconsideration did (or did not) change the decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Reconsideration {
@@ -139,6 +162,8 @@ pub struct AdaptiveController {
     switches: u64,
     /// Objects that must decode before planning resumes.
     backoff_remaining: u32,
+    /// Latest population summary from a fan-out aggregator, if any.
+    population: Option<PopulationSummary>,
 }
 
 impl AdaptiveController {
@@ -153,6 +178,7 @@ impl AdaptiveController {
             pending: None,
             switches: 0,
             backoff_remaining: 0,
+            population: None,
         }
     }
 
@@ -206,6 +232,21 @@ impl AdaptiveController {
             n += len;
         }
         n
+    }
+
+    /// Records the latest population summary from a fan-out aggregator.
+    /// The estimator already tracks the worst receiver's sketch; the
+    /// summary additionally widens the plan's variance cushion, because a
+    /// plan serving n receivers must cover the worst of n delivery
+    /// outcomes — the expected extreme deviation grows like √(2 ln n)
+    /// sigmas, not the single-receiver 3.
+    pub fn note_population(&mut self, summary: PopulationSummary) {
+        self.population = Some(summary);
+    }
+
+    /// The latest population summary, if an aggregator provided one.
+    pub fn population(&self) -> Option<&PopulationSummary> {
+        self.population.as_ref()
     }
 
     /// Reports whether the last object decoded. A failure suspends plan
@@ -312,7 +353,16 @@ impl AdaptiveController {
         let rho = (1.0 - estimate.p_ci.hi - estimate.q_ci.lo).clamp(-0.99, 0.99);
         let inflation = ((1.0 + rho) / (1.0 - rho)).max(1.0);
         let sigma = (base_sends * bound * (1.0 - bound) * inflation).sqrt();
-        let cushion = (3.0 * sigma / (1.0 - bound)).ceil() as u64;
+        // Serving n receivers, the plan must cover the worst of n delivery
+        // outcomes: the expected extreme of n near-independent channels
+        // sits √(2 ln n) sigmas out, so the cushion widens with the
+        // population (≈5.3σ at a million receivers) instead of the
+        // single-receiver 3σ.
+        let sigmas = match &self.population {
+            Some(p) if p.receivers > 1 => (2.0 * (p.receivers as f64).ln()).sqrt().max(3.0),
+            _ => 3.0,
+        };
+        let cushion = (sigmas * sigma / (1.0 - bound)).ceil() as u64;
 
         // Equation 3 against a pessimistic channel with the right
         // stationary rate (the plan only consumes p_global).
@@ -531,6 +581,44 @@ mod tests {
         let plan = r2.plan.expect("light channel is plannable");
         assert!(plan.n_sent < plan.n_total);
         assert_eq!(r2.decision, by_run.decision());
+    }
+
+    #[test]
+    fn population_summary_widens_the_plan_cushion() {
+        let mut c = AdaptiveController::new(ControllerConfig {
+            confirm_after: 1,
+            ..ControllerConfig::default()
+        });
+        feed(&mut c, GilbertParams::new(0.02, 0.6).unwrap(), 30_000, 11);
+        c.reconsider();
+        let solo = c.plan(10_000).expect("plannable channel");
+        c.note_population(PopulationSummary {
+            receivers: 1_000_000,
+            worst_loss: 0.05,
+            worst_p: Some(0.02),
+            worst_q: Some(0.6),
+            completion_quantiles: [0.1, 0.5, 0.9],
+        });
+        assert_eq!(c.population().unwrap().receivers, 1_000_000);
+        let fleet = c.plan(10_000).expect("still plannable");
+        // √(2 ln 10⁶) ≈ 5.3 sigmas instead of 3: a wider cushion, but
+        // still a truncating plan.
+        assert!(
+            fleet.n_sent > solo.n_sent,
+            "fleet {} vs solo {}",
+            fleet.n_sent,
+            solo.n_sent
+        );
+        assert!(fleet.is_sufficient());
+        // A single-receiver population keeps the 3-sigma plan.
+        c.note_population(PopulationSummary {
+            receivers: 1,
+            worst_loss: 0.0,
+            worst_p: None,
+            worst_q: None,
+            completion_quantiles: [1.0, 1.0, 1.0],
+        });
+        assert_eq!(c.plan(10_000).unwrap().n_sent, solo.n_sent);
     }
 
     #[test]

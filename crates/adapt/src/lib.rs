@@ -63,5 +63,7 @@ mod estimate;
 pub use closed_loop::{
     clairvoyant_decision, AdaptiveRunner, Comparison, EpochOutcome, LoopReport, Scenario,
 };
-pub use controller::{AdaptiveController, ControllerConfig, Decision, Reconsideration, Replan};
+pub use controller::{
+    AdaptiveController, ControllerConfig, Decision, PopulationSummary, Reconsideration, Replan,
+};
 pub use estimate::{ChannelEstimate, ConfidenceInterval, OnlineGilbertEstimator};

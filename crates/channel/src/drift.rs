@@ -154,6 +154,15 @@ impl LossModel for DriftingChannel {
             .sum();
         Some(weighted / total as f64)
     }
+
+    /// Same regime schedule from the top, fresh chain and randomness.
+    fn fork(&self, salt: u64) -> Option<Box<dyn LossModel>> {
+        Some(Box::new(DriftingChannel::build(
+            self.regimes.clone(),
+            salt,
+            self.cycle,
+        )))
+    }
 }
 
 #[cfg(test)]

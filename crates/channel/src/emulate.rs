@@ -143,6 +143,7 @@ impl LinkMetrics {
 pub struct LinkEmulator {
     model: Box<dyn LossModel>,
     config: LinkConfig,
+    seed: u64,
     rng: SmallRng,
     /// Held-back datagrams: `(release_after_countdown, datagram)`.
     held: VecDeque<(usize, Vec<u8>)>,
@@ -161,11 +162,47 @@ impl LinkEmulator {
         LinkEmulator {
             model,
             config,
+            seed,
             rng: SmallRng::seed_from_u64(seed),
             held: VecDeque::new(),
             stats: LinkStats::default(),
             metrics: None,
         }
+    }
+
+    /// Mints an **independent per-receiver link** from this one: same
+    /// impairment knobs, same kind of loss model with the same
+    /// parameters, but decorrelated randomness derived from `receiver`
+    /// (so lanes `0, 1, 2, …` walk unrelated sample paths) and fresh
+    /// held/stats state. This is the cheap path to a fan-out population:
+    /// configure one template link, then `fork` it once per receiver —
+    /// no telemetry registration, no datagram buffers, just two small
+    /// RNG states per receiver.
+    ///
+    /// Deterministic: the same `(template seed, receiver)` pair always
+    /// yields the same link behavior. Returns `None` when the underlying
+    /// model does not support [`LossModel::fork`].
+    pub fn fork(&self, receiver: u64) -> Option<LinkEmulator> {
+        let salt = crate::fork_seed(self.seed, receiver);
+        let model = self.model.fork(salt)?;
+        // A distinct stream for the dup/reorder coin flips so they do
+        // not replay the loss process.
+        let link_seed = crate::fork_seed(salt, u64::MAX);
+        Some(LinkEmulator {
+            model,
+            config: self.config,
+            seed: salt,
+            rng: SmallRng::seed_from_u64(link_seed),
+            held: VecDeque::new(),
+            stats: LinkStats::default(),
+            metrics: None,
+        })
+    }
+
+    /// The loss model driving this link (for fate-only simulation, where
+    /// per-datagram byte shuffling is not needed).
+    pub fn model_mut(&mut self) -> &mut dyn LossModel {
+        self.model.as_mut()
     }
 
     /// Starts mirroring this link's per-fate counters into `registry`
@@ -549,6 +586,83 @@ mod tests {
         assert_eq!(forwarded as u64, s.delivered());
         let (_, capture) = sink.into_parts();
         assert_eq!(capture.0.len() as u64, s.delivered());
+    }
+
+    #[test]
+    fn forked_links_are_decorrelated_reproducible_and_fresh() {
+        let config = LinkConfig {
+            duplicate_rate: 0.02,
+            reorder_rate: 0.05,
+            reorder_depth: 3,
+        };
+        let mut template = LinkEmulator::with_config(gilbert(0.1, 0.4, 11), config, 42);
+        // Age the template so forks can't be accidentally sharing state.
+        for dg in datagrams(200) {
+            template.transmit(&dg);
+        }
+        let fates = |link: &mut LinkEmulator, n: usize| -> Vec<usize> {
+            datagrams(n)
+                .iter()
+                .map(|dg| link.transmit(dg).len())
+                .collect()
+        };
+        let mut a = template.fork(0).expect("gilbert forks");
+        let mut b = template.fork(1).expect("gilbert forks");
+        let mut a_again = template.fork(0).expect("gilbert forks");
+        assert_eq!(a.stats(), LinkStats::default(), "forks start fresh");
+        let fa = fates(&mut a, 2_000);
+        let fb = fates(&mut b, 2_000);
+        assert_ne!(fa, fb, "adjacent receivers walk different sample paths");
+        assert_eq!(fa, fates(&mut a_again, 2_000), "same lane reproduces");
+        // Statistics are shared even though the sample paths are not.
+        let (ra, rb) = (a.stats().loss_rate(), b.stats().loss_rate());
+        assert!(
+            (ra - 0.2).abs() < 0.05 && (rb - 0.2).abs() < 0.05,
+            "{ra} {rb}"
+        );
+        // The template itself is untouched by forking.
+        assert_eq!(template.stats().offered(), 200);
+    }
+
+    #[test]
+    fn every_stock_model_forks() {
+        use crate::{DriftingChannel, LossTrace, MarkovLossModel, Regime, TraceChannel};
+        let params = GilbertParams::new(0.1, 0.4).unwrap();
+        let drift = DriftingChannel::cycling(vec![Regime::new(params, 100)], 1);
+        let markov = MarkovLossModel::from_gilbert(params).channel(1);
+        let trace = TraceChannel::new(LossTrace::new(vec![true, false, false, false, false]));
+        let models: Vec<Box<dyn LossModel>> = vec![
+            gilbert(0.1, 0.4, 1),
+            Box::new(drift),
+            Box::new(markov),
+            Box::new(trace),
+        ];
+        for model in models {
+            let template = LinkEmulator::new(model, 7);
+            let mut forked = template.fork(3).expect("stock models all fork");
+            // The fork is live and preserves the long-run loss rate.
+            let rate = forked
+                .model_mut()
+                .global_loss_probability()
+                .expect("stock models report a rate");
+            assert!((rate - 0.2).abs() < 1e-9, "fork changed the rate: {rate}");
+            forked.transmit(&[0u8; 8]);
+            assert_eq!(forked.stats().offered(), 1);
+        }
+    }
+
+    #[test]
+    fn fork_seed_decorrelates_adjacent_lanes() {
+        let seeds: Vec<u64> = (0..64).map(|i| crate::fork_seed(99, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "no collisions across lanes");
+        // Adjacent lanes differ in roughly half their bits.
+        for w in seeds.windows(2) {
+            let flips = (w[0] ^ w[1]).count_ones();
+            assert!((16..=48).contains(&flips), "weak mixing: {flips} flips");
+        }
     }
 
     #[test]

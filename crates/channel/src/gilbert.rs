@@ -199,6 +199,12 @@ impl LossModel for GilbertChannel {
     fn global_loss_probability(&self) -> Option<f64> {
         Some(self.params.global_loss_probability())
     }
+
+    /// Same `(p, q)`, fresh chain drawn from the stationary distribution
+    /// (a forked receiver joins mid-stream, not at a synchronized reset).
+    fn fork(&self, salt: u64) -> Option<Box<dyn LossModel>> {
+        Some(Box::new(GilbertChannel::new_stationary(self.params, salt)))
+    }
 }
 
 #[cfg(test)]

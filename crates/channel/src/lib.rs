@@ -53,6 +53,32 @@ pub trait LossModel {
     fn global_loss_probability(&self) -> Option<f64> {
         None
     }
+
+    /// Creates an **independent** channel of the same kind — same
+    /// statistical parameters, fresh state, randomness derived from
+    /// `salt`. This is what lets a single configured model fan out into
+    /// one decorrelated loss process per receiver without sharing chain
+    /// state: `fork(a)` and `fork(b)` with `a != b` walk different
+    /// sample paths, while the same salt reproduces the same path.
+    ///
+    /// Returns `None` when the model cannot be re-instantiated (the
+    /// default, so foreign implementations keep compiling).
+    fn fork(&self, salt: u64) -> Option<Box<dyn LossModel>> {
+        let _ = salt;
+        None
+    }
+}
+
+/// Derives a decorrelated per-lane seed from a base seed, splitmix64
+/// style. Adjacent lanes (`0, 1, 2, …`) yield unrelated seeds, so a
+/// million-receiver fan-out can mint per-receiver channels from one base
+/// seed without correlated loss patterns.
+#[inline]
+pub fn fork_seed(base: u64, lane: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(lane.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]

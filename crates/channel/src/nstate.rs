@@ -229,6 +229,11 @@ impl LossModel for MarkovChannel {
     fn global_loss_probability(&self) -> Option<f64> {
         Some(self.model.stationary_loss_probability())
     }
+
+    /// Same chain restarted at its start state with fresh randomness.
+    fn fork(&self, salt: u64) -> Option<Box<dyn LossModel>> {
+        Some(Box::new(self.model.channel(salt)))
+    }
 }
 
 #[cfg(test)]

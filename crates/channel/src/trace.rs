@@ -230,6 +230,16 @@ impl LossModel for TraceChannel {
     fn global_loss_probability(&self) -> Option<f64> {
         Some(self.trace.loss_rate())
     }
+
+    /// Same trace, replay phase-shifted by `salt` — forks share the
+    /// recorded loss statistics but not the instantaneous loss pattern.
+    fn fork(&self, salt: u64) -> Option<Box<dyn LossModel>> {
+        let pos = (salt % self.trace.len() as u64) as usize;
+        Some(Box::new(TraceChannel {
+            trace: self.trace.clone(),
+            pos,
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,8 @@
 //!   always a prefix of the same `tx`-model ordering the plan's
 //!   inefficiency assumptions were measured under.
 
+use std::collections::{BTreeSet, VecDeque};
+
 use fec_sched::PacketRef;
 
 use crate::TransmissionPlan;
@@ -53,6 +55,12 @@ pub struct PlannedEmission {
     cursor: usize,
     target: usize,
     amendments: u64,
+    /// NACK-driven targeted repair: served before the schedule, deduped
+    /// while in queue, re-queueable once emitted (a repair can be lost
+    /// too and re-NACKed).
+    repair_queue: VecDeque<PacketRef>,
+    repair_pending: BTreeSet<PacketRef>,
+    repairs_sent: u64,
 }
 
 impl PlannedEmission {
@@ -64,19 +72,55 @@ impl PlannedEmission {
             cursor: 0,
             target,
             amendments: 0,
+            repair_queue: VecDeque::new(),
+            repair_pending: BTreeSet::new(),
+            repairs_sent: 0,
         }
     }
 
     /// The next packet to transmit, or `None` once the current target is
-    /// reached. A later [`amend`](Self::amend) that extends the target
-    /// makes `next_ref` productive again.
+    /// reached and no repair is queued. Queued repair packets go first —
+    /// they answer receivers that are already waiting — then the schedule
+    /// cursor resumes. A later [`amend`](Self::amend) that extends the
+    /// target makes `next_ref` productive again.
     pub fn next_ref(&mut self) -> Option<PacketRef> {
+        if let Some(r) = self.repair_queue.pop_front() {
+            self.repair_pending.remove(&r);
+            self.repairs_sent += 1;
+            return Some(r);
+        }
         if self.cursor >= self.target {
             return None;
         }
         let r = self.schedule[self.cursor];
         self.cursor += 1;
         Some(r)
+    }
+
+    /// Queues targeted repair packets (from NACK digests) ahead of the
+    /// schedule. Packets already waiting in the queue are deduped;
+    /// packets previously *emitted* may be queued again — the repair
+    /// itself travels the same lossy channel. Returns how many were
+    /// actually enqueued.
+    pub fn queue_repair(&mut self, refs: impl IntoIterator<Item = PacketRef>) -> u64 {
+        let mut queued = 0;
+        for r in refs {
+            if self.repair_pending.insert(r) {
+                self.repair_queue.push_back(r);
+                queued += 1;
+            }
+        }
+        queued
+    }
+
+    /// Targeted repair packets emitted so far.
+    pub fn repairs_sent(&self) -> u64 {
+        self.repairs_sent
+    }
+
+    /// Targeted repair packets queued and not yet emitted.
+    pub fn repairs_pending(&self) -> u64 {
+        self.repair_queue.len() as u64
     }
 
     /// Re-targets the emission. `Some(plan)` moves the stopping point to
@@ -106,9 +150,12 @@ impl PlannedEmission {
     }
 
     /// Stops the emission where it stands (target = already sent): the
-    /// receiver has what it needs, nothing more goes out. A later
-    /// [`amend`](Self::amend) can still extend it. Idempotent.
+    /// receiver has what it needs, nothing more goes out — including any
+    /// queued repair. A later [`amend`](Self::amend) can still extend
+    /// it. Idempotent.
     pub fn stop(&mut self) -> Amendment {
+        self.repair_queue.clear();
+        self.repair_pending.clear();
         let old_target = self.target;
         self.target = self.cursor;
         if self.target == old_target {
@@ -121,14 +168,15 @@ impl PlannedEmission {
         }
     }
 
-    /// Packets emitted so far.
+    /// Packets emitted so far (scheduled and targeted repair).
     pub fn sent(&self) -> u64 {
-        self.cursor as u64
+        self.cursor as u64 + self.repairs_sent
     }
 
-    /// Packets still to emit under the current target.
+    /// Packets still to emit under the current target, including queued
+    /// repair.
     pub fn remaining(&self) -> u64 {
-        (self.target - self.cursor) as u64
+        (self.target - self.cursor) as u64 + self.repair_queue.len() as u64
     }
 
     /// The current stopping point (`<= schedule_len`).
@@ -151,9 +199,10 @@ impl PlannedEmission {
         self.amendments
     }
 
-    /// True once the emission reached its current target.
+    /// True once the emission reached its current target and no repair
+    /// is queued.
     pub fn is_done(&self) -> bool {
-        self.cursor >= self.target
+        self.cursor >= self.target && self.repair_queue.is_empty()
     }
 
     /// True when exactly one packet remains under the current target.
@@ -288,6 +337,52 @@ mod tests {
         // A stop is not final: the full schedule can still be restored.
         assert!(matches!(e.amend(None), Amendment::Extended { .. }));
         assert!(!e.is_done());
+    }
+
+    #[test]
+    fn repair_queue_preempts_the_schedule_and_dedups() {
+        let s = sender(40);
+        let mut e = s.emission(TxModel::Random, 7);
+        let full = TxModel::Random.schedule(s.layout(), 7);
+        let first_scheduled = full[0];
+        let fix_a = PacketRef { block: 0, esi: 1 };
+        let fix_b = PacketRef { block: 1, esi: 2 };
+        assert_eq!(e.queue_repair([fix_a, fix_b, fix_a]), 2, "in-queue dedup");
+        assert_eq!(e.repairs_pending(), 2);
+        // Repairs go out first, then the untouched schedule resumes.
+        assert_eq!(e.next_ref(), Some(fix_a));
+        assert_eq!(e.next_ref(), Some(fix_b));
+        assert_eq!(e.next_ref(), Some(first_scheduled));
+        assert_eq!(e.repairs_sent(), 2);
+        assert_eq!(e.sent(), 3);
+        // An emitted repair may be re-NACKed and re-queued.
+        assert_eq!(e.queue_repair([fix_a]), 1);
+    }
+
+    #[test]
+    fn repair_queue_keeps_a_done_emission_productive() {
+        let s = sender(40);
+        let mut e = s.emission(TxModel::Random, 7);
+        while e.next_ref().is_some() {}
+        assert!(e.is_done());
+        let fix = PacketRef { block: 0, esi: 3 };
+        e.queue_repair([fix]);
+        assert!(!e.is_done(), "queued repair reopens the emission");
+        assert_eq!(e.remaining(), 1);
+        assert_eq!(e.next_ref(), Some(fix));
+        assert_eq!(e.next_ref(), None);
+        assert!(e.is_done());
+    }
+
+    #[test]
+    fn stop_discards_queued_repair() {
+        let s = sender(40);
+        let mut e = s.emission(TxModel::Random, 7);
+        e.next_ref().unwrap();
+        e.queue_repair([PacketRef { block: 0, esi: 9 }]);
+        assert!(matches!(e.stop(), Amendment::Truncated { .. }));
+        assert_eq!(e.repairs_pending(), 0);
+        assert_eq!(e.next_ref(), None, "completion outranks repair");
     }
 
     #[test]

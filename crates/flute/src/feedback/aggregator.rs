@@ -1,0 +1,884 @@
+//! fec-audit: deny(panic)
+//!
+//! Sender-side digest aggregation for massive fan-out: one sender, 10⁴–10⁶
+//! receivers, one estimator.
+//!
+//! A [`FeedbackAggregator`] generalises the single-stream
+//! [`FeedbackLoop`](super::FeedbackLoop) to a receiver *population*. Each
+//! digest is keyed by its source address and deduped against that
+//! receiver's own `report_seq` (the return channel duplicates and reorders
+//! per receiver, exactly as before). But only the **worst** receiver's
+//! loss sketch is folded into the central
+//! [`OnlineGilbertEstimator`](fec_adapt::OnlineGilbertEstimator): the
+//! controller plans repair for the receiver that needs it most, and every
+//! other digest costs O(1) bookkeeping instead of an estimator push per
+//! observation — per-digest work drops from O(n) streams to O(unique
+//! worst case).
+//!
+//! "Worst" is the receiver with the highest cumulative loss fraction,
+//! compared with exact integer cross-multiplication and a deterministic
+//! key tie-break (lower address wins), so ingest order cannot flip ties.
+//! The incumbent keeps folding until strictly beaten — which makes the
+//! estimator state reproducible: replaying the worst receiver's accepted
+//! digests alone through a fresh estimator yields the identical state
+//! (property-tested in `tests/fanout_props.rs`).
+//!
+//! Idle receivers are evicted after
+//! [`idle_ticks`](AggregatorConfig::idle_ticks) calls to
+//! [`advance_tick`](FeedbackAggregator::advance_tick) without a fresh
+//! digest, so a million receivers that left keep neither memory nor a
+//! vote in population completion. The controller sees the fleet through
+//! one [`PopulationSummary`] per replan — count, worst-case loss,
+//! completion quantiles — not n digest streams.
+//!
+//! NACK sections are unioned across the population into per-`(toi,
+//! block)` missing-ESI sets; [`take_nack_requests`]
+//! (FeedbackAggregator::take_nack_requests) drains them for targeted
+//! repair emission.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
+
+use fec_adapt::{AdaptiveController, ControllerConfig, PopulationSummary, Replan};
+use fec_telemetry::Registry;
+
+use super::wire::{NackEntry, ReceptionReport};
+use crate::metrics::AggregatorMetrics;
+use crate::{FluteError, FDT_TOI};
+
+/// Completion-fraction histogram resolution: buckets of 10% plus one for
+/// "fully complete".
+const COMPLETION_BUCKETS: usize = 11;
+
+/// Aggregator tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregatorConfig {
+    /// [`advance_tick`](FeedbackAggregator::advance_tick) calls a
+    /// receiver may stay silent before it is evicted. Callers typically
+    /// tick once per replan round.
+    pub idle_ticks: u64,
+    /// Hard cap on tracked receivers; digests from new sources beyond it
+    /// are still counted and folded by content but not tracked (the
+    /// population summary undercounts instead of the sender exhausting
+    /// memory).
+    pub max_receivers: usize,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> AggregatorConfig {
+        AggregatorConfig {
+            idle_ticks: 4,
+            max_receivers: 4_000_000,
+        }
+    }
+}
+
+/// What ingesting one digest did at population scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateOutcome {
+    /// Fresh digest from the current worst receiver: its sketch was
+    /// folded into the central estimator.
+    Folded {
+        /// Per-packet observations folded in.
+        observations: u64,
+    },
+    /// Fresh digest, tracked per-receiver, but not folded (its receiver
+    /// is not the population's worst).
+    Accepted,
+    /// Duplicate or reordered `report_seq` for its receiver — dropped.
+    Deduped,
+    /// A digest for another session (TSI mismatch) — ignored.
+    ForeignSession,
+}
+
+/// Aggregation statistics (diagnostics / assertions).
+///
+/// Conservation invariant: `folded + accepted + deduped + foreign ==
+/// ingested` — every digest lands in exactly one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregateStats {
+    /// Digests ingested in total.
+    pub ingested: u64,
+    /// Digests whose sketch was folded into the estimator.
+    pub folded: u64,
+    /// Fresh digests tracked but not folded.
+    pub accepted: u64,
+    /// Digests dropped as per-receiver duplicates / reorders.
+    pub deduped: u64,
+    /// Digests for a different session.
+    pub foreign: u64,
+    /// Per-packet observations folded into the estimator.
+    pub observations: u64,
+    /// Receivers evicted after going idle.
+    pub evicted: u64,
+    /// Distinct symbols newly added to the NACK union.
+    pub nack_symbols: u64,
+}
+
+/// Compact per-receiver tracking state (~56 bytes; a million receivers
+/// fit in tens of megabytes).
+#[derive(Debug, Clone, Copy)]
+struct ReceiverState {
+    last_report_seq: u32,
+    last_active: u64,
+    /// Cumulative counters from the latest digest, summed across TOIs.
+    received: u64,
+    lost: u64,
+    /// Non-FDT objects the receiver has reported on / completed.
+    objects: u32,
+    objects_complete: u32,
+    /// Completion bits for TOIs 0..64 (dedup for per-TOI population
+    /// counts); larger TOIs go through the shared overflow set.
+    complete_mask: u64,
+    session_complete: bool,
+}
+
+impl ReceiverState {
+    fn completion_bucket(&self) -> usize {
+        if self.objects == 0 {
+            return 0;
+        }
+        let b = (self.objects_complete as u64 * 10 / self.objects as u64) as usize;
+        b.min(COMPLETION_BUCKETS - 1)
+    }
+}
+
+/// Sender half of the live adaptive loop, at population scale.
+#[derive(Debug)]
+pub struct FeedbackAggregator {
+    tsi: u32,
+    config: AggregatorConfig,
+    controller: AdaptiveController,
+    receivers: BTreeMap<SocketAddr, ReceiverState>,
+    /// The current worst receiver (highest loss fraction; deterministic
+    /// tie-break). `None` until the first digest.
+    worst: Option<SocketAddr>,
+    tick: u64,
+    /// Per-TOI count of tracked receivers reporting the object complete.
+    toi_complete: BTreeMap<u32, u64>,
+    /// Dedup for completion reports on TOIs ≥ 64 (rare; TOIs < 64 use
+    /// the in-state mask).
+    complete_overflow: BTreeSet<(u32, SocketAddr)>,
+    /// Tracked receivers whose digests report the whole session done.
+    session_complete_count: u64,
+    /// TOIs whose population completion has been recorded as a positive
+    /// controller outcome (once each, like the single-stream loop —
+    /// completion itself stays dynamic: a late joiner reopens it).
+    outcome_recorded: BTreeSet<u32>,
+    /// Histogram of per-receiver completion fractions (10% buckets) so
+    /// quantiles cost O(1) memory and O(buckets) time.
+    completion_hist: [u64; COMPLETION_BUCKETS],
+    /// Union of missing ESIs across the population, keyed `(toi, block)`.
+    nack_union: BTreeMap<(u32, u32), BTreeSet<u32>>,
+    stats: AggregateStats,
+    metrics: Option<AggregatorMetrics>,
+}
+
+impl FeedbackAggregator {
+    /// An aggregator for session `tsi` with a fresh controller.
+    pub fn new(tsi: u32, config: AggregatorConfig, controller: ControllerConfig) -> Self {
+        FeedbackAggregator::with_controller(tsi, config, AdaptiveController::new(controller))
+    }
+
+    /// An aggregator around an existing (possibly pre-warmed) controller.
+    pub fn with_controller(
+        tsi: u32,
+        config: AggregatorConfig,
+        controller: AdaptiveController,
+    ) -> Self {
+        FeedbackAggregator {
+            tsi,
+            config: AggregatorConfig {
+                idle_ticks: config.idle_ticks.max(1),
+                max_receivers: config.max_receivers.max(1),
+            },
+            controller,
+            receivers: BTreeMap::new(),
+            worst: None,
+            tick: 0,
+            toi_complete: BTreeMap::new(),
+            complete_overflow: BTreeSet::new(),
+            session_complete_count: 0,
+            outcome_recorded: BTreeSet::new(),
+            completion_hist: [0; COMPLETION_BUCKETS],
+            nack_union: BTreeMap::new(),
+            stats: AggregateStats::default(),
+            metrics: None,
+        }
+    }
+
+    /// Starts recording aggregation activity into `registry`: the
+    /// `fec_feedback_*` family (digest outcomes, tracked receivers,
+    /// evictions, NACK symbols). Counters pick up from the current stats,
+    /// so attaching mid-stream keeps the exported conservation invariant
+    /// (`folded + accepted + deduped + foreign == ingested`) intact.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let m = AggregatorMetrics::register(registry);
+        m.folded.add(self.stats.folded);
+        m.accepted.add(self.stats.accepted);
+        m.deduped.add(self.stats.deduped);
+        m.foreign.add(self.stats.foreign);
+        m.evicted.add(self.stats.evicted);
+        m.nack_symbols.add(self.stats.nack_symbols);
+        m.receivers.set(self.receivers.len() as f64);
+        self.metrics = Some(m);
+    }
+
+    /// Parses and ingests one raw digest datagram from `src`.
+    pub fn ingest_datagram(
+        &mut self,
+        src: SocketAddr,
+        datagram: &[u8],
+    ) -> Result<AggregateOutcome, FluteError> {
+        let report = ReceptionReport::from_bytes(datagram)?;
+        Ok(self.ingest(src, &report))
+    }
+
+    /// Ingests one parsed digest from `src`.
+    pub fn ingest(&mut self, src: SocketAddr, report: &ReceptionReport) -> AggregateOutcome {
+        self.stats.ingested += 1;
+        if report.tsi != self.tsi {
+            self.stats.foreign += 1;
+            if let Some(m) = &self.metrics {
+                m.foreign.inc();
+            }
+            return AggregateOutcome::ForeignSession;
+        }
+
+        let tracked = self.receivers.contains_key(&src);
+        if tracked {
+            // Per-receiver dedup: the same monotone report_seq guard the
+            // single-stream loop applies, but per source.
+            if let Some(state) = self.receivers.get(&src) {
+                if report.report_seq <= state.last_report_seq {
+                    self.stats.deduped += 1;
+                    if let Some(m) = &self.metrics {
+                        m.deduped.inc();
+                    }
+                    return AggregateOutcome::Deduped;
+                }
+            }
+        } else if self.receivers.len() >= self.config.max_receivers {
+            // Over the cap: count the digest but do not track the source —
+            // the summary undercounts instead of the sender exhausting
+            // memory.
+            self.stats.accepted += 1;
+            if let Some(m) = &self.metrics {
+                m.accepted.inc();
+            }
+            return AggregateOutcome::Accepted;
+        }
+
+        let old = self.receivers.get(&src).copied();
+        let mut state = old.unwrap_or(ReceiverState {
+            last_report_seq: 0,
+            last_active: self.tick,
+            received: 0,
+            lost: 0,
+            objects: 0,
+            objects_complete: 0,
+            complete_mask: 0,
+            session_complete: false,
+        });
+        let old_bucket = old.map(|s| s.completion_bucket());
+
+        state.last_report_seq = report.report_seq;
+        state.last_active = self.tick;
+        let mut received = 0u64;
+        let mut lost = 0u64;
+        let mut objects = 0u32;
+        let mut objects_complete = 0u32;
+        let mut newly_population_complete: Vec<u32> = Vec::new();
+        for entry in &report.entries {
+            received = received.saturating_add(entry.received as u64);
+            lost = lost.saturating_add(entry.lost as u64);
+            if entry.toi == FDT_TOI {
+                continue;
+            }
+            objects = objects.saturating_add(1);
+            if entry.complete {
+                objects_complete = objects_complete.saturating_add(1);
+                if self.note_receiver_completion(&mut state, src, entry.toi) {
+                    newly_population_complete.push(entry.toi);
+                }
+            }
+        }
+        state.received = received;
+        state.lost = lost;
+        state.objects = objects;
+        state.objects_complete = objects_complete;
+        if report.session_complete && !state.session_complete {
+            state.session_complete = true;
+            self.session_complete_count += 1;
+        }
+
+        // Completion histogram: move the receiver to its new bucket.
+        if let Some(b) = old_bucket {
+            if let Some(slot) = self.completion_hist.get_mut(b) {
+                *slot = slot.saturating_sub(1);
+            }
+        }
+        if let Some(slot) = self.completion_hist.get_mut(state.completion_bucket()) {
+            *slot = slot.saturating_add(1);
+        }
+
+        // Worst-receiver comparison, in exact integer math.
+        let folds = match self.worst {
+            None => true,
+            Some(wkey) if wkey == src => true,
+            Some(wkey) => match self.receivers.get(&wkey) {
+                None => true,
+                Some(w) => {
+                    let lhs = (state.lost as u128) * ((w.lost + w.received).max(1) as u128);
+                    let rhs = (w.lost as u128) * ((state.lost + state.received).max(1) as u128);
+                    lhs > rhs || (lhs == rhs && src <= wkey)
+                }
+            },
+        };
+
+        self.receivers.insert(src, state);
+        if let Some(m) = &self.metrics {
+            m.receivers.set(self.receivers.len() as f64);
+        }
+
+        // Union the NACK section (skip objects the population already
+        // finished — a straggler's stale NACK must not reopen repair).
+        let mut fresh_symbols = 0u64;
+        for nack in &report.nacks {
+            if nack.toi != FDT_TOI && self.is_complete(nack.toi) {
+                continue;
+            }
+            let set = self.nack_union.entry((nack.toi, nack.block)).or_default();
+            for &esi in &nack.esis {
+                if set.insert(esi) {
+                    fresh_symbols += 1;
+                }
+            }
+        }
+        if fresh_symbols > 0 {
+            self.stats.nack_symbols += fresh_symbols;
+            if let Some(m) = &self.metrics {
+                m.nack_symbols.add(fresh_symbols);
+            }
+        }
+
+        // Population-complete objects are the controller's positive
+        // outcome signal, recorded once per TOI.
+        for _ in &newly_population_complete {
+            self.controller.record_outcome(true);
+        }
+
+        if folds {
+            self.worst = Some(src);
+            let observations = self.controller.observe_runs(report.run_pairs());
+            self.stats.folded += 1;
+            self.stats.observations += observations;
+            if let Some(m) = &self.metrics {
+                m.folded.inc();
+            }
+            AggregateOutcome::Folded { observations }
+        } else {
+            self.stats.accepted += 1;
+            if let Some(m) = &self.metrics {
+                m.accepted.inc();
+            }
+            AggregateOutcome::Accepted
+        }
+    }
+
+    /// Records one receiver's completion of `toi`, deduped; returns true
+    /// when this report makes the object complete across the whole
+    /// tracked population for the first time.
+    fn note_receiver_completion(
+        &mut self,
+        state: &mut ReceiverState,
+        src: SocketAddr,
+        toi: u32,
+    ) -> bool {
+        let first_time = if toi < 64 {
+            let bit = 1u64 << toi;
+            let fresh = state.complete_mask & bit == 0;
+            state.complete_mask |= bit;
+            fresh
+        } else {
+            self.complete_overflow.insert((toi, src))
+        };
+        if !first_time {
+            return false;
+        }
+        let count = self.toi_complete.entry(toi).or_insert(0);
+        *count += 1;
+        // The receiver being ingested is not in the map yet on first
+        // contact, so population size includes it explicitly.
+        let population =
+            self.receivers.len() as u64 + u64::from(!self.receivers.contains_key(&src));
+        if *count >= population && self.outcome_recorded.insert(toi) {
+            return true;
+        }
+        false
+    }
+
+    /// Advances the idle clock one tick and evicts receivers that have
+    /// been silent for [`idle_ticks`](AggregatorConfig::idle_ticks) or
+    /// more. Call once per replan round (or timer period). Returns the
+    /// number of receivers evicted.
+    pub fn advance_tick(&mut self) -> usize {
+        self.tick += 1;
+        let deadline = self.tick.saturating_sub(self.config.idle_ticks);
+        if self.tick < self.config.idle_ticks {
+            return 0;
+        }
+        let idle: Vec<SocketAddr> = self
+            .receivers
+            .iter()
+            .filter(|(_, s)| s.last_active < deadline)
+            .map(|(&k, _)| k)
+            .collect();
+        let evicted = idle.len();
+        for key in idle {
+            if let Some(state) = self.receivers.remove(&key) {
+                if let Some(slot) = self.completion_hist.get_mut(state.completion_bucket()) {
+                    *slot = slot.saturating_sub(1);
+                }
+                if state.session_complete {
+                    self.session_complete_count = self.session_complete_count.saturating_sub(1);
+                }
+                // Drop its completion votes so per-TOI population
+                // completion keeps meaning "all *current* receivers".
+                for toi in 0..64u32 {
+                    if state.complete_mask & (1u64 << toi) != 0 {
+                        if let Some(c) = self.toi_complete.get_mut(&toi) {
+                            *c = c.saturating_sub(1);
+                        }
+                    }
+                }
+                let overflow: Vec<u32> = self
+                    .complete_overflow
+                    .iter()
+                    .filter(|(_, k)| *k == key)
+                    .map(|&(toi, _)| toi)
+                    .collect();
+                for toi in overflow {
+                    self.complete_overflow.remove(&(toi, key));
+                    if let Some(c) = self.toi_complete.get_mut(&toi) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+            }
+            if self.worst == Some(key) {
+                // The worst receiver left; the next accepted digest
+                // re-seeds the comparison.
+                self.worst = None;
+            }
+        }
+        self.stats.evicted += evicted as u64;
+        if let Some(m) = &self.metrics {
+            m.evicted.add(evicted as u64);
+            m.receivers.set(self.receivers.len() as f64);
+        }
+        evicted
+    }
+
+    /// The fleet-level view: receiver count, the worst receiver's loss,
+    /// the worst-case Gilbert estimate, completion quantiles (10th/50th/
+    /// 90th percentile of per-receiver progress).
+    pub fn summary(&self) -> PopulationSummary {
+        let worst_loss = self
+            .worst
+            .and_then(|k| self.receivers.get(&k))
+            .map(|s| {
+                let total = s.lost + s.received;
+                if total == 0 {
+                    0.0
+                } else {
+                    s.lost as f64 / total as f64
+                }
+            })
+            .unwrap_or(0.0);
+        let est = self.controller.estimate();
+        PopulationSummary {
+            receivers: self.receivers.len() as u64,
+            worst_loss,
+            worst_p: est.as_ref().map(|e| e.params.p()),
+            worst_q: est.as_ref().map(|e| e.params.q()),
+            completion_quantiles: [
+                self.completion_quantile(0.10),
+                self.completion_quantile(0.50),
+                self.completion_quantile(0.90),
+            ],
+        }
+    }
+
+    /// The completion fraction at population quantile `q` (0..=1), from
+    /// the 10%-bucket histogram.
+    fn completion_quantile(&self, q: f64) -> f64 {
+        let total: u64 = self.completion_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.completion_hist.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return (i as f64 / 10.0).min(1.0);
+            }
+        }
+        1.0
+    }
+
+    /// Hands the controller the current population summary and re-plans
+    /// a `k`-packet object — the fan-out analogue of
+    /// [`FeedbackLoop::replan`](super::FeedbackLoop::replan).
+    pub fn replan(&mut self, k: usize) -> Replan {
+        self.controller.note_population(self.summary());
+        self.controller.replan(k)
+    }
+
+    /// Records that an object's schedule was exhausted without the
+    /// population completing it.
+    pub fn record_failure(&mut self) {
+        self.controller.record_outcome(false);
+    }
+
+    /// Drains the unioned NACK requests as per-block missing-ESI lists,
+    /// ascending `(toi, block)`, for targeted repair emission.
+    pub fn take_nack_requests(&mut self) -> Vec<NackEntry> {
+        let union = std::mem::take(&mut self.nack_union);
+        union
+            .into_iter()
+            .filter(|((toi, _), _)| !self.is_complete(*toi))
+            .map(|((toi, block), esis)| NackEntry {
+                toi,
+                block,
+                esis: esis.into_iter().collect(),
+            })
+            .collect()
+    }
+
+    /// Whether every currently tracked receiver has reported `toi`
+    /// complete (false while no receiver is tracked; a late joiner that
+    /// has not completed it reopens the object).
+    pub fn is_complete(&self, toi: u32) -> bool {
+        !self.receivers.is_empty()
+            && self.toi_complete.get(&toi).copied().unwrap_or(0) >= self.receivers.len() as u64
+    }
+
+    /// TOIs complete across the whole currently tracked population.
+    pub fn completed(&self) -> impl Iterator<Item = u32> + '_ {
+        self.toi_complete
+            .iter()
+            .filter(|(_, &count)| {
+                !self.receivers.is_empty() && count >= self.receivers.len() as u64
+            })
+            .map(|(&toi, _)| toi)
+    }
+
+    /// Whether every currently tracked receiver has reported the whole
+    /// session complete (false while no receiver is tracked).
+    pub fn session_complete(&self) -> bool {
+        !self.receivers.is_empty() && self.session_complete_count >= self.receivers.len() as u64
+    }
+
+    /// Receivers currently tracked.
+    pub fn receiver_count(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// The current worst receiver, if any digest has arrived.
+    pub fn worst_receiver(&self) -> Option<SocketAddr> {
+        self.worst
+    }
+
+    /// The controller driven by this aggregator.
+    pub fn controller(&self) -> &AdaptiveController {
+        &self.controller
+    }
+
+    /// Mutable access to the controller (manual warm-up, tuning).
+    pub fn controller_mut(&mut self) -> &mut AdaptiveController {
+        &mut self.controller
+    }
+
+    /// Aggregation statistics so far.
+    pub fn stats(&self) -> AggregateStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::{LossRun, ReportEntry};
+
+    fn addr(n: u16) -> SocketAddr {
+        SocketAddr::from(([10, 0, (n >> 8) as u8, n as u8], 4000))
+    }
+
+    fn digest(seq: u32, lost: u32, received: u32) -> ReceptionReport {
+        let mut runs = Vec::new();
+        if received > 0 {
+            runs.push(LossRun {
+                lost: false,
+                len: received,
+            });
+        }
+        if lost > 0 {
+            runs.push(LossRun {
+                lost: true,
+                len: lost,
+            });
+        }
+        ReceptionReport {
+            tsi: 7,
+            report_seq: seq,
+            highest_seq: Some((received + lost) % (1 << 24)),
+            session_complete: false,
+            truncated: false,
+            entries: vec![ReportEntry {
+                toi: 1,
+                received,
+                lost,
+                complete: false,
+            }],
+            runs,
+            nacks: vec![],
+        }
+    }
+
+    fn agg() -> FeedbackAggregator {
+        FeedbackAggregator::new(7, AggregatorConfig::default(), ControllerConfig::default())
+    }
+
+    #[test]
+    fn dedup_is_per_receiver() {
+        let mut a = agg();
+        let d1 = digest(1, 5, 95);
+        assert!(matches!(
+            a.ingest(addr(1), &d1),
+            AggregateOutcome::Folded { .. }
+        ));
+        // The same seq from a *different* receiver is fresh.
+        assert!(!matches!(a.ingest(addr(2), &d1), AggregateOutcome::Deduped));
+        // The same seq from the same receiver is not.
+        assert_eq!(a.ingest(addr(1), &d1), AggregateOutcome::Deduped);
+        assert_eq!(a.receiver_count(), 2);
+        let s = a.stats();
+        assert_eq!(s.ingested, s.folded + s.accepted + s.deduped + s.foreign);
+        assert_eq!(s.deduped, 1);
+    }
+
+    #[test]
+    fn only_the_worst_receivers_sketch_folds() {
+        let mut a = agg();
+        // Receiver 1: 10% loss. Receiver 2: 1% loss. Receiver 3: 20%.
+        assert!(matches!(
+            a.ingest(addr(1), &digest(1, 10, 90)),
+            AggregateOutcome::Folded { .. }
+        ));
+        let after_first = *a.controller().estimator().counts();
+        assert_eq!(
+            a.ingest(addr(2), &digest(1, 1, 99)),
+            AggregateOutcome::Accepted,
+            "a better receiver does not fold"
+        );
+        assert_eq!(
+            a.controller().estimator().counts(),
+            &after_first,
+            "estimator untouched by the better receiver"
+        );
+        assert!(matches!(
+            a.ingest(addr(3), &digest(1, 20, 80)),
+            AggregateOutcome::Folded { .. }
+        ));
+        assert_eq!(a.worst_receiver(), Some(addr(3)));
+        // The incumbent worst keeps folding its own later digests.
+        assert!(matches!(
+            a.ingest(addr(3), &digest(2, 40, 160)),
+            AggregateOutcome::Folded { .. }
+        ));
+    }
+
+    #[test]
+    fn worst_ties_break_deterministically_by_key() {
+        let mut a = agg();
+        a.ingest(addr(5), &digest(1, 10, 90));
+        assert_eq!(a.worst_receiver(), Some(addr(5)));
+        // Same fraction, lower address: takes over.
+        a.ingest(addr(2), &digest(1, 10, 90));
+        assert_eq!(a.worst_receiver(), Some(addr(2)));
+        // Same fraction, higher address: incumbent stays.
+        a.ingest(addr(9), &digest(1, 10, 90));
+        assert_eq!(a.worst_receiver(), Some(addr(2)));
+    }
+
+    #[test]
+    fn idle_receivers_are_evicted_and_completion_adjusts() {
+        let mut a = FeedbackAggregator::new(
+            7,
+            AggregatorConfig {
+                idle_ticks: 2,
+                ..AggregatorConfig::default()
+            },
+            ControllerConfig::default(),
+        );
+        let mut done = digest(1, 0, 100);
+        done.entries[0].complete = true;
+        done.session_complete = true;
+        a.ingest(addr(1), &done);
+        a.ingest(addr(2), &digest(1, 3, 97));
+        assert!(!a.is_complete(1), "receiver 2 is still missing it");
+        assert!(!a.session_complete());
+        // Receiver 2 goes silent; receiver 1 keeps reporting.
+        for seq in 2..6 {
+            a.advance_tick();
+            let mut d = digest(seq, 0, 100);
+            d.entries[0].complete = true;
+            d.session_complete = true;
+            a.ingest(addr(1), &d);
+        }
+        assert_eq!(a.receiver_count(), 1, "idle receiver evicted");
+        assert!(a.stats().evicted >= 1);
+        assert!(
+            a.session_complete(),
+            "the remaining population is all complete"
+        );
+    }
+
+    #[test]
+    fn population_completion_requires_everyone() {
+        let mut a = agg();
+        let mut done = digest(1, 0, 100);
+        done.entries[0].complete = true;
+        a.ingest(addr(1), &done);
+        assert!(a.is_complete(1), "population of one");
+        let mut a = agg();
+        a.ingest(addr(1), &digest(1, 0, 100));
+        a.ingest(addr(2), &digest(1, 0, 100));
+        let mut done = digest(2, 0, 200);
+        done.entries[0].complete = true;
+        a.ingest(addr(1), &done.clone());
+        assert!(!a.is_complete(1), "half the population");
+        a.ingest(addr(2), &done);
+        assert!(a.is_complete(1), "everyone");
+    }
+
+    #[test]
+    fn nacks_union_across_receivers_and_drain_once() {
+        let mut a = agg();
+        let mut d1 = digest(1, 5, 95);
+        d1.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: vec![3, 7],
+        }];
+        let mut d2 = digest(1, 2, 98);
+        d2.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: vec![7, 9],
+        }];
+        a.ingest(addr(1), &d1);
+        a.ingest(addr(2), &d2);
+        assert_eq!(a.stats().nack_symbols, 3, "7 unioned once");
+        let reqs = a.take_nack_requests();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].esis, vec![3, 7, 9]);
+        assert!(a.take_nack_requests().is_empty(), "drained");
+    }
+
+    #[test]
+    fn summary_reports_count_worst_and_quantiles() {
+        let mut a = agg();
+        for i in 0..10u16 {
+            let mut d = digest(1, if i == 9 { 30 } else { 0 }, 100);
+            // Receivers 0..5 complete, the rest not.
+            d.entries[0].complete = i < 5;
+            a.ingest(addr(i), &d);
+        }
+        let s = a.summary();
+        assert_eq!(s.receivers, 10);
+        assert!((s.worst_loss - 30.0 / 130.0).abs() < 1e-9);
+        assert_eq!(s.completion_quantiles[0], 0.0, "p10: an incomplete one");
+        assert_eq!(s.completion_quantiles[2], 1.0, "p90: a complete one");
+    }
+
+    #[test]
+    fn prometheus_surface_conserves_digest_outcomes() {
+        use fec_telemetry::Registry;
+
+        let mut a = FeedbackAggregator::new(
+            7,
+            AggregatorConfig {
+                idle_ticks: 1,
+                ..AggregatorConfig::default()
+            },
+            ControllerConfig::default(),
+        );
+        // Pre-telemetry traffic: the attach must back-fill it.
+        a.ingest(addr(1), &digest(1, 5, 95));
+        a.ingest(addr(1), &digest(1, 5, 95)); // dedup
+        let registry = Registry::new();
+        a.attach_telemetry(&registry);
+        // Post-attach traffic across every outcome.
+        let mut foreign = digest(2, 1, 9);
+        foreign.tsi = 8;
+        a.ingest(addr(1), &foreign);
+        a.ingest(addr(2), &digest(1, 0, 100)); // accepted (not worst)
+        let mut nacked = digest(2, 6, 94);
+        nacked.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: vec![4, 8],
+        }];
+        a.ingest(addr(1), &nacked); // folded, with NACK symbols
+        a.advance_tick();
+        a.advance_tick(); // everyone idle -> evicted
+
+        let s = a.stats();
+        assert_eq!(s.ingested, s.folded + s.accepted + s.deduped + s.foreign);
+        let text = registry.render_prometheus();
+        let scrape = |outcome: &str| -> u64 {
+            let needle = format!("fec_feedback_digests_total{{outcome=\"{outcome}\"}} ");
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&needle))
+                .unwrap_or_else(|| panic!("missing {needle:?} in:\n{text}"));
+            line[needle.len()..].trim().parse().expect("integer sample")
+        };
+        // The exported family mirrors the stats exactly, so the
+        // conservation invariant holds on the scraped surface too.
+        let exported: u64 = ["folded", "accepted", "deduped", "foreign"]
+            .iter()
+            .map(|o| scrape(o))
+            .sum();
+        assert_eq!(exported, s.ingested, "scraped outcomes sum to ingested");
+        assert_eq!(scrape("folded"), s.folded);
+        assert_eq!(scrape("accepted"), s.accepted);
+        assert_eq!(scrape("deduped"), s.deduped);
+        assert_eq!(scrape("foreign"), s.foreign);
+        for line in [
+            format!("fec_feedback_receivers {}", a.receiver_count()),
+            format!("fec_feedback_evicted_total {}", s.evicted),
+            format!("fec_feedback_nack_symbols_total {}", s.nack_symbols),
+        ] {
+            assert!(text.contains(&line), "missing {line:?} in:\n{text}");
+        }
+        assert!(s.evicted >= 2 && s.nack_symbols == 2);
+    }
+
+    #[test]
+    fn foreign_and_conservation() {
+        let mut a = agg();
+        let mut d = digest(1, 1, 9);
+        d.tsi = 8;
+        assert_eq!(a.ingest(addr(1), &d), AggregateOutcome::ForeignSession);
+        a.ingest(addr(1), &digest(1, 1, 9));
+        a.ingest(addr(1), &digest(1, 1, 9));
+        a.ingest(addr(2), &digest(1, 0, 10));
+        let s = a.stats();
+        assert_eq!(s.ingested, 4);
+        assert_eq!(s.ingested, s.folded + s.accepted + s.deduped + s.foreign);
+        assert_eq!(s.foreign, 1);
+    }
+}

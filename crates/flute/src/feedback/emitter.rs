@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 
 use fec_telemetry::Registry;
 
-use super::wire::{LossRun, ReceptionReport, ReportEntry, SEQ_MODULUS};
+use super::wire::{LossRun, NackEntry, ReceptionReport, ReportEntry, SEQ_MODULUS};
 use crate::metrics::EmitterMetrics;
 use crate::FDT_TOI;
 
@@ -45,6 +45,24 @@ pub struct ReportConfig {
     /// Run-sketch capacity per digest; overflowing drops the oldest runs
     /// and sets the digest's `truncated` flag.
     pub max_runs: usize,
+    /// The receiver's belief about the session population size. Above 1
+    /// the [`poll`](ReportEmitter::poll) threshold is scaled by
+    /// `n / log₂ n`, so the *aggregate* digest rate across n receivers
+    /// stays O(log n) instead of O(n) — the RTCP-style suppression that
+    /// keeps a million-receiver return channel from melting the sender.
+    pub population_hint: u64,
+    /// Seed for the deterministic per-receiver threshold jitter (±25%),
+    /// which de-synchronises the report times of receivers that joined
+    /// together. 0 disables jitter; real deployments should use a
+    /// per-receiver value.
+    pub jitter_seed: u64,
+    /// Maximum exponential-backoff doublings of the report interval
+    /// while the channel stays loss-free. Quiet receivers go quieter
+    /// (each clean digest doubles the next threshold, up to
+    /// 2^max_backoff_exp); the first observed loss snaps the backoff —
+    /// and the current threshold — back to base, so bad news still
+    /// travels fast. 0 disables backoff.
+    pub max_backoff_exp: u32,
 }
 
 impl Default for ReportConfig {
@@ -52,6 +70,9 @@ impl Default for ReportConfig {
         ReportConfig {
             report_every: 256,
             max_runs: 2048,
+            population_hint: 1,
+            jitter_seed: 0,
+            max_backoff_exp: 0,
         }
     }
 }
@@ -79,6 +100,19 @@ pub struct ReportEmitter {
     observed_since_report: usize,
     session_complete: bool,
     observed_ever: bool,
+    /// Anything reportable happened since the last built digest. Guards
+    /// [`flush`](Self::flush) against minting a duplicate near-empty
+    /// digest when the caller's timer fires in the same tick as a
+    /// threshold [`poll`](Self::poll).
+    dirty: bool,
+    /// Consecutive digests whose sketch saw no loss (drives backoff).
+    quiet_streak: u32,
+    loss_since_report: bool,
+    /// The effective poll threshold for the current interval (base ×
+    /// population scale × backoff ± jitter).
+    threshold: usize,
+    /// Missing-ESI lists to attach to the next digest (NACK mode).
+    pending_nacks: Vec<NackEntry>,
     metrics: Option<EmitterMetrics>,
     /// Loss runs not yet claimed by a completed object: `(attributed
     /// TOI, run length)`. Only populated while telemetry is attached —
@@ -89,11 +123,12 @@ pub struct ReportEmitter {
 impl ReportEmitter {
     /// An emitter for session `tsi`.
     pub fn new(tsi: u32, config: ReportConfig) -> ReportEmitter {
-        ReportEmitter {
+        let mut em = ReportEmitter {
             tsi,
             config: ReportConfig {
                 report_every: config.report_every.max(1),
                 max_runs: config.max_runs.max(2),
+                ..config
             },
             next_report_seq: 1,
             expected_seq: None,
@@ -104,9 +139,16 @@ impl ReportEmitter {
             observed_since_report: 0,
             session_complete: false,
             observed_ever: false,
+            dirty: false,
+            quiet_streak: 0,
+            loss_since_report: false,
+            threshold: 0,
+            pending_nacks: Vec::new(),
             metrics: None,
             residual_runs: Vec::new(),
-        }
+        };
+        em.threshold = em.next_threshold();
+        em
     }
 
     /// Starts recording this emitter's loss-process observations into
@@ -121,6 +163,7 @@ impl ReportEmitter {
     /// EXT_SEQ (if the sender attached one).
     pub fn observe(&mut self, toi: u32, seq: Option<u32>) {
         self.observed_ever = true;
+        self.dirty = true;
         self.observed_since_report += 1;
         let c = self.counters.entry(toi).or_default();
         c.received = c.received.saturating_add(1);
@@ -167,6 +210,7 @@ impl ReportEmitter {
 
     /// Marks one object as fully decoded.
     pub fn mark_complete(&mut self, toi: u32) {
+        self.dirty = true;
         self.counters.entry(toi).or_default().complete = true;
         if let Some(m) = &self.metrics {
             // Every loss run attributed to this object is now known
@@ -193,19 +237,46 @@ impl ReportEmitter {
     /// Marks the whole session as complete (every FDT-listed object
     /// decoded) — sets the FIN flag on subsequent digests.
     pub fn mark_session_complete(&mut self) {
+        self.dirty = true;
         self.session_complete = true;
     }
 
-    /// Emits a digest if the batching threshold has been reached.
+    /// Replaces the missing-ESI lists attached to the next digest (NACK
+    /// mode). Callers snapshot their decoder's incomplete blocks right
+    /// before polling; the lists are dropped once a digest carries them.
+    pub fn set_nacks(&mut self, nacks: Vec<NackEntry>) {
+        if !nacks.is_empty() {
+            self.dirty = true;
+        }
+        self.pending_nacks = nacks;
+    }
+
+    /// Like [`set_nacks`](Self::set_nacks), but an *unchanged* missing
+    /// set is not news: it rides along with whatever digest goes out
+    /// next instead of making the next timer flush emit one. Callers use
+    /// this when the snapshot equals what they last attached.
+    pub fn carry_nacks(&mut self, nacks: Vec<NackEntry>) {
+        self.pending_nacks = nacks;
+    }
+
+    /// Emits a digest if the batching threshold has been reached. With a
+    /// [`population_hint`](ReportConfig::population_hint) above 1 and/or
+    /// backoff enabled, the effective threshold is the suppressed one —
+    /// see [`current_threshold`](Self::current_threshold).
     pub fn poll(&mut self) -> Option<ReceptionReport> {
-        (self.observed_since_report >= self.config.report_every).then(|| self.build())
+        (self.observed_since_report >= self.threshold).then(|| self.build())
     }
 
     /// Emits a digest now regardless of the threshold (the caller's timer
-    /// tick, or the final FIN digest). Returns `None` only before any
-    /// observation at all.
+    /// tick, or the final FIN digest). Returns `None` before any
+    /// observation at all, and — the same-tick dedup — when nothing
+    /// reportable happened since the previous digest, so a timer firing
+    /// right after a threshold [`poll`](Self::poll) cannot mint a
+    /// near-empty duplicate. FIN digests are exempt: once the session
+    /// completes every flush emits, because the live loop re-sends the
+    /// final digest over the lossy return channel on purpose.
     pub fn flush(&mut self) -> Option<ReceptionReport> {
-        self.observed_ever.then(|| self.build())
+        (self.observed_ever && (self.dirty || self.session_complete)).then(|| self.build())
     }
 
     /// Datagrams observed since the last emitted digest.
@@ -213,8 +284,23 @@ impl ReportEmitter {
         self.observed_since_report
     }
 
+    /// The number of observations the next [`poll`](Self::poll) waits
+    /// for: `report_every` scaled by the population hint and the current
+    /// backoff, jittered.
+    pub fn current_threshold(&self) -> usize {
+        self.threshold
+    }
+
     fn push_run(&mut self, lost: bool, len: u32, attributed_toi: u32) {
         if lost {
+            if !self.loss_since_report {
+                // Bad news travels fast: the first loss of the interval
+                // cancels any quiet-channel backoff immediately, so the
+                // sender hears about trouble at the base cadence.
+                self.loss_since_report = true;
+                self.quiet_streak = 0;
+                self.threshold = self.threshold.min(self.base_threshold());
+            }
             let c = self.counters.entry(attributed_toi).or_default();
             c.lost = c.lost.saturating_add(len);
             if let Some(m) = &self.metrics {
@@ -264,15 +350,69 @@ impl ReportEmitter {
                 })
                 .collect(),
             runs: self.runs.iter().copied().collect(),
+            nacks: std::mem::take(&mut self.pending_nacks),
         };
+        if let Some(m) = &self.metrics {
+            m.digests.inc();
+            // Digests this one replaced versus the unsuppressed base
+            // cadence: the feedback traffic the population scheme saved.
+            let base = self.config.report_every.max(1);
+            m.suppressed
+                .add((self.observed_since_report / base).saturating_sub(1) as u64);
+        }
         self.next_report_seq = self.next_report_seq.wrapping_add(1);
         self.runs.clear();
         self.truncated = false;
         self.observed_since_report = 0;
-        if let Some(m) = &self.metrics {
-            m.digests.inc();
+        self.dirty = false;
+        if self.loss_since_report {
+            self.quiet_streak = 0;
+        } else {
+            self.quiet_streak = self.quiet_streak.saturating_add(1);
         }
+        self.loss_since_report = false;
+        self.threshold = self.next_threshold();
         report
+    }
+
+    /// The unjittered base threshold: `report_every` scaled by
+    /// `n / log₂ n` for a population hint of n.
+    fn base_threshold(&self) -> usize {
+        let base = self.config.report_every.max(1) as u64;
+        let n = self.config.population_hint.max(1);
+        let scale = if n >= 2 {
+            let log2 = (64 - n.leading_zeros() as u64).max(1);
+            (n / log2).max(1)
+        } else {
+            1
+        };
+        base.saturating_mul(scale).min(usize::MAX as u64) as usize
+    }
+
+    /// The next interval's effective threshold: base × 2^backoff, with
+    /// deterministic ±25% jitter keyed on the seed and the digest number.
+    fn next_threshold(&mut self) -> usize {
+        let backoff = self.quiet_streak.min(self.config.max_backoff_exp);
+        let mut t = (self.base_threshold() as u64)
+            .saturating_mul(1u64 << backoff.min(32))
+            .min(usize::MAX as u64 / 2);
+        if self.config.jitter_seed != 0 && t >= 4 {
+            // xorshift64* on (seed, digest number): cheap, deterministic,
+            // and different across receivers with different seeds.
+            let mut x = self
+                .config
+                .jitter_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.next_report_seq as u64)
+                | 1;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            // Uniform in [0.75·t, 1.25·t).
+            t = t * 3 / 4 + r % (t / 2).max(1);
+        }
+        t.max(1).min(usize::MAX as u64) as usize
     }
 }
 
@@ -392,6 +532,7 @@ mod tests {
             ReportConfig {
                 report_every: 1_000_000,
                 max_runs: 4,
+                ..ReportConfig::default()
             },
         );
         // Alternating delivered/lost: every observation is a new run.
@@ -419,6 +560,144 @@ mod tests {
         assert!(toi1.complete);
         let fdt = r.entries.iter().find(|e| e.toi == 0).unwrap();
         assert!(!fdt.complete);
+    }
+
+    /// The double-emission bug: a threshold `poll` followed by the
+    /// caller's timer `flush` in the same tick used to mint a second,
+    /// near-empty digest with a fresh `report_seq`. The flush must now
+    /// stay silent until something new is observed.
+    #[test]
+    fn same_tick_flush_after_poll_emits_nothing() {
+        let mut em = ReportEmitter::new(
+            7,
+            ReportConfig {
+                report_every: 4,
+                ..ReportConfig::default()
+            },
+        );
+        for s in 0..4u32 {
+            em.observe(1, Some(s));
+        }
+        let polled = em.poll().expect("threshold reached");
+        assert_eq!(polled.report_seq, 1);
+        assert!(em.flush().is_none(), "same-tick flush must not duplicate");
+        assert!(em.poll().is_none());
+        // New observations make the next flush meaningful again.
+        em.observe(1, Some(4));
+        let flushed = em.flush().expect("dirty again");
+        assert_eq!(flushed.report_seq, 2);
+        assert!(em.flush().is_none(), "and it dedups again");
+        // Completion state counts as news even with no new datagrams.
+        em.mark_complete(1);
+        assert!(em.flush().is_some(), "completion must reach the sender");
+    }
+
+    /// FIN digests are exempt from the dedup: the live loop repeats the
+    /// final digest over the lossy return channel on purpose.
+    #[test]
+    fn fin_digests_flush_repeatedly() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        em.observe(1, Some(0));
+        em.mark_complete(1);
+        em.mark_session_complete();
+        for i in 0..3 {
+            let r = em.flush().unwrap_or_else(|| panic!("FIN repeat {i}"));
+            assert!(r.session_complete);
+        }
+    }
+
+    /// A population hint of n scales the poll threshold by n / log₂ n,
+    /// keeping the aggregate digest rate across n receivers O(log n).
+    #[test]
+    fn population_hint_scales_the_threshold() {
+        let base = ReportEmitter::new(7, ReportConfig::default());
+        assert_eq!(base.current_threshold(), 256);
+        let big = ReportEmitter::new(
+            7,
+            ReportConfig {
+                population_hint: 1 << 20,
+                ..ReportConfig::default()
+            },
+        );
+        // n = 2^20, log2 = 21 (position of the leading bit + 1).
+        assert_eq!(big.current_threshold(), 256 * ((1 << 20) / 21));
+        // Jitter stays within ±25% of the scaled threshold.
+        let jittered = ReportEmitter::new(
+            7,
+            ReportConfig {
+                population_hint: 1 << 20,
+                jitter_seed: 12345,
+                ..ReportConfig::default()
+            },
+        );
+        let t = jittered.current_threshold() as f64;
+        let mid = (256 * ((1 << 20) / 21)) as f64;
+        assert!(t >= mid * 0.75 && t < mid * 1.25, "jittered {t} vs {mid}");
+    }
+
+    /// Quiet intervals double the threshold (up to the cap); the first
+    /// loss snaps it back to base immediately.
+    #[test]
+    fn backoff_doubles_when_quiet_and_resets_on_loss() {
+        let mut em = ReportEmitter::new(
+            7,
+            ReportConfig {
+                report_every: 4,
+                max_backoff_exp: 3,
+                ..ReportConfig::default()
+            },
+        );
+        let mut seq = 0u32;
+        let clean_digest = |em: &mut ReportEmitter, seq: &mut u32| {
+            while em.poll().is_none() {
+                em.observe(1, Some(*seq));
+                *seq += 1;
+            }
+        };
+        assert_eq!(em.current_threshold(), 4);
+        clean_digest(&mut em, &mut seq);
+        assert_eq!(em.current_threshold(), 8, "one quiet digest doubles");
+        clean_digest(&mut em, &mut seq);
+        assert_eq!(em.current_threshold(), 16);
+        clean_digest(&mut em, &mut seq);
+        clean_digest(&mut em, &mut seq);
+        assert_eq!(em.current_threshold(), 32, "capped at 2^3");
+        // A loss mid-interval cancels the backoff before the next poll.
+        em.observe(1, Some(seq + 3)); // 3-packet gap
+        assert_eq!(em.current_threshold(), 4, "loss resets to base");
+        seq += 4;
+        clean_digest(&mut em, &mut seq);
+        assert_eq!(
+            em.current_threshold(),
+            4,
+            "the lossy digest does not re-arm backoff"
+        );
+    }
+
+    /// NACK lists ride the next digest and are dropped once carried.
+    #[test]
+    fn nacks_attach_to_the_next_digest_once() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        em.observe(1, Some(0));
+        em.set_nacks(vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: vec![3, 4],
+        }]);
+        let r = em.flush().unwrap();
+        assert_eq!(r.nacks.len(), 1);
+        assert_eq!(r.nack_symbols(), 2);
+        em.observe(1, Some(1));
+        let r2 = em.flush().unwrap();
+        assert!(r2.nacks.is_empty(), "carried once, then dropped");
+        // Setting fresh NACKs alone makes the next flush meaningful.
+        em.set_nacks(vec![NackEntry {
+            toi: 1,
+            block: 1,
+            esis: vec![9],
+        }]);
+        let r3 = em.flush().expect("pending NACKs are news");
+        assert_eq!(r3.nacks.len(), 1);
     }
 
     #[test]

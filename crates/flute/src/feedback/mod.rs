@@ -23,14 +23,24 @@
 //! Both channel directions are lossy UDP: the sketch survives forward
 //! reordering/duplication (see [`ReportEmitter`]) and the loop survives
 //! dropped, duplicated and reordered digests (see [`FeedbackLoop`]).
+//!
+//! At fan-out scale (10⁴–10⁶ receivers) the same wire format feeds a
+//! [`FeedbackAggregator`] instead: per-source dedup, worst-receiver
+//! estimator folding, idle eviction and population summaries keep the
+//! sender's per-digest work O(1), while the emitter's population-scaled
+//! suppression ([`ReportConfig::population_hint`]) keeps the aggregate
+//! return-channel rate O(log n). Receivers may attach per-block
+//! missing-ESI NACK sections ([`NackEntry`]) for targeted repair.
 
+mod aggregator;
 mod emitter;
 mod sender_loop;
 mod wire;
 
+pub use aggregator::{AggregateOutcome, AggregateStats, AggregatorConfig, FeedbackAggregator};
 pub use emitter::{ReportConfig, ReportEmitter};
 pub use sender_loop::{FeedbackLoop, FeedbackStats, ReportOutcome};
 pub use wire::{
-    LossRun, ReceptionReport, ReportEntry, REPORT_ENTRY_LEN, REPORT_HEADER_LEN, REPORT_MAGIC,
-    REPORT_RUN_LEN, REPORT_VERSION, SEQ_MODULUS,
+    LossRun, NackEntry, ReceptionReport, ReportEntry, REPORT_ENTRY_LEN, REPORT_HEADER_LEN,
+    REPORT_MAGIC, REPORT_NACK_HEADER_LEN, REPORT_RUN_LEN, REPORT_VERSION, SEQ_MODULUS,
 };

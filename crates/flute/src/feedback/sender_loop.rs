@@ -235,6 +235,7 @@ mod tests {
                 complete: false,
             }],
             runs,
+            nacks: vec![],
         }
     }
 

@@ -30,13 +30,21 @@
 //! | runs: run_count × 4 bytes                                     |
 //! |   bit 31 = lost, bits 30..0 = run length                      |
 //! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//! | nacks: nack_count × (12 + 4·esi_count) bytes (flags bit 3)    |
+//! |   TOI (u32) | block (u32) | esi_count (u16) | pad (u16)       |
+//! |   missing ESIs: esi_count × u32                               |
+//! +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
 //! ```
 //!
 //! Flags: bit 0 = session complete (every FDT-listed object decoded),
 //! bit 1 = `highest_seq` valid, bit 2 = the run sketch overflowed and its
-//! oldest runs were dropped (counts stay exact). Entry status: bit 0 =
-//! object complete. All integers big-endian. Unknown flag or status bits
-//! are rejected loudly — the format is versioned, not sniffed.
+//! oldest runs were dropped (counts stay exact), bit 3 = the digest
+//! carries a NACK section (per-block missing-ESI lists; its count lives
+//! in the header word that was reserved-zero before the extension, so
+//! NACK-free digests are byte-identical to the original format). Entry
+//! status: bit 0 = object complete. All integers big-endian. Unknown
+//! flag or status bits are rejected loudly — the format is versioned,
+//! not sniffed.
 //!
 //! The layout is hand-rolled (and golden-tested byte for byte) because the
 //! digest crosses the wire; the structs also derive `serde` traits so
@@ -65,9 +73,14 @@ pub const REPORT_ENTRY_LEN: usize = 16;
 /// Wire size of one loss run.
 pub const REPORT_RUN_LEN: usize = 4;
 
+/// Fixed prefix of one NACK entry (TOI, block, esi_count, pad) before its
+/// missing-ESI list.
+pub const REPORT_NACK_HEADER_LEN: usize = 12;
+
 const FLAG_SESSION_COMPLETE: u8 = 1 << 0;
 const FLAG_HAS_HIGHEST_SEQ: u8 = 1 << 1;
 const FLAG_TRUNCATED: u8 = 1 << 2;
+const FLAG_HAS_NACKS: u8 = 1 << 3;
 const STATUS_COMPLETE: u8 = 1 << 0;
 const RUN_LOST_BIT: u32 = 1 << 31;
 
@@ -94,6 +107,30 @@ pub struct LossRun {
     pub len: u32,
 }
 
+/// One block the receiver cannot finish: the ESIs it still needs.
+///
+/// A NACK names *specific* symbols so the sender can emit targeted
+/// repair instead of extending the whole-schedule carousel. For MDS
+/// codes any fresh symbols would do, but naming the missing ESIs keeps
+/// the request exact (no duplicate risk) and works for every codec.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NackEntry {
+    /// The object the block belongs to.
+    pub toi: u32,
+    /// Source block number within the object.
+    pub block: u32,
+    /// ESIs of symbols still missing from the block, ascending, 1 ..=
+    /// 65535 per entry.
+    pub esis: Vec<u32>,
+}
+
+impl NackEntry {
+    /// Wire size of this entry in bytes.
+    pub fn wire_len(&self) -> usize {
+        REPORT_NACK_HEADER_LEN + self.esis.len() * 4
+    }
+}
+
 /// A complete reception-report digest.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReceptionReport {
@@ -114,6 +151,10 @@ pub struct ReceptionReport {
     /// Loss pattern observed since the previous digest, in transmission
     /// order.
     pub runs: Vec<LossRun>,
+    /// Per-block missing-ESI lists (NACK mode): the symbols the receiver
+    /// still needs, ascending `(toi, block)` order. Empty unless the
+    /// receiver runs with NACKs enabled.
+    pub nacks: Vec<NackEntry>,
 }
 
 impl ReceptionReport {
@@ -127,19 +168,31 @@ impl ReceptionReport {
         self.runs.iter().map(|r| (r.lost, r.len as u64))
     }
 
+    /// Total symbols requested across the NACK section.
+    pub fn nack_symbols(&self) -> u64 {
+        self.nacks.iter().map(|n| n.esis.len() as u64).sum()
+    }
+
     /// Wire size of this digest in bytes.
     pub fn wire_len(&self) -> usize {
-        REPORT_HEADER_LEN + self.entries.len() * REPORT_ENTRY_LEN + self.runs.len() * REPORT_RUN_LEN
+        REPORT_HEADER_LEN
+            + self.entries.len() * REPORT_ENTRY_LEN
+            + self.runs.len() * REPORT_RUN_LEN
+            + self.nacks.iter().map(NackEntry::wire_len).sum::<usize>()
     }
 
     /// Serialises the digest.
     pub fn to_bytes(&self) -> Result<Vec<u8>, FluteError> {
-        if self.entries.len() > u16::MAX as usize || self.runs.len() > u16::MAX as usize {
+        if self.entries.len() > u16::MAX as usize
+            || self.runs.len() > u16::MAX as usize
+            || self.nacks.len() > u16::MAX as usize
+        {
             return Err(FluteError::Malformed {
                 reason: format!(
-                    "digest with {} entries / {} runs exceeds the u16 counts",
+                    "digest with {} entries / {} runs / {} nacks exceeds the u16 counts",
                     self.entries.len(),
-                    self.runs.len()
+                    self.runs.len(),
+                    self.nacks.len()
                 ),
             });
         }
@@ -156,10 +209,15 @@ impl ReceptionReport {
         if self.truncated {
             flags |= FLAG_TRUNCATED;
         }
+        if !self.nacks.is_empty() {
+            flags |= FLAG_HAS_NACKS;
+        }
         out.push(flags);
         out.extend_from_slice(&(self.entries.len() as u16).to_be_bytes());
         out.extend_from_slice(&(self.runs.len() as u16).to_be_bytes());
-        out.extend_from_slice(&[0, 0]); // reserved
+        // The pre-NACK format kept this word reserved-zero, so a digest
+        // without NACKs still serialises byte-identically.
+        out.extend_from_slice(&(self.nacks.len() as u16).to_be_bytes());
         out.extend_from_slice(&self.tsi.to_be_bytes());
         out.extend_from_slice(&self.report_seq.to_be_bytes());
         let highest = match self.highest_seq {
@@ -188,6 +246,25 @@ impl ReceptionReport {
             let word = if r.lost { RUN_LOST_BIT | r.len } else { r.len };
             out.extend_from_slice(&word.to_be_bytes());
         }
+        for n in &self.nacks {
+            if n.esis.is_empty() || n.esis.len() > u16::MAX as usize {
+                return Err(FluteError::Malformed {
+                    reason: format!(
+                        "NACK for toi {} block {} lists {} ESIs (must be 1..=65535)",
+                        n.toi,
+                        n.block,
+                        n.esis.len()
+                    ),
+                });
+            }
+            out.extend_from_slice(&n.toi.to_be_bytes());
+            out.extend_from_slice(&n.block.to_be_bytes());
+            out.extend_from_slice(&(n.esis.len() as u16).to_be_bytes());
+            out.extend_from_slice(&[0, 0]);
+            for esi in &n.esis {
+                out.extend_from_slice(&esi.to_be_bytes());
+            }
+        }
         debug_assert_eq!(out.len(), self.wire_len());
         Ok(out)
     }
@@ -207,20 +284,37 @@ impl ReceptionReport {
             });
         }
         let flags = r.u8()?;
-        if flags & !(FLAG_SESSION_COMPLETE | FLAG_HAS_HIGHEST_SEQ | FLAG_TRUNCATED) != 0 {
+        if flags & !(FLAG_SESSION_COMPLETE | FLAG_HAS_HIGHEST_SEQ | FLAG_TRUNCATED | FLAG_HAS_NACKS)
+            != 0
+        {
             return Err(FluteError::Unsupported {
                 reason: format!("reception report flags {flags:#04x}"),
             });
         }
         let entry_count = r.u16_be()? as usize;
         let run_count = r.u16_be()? as usize;
-        let _reserved = r.u16_be()?;
-        let expected =
-            REPORT_HEADER_LEN + entry_count * REPORT_ENTRY_LEN + run_count * REPORT_RUN_LEN;
-        if data.len() != expected {
+        let nack_count = r.u16_be()? as usize;
+        let has_nacks = flags & FLAG_HAS_NACKS != 0;
+        if has_nacks != (nack_count > 0) {
+            return Err(FluteError::Malformed {
+                reason: format!(
+                    "NACK flag {} but nack_count {nack_count}",
+                    if has_nacks { "set" } else { "clear" }
+                ),
+            });
+        }
+        // Without NACKs the digest length is fully determined by the
+        // header counts, so demand it exactly; with NACKs each entry
+        // carries its own ESI count, so demand at least the fixed parts
+        // here and full consumption after the variable tail parses.
+        let fixed = REPORT_HEADER_LEN
+            + entry_count * REPORT_ENTRY_LEN
+            + run_count * REPORT_RUN_LEN
+            + nack_count * REPORT_NACK_HEADER_LEN;
+        if data.len() < fixed || (!has_nacks && data.len() != fixed) {
             return Err(FluteError::Truncated {
                 what: "reception report body",
-                needed: expected,
+                needed: fixed,
                 got: data.len(),
             });
         }
@@ -271,6 +365,34 @@ impl ReceptionReport {
                 len,
             });
         }
+        let mut nacks = Vec::with_capacity(nack_count);
+        for _ in 0..nack_count {
+            let toi = r.u32_be()?;
+            let block = r.u32_be()?;
+            let esi_count = r.u16_be()? as usize;
+            let _pad = r.u16_be()?;
+            if esi_count == 0 {
+                return Err(FluteError::Malformed {
+                    reason: format!("empty NACK for toi {toi} block {block}"),
+                });
+            }
+            // Bound the pre-allocation by what the buffer can actually
+            // hold so a forged count cannot balloon memory.
+            let remaining = data.len().saturating_sub(r.pos()) / 4;
+            let mut esis = Vec::with_capacity(esi_count.min(remaining));
+            for _ in 0..esi_count {
+                esis.push(r.u32_be()?);
+            }
+            nacks.push(NackEntry { toi, block, esis });
+        }
+        if r.pos() != data.len() {
+            return Err(FluteError::Malformed {
+                reason: format!(
+                    "reception report carries {} trailing bytes",
+                    data.len() - r.pos()
+                ),
+            });
+        }
         Ok(ReceptionReport {
             tsi,
             report_seq,
@@ -279,6 +401,7 @@ impl ReceptionReport {
             truncated: flags & FLAG_TRUNCATED != 0,
             entries,
             runs,
+            nacks,
         })
     }
 }
@@ -319,7 +442,25 @@ mod tests {
                     len: 77,
                 },
             ],
+            nacks: vec![],
         }
+    }
+
+    fn sample_with_nacks() -> ReceptionReport {
+        let mut r = sample();
+        r.nacks = vec![
+            NackEntry {
+                toi: 1,
+                block: 2,
+                esis: vec![5, 0x0001_0203],
+            },
+            NackEntry {
+                toi: 3,
+                block: 0,
+                esis: vec![7],
+            },
+        ];
+        r
     }
 
     /// The byte layout is a wire contract: golden bytes, not just a
@@ -342,6 +483,75 @@ mod tests {
         ];
         assert_eq!(wire, expected);
         assert_eq!(wire.len(), sample().wire_len());
+    }
+
+    /// The NACK section is a wire contract too: golden bytes, including
+    /// the flag bit and the count in the formerly-reserved header word.
+    #[test]
+    fn golden_nack_layout() {
+        let report = sample_with_nacks();
+        let wire = report.to_bytes().unwrap();
+        // Unchanged prefix except flags (|= 0x08) and nack_count = 2.
+        let mut expected = sample().to_bytes().unwrap();
+        expected[5] |= 0x08;
+        expected[10..12].copy_from_slice(&2u16.to_be_bytes());
+        #[rustfmt::skip]
+        expected.extend_from_slice(&[
+            // nack: toi 1, block 2, 2 ESIs, pad, ESIs 5 and 0x010203
+            0, 0, 0, 1, 0, 0, 0, 2, 0, 2, 0, 0,
+            0, 0, 0, 5, 0x00, 0x01, 0x02, 0x03,
+            // nack: toi 3, block 0, 1 ESI, pad, ESI 7
+            0, 0, 0, 3, 0, 0, 0, 0, 0, 1, 0, 0,
+            0, 0, 0, 7,
+        ]);
+        assert_eq!(wire, expected);
+        assert_eq!(wire.len(), report.wire_len());
+        assert_eq!(report.nack_symbols(), 3);
+        assert_eq!(ReceptionReport::from_bytes(&wire).unwrap(), report);
+        // Every truncation of a NACK digest is rejected.
+        for cut in 0..wire.len() {
+            assert!(
+                ReceptionReport::from_bytes(&wire[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut long = wire.clone();
+        long.push(0);
+        assert!(ReceptionReport::from_bytes(&long).is_err(), "trailing junk");
+    }
+
+    #[test]
+    fn nack_flag_and_count_must_agree() {
+        // Count without the flag: the formerly-reserved word is nonzero.
+        let mut wire = sample().to_bytes().unwrap();
+        wire[10..12].copy_from_slice(&1u16.to_be_bytes());
+        assert!(
+            ReceptionReport::from_bytes(&wire).is_err(),
+            "count, no flag"
+        );
+        // Flag without a count.
+        let mut wire = sample().to_bytes().unwrap();
+        wire[5] |= 0x08;
+        assert!(
+            ReceptionReport::from_bytes(&wire).is_err(),
+            "flag, no count"
+        );
+        // An empty ESI list is unrepresentable.
+        let mut r = sample();
+        r.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: vec![],
+        }];
+        assert!(r.to_bytes().is_err(), "empty NACK");
+        // A forged zero esi_count on the wire is rejected on parse.
+        let mut wire = sample_with_nacks().to_bytes().unwrap();
+        let off = REPORT_HEADER_LEN + 2 * REPORT_ENTRY_LEN + 3 * REPORT_RUN_LEN + 8;
+        wire[off..off + 2].copy_from_slice(&0u16.to_be_bytes());
+        assert!(
+            ReceptionReport::from_bytes(&wire).is_err(),
+            "zero esi_count"
+        );
     }
 
     #[test]

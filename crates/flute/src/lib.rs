@@ -65,7 +65,10 @@ mod session;
 pub use alc::AlcPacket;
 pub use error::FluteError;
 pub use fdt::{FdtInstance, FileEntry};
-pub use feedback::{FeedbackLoop, ReceptionReport, ReportConfig, ReportEmitter, ReportOutcome};
+pub use feedback::{
+    AggregateOutcome, AggregatorConfig, FeedbackAggregator, FeedbackLoop, NackEntry,
+    ReceptionReport, ReportConfig, ReportEmitter, ReportOutcome,
+};
 pub use fti::{code_for_fti, fti_for_code, ObjectTransmissionInfo};
 pub use lct::{HeaderExtension, LctHeader};
 pub use payload_id::FecPayloadId;

@@ -154,6 +154,56 @@ impl LoopMetrics {
     }
 }
 
+/// Sender-side fan-out aggregation metrics
+/// ([`FeedbackAggregator`](crate::feedback::FeedbackAggregator)).
+///
+/// Conservation invariant (tested): every ingested digest lands in
+/// exactly one `fec_feedback_digests_total` outcome —
+/// `folded + accepted + deduped + foreign == ingested`.
+#[derive(Debug)]
+pub(crate) struct AggregatorMetrics {
+    /// Fresh digest from the population's worst receiver: its sketch was
+    /// folded into the central estimator.
+    pub folded: Counter,
+    /// Fresh digest tracked per-receiver but not folded (not the worst).
+    pub accepted: Counter,
+    /// Duplicate or out-of-order `report_seq` for its receiver.
+    pub deduped: Counter,
+    /// Wrong-session digest.
+    pub foreign: Counter,
+    /// Receivers currently tracked.
+    pub receivers: Gauge,
+    /// Receivers evicted after going idle.
+    pub evicted: Counter,
+    /// Distinct symbols queued for targeted repair from NACK sections.
+    pub nack_symbols: Counter,
+}
+
+impl AggregatorMetrics {
+    pub fn register(registry: &Registry) -> AggregatorMetrics {
+        let digests = "fec_feedback_digests_total";
+        let digests_help = "Digests processed by the fan-out aggregator, by outcome.";
+        AggregatorMetrics {
+            folded: registry.counter_with(digests, digests_help, &[("outcome", "folded")]),
+            accepted: registry.counter_with(digests, digests_help, &[("outcome", "accepted")]),
+            deduped: registry.counter_with(digests, digests_help, &[("outcome", "deduped")]),
+            foreign: registry.counter_with(digests, digests_help, &[("outcome", "foreign")]),
+            receivers: registry.gauge(
+                "fec_feedback_receivers",
+                "Receivers currently tracked by the fan-out aggregator.",
+            ),
+            evicted: registry.counter(
+                "fec_feedback_evicted_total",
+                "Receivers evicted from the aggregator after going idle.",
+            ),
+            nack_symbols: registry.counter(
+                "fec_feedback_nack_symbols_total",
+                "Distinct symbols queued for targeted repair from NACK digests.",
+            ),
+        }
+    }
+}
+
 /// Receiver-side session metrics ([`FluteReceiver`](crate::FluteReceiver)).
 #[derive(Debug)]
 pub(crate) struct ReceiverMetrics {
@@ -196,6 +246,8 @@ pub(crate) struct EmitterMetrics {
     pub late_or_duplicate: Counter,
     pub sketch_truncations: Counter,
     pub digests: Counter,
+    /// Digests withheld versus the unsuppressed base cadence.
+    pub suppressed: Counter,
     /// Link-level loss runs, as observed from EXT_SEQ gaps (the paper's
     /// §4 pre-FEC loss process).
     pub loss_run_length: Histogram,
@@ -229,6 +281,11 @@ impl EmitterMetrics {
             digests: registry.counter(
                 "fec_rx_digests_emitted_total",
                 "Reception-report digests emitted.",
+            ),
+            suppressed: registry.counter(
+                "fec_feedback_suppressed_total",
+                "Digests withheld by population-scaled suppression/backoff \
+                 (base-cadence digests folded into a later one).",
             ),
             loss_run_length: registry.histogram(
                 "fec_loss_run_length",

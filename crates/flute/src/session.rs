@@ -352,6 +352,44 @@ impl SessionStream<'_> {
         Ok(amendment)
     }
 
+    /// Queues targeted repair packets for the symbols receivers NACKed
+    /// (see [`FeedbackAggregator::take_nack_requests`]
+    /// (crate::feedback::FeedbackAggregator::take_nack_requests)).
+    /// Queued symbols jump ahead of the schedule and are deduped while
+    /// waiting; entries for unknown TOIs or out-of-layout symbols are
+    /// skipped (stale NACKs are normal on a lossy return channel), and a
+    /// queue into an object the cursor already passed rewinds the stream
+    /// to it. Returns how many packets were actually enqueued.
+    pub fn queue_repair(&mut self, requests: &[crate::feedback::NackEntry]) -> u64 {
+        let mut queued = 0;
+        for req in requests {
+            let Ok(idx) = self.object_index(req.toi) else {
+                continue;
+            };
+            let layout = self.sender.objects[idx].sender.layout();
+            let refs: Vec<fec_sched::PacketRef> = req
+                .esis
+                .iter()
+                .map(|&esi| fec_sched::PacketRef {
+                    block: req.block,
+                    esi,
+                })
+                .filter(|r| layout.contains(*r))
+                .collect();
+            let added = self.emissions[idx].queue_repair(refs);
+            if added > 0 && idx < self.current {
+                self.current = idx;
+            }
+            queued += added;
+        }
+        queued
+    }
+
+    /// Targeted repair packets emitted so far, across all objects.
+    pub fn repairs_sent(&self) -> u64 {
+        self.emissions.iter().map(|e| e.repairs_sent()).sum()
+    }
+
     /// Stops `toi`'s emission where it stands (e.g. a digest reported the
     /// object complete — nothing more is needed). Idempotent.
     pub fn stop_object(&mut self, toi: u32) -> Result<fec_core::Amendment, FluteError> {
@@ -437,6 +475,10 @@ struct ObjectState {
     decoded: Option<Vec<u8>>,
     packets_received: u64,
     closed: bool,
+    /// Distinct ESIs seen per block — only populated in NACK mode (see
+    /// [`FluteReceiver::enable_nacks`]), where the per-block gaps become
+    /// the digest's missing-symbol section.
+    seen_esis: std::collections::BTreeMap<u32, std::collections::BTreeSet<u32>>,
 }
 
 impl ObjectState {
@@ -448,6 +490,7 @@ impl ObjectState {
             decoded: None,
             packets_received: 0,
             closed: false,
+            seen_esis: std::collections::BTreeMap::new(),
         }
     }
 
@@ -550,6 +593,8 @@ pub struct FluteReceiver {
     objects: HashMap<u32, ObjectState>,
     session_closed: bool,
     emitter: Option<ReportEmitter>,
+    nack_mode: bool,
+    last_nacked: Vec<crate::feedback::NackEntry>,
     metrics: Option<ReceiverMetrics>,
     registry: Option<Registry>,
 }
@@ -563,6 +608,8 @@ impl FluteReceiver {
             objects: HashMap::new(),
             session_closed: false,
             emitter: None,
+            nack_mode: false,
+            last_nacked: Vec::new(),
             metrics: None,
             registry: None,
         }
@@ -606,10 +653,99 @@ impl FluteReceiver {
         }
     }
 
+    /// Switches the receiver into NACK mode: per-block reception gaps
+    /// are tracked and every digest carries a missing-symbol section
+    /// (see [`NackEntry`](crate::feedback::NackEntry)), so the sender
+    /// can emit *targeted* repair instead of extending whole schedules.
+    /// Combine with [`enable_reports`](Self::enable_reports).
+    pub fn enable_nacks(&mut self) {
+        self.nack_mode = true;
+    }
+
+    /// The symbols this receiver still needs, per `(toi, block)`: for
+    /// each undecoded object, up to `k - seen` not-yet-received ESIs per
+    /// short block (lowest first, so source symbols are preferred).
+    /// Empty unless [`enable_nacks`](Self::enable_nacks) was called and
+    /// something is actually missing.
+    pub fn missing_symbols(&self) -> Vec<crate::feedback::NackEntry> {
+        let mut out = Vec::new();
+        if !self.nack_mode {
+            return out;
+        }
+        let mut tois: Vec<u32> = self.objects.keys().copied().collect();
+        tois.sort_unstable();
+        for toi in tois {
+            if toi == FDT_TOI {
+                continue;
+            }
+            let Some(state) = self.objects.get(&toi) else {
+                continue;
+            };
+            if state.decoded.is_some() {
+                continue;
+            }
+            let Some(oti) = &state.oti else {
+                continue;
+            };
+            let Ok(spec) = oti.code_spec() else {
+                continue;
+            };
+            let Ok(layout) = spec.layout() else {
+                continue;
+            };
+            for b in 0..layout.num_blocks() {
+                let (k, n) = layout.block(b);
+                let seen = state.seen_esis.get(&(b as u32));
+                let have = seen.map_or(0, |s| s.len());
+                if have >= k {
+                    // Enough distinct symbols for an MDS block; LDGM
+                    // blocks may still need more, but the object-level
+                    // decode check above keeps those NACKs flowing on
+                    // the next digest after the solve falls short.
+                    continue;
+                }
+                let esis: Vec<u32> = (0..n as u32)
+                    .filter(|e| seen.is_none_or(|s| !s.contains(e)))
+                    .take(k - have)
+                    .collect();
+                if !esis.is_empty() {
+                    out.push(crate::feedback::NackEntry {
+                        toi,
+                        block: b as u32,
+                        esis,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Recomputes the missing-symbol section and hands it to the
+    /// emitter: a *changed* set counts as news (the next timer flush
+    /// emits it), an unchanged set just rides along with whatever digest
+    /// goes out next — so an idle receiver does not re-emit identical
+    /// NACKs every tick.
+    fn refresh_nacks(&mut self) {
+        if !self.nack_mode || self.emitter.is_none() {
+            return;
+        }
+        let nacks = self.missing_symbols();
+        let changed = nacks != self.last_nacked;
+        if let Some(em) = self.emitter.as_mut() {
+            if changed {
+                self.last_nacked = nacks.clone();
+                em.set_nacks(nacks);
+            } else {
+                em.carry_nacks(nacks);
+            }
+        }
+    }
+
     /// A digest, if the configured batching threshold has been reached.
     /// Call after each [`push_datagrams`](Self::push_datagrams) burst and
     /// ship the bytes down the return channel.
     pub fn poll_report(&mut self) -> Option<ReceptionReport> {
+        self.refresh_nacks();
         self.emitter.as_mut().and_then(ReportEmitter::poll)
     }
 
@@ -617,6 +753,7 @@ impl FluteReceiver {
     /// tick, or the final FIN digest after completion. `None` if reports
     /// are disabled or nothing was ever observed.
     pub fn flush_report(&mut self) -> Option<ReceptionReport> {
+        self.refresh_nacks();
         self.emitter.as_mut().and_then(ReportEmitter::flush)
     }
 
@@ -721,6 +858,9 @@ impl FluteReceiver {
                 state.set_oti(oti)?;
             }
             let id = packet.payload_id.expect("data packets carry a payload ID");
+            if self.nack_mode {
+                state.seen_esis.entry(id.sbn).or_default().insert(id.esi);
+            }
             match pending.iter_mut().find(|(t, _)| *t == toi) {
                 Some((_, batch)) => batch.push((id, packet.payload)),
                 None => pending.push((toi, vec![(id, packet.payload)])),
@@ -910,6 +1050,103 @@ mod tests {
             receiver.fdt().unwrap().file(1).unwrap().content_location,
             "file:///demo.bin"
         );
+    }
+
+    /// The full NACK loop on one stream: drop known symbols, let the
+    /// receiver's digest name them, aggregate, queue targeted repair,
+    /// and verify exactly those symbols close the object byte-exactly.
+    #[test]
+    fn nack_loop_repairs_exactly_the_missing_symbols() {
+        use crate::feedback::{AggregatorConfig, FeedbackAggregator};
+        use fec_adapt::ControllerConfig;
+        use std::net::SocketAddr;
+
+        let data = object_bytes(50 * 8);
+        let mut sender = FluteSender::new(SenderConfig::new(7));
+        sender
+            .add_object(
+                1,
+                "file:///nack.bin",
+                &data,
+                fec_codec::builtin::rse(),
+                ExpansionRatio::R2_5,
+                8,
+                99,
+                TxModel::SourceSeqParitySeq,
+            )
+            .unwrap();
+        let mut stream = sender.stream(5);
+        let mut receiver = FluteReceiver::new(7);
+        receiver.enable_reports(ReportConfig::default());
+        receiver.enable_nacks();
+
+        // Deliver the FDT and the k source packets, dropping three ESIs.
+        let dropped = [3u32, 17, 29];
+        let mut delivered = 0;
+        while delivered < 50 {
+            let dg = stream.next_datagram().unwrap().unwrap();
+            let packet = AlcPacket::from_bytes(&dg).unwrap();
+            if packet.header.toi == FDT_TOI {
+                receiver.push_datagram(&dg).unwrap();
+                continue;
+            }
+            delivered += 1;
+            let esi = packet.payload_id.unwrap().esi;
+            if dropped.contains(&esi) {
+                continue;
+            }
+            receiver.push_datagram(&dg).unwrap();
+        }
+        assert_eq!(receiver.object_status(1), Some(ObjectStatus::Decoding));
+        let missing = receiver.missing_symbols();
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].toi, 1);
+        assert_eq!(missing[0].esis, dropped.to_vec());
+
+        // The digest carries the NACKs to the sender's aggregator…
+        let digest = receiver.flush_report().expect("losses are news");
+        assert_eq!(digest.nacks, missing);
+        let mut agg =
+            FeedbackAggregator::new(7, AggregatorConfig::default(), ControllerConfig::default());
+        let src: SocketAddr = "10.0.0.1:4000".parse().unwrap();
+        agg.ingest(src, &digest);
+        let requests = agg.take_nack_requests();
+        assert_eq!(requests, missing);
+
+        // …which repairs exactly those symbols instead of the remaining
+        // 75-packet parity schedule.
+        stream.stop_object(1).unwrap();
+        assert_eq!(stream.queue_repair(&requests), 3);
+        let mut repairs = Vec::new();
+        while let Some(dg) = stream.next_datagram().unwrap() {
+            repairs.push(dg);
+        }
+        assert_eq!(repairs.len(), 3, "targeted repair, not the schedule");
+        for dg in &repairs {
+            receiver.push_datagram(dg).unwrap();
+        }
+        assert_eq!(receiver.object(1).unwrap(), &data[..]);
+        assert!(receiver.missing_symbols().is_empty());
+        // A fresh NACK for a completed object is ignored sender-side…
+        let stale = requests.clone();
+        agg.ingest(src, &{
+            let mut d = digest.clone();
+            d.report_seq += 1;
+            for e in d.entries.iter_mut().filter(|e| e.toi == 1) {
+                e.complete = true;
+            }
+            d
+        });
+        assert!(agg.is_complete(1));
+        // …and queueing unknown TOIs/ESIs is harmless.
+        let bogus = crate::feedback::NackEntry {
+            toi: 9,
+            block: 0,
+            esis: vec![1],
+        };
+        assert_eq!(stream.queue_repair(&[bogus]), 0);
+        assert_eq!(stream.repairs_sent(), 3);
+        drop(stale);
     }
 
     #[test]

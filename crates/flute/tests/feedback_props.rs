@@ -13,7 +13,9 @@
 //! The digest wire format itself is fuzzed for parse robustness too.
 
 use fec_adapt::{ControllerConfig, Reconsideration};
-use fec_flute::feedback::{FeedbackLoop, LossRun, ReceptionReport, ReportEntry, ReportOutcome};
+use fec_flute::feedback::{
+    FeedbackLoop, LossRun, NackEntry, ReceptionReport, ReportEntry, ReportOutcome,
+};
 use proptest::prelude::*;
 
 /// A plausible digest stream: `count` digests with ~1–20% loss sketches.
@@ -45,6 +47,7 @@ fn digest_stream(count: u32, loss_burst: u32, calm_run: u32) -> Vec<ReceptionRep
                     len: calm_run,
                 },
             ],
+            nacks: vec![],
         })
         .collect()
 }
@@ -169,6 +172,10 @@ proptest! {
             (any::<bool>(), 1u32..(1 << 31)),
             0..10
         ),
+        nacks in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u32>(), 1..8)),
+            0..4
+        ),
     ) {
         let _ = ReceptionReport::from_bytes(&junk); // must not panic
         let report = ReceptionReport {
@@ -189,6 +196,10 @@ proptest! {
             runs: runs
                 .into_iter()
                 .map(|(lost, len)| LossRun { lost, len })
+                .collect(),
+            nacks: nacks
+                .into_iter()
+                .map(|(toi, block, esis)| NackEntry { toi, block, esis })
                 .collect(),
         };
         let wire = report.to_bytes().unwrap();

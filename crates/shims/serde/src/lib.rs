@@ -326,6 +326,29 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], Error> {
+        let a = v
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        if a.len() != N {
+            return Err(Error::custom("array length mismatch"));
+        }
+        let mut items = a.iter().map(T::from_value);
+        // try_map is unstable; build through a Vec of exactly N elements.
+        let collected: Result<Vec<T>, Error> = items.by_ref().collect();
+        collected?
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

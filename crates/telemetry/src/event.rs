@@ -86,6 +86,15 @@ pub enum Event {
         /// Object whose plan was reverted to the full schedule.
         reverted: u32,
     },
+    /// The sender turned receiver NACKs into targeted repair symbols.
+    RepairQueued {
+        /// Object the repairs belong to.
+        toi: u32,
+        /// Distinct missing symbols the population requested.
+        requested: u64,
+        /// Symbols actually queued (deduped against packets in flight).
+        queued: u64,
+    },
     /// Periodic link-emulator impairment snapshot.
     LinkImpairment {
         /// Datagrams offered to the link.

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 /// Builds one of every [`Event`] variant from generated primitives; the
 /// selector wraps, so every variant is reachable from any `u8`.
 fn build_event(variant: u8, a: u64, b: u64, c: u64, x: f64, y: f64, flag: bool) -> Event {
-    match variant % 10 {
+    match variant % 11 {
         0 => Event::SessionStart {
             tsi: a,
             objects: b as u32,
@@ -43,7 +43,12 @@ fn build_event(variant: u8, a: u64, b: u64, c: u64, x: f64, y: f64, flag: bool) 
             schedule: c,
         },
         7 => Event::BackoffTriggered { reverted: a as u32 },
-        8 => Event::LinkImpairment {
+        8 => Event::RepairQueued {
+            toi: a as u32,
+            requested: b,
+            queued: c,
+        },
+        9 => Event::LinkImpairment {
             offered: a,
             dropped: b,
             duplicated: c,

@@ -512,6 +512,64 @@ impl BatchReceiver {
         }
     }
 
+    /// Non-blocking address-aware poll for control-plane sockets:
+    /// drains up to `max` queued datagrams together with their source
+    /// addresses (`Ok(vec![])` when nothing is queued).
+    ///
+    /// The data plane never needs peer addresses, so the batched
+    /// `recvmmsg` path deliberately skips `msg_name` bookkeeping; this
+    /// poll takes one `recv_from` syscall per datagram instead. That
+    /// trade is right for feedback traffic specifically because digest
+    /// suppression keeps the aggregate report rate O(log n) in the
+    /// receiver population — the stream this exists to serve is the one
+    /// stream designed never to be syscall-bound.
+    pub fn try_recv_burst_from(&mut self, max: usize) -> io::Result<Vec<(PoolBuf, SocketAddr)>> {
+        let n = max.clamp(1, MAX_BURST);
+        if self.ready.len() < n {
+            let need = n - self.ready.len();
+            self.ready.extend(self.pool.take_many(need));
+        }
+        self.socket.set_nonblocking(true)?;
+        let mut out: Vec<(PoolBuf, SocketAddr)> = Vec::new();
+        let mut bytes = 0usize;
+        while out.len() < n {
+            let res = match self.ready.first_mut() {
+                Some(buf) => self.socket.recv_from(buf.spare_mut()),
+                None => break,
+            };
+            match res {
+                Ok((len, src)) => {
+                    let mut buf = self.ready.remove(0);
+                    buf.set_len(len);
+                    bytes += len;
+                    out.push((buf, src));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    break;
+                }
+                Err(e) => {
+                    let _ = self.socket.set_nonblocking(false);
+                    return Err(e);
+                }
+            }
+        }
+        let _ = self.socket.set_nonblocking(false);
+        if out.is_empty() {
+            self.metrics.record_empty_syscall();
+        } else {
+            // One syscall per datagram, plus the final would-block probe.
+            self.metrics.record(out.len(), bytes, out.len() as u64);
+        }
+        Ok(out)
+    }
+
     fn recv_inner(&mut self, max: usize, nonblocking: bool) -> io::Result<Vec<PoolBuf>> {
         let n = max.clamp(1, MAX_BURST);
         if self.ready.len() < n {

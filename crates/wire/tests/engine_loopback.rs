@@ -98,6 +98,41 @@ fn try_recv_on_idle_socket_is_empty_not_error() {
 }
 
 #[test]
+fn address_aware_poll_reports_each_sender() {
+    let rx_socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let dest = rx_socket.local_addr().unwrap();
+    let mut rx = BatchReceiver::new(rx_socket, BufferPool::new(), Backend::detect());
+    assert!(
+        rx.try_recv_burst_from(MAX_BURST).unwrap().is_empty(),
+        "idle socket polls empty, not an error"
+    );
+
+    // Two distinct senders interleaved: every datagram must come back
+    // tagged with the socket that sent it.
+    let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+    for i in 0..6u8 {
+        let from = if i % 2 == 0 { &a } else { &b };
+        from.send_to(&[i; 9], dest).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let mut got: Vec<(Vec<u8>, std::net::SocketAddr)> = Vec::new();
+    while got.len() < 6 {
+        let burst = rx.try_recv_burst_from(MAX_BURST).unwrap();
+        if burst.is_empty() {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        got.extend(burst.into_iter().map(|(buf, src)| (buf.to_vec(), src)));
+    }
+    for (payload, src) in &got {
+        assert_eq!(payload.len(), 9);
+        let expect = if payload[0] % 2 == 0 { &a } else { &b };
+        assert_eq!(*src, expect.local_addr().unwrap());
+    }
+}
+
+#[test]
 fn blocking_recv_times_out_as_session_idle() {
     let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
     socket

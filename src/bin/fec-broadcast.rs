@@ -123,7 +123,7 @@ USAGE:
                      [--ratio <r>] [--symbol <bytes>] [--seed <n>]
                      [--loss-p <p> --loss-q <q>] [--pace <micros>]
                      [--adaptive --report-addr <addr:port>]
-                     [--window <pkts>] [--replan-every <pkts>]
+                     [--window <pkts>] [--replan-every <pkts>] [--fanout]
                      [--metrics-addr <addr:port>] [--telemetry-log <path>]
       FLUTE/ALC file broadcast over UDP. --loss-p/--loss-q inject Gilbert
       losses at the sender for reproducible demos. --pace sleeps that many
@@ -132,15 +132,28 @@ USAGE:
       With --adaptive the sender binds --report-addr for reception-report
       digests, estimates the channel online and truncates/extends the
       transmission live (§6.2 re-planning); receivers must run with
-      `recv --report-to` set to the same address.
+      `recv --report-to` set to the same address. --fanout swaps the
+      single-stream feedback loop for the population aggregator: digests
+      are keyed by source address, deduped per receiver, only the worst
+      receiver's sketch reaches the estimator, and receiver NACKs become
+      targeted repair symbols instead of whole-schedule extension — the
+      multi-receiver mode (pair with `recv --nack --population`).
 
   fec-broadcast recv --listen <addr:port> [--tsi <n>] [--out <path>]
                      [--timeout <secs>]
                      [--report-to <addr:port>] [--report-every <pkts>]
+                     [--population <n>] [--jitter-seed <n>]
+                     [--backoff <exp>] [--nack]
                      [--metrics-addr <addr:port>] [--telemetry-log <path>]
       Join a FLUTE session and reconstruct the broadcast file. With
       --report-to, emit reception-report digests (one per --report-every
       received datagrams, default 128) to the sender's feedback port.
+      --population scales the digest interval by n/log₂n (RTCP-style
+      suppression: aggregate feedback stays O(log n) across n receivers);
+      --jitter-seed de-synchronises report times ±25%; --backoff doubles
+      the interval up to 2^exp while the channel stays clean. --nack adds
+      per-block missing-ESI lists to each digest so a `send --fanout`
+      sender can emit targeted repairs.
 
 Observability (send / recv / sweep): --metrics-addr serves a Prometheus
 text endpoint (`curl http://addr:port/metrics`) for the lifetime of the
@@ -779,7 +792,17 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
         eprintln!("wire: UDP generic segmentation offload active");
     }
     let mut sink = WireSink::new(wire_tx, injected, seed);
-    let (sent, dropped, summary) = if opts.contains_key("adaptive") {
+    let (sent, dropped, summary) = if opts.contains_key("fanout") {
+        send_fanout(
+            opts,
+            &session,
+            &mut sink,
+            seed,
+            tsi,
+            &mut telemetry,
+            object.len() as u64,
+        )?
+    } else if opts.contains_key("adaptive") {
         send_adaptive(
             opts,
             &session,
@@ -1181,6 +1204,274 @@ fn send_adaptive(
     Ok((sent, dropped, telemetry.enabled().then_some(summary)))
 }
 
+/// The population-scale send loop (`send --fanout`): digests from any
+/// number of receivers land in a [`FeedbackAggregator`] keyed by source
+/// address — deduped per receiver, only the worst receiver's sketch
+/// folded into the estimator — and the population's NACK union drains
+/// into *targeted* repair symbols instead of whole-schedule extension.
+/// Structure mirrors [`send_adaptive`]; the differences are exactly the
+/// three fan-out layers (aggregation, suppression-aware ingest, NACK
+/// repair).
+fn send_fanout(
+    opts: &HashMap<String, String>,
+    session: &fec_broadcast::flute::FluteSender,
+    sink: &mut WireSink,
+    seed: u64,
+    tsi: u32,
+    telemetry: &mut Telemetry,
+    object_bytes: u64,
+) -> Result<(u64, u64, Option<SessionSummary>), String> {
+    use std::collections::BTreeMap;
+
+    use fec_broadcast::adapt::ControllerConfig;
+    use fec_broadcast::flute::feedback::{AggregateOutcome, AggregatorConfig, FeedbackAggregator};
+    use fec_broadcast::flute::ReceptionReport;
+    use fec_broadcast::telemetry::EstimatorSample;
+
+    let report_addr = opts
+        .get("report-addr")
+        .ok_or("--fanout requires --report-addr (addr:port to receive digests on)")?;
+    let window = get_usize(opts, "window", 20_000)?;
+    let replan_every = get_usize(opts, "replan-every", 64)?.max(1);
+    let report_socket =
+        std::net::UdpSocket::bind(report_addr).map_err(|e| format!("bind {report_addr}: {e}"))?;
+    // The feedback drain needs source addresses (the aggregator's key),
+    // so it rides the engine's address-aware control-plane poll rather
+    // than the batched data-plane path.
+    let mut report_rx = BatchReceiver::new(
+        report_socket,
+        BufferPool::with_config(2048, 64),
+        Backend::detect(),
+    );
+
+    let mut agg = FeedbackAggregator::new(
+        tsi,
+        AggregatorConfig::default(),
+        ControllerConfig {
+            window,
+            confirm_after: 1,
+            ..ControllerConfig::default()
+        },
+    );
+    let mut stream = session.stream(seed);
+    if telemetry.enabled() {
+        stream.attach_telemetry(&telemetry.registry);
+        agg.attach_telemetry(&telemetry.registry);
+        report_rx.attach_telemetry(&telemetry.registry);
+    }
+    let full_total = stream.full_total();
+    telemetry.record(Event::SessionStart {
+        tsi: tsi as u64,
+        objects: session.fdt().files.len() as u32,
+        full_schedule: full_total,
+    });
+    let started = std::time::Instant::now();
+    let mut summary = SessionSummary::new(tsi as u64);
+    summary.object_bytes = object_bytes;
+    summary.full_schedule = full_total;
+    let mut sent = 0u64;
+    let burst_cap = replan_every.min(MAX_BURST);
+    let mut burst: Vec<Vec<u8>> = Vec::with_capacity(burst_cap);
+    let mut offered = 0u64;
+    let mut next_replan_at = replan_every as u64;
+    let mut linger_until: Option<std::time::Instant> = None;
+    let mut stopped: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+    let mut repairs_queued = 0u64;
+
+    loop {
+        // Drain every pending digest, keyed by the receiver that sent it.
+        loop {
+            let digests = report_rx
+                .try_recv_burst_from(MAX_BURST)
+                .map_err(|e| e.to_string())?;
+            if digests.is_empty() {
+                break;
+            }
+            for (dg, src) in &digests {
+                let report = match ReceptionReport::from_bytes(dg) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        eprintln!("ignoring malformed digest from {src}: {e}");
+                        continue;
+                    }
+                };
+                let outcome = agg.ingest(*src, &report);
+                // Fresh digests advance population state whether or not
+                // they reach the estimator; dedups and foreigners don't.
+                let applied = matches!(
+                    outcome,
+                    AggregateOutcome::Folded { .. } | AggregateOutcome::Accepted
+                );
+                if applied {
+                    summary.digests_applied += 1;
+                }
+                telemetry.record(Event::DigestReceived {
+                    report_seq: report.report_seq as u64,
+                    observations: report.observations(),
+                    applied,
+                });
+                if telemetry.enabled() && matches!(outcome, AggregateOutcome::Folded { .. }) {
+                    if let Some(est) = agg.controller().estimate() {
+                        telemetry.record(Event::EstimateUpdated {
+                            p: est.params.p(),
+                            q: est.params.q(),
+                            p_upper: est.p_global_upper(),
+                            window: agg.controller().estimator().window_len() as u64,
+                        });
+                        summary.estimator.push(EstimatorSample {
+                            observations: agg.stats().observations,
+                            p: est.params.p(),
+                            q: est.params.q(),
+                            p_upper: est.p_global_upper(),
+                        });
+                    }
+                }
+            }
+        }
+        // Objects the whole tracked population decoded stop where they
+        // stand (a later joiner's digest reopens them via NACKs).
+        let complete: Vec<u32> = agg
+            .completed()
+            .filter(|toi| !stopped.contains(toi))
+            .collect();
+        for toi in complete {
+            stopped.insert(toi);
+            summary.objects_completed += 1;
+            telemetry.record(Event::ObjectComplete { toi });
+            stream.stop_object(toi).map_err(|e| e.to_string())?;
+        }
+        if agg.session_complete() {
+            eprintln!(
+                "all {} tracked receivers report the session complete after {sent} datagrams \
+                 ({} planned, {full_total} full)",
+                agg.receiver_count(),
+                stream.planned_total()
+            );
+            break;
+        }
+        // Targeted repair: the population's missing-symbol union becomes
+        // queued repair packets (deduped downstream against in-flight
+        // schedule slots), not a longer carousel.
+        let requests = agg.take_nack_requests();
+        if !requests.is_empty() {
+            let mut by_toi: BTreeMap<u32, Vec<fec_broadcast::flute::feedback::NackEntry>> =
+                BTreeMap::new();
+            for req in requests {
+                by_toi.entry(req.toi).or_default().push(req);
+            }
+            for (toi, group) in by_toi {
+                let requested: u64 = group.iter().map(|g| g.esis.len() as u64).sum();
+                let queued = stream.queue_repair(&group);
+                repairs_queued += queued;
+                telemetry.record(Event::RepairQueued {
+                    toi,
+                    requested,
+                    queued,
+                });
+            }
+        }
+        burst.clear();
+        while burst.len() < burst_cap {
+            match stream.next_datagram().map_err(|e| e.to_string())? {
+                Some(dg) => burst.push(dg),
+                None => break,
+            }
+        }
+        if burst.is_empty() {
+            // Planned emission (and repair queue) exhausted: linger for
+            // digests still in flight before judging the plan.
+            let now = std::time::Instant::now();
+            match linger_until {
+                None => linger_until = Some(now + std::time::Duration::from_millis(1500)),
+                Some(deadline) if now < deadline => {}
+                Some(_) => {
+                    if stream.planned_total() < full_total {
+                        eprintln!(
+                            "population incomplete after the planned {} datagrams; \
+                             reverting to the full schedule",
+                            stream.planned_total()
+                        );
+                        agg.record_failure();
+                        summary.backoffs += 1;
+                        for toi in session.fdt().files.iter().map(|f| f.toi) {
+                            if !agg.is_complete(toi) {
+                                telemetry.record(Event::BackoffTriggered { reverted: toi });
+                                stream.amend_plan(toi, None).map_err(|e| e.to_string())?;
+                            }
+                        }
+                        linger_until = None;
+                    } else {
+                        eprintln!(
+                            "full schedule exhausted without population completion \
+                             ({} receivers tracked, median completion {:.0}%; \
+                             receivers gone, or losses beyond the code budget)",
+                            agg.receiver_count(),
+                            agg.summary().completion_quantiles[1] * 100.0
+                        );
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            continue;
+        }
+        linger_until = None;
+        offered += burst.len() as u64;
+        let (delivered, bytes) = sink.send_burst(&burst)?;
+        sent += delivered;
+        summary.bytes_sent += bytes;
+        // Re-plan (and advance the idle-eviction clock) periodically.
+        if offered >= next_replan_at {
+            next_replan_at = offered + replan_every as u64;
+            agg.advance_tick();
+            if let Some((toi, k)) = stream
+                .current_toi()
+                .and_then(|toi| stream.source_count(toi).map(|k| (toi, k)))
+            {
+                let replan = agg.replan(k as usize);
+                summary.replans += 1;
+                stream
+                    .amend_plan(toi, replan.plan.as_ref())
+                    .map_err(|e| e.to_string())?;
+                telemetry.record(Event::ReplanIssued {
+                    toi,
+                    target: replan.plan.as_ref().map_or(full_total, |p| p.n_sent),
+                    schedule: stream.planned_total(),
+                });
+            }
+        }
+    }
+    let dropped = sink.dropped();
+    summary.datagrams_sent = sent;
+    summary.elapsed_secs = started.elapsed().as_secs_f64();
+    telemetry.record(Event::SessionEnd {
+        tsi: tsi as u64,
+        datagrams: sent,
+        planned: stream.planned_total(),
+        completed: summary.objects_completed,
+    });
+    let stats = agg.stats();
+    let pop = agg.summary();
+    eprintln!(
+        "fan-out feedback: {} receivers tracked, {} digests \
+         ({} folded, {} accepted, {} deduped, {} evicted), \
+         {} observations, {repairs_queued} targeted repairs; \
+         worst receiver loss {:.2}%, completion p10/p50/p90 {:.0}%/{:.0}%/{:.0}%",
+        pop.receivers,
+        stats.ingested,
+        stats.folded,
+        stats.accepted,
+        stats.deduped,
+        stats.evicted,
+        stats.observations,
+        pop.worst_loss * 100.0,
+        pop.completion_quantiles[0] * 100.0,
+        pop.completion_quantiles[1] * 100.0,
+        pop.completion_quantiles[2] * 100.0,
+    );
+    Ok((sent, dropped, telemetry.enabled().then_some(summary)))
+}
+
 fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
     use fec_broadcast::flute::feedback::ReportConfig;
     use fec_broadcast::flute::FluteReceiver;
@@ -1236,8 +1527,14 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
     if reporting.is_some() {
         session.enable_reports(ReportConfig {
             report_every,
+            population_hint: (get_usize(opts, "population", 1)? as u64).max(1),
+            jitter_seed: get_usize(opts, "jitter-seed", 0)? as u64,
+            max_backoff_exp: get_usize(opts, "backoff", 0)? as u32,
             ..ReportConfig::default()
         });
+        if opts.contains_key("nack") {
+            session.enable_nacks();
+        }
     }
     if telemetry.enabled() {
         session.attach_telemetry(&telemetry.registry);
