@@ -1,0 +1,271 @@
+//! Packet-rate share allocation across bonded paths.
+//!
+//! A bonded sender stripes one emission across N heterogeneous paths,
+//! each with its own loss process. The controller allocates each path a
+//! *share* of the aggregate packet rate proportional to its expected
+//! goodput (`1 − loss_upper`), so traffic drains away from degrading
+//! paths without ever starving the estimators: an alive path always
+//! keeps a probe trickle (it cannot be re-promoted if nothing is sent on
+//! it), while a path declared dead by the bond's outage detector gets
+//! exactly zero.
+//!
+//! The allocator is deliberately paranoid about its inputs — estimates
+//! come from feedback digests that may be stale, partial, or hostile —
+//! and guarantees, for any input whatsoever: every share is finite and
+//! non-negative, shares sum to the configured total rate, and dead paths
+//! get exactly zero whenever at least one path is alive.
+
+use serde::{Deserialize, Serialize};
+
+/// Minimum goodput weight an alive path keeps, no matter how bad its
+/// estimate: the probe trickle that lets a recovered path prove itself.
+const MIN_ALIVE_WEIGHT: f64 = 0.01;
+
+/// One path's channel summary, as the share allocator consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathEstimate {
+    /// Conservative stationary loss bound for the path — typically
+    /// [`p_global_upper`](crate::ChannelEstimate::p_global_upper) once an
+    /// estimate exists, the windowed loss rate before that. Values
+    /// outside `[0, 1]` (including NaN/∞ from adversarial or corrupt
+    /// digests) are treated as total loss.
+    pub loss_upper: f64,
+    /// False once the bond's outage detector declared the path dead: the
+    /// allocator assigns it exactly zero share and the scheduler routes
+    /// around it.
+    pub alive: bool,
+}
+
+impl PathEstimate {
+    /// A path with no observations yet: alive and assumed clean.
+    pub fn unknown() -> PathEstimate {
+        PathEstimate {
+            loss_upper: 0.0,
+            alive: true,
+        }
+    }
+
+    /// The sanitised loss bound: NaN, ∞ and out-of-range values collapse
+    /// to worst-case total loss.
+    pub fn sane_loss(&self) -> f64 {
+        if self.loss_upper.is_finite() {
+            self.loss_upper.clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    }
+
+    fn weight(&self) -> f64 {
+        if !self.alive {
+            return 0.0;
+        }
+        (1.0 - self.sane_loss()).max(MIN_ALIVE_WEIGHT)
+    }
+}
+
+/// Splits an aggregate packet rate into per-path shares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShareAllocator {
+    total: f64,
+}
+
+impl ShareAllocator {
+    /// An allocator for `total_rate` datagrams/s. Non-finite or
+    /// non-positive rates collapse to zero (everything gets zero share).
+    pub fn new(total_rate: f64) -> ShareAllocator {
+        let total = if total_rate.is_finite() && total_rate > 0.0 {
+            total_rate
+        } else {
+            0.0
+        };
+        ShareAllocator { total }
+    }
+
+    /// The aggregate rate being split.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Allocates one share per path, in path order.
+    ///
+    /// Guarantees for *any* input: `shares.len() == paths.len()`, every
+    /// share is finite and `>= 0`, the shares sum to
+    /// [`total`](Self::total) (to floating-point exactness), and a dead
+    /// path's share is exactly `0.0` whenever at least one path is
+    /// alive. If every path is dead the rate is split uniformly instead —
+    /// a bond with zero share everywhere would silently stall the
+    /// emission, and the probe traffic is what lets paths come back.
+    pub fn allocate(&self, paths: &[PathEstimate]) -> Vec<f64> {
+        if paths.is_empty() {
+            return Vec::new();
+        }
+        let mut weights: Vec<f64> = paths.iter().map(PathEstimate::weight).collect();
+        let mut weight_sum: f64 = weights.iter().sum();
+        if weight_sum.is_nan() || weight_sum <= 0.0 {
+            weights.fill(1.0);
+            weight_sum = paths.len() as f64;
+        }
+        let mut shares: Vec<f64> = weights
+            .iter()
+            .map(|w| self.total * w / weight_sum)
+            .collect();
+        // Pin the floating-point residual onto the largest share so the
+        // sum is exact; the residual is ulps-sized, so the largest share
+        // stays non-negative.
+        let assigned: f64 = shares.iter().sum();
+        let residual = self.total - assigned;
+        if let Some(idx) = largest_index(&shares) {
+            shares[idx] = (shares[idx] + residual).max(0.0);
+        }
+        debug_assert!(shares.iter().all(|s| s.is_finite() && *s >= 0.0));
+        shares
+    }
+}
+
+/// Share-weighted blended loss bound across the bond — the effective
+/// channel a plan covering all paths must budget for.
+pub fn blended_loss(paths: &[PathEstimate], shares: &[f64]) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (p, &s) in paths.iter().zip(shares) {
+        let s = if s.is_finite() && s > 0.0 { s } else { 0.0 };
+        num += s * p.sane_loss();
+        den += s;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+fn largest_index(shares: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &s) in shares.iter().enumerate() {
+        match best {
+            Some((_, b)) if s <= b => {}
+            _ => best = Some((i, s)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums_to(shares: &[f64], total: f64) {
+        let sum: f64 = shares.iter().sum();
+        assert!(
+            (sum - total).abs() <= total.abs() * 1e-12 + 1e-12,
+            "shares {sum} != total {total}"
+        );
+    }
+
+    #[test]
+    fn clean_paths_split_evenly() {
+        let alloc = ShareAllocator::new(300.0);
+        let paths = [PathEstimate::unknown(); 3];
+        let shares = alloc.allocate(&paths);
+        sums_to(&shares, 300.0);
+        for s in &shares {
+            assert!((s - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lossy_path_gets_less_dead_path_gets_zero() {
+        let alloc = ShareAllocator::new(100.0);
+        let paths = [
+            PathEstimate {
+                loss_upper: 0.02,
+                alive: true,
+            },
+            PathEstimate {
+                loss_upper: 0.40,
+                alive: true,
+            },
+            PathEstimate {
+                loss_upper: 0.05,
+                alive: false,
+            },
+        ];
+        let shares = alloc.allocate(&paths);
+        sums_to(&shares, 100.0);
+        assert!(shares[0] > shares[1], "cleaner path earns more");
+        assert_eq!(shares[2], 0.0, "dead path gets exactly zero");
+    }
+
+    #[test]
+    fn adversarial_estimates_stay_finite_and_conserved() {
+        let alloc = ShareAllocator::new(50.0);
+        let paths = [
+            PathEstimate {
+                loss_upper: f64::NAN,
+                alive: true,
+            },
+            PathEstimate {
+                loss_upper: f64::INFINITY,
+                alive: true,
+            },
+            PathEstimate {
+                loss_upper: -3.0,
+                alive: true,
+            },
+            PathEstimate {
+                loss_upper: 17.0,
+                alive: true,
+            },
+        ];
+        let shares = alloc.allocate(&paths);
+        sums_to(&shares, 50.0);
+        for s in &shares {
+            assert!(s.is_finite() && *s >= 0.0);
+        }
+        // NaN/∞/overrange collapse to total loss → probe trickle; the
+        // negative (treated as clean) path dominates.
+        assert!(shares[2] > shares[0]);
+    }
+
+    #[test]
+    fn all_dead_falls_back_to_uniform_probe() {
+        let alloc = ShareAllocator::new(90.0);
+        let paths = [PathEstimate {
+            loss_upper: 0.1,
+            alive: false,
+        }; 3];
+        let shares = alloc.allocate(&paths);
+        sums_to(&shares, 90.0);
+        for s in &shares {
+            assert!((s - 30.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn blended_loss_is_share_weighted() {
+        let paths = [
+            PathEstimate {
+                loss_upper: 0.0,
+                alive: true,
+            },
+            PathEstimate {
+                loss_upper: 0.5,
+                alive: true,
+            },
+        ];
+        let blended = blended_loss(&paths, &[75.0, 25.0]);
+        assert!((blended - 0.125).abs() < 1e-12);
+        assert_eq!(blended_loss(&paths, &[0.0, 0.0]), 0.0);
+        assert_eq!(blended_loss(&paths, &[f64::NAN, 10.0]), 0.5);
+    }
+
+    #[test]
+    fn degenerate_rates_collapse_to_zero() {
+        for rate in [f64::NAN, f64::NEG_INFINITY, -5.0, 0.0] {
+            let alloc = ShareAllocator::new(rate);
+            let shares = alloc.allocate(&[PathEstimate::unknown(); 2]);
+            assert_eq!(shares, vec![0.0, 0.0]);
+        }
+        assert!(ShareAllocator::new(f64::NAN).total() == 0.0);
+    }
+}

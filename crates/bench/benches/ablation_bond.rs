@@ -1,0 +1,312 @@
+//! Multipath bonding ablation: one FEC schedule striped across
+//! heterogeneous bursty links.
+//!
+//! Two claims from the bonded-transport design, each measured and gated:
+//!
+//! 1. **Bonding beats the best single path.** On asymmetric bursty
+//!    links, a sequential schedule (the paper's Tx_model_1 shape) sees a
+//!    link's loss bursts as consecutive-symbol erasures — the decoder's
+//!    worst case. Striping the same schedule across three such links
+//!    whitens each link's bursts into isolated erasures, so the bonded
+//!    session delivers byte-exactly on *fewer* total packets than the
+//!    best of the three links alone. A single realization can hand one
+//!    link a lucky quiet stretch, so the gate is on the mean across
+//!    realizations, not per-row.
+//! 2. **Re-allocation is prompt.** After a mid-flight step change (one
+//!    path degrading from 2% to 50% bursty loss), the controller moves
+//!    that path's rate share within one re-plan interval of digests
+//!    arriving. The bench measures the latency in scheduling ticks and
+//!    gates it at two intervals.
+//!
+//! `FEC_BOND_SMOKE=1` runs one loss realization instead of three;
+//! results land in `BENCH_bond.json` at the repo root either way.
+
+use std::fmt::Write as _;
+
+use fec_adapt::ControllerConfig;
+use fec_bond::{BondConfig, BondedSession};
+use fec_channel::{GilbertChannel, GilbertParams, LinkEmulator, LossModel};
+use fec_flute::{FluteSender, SenderConfig};
+use fec_sched::TxModel;
+use fec_sim::ExpansionRatio;
+
+const TSI: u32 = 61;
+const SYMBOL: usize = 64;
+// Small blocks (k = 187) are where burstiness hurts the decoder: an
+// 8–12-packet burst erases a meaningful fraction of one block. Many
+// such objects per transfer keeps that regime while averaging away
+// the luck of any single block's realization.
+const OBJ_LEN: usize = 12_000;
+const OBJECTS: u32 = 8;
+
+fn object_bytes(toi: u32) -> Vec<u8> {
+    (0..OBJ_LEN)
+        .map(|i| ((i as u32).wrapping_mul(43).wrapping_add(toi * 19) % 251) as u8)
+        .collect()
+}
+
+fn build_sender(tx: TxModel, ratio: ExpansionRatio) -> FluteSender {
+    let mut config = SenderConfig::new(TSI);
+    config.fdt_interval = 120;
+    let mut sender = FluteSender::new(config);
+    for toi in 1..=OBJECTS {
+        sender
+            .add_object(
+                toi,
+                format!("file:///bond-{toi}.bin"),
+                &object_bytes(toi),
+                fec_codec::registry::resolve("ldgm-triangle").expect("builtin"),
+                ratio,
+                SYMBOL,
+                0xD1CE + toi as u64,
+                tx,
+            )
+            .expect("object fits");
+    }
+    sender
+}
+
+/// A Gilbert link with long-run loss `p_global` and mean burst length
+/// `burst` packets.
+fn bursty_link(p_global: f64, burst: f64, seed: u64) -> LinkEmulator {
+    let q = 1.0 / burst;
+    let p = p_global * q / (1.0 - p_global);
+    let model: Box<dyn LossModel> = Box::new(GilbertChannel::new(
+        GilbertParams::new(p, q).expect("valid"),
+        seed,
+    ));
+    LinkEmulator::new(model, seed ^ 0x10DE)
+}
+
+fn assert_byte_exact(bond: &BondedSession<'_>, what: &str) {
+    assert!(bond.is_complete(), "{what}: failed to deliver");
+    for toi in 1..=OBJECTS {
+        assert_eq!(
+            bond.receiver().object(toi).expect("decoded"),
+            &object_bytes(toi)[..],
+            "{what}: object {toi} corrupted"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: bonded goodput vs the best single path.
+// ---------------------------------------------------------------------
+
+/// The three heterogeneous links of the convergence scenario: 10%/12%/14%
+/// long-run loss with mean bursts of 8/10/12 packets. `salt` decorrelates
+/// the loss realizations between replications (the schedule itself is the
+/// deterministic Tx_model_1 shape, so links are the only randomness).
+fn asymmetric_links(salt: u64) -> Vec<LinkEmulator> {
+    vec![
+        bursty_link(0.10, 8.0, 911 ^ (salt * 0x9E37)),
+        bursty_link(0.12, 10.0, 922 ^ (salt * 0x9E37)),
+        bursty_link(0.14, 12.0, 933 ^ (salt * 0x9E37)),
+    ]
+}
+
+fn convergence_config() -> BondConfig {
+    BondConfig {
+        total_rate: 900.0,
+        replan_every: 64,
+        outage_after: 100_000,
+        dead_band: 0.02,
+        controller: ControllerConfig {
+            window: 20_000,
+            min_observations: 500,
+            ..ControllerConfig::default()
+        },
+    }
+}
+
+struct GoodputRow {
+    link_salt: u64,
+    singles: Vec<u64>,
+    best_single: u64,
+    bonded: u64,
+    saving_pct: f64,
+    goodput_bytes_per_datagram: f64,
+}
+
+fn measure_goodput(link_salt: u64) -> GoodputRow {
+    let tx = TxModel::SourceSeqParitySeq;
+    let ratio = ExpansionRatio::R1_5;
+    let config = convergence_config();
+    let run = |links: Vec<LinkEmulator>, what: &str| {
+        let sender = build_sender(tx, ratio);
+        let mut bond = BondedSession::new(&sender, 0x5EED, links, config.clone());
+        bond.run(400_000).expect("session steps");
+        assert_byte_exact(&bond, what);
+        bond.total_sent()
+    };
+    let singles: Vec<u64> = (0..3)
+        .map(|i| {
+            let link = asymmetric_links(link_salt).remove(i);
+            run(vec![link], &format!("single path {i}"))
+        })
+        .collect();
+    let best_single = *singles.iter().min().expect("three paths");
+    let bonded = run(asymmetric_links(link_salt), "bonded");
+    GoodputRow {
+        link_salt,
+        saving_pct: 100.0 * (1.0 - bonded as f64 / best_single as f64),
+        goodput_bytes_per_datagram: (OBJECTS as usize * OBJ_LEN) as f64 / bonded as f64,
+        singles,
+        best_single,
+        bonded,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: re-allocation latency after a step change.
+// ---------------------------------------------------------------------
+
+struct LatencyRow {
+    share_before: f64,
+    share_after: f64,
+    latency_ticks: u64,
+    replan_every: u64,
+}
+
+fn measure_reallocation_latency() -> LatencyRow {
+    let sender = build_sender(TxModel::Random, ExpansionRatio::R2_5);
+    let config = BondConfig {
+        total_rate: 1_000.0,
+        replan_every: 64,
+        outage_after: 100_000,
+        dead_band: 0.02,
+        controller: ControllerConfig {
+            // Small estimation window so path estimates track the
+            // recent windowed loss rate — a regime change shows up in
+            // the very next digest fold.
+            window: 128,
+            min_observations: 100_000,
+            ..ControllerConfig::default()
+        },
+    };
+    let links = vec![bursty_link(0.02, 2.0, 71), bursty_link(0.02, 2.0, 72)];
+    let mut bond = BondedSession::new(&sender, 0x5EED, links, config.clone());
+    for _ in 0..config.replan_every * 6 {
+        bond.step().expect("warmup steps");
+    }
+    let share_before = bond.controller().shares()[1];
+    assert!(
+        share_before > 400.0,
+        "healthy path holds ~half: {share_before}"
+    );
+
+    // The step change: path 1 falls to 50% bursty loss.
+    bond.degrade_path(1, GilbertParams::new(0.1, 0.1).expect("valid"), 0xBAD);
+    let threshold = share_before - config.dead_band * config.total_rate;
+    let mut latency_ticks = 0u64;
+    while bond.controller().shares()[1] >= threshold {
+        latency_ticks += 1;
+        assert!(
+            latency_ticks <= 2 * config.replan_every,
+            "share never moved within two re-plan intervals"
+        );
+        bond.step().expect("post-degrade steps");
+    }
+    let share_after = bond.controller().shares()[1];
+    bond.run(200_000).expect("drain to completion");
+    assert_byte_exact(&bond, "degraded bond");
+    LatencyRow {
+        share_before,
+        share_after,
+        latency_ticks,
+        replan_every: config.replan_every,
+    }
+}
+
+// ---------------------------------------------------------------------
+
+fn main() {
+    let smoke = std::env::var("FEC_BOND_SMOKE").is_ok();
+    let salts: &[u64] = if smoke { &[0] } else { &[0, 1, 2] };
+
+    let mut rows = Vec::new();
+    for &salt in salts {
+        eprintln!("goodput: link salt {salt}...");
+        let row = measure_goodput(salt);
+        eprintln!(
+            "goodput salt {salt}: singles {:?}, bonded {} ({:.1}% fewer than best single, \
+             {:.1} goodput bytes/datagram)",
+            row.singles, row.bonded, row.saving_pct, row.goodput_bytes_per_datagram
+        );
+        rows.push(row);
+    }
+    let mean_best = rows.iter().map(|r| r.best_single as f64).sum::<f64>() / rows.len() as f64;
+    let mean_bonded = rows.iter().map(|r| r.bonded as f64).sum::<f64>() / rows.len() as f64;
+    let mean_saving_pct = 100.0 * (1.0 - mean_bonded / mean_best);
+    assert!(
+        mean_bonded < mean_best,
+        "bonded (mean {mean_bonded:.1}) must beat the best single path (mean {mean_best:.1})"
+    );
+    eprintln!(
+        "goodput overall: bonded mean {mean_bonded:.1} vs best-single mean {mean_best:.1} \
+         ({mean_saving_pct:.1}% saving)"
+    );
+
+    eprintln!("re-allocation latency after a 2%→50% step change...");
+    let lat = measure_reallocation_latency();
+    eprintln!(
+        "latency: share {:.0} -> {:.0} in {} ticks (re-plan interval {})",
+        lat.share_before, lat.share_after, lat.latency_ticks, lat.replan_every
+    );
+
+    // ---- JSON ----
+    let mut json = String::new();
+    let w = &mut json;
+    writeln!(w, "{{").unwrap();
+    writeln!(w, "  \"bench\": \"ablation_bond\",").unwrap();
+    writeln!(
+        w,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    )
+    .unwrap();
+    writeln!(w, "  \"paths\": 3,").unwrap();
+    writeln!(w, "  \"object_bytes\": {},", OBJECTS as usize * OBJ_LEN).unwrap();
+    writeln!(w, "  \"goodput\": [").unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        writeln!(w, "    {{").unwrap();
+        writeln!(w, "      \"link_salt\": {},", row.link_salt).unwrap();
+        writeln!(
+            w,
+            "      \"single_path_packets\": [{}, {}, {}],",
+            row.singles[0], row.singles[1], row.singles[2]
+        )
+        .unwrap();
+        writeln!(w, "      \"best_single_packets\": {},", row.best_single).unwrap();
+        writeln!(w, "      \"bonded_packets\": {},", row.bonded).unwrap();
+        writeln!(w, "      \"saving_pct\": {:.2},", row.saving_pct).unwrap();
+        writeln!(
+            w,
+            "      \"goodput_bytes_per_datagram\": {:.2},",
+            row.goodput_bytes_per_datagram
+        )
+        .unwrap();
+        writeln!(w, "      \"byte_exact\": true").unwrap();
+        writeln!(w, "    }}{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(w, "  ],").unwrap();
+    writeln!(w, "  \"goodput_summary\": {{").unwrap();
+    writeln!(w, "    \"mean_best_single_packets\": {mean_best:.1},").unwrap();
+    writeln!(w, "    \"mean_bonded_packets\": {mean_bonded:.1},").unwrap();
+    writeln!(w, "    \"mean_saving_pct\": {mean_saving_pct:.2},").unwrap();
+    writeln!(w, "    \"pass\": true").unwrap();
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"reallocation\": {{").unwrap();
+    writeln!(w, "    \"share_before\": {:.1},", lat.share_before).unwrap();
+    writeln!(w, "    \"share_after\": {:.1},", lat.share_after).unwrap();
+    writeln!(w, "    \"latency_ticks\": {},", lat.latency_ticks).unwrap();
+    writeln!(w, "    \"replan_interval_ticks\": {},", lat.replan_every).unwrap();
+    writeln!(w, "    \"pass\": true").unwrap();
+    writeln!(w, "  }}").unwrap();
+    writeln!(w, "}}").unwrap();
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bond.json");
+    std::fs::write(path, &json).expect("write BENCH_bond.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+}

@@ -1,0 +1,300 @@
+//! The bond's rate controller: per-path channel estimation, outage
+//! detection, and share allocation.
+//!
+//! [`BondController`] glues three existing pieces together. Per-path
+//! loss-run digests feed the per-path Gilbert estimators inside
+//! [`AdaptiveController`]; the same runs also fold into the *global*
+//! estimator, which keeps driving the FEC expansion re-planning exactly
+//! as on a single link. [`ShareAllocator`] then turns the per-path loss
+//! bounds into a rate split, with one overlay the estimators cannot see:
+//! **liveness**. An estimator only learns from digests, and a dead path
+//! produces none — its estimate silently goes stale at whatever it last
+//! was. The controller therefore tracks *send-side silence*: a path that
+//! has carried [`BondConfig::outage_after`] packets since its last
+//! feedback evidence is declared dead and allocated zero share until
+//! evidence returns.
+
+use fec_adapt::{AdaptiveController, ControllerConfig, PathEstimate, ShareAllocator};
+use fec_telemetry::{PathMetrics, Registry};
+
+/// Tuning for a bonded sender.
+#[derive(Debug, Clone)]
+pub struct BondConfig {
+    /// Aggregate packet rate (datagrams/s) split across the paths; this
+    /// is the [`ShareAllocator`] total and the sum the share vector
+    /// always conserves.
+    pub total_rate: f64,
+    /// Routed packets between feedback/re-allocation rounds.
+    pub replan_every: u64,
+    /// Packets sent on a path with no feedback evidence before the path
+    /// is declared dead.
+    pub outage_after: u64,
+    /// Re-allocate only when some path's share moved by more than this
+    /// fraction of the total rate (hysteresis against estimator noise).
+    pub dead_band: f64,
+    /// Controller tuning shared by the global and per-path estimators.
+    pub controller: ControllerConfig,
+}
+
+impl Default for BondConfig {
+    fn default() -> BondConfig {
+        BondConfig {
+            total_rate: 1_000.0,
+            replan_every: 64,
+            outage_after: 192,
+            dead_band: 0.02,
+            controller: ControllerConfig::default(),
+        }
+    }
+}
+
+/// Per-path estimation + allocation state for one bonded emission.
+#[derive(Debug)]
+pub struct BondController {
+    controller: AdaptiveController,
+    allocator: ShareAllocator,
+    config: BondConfig,
+    /// `sent[path]` value at the last feedback evidence from that path.
+    evidence_sent: Vec<u64>,
+    dead: Vec<bool>,
+    shares: Vec<f64>,
+    reallocations: u64,
+    outages: u64,
+    metrics: Option<Vec<PathMetrics>>,
+}
+
+impl BondController {
+    /// A controller for `paths` links under `config`.
+    pub fn new(paths: usize, config: BondConfig) -> BondController {
+        let total = config.total_rate;
+        let uniform = if paths > 0 { total / paths as f64 } else { 0.0 };
+        BondController {
+            controller: AdaptiveController::new(config.controller.clone()),
+            allocator: ShareAllocator::new(total),
+            config,
+            evidence_sent: vec![0; paths],
+            dead: vec![false; paths],
+            shares: vec![uniform; paths],
+            reallocations: 0,
+            outages: 0,
+            metrics: None,
+        }
+    }
+
+    /// Registers the `fec_path_*` family and starts mirroring share,
+    /// loss-bound, and outage updates into it.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let bundles = PathMetrics::register_all(registry, self.shares.len());
+        for (path, m) in bundles.iter().enumerate() {
+            m.share.set(self.shares[path]);
+        }
+        self.metrics = Some(bundles);
+    }
+
+    /// Number of paths under management.
+    pub fn path_count(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Folds one path's loss-run digest into both that path's estimator
+    /// and the global (FEC-planning) estimator, and refreshes the
+    /// path's liveness evidence. `sent_on_path` is the bond's cumulative
+    /// send count for the path at ingest time; `runs` is the digest's
+    /// `(lost, len)` sketch.
+    pub fn ingest_path_runs(
+        &mut self,
+        path: usize,
+        sent_on_path: u64,
+        runs: &[(bool, u64)],
+    ) -> u64 {
+        let folded = self
+            .controller
+            .observe_path_runs(path, runs.iter().copied());
+        self.controller.observe_runs(runs.iter().copied());
+        if folded > 0 {
+            self.note_evidence(path, sent_on_path);
+        }
+        folded
+    }
+
+    /// Marks direct feedback evidence (any digest, NACK, or report) from
+    /// `path` at cumulative send count `sent_on_path`. Revives a path
+    /// previously declared dead.
+    pub fn note_evidence(&mut self, path: usize, sent_on_path: u64) {
+        if path >= self.evidence_sent.len() {
+            return;
+        }
+        self.evidence_sent[path] = sent_on_path;
+        self.dead[path] = false;
+    }
+
+    /// Whether `path` is currently considered dead.
+    pub fn is_dead(&self, path: usize) -> bool {
+        self.dead.get(path).copied().unwrap_or(false)
+    }
+
+    /// Times any path transitioned alive → dead.
+    pub fn outages(&self) -> u64 {
+        self.outages
+    }
+
+    /// Material share re-allocations applied so far.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Current share vector (datagrams/s per path, sums to the total
+    /// rate while any path is alive).
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// The global estimator/planner (drives FEC expansion re-planning).
+    pub fn global(&self) -> &AdaptiveController {
+        &self.controller
+    }
+
+    /// Mutable access to the global estimator/planner.
+    pub fn global_mut(&mut self) -> &mut AdaptiveController {
+        &mut self.controller
+    }
+
+    /// Runs one allocation round: applies outage detection against the
+    /// current per-path send counters, derives a share vector from the
+    /// per-path loss bounds, and returns it. Increments
+    /// [`reallocations`](Self::reallocations) only when some share moved
+    /// by more than `dead_band * total_rate` (the first call always
+    /// counts as a re-allocation if it moves off the uniform prior).
+    pub fn reallocate(&mut self, sent: &[u64]) -> Vec<f64> {
+        for path in 0..self.dead.len() {
+            let sent_here = sent.get(path).copied().unwrap_or(0);
+            let since = sent_here.saturating_sub(self.evidence_sent[path]);
+            if !self.dead[path] && since >= self.config.outage_after {
+                self.dead[path] = true;
+                self.outages += 1;
+                if let Some(ms) = &self.metrics {
+                    if let Some(m) = ms.get(path) {
+                        m.outages.inc();
+                    }
+                }
+            }
+        }
+        let mut estimates: Vec<PathEstimate> = self.controller.path_estimates();
+        estimates.resize(self.shares.len(), PathEstimate::unknown());
+        for (path, e) in estimates.iter_mut().enumerate() {
+            e.alive = !self.dead[path];
+        }
+        let shares = self.allocator.allocate(&estimates);
+        let band = self.config.dead_band * self.config.total_rate;
+        let moved = shares
+            .iter()
+            .zip(&self.shares)
+            .any(|(new, old)| (new - old).abs() > band);
+        if moved {
+            self.reallocations += 1;
+        }
+        if let Some(ms) = &self.metrics {
+            for (path, m) in ms.iter().enumerate() {
+                m.share.set(shares.get(path).copied().unwrap_or(0.0));
+                if let Some(e) = estimates.get(path) {
+                    m.loss_upper.set(e.sane_loss());
+                }
+            }
+        }
+        self.shares = shares.clone();
+        shares
+    }
+
+    /// Mirrors a per-path datagram count into telemetry (no-op without
+    /// an attached registry).
+    pub fn count_datagram(&self, path: usize) {
+        if let Some(ms) = &self.metrics {
+            if let Some(m) = ms.get(path) {
+                m.datagrams.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warmed(paths: usize, losses: &[f64]) -> BondController {
+        let mut b = BondController::new(
+            paths,
+            BondConfig {
+                controller: ControllerConfig {
+                    window: 20_000,
+                    min_observations: 100,
+                    ..ControllerConfig::default()
+                },
+                ..BondConfig::default()
+            },
+        );
+        // Many short alternating runs at the target loss rate, so the
+        // estimator sees enough transitions for tight bounds.
+        for (path, &loss) in losses.iter().enumerate() {
+            let good = (((1.0 - loss) / loss).round() as u64).max(1);
+            let runs: Vec<(bool, u64)> =
+                (0..250).flat_map(|_| [(false, good), (true, 1)]).collect();
+            b.ingest_path_runs(path, 1_000, &runs);
+        }
+        b
+    }
+
+    #[test]
+    fn lossier_paths_get_smaller_shares() {
+        let mut b = warmed(3, &[0.01, 0.25, 0.50]);
+        let shares = b.reallocate(&[1_000, 1_000, 1_000]);
+        assert!((shares.iter().sum::<f64>() - 1_000.0).abs() < 1e-6);
+        assert!(shares[0] > shares[1] && shares[1] > shares[2], "{shares:?}");
+    }
+
+    #[test]
+    fn silent_path_is_declared_dead_then_revived_by_evidence() {
+        let mut b = warmed(2, &[0.02, 0.02]);
+        // Path 1 sent past the outage threshold since its evidence
+        // (recorded at sent=1_000 during warmup); path 0 stays current.
+        let shares = b.reallocate(&[1_050, 1_000 + b.config.outage_after]);
+        assert!(b.is_dead(1));
+        assert_eq!(b.outages(), 1);
+        assert_eq!(shares[1], 0.0, "dead path keeps zero share");
+        assert!((shares[0] - 1_000.0).abs() < 1e-6, "survivor takes it all");
+        // Fresh evidence revives it.
+        b.ingest_path_runs(1, 1_400, &[(false, 50)]);
+        let shares = b.reallocate(&[1_060, 1_410]);
+        assert!(!b.is_dead(1));
+        assert!(shares[1] > 0.0);
+    }
+
+    #[test]
+    fn dead_band_suppresses_noise_reallocations() {
+        let mut b = warmed(2, &[0.05, 0.05]);
+        b.reallocate(&[100, 100]);
+        let base = b.reallocations();
+        // Identical evidence → identical shares → no new re-allocation.
+        b.reallocate(&[150, 150]);
+        b.reallocate(&[200, 200]);
+        assert_eq!(b.reallocations(), base);
+    }
+
+    #[test]
+    fn telemetry_mirrors_shares_and_outages() {
+        let registry = Registry::new();
+        let mut b = warmed(2, &[0.02, 0.02]);
+        b.attach_telemetry(&registry);
+        b.reallocate(&[1_050, 1_000 + b.config.outage_after]);
+        b.count_datagram(0);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("fec_path_outages_total{path=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("fec_path_share{path=\"1\"} 0"), "{text}");
+        assert!(
+            text.contains("fec_path_datagrams_total{path=\"0\"} 1"),
+            "{text}"
+        );
+    }
+}

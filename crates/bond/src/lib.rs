@@ -1,0 +1,40 @@
+//! Multipath bonded transport: stripe **one** FEC schedule across N
+//! heterogeneous lossy paths.
+//!
+//! The paper's sender pushes one planned emission down one channel. This
+//! crate keeps the single [`PlannedEmission`](fec_core::PlannedEmission)
+//! — one schedule, one set of plan amendments, one completion signal —
+//! and spreads its packets over several links that differ in loss
+//! process, delay, and fate:
+//!
+//! * [`PathScheduler`] decides, per packet, which path carries it. Rate
+//!   shares are enforced by a deterministic credit scheme; within the
+//!   affordable band, **source symbols ride the fastest paths and
+//!   repair symbols the slowest** (Kurant, arXiv:0901.1479), because a
+//!   repair symbol's latency only matters after a loss.
+//! * [`BondController`] runs one online Gilbert estimator per path (fed
+//!   by per-path loss-run digests), allocates each path a share of the
+//!   aggregate packet rate in proportion to its health, and declares a
+//!   path dead after sustained feedback silence — outage response is
+//!   **routing around** the path (share → 0, schedule amended), never a
+//!   session restart.
+//! * [`BondedSession`] is the deterministic in-process harness the
+//!   bonding scenario suite drives: emulated links, scripted mid-flight
+//!   degradation/outage/hostility, real FLUTE framing, per-path EXT_SEQ
+//!   spaces, NACK-driven targeted repair.
+//!
+//! The receiving side needs no bonding awareness beyond
+//! [`push_datagrams_on`](fec_flute::FluteReceiver::push_datagrams_on):
+//! FEC makes the paths interchangeable at the symbol level, so a
+//! receiver just decodes whatever union of symbols the paths deliver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod scheduler;
+mod session;
+
+pub use controller::{BondConfig, BondController};
+pub use scheduler::PathScheduler;
+pub use session::{BondedSession, Poison, Step};

@@ -1,0 +1,228 @@
+//! Credit-based path selection for a bonded sender.
+//!
+//! One [`PathScheduler`] holds the controller-allocated rate share of
+//! every path and answers a single question per datagram: *which path
+//! carries this packet?* Long-run per-path send rates converge to the
+//! shares (a deficit-round-robin credit scheme), while short-run choice
+//! inside the affordable band follows Kurant's multipath-FEC ordering
+//! (arXiv:0901.1479): **source symbols ride the fastest paths, repair
+//! symbols the slowest**, so source data arrives with the lowest delay
+//! and repair — useful only after a loss — absorbs the latency slack.
+
+/// Deterministic weighted path selector with Kurant source/repair
+/// ordering.
+///
+/// Credits implement the rate shares: every routed packet deposits each
+/// eligible path's normalized share and withdraws a whole packet from
+/// the chosen one, so a path's pick frequency tracks its share with at
+/// most a packet or two of drift. Among paths whose credit is within
+/// one packet of the richest (the *affordable band*), source symbols
+/// choose the lowest delay rank and repair symbols the highest.
+#[derive(Debug, Clone)]
+pub struct PathScheduler {
+    shares: Vec<f64>,
+    credits: Vec<f64>,
+    delay_rank: Vec<usize>,
+    source_routed: Vec<u64>,
+    repair_routed: Vec<u64>,
+}
+
+impl PathScheduler {
+    /// A scheduler over `paths` links with uniform shares and delay
+    /// ranks equal to path index (path 0 fastest).
+    pub fn new(paths: usize) -> PathScheduler {
+        PathScheduler {
+            shares: vec![1.0; paths],
+            credits: vec![0.0; paths],
+            delay_rank: (0..paths).collect(),
+            source_routed: vec![0; paths],
+            repair_routed: vec![0; paths],
+        }
+    }
+
+    /// Number of paths under management.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Whether the scheduler manages zero paths.
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// Sets the delay ordering: `ranks[i]` is path `i`'s delay rank,
+    /// lower = faster. Extra entries are ignored; missing ones keep
+    /// their previous rank.
+    pub fn set_delay_ranks(&mut self, ranks: &[usize]) {
+        for (i, &r) in ranks.iter().enumerate().take(self.delay_rank.len()) {
+            self.delay_rank[i] = r;
+        }
+    }
+
+    /// Installs a new share vector (same order as the paths). Negative
+    /// or non-finite entries are treated as zero; a zero share takes
+    /// the path out of rotation entirely (its stale credit is cleared
+    /// so a later revival starts fresh). A longer vector grows the
+    /// path set.
+    pub fn reallocate(&mut self, shares: &[f64]) {
+        if shares.len() > self.shares.len() {
+            self.shares.resize(shares.len(), 0.0);
+            self.credits.resize(shares.len(), 0.0);
+            let base = self.delay_rank.len();
+            self.delay_rank.extend(base..shares.len());
+            self.source_routed.resize(shares.len(), 0);
+            self.repair_routed.resize(shares.len(), 0);
+        }
+        for (i, &s) in shares.iter().enumerate() {
+            let s = if s.is_finite() && s > 0.0 { s } else { 0.0 };
+            self.shares[i] = s;
+            if s == 0.0 {
+                self.credits[i] = 0.0;
+            }
+        }
+    }
+
+    /// Current share vector.
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// Source symbols routed to `path` so far.
+    pub fn source_routed(&self, path: usize) -> u64 {
+        self.source_routed.get(path).copied().unwrap_or(0)
+    }
+
+    /// Repair symbols routed to `path` so far.
+    pub fn repair_routed(&self, path: usize) -> u64 {
+        self.repair_routed.get(path).copied().unwrap_or(0)
+    }
+
+    /// Total packets routed to `path` so far.
+    pub fn routed(&self, path: usize) -> u64 {
+        self.source_routed(path) + self.repair_routed(path)
+    }
+
+    /// Picks the path for the next packet; `is_source` is whether the
+    /// packet carries a source symbol (true) or repair (false).
+    /// Returns `None` only when every share is zero.
+    pub fn route(&mut self, is_source: bool) -> Option<usize> {
+        let total: f64 = self.shares.iter().sum();
+        if total.is_nan() || total <= 0.0 {
+            return None;
+        }
+        for i in 0..self.shares.len() {
+            if self.shares[i] > 0.0 {
+                self.credits[i] += self.shares[i] / total;
+            }
+        }
+        let eligible = || {
+            (0..self.shares.len())
+                .filter(|&i| self.shares[i] > 0.0)
+                .collect::<Vec<_>>()
+        };
+        let paths = eligible();
+        let richest = paths
+            .iter()
+            .map(|&i| self.credits[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        // The affordable band: every eligible path within one packet of
+        // the richest credit. The band is never empty (the richest path
+        // is in it), and a starved path's credit eventually towers over
+        // the rest, shrinking the band to just itself — that is what
+        // bounds the drift from the share vector.
+        let band: Vec<usize> = paths
+            .into_iter()
+            .filter(|&i| self.credits[i] > richest - 1.0)
+            .collect();
+        let chosen = if is_source {
+            band.into_iter().min_by_key(|&i| self.delay_rank[i])
+        } else {
+            band.into_iter().max_by_key(|&i| self.delay_rank[i])
+        }?;
+        self.credits[chosen] -= 1.0;
+        if is_source {
+            self.source_routed[chosen] += 1;
+        } else {
+            self.repair_routed[chosen] += 1;
+        }
+        Some(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_converge_to_shares() {
+        let mut s = PathScheduler::new(3);
+        s.reallocate(&[0.5, 0.3, 0.2]);
+        for i in 0..10_000 {
+            s.route(i % 3 != 0);
+        }
+        let total: u64 = (0..3).map(|i| s.routed(i)).sum();
+        assert_eq!(total, 10_000);
+        for (i, want) in [0.5, 0.3, 0.2].iter().enumerate() {
+            let got = s.routed(i) as f64 / total as f64;
+            assert!(
+                (got - want).abs() < 0.02,
+                "path {i}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn source_prefers_fast_repair_prefers_slow() {
+        let mut s = PathScheduler::new(2);
+        s.reallocate(&[0.5, 0.5]);
+        s.set_delay_ranks(&[0, 1]);
+        let mut src_on_fast = 0u64;
+        let mut rep_on_slow = 0u64;
+        for i in 0..2_000 {
+            let is_source = i % 2 == 0;
+            let p = s.route(is_source).unwrap();
+            if is_source && p == 0 {
+                src_on_fast += 1;
+            }
+            if !is_source && p == 1 {
+                rep_on_slow += 1;
+            }
+        }
+        // With equal shares and a strictly alternating source/repair
+        // mix, the Kurant preference should dominate inside the band.
+        assert!(src_on_fast > 800, "source on fast path: {src_on_fast}");
+        assert!(rep_on_slow > 800, "repair on slow path: {rep_on_slow}");
+    }
+
+    #[test]
+    fn zero_share_paths_are_never_picked() {
+        let mut s = PathScheduler::new(3);
+        s.reallocate(&[1.0, 0.0, 1.0]);
+        for i in 0..500 {
+            let p = s.route(i % 4 != 0).unwrap();
+            assert_ne!(p, 1, "dead path was routed to");
+        }
+        assert_eq!(s.routed(1), 0);
+    }
+
+    #[test]
+    fn all_dead_routes_nowhere_and_revival_restarts_clean() {
+        let mut s = PathScheduler::new(2);
+        s.reallocate(&[0.0, 0.0]);
+        assert_eq!(s.route(true), None);
+        s.reallocate(&[0.0, 1.0]);
+        assert_eq!(s.route(true), Some(1));
+    }
+
+    #[test]
+    fn adversarial_shares_are_sanitized() {
+        let mut s = PathScheduler::new(3);
+        s.reallocate(&[f64::NAN, -2.0, f64::INFINITY]);
+        assert_eq!(s.route(true), None, "no finite positive share");
+        s.reallocate(&[0.25, f64::NAN, 0.75]);
+        for i in 0..100 {
+            let p = s.route(i % 2 == 0).unwrap();
+            assert_ne!(p, 1);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! An in-process bonded transfer: one FLUTE emission striped across N
+//! emulated paths, with the full control loop in the middle.
+//!
+//! [`BondedSession`] is the scenario engine behind the bonding test
+//! suite. It wires together, without any sockets or threads (so every
+//! run is deterministic and seeded):
+//!
+//! * one [`SessionStream`] whose datagrams are routed per-packet by a
+//!   [`PathScheduler`] (source symbols to fast paths, repair to slow);
+//! * one [`LinkEmulator`] per path, each walking its own loss process;
+//! * one [`FluteReceiver`] fed through
+//!   [`push_datagrams_on`](FluteReceiver::push_datagrams_on) so per-path
+//!   EXT_SEQ accounting stays honest;
+//! * one [`ReportEmitter`] per path on the receiver side, producing the
+//!   per-path loss-run digests that feed the [`BondController`]'s
+//!   per-path estimators and share allocation;
+//! * NACK-driven targeted repair and mid-flight plan amendment — the
+//!   schedule is **amended**, never restarted, when paths die or
+//!   degrade.
+//!
+//! Scripted impairments ([`kill_path`](BondedSession::kill_path),
+//! [`degrade_path`](BondedSession::degrade_path),
+//! [`poison_path`](BondedSession::poison_path)) model mid-flight outage,
+//! mid-flight loss-regime change, and a hostile path injecting garbage
+//! and transient socket errors.
+
+use fec_channel::{GilbertChannel, GilbertParams, LinkEmulator, LossModel};
+use fec_flute::feedback::{ReportConfig, ReportEmitter};
+use fec_flute::{AlcPacket, FluteError, FluteReceiver, FluteSender, ReceiverEvent, SessionStream};
+use fec_telemetry::Registry;
+
+use crate::controller::{BondConfig, BondController};
+use crate::scheduler::PathScheduler;
+
+/// A hostile path's impairment script: every `garble_every`-th
+/// delivered datagram has its header corrupted in flight (arriving as
+/// a malformed, unparseable datagram), and every `drop_every`-th send
+/// hits a transient socket error (the datagram vanishes and the error
+/// is counted). Zero disables either effect.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Poison {
+    /// Corrupt every Nth delivered datagram (0 = never).
+    pub garble_every: u64,
+    /// Fail every Nth send with a transient error (0 = never).
+    pub drop_every: u64,
+}
+
+/// What one [`step`](BondedSession::step) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// A scheduled datagram went out on `path`.
+    Sent {
+        /// The path the scheduler chose.
+        path: usize,
+    },
+    /// The schedule was exhausted with the receiver incomplete; `queued`
+    /// targeted-repair packets were appended from the receiver's NACKs.
+    Repaired {
+        /// Repair packets queued onto the live schedule.
+        queued: u64,
+    },
+    /// Schedule exhausted and no repair identifiable (FDT still
+    /// missing): an FDT datagram was re-sent on `path`.
+    Fdt {
+        /// The path that carried the FDT retransmit.
+        path: usize,
+    },
+    /// Every FDT-listed object has decoded byte-exactly.
+    Complete,
+}
+
+/// One bonded transfer in progress: sender, N paths, receiver, control
+/// loop.
+pub struct BondedSession<'a> {
+    stream: SessionStream<'a>,
+    scheduler: PathScheduler,
+    controller: BondController,
+    links: Vec<LinkEmulator>,
+    wire_dead: Vec<bool>,
+    poison: Vec<Poison>,
+    poison_ticks: Vec<u64>,
+    receiver: FluteReceiver,
+    emitters: Vec<ReportEmitter>,
+    sent_on: Vec<u64>,
+    delivered_on: Vec<u64>,
+    rx_rejected: u64,
+    io_errors: u64,
+    repairs_queued: u64,
+    truncations: u64,
+    extensions: u64,
+    stopped: Vec<u32>,
+    routed_since_replan: u64,
+    config: BondConfig,
+}
+
+impl<'a> BondedSession<'a> {
+    /// Bonds `sender`'s emission (scheduled with `schedule_seed`) across
+    /// `links`, one emulated loss process per path. Paths are ordered by
+    /// delay: index 0 is the fastest link (the Kurant source-symbol
+    /// preference follows that order).
+    pub fn new(
+        sender: &'a FluteSender,
+        schedule_seed: u64,
+        links: Vec<LinkEmulator>,
+        config: BondConfig,
+    ) -> BondedSession<'a> {
+        let paths = links.len();
+        let mut scheduler = PathScheduler::new(paths);
+        let uniform = if paths > 0 {
+            config.total_rate / paths as f64
+        } else {
+            0.0
+        };
+        scheduler.reallocate(&vec![uniform; paths]);
+        let mut receiver = FluteReceiver::new(sender.tsi());
+        receiver.enable_nacks();
+        let emitters = (0..paths)
+            .map(|_| {
+                ReportEmitter::new(
+                    sender.tsi(),
+                    ReportConfig {
+                        // The harness polls on the replan cadence; keep
+                        // the emitter's own threshold out of the way.
+                        report_every: usize::MAX,
+                        ..ReportConfig::default()
+                    },
+                )
+            })
+            .collect();
+        BondedSession {
+            stream: sender.stream(schedule_seed),
+            scheduler,
+            controller: BondController::new(paths, config.clone()),
+            links,
+            wire_dead: vec![false; paths],
+            poison: vec![Poison::default(); paths],
+            poison_ticks: vec![0; paths],
+            receiver,
+            emitters,
+            sent_on: vec![0; paths],
+            delivered_on: vec![0; paths],
+            rx_rejected: 0,
+            io_errors: 0,
+            repairs_queued: 0,
+            truncations: 0,
+            extensions: 0,
+            stopped: Vec::new(),
+            routed_since_replan: 0,
+            config,
+        }
+    }
+
+    /// Mirrors per-path telemetry (`fec_path_*`) into `registry`.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.controller.attach_telemetry(registry);
+    }
+
+    /// Scripted outage: everything routed to `path` vanishes from now
+    /// on. The sender only learns through feedback silence.
+    pub fn kill_path(&mut self, path: usize) {
+        if let Some(slot) = self.wire_dead.get_mut(path) {
+            *slot = true;
+        }
+    }
+
+    /// Undoes [`kill_path`](Self::kill_path).
+    pub fn revive_path(&mut self, path: usize) {
+        if let Some(slot) = self.wire_dead.get_mut(path) {
+            *slot = false;
+        }
+    }
+
+    /// Scripted degradation: swaps `path`'s loss process for a Gilbert
+    /// channel with `params`, mid-flight. Cumulative per-path counters
+    /// ([`sent_on`](Self::sent_on) / [`delivered_on`](Self::delivered_on))
+    /// are harness-owned and survive the swap.
+    pub fn degrade_path(&mut self, path: usize, params: GilbertParams, seed: u64) {
+        if path < self.links.len() {
+            let model: Box<dyn LossModel> = Box::new(GilbertChannel::new(params, seed));
+            self.links[path] = LinkEmulator::new(model, seed ^ 0xB04D);
+        }
+    }
+
+    /// Scripted hostility: apply `poison` to `path`'s deliveries.
+    pub fn poison_path(&mut self, path: usize, poison: Poison) {
+        if let Some(slot) = self.poison.get_mut(path) {
+            *slot = poison;
+        }
+    }
+
+    /// Runs one scheduling tick: route a datagram, walk its path's loss
+    /// process, feed the receiver, and on the replan cadence fold
+    /// per-path digests, re-allocate shares, and amend the plan.
+    pub fn step(&mut self) -> Result<Step, FluteError> {
+        if self.receiver.all_complete() {
+            return Ok(Step::Complete);
+        }
+        self.stop_completed()?;
+        let scheduler = &mut self.scheduler;
+        let routed = self
+            .stream
+            .next_datagram_routed(|is_source| scheduler.route(is_source).unwrap_or(0))?;
+        let step = match routed {
+            Some((path, datagram)) => {
+                self.carry(path, &datagram)?;
+                Step::Sent { path }
+            }
+            None => self.recover()?,
+        };
+        self.routed_since_replan += 1;
+        if self.routed_since_replan >= self.config.replan_every {
+            self.routed_since_replan = 0;
+            self.control_round()?;
+        }
+        Ok(step)
+    }
+
+    /// Steps until completion or `max_steps`; returns the steps taken.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, FluteError> {
+        for taken in 0..max_steps {
+            if self.step()? == Step::Complete {
+                return Ok(taken);
+            }
+        }
+        Ok(max_steps)
+    }
+
+    fn carry(&mut self, path: usize, datagram: &[u8]) -> Result<(), FluteError> {
+        self.sent_on[path] += 1;
+        self.controller.count_datagram(path);
+        if self.wire_dead[path] {
+            return Ok(());
+        }
+        let poison = self.poison[path];
+        let mut delivered = Vec::new();
+        for mut copy in self.links[path].transmit(datagram) {
+            self.poison_ticks[path] += 1;
+            let tick = self.poison_ticks[path];
+            if poison.drop_every > 0 && tick.is_multiple_of(poison.drop_every) {
+                // A transient sendmsg/recvmsg error: the datagram is
+                // gone, the session is not.
+                self.io_errors += 1;
+                continue;
+            }
+            if poison.garble_every > 0 && tick.is_multiple_of(poison.garble_every) {
+                // Corrupt the LCT header: the datagram arrives but no
+                // longer parses — the malformed-input path, not the
+                // erasure path. (Payload-content corruption is out of
+                // scope by the erasure-channel assumption; transport
+                // checksums own that.)
+                for b in copy.iter_mut().take(4) {
+                    *b = !*b;
+                }
+            }
+            delivered.push(copy);
+        }
+        for copy in &delivered {
+            // Per-path digest emitter: only parseable datagrams carry an
+            // EXT_SEQ worth observing (matching what a real bonded
+            // receiver could attribute to the path).
+            if let Ok(packet) = AlcPacket::from_bytes(copy) {
+                self.emitters[path].observe(packet.header.toi, packet.sequence());
+                self.delivered_on[path] += 1;
+            }
+        }
+        for event in self.receiver.push_datagrams_on(path, &delivered)? {
+            if matches!(event, ReceiverEvent::Rejected) {
+                self.rx_rejected += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The schedule ran dry with the receiver incomplete: queue targeted
+    /// repair from the receiver's NACKs (amending the live schedule),
+    /// or retransmit the FDT if that is what is missing.
+    fn recover(&mut self) -> Result<Step, FluteError> {
+        let nacks = self.receiver.missing_symbols();
+        let queued = self.stream.queue_repair(&nacks);
+        if queued > 0 {
+            self.repairs_queued += queued;
+            return Ok(Step::Repaired { queued });
+        }
+        let path = self.best_alive_path();
+        let fdt = self.stream.fdt_datagram()?;
+        self.carry(path, &fdt)?;
+        Ok(Step::Fdt { path })
+    }
+
+    fn best_alive_path(&self) -> usize {
+        (0..self.links.len())
+            .find(|&p| !self.wire_dead[p] && !self.controller.is_dead(p))
+            .unwrap_or(0)
+    }
+
+    /// One control round: per-path digests → estimators, outage check,
+    /// share re-allocation, and a global FEC re-plan applied as a plan
+    /// amendment (never a restart).
+    fn control_round(&mut self) -> Result<(), FluteError> {
+        for path in 0..self.emitters.len() {
+            if let Some(report) = self.emitters[path].flush() {
+                let runs: Vec<(bool, u64)> =
+                    report.runs.iter().map(|r| (r.lost, r.len as u64)).collect();
+                self.controller
+                    .ingest_path_runs(path, self.sent_on[path], &runs);
+            }
+        }
+        let shares = self.controller.reallocate(&self.sent_on);
+        self.scheduler.reallocate(&shares);
+        self.stop_completed()?;
+        if let Some(toi) = self.stream.current_toi() {
+            let k = self.stream.source_count(toi).unwrap_or(0) as usize;
+            if k > 0 {
+                let replan = self.controller.global_mut().replan(k);
+                match self.stream.amend_plan(toi, replan.plan.as_ref())? {
+                    fec_core::Amendment::Truncated { .. } => self.truncations += 1,
+                    fec_core::Amendment::Extended { .. } => self.extensions += 1,
+                    fec_core::Amendment::Unchanged => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stops emission for objects the receiver already decoded.
+    fn stop_completed(&mut self) -> Result<(), FluteError> {
+        let tois: Vec<u32> = self
+            .receiver
+            .fdt()
+            .map(|fdt| fdt.files.iter().map(|f| f.toi).collect())
+            .unwrap_or_default();
+        for toi in tois {
+            if self.receiver.object(toi).is_some() && !self.stopped.contains(&toi) {
+                self.stream.stop_object(toi)?;
+                self.stopped.push(toi);
+                self.controller.global_mut().record_outcome(true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every FDT-listed object decoded byte-exactly.
+    pub fn is_complete(&self) -> bool {
+        self.receiver.all_complete()
+    }
+
+    /// The receiving end (for byte-exactness assertions).
+    pub fn receiver(&self) -> &FluteReceiver {
+        &self.receiver
+    }
+
+    /// Datagrams handed to `path` (including ones its dead wire ate).
+    pub fn sent_on(&self, path: usize) -> u64 {
+        self.sent_on.get(path).copied().unwrap_or(0)
+    }
+
+    /// Parseable datagrams that actually arrived over `path`.
+    pub fn delivered_on(&self, path: usize) -> u64 {
+        self.delivered_on.get(path).copied().unwrap_or(0)
+    }
+
+    /// Datagrams handed to all paths together.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_on.iter().sum()
+    }
+
+    /// Malformed datagrams the receiver rejected (counted, not fatal).
+    pub fn rx_rejected(&self) -> u64 {
+        self.rx_rejected
+    }
+
+    /// Transient send errors absorbed (counted, not fatal).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+
+    /// Targeted-repair packets queued after schedule exhaustion.
+    pub fn repairs_queued(&self) -> u64 {
+        self.repairs_queued
+    }
+
+    /// Truncating / extending plan amendments applied mid-flight.
+    pub fn amendments(&self) -> (u64, u64) {
+        (self.truncations, self.extensions)
+    }
+
+    /// The rate controller (shares, outages, re-allocations).
+    pub fn controller(&self) -> &BondController {
+        &self.controller
+    }
+
+    /// The path scheduler (routing counters).
+    pub fn scheduler(&self) -> &PathScheduler {
+        &self.scheduler
+    }
+}

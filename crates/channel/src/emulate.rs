@@ -199,6 +199,17 @@ impl LinkEmulator {
         })
     }
 
+    /// Mints `count` **independent per-path links** for a bonded
+    /// transport: one decorrelated [`fork`](Self::fork) per path, lanes
+    /// numbered `0..count`. Same template semantics as `fork` — each
+    /// path walks an unrelated sample path of the same loss process —
+    /// which is exactly the "N heterogeneous links from one measured
+    /// channel class" shape a bonding scenario wants. Returns `None`
+    /// when the underlying model does not support forking.
+    pub fn fork_paths(&self, count: usize) -> Option<Vec<LinkEmulator>> {
+        (0..count as u64).map(|lane| self.fork(lane)).collect()
+    }
+
     /// The loss model driving this link (for fate-only simulation, where
     /// per-datagram byte shuffling is not needed).
     pub fn model_mut(&mut self) -> &mut dyn LossModel {
@@ -649,6 +660,25 @@ mod tests {
             forked.transmit(&[0u8; 8]);
             assert_eq!(forked.stats().offered(), 1);
         }
+    }
+
+    #[test]
+    fn fork_paths_mints_decorrelated_lanes() {
+        let template = LinkEmulator::new(gilbert(0.2, 0.3, 77), 77);
+        let mut paths = template.fork_paths(3).expect("gilbert forks");
+        assert_eq!(paths.len(), 3);
+        let fates: Vec<Vec<bool>> = paths
+            .iter_mut()
+            .map(|p| (0..400).map(|_| p.model_mut().next_is_lost()).collect())
+            .collect();
+        assert_ne!(fates[0], fates[1]);
+        assert_ne!(fates[1], fates[2]);
+        // Deterministic: re-forking replays the same sample paths.
+        let mut again = template.fork_paths(3).unwrap();
+        let replay: Vec<bool> = (0..400)
+            .map(|_| again[0].model_mut().next_is_lost())
+            .collect();
+        assert_eq!(fates[0], replay);
     }
 
     #[test]

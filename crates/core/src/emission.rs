@@ -61,6 +61,18 @@ pub struct PlannedEmission {
     repair_queue: VecDeque<PacketRef>,
     repair_pending: BTreeSet<PacketRef>,
     repairs_sent: u64,
+    /// Per-path emission accounting for bonded transport: `path_sent[p]`
+    /// counts packets (scheduled + repair) credited to path `p` via
+    /// [`next_ref_on`](Self::next_ref_on). The vector grows lazily; the
+    /// single-path [`next_ref`](Self::next_ref) is path 0.
+    ///
+    /// Invariant: the per-path counters partition the emission exactly —
+    /// `sum(path_sent) == sent()`. The *schedule* itself stays one
+    /// monotone cursor: truncation via [`amend`](Self::amend) clamps the
+    /// target to `[cursor, schedule_len]` no matter which path consumed
+    /// the packets, so a truncation can never "unsend" traffic already
+    /// striped onto any path.
+    path_sent: Vec<u64>,
 }
 
 impl PlannedEmission {
@@ -75,6 +87,7 @@ impl PlannedEmission {
             repair_queue: VecDeque::new(),
             repair_pending: BTreeSet::new(),
             repairs_sent: 0,
+            path_sent: Vec::new(),
         }
     }
 
@@ -84,17 +97,61 @@ impl PlannedEmission {
     /// cursor resumes. A later [`amend`](Self::amend) that extends the
     /// target makes `next_ref` productive again.
     pub fn next_ref(&mut self) -> Option<PacketRef> {
-        if let Some(r) = self.repair_queue.pop_front() {
-            self.repair_pending.remove(&r);
-            self.repairs_sent += 1;
+        self.next_ref_on(0)
+    }
+
+    /// The packet [`next_ref`](Self::next_ref) would return, without
+    /// advancing the cursor or the repair queue. A bonded sender peeks
+    /// first to classify the packet (source vs repair symbol) and pick a
+    /// path, then consumes it with [`next_ref_on`](Self::next_ref_on).
+    pub fn peek_ref(&self) -> Option<PacketRef> {
+        if let Some(&r) = self.repair_queue.front() {
             return Some(r);
         }
         if self.cursor >= self.target {
             return None;
         }
-        let r = self.schedule[self.cursor];
-        self.cursor += 1;
+        Some(self.schedule[self.cursor])
+    }
+
+    /// [`next_ref`](Self::next_ref), credited to path `path` for bonded
+    /// transport. Per-path counters partition `sent()` exactly; the
+    /// schedule cursor itself stays a single monotone sequence shared by
+    /// all paths (see the struct-level invariant).
+    pub fn next_ref_on(&mut self, path: usize) -> Option<PacketRef> {
+        let r = if let Some(r) = self.repair_queue.pop_front() {
+            self.repair_pending.remove(&r);
+            self.repairs_sent += 1;
+            r
+        } else {
+            if self.cursor >= self.target {
+                return None;
+            }
+            let r = self.schedule[self.cursor];
+            self.cursor += 1;
+            r
+        };
+        if self.path_sent.len() <= path {
+            self.path_sent.resize(path + 1, 0);
+        }
+        self.path_sent[path] += 1;
+        debug_assert_eq!(
+            self.path_sent.iter().sum::<u64>(),
+            self.sent(),
+            "per-path cursors must partition the emission"
+        );
         Some(r)
+    }
+
+    /// Packets credited to path `path` so far (0 for paths never used).
+    pub fn path_sent(&self, path: usize) -> u64 {
+        self.path_sent.get(path).copied().unwrap_or(0)
+    }
+
+    /// Number of paths that have carried at least one packet slot
+    /// (highest path index used + 1).
+    pub fn path_count(&self) -> usize {
+        self.path_sent.len()
     }
 
     /// Queues targeted repair packets (from NACK digests) ahead of the
@@ -135,6 +192,10 @@ impl PlannedEmission {
         let new_target = requested.clamp(self.cursor, self.schedule.len());
         let old_target = self.target;
         self.target = new_target;
+        debug_assert!(
+            self.cursor <= self.target && self.target <= self.schedule.len(),
+            "truncation invariant: cursor <= target <= schedule_len"
+        );
         if new_target != old_target {
             self.amendments += 1;
         }
@@ -158,6 +219,10 @@ impl PlannedEmission {
         self.repair_pending.clear();
         let old_target = self.target;
         self.target = self.cursor;
+        debug_assert!(
+            self.target <= self.schedule.len(),
+            "truncation invariant: target <= schedule_len"
+        );
         if self.target == old_target {
             Amendment::Unchanged
         } else {
@@ -383,6 +448,67 @@ mod tests {
         assert!(matches!(e.stop(), Amendment::Truncated { .. }));
         assert_eq!(e.repairs_pending(), 0);
         assert_eq!(e.next_ref(), None, "completion outranks repair");
+    }
+
+    #[test]
+    fn per_path_cursors_partition_the_emission() {
+        let s = sender(60);
+        let mut e = s.emission(TxModel::Random, 11);
+        let full = TxModel::Random.schedule(s.layout(), 11);
+        // Stripe round-robin over three paths: the refs come out in the
+        // same single schedule order, only the crediting differs.
+        let mut refs = Vec::new();
+        for i in 0.. {
+            match e.next_ref_on(i % 3) {
+                Some(r) => refs.push(r),
+                None => break,
+            }
+        }
+        assert_eq!(refs, full);
+        assert_eq!(e.path_count(), 3);
+        let total: u64 = (0..3).map(|p| e.path_sent(p)).sum();
+        assert_eq!(total, e.sent());
+        assert_eq!(e.path_sent(7), 0, "unused path reads zero");
+    }
+
+    #[test]
+    fn peek_matches_next_and_does_not_advance() {
+        let s = sender(40);
+        let mut e = s.emission(TxModel::Random, 5);
+        e.queue_repair([PacketRef { block: 0, esi: 2 }]);
+        for _ in 0..10 {
+            let peeked = e.peek_ref();
+            assert_eq!(peeked, e.peek_ref(), "peek is idempotent");
+            assert_eq!(peeked, e.next_ref_on(1));
+        }
+        while e.next_ref().is_some() {}
+        assert_eq!(e.peek_ref(), None);
+    }
+
+    #[test]
+    fn truncation_after_striped_sends_cannot_unsend_any_path() {
+        let s = sender(100);
+        let mut e = s.emission(TxModel::Random, 3);
+        for i in 0..150 {
+            e.next_ref_on(i % 4).unwrap();
+        }
+        let before: Vec<u64> = (0..4).map(|p| e.path_sent(p)).collect();
+        // Demand fewer packets than the 150 already striped out: the
+        // target clamps to the shared cursor, and no path's counter can
+        // move backwards.
+        let tiny = plan(100, s.packet_count(), 0.0, 0);
+        assert!(tiny.n_sent < 150);
+        e.amend(Some(&tiny));
+        assert_eq!(e.target(), 150, "clamped to what was already sent");
+        assert!(e.is_done());
+        for (p, &b) in before.iter().enumerate() {
+            assert_eq!(e.path_sent(p), b);
+        }
+        assert_eq!(
+            (0..4).map(|p| e.path_sent(p)).sum::<u64>(),
+            e.sent(),
+            "partition holds across amendment"
+        );
     }
 
     #[test]

@@ -62,6 +62,17 @@ pub struct AggregatorConfig {
     /// population summary undercounts instead of the sender exhausting
     /// memory).
     pub max_receivers: usize,
+    /// Per-source NACK budget: the maximum NACK symbols one source may
+    /// submit to the repair union per [`advance_tick`] window. A hostile
+    /// (or confused) receiver NACKing the whole object on every digest
+    /// would otherwise turn the targeted-repair path into an unbounded
+    /// amplifier — each drained union re-fills on the next digest.
+    /// Symbols past the budget are dropped and counted
+    /// (`fec_feedback_throttled_total`); the digest itself still lands
+    /// normally. 0 disables NACK ingestion entirely.
+    ///
+    /// [`advance_tick`]: FeedbackAggregator::advance_tick
+    pub nack_budget: u64,
 }
 
 impl Default for AggregatorConfig {
@@ -69,6 +80,7 @@ impl Default for AggregatorConfig {
         AggregatorConfig {
             idle_ticks: 4,
             max_receivers: 4_000_000,
+            nack_budget: 65_536,
         }
     }
 }
@@ -113,6 +125,8 @@ pub struct AggregateStats {
     pub evicted: u64,
     /// Distinct symbols newly added to the NACK union.
     pub nack_symbols: u64,
+    /// NACK symbols dropped by the per-source rate limit.
+    pub throttled: u64,
 }
 
 /// Compact per-receiver tracking state (~56 bytes; a million receivers
@@ -131,6 +145,11 @@ struct ReceiverState {
     /// counts); larger TOIs go through the shared overflow set.
     complete_mask: u64,
     session_complete: bool,
+    /// NACK symbols this source charged against its budget in the
+    /// current tick window.
+    nack_used: u64,
+    /// The tick `nack_used` was last reset at (lazy per-window reset).
+    nack_window: u64,
 }
 
 impl ReceiverState {
@@ -191,6 +210,7 @@ impl FeedbackAggregator {
             config: AggregatorConfig {
                 idle_ticks: config.idle_ticks.max(1),
                 max_receivers: config.max_receivers.max(1),
+                nack_budget: config.nack_budget,
             },
             controller,
             receivers: BTreeMap::new(),
@@ -220,6 +240,7 @@ impl FeedbackAggregator {
         m.foreign.add(self.stats.foreign);
         m.evicted.add(self.stats.evicted);
         m.nack_symbols.add(self.stats.nack_symbols);
+        m.throttled.add(self.stats.throttled);
         m.receivers.set(self.receivers.len() as f64);
         self.metrics = Some(m);
     }
@@ -279,7 +300,15 @@ impl FeedbackAggregator {
             objects_complete: 0,
             complete_mask: 0,
             session_complete: false,
+            nack_used: 0,
+            nack_window: self.tick,
         });
+        if state.nack_window < self.tick {
+            // A new tick window refreshes the source's NACK budget.
+            state.nack_window = self.tick;
+            state.nack_used = 0;
+        }
+        let mut nack_remaining = self.config.nack_budget.saturating_sub(state.nack_used);
         let old_bucket = old.map(|s| s.completion_bucket());
 
         state.last_report_seq = report.report_seq;
@@ -342,14 +371,33 @@ impl FeedbackAggregator {
         }
 
         // Union the NACK section (skip objects the population already
-        // finished — a straggler's stale NACK must not reopen repair).
+        // finished — a straggler's stale NACK must not reopen repair),
+        // charging every submitted symbol against the source's per-tick
+        // budget: a hostile source re-NACKing the whole object after
+        // each repair drain gets throttled, not amplified.
         let mut fresh_symbols = 0u64;
+        let mut throttled_symbols = 0u64;
         for nack in &report.nacks {
             if nack.toi != FDT_TOI && self.is_complete(nack.toi) {
                 continue;
             }
+            if nack.esis.is_empty() {
+                continue;
+            }
+            if nack_remaining == 0 {
+                // Budget spent: count the whole section without touching
+                // the union, so a throttled flood cannot even grow the
+                // (toi, block) key space.
+                throttled_symbols = throttled_symbols.saturating_add(nack.esis.len() as u64);
+                continue;
+            }
             let set = self.nack_union.entry((nack.toi, nack.block)).or_default();
             for &esi in &nack.esis {
+                if nack_remaining == 0 {
+                    throttled_symbols = throttled_symbols.saturating_add(1);
+                    continue;
+                }
+                nack_remaining -= 1;
                 if set.insert(esi) {
                     fresh_symbols += 1;
                 }
@@ -360,6 +408,15 @@ impl FeedbackAggregator {
             if let Some(m) = &self.metrics {
                 m.nack_symbols.add(fresh_symbols);
             }
+        }
+        if throttled_symbols > 0 {
+            self.stats.throttled += throttled_symbols;
+            if let Some(m) = &self.metrics {
+                m.throttled.add(throttled_symbols);
+            }
+        }
+        if let Some(s) = self.receivers.get_mut(&src) {
+            s.nack_used = self.config.nack_budget.saturating_sub(nack_remaining);
         }
 
         // Population-complete objects are the controller's positive
@@ -865,6 +922,99 @@ mod tests {
             assert!(text.contains(&line), "missing {line:?} in:\n{text}");
         }
         assert!(s.evicted >= 2 && s.nack_symbols == 2);
+    }
+
+    #[test]
+    fn hostile_nack_flood_is_throttled_per_source() {
+        let mut a = FeedbackAggregator::new(
+            7,
+            AggregatorConfig {
+                nack_budget: 100,
+                ..AggregatorConfig::default()
+            },
+            ControllerConfig::default(),
+        );
+        let registry = fec_telemetry::Registry::new();
+        a.attach_telemetry(&registry);
+
+        // A spoofed source NACKs 300 symbols at once: only the first 100
+        // land in the union, the rest are counted as throttled.
+        let mut flood = digest(1, 50, 50);
+        flood.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: (0..300).collect(),
+        }];
+        a.ingest(addr(1), &flood);
+        assert_eq!(a.stats().nack_symbols, 100, "budget caps fresh symbols");
+        assert_eq!(a.stats().throttled, 200, "excess is counted, not queued");
+        let reqs = a.take_nack_requests();
+        let queued: usize = reqs.iter().map(|r| r.esis.len()).sum();
+        assert_eq!(queued, 100, "only budgeted symbols reach repair");
+
+        // Re-flooding inside the same tick window gets nothing: the
+        // budget is spent, so the drain/re-NACK amplification loop is
+        // closed.
+        let mut again = digest(2, 50, 50);
+        again.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: (0..300).collect(),
+        }];
+        a.ingest(addr(1), &again);
+        assert_eq!(a.stats().nack_symbols, 100, "no budget left this window");
+        assert_eq!(a.stats().throttled, 500);
+
+        // An honest source is unaffected by the hostile one's spend.
+        let mut honest = digest(1, 3, 97);
+        honest.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: vec![400, 401, 402],
+        }];
+        a.ingest(addr(2), &honest);
+        assert_eq!(a.stats().nack_symbols, 103, "budgets are per source");
+        assert_eq!(a.stats().throttled, 500);
+
+        // A new tick window refreshes the hostile source's budget.
+        a.advance_tick();
+        let mut after = digest(3, 50, 50);
+        after.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: (500..550).collect(),
+        }];
+        a.ingest(addr(1), &after);
+        assert_eq!(a.stats().nack_symbols, 153, "budget refreshed per tick");
+        assert_eq!(a.stats().throttled, 500);
+
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("fec_feedback_throttled_total 500"),
+            "throttle counter must export: {text}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_disables_nack_ingestion() {
+        let mut a = FeedbackAggregator::new(
+            7,
+            AggregatorConfig {
+                nack_budget: 0,
+                ..AggregatorConfig::default()
+            },
+            ControllerConfig::default(),
+        );
+        let mut d = digest(1, 10, 90);
+        d.nacks = vec![NackEntry {
+            toi: 1,
+            block: 0,
+            esis: vec![1, 2, 3],
+        }];
+        a.ingest(addr(1), &d);
+        assert_eq!(a.stats().nack_symbols, 0);
+        assert_eq!(a.stats().throttled, 3);
+        assert!(a.take_nack_requests().is_empty());
     }
 
     #[test]

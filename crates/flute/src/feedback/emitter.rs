@@ -33,6 +33,26 @@ use crate::FDT_TOI;
 /// repaired count (the common fate) to bound memory.
 const MAX_RESIDUAL_RUNS: usize = 4096;
 
+/// Upper bound on per-path sequence tracks, so a buggy or hostile path
+/// index cannot balloon memory; observations at or above the cap fold
+/// into the last track (and trip a debug assertion first).
+const MAX_PATH_TRACKS: usize = 64;
+
+/// EXT_SEQ tracking state for **one** path's sequence space.
+///
+/// A bonded sender stamps an independent EXT_SEQ counter per path, so
+/// gap detection is only meaningful within a path: mixing spaces would
+/// let a gap on path A register as loss (or mask reordering) on path B.
+/// The emitter therefore keeps one `SeqTrack` per observed path — the
+/// single-path [`ReportEmitter::observe`] is simply path 0.
+#[derive(Debug, Default, Clone, Copy)]
+struct SeqTrack {
+    /// Next EXT_SEQ expected on this path (modulo [`SEQ_MODULUS`]);
+    /// `None` until the first sequenced datagram arrives on the path.
+    expected: Option<u32>,
+    highest: Option<u32>,
+}
+
 /// Emitter tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReportConfig {
@@ -90,10 +110,9 @@ pub struct ReportEmitter {
     tsi: u32,
     config: ReportConfig,
     next_report_seq: u32,
-    /// Next EXT_SEQ we expect (modulo [`SEQ_MODULUS`]); `None` until the
-    /// first sequenced datagram arrives.
-    expected_seq: Option<u32>,
-    highest_seq: Option<u32>,
+    /// Per-path EXT_SEQ tracking, lazily grown; index = path. See
+    /// [`SeqTrack`] for the invariant.
+    tracks: Vec<SeqTrack>,
     counters: BTreeMap<u32, ToiCounters>,
     runs: VecDeque<LossRun>,
     truncated: bool,
@@ -131,8 +150,7 @@ impl ReportEmitter {
                 ..config
             },
             next_report_seq: 1,
-            expected_seq: None,
-            highest_seq: None,
+            tracks: Vec::new(),
             counters: BTreeMap::new(),
             runs: VecDeque::new(),
             truncated: false,
@@ -160,8 +178,26 @@ impl ReportEmitter {
     }
 
     /// Records one received datagram of the session: its TOI and its
-    /// EXT_SEQ (if the sender attached one).
+    /// EXT_SEQ (if the sender attached one). Single-path shorthand for
+    /// [`observe_on`](Self::observe_on) path 0.
     pub fn observe(&mut self, toi: u32, seq: Option<u32>) {
+        self.observe_on(0, toi, seq);
+    }
+
+    /// Records one received datagram that arrived on bonded path `path`.
+    ///
+    /// Each path carries its own EXT_SEQ sequence space, so the gap
+    /// computation uses that path's track only: a gap on path A must
+    /// never register loss — or be misread as reordering — on path B.
+    /// TOI counters and the loss-run sketch are shared across paths (the
+    /// digest describes the session as a whole); only sequence tracking
+    /// is per-path.
+    pub fn observe_on(&mut self, path: usize, toi: u32, seq: Option<u32>) {
+        debug_assert!(
+            path < MAX_PATH_TRACKS,
+            "path index {path} exceeds the per-path track cap"
+        );
+        let path = path.min(MAX_PATH_TRACKS - 1);
         self.observed_ever = true;
         self.dirty = true;
         self.observed_since_report += 1;
@@ -174,21 +210,23 @@ impl ReportEmitter {
             return;
         };
         let seq = seq % SEQ_MODULUS;
-        match self.expected_seq {
+        let mut track = self.tracks.get(path).copied().unwrap_or_default();
+        match track.expected {
             None => {
-                // First sequenced datagram: everything before it is
-                // unknowable (we may have joined mid-session), so the
-                // sketch starts here.
+                // First sequenced datagram on this path: everything
+                // before it is unknowable (we may have joined
+                // mid-session, or the path just came up), so the
+                // path's sketch contribution starts here.
                 self.push_run(false, 1, toi);
-                self.expected_seq = Some((seq + 1) % SEQ_MODULUS);
-                self.highest_seq = Some(seq);
+                track.expected = Some((seq + 1) % SEQ_MODULUS);
+                track.highest = Some(seq);
             }
             Some(expected) => {
                 let gap = (seq.wrapping_sub(expected)) % SEQ_MODULUS;
                 if gap >= SEQ_MODULUS / 2 {
-                    // At or behind the highest seen: a duplicate or a
-                    // reordered late arrival. Its loss was already
-                    // sketched; leave the pattern alone.
+                    // At or behind the highest seen *on this path*: a
+                    // duplicate or a reordered late arrival. Its loss was
+                    // already sketched; leave the pattern alone.
                     if let Some(m) = &self.metrics {
                         m.late_or_duplicate.inc();
                     }
@@ -202,10 +240,21 @@ impl ReportEmitter {
                     self.push_run(true, gap, toi);
                 }
                 self.push_run(false, 1, toi);
-                self.expected_seq = Some((seq + 1) % SEQ_MODULUS);
-                self.highest_seq = Some(seq);
+                track.expected = Some((seq + 1) % SEQ_MODULUS);
+                track.highest = Some(seq);
             }
         }
+        if self.tracks.len() <= path {
+            self.tracks.resize_with(path + 1, SeqTrack::default);
+        }
+        if let Some(slot) = self.tracks.get_mut(path) {
+            *slot = track;
+        }
+    }
+
+    /// Number of paths that have contributed sequenced observations.
+    pub fn path_tracks(&self) -> usize {
+        self.tracks.len()
     }
 
     /// Marks one object as fully decoded.
@@ -336,7 +385,10 @@ impl ReportEmitter {
         let report = ReceptionReport {
             tsi: self.tsi,
             report_seq: self.next_report_seq,
-            highest_seq: self.highest_seq,
+            // The digest's single highest-seq field reports path 0 — the
+            // primary path in a bond, the only path otherwise. Per-path
+            // loss still reaches the sender through the run sketch.
+            highest_seq: self.tracks.first().and_then(|t| t.highest),
             session_complete: self.session_complete,
             truncated: self.truncated,
             entries: self
@@ -698,6 +750,67 @@ mod tests {
         }]);
         let r3 = em.flush().expect("pending NACKs are news");
         assert_eq!(r3.nacks.len(), 1);
+    }
+
+    /// The latent single-path assumption, pinned: EXT_SEQ spaces are
+    /// per-path, so a gap on one path must not register loss on another,
+    /// and one path's high sequence numbers must not make another path's
+    /// in-order arrivals look late.
+    #[test]
+    fn per_path_gap_accounting_never_mixes_paths() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        // Path 0 delivers 0,1,2 contiguously; path 1 delivers 0 then 5
+        // (a 4-packet gap), interleaved.
+        em.observe_on(0, 1, Some(0));
+        em.observe_on(1, 1, Some(0));
+        em.observe_on(0, 1, Some(1));
+        em.observe_on(1, 1, Some(5));
+        em.observe_on(0, 1, Some(2));
+        assert_eq!(em.path_tracks(), 2);
+        let r = em.flush().unwrap();
+        // Only path 1's gap counts as loss; in a mixed sequence space
+        // path 0's seq 1 and 2 (arriving after path 1's seq 5) would
+        // have been discarded as late arrivals and the gap mis-sized.
+        assert_eq!(r.entries[0].lost, 4, "exactly path 1's gap");
+        assert_eq!(r.entries[0].received, 5, "no arrival mistaken as late");
+        assert_eq!(
+            r.runs,
+            vec![
+                LossRun {
+                    lost: false,
+                    len: 3
+                },
+                LossRun { lost: true, len: 4 },
+                LossRun {
+                    lost: false,
+                    len: 2
+                },
+            ]
+        );
+        assert_eq!(r.highest_seq, Some(2), "digest reports path 0's track");
+    }
+
+    /// Duplicate/late detection is also per path: path 1 re-delivering
+    /// its own seq is late, but the same number first seen on path 0 is
+    /// a fresh in-order arrival there.
+    #[test]
+    fn per_path_duplicate_detection() {
+        let mut em = ReportEmitter::new(7, ReportConfig::default());
+        em.observe_on(1, 1, Some(4));
+        em.observe_on(1, 1, Some(4)); // true duplicate on path 1
+        em.observe_on(0, 1, Some(4)); // fresh on path 0
+        em.observe_on(0, 1, Some(5));
+        let r = em.flush().unwrap();
+        assert_eq!(r.entries[0].received, 4);
+        assert_eq!(r.entries[0].lost, 0);
+        // Sketch: path-1 first arrival, dup ignored, then path-0's two.
+        assert_eq!(
+            r.runs,
+            vec![LossRun {
+                lost: false,
+                len: 3
+            }]
+        );
     }
 
     #[test]

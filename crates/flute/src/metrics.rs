@@ -177,6 +177,8 @@ pub(crate) struct AggregatorMetrics {
     pub evicted: Counter,
     /// Distinct symbols queued for targeted repair from NACK sections.
     pub nack_symbols: Counter,
+    /// NACK symbols dropped by the per-source rate limit.
+    pub throttled: Counter,
 }
 
 impl AggregatorMetrics {
@@ -199,6 +201,10 @@ impl AggregatorMetrics {
             nack_symbols: registry.counter(
                 "fec_feedback_nack_symbols_total",
                 "Distinct symbols queued for targeted repair from NACK digests.",
+            ),
+            throttled: registry.counter(
+                "fec_feedback_throttled_total",
+                "NACK symbols dropped by the per-source rate limit.",
             ),
         }
     }

@@ -140,6 +140,12 @@ impl FluteSender {
         Ok(())
     }
 
+    /// The transport session identifier this sender stamps on every
+    /// datagram.
+    pub fn tsi(&self) -> u32 {
+        self.config.tsi
+    }
+
     /// The session's current FDT instance.
     pub fn fdt(&self) -> FdtInstance {
         let mut fdt = FdtInstance::new(self.config.fdt_instance_id, self.config.expires);
@@ -199,7 +205,7 @@ impl FluteSender {
             sender: self,
             emissions,
             current: 0,
-            next_seq: 0,
+            path_seqs: vec![0],
             since_fdt: 0,
             fdt_sent: false,
             data_emitted: 0,
@@ -226,7 +232,13 @@ pub struct SessionStream<'a> {
     sender: &'a FluteSender,
     emissions: Vec<fec_core::PlannedEmission>,
     current: usize,
-    next_seq: u32,
+    /// One EXT_SEQ counter per bonded path (`path_seqs[p]` is the next
+    /// sequence number stamped on path `p`), lazily grown. Each path is
+    /// its own monotone sequence space — the receiver's per-path gap
+    /// accounting ([`ReportEmitter::observe_on`]) depends on it. The
+    /// single-path API ([`next_datagram`](Self::next_datagram)) stamps
+    /// path 0.
+    path_seqs: Vec<u32>,
     since_fdt: usize,
     fdt_sent: bool,
     data_emitted: u64,
@@ -246,11 +258,34 @@ impl SessionStream<'_> {
         self.metrics = Some(metrics);
     }
     /// The next wire datagram, or `None` once every object's emission
-    /// reached its target.
+    /// reached its target. Single-path shorthand for
+    /// [`next_datagram_routed`](Self::next_datagram_routed) with every
+    /// packet on path 0.
     pub fn next_datagram(&mut self) -> Result<Option<Vec<u8>>, FluteError> {
+        Ok(self.next_datagram_routed(|_| 0)?.map(|(_, d)| d))
+    }
+
+    /// The next wire datagram for a **bonded** sender, with the carrying
+    /// path chosen by `route` and returned alongside the datagram.
+    ///
+    /// `route` is called once per emitted datagram with `true` when the
+    /// packet carries a source symbol (or session control: the FDT rides
+    /// the source path) and `false` for repair symbols — the hook a
+    /// Kurant-style path scheduler uses to put source packets on
+    /// fast-propagation paths and repair on slower ones. The datagram is
+    /// sequenced in the chosen path's own EXT_SEQ space and the packet
+    /// is credited to that path's emission cursor.
+    pub fn next_datagram_routed<F>(
+        &mut self,
+        mut route: F,
+    ) -> Result<Option<(usize, Vec<u8>)>, FluteError>
+    where
+        F: FnMut(bool) -> usize,
+    {
         if !self.fdt_sent {
             self.fdt_sent = true;
-            return self.fdt_datagram().map(Some);
+            let path = route(true);
+            return self.fdt_datagram_on(path).map(|d| Some((path, d)));
         }
         loop {
             if self.current >= self.emissions.len() {
@@ -267,11 +302,20 @@ impl SessionStream<'_> {
                 && self.since_fdt >= self.sender.config.fdt_interval
             {
                 self.since_fdt = 0;
-                return self.fdt_datagram().map(Some);
+                let path = route(true);
+                return self.fdt_datagram_on(path).map(|d| Some((path, d)));
             }
-            let emission = &mut self.emissions[self.current];
-            let r = emission.next_ref().expect("not done");
             let object = &self.sender.objects[self.current];
+            // Classify before consuming so the scheduler sees what it is
+            // routing; the subsequent `next_ref_on` returns the peeked
+            // packet and credits the chosen path's cursor.
+            let peeked = self.emissions[self.current].peek_ref().expect("not done");
+            let path = route(object.sender.layout().is_source(peeked));
+            let emission = &mut self.emissions[self.current];
+            // Peek just succeeded, so the consume cannot come back empty;
+            // the fallback keeps this branch panic-free all the same.
+            let r = emission.next_ref_on(path).unwrap_or(peeked);
+            debug_assert_eq!(r, peeked, "peek/consume must agree");
             let packet = object.sender.packet(r)?;
             let mut alc = AlcPacket::data(
                 self.sender.config.tsi,
@@ -292,25 +336,29 @@ impl SessionStream<'_> {
             self.data_emitted += 1;
             self.since_fdt += 1;
             let idx = self.current;
-            let datagram = self.seal(alc)?;
+            let datagram = self.seal_on(path, alc)?;
             if let Some(m) = &self.metrics {
                 m.data.inc();
                 m.bytes.add(datagram.len() as u64);
                 m.per_object[idx].inc();
             }
-            return Ok(Some(datagram));
+            return Ok(Some((path, datagram)));
         }
     }
 
     /// One FDT announcement datagram, sequenced like any other (callers
     /// needing extra FDT robustness can interleave these at will).
     pub fn fdt_datagram(&mut self) -> Result<Vec<u8>, FluteError> {
+        self.fdt_datagram_on(0)
+    }
+
+    fn fdt_datagram_on(&mut self, path: usize) -> Result<Vec<u8>, FluteError> {
         let alc = AlcPacket::fdt(
             self.sender.config.tsi,
             self.sender.config.fdt_instance_id,
             Bytes::from(self.sender.fdt().to_xml().into_bytes()),
         );
-        let datagram = self.seal(alc)?;
+        let datagram = self.seal_on(path, alc)?;
         if let Some(m) = &self.metrics {
             m.fdt.inc();
             m.bytes.add(datagram.len() as u64);
@@ -318,12 +366,26 @@ impl SessionStream<'_> {
         Ok(datagram)
     }
 
-    fn seal(&mut self, mut alc: AlcPacket) -> Result<Vec<u8>, FluteError> {
+    /// Stamps `alc` with the next EXT_SEQ of `path`'s sequence space.
+    /// Each bonded path is its own monotone space — stamping from a
+    /// shared counter would make every inter-path interleaving look like
+    /// loss or reordering to the receiver's per-path tracks.
+    fn seal_on(&mut self, path: usize, mut alc: AlcPacket) -> Result<Vec<u8>, FluteError> {
         if self.sender.config.sequence_datagrams {
-            alc = alc.with_sequence(self.next_seq);
-            self.next_seq = (self.next_seq + 1) % crate::feedback::SEQ_MODULUS;
+            if self.path_seqs.len() <= path {
+                self.path_seqs.resize(path + 1, 0);
+            }
+            let seq = self.path_seqs[path];
+            alc = alc.with_sequence(seq);
+            self.path_seqs[path] = (seq + 1) % crate::feedback::SEQ_MODULUS;
         }
         alc.to_bytes()
+    }
+
+    /// Datagrams sequenced on path `path` so far (the next EXT_SEQ it
+    /// will stamp, before wraparound).
+    pub fn path_sequenced(&self, path: usize) -> u32 {
+        self.path_seqs.get(path).copied().unwrap_or(0)
     }
 
     /// Moves `toi`'s stopping point to `plan` (`None` = the full
@@ -353,8 +415,8 @@ impl SessionStream<'_> {
     }
 
     /// Queues targeted repair packets for the symbols receivers NACKed
-    /// (see [`FeedbackAggregator::take_nack_requests`]
-    /// (crate::feedback::FeedbackAggregator::take_nack_requests)).
+    /// (see
+    /// [`FeedbackAggregator::take_nack_requests`](crate::feedback::FeedbackAggregator::take_nack_requests)).
     /// Queued symbols jump ahead of the schedule and are deduped while
     /// waiting; entries for unknown TOIs or out-of-layout symbols are
     /// skipped (stale NACKs are normal on a lossy return channel), and a
@@ -597,6 +659,11 @@ pub struct FluteReceiver {
     last_nacked: Vec<crate::feedback::NackEntry>,
     metrics: Option<ReceiverMetrics>,
     registry: Option<Registry>,
+    /// Bonded path the datagrams currently being pushed arrived on; set
+    /// by [`push_datagrams_on`](Self::push_datagrams_on) around the
+    /// shared push path so the emitter's EXT_SEQ accounting lands on the
+    /// right per-path track. 0 for the single-path API.
+    observe_path: usize,
 }
 
 impl FluteReceiver {
@@ -612,6 +679,7 @@ impl FluteReceiver {
             last_nacked: Vec::new(),
             metrics: None,
             registry: None,
+            observe_path: 0,
         }
     }
 
@@ -697,16 +765,25 @@ impl FluteReceiver {
                 let (k, n) = layout.block(b);
                 let seen = state.seen_esis.get(&(b as u32));
                 let have = seen.map_or(0, |s| s.len());
-                if have >= k {
-                    // Enough distinct symbols for an MDS block; LDGM
-                    // blocks may still need more, but the object-level
-                    // decode check above keeps those NACKs flowing on
-                    // the next digest after the solve falls short.
-                    continue;
-                }
+                let needed = if have >= k {
+                    if !spec.code.is_large_block() {
+                        // Enough distinct symbols for an MDS block: it
+                        // will solve, nothing to request.
+                        continue;
+                    }
+                    // A large-block (LDGM) object can hold >= k symbols
+                    // and still be stuck — iterative decoding pays an
+                    // inefficiency overhead. Keep requesting a margin of
+                    // fresh symbols (lowest ESIs first, i.e. missing
+                    // *source* symbols, which always make progress)
+                    // until the solve goes through.
+                    (k / 16).max(4)
+                } else {
+                    k - have
+                };
                 let esis: Vec<u32> = (0..n as u32)
                     .filter(|e| seen.is_none_or(|s| !s.contains(e)))
-                    .take(k - have)
+                    .take(needed)
                     .collect();
                 if !esis.is_empty() {
                     out.push(crate::feedback::NackEntry {
@@ -786,6 +863,21 @@ impl FluteReceiver {
         &mut self,
         datagrams: &[D],
     ) -> Result<Vec<ReceiverEvent>, FluteError> {
+        self.push_datagrams_on(0, datagrams)
+    }
+
+    /// Feeds a burst that arrived on bonded path `path`: identical to
+    /// [`push_datagrams`](Self::push_datagrams) except the report
+    /// emitter's EXT_SEQ gap accounting uses that path's own sequence
+    /// track — a bonded sender stamps an independent EXT_SEQ space per
+    /// path, so feeding a path's traffic through the single-path entry
+    /// point would misread cross-path interleaving as loss/reordering.
+    pub fn push_datagrams_on<D: AsRef<[u8]>>(
+        &mut self,
+        path: usize,
+        datagrams: &[D],
+    ) -> Result<Vec<ReceiverEvent>, FluteError> {
+        self.observe_path = path;
         let mut events = Vec::with_capacity(datagrams.len());
         // Per-TOI bursts awaiting a batched feed, in first-seen order,
         // plus the event slot of each data datagram (to upgrade the right
@@ -808,7 +900,7 @@ impl FluteReceiver {
                 continue;
             }
             if let Some(em) = self.emitter.as_mut() {
-                em.observe(packet.header.toi, packet.sequence());
+                em.observe_on(self.observe_path, packet.header.toi, packet.sequence());
             }
             if packet.header.close_session {
                 self.session_closed = true;

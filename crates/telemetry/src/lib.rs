@@ -48,10 +48,12 @@
 
 mod event;
 mod http;
+mod path;
 mod registry;
 mod summary;
 
 pub use event::{Event, EventLog, EventRecord, JsonlSink};
 pub use http::MetricsServer;
+pub use path::PathMetrics;
 pub use registry::{Counter, Gauge, Histogram, Registry};
 pub use summary::{EstimatorSample, SessionSummary};

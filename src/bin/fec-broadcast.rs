@@ -118,7 +118,7 @@ USAGE:
       selection on a regime-switching channel, compared against the best
       and worst static configurations in hindsight.
 
-  fec-broadcast send --file <path> --dest <addr:port>
+  fec-broadcast send --file <path> (--dest <addr:port> | --paths <a1:p1,a2:p2,...>)
                      [--tsi <n>] [--code <name>] [--tx <1..6>]
                      [--ratio <r>] [--symbol <bytes>] [--seed <n>]
                      [--loss-p <p> --loss-q <q>] [--pace <micros>]
@@ -138,8 +138,13 @@ USAGE:
       receiver's sketch reaches the estimator, and receiver NACKs become
       targeted repair symbols instead of whole-schedule extension — the
       multi-receiver mode (pair with `recv --nack --population`).
+      --paths stripes the (static) schedule across several destinations
+      with a credit scheduler: source symbols prefer the first-listed
+      (fastest) path, repair symbols the last — list links fastest-first.
+      Pair with a `recv` whose --listen names the same addresses. --pace
+      then applies per path. Incompatible with --dest/--adaptive/--fanout.
 
-  fec-broadcast recv --listen <addr:port> [--tsi <n>] [--out <path>]
+  fec-broadcast recv --listen <addr:port>[,<addr:port>...] [--tsi <n>] [--out <path>]
                      [--timeout <secs>]
                      [--report-to <addr:port>] [--report-every <pkts>]
                      [--population <n>] [--jitter-seed <n>]
@@ -153,7 +158,10 @@ USAGE:
       --jitter-seed de-synchronises report times ±25%; --backoff doubles
       the interval up to 2^exp while the channel stays clean. --nack adds
       per-block missing-ESI lists to each digest so a `send --fanout`
-      sender can emit targeted repairs.
+      sender can emit targeted repairs. Several comma-separated --listen
+      addresses bond the receive: one socket + drain thread per address,
+      datagrams path-tagged into a single decoder (the receiving half of
+      `send --paths`).
 
 Observability (send / recv / sweep): --metrics-addr serves a Prometheus
 text endpoint (`curl http://addr:port/metrics`) for the lifetime of the
@@ -746,7 +754,6 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
     use fec_broadcast::flute::{FluteSender, SenderConfig};
 
     let path = opts.get("file").ok_or("--file is required")?;
-    let dest = opts.get("dest").ok_or("--dest is required (addr:port)")?;
     let tsi = get_usize(opts, "tsi", 1)? as u32;
     let code = parse_code(
         opts,
@@ -779,6 +786,21 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
         )
         .map_err(|e| e.to_string())?;
 
+    // Bonded striping: `--paths a1,a2,...` replaces `--dest` and fans
+    // the one schedule out across several sockets.
+    if let Some(paths_arg) = opts.get("paths") {
+        if opts.contains_key("adaptive") || opts.contains_key("fanout") {
+            return Err("--paths stripes a static schedule; it cannot combine with \
+                 --adaptive or --fanout (run the feedback loop on one path)"
+                .into());
+        }
+        if opts.contains_key("dest") {
+            return Err("--paths replaces --dest (give every destination in --paths)".into());
+        }
+        return send_bonded(opts, &session, paths_arg, seed, tsi, &name, object.len());
+    }
+
+    let dest = opts.get("dest").ok_or("--dest is required (addr:port)")?;
     let socket = std::net::UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
     let mut wire_tx = BatchSender::connect(socket, resolve_dest(dest)?, Backend::detect(), pace)
         .map_err(|e| format!("connect {dest}: {e}"))?;
@@ -835,6 +857,142 @@ fn cmd_send(opts: &HashMap<String, String>) -> Result<(), String> {
         println!("{}", summary.to_json());
     }
     telemetry.drain()?;
+    Ok(())
+}
+
+/// The bonded send loop (`send --paths a1,a2,...`): one FLUTE schedule
+/// striped across N real sockets by a [`PathScheduler`] with uniform
+/// shares and argument-order delay ranks (list the fastest link first —
+/// source symbols prefer early paths, repair symbols late ones, after
+/// Kurant's multipath-FEC ordering). Static schedule only; the in-band
+/// feedback loops stay single-path.
+fn send_bonded(
+    opts: &HashMap<String, String>,
+    session: &fec_broadcast::flute::FluteSender,
+    paths_arg: &str,
+    seed: u64,
+    tsi: u32,
+    name: &str,
+    object_len: usize,
+) -> Result<(), String> {
+    use fec_broadcast::bond::PathScheduler;
+    use fec_broadcast::telemetry::PathMetrics;
+
+    let dests: Vec<&str> = paths_arg
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if dests.len() < 2 {
+        return Err("--paths needs at least two comma-separated addr:port destinations".into());
+    }
+    let pace_micros = get_usize(opts, "pace", 0)? as u64;
+    let injected = channel_from_keys(opts, "loss-p", "loss-q")?;
+    let mut telemetry = Telemetry::from_opts(opts)?;
+
+    // One wire stack per path. Injected loss (if any) walks an
+    // independent Gilbert process per path, seeded per index, so a demo
+    // shows genuinely heterogeneous links.
+    let mut sinks: Vec<WireSink> = Vec::with_capacity(dests.len());
+    for (i, dest) in dests.iter().enumerate() {
+        let socket = std::net::UdpSocket::bind("0.0.0.0:0").map_err(|e| e.to_string())?;
+        let mut wire_tx = BatchSender::connect(
+            socket,
+            resolve_dest(dest)?,
+            Backend::detect(),
+            pacer_from_micros(pace_micros),
+        )
+        .map_err(|e| format!("connect {dest}: {e}"))?;
+        if telemetry.enabled() {
+            wire_tx.attach_telemetry(&telemetry.registry);
+        }
+        let _ = wire_tx.enable_gso();
+        sinks.push(WireSink::new(
+            wire_tx,
+            injected,
+            seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+        ));
+    }
+    let path_metrics = telemetry
+        .enabled()
+        .then(|| PathMetrics::register_all(&telemetry.registry, dests.len()));
+
+    let mut scheduler = PathScheduler::new(dests.len());
+    let mut stream = session.stream(seed);
+    if telemetry.enabled() {
+        stream.attach_telemetry(&telemetry.registry);
+        if let Some(metrics) = &path_metrics {
+            for m in metrics {
+                m.share.set(1.0 / dests.len() as f64);
+            }
+        }
+    }
+    let full_total = stream.full_total();
+    telemetry.record(Event::SessionStart {
+        tsi: tsi as u64,
+        objects: session.fdt().files.len() as u32,
+        full_schedule: full_total,
+    });
+
+    let mut bursts: Vec<Vec<Vec<u8>>> = vec![Vec::new(); dests.len()];
+    let mut sent_on = vec![0u64; dests.len()];
+    let mut sent = 0u64;
+    let mut flush = |path: usize,
+                     bursts: &mut Vec<Vec<Vec<u8>>>,
+                     sent_on: &mut Vec<u64>,
+                     sent: &mut u64|
+     -> Result<(), String> {
+        if bursts[path].is_empty() {
+            return Ok(());
+        }
+        let (delivered, _bytes) = sinks[path].send_burst(&bursts[path])?;
+        sent_on[path] += delivered;
+        *sent += delivered;
+        if let Some(metrics) = &path_metrics {
+            metrics[path].datagrams.add(delivered);
+        }
+        bursts[path].clear();
+        Ok(())
+    };
+    while let Some((path, dg)) = stream
+        .next_datagram_routed(|is_source| scheduler.route(is_source).unwrap_or(0))
+        .map_err(|e| e.to_string())?
+    {
+        bursts[path].push(dg);
+        if bursts[path].len() >= MAX_BURST {
+            flush(path, &mut bursts, &mut sent_on, &mut sent)?;
+        }
+    }
+    for path in 0..dests.len() {
+        flush(path, &mut bursts, &mut sent_on, &mut sent)?;
+    }
+    let dropped: u64 = sinks.iter().map(WireSink::dropped).sum();
+    telemetry.record(Event::SessionEnd {
+        tsi: tsi as u64,
+        datagrams: sent,
+        planned: full_total,
+        completed: 0,
+    });
+    telemetry.drain()?;
+
+    let per_path: Vec<String> = dests
+        .iter()
+        .zip(&sent_on)
+        .enumerate()
+        .map(|(i, (dest, n))| {
+            format!(
+                "  path {i} -> {dest}: {n} datagrams ({} source, {} repair)",
+                scheduler.source_routed(i),
+                scheduler.repair_routed(i)
+            )
+        })
+        .collect();
+    println!(
+        "sent '{name}' ({object_len} bytes) across {} bonded paths: \
+         {sent} datagrams transmitted, {dropped} dropped by injected loss\n{}",
+        dests.len(),
+        per_path.join("\n")
+    );
     Ok(())
 }
 
@@ -1478,17 +1636,25 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let listen = opts
         .get("listen")
-        .ok_or("--listen is required (addr:port)")?;
+        .ok_or("--listen is required (addr:port, or a1:p1,a2:p2,... to bond)")?;
+    let addrs: Vec<&str> = listen
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        return Err("--listen needs at least one addr:port".into());
+    }
     let tsi = get_usize(opts, "tsi", 1)? as u32;
     let timeout = get_usize(opts, "timeout", 10)? as u64;
     let report_every = get_usize(opts, "report-every", 128)?.max(1);
 
     let mut telemetry = Telemetry::from_opts(opts)?;
-    let socket = std::net::UdpSocket::bind(listen).map_err(|e| format!("bind {listen}: {e}"))?;
-    socket
-        .set_read_timeout(Some(std::time::Duration::from_secs(timeout)))
-        .map_err(|e| e.to_string())?;
-    println!("listening on {listen} for FLUTE session tsi {tsi} (timeout {timeout}s)…");
+    println!(
+        "listening on {listen} for FLUTE session tsi {tsi} \
+         ({} path(s), timeout {timeout}s)…",
+        addrs.len()
+    );
 
     // The reception-report return channel, if the sender runs adaptively.
     let reporting = match opts.get("report-to") {
@@ -1500,28 +1666,48 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
         None => None,
     };
 
-    // Drain the socket on a dedicated thread so a slow decode never lets
+    // Drain each socket on a dedicated thread so a slow decode never lets
     // the kernel receive buffer overflow (which silently drops datagrams
     // the FEC budget then has to absorb twice). The drain rides the
     // batched engine: one `recvmmsg` syscall per burst, pooled buffers
     // instead of a fresh allocation per datagram, and an error
     // discipline (see [`live::drain_loop`]) that retries `EINTR` and
     // survives transient socket errors instead of silently ending the
-    // session.
+    // session. With several `--listen` addresses (a bonded sender's
+    // `send --paths`), each socket's drain tags its datagrams with the
+    // path index so per-path sequence accounting stays honest.
+    let bonded = addrs.len() > 1;
     let pool = BufferPool::new();
-    let mut wire_rx = BatchReceiver::new(socket, pool.clone(), Backend::detect());
-    wire_rx.request_recv_buffer(4 << 20);
-    // Opportunistic UDP GRO: coalesced payloads are split back into the
-    // original datagrams before decode, so decoding is offload-agnostic.
-    if wire_rx.enable_gro().is_ok() {
-        eprintln!("wire: UDP generic receive offload active");
-    }
     if telemetry.enabled() {
-        wire_rx.attach_telemetry(&telemetry.registry);
         pool.attach_telemetry(&telemetry.registry);
     }
-    let (datagram_tx, datagram_rx) = std::sync::mpsc::channel();
-    let _drain = live::spawn_drain(wire_rx, datagram_tx);
+    let (single_tx, single_rx) = std::sync::mpsc::channel();
+    let (tagged_tx, tagged_rx) = std::sync::mpsc::channel();
+    for (path, addr) in addrs.iter().enumerate() {
+        let socket = std::net::UdpSocket::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        socket
+            .set_read_timeout(Some(std::time::Duration::from_secs(timeout)))
+            .map_err(|e| e.to_string())?;
+        let mut wire_rx = BatchReceiver::new(socket, pool.clone(), Backend::detect());
+        wire_rx.request_recv_buffer(4 << 20);
+        // Opportunistic UDP GRO: coalesced payloads are split back into
+        // the original datagrams before decode, so decoding is
+        // offload-agnostic.
+        if wire_rx.enable_gro().is_ok() {
+            eprintln!("wire: UDP generic receive offload active on {addr}");
+        }
+        if telemetry.enabled() {
+            wire_rx.attach_telemetry(&telemetry.registry);
+        }
+        if bonded {
+            drop(live::spawn_drain_on(wire_rx, path, tagged_tx.clone()));
+        } else {
+            drop(live::spawn_drain(wire_rx, single_tx.clone()));
+        }
+    }
+    // The decode side must observe disconnect when every drain ends.
+    drop(single_tx);
+    drop(tagged_tx);
 
     let mut session = FluteReceiver::new(tsi);
     if reporting.is_some() {
@@ -1571,7 +1757,11 @@ fn cmd_recv(opts: &HashMap<String, String>) -> Result<(), String> {
         )),
         ..Default::default()
     };
-    let outcome = live::receive_session(&mut session, &datagram_rx, ship, &config)?;
+    let outcome = if bonded {
+        live::receive_session_multipath(&mut session, &tagged_rx, ship, &config)?
+    } else {
+        live::receive_session(&mut session, &single_rx, ship, &config)?
+    };
     let live::ReceiveOutcome { toi, datagrams, .. } = outcome;
     if outcome.rejected > 0 || outcome.ship_failures > 0 {
         eprintln!(

@@ -67,6 +67,35 @@ pub struct DrainStats {
     pub transients: u64,
 }
 
+/// Where a drain loop forwards datagrams: the plain channel in the
+/// single-socket session, or a path-tagging channel when the receiver is
+/// bound to several addresses (bonded transport's multi-bind mode).
+pub trait DatagramSink {
+    /// Forwards one datagram; `false` means the decode side hung up.
+    fn forward(&self, datagram: PoolBuf) -> bool;
+}
+
+impl DatagramSink for mpsc::Sender<PoolBuf> {
+    fn forward(&self, datagram: PoolBuf) -> bool {
+        self.send(datagram).is_ok()
+    }
+}
+
+/// Tags every datagram with the path index of the socket it arrived on,
+/// so the decode loop can keep per-path EXT_SEQ accounting honest.
+pub struct TaggedSink {
+    /// The bonded path index this sink's socket belongs to.
+    pub path: usize,
+    /// The shared decode-side channel.
+    pub tx: mpsc::Sender<(usize, PoolBuf)>,
+}
+
+impl DatagramSink for TaggedSink {
+    fn forward(&self, datagram: PoolBuf) -> bool {
+        self.tx.send((self.path, datagram)).is_ok()
+    }
+}
+
 /// Pulls bursts from `source` and forwards each datagram into `tx` until
 /// the session ends. The error discipline is the whole point:
 ///
@@ -79,9 +108,9 @@ pub struct DrainStats {
 ///   socket is wedged, not hiccuping).
 ///
 /// Also returns when the decode side hangs up (`tx` disconnected).
-pub fn drain_loop<S: BurstSource>(
+pub fn drain_loop<S: BurstSource, T: DatagramSink>(
     source: &mut S,
-    tx: &mpsc::Sender<PoolBuf>,
+    tx: &T,
     max_burst: usize,
 ) -> DrainStats {
     let mut stats = DrainStats::default();
@@ -93,7 +122,7 @@ pub fn drain_loop<S: BurstSource>(
                 stats.bursts += 1;
                 stats.datagrams += burst.len() as u64;
                 for dg in burst {
-                    if tx.send(dg).is_err() {
+                    if !tx.forward(dg) {
                         return stats; // decoder hung up: session is over
                     }
                 }
@@ -131,6 +160,20 @@ where
     S: BurstSource + Send + 'static,
 {
     std::thread::spawn(move || drain_loop(&mut source, &tx, MAX_BURST))
+}
+
+/// Like [`spawn_drain`], but every datagram is tagged with `path` — one
+/// call per bound socket in the receiver's multi-bind (bonded) mode, all
+/// feeding the same decode channel.
+pub fn spawn_drain_on<S>(
+    mut source: S,
+    path: usize,
+    tx: mpsc::Sender<(usize, PoolBuf)>,
+) -> std::thread::JoinHandle<DrainStats>
+where
+    S: BurstSource + Send + 'static,
+{
+    std::thread::spawn(move || drain_loop(&mut source, &TaggedSink { path, tx }, MAX_BURST))
 }
 
 /// Feeds a burst through [`FluteReceiver::push_datagrams`]; if the
@@ -293,6 +336,125 @@ where
     }
     outcome.toi = toi;
     Ok(outcome)
+}
+
+/// The multi-bind (bonded) decode loop: datagrams arrive path-tagged
+/// from several [`spawn_drain_on`] threads, and each burst is fed
+/// through [`FluteReceiver::push_datagrams_on`] grouped by path, so the
+/// per-path EXT_SEQ gap accounting stays honest across the bond. Ship
+/// semantics and fault discipline match [`receive_session`] exactly.
+pub fn receive_session_multipath<F>(
+    session: &mut FluteReceiver,
+    datagrams: &mpsc::Receiver<(usize, PoolBuf)>,
+    mut ship: F,
+    config: &ReceiveConfig,
+) -> Result<ReceiveOutcome, String>
+where
+    F: FnMut(&ReceptionReport) -> Result<(), String>,
+{
+    let mut outcome = ReceiveOutcome::default();
+    let mut burst: Vec<(usize, PoolBuf)> = Vec::new();
+    let toi = 'decode: loop {
+        burst.clear();
+        match datagrams.recv_timeout(config.flush_interval) {
+            Ok(tagged) => burst.push(tagged),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(report) = session.flush_report() {
+                    ship_lossy(&mut ship, &report, &mut outcome, config);
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(format!(
+                    "timed out after {} datagrams without completing the object \
+                     (losses beyond the code's budget, or no sender running)",
+                    outcome.datagrams
+                ))
+            }
+        }
+        while burst.len() < config.burst_cap {
+            match datagrams.try_recv() {
+                Ok(tagged) => burst.push(tagged),
+                Err(_) => break,
+            }
+        }
+        outcome.datagrams += burst.len() as u64;
+        // Decode path-by-path (arrival order preserved within each path:
+        // that is all the per-path sequence tracks care about).
+        let path_count = burst.iter().map(|(p, _)| p + 1).max().unwrap_or(0);
+        for path in 0..path_count {
+            let slice: Vec<&PoolBuf> = burst
+                .iter()
+                .filter(|(p, _)| *p == path)
+                .map(|(_, dg)| dg)
+                .collect();
+            if slice.is_empty() {
+                continue;
+            }
+            let (events, rejected) = push_salvaging_on(session, path, &slice);
+            if rejected > 0 {
+                outcome.rejected += rejected;
+                if let Some(c) = &config.rejected_counter {
+                    c.add(rejected);
+                }
+            }
+            for event in events {
+                if let ReceiverEvent::ObjectComplete { toi } = event {
+                    break 'decode toi;
+                }
+            }
+        }
+        if let Some(report) = session.poll_report() {
+            ship_lossy(&mut ship, &report, &mut outcome, config);
+        }
+    };
+    for _ in 0..config.fin_repeats {
+        if let Some(report) = session.flush_report() {
+            ship_lossy(&mut ship, &report, &mut outcome, config);
+        }
+    }
+    outcome.toi = toi;
+    Ok(outcome)
+}
+
+/// [`push_salvaging`]'s per-path twin: feeds a burst through
+/// [`FluteReceiver::push_datagrams_on`] and, on a batch error, replays
+/// one datagram at a time so only the offender is dropped.
+pub fn push_salvaging_on<D: AsRef<[u8]>>(
+    session: &mut FluteReceiver,
+    path: usize,
+    burst: &[D],
+) -> (Vec<ReceiverEvent>, u64) {
+    match session.push_datagrams_on(path, burst) {
+        Ok(events) => {
+            let rejected = events
+                .iter()
+                .filter(|e| matches!(e, ReceiverEvent::Rejected))
+                .count() as u64;
+            (events, rejected)
+        }
+        Err(burst_error) => {
+            let mut events = Vec::with_capacity(burst.len());
+            let mut rejected = 0u64;
+            let mut logged = false;
+            for dg in burst {
+                match session.push_datagrams_on(path, std::slice::from_ref(dg)) {
+                    Ok(mut singles) => events.append(&mut singles),
+                    Err(e) => {
+                        rejected += 1;
+                        if !logged {
+                            eprintln!(
+                                "dropping bad datagram on path {path} (salvaging the \
+                                 remaining burst): {e} (burst error: {burst_error})"
+                            );
+                            logged = true;
+                        }
+                    }
+                }
+            }
+            (events, rejected)
+        }
+    }
 }
 
 fn ship_lossy<F>(

@@ -1,0 +1,249 @@
+//! Bonding scenario suite: one FEC emission striped across
+//! heterogeneous lossy paths, driven through the full in-process
+//! control loop ([`BondedSession`]). Three scenarios, all
+//! deterministic and seeded:
+//!
+//! 1. **Degrade** one path mid-flight → the controller re-allocates
+//!    rate shares away from it within one re-plan interval.
+//! 2. **Kill** one path mid-flight → the bond declares an outage,
+//!    zeroes the dead path's share, amends the schedule (targeted
+//!    repair / extension — never a restart), and still delivers every
+//!    object byte-exactly.
+//! 3. **Asymmetric three-link convergence** → on bursty links the
+//!    bonded session finishes on fewer packets than the best single
+//!    path: striping breaks each link's loss bursts into isolated
+//!    erasures, the physical analogue of the paper's packet-scheduling
+//!    whitening (and the reason Tx_model_1-style sequential schedules
+//!    recover their footing under bonding).
+
+use fec_broadcast::adapt::ControllerConfig;
+use fec_broadcast::bond::{BondConfig, BondedSession};
+use fec_broadcast::channel::{GilbertChannel, GilbertParams, LinkEmulator, LossModel};
+use fec_broadcast::flute::{FluteSender, SenderConfig};
+use fec_broadcast::prelude::*;
+
+const TSI: u32 = 55;
+const SYMBOL: usize = 64;
+const OBJ_LEN: usize = 12_000;
+const OBJECTS: u32 = 2;
+
+fn object_bytes(toi: u32) -> Vec<u8> {
+    (0..OBJ_LEN)
+        .map(|i| ((i as u32).wrapping_mul(41).wrapping_add(toi * 23) % 251) as u8)
+        .collect()
+}
+
+fn build_sender(tx: TxModel, ratio: ExpansionRatio) -> FluteSender {
+    let mut config = SenderConfig::new(TSI);
+    config.fdt_interval = 120;
+    let mut sender = FluteSender::new(config);
+    for toi in 1..=OBJECTS {
+        sender
+            .add_object(
+                toi,
+                format!("file:///obj-{toi}.bin"),
+                &object_bytes(toi),
+                fec_broadcast::codec::registry::resolve("ldgm-triangle").unwrap(),
+                ratio,
+                SYMBOL,
+                0xD1CE + toi as u64,
+                tx,
+            )
+            .unwrap();
+    }
+    sender
+}
+
+/// A Gilbert link with long-run loss `p_global` and mean burst length
+/// `burst` packets.
+fn bursty_link(p_global: f64, burst: f64, seed: u64) -> LinkEmulator {
+    let q = 1.0 / burst;
+    let p = p_global * q / (1.0 - p_global);
+    let model: Box<dyn LossModel> =
+        Box::new(GilbertChannel::new(GilbertParams::new(p, q).unwrap(), seed));
+    LinkEmulator::new(model, seed ^ 0x10DE)
+}
+
+fn assert_byte_exact(bond: &BondedSession<'_>) {
+    assert!(bond.is_complete(), "bond failed to deliver");
+    for toi in 1..=OBJECTS {
+        assert_eq!(
+            bond.receiver().object(toi).expect("decoded"),
+            &object_bytes(toi)[..],
+            "object {toi} corrupted"
+        );
+    }
+}
+
+/// Scenario 1: degrading one path mid-flight shifts its rate share away
+/// within one re-plan interval.
+#[test]
+fn degraded_path_loses_share_within_one_replan_interval() {
+    let sender = build_sender(TxModel::Random, ExpansionRatio::R2_5);
+    let config = BondConfig {
+        total_rate: 1_000.0,
+        replan_every: 64,
+        outage_after: 100_000, // outage detection out of the picture here
+        dead_band: 0.02,
+        controller: ControllerConfig {
+            // Small estimation window + high min_observations: path
+            // estimates use the recent windowed loss rate, so a regime
+            // change shows up in the very next digest fold.
+            window: 128,
+            min_observations: 100_000,
+            ..ControllerConfig::default()
+        },
+    };
+    let links = vec![bursty_link(0.02, 2.0, 71), bursty_link(0.02, 2.0, 72)];
+    let mut bond = BondedSession::new(&sender, 0x5EED, links, config.clone());
+
+    // Warm up past several control rounds, stopping exactly at a
+    // re-plan boundary.
+    let warmup = config.replan_every * 6;
+    for _ in 0..warmup {
+        bond.step().unwrap();
+    }
+    let share_before = bond.controller().shares()[1];
+    let reallocs_before = bond.controller().reallocations();
+    assert!(
+        share_before > 400.0,
+        "healthy path holds ~half: {share_before}"
+    );
+
+    // Path 1 falls off a cliff: 50% bursty loss.
+    bond.degrade_path(1, GilbertParams::new(0.1, 0.1).unwrap(), 0xBAD);
+
+    // Exactly one re-plan interval later the share must have moved.
+    for _ in 0..config.replan_every {
+        bond.step().unwrap();
+    }
+    let share_after = bond.controller().shares()[1];
+    assert!(
+        bond.controller().reallocations() > reallocs_before,
+        "no re-allocation within one interval"
+    );
+    assert!(
+        share_after < share_before - config.dead_band * config.total_rate,
+        "degraded path kept its share: {share_before} -> {share_after}"
+    );
+
+    // And the transfer still completes byte-exactly.
+    bond.run(200_000).unwrap();
+    assert_byte_exact(&bond);
+    eprintln!(
+        "degrade: share {share_before:.0} -> {share_after:.0} within one interval, \
+         {} total datagrams",
+        bond.total_sent()
+    );
+}
+
+/// Scenario 2: a path dying mid-flight is routed around — share zeroed,
+/// schedule amended, delivery completes byte-exactly.
+#[test]
+fn killed_path_is_routed_around_and_delivery_completes() {
+    let sender = build_sender(TxModel::Random, ExpansionRatio::R2_5);
+    let config = BondConfig {
+        total_rate: 900.0,
+        replan_every: 64,
+        outage_after: 48,
+        dead_band: 0.02,
+        controller: ControllerConfig {
+            window: 5_000,
+            min_observations: 250,
+            ..ControllerConfig::default()
+        },
+    };
+    let links = vec![
+        bursty_link(0.02, 2.0, 81),
+        bursty_link(0.03, 2.0, 82),
+        bursty_link(0.04, 2.0, 83),
+    ];
+    let mut bond = BondedSession::new(&sender, 0x5EED, links, config);
+
+    for _ in 0..200 {
+        bond.step().unwrap();
+    }
+    let sent_at_kill = bond.sent_on(2);
+    bond.kill_path(2);
+    bond.run(400_000).unwrap();
+
+    assert_byte_exact(&bond);
+    assert!(bond.controller().is_dead(2), "outage never detected");
+    assert!(bond.controller().outages() >= 1);
+    assert_eq!(
+        bond.controller().shares()[2],
+        0.0,
+        "dead path must hold zero share"
+    );
+    // Routing stopped: only the packets in flight before detection ever
+    // hit the dead wire.
+    let leaked = bond.sent_on(2) - sent_at_kill;
+    assert!(
+        leaked <= 2 * 48 + 64,
+        "kept routing to a dead path: {leaked} packets after kill"
+    );
+    // The schedule was amended (repair queued / plan extended), not
+    // restarted.
+    let (truncations, extensions) = bond.amendments();
+    assert!(
+        bond.repairs_queued() > 0 || extensions > 0 || truncations > 0,
+        "no schedule amendment despite a dead path"
+    );
+    eprintln!(
+        "kill: {} post-kill leak, {} repairs, {truncations} truncations, \
+         {extensions} extensions, {} total datagrams",
+        leaked,
+        bond.repairs_queued(),
+        bond.total_sent()
+    );
+}
+
+/// Scenario 3: on asymmetric bursty links, the bonded session finishes
+/// on fewer packets than the best single path — cross-path striping
+/// breaks loss bursts that a single link inflicts on consecutive
+/// schedule packets.
+#[test]
+fn bonded_beats_best_single_path_on_asymmetric_bursty_links() {
+    // Sequential schedule (the paper's Tx_model_1 shape): wire
+    // adjacency equals symbol adjacency, so a burst on one link erases
+    // consecutive symbols — worst case for the decoder, and exactly
+    // what striping whitens.
+    let tx = TxModel::SourceSeqParitySeq;
+    let ratio = ExpansionRatio::R1_5;
+    let mk_links = || {
+        vec![
+            bursty_link(0.10, 8.0, 911),
+            bursty_link(0.12, 10.0, 922),
+            bursty_link(0.14, 12.0, 933),
+        ]
+    };
+    let config = BondConfig {
+        total_rate: 900.0,
+        replan_every: 64,
+        outage_after: 100_000,
+        dead_band: 0.02,
+        controller: ControllerConfig {
+            window: 20_000,
+            min_observations: 500,
+            ..ControllerConfig::default()
+        },
+    };
+
+    let run = |links: Vec<LinkEmulator>| {
+        let sender = build_sender(tx, ratio);
+        let mut bond = BondedSession::new(&sender, 0x5EED, links, config.clone());
+        bond.run(400_000).unwrap();
+        assert_byte_exact(&bond);
+        bond.total_sent()
+    };
+
+    let singles: Vec<u64> = (0..3).map(|i| run(vec![mk_links().remove(i)])).collect();
+    let best_single = *singles.iter().min().unwrap();
+    let bonded = run(mk_links());
+
+    eprintln!("convergence: singles {singles:?}, bonded {bonded}");
+    assert!(
+        bonded < best_single,
+        "bonded ({bonded}) must beat the best single path ({best_single}; all: {singles:?})"
+    );
+}

@@ -126,6 +126,101 @@ fn ldgm_spec_with_no_checks_is_rejected_cleanly() {
     assert!(Sender::new(spec, &[0u8; 100], 10).is_err());
 }
 
+/// Bonded fault injection: one member of a bonded path set turns
+/// hostile — storming malformed datagrams and transient socket errors —
+/// while its neighbours stay clean. The bond must complete byte-exactly
+/// with every fault counted, none fatal.
+mod bonded_faults {
+    use fec_broadcast::bond::{BondConfig, BondedSession, Poison};
+    use fec_broadcast::channel::{GilbertChannel, GilbertParams, LinkEmulator, LossModel};
+    use fec_broadcast::flute::{FluteSender, SenderConfig};
+    use fec_broadcast::prelude::{ExpansionRatio, TxModel};
+
+    const TSI: u32 = 88;
+    const SYMBOL: usize = 64;
+    const OBJ_LEN: usize = 9_000;
+
+    fn object_bytes(toi: u32) -> Vec<u8> {
+        (0..OBJ_LEN)
+            .map(|i| ((i as u32).wrapping_mul(31).wrapping_add(toi * 17) % 251) as u8)
+            .collect()
+    }
+
+    fn quiet_link(seed: u64) -> LinkEmulator {
+        let model: Box<dyn LossModel> = Box::new(GilbertChannel::new(
+            GilbertParams::new(0.01, 0.5).unwrap(),
+            seed,
+        ));
+        LinkEmulator::new(model, seed ^ 0xFA17)
+    }
+
+    /// One path storms malformed datagrams and transient socket errors;
+    /// the other two stay clean. Delivery completes byte-exactly, the
+    /// faults are counted, and nothing is fatal.
+    #[test]
+    fn hostile_path_storm_is_counted_not_fatal() {
+        let mut config = SenderConfig::new(TSI);
+        config.fdt_interval = 100;
+        let mut sender = FluteSender::new(config);
+        for toi in 1..=2u32 {
+            sender
+                .add_object(
+                    toi,
+                    format!("file:///hostile-{toi}.bin"),
+                    &object_bytes(toi),
+                    fec_broadcast::codec::registry::resolve("ldgm-triangle").unwrap(),
+                    ExpansionRatio::R2_5,
+                    SYMBOL,
+                    0xF007 + toi as u64,
+                    TxModel::Random,
+                )
+                .unwrap();
+        }
+
+        let links = vec![quiet_link(101), quiet_link(202), quiet_link(303)];
+        let mut bond = BondedSession::new(&sender, 0x5EED, links, BondConfig::default());
+        // Path 1 goes hostile for the whole transfer: every 2nd delivery
+        // arrives with a corrupted header, every 5th send errors out.
+        bond.poison_path(
+            1,
+            Poison {
+                garble_every: 2,
+                drop_every: 5,
+            },
+        );
+
+        bond.run(200_000).unwrap();
+
+        assert!(bond.is_complete(), "hostile path sank the bond");
+        for toi in 1..=2u32 {
+            assert_eq!(
+                bond.receiver().object(toi).expect("decoded"),
+                &object_bytes(toi)[..],
+                "object {toi} corrupted by the hostile path"
+            );
+        }
+        // The storm really happened, and every fault was accounted for.
+        assert!(
+            bond.rx_rejected() > 0,
+            "malformed datagrams must surface as rejected events"
+        );
+        assert!(
+            bond.io_errors() > 0,
+            "transient socket errors must be counted"
+        );
+        // The clean paths carried real traffic throughout.
+        for path in [0usize, 2] {
+            assert!(bond.sent_on(path) > 0, "clean path {path} never used");
+        }
+        eprintln!(
+            "hostile storm: {} rejected, {} io errors, {} total datagrams",
+            bond.rx_rejected(),
+            bond.io_errors(),
+            bond.total_sent()
+        );
+    }
+}
+
 /// Wire-level fault injection: the live-session loops in
 /// `fec_broadcast::live` must survive the three historical failure modes
 /// — a drain thread killed by a stray `EINTR`/ICMP error, a receive
